@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 9 on the simulated testbed.
+//!
+//! Run with `cargo bench -p totem-bench --bench fig9_bw_6nodes`;
+//! set `TOTEM_QUICK=1` for a reduced sweep.
+
+fn main() {
+    totem_bench::run_figure(&totem_bench::fig9());
+}

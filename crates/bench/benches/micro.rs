@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the protocol building blocks:
+//! codec round-trips, message packing, receive-window bookkeeping, and
+//! the per-packet costs of the RRP replication algorithms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput as CriterionThroughput};
+
+use bytes::Bytes;
+use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
+use totem_srp::packing::Packer;
+use totem_srp::window::ReceiveWindow;
+use totem_wire::{Chunk, DataPacket, NetworkId, NodeId, Packet, RingId, Seq, Token};
+
+fn data_packet(seq: u64, payload: usize) -> Packet {
+    Packet::Data(DataPacket {
+        ring: RingId::new(NodeId::new(0), 1),
+        seq: Seq::new(seq),
+        sender: NodeId::new(2),
+        chunks: vec![Chunk::complete(seq as u32, Bytes::from(vec![0xAB; payload]))],
+    })
+}
+
+fn token_packet(rotation: u64, seq: u64) -> Token {
+    let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+    t.rotation = rotation;
+    t.seq = Seq::new(seq);
+    t.aru = Seq::new(seq);
+    t
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for payload in [100usize, 1400] {
+        let pkt = data_packet(1, payload);
+        let bytes = pkt.encode();
+        g.throughput(CriterionThroughput::Bytes(bytes.len() as u64));
+        g.bench_function(format!("encode_data_{payload}B"), |b| b.iter(|| pkt.encode()));
+        g.bench_function(format!("decode_data_{payload}B"), |b| {
+            b.iter(|| Packet::decode(&bytes).unwrap())
+        });
+    }
+    let tok = Packet::Token(token_packet(3, 500));
+    let tok_bytes = tok.encode();
+    g.bench_function("encode_token", |b| b.iter(|| tok.encode()));
+    g.bench_function("decode_token", |b| b.iter(|| Packet::decode(&tok_bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_packer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packer");
+    for (name, size, count) in [("small_100B", 100usize, 120usize), ("frame_700B", 700, 40), ("large_10KB", 10_000, 4)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    (
+                        Packer::new(),
+                        (0..count).map(|_| Bytes::from(vec![7u8; size])).collect::<std::collections::VecDeque<_>>(),
+                    )
+                },
+                |(mut packer, mut queue)| packer.pack(&mut queue, usize::MAX),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("receive_window");
+    g.bench_function("insert_deliver_1000_in_order", |b| {
+        b.iter_batched(
+            ReceiveWindow::new,
+            |mut w| {
+                for s in 1..=1000u64 {
+                    let Packet::Data(d) = data_packet(s, 100) else { unreachable!() };
+                    w.insert(d);
+                }
+                w.take_deliverable(Seq::new(1000)).len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("insert_1000_reversed_gaps", |b| {
+        b.iter_batched(
+            ReceiveWindow::new,
+            |mut w| {
+                for s in (1..=1000u64).rev() {
+                    let Packet::Data(d) = data_packet(s, 100) else { unreachable!() };
+                    w.insert(d);
+                }
+                w.my_aru()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rrp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rrp_layer");
+    g.bench_function("active_token_two_copies", |b| {
+        b.iter_batched(
+            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)),
+            |mut layer| {
+                for r in 0..100u64 {
+                    let t = token_packet(r, r);
+                    layer.on_packet(r * 1000, NetworkId::new(0), Packet::Token(t.clone()), false);
+                    layer.on_packet(r * 1000 + 1, NetworkId::new(1), Packet::Token(t), false);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("passive_message_monitor", |b| {
+        b.iter_batched(
+            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)),
+            |mut layer| {
+                for i in 0..100u64 {
+                    let pkt = data_packet(i, 100);
+                    layer.on_packet(i, NetworkId::new((i % 2) as u8), pkt, false);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("routes_round_robin", |b| {
+        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        b.iter(|| layer.routes_for_message())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_packer, bench_window, bench_rrp);
+criterion_main!(benches);

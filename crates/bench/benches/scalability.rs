@@ -1,0 +1,45 @@
+//! Ring-size scalability sweep (beyond the paper, which measured only
+//! 4 and 6 nodes): throughput and latency as the ring grows, for each
+//! replication style. Token-ring ordering cost grows with ring size —
+//! this quantifies it.
+//!
+//! Run with `cargo bench -p totem-bench --bench scalability`;
+//! set `TOTEM_QUICK=1` for a shorter window.
+
+use totem_bench::{measure, MeasureConfig};
+use totem_rrp::ReplicationStyle;
+use totem_sim::SimDuration;
+
+fn main() {
+    let quick = std::env::var_os("TOTEM_QUICK").is_some();
+    let window = if quick { SimDuration::from_millis(200) } else { SimDuration::from_millis(800) };
+    println!("== Scalability: ring size sweep, 1 Kbyte messages ==");
+    println!();
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>22}",
+        "nodes", "no replication", "active", "passive"
+    );
+    println!("{:>6} | {:>11}{:>11} | {:>11}{:>11} | {:>11}{:>11}",
+        "", "msgs/s", "lat µs", "msgs/s", "lat µs", "msgs/s", "lat µs");
+    println!("{:-^6}-+-{:-^22}-+-{:-^22}-+-{:-^22}", "", "", "", "");
+    for nodes in [2usize, 3, 4, 6, 8, 12, 16] {
+        let m = |style| {
+            let cfg = MeasureConfig::new(style, 1000).with_nodes(nodes).with_window(window);
+            measure(&cfg)
+        };
+        let s = m(ReplicationStyle::Single);
+        let a = m(ReplicationStyle::Active);
+        let p = m(ReplicationStyle::Passive);
+        println!(
+            "{:>6} | {:>11.0}{:>11.0} | {:>11.0}{:>11.0} | {:>11.0}{:>11.0}",
+            nodes,
+            s.msgs_per_sec, s.latency_mean_us,
+            a.msgs_per_sec, a.latency_mean_us,
+            p.msgs_per_sec, p.latency_mean_us,
+        );
+    }
+    println!();
+    println!("expected: aggregate throughput roughly flat (the medium, not the");
+    println!("ring size, is the bottleneck); latency grows with ring size (a");
+    println!("message waits on average half a token rotation before sending).");
+}

@@ -1,0 +1,47 @@
+//! CPU-model calibration probe: prints the operating points the
+//! paper's headline claims depend on, so the constants in
+//! `totem_sim::CpuConfig` can be tuned.
+//!
+//! Run with `cargo run -p totem-bench --release --bin calibrate`.
+
+use totem_bench::{measure, MeasureConfig};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{CpuConfig, SimDuration};
+
+fn main() {
+    let window = SimDuration::from_millis(500);
+    println!("4 nodes, Pentium II model (Figures 6/8 testbed):");
+    for style in [ReplicationStyle::Single, ReplicationStyle::Active, ReplicationStyle::Passive] {
+        for size in [100usize, 700, 1000, 1400, 10000] {
+            let cfg = MeasureConfig::new(style, size).with_window(window);
+            let t = measure(&cfg);
+            println!(
+                "  {:<22} {:>6} B: {:>7.0} msgs/s {:>8.0} KB/s  util {:?}  lat {:.0} us",
+                style.to_string(),
+                size,
+                t.msgs_per_sec,
+                t.kbytes_per_sec,
+                t.utilization.iter().map(|u| (u * 100.0).round()).collect::<Vec<_>>(),
+                t.latency_mean_us
+            );
+        }
+    }
+    println!("6 nodes, Pentium III model (Figures 7/9 testbed):");
+    for style in [ReplicationStyle::Single, ReplicationStyle::Active, ReplicationStyle::Passive] {
+        for size in [1000usize, 1400] {
+            let cfg = MeasureConfig::new(style, size)
+                .with_nodes(6)
+                .with_cpu(CpuConfig::pentium_iii_900())
+                .with_window(window);
+            let t = measure(&cfg);
+            println!(
+                "  {:<22} {:>6} B: {:>7.0} msgs/s {:>8.0} KB/s  util {:?}",
+                style.to_string(),
+                size,
+                t.msgs_per_sec,
+                t.kbytes_per_sec,
+                t.utilization.iter().map(|u| (u * 100.0).round()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

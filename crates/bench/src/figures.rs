@@ -1,0 +1,148 @@
+//! Regeneration of the paper's Figures 6–9.
+//!
+//! Each figure is a message-size sweep with three series — no
+//! replication, active replication, passive replication — over two
+//! 100 Mbit/s Ethernets. Figures 6/8 use the 4-node Pentium II
+//! testbed; Figures 7/9 the 6-node Pentium III testbed. Figures 6/7
+//! plot msgs/sec, Figures 8/9 Kbytes/sec — from the same runs, so the
+//! sweep is executed once per (figure pair, size, style).
+
+use totem_rrp::ReplicationStyle;
+use totem_sim::{CpuConfig, SimDuration};
+
+use crate::measure::{measure, MeasureConfig, Throughput};
+
+/// The message sizes of the paper's sweep: 100 bytes to 10 Kbytes,
+/// roughly log-spaced, with extra points at the packing-induced peaks
+/// (700 and 1400 bytes).
+pub const PAPER_SIZES: &[usize] =
+    &[100, 150, 200, 300, 500, 700, 900, 1000, 1200, 1400, 1700, 2000, 3000, 5000, 7000, 10000];
+
+/// A reduced sweep for quick runs (`cargo bench` default).
+pub const QUICK_SIZES: &[usize] = &[100, 300, 700, 1000, 1400, 3000, 10000];
+
+/// What a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Total send rate, messages per second (Figures 6 and 7).
+    MsgsPerSec,
+    /// Utilized bandwidth, Kbytes per second (Figures 8 and 9).
+    KbytesPerSec,
+}
+
+/// Parameters of one paper figure.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Paper figure id, e.g. `"Figure 6"`.
+    pub id: &'static str,
+    /// Caption (from the paper).
+    pub title: &'static str,
+    /// Cluster size.
+    pub nodes: usize,
+    /// CPU model of the corresponding testbed.
+    pub cpu: CpuConfig,
+    /// What the figure plots.
+    pub metric: Metric,
+}
+
+/// Figure 6: transmission rate in msgs/sec for four nodes.
+pub fn fig6() -> FigureSpec {
+    FigureSpec {
+        id: "Figure 6",
+        title: "Transmission rate of the Totem RRP in msgs/sec for four nodes",
+        nodes: 4,
+        cpu: CpuConfig::pentium_ii_450(),
+        metric: Metric::MsgsPerSec,
+    }
+}
+
+/// Figure 7: transmission rate in msgs/sec for six nodes.
+pub fn fig7() -> FigureSpec {
+    FigureSpec {
+        id: "Figure 7",
+        title: "Transmission rate of the Totem RRP in msgs/sec for six nodes",
+        nodes: 6,
+        cpu: CpuConfig::pentium_iii_900(),
+        metric: Metric::MsgsPerSec,
+    }
+}
+
+/// Figure 8: transmission rate in Kbytes/sec for four nodes.
+pub fn fig8() -> FigureSpec {
+    FigureSpec { metric: Metric::KbytesPerSec, id: "Figure 8",
+        title: "Transmission rate of the Totem RRP in Kbytes/sec for four nodes", ..fig6() }
+}
+
+/// Figure 9: transmission rate in Kbytes/sec for six nodes.
+pub fn fig9() -> FigureSpec {
+    FigureSpec { metric: Metric::KbytesPerSec, id: "Figure 9",
+        title: "Transmission rate of the Totem RRP in Kbytes/sec for six nodes", ..fig7() }
+}
+
+/// The three series of every paper figure, in legend order.
+pub const SERIES: &[ReplicationStyle] =
+    &[ReplicationStyle::Single, ReplicationStyle::Active, ReplicationStyle::Passive];
+
+/// A completed sweep: one [`Throughput`] per (style, size).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The swept message sizes.
+    pub sizes: Vec<usize>,
+    /// Per style (in [`SERIES`] order), one measurement per size.
+    pub series: Vec<(ReplicationStyle, Vec<Throughput>)>,
+}
+
+impl SweepResult {
+    /// The measurement for `style` at `size`.
+    pub fn point(&self, style: ReplicationStyle, size: usize) -> &Throughput {
+        let i = self.sizes.iter().position(|&s| s == size).expect("size in sweep");
+        let (_, points) =
+            self.series.iter().find(|(s, _)| *s == style).expect("style in sweep");
+        &points[i]
+    }
+}
+
+/// Runs the sweep for `spec` over `sizes`, `window` simulated seconds
+/// of measurement per point.
+pub fn figure_sweep(spec: &FigureSpec, sizes: &[usize], window: SimDuration) -> SweepResult {
+    let series = SERIES
+        .iter()
+        .map(|&style| {
+            let points = sizes
+                .iter()
+                .map(|&size| {
+                    let cfg = MeasureConfig::new(style, size)
+                        .with_nodes(spec.nodes)
+                        .with_cpu(spec.cpu.clone())
+                        .with_window(window);
+                    measure(&cfg)
+                })
+                .collect();
+            (style, points)
+        })
+        .collect();
+    SweepResult { sizes: sizes.to_vec(), series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_the_paper() {
+        assert_eq!(fig6().nodes, 4);
+        assert_eq!(fig7().nodes, 6);
+        assert_eq!(fig8().metric, Metric::KbytesPerSec);
+        assert_eq!(fig9().nodes, 6);
+        assert!(PAPER_SIZES.contains(&700) && PAPER_SIZES.contains(&1400));
+        assert!(PAPER_SIZES.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tiny_sweep_produces_all_series() {
+        let r = figure_sweep(&fig6(), &[700], SimDuration::from_millis(100));
+        assert_eq!(r.series.len(), 3);
+        assert!(r.point(ReplicationStyle::Single, 700).msgs_per_sec > 0.0);
+        assert!(r.point(ReplicationStyle::Passive, 700).msgs_per_sec > 0.0);
+    }
+}

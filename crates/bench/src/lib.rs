@@ -1,0 +1,31 @@
+//! Benchmark harness reproducing the evaluation of *"The Totem
+//! Redundant Ring Protocol"* (ICDCS 2002, §8).
+//!
+//! The paper's evaluation consists of four figures:
+//!
+//! | Figure | Metric | Nodes |
+//! |--------|------------------------|-------|
+//! | 6 | send rate (msgs/sec) | 4 |
+//! | 7 | send rate (msgs/sec) | 6 |
+//! | 8 | bandwidth (Kbytes/sec) | 4 |
+//! | 9 | bandwidth (Kbytes/sec) | 6 |
+//!
+//! each sweeping the message size from 100 bytes to 10 Kbytes with
+//! three series: no replication, active replication and passive
+//! replication over two 100 Mbit/s Ethernets. [`figures`] regenerates
+//! all of them on the simulator; [`measure()`] is the underlying
+//! saturating-workload measurement; [`report`] prints paper-style
+//! tables and checks the expected qualitative shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod measure;
+pub mod report;
+pub mod runner;
+
+pub use figures::{fig6, fig7, fig8, fig9, figure_sweep, FigureSpec, Metric, SweepResult, PAPER_SIZES, QUICK_SIZES, SERIES};
+pub use measure::{measure, MeasureConfig, Throughput};
+pub use report::{print_checks, print_figure, shape_checks, ShapeCheck};
+pub use runner::run_figure;

@@ -1,0 +1,152 @@
+//! The core throughput measurement: a saturating workload on a
+//! simulated cluster, exactly as the paper ran it ("every node sent as
+//! many messages as the Totem flow control mechanism permitted").
+
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{CpuConfig, SimDuration, SimTime};
+
+/// One measurement's parameters.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Replication style under test.
+    pub style: ReplicationStyle,
+    /// Application message size in bytes.
+    pub msg_size: usize,
+    /// CPU model (the paper's two testbeds differ here).
+    pub cpu: CpuConfig,
+    /// Simulated warmup before counting starts.
+    pub warmup: SimDuration,
+    /// Simulated measurement window.
+    pub window: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl MeasureConfig {
+    /// Paper-like defaults: 4 nodes, Pentium II CPU model, 200 ms
+    /// warmup, 1 s measurement.
+    pub fn new(style: ReplicationStyle, msg_size: usize) -> Self {
+        MeasureConfig {
+            nodes: 4,
+            style,
+            msg_size,
+            cpu: CpuConfig::pentium_ii_450(),
+            warmup: SimDuration::from_millis(200),
+            window: SimDuration::from_secs(1),
+            seed: 42,
+        }
+    }
+
+    /// Overrides the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Overrides the CPU model.
+    pub fn with_cpu(mut self, cpu: CpuConfig) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+/// A measured operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throughput {
+    /// Total system send rate in messages per second (what Figures 6
+    /// and 7 plot).
+    pub msgs_per_sec: f64,
+    /// Utilized application bandwidth in Kbytes per second (what
+    /// Figures 8 and 9 plot).
+    pub kbytes_per_sec: f64,
+    /// Mean end-to-end delivery latency in microseconds.
+    pub latency_mean_us: f64,
+    /// Mean utilization of each network's raw bandwidth over the
+    /// window, in `[0, 1]`.
+    pub utilization: Vec<f64>,
+}
+
+/// Runs one saturating-workload measurement.
+///
+/// Every node keeps its send queue full of `msg_size`-byte messages;
+/// after `warmup`, deliveries are counted for `window`. Because each
+/// node delivers every message exactly once, per-node deliveries are
+/// averaged to obtain the system-wide send rate.
+pub fn measure(cfg: &MeasureConfig) -> Throughput {
+    let cluster_cfg = ClusterConfig::new(cfg.nodes, cfg.style).counters_only().with_seed(cfg.seed);
+    let mut cluster_cfg = cluster_cfg;
+    cluster_cfg.sim = cluster_cfg.sim.with_cpu(cfg.cpu.clone());
+    let mut cluster = SimCluster::new(cluster_cfg);
+    cluster.enable_saturation(cfg.msg_size);
+
+    cluster.run_until(SimTime::ZERO + cfg.warmup);
+    let before = cluster.counters();
+    let wire_before: Vec<u64> =
+        cluster.net_stats().iter().map(|(_, s)| s.wire_bytes).collect();
+
+    cluster.run_until(SimTime::ZERO + cfg.warmup + cfg.window);
+    let after = cluster.counters();
+    let wire_after: Vec<u64> = cluster.net_stats().iter().map(|(_, s)| s.wire_bytes).collect();
+
+    let secs = cfg.window.as_secs_f64();
+    let nodes = cfg.nodes as f64;
+    let msgs = (after.msgs - before.msgs) as f64 / nodes;
+    let bytes = (after.bytes - before.bytes) as f64 / nodes;
+    let latency_mean_us = {
+        let samples = after.latency_samples - before.latency_samples;
+        if samples > 0 {
+            ((after.latency_sum_ns - before.latency_sum_ns) / samples as u128) as f64 / 1000.0
+        } else {
+            0.0
+        }
+    };
+    let bandwidth_bps = 100_000_000f64; // the model is 100 Mbit/s per network
+    let utilization = wire_after
+        .iter()
+        .zip(&wire_before)
+        .map(|(a, b)| ((a - b) as f64 * 8.0) / (secs * bandwidth_bps))
+        .collect();
+
+    Throughput {
+        msgs_per_sec: msgs / secs,
+        kbytes_per_sec: bytes / secs / 1000.0,
+        latency_mean_us,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreplicated_baseline_produces_sane_numbers() {
+        let cfg = MeasureConfig::new(ReplicationStyle::Single, 1000)
+            .with_window(SimDuration::from_millis(300));
+        let t = measure(&cfg);
+        assert!(t.msgs_per_sec > 1000.0, "implausibly low: {}", t.msgs_per_sec);
+        assert!(t.kbytes_per_sec > 1000.0);
+        assert!(t.latency_mean_us > 0.0);
+        assert_eq!(t.utilization.len(), 1);
+        assert!(t.utilization[0] > 0.3, "network should be well utilized");
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let cfg = MeasureConfig::new(ReplicationStyle::Active, 500)
+            .with_window(SimDuration::from_millis(200));
+        let a = measure(&cfg);
+        let b = measure(&cfg);
+        assert_eq!(a.msgs_per_sec, b.msgs_per_sec);
+        assert_eq!(a.kbytes_per_sec, b.kbytes_per_sec);
+    }
+}

@@ -1,0 +1,257 @@
+//! Paper-style tables and qualitative shape checks.
+//!
+//! We do not expect to match the paper's absolute numbers — the
+//! substrate is a calibrated simulator, not the authors' testbed —
+//! but the *shape* of every figure must hold: who wins, by roughly
+//! what factor, and where the packing peaks fall. [`shape_checks`]
+//! encodes those claims from §8 as pass/fail assertions printed next
+//! to the table.
+
+use totem_rrp::ReplicationStyle;
+
+use crate::figures::{FigureSpec, Metric, SweepResult};
+use crate::measure::Throughput;
+
+fn value(metric: Metric, t: &Throughput) -> f64 {
+    match metric {
+        Metric::MsgsPerSec => t.msgs_per_sec,
+        Metric::KbytesPerSec => t.kbytes_per_sec,
+    }
+}
+
+/// Prints the sweep as a paper-style table.
+pub fn print_figure(spec: &FigureSpec, result: &SweepResult) {
+    println!();
+    println!("== {}: {} ==", spec.id, spec.title);
+    println!(
+        "   ({} nodes, 2x 100 Mbit/s Ethernet; simulated testbed)",
+        spec.nodes
+    );
+    let unit = match spec.metric {
+        Metric::MsgsPerSec => "msgs/sec",
+        Metric::KbytesPerSec => "Kbytes/sec",
+    };
+    println!();
+    println!("{:>10} | {:>16} | {:>18} | {:>19}", "msg bytes", "no replication", "active replication", "passive replication");
+    println!("{:->10}-+-{:->16}-+-{:->18}-+-{:->19}", "", "", "", "");
+    for (i, size) in result.sizes.iter().enumerate() {
+        let cell = |style: ReplicationStyle| {
+            let (_, pts) = result.series.iter().find(|(s, _)| *s == style).expect("series");
+            value(spec.metric, &pts[i])
+        };
+        println!(
+            "{:>10} | {:>16.0} | {:>18.0} | {:>19.0}",
+            size,
+            cell(ReplicationStyle::Single),
+            cell(ReplicationStyle::Active),
+            cell(ReplicationStyle::Passive),
+        );
+    }
+    println!("   (values in {unit})");
+}
+
+/// One qualitative claim from the paper and whether this run
+/// reproduces it.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// Short name of the claim.
+    pub name: &'static str,
+    /// Whether the run reproduces it.
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Evaluates the paper's §8 claims against a sweep.
+pub fn shape_checks(spec: &FigureSpec, result: &SweepResult) -> Vec<ShapeCheck> {
+    let mut checks = Vec::new();
+    let get = |style: ReplicationStyle, size: usize, metric: Metric| -> f64 {
+        value(metric, result.point(style, size))
+    };
+    let sizes = &result.sizes;
+    let has = |s: usize| sizes.contains(&s);
+
+    // Claim 1: passive replication beats no replication (extra
+    // payload bandwidth) across the sweep.
+    {
+        let mut worst: Option<(usize, f64, f64)> = None;
+        let mut pass = true;
+        for &s in sizes {
+            let none = get(ReplicationStyle::Single, s, Metric::KbytesPerSec);
+            let passive = get(ReplicationStyle::Passive, s, Metric::KbytesPerSec);
+            if passive < none * 0.98 {
+                pass = false;
+                worst = Some((s, none, passive));
+            }
+        }
+        checks.push(ShapeCheck {
+            name: "passive >= no-replication throughput",
+            pass,
+            detail: match worst {
+                None => "passive at or above the unreplicated system at every size".into(),
+                Some((s, n, p)) => format!("violated at {s} B: none={n:.0} KB/s, passive={p:.0} KB/s"),
+            },
+        });
+    }
+
+    // Claim 2: active replication costs throughput (doubled protocol
+    // stack calls), staying at or below the unreplicated system.
+    {
+        let mut pass = true;
+        let mut worst = String::new();
+        for &s in sizes {
+            let none = get(ReplicationStyle::Single, s, Metric::KbytesPerSec);
+            let active = get(ReplicationStyle::Active, s, Metric::KbytesPerSec);
+            if active > none * 1.02 {
+                pass = false;
+                worst = format!("violated at {s} B: none={none:.0}, active={active:.0} KB/s");
+            }
+        }
+        checks.push(ShapeCheck {
+            name: "active <= no-replication throughput",
+            pass,
+            detail: if pass { "active pays for the duplicated sends everywhere".into() } else { worst },
+        });
+    }
+
+    // Claim 3: passive stays below 2x the unreplicated system — the
+    // protocol becomes CPU-bound, not network-bound (§8).
+    if has(1400) {
+        let none = get(ReplicationStyle::Single, 1400, Metric::KbytesPerSec);
+        let passive = get(ReplicationStyle::Passive, 1400, Metric::KbytesPerSec);
+        let ratio = passive / none;
+        checks.push(ShapeCheck {
+            name: "passive below 2x unreplicated (CPU-bound)",
+            pass: ratio > 1.02 && ratio < 2.0,
+            detail: format!("passive/none at 1400 B = {ratio:.2}"),
+        });
+    }
+
+    // Claim 4: packing peaks at 700 and 1400 bytes (msgs/sec local
+    // maxima against the neighbouring sizes).
+    if has(500) && has(700) && has(900) {
+        let r = |s| get(ReplicationStyle::Single, s, Metric::MsgsPerSec);
+        // A peak in *efficiency*: at 700 B two messages fill a frame
+        // exactly, so the rate must not drop as fast as payload grows —
+        // compare throughput in bytes.
+        let b = |s| get(ReplicationStyle::Single, s, Metric::KbytesPerSec);
+        let peak = b(700) > b(500) && b(700) > b(900);
+        checks.push(ShapeCheck {
+            name: "packing peak at 700 bytes",
+            pass: peak,
+            detail: format!(
+                "bandwidth at 500/700/900 B = {:.0}/{:.0}/{:.0} KB/s (rate {:.0}/{:.0}/{:.0})",
+                b(500), b(700), b(900), r(500), r(700), r(900)
+            ),
+        });
+    }
+    if has(1200) && has(1400) && has(1700) {
+        let b = |s| get(ReplicationStyle::Single, s, Metric::KbytesPerSec);
+        checks.push(ShapeCheck {
+            name: "packing peak at 1400 bytes",
+            pass: b(1400) > b(1200) && b(1400) > b(1700),
+            detail: format!("bandwidth at 1200/1400/1700 B = {:.0}/{:.0}/{:.0} KB/s", b(1200), b(1400), b(1700)),
+        });
+    }
+
+    // Claim 5 (§2 headline, 4-node testbed only): >9,000 1-Kbyte
+    // msgs/sec on one 100 Mbit/s Ethernet, ~90% utilization near the
+    // frame-filling sizes.
+    if spec.nodes == 4 && has(1000) {
+        let rate = get(ReplicationStyle::Single, 1000, Metric::MsgsPerSec);
+        checks.push(ShapeCheck {
+            name: "~9,000 1-Kbyte msgs/sec unreplicated",
+            pass: (8000.0..11000.0).contains(&rate),
+            detail: format!("measured {rate:.0} msgs/sec"),
+        });
+        let util = result.point(ReplicationStyle::Single, 1400).utilization[0];
+        checks.push(ShapeCheck {
+            name: "~90% Ethernet utilization at 1400 bytes",
+            pass: util > 0.8,
+            detail: format!("utilization {:.1}%", util * 100.0),
+        });
+    }
+
+    checks
+}
+
+/// Prints the checks beneath a figure table. Returns `true` if all
+/// passed.
+pub fn print_checks(checks: &[ShapeCheck]) -> bool {
+    println!();
+    let mut all = true;
+    for c in checks {
+        println!("  [{}] {} — {}", if c.pass { "PASS" } else { "FAIL" }, c.name, c.detail);
+        all &= c.pass;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig6, SERIES};
+
+    fn fake_result(sizes: &[usize], f: impl Fn(ReplicationStyle, usize) -> f64) -> SweepResult {
+        SweepResult {
+            sizes: sizes.to_vec(),
+            series: SERIES
+                .iter()
+                .map(|&style| {
+                    let pts = sizes
+                        .iter()
+                        .map(|&s| {
+                            let v = f(style, s);
+                            Throughput {
+                                msgs_per_sec: v / s as f64 * 1000.0,
+                                kbytes_per_sec: v,
+                                latency_mean_us: 100.0,
+                                utilization: vec![0.9, 0.9],
+                            }
+                        })
+                        .collect();
+                    (style, pts)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ideal_shapes_pass_all_checks() {
+        let sizes = [500, 700, 900, 1000, 1200, 1400, 1700];
+        let result = fake_result(&sizes, |style, s| {
+            let base = match s {
+                700 => 11000.0,
+                1400 => 11500.0,
+                1000 | 1200 => 9200.0,
+                _ => 9000.0,
+            };
+            match style {
+                ReplicationStyle::Single => base,
+                ReplicationStyle::Active => base - 1200.0,
+                ReplicationStyle::Passive => base * 1.4,
+                _ => base,
+            }
+        });
+        let checks = shape_checks(&fig6(), &result);
+        // The headline-rate check needs msgs/sec ≈ 9.2 at 1000 B via
+        // the fake conversion (9200/1000*1000 = 9200): passes.
+        assert!(checks.iter().all(|c| c.pass), "failed: {:?}",
+            checks.iter().filter(|c| !c.pass).map(|c| c.name).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverted_ordering_fails_the_ordering_checks() {
+        let sizes = [500, 700, 900, 1400];
+        let result = fake_result(&sizes, |style, _| match style {
+            ReplicationStyle::Single => 9000.0,
+            ReplicationStyle::Active => 12000.0, // wrong: active must not win
+            ReplicationStyle::Passive => 5000.0, // wrong: passive must not lose
+            _ => 9000.0,
+        });
+        let checks = shape_checks(&fig6(), &result);
+        let by_name = |n: &str| checks.iter().find(|c| c.name == n).unwrap();
+        assert!(!by_name("passive >= no-replication throughput").pass);
+        assert!(!by_name("active <= no-replication throughput").pass);
+    }
+}

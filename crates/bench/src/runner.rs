@@ -1,0 +1,29 @@
+//! Shared driver for the four figure benches.
+
+use totem_sim::SimDuration;
+
+use crate::figures::{figure_sweep, FigureSpec, PAPER_SIZES, QUICK_SIZES};
+use crate::report::{print_checks, print_figure, shape_checks};
+
+/// Runs one paper figure end to end: sweep, table, shape checks.
+///
+/// Set `TOTEM_QUICK=1` to use the reduced size list and a shorter
+/// measurement window. Returns `true` when every shape check passed.
+pub fn run_figure(spec: &FigureSpec) -> bool {
+    let quick = std::env::var_os("TOTEM_QUICK").is_some();
+    let (sizes, window) = if quick {
+        (QUICK_SIZES, SimDuration::from_millis(300))
+    } else {
+        (PAPER_SIZES, SimDuration::from_secs(1))
+    };
+    let result = figure_sweep(spec, sizes, window);
+    print_figure(spec, &result);
+    let checks = shape_checks(spec, &result);
+    let all = print_checks(&checks);
+    println!(
+        "\n{}: {}",
+        spec.id,
+        if all { "all shape checks passed" } else { "SOME SHAPE CHECKS FAILED" }
+    );
+    all
+}

@@ -1,0 +1,9 @@
+//! Library backing the `totem` command-line tool (see
+//! [`commands::USAGE`] for the commands). Split from the binary so
+//! the subcommands are integration-testable in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,306 @@
+//! Threaded real-time host: one driver thread per node over a real
+//! [`Transport`].
+//!
+//! The driver loop waits on the transport with a timeout equal to the
+//! node's next protocol deadline, decodes packets, feeds the state
+//! machine, puts its sends back on the wire, and forwards deliveries,
+//! configuration changes and fault reports to the application through
+//! a channel.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use totem_rrp::FaultReport;
+use totem_srp::{ConfigChange, Delivered};
+use totem_transport::{Destination, Transport};
+use totem_wire::Packet;
+
+use crate::node::{NodeOutput, TotemNode};
+
+/// How a node enters the ring at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// Statically bootstrapped member that waits for the token.
+    Member,
+    /// Statically bootstrapped representative: injects the initial
+    /// token.
+    Representative,
+    /// Cold start through the membership protocol.
+    Joining,
+}
+
+/// Events forwarded to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// A totally ordered application message.
+    Delivered(Delivered),
+    /// A membership change.
+    Config(ConfigChange),
+    /// A network fault report (paper §3).
+    Fault(FaultReport),
+    /// A previously faulty network was put back in service.
+    Reinstated {
+        /// The repaired network.
+        net: totem_wire::NetworkId,
+        /// When, in nanoseconds of protocol time.
+        at: u64,
+    },
+}
+
+enum Cmd {
+    Submit(Bytes),
+    Reinstate(totem_wire::NetworkId),
+    Shutdown,
+}
+
+/// Handle to a running node.
+#[derive(Debug)]
+pub struct RuntimeHandle {
+    cmd_tx: Sender<Cmd>,
+    events_rx: Receiver<RuntimeEvent>,
+    join: Option<std::thread::JoinHandle<TotemNode>>,
+}
+
+impl RuntimeHandle {
+    /// Queues an application message for ordered broadcast. The driver
+    /// retries internally on flow-control backpressure.
+    pub fn submit(&self, data: Bytes) {
+        let _ = self.cmd_tx.send(Cmd::Submit(data));
+    }
+
+    /// Administrative repair: puts a faulty network back in service on
+    /// this node (see [`totem_rrp::RrpLayer::reinstate`]).
+    pub fn reinstate(&self, net: totem_wire::NetworkId) {
+        let _ = self.cmd_tx.send(Cmd::Reinstate(net));
+    }
+
+    /// The stream of deliveries, configuration changes and fault
+    /// reports.
+    pub fn events(&self) -> &Receiver<RuntimeEvent> {
+        &self.events_rx
+    }
+
+    /// Convenience: waits up to `timeout` for the next event.
+    pub fn next_event(&self, timeout: Duration) -> Option<RuntimeEvent> {
+        self.events_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stops the driver and returns the final node state.
+    pub fn shutdown(mut self) -> TotemNode {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        self.join.take().expect("not yet joined").join().expect("driver thread panicked")
+    }
+}
+
+impl Drop for RuntimeHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.cmd_tx.send(Cmd::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns the driver thread for `node` over `transport`.
+///
+/// # Example
+///
+/// A two-node cluster over the in-memory transport:
+///
+/// ```
+/// # use totem_cluster::{spawn_node, RuntimeEvent, StartMode, TotemNode};
+/// # use totem_rrp::{ReplicationStyle, RrpConfig};
+/// # use totem_srp::SrpConfig;
+/// # use totem_transport::InMemoryHub;
+/// # use totem_wire::NodeId;
+/// # use std::time::Duration;
+/// let members = [NodeId::new(0), NodeId::new(1)];
+/// let handles: Vec<_> = InMemoryHub::new(2, 2)
+///     .into_iter()
+///     .enumerate()
+///     .map(|(i, t)| {
+///         let node = TotemNode::new_operational(
+///             NodeId::new(i as u16), &members,
+///             SrpConfig::default(), RrpConfig::new(ReplicationStyle::Active, 2), 0);
+///         let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
+///         spawn_node(node, t, mode)
+///     })
+///     .collect();
+/// handles[0].submit(bytes::Bytes::from_static(b"hello"));
+/// let mut got = false;
+/// for _ in 0..200 {
+///     if let Some(RuntimeEvent::Delivered(d)) = handles[1].next_event(Duration::from_millis(50)) {
+///         got = d.data == b"hello"[..];
+///         if got { break; }
+///     }
+/// }
+/// assert!(got);
+/// # for h in handles { h.shutdown(); }
+/// ```
+pub fn spawn_node<T: Transport + 'static>(mut node: TotemNode, transport: T, start: StartMode) -> RuntimeHandle {
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (events_tx, events_rx) = unbounded();
+    let join = std::thread::Builder::new()
+        .name(format!("totem-{}", node.id()))
+        .spawn(move || {
+            drive(&mut node, &transport, start, &cmd_rx, &events_tx);
+            node
+        })
+        .expect("spawn totem driver thread");
+    RuntimeHandle { cmd_tx, events_rx, join: Some(join) }
+}
+
+fn drive<T: Transport>(
+    node: &mut TotemNode,
+    transport: &T,
+    start: StartMode,
+    cmd_rx: &Receiver<Cmd>,
+    events_tx: &Sender<RuntimeEvent>,
+) {
+    let epoch = Instant::now();
+    let now_ns = || epoch.elapsed().as_nanos() as u64;
+
+    let mut pending: Vec<Bytes> = Vec::new();
+    let outputs = match start {
+        StartMode::Member => Vec::new(),
+        StartMode::Representative => node.bootstrap_token(now_ns()),
+        StartMode::Joining => node.start(now_ns()),
+    };
+    perform(outputs, transport, events_tx);
+
+    loop {
+        // Application commands.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(Cmd::Submit(data)) => pending.push(data),
+                Ok(Cmd::Reinstate(net)) => {
+                    if node.reinstate(now_ns(), net) {
+                        let _ = events_tx.send(RuntimeEvent::Reinstated { net, at: now_ns() });
+                    }
+                }
+                Ok(Cmd::Shutdown) => return,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        // Feed pending submissions while the queue has room.
+        while let Some(data) = pending.first().cloned() {
+            match node.submit(now_ns(), data) {
+                Ok(outs) => {
+                    pending.remove(0);
+                    perform(outs, transport, events_tx);
+                }
+                Err(_) => break, // backpressure: retry next iteration
+            }
+        }
+        // Wait for traffic or the next deadline.
+        let now = now_ns();
+        let timeout = match node.next_deadline() {
+            Some(d) if d > now => Duration::from_nanos((d - now).min(50_000_000)),
+            Some(_) => Duration::ZERO,
+            None => Duration::from_millis(50),
+        };
+        if let Some((net, bytes)) = transport.recv_timeout(timeout) {
+            if let Ok(pkt) = Packet::decode(&bytes) {
+                let outs = node.on_packet(now_ns(), net, pkt);
+                perform(outs, transport, events_tx);
+            }
+        }
+        let now = now_ns();
+        if node.next_deadline().is_some_and(|d| d <= now) {
+            let outs = node.on_timer(now);
+            perform(outs, transport, events_tx);
+        }
+    }
+}
+
+fn perform<T: Transport>(outputs: Vec<NodeOutput>, transport: &T, events_tx: &Sender<RuntimeEvent>) {
+    for out in outputs {
+        match out {
+            NodeOutput::Send { net, dst, pkt } => {
+                let dest = match dst {
+                    None => Destination::Broadcast,
+                    Some(d) => Destination::Node(d),
+                };
+                // Treat transient send failures as packet loss; the
+                // protocol retransmits.
+                let _ = transport.send(net, dest, &pkt.encode());
+            }
+            NodeOutput::Deliver(d) => {
+                let _ = events_tx.send(RuntimeEvent::Delivered(d));
+            }
+            NodeOutput::Config(c) => {
+                let _ = events_tx.send(RuntimeEvent::Config(c));
+            }
+            NodeOutput::Fault(f) => {
+                let _ = events_tx.send(RuntimeEvent::Fault(f));
+            }
+            NodeOutput::Reinstated { net, at } => {
+                let _ = events_tx.send(RuntimeEvent::Reinstated { net, at });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totem_rrp::{ReplicationStyle, RrpConfig};
+    use totem_srp::SrpConfig;
+    use totem_transport::InMemoryHub;
+    use totem_wire::NodeId;
+
+    fn cluster(n: usize, style: ReplicationStyle, networks: usize) -> Vec<RuntimeHandle> {
+        let members: Vec<NodeId> = (0..n as u16).map(NodeId::new).collect();
+        let transports = InMemoryHub::new(n, networks);
+        transports
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let me = NodeId::new(i as u16);
+                let node = TotemNode::new_operational(
+                    me,
+                    &members,
+                    SrpConfig::default(),
+                    RrpConfig::new(style, networks),
+                    0,
+                );
+                let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
+                spawn_node(node, t, mode)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_cluster_delivers_over_in_memory_transport() {
+        let handles = cluster(3, ReplicationStyle::Active, 2);
+        handles[1].submit(Bytes::from_static(b"threaded hello"));
+        for (i, h) in handles.iter().enumerate() {
+            let mut got = false;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < deadline {
+                match h.next_event(Duration::from_millis(200)) {
+                    Some(RuntimeEvent::Delivered(d)) if &d.data[..] == b"threaded hello" => {
+                        got = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(got, "node {i} never delivered");
+        }
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_node_state() {
+        let mut handles = cluster(2, ReplicationStyle::Single, 1);
+        let h = handles.remove(0);
+        let node = h.shutdown();
+        assert_eq!(node.id(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,529 @@
+//! A whole Totem cluster inside the deterministic simulator.
+//!
+//! [`SimCluster`] hosts N [`TotemNode`]s as actors of a
+//! [`totem_sim::SimWorld`], wiring protocol sends to the simulated
+//! networks and collecting deliveries, configuration changes and
+//! fault reports per node. It is the substrate for the integration
+//! tests and for every figure of the paper's evaluation.
+
+use bytes::Bytes;
+
+use totem_rrp::{FaultReport, ReplicationStyle, RrpConfig};
+use totem_sim::{Actor, Ctx, FaultCommand, SimConfig, SimStats, SimTime, SimWorld};
+use totem_srp::{ConfigChange, Delivered, SrpConfig, SrpState, SubmitError};
+use totem_wire::{NetworkId, NodeId};
+
+use crate::node::{NodeOutput, TotemNode};
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Replication style under test.
+    pub style: ReplicationStyle,
+    /// Number of redundant networks (defaulted from the style).
+    pub networks: usize,
+    /// Single ring protocol parameters.
+    pub srp: SrpConfig,
+    /// Redundant ring layer parameters.
+    pub rrp: RrpConfig,
+    /// Simulator parameters (network + CPU models, seed).
+    pub sim: SimConfig,
+    /// Start through the membership protocol instead of a static ring.
+    pub joining: bool,
+    /// Keep full per-node delivery logs (tests) or only counters
+    /// (benchmarks).
+    pub record_deliveries: bool,
+}
+
+impl ClusterConfig {
+    /// Defaults for `nodes` nodes under `style`: 2 networks for
+    /// active/passive, K+1 for active-passive, 1 for the unreplicated
+    /// baseline; 100 Mbit/s Ethernets; the paper's first-testbed CPU
+    /// model.
+    pub fn new(nodes: usize, style: ReplicationStyle) -> Self {
+        let networks = match style {
+            ReplicationStyle::Single => 1,
+            ReplicationStyle::Active | ReplicationStyle::Passive => 2,
+            ReplicationStyle::ActivePassive { copies } => copies as usize + 1,
+        };
+        ClusterConfig {
+            nodes,
+            style,
+            networks,
+            srp: SrpConfig::default(),
+            rrp: RrpConfig::new(style, networks),
+            sim: SimConfig::lan(nodes, networks),
+            joining: false,
+            record_deliveries: true,
+        }
+    }
+
+    /// Overrides the network count (keeping per-network models).
+    pub fn with_networks(mut self, networks: usize) -> Self {
+        assert!(networks > 0, "need at least one network");
+        self.networks = networks;
+        self.rrp.networks = networks;
+        let model = self.sim.networks[0].clone();
+        self.sim.networks = vec![model; networks];
+        self
+    }
+
+    /// Replaces the simulator configuration wholesale.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Starts all nodes through the membership protocol (cold start)
+    /// instead of a statically bootstrapped ring.
+    pub fn joining(mut self) -> Self {
+        self.joining = true;
+        self
+    }
+
+    /// Disables per-message delivery logs; only counters are kept
+    /// (benchmarks).
+    pub fn counters_only(mut self) -> Self {
+        self.record_deliveries = false;
+        self
+    }
+}
+
+/// Aggregated application-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Application messages delivered (summed over the queried nodes).
+    pub msgs: u64,
+    /// Application payload bytes delivered.
+    pub bytes: u64,
+    /// Sum of end-to-end latencies observed (saturation messages
+    /// carry their send timestamp), in nanoseconds.
+    pub latency_sum_ns: u128,
+    /// Number of latency samples.
+    pub latency_samples: u64,
+    /// Maximum latency observed, in nanoseconds.
+    pub latency_max_ns: u64,
+}
+
+impl ClusterCounters {
+    /// Mean delivery latency in nanoseconds, if any samples exist.
+    pub fn latency_mean_ns(&self) -> Option<u64> {
+        (self.latency_samples > 0).then(|| (self.latency_sum_ns / self.latency_samples as u128) as u64)
+    }
+
+    fn absorb(&mut self, other: &ClusterCounters) {
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+        self.latency_sum_ns += other.latency_sum_ns;
+        self.latency_samples += other.latency_samples;
+        self.latency_max_ns = self.latency_max_ns.max(other.latency_max_ns);
+    }
+}
+
+/// One node hosted in the simulator.
+struct ClusterActor {
+    node: TotemNode,
+    /// Per-delivery protocol processing cost model (see
+    /// `CpuConfig::deliver_cost`).
+    cpu: totem_sim::CpuConfig,
+    bootstrap: bool,
+    joining: bool,
+    record: bool,
+    /// Saturating workload: keep the send queue topped up with
+    /// messages of this many bytes (paper §8: "every node sent as many
+    /// messages as the Totem flow control mechanism permitted").
+    saturate: Option<usize>,
+    delivered: Vec<Delivered>,
+    /// Simulated delivery instant (nanoseconds) of each entry in
+    /// `delivered`.
+    delivered_at: Vec<u64>,
+    configs: Vec<ConfigChange>,
+    faults: Vec<FaultReport>,
+    reinstated: Vec<(NetworkId, u64)>,
+    counters: ClusterCounters,
+}
+
+impl ClusterActor {
+    fn handle(&mut self, now: SimTime, outputs: Vec<NodeOutput>, ctx: &mut Ctx<'_>) {
+        for out in outputs {
+            match out {
+                NodeOutput::Send { net, dst, pkt } => match dst {
+                    None => ctx.broadcast(net, pkt),
+                    Some(d) => ctx.unicast(net, d, pkt),
+                },
+                NodeOutput::Deliver(d) => {
+                    // Full protocol processing of a distinct message
+                    // (ordering, liveness, copy to the application) —
+                    // the cost the paper identifies as passive
+                    // replication's ceiling (§8).
+                    ctx.consume_cpu(self.cpu.deliver_cost(d.data.len()));
+                    self.counters.msgs += 1;
+                    self.counters.bytes += d.data.len() as u64;
+                    if self.saturate.is_some() && d.data.len() >= 8 {
+                        let ts = u64::from_be_bytes(d.data[..8].try_into().expect("8 bytes"));
+                        let lat = now.as_nanos().saturating_sub(ts);
+                        self.counters.latency_sum_ns += lat as u128;
+                        self.counters.latency_samples += 1;
+                        self.counters.latency_max_ns = self.counters.latency_max_ns.max(lat);
+                    }
+                    if self.record {
+                        self.delivered.push(d);
+                        self.delivered_at.push(now.as_nanos());
+                    }
+                }
+                NodeOutput::Config(c) => self.configs.push(c),
+                NodeOutput::Fault(f) => self.faults.push(f),
+                NodeOutput::Reinstated { net, at } => self.reinstated.push((net, at)),
+            }
+        }
+    }
+
+    fn pump(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(size) = self.saturate else { return };
+        // Keep a healthy backlog without churning the full queue
+        // limit on every callback.
+        while self.node.srp().send_queue_len() < 64 {
+            let mut body = vec![0u8; size.max(8)];
+            body[..8].copy_from_slice(&now.as_nanos().to_be_bytes());
+            match self.node.submit(now.as_nanos(), Bytes::from(body)) {
+                Ok(outs) => self.handle(now, outs, ctx),
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>) {
+        match self.node.next_deadline() {
+            Some(d) => ctx.set_alarm(SimTime::from_nanos(d)),
+            None => ctx.cancel_alarm(),
+        }
+    }
+}
+
+impl Actor for ClusterActor {
+    fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let outputs = if self.joining {
+            self.node.start(now.as_nanos())
+        } else if self.bootstrap {
+            self.node.bootstrap_token(now.as_nanos())
+        } else {
+            Vec::new()
+        };
+        self.handle(now, outputs, ctx);
+        self.pump(now, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_packet(&mut self, now: SimTime, net: NetworkId, _from: NodeId, pkt: totem_wire::Packet, ctx: &mut Ctx<'_>) {
+        let outputs = self.node.on_packet(now.as_nanos(), net, pkt);
+        self.handle(now, outputs, ctx);
+        self.pump(now, ctx);
+        self.arm(ctx);
+    }
+
+    fn on_alarm(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let outputs = self.node.on_timer(now.as_nanos());
+        self.handle(now, outputs, ctx);
+        self.pump(now, ctx);
+        self.arm(ctx);
+    }
+}
+
+/// A simulated Totem cluster. See the [crate example](crate).
+pub struct SimCluster {
+    world: SimWorld<ClusterActor>,
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster").field("now", &self.world.now()).finish()
+    }
+}
+
+impl SimCluster {
+    /// Builds and wires the cluster (nothing runs until
+    /// [`SimCluster::run_until`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (mismatched network
+    /// counts, invalid protocol configs).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert_eq!(cfg.networks, cfg.rrp.networks, "network counts must agree");
+        assert_eq!(cfg.networks, cfg.sim.network_count(), "sim network count must agree");
+        assert_eq!(cfg.nodes, cfg.sim.nodes, "sim node count must agree");
+        let members: Vec<NodeId> = (0..cfg.nodes as u16).map(NodeId::new).collect();
+        let actors = members
+            .iter()
+            .map(|&me| {
+                let node = if cfg.joining {
+                    TotemNode::new_joining(me, cfg.srp.clone(), cfg.rrp.clone())
+                } else {
+                    TotemNode::new_operational(me, &members, cfg.srp.clone(), cfg.rrp.clone(), 0)
+                };
+                ClusterActor {
+                    node,
+                    cpu: cfg.sim.cpus[me.index()].clone(),
+                    bootstrap: !cfg.joining && me == members[0],
+                    joining: cfg.joining,
+                    record: cfg.record_deliveries,
+                    saturate: None,
+                    delivered: Vec::new(),
+                    delivered_at: Vec::new(),
+                    configs: Vec::new(),
+                    faults: Vec::new(),
+                    reinstated: Vec::new(),
+                    counters: ClusterCounters::default(),
+                }
+            })
+            .collect();
+        SimCluster { world: SimWorld::new(cfg.sim.clone(), actors) }
+    }
+
+    /// Advances the simulation to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Queues an application message on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] on flow-control backpressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn try_submit(&mut self, node: usize, data: Bytes) -> Result<(), SubmitError> {
+        self.world.with_actor(NodeId::new(node as u16), |a, now, ctx| {
+            let outs = a.node.submit(now.as_nanos(), data)?;
+            a.handle(now, outs, ctx);
+            a.arm(ctx);
+            Ok(())
+        })
+    }
+
+    /// Queues an application message, panicking on backpressure
+    /// (convenient in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's send queue is full or `node` is out of
+    /// range.
+    pub fn submit(&mut self, node: usize, data: Bytes) {
+        self.try_submit(node, data).expect("send queue full");
+    }
+
+    /// Turns on the saturating workload on every node: each keeps its
+    /// send queue topped up with `msg_size`-byte messages (minimum 8;
+    /// a send timestamp rides in the first 8 bytes for latency
+    /// accounting). This is the paper's §8 workload ("every node sent
+    /// as many messages as the Totem flow control mechanism
+    /// permitted").
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use totem_cluster::{ClusterConfig, SimCluster};
+    /// # use totem_rrp::ReplicationStyle;
+    /// # use totem_sim::SimTime;
+    /// let cfg = ClusterConfig::new(4, ReplicationStyle::Single).counters_only();
+    /// let mut cluster = SimCluster::new(cfg);
+    /// cluster.enable_saturation(1000);
+    /// cluster.run_until(SimTime::from_millis(100));
+    /// assert!(cluster.counters().msgs > 1000, "the ring should be saturated");
+    /// ```
+    pub fn enable_saturation(&mut self, msg_size: usize) {
+        for i in 0..self.nodes() {
+            self.world.with_actor(NodeId::new(i as u16), |a, now, ctx| {
+                a.saturate = Some(msg_size);
+                a.pump(now, ctx);
+                a.arm(ctx);
+            });
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.world.config().nodes
+    }
+
+    /// Messages delivered at `node`, in delivery order (empty when
+    /// built with [`ClusterConfig::counters_only`]).
+    pub fn delivered(&self, node: usize) -> &[Delivered] {
+        &self.world.actor(NodeId::new(node as u16)).delivered
+    }
+
+    /// Simulated delivery instants (nanoseconds) matching
+    /// [`SimCluster::delivered`] one-to-one.
+    pub fn delivery_times(&self, node: usize) -> &[u64] {
+        &self.world.actor(NodeId::new(node as u16)).delivered_at
+    }
+
+    /// Configuration changes delivered at `node`.
+    pub fn configs(&self, node: usize) -> &[ConfigChange] {
+        &self.world.actor(NodeId::new(node as u16)).configs
+    }
+
+    /// Fault reports raised at `node`.
+    pub fn faults(&self, node: usize) -> &[FaultReport] {
+        &self.world.actor(NodeId::new(node as u16)).faults
+    }
+
+    /// Reinstatement events observed at `node`: `(network, at-nanos)`.
+    pub fn reinstatements(&self, node: usize) -> &[(NetworkId, u64)] {
+        &self.world.actor(NodeId::new(node as u16)).reinstated
+    }
+
+    /// Administrative repair of a faulty network at one node (see
+    /// [`totem_rrp::RrpLayer::reinstate`]).
+    pub fn reinstate(&mut self, node: usize, net: NetworkId) -> bool {
+        self.world.with_actor(NodeId::new(node as u16), |a, now, ctx| {
+            let r = a.node.reinstate(now.as_nanos(), net);
+            a.arm(ctx);
+            r
+        })
+    }
+
+    /// Counters of one node.
+    pub fn node_counters(&self, node: usize) -> ClusterCounters {
+        self.world.actor(NodeId::new(node as u16)).counters
+    }
+
+    /// Counters summed over all nodes.
+    pub fn counters(&self) -> ClusterCounters {
+        let mut total = ClusterCounters::default();
+        for a in self.world.actors() {
+            total.absorb(&a.counters);
+        }
+        total
+    }
+
+    /// SRP state of one node.
+    pub fn srp_state(&self, node: usize) -> SrpState {
+        self.world.actor(NodeId::new(node as u16)).node.state()
+    }
+
+    /// Ring membership of one node, if on a ring.
+    pub fn members(&self, node: usize) -> Option<Vec<NodeId>> {
+        self.world.actor(NodeId::new(node as u16)).node.srp().members().map(|m| m.to_vec())
+    }
+
+    /// Which networks `node` has marked faulty.
+    pub fn faulty_networks(&self, node: usize) -> Vec<bool> {
+        self.world.actor(NodeId::new(node as u16)).node.rrp().faulty()
+    }
+
+    /// Schedules a fault command at a simulated instant.
+    pub fn schedule_fault(&mut self, at: SimTime, cmd: FaultCommand) {
+        self.world.schedule_fault(at, cmd);
+    }
+
+    /// Applies a fault command immediately.
+    pub fn fault_now(&mut self, cmd: FaultCommand) {
+        self.world.fault_now(cmd);
+    }
+
+    /// Diagnostic snapshot of one node's RRP monitors.
+    pub fn monitor_report(&self, node: usize) -> Vec<(totem_rrp::MonitorKind, Vec<u64>)> {
+        self.world.actor(NodeId::new(node as u16)).node.rrp().monitor_report()
+    }
+
+    /// Wire-level statistics of the simulated networks.
+    pub fn net_stats(&self) -> &SimStats {
+        self.world.stats()
+    }
+
+    /// Enables wire-level tracing (see [`totem_sim::TraceLog`]),
+    /// retaining up to `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.world.enable_trace(capacity);
+    }
+
+    /// The wire-level trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&totem_sim::TraceLog> {
+        self.world.trace()
+    }
+
+    /// Per-node SRP statistics.
+    pub fn srp_stats(&self, node: usize) -> totem_srp::node::SrpStats {
+        self.world.actor(NodeId::new(node as u16)).node.srp().stats().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totem_sim::SimDuration;
+
+    #[test]
+    fn four_node_active_cluster_delivers_in_total_order() {
+        let mut c = SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(1));
+        for i in 0..4 {
+            c.submit(i, Bytes::from(format!("m{i}")));
+        }
+        c.run_until(SimTime::from_millis(500));
+        let reference: Vec<(NodeId, Bytes)> =
+            c.delivered(0).iter().map(|d| (d.sender, d.data.clone())).collect();
+        assert_eq!(reference.len(), 4);
+        for node in 1..4 {
+            let order: Vec<(NodeId, Bytes)> =
+                c.delivered(node).iter().map(|d| (d.sender, d.data.clone())).collect();
+            assert_eq!(order, reference, "node {node} disagrees on order");
+        }
+    }
+
+    #[test]
+    fn saturation_produces_sustained_throughput() {
+        let mut c = SimCluster::new(
+            ClusterConfig::new(4, ReplicationStyle::Single).counters_only().with_seed(2),
+        );
+        c.enable_saturation(1000);
+        c.run_until(SimTime::from_millis(500));
+        let counters = c.counters();
+        assert!(counters.msgs > 1000, "only {} messages in 500ms", counters.msgs);
+        assert!(counters.latency_mean_ns().unwrap() > 0);
+    }
+
+    #[test]
+    fn cold_start_via_membership_protocol() {
+        let mut c = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).joining());
+        c.run_until(SimTime::from_secs(2));
+        for n in 0..3 {
+            assert_eq!(c.srp_state(n), SrpState::Operational, "node {n} not operational");
+            assert_eq!(c.members(n).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn counters_only_mode_keeps_no_logs() {
+        let mut c = SimCluster::new(
+            ClusterConfig::new(2, ReplicationStyle::Single).counters_only().with_seed(3),
+        );
+        c.submit(0, Bytes::from_static(b"x"));
+        c.run_until(SimTime::from_millis(200));
+        assert!(c.delivered(0).is_empty());
+        assert_eq!(c.counters().msgs, 2, "both nodes count the delivery");
+    }
+
+    #[test]
+    fn run_for_composes_with_run_until() {
+        let mut c = SimCluster::new(ClusterConfig::new(2, ReplicationStyle::Single));
+        let t0 = c.now();
+        c.run_until(t0 + SimDuration::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_millis(5));
+    }
+}

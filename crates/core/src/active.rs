@@ -1,0 +1,343 @@
+//! Active replication (paper §5, Figure 2).
+//!
+//! Every message and token is sent over all non-faulty networks.
+//! Messages pass straight up (the SRP's sequence-number filter
+//! destroys duplicates — Requirement A1). Tokens are **gated**: a
+//! token is handed to the SRP only once a copy has arrived on every
+//! non-faulty network (Requirements A2 and A3), or when the token
+//! timer expires (Requirement A4). Each expiry increments the problem
+//! counter of the networks that failed to deliver; crossing a
+//! threshold marks the network faulty (A5), and a periodic decay of
+//! the counters keeps sporadic loss from accumulating into a false
+//! alarm (A6).
+//!
+//! The paper's Figure 2 pseudocode has two evident typos that we
+//! correct to the clearly intended semantics: `faulty[N]` in
+//! `sendToken` is read as `faulty[i]`, and the unindexed
+//! `faulty = true` in `tokenTimerExpired` as `faulty[i] = true`.
+
+use totem_wire::{NetworkId, Packet, Token};
+
+use crate::config::RrpConfig;
+use crate::fault::{FaultReason, FaultReport};
+use crate::layer::RrpEvent;
+
+/// Ordering key for token instances: `(ring seq, rotation, seq)`.
+/// Copies of the same token instance share the key; a genuinely newer
+/// token always compares greater (the ring leader bumps `rotation`
+/// every full rotation, even on an idle ring).
+pub(crate) fn token_key(t: &Token) -> (u64, u64, u64) {
+    (t.ring.seq, t.rotation, t.seq.as_u64())
+}
+
+/// State of the active replication algorithm (Figure 2).
+#[derive(Debug)]
+pub(crate) struct ActiveState {
+    pub faulty: Vec<bool>,
+    /// `recvLastToken[i]` of Figure 2.
+    recv_last: Vec<bool>,
+    /// The newest token seen (None once delivered upward).
+    last_token: Option<Token>,
+    last_key: Option<(u64, u64, u64)>,
+    /// Token timer of Figure 2.
+    timer: Option<u64>,
+    /// `problemCounter[i]` of Figure 2.
+    problem: Vec<u32>,
+    /// Next periodic decay of the problem counters (A6).
+    decay_at: u64,
+    /// Per-network instant until which fault declaration is suspended
+    /// after a reinstatement (0 = no grace active).
+    grace_until: Vec<u64>,
+}
+
+impl ActiveState {
+    pub fn new(cfg: &RrpConfig) -> Self {
+        ActiveState {
+            faulty: vec![false; cfg.networks],
+            recv_last: vec![false; cfg.networks],
+            last_token: None,
+            last_key: None,
+            timer: None,
+            problem: vec![0; cfg.networks],
+            decay_at: cfg.problem_decay_interval,
+            grace_until: vec![0; cfg.networks],
+        }
+    }
+
+    /// Networks to send on: all non-faulty ones, in index order (the
+    /// paper sends via n' first, n'' second, ...). If everything has
+    /// been declared faulty we keep sending on all networks — sending
+    /// nothing would kill a ring that might still limp along.
+    pub fn routes(&self) -> Vec<NetworkId> {
+        let healthy: Vec<NetworkId> = (0..self.faulty.len() as u8)
+            .map(NetworkId::new)
+            .filter(|n| !self.faulty[n.index()])
+            .collect();
+        if healthy.is_empty() {
+            (0..self.faulty.len() as u8).map(NetworkId::new).collect()
+        } else {
+            healthy
+        }
+    }
+
+    /// Figure 2 `recvToken`.
+    pub fn on_token(&mut self, now: u64, net: NetworkId, t: Token, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let key = token_key(&t);
+        match self.last_key {
+            Some(last) if key < last => return Vec::new(), // stale copy of an older token
+            Some(last) if key == last => {
+                if self.last_token.is_none() {
+                    // Already passed up (all copies or timer); later
+                    // copies are ignored (Figure 2 / Requirement A4).
+                    self.recv_last[net.index()] = true;
+                    return Vec::new();
+                }
+                self.recv_last[net.index()] = true;
+            }
+            _ => {
+                // A new token instance: reset the per-network flags and
+                // start the token timer. The timer is never restarted
+                // while running — a new token can only arrive after the
+                // previous one completed a rotation, at which point it
+                // was already delivered or timed out.
+                self.last_key = Some(key);
+                self.last_token = Some(t);
+                self.recv_last.iter_mut().for_each(|r| *r = false);
+                self.recv_last[net.index()] = true;
+                self.timer = Some(now + cfg.active_token_timeout);
+            }
+        }
+        let complete = self
+            .recv_last
+            .iter()
+            .zip(&self.faulty)
+            .all(|(&got, &faulty)| got || faulty);
+        if complete {
+            self.timer = None;
+            if let Some(tok) = self.last_token.take() {
+                return vec![RrpEvent::Deliver(Packet::Token(tok), net)];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Figure 2 `tokenTimerExpired` plus the periodic counter decay.
+    pub fn on_timer(&mut self, now: u64, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        if self.timer.is_some_and(|d| d <= now) {
+            self.timer = None;
+            for i in 0..self.problem.len() {
+                if !self.recv_last[i] && !self.faulty[i] && now >= self.grace_until[i] {
+                    self.problem[i] += 1;
+                    if self.problem[i] >= cfg.problem_threshold {
+                        self.faulty[i] = true;
+                        events.push(RrpEvent::Fault(FaultReport {
+                            net: NetworkId::new(i as u8),
+                            at: now,
+                            reason: FaultReason::TokenTimeouts { count: self.problem[i] },
+                        }));
+                    }
+                }
+            }
+            if let Some(tok) = self.last_token.take() {
+                events.push(RrpEvent::Deliver(
+                    Packet::Token(tok),
+                    // Attribute delivery to the first network that did
+                    // deliver a copy, if any.
+                    NetworkId::new(self.recv_last.iter().position(|&r| r).unwrap_or(0) as u8),
+                ));
+            }
+        }
+        if self.decay_at <= now {
+            for p in &mut self.problem {
+                *p = p.saturating_sub(1);
+            }
+            self.decay_at = now + cfg.problem_decay_interval;
+        }
+        events
+    }
+
+    pub fn next_deadline(&self) -> Option<u64> {
+        [self.timer, Some(self.decay_at)].into_iter().flatten().min()
+    }
+
+    /// Current problem counter of a network (tests/diagnostics).
+    pub fn problem_counter(&self, net: NetworkId) -> u32 {
+        self.problem[net.index()]
+    }
+
+    /// Puts a faulty network back in service with a cleared problem
+    /// counter and a declaration grace period. Returns whether it was
+    /// faulty.
+    pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
+        let was = self.faulty[net.index()];
+        self.faulty[net.index()] = false;
+        self.problem[net.index()] = 0;
+        self.grace_until[net.index()] = now + grace;
+        was
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationStyle;
+    use totem_wire::{NodeId, RingId, Seq};
+
+    fn cfg(n: usize) -> RrpConfig {
+        RrpConfig::new(ReplicationStyle::Active, n)
+    }
+
+    fn token(ring_seq: u64, rotation: u64, seq: u64) -> Token {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), ring_seq));
+        t.rotation = rotation;
+        t.seq = Seq::new(seq);
+        t
+    }
+
+    fn is_token_delivery(ev: &RrpEvent) -> bool {
+        matches!(ev, RrpEvent::Deliver(Packet::Token(_), _))
+    }
+
+    #[test]
+    fn token_waits_for_all_healthy_networks() {
+        let cfg = cfg(3);
+        let mut s = ActiveState::new(&cfg);
+        let t = token(1, 0, 5);
+        assert!(s.on_token(0, NetworkId::new(0), t.clone(), &cfg).is_empty());
+        assert!(s.on_token(10, NetworkId::new(2), t.clone(), &cfg).is_empty());
+        let ev = s.on_token(20, NetworkId::new(1), t, &cfg);
+        assert_eq!(ev.len(), 1);
+        assert!(is_token_delivery(&ev[0]));
+    }
+
+    #[test]
+    fn duplicate_copy_on_same_network_does_not_complete() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let t = token(1, 0, 5);
+        assert!(s.on_token(0, NetworkId::new(0), t.clone(), &cfg).is_empty());
+        assert!(s.on_token(1, NetworkId::new(0), t, &cfg).is_empty());
+    }
+
+    #[test]
+    fn timer_expiry_delivers_and_penalizes_missing_networks() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let t = token(1, 0, 5);
+        s.on_token(0, NetworkId::new(0), t, &cfg);
+        let deadline = s.next_deadline().unwrap();
+        assert_eq!(deadline, cfg.active_token_timeout);
+        let ev = s.on_timer(deadline, &cfg);
+        assert_eq!(ev.len(), 1);
+        assert!(is_token_delivery(&ev[0]));
+        assert_eq!(s.problem_counter(NetworkId::new(1)), 1);
+        assert_eq!(s.problem_counter(NetworkId::new(0)), 0);
+    }
+
+    #[test]
+    fn late_copy_after_timer_delivery_is_ignored() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let t = token(1, 0, 5);
+        s.on_token(0, NetworkId::new(0), t.clone(), &cfg);
+        s.on_timer(s.next_deadline().unwrap(), &cfg);
+        // The straggler arrives afterwards: no second delivery (A1 for
+        // tokens is handled here, not in the SRP).
+        assert!(s.on_token(999_999_999, NetworkId::new(1), t, &cfg).is_empty());
+    }
+
+    #[test]
+    fn repeated_timeouts_mark_network_faulty_and_report_once() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let mut faults = 0;
+        let mut rounds = 0;
+        for i in 0..cfg.problem_threshold + 3 {
+            let t = token(1, i as u64, i as u64);
+            s.on_token(u64::from(i) * 10_000_000, NetworkId::new(0), t, &cfg);
+            let Some(deadline) = s.timer else {
+                // Once net1 is faulty the lone healthy copy completes
+                // the token instantly — no timer is armed any more.
+                assert!(s.faulty[1]);
+                continue;
+            };
+            rounds += 1;
+            for ev in s.on_timer(deadline, &cfg) {
+                if let RrpEvent::Fault(r) = ev {
+                    faults += 1;
+                    assert_eq!(r.net, NetworkId::new(1));
+                    assert!(matches!(r.reason, FaultReason::TokenTimeouts { count } if count == cfg.problem_threshold));
+                }
+            }
+        }
+        assert_eq!(faults, 1, "a network is reported faulty exactly once");
+        assert_eq!(rounds, cfg.problem_threshold, "fault lands exactly at the threshold");
+        assert!(s.faulty[1]);
+    }
+
+    #[test]
+    fn after_fault_tokens_deliver_without_the_dead_network() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        s.faulty[1] = true;
+        let t = token(1, 0, 5);
+        let ev = s.on_token(0, NetworkId::new(0), t, &cfg);
+        assert_eq!(ev.len(), 1, "single healthy copy suffices once net1 is faulty");
+    }
+
+    #[test]
+    fn decay_prevents_sporadic_loss_accumulation() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        // One isolated timeout...
+        let t = token(1, 0, 1);
+        s.on_token(0, NetworkId::new(0), t, &cfg);
+        s.on_timer(s.timer.unwrap(), &cfg);
+        assert_eq!(s.problem_counter(NetworkId::new(1)), 1);
+        // ...decays away after an idle decay interval.
+        s.on_timer(s.decay_at, &cfg);
+        assert_eq!(s.problem_counter(NetworkId::new(1)), 0);
+        assert!(!s.faulty[1]);
+    }
+
+    #[test]
+    fn stale_older_token_copies_are_dropped() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let newer = token(1, 5, 50);
+        let older = token(1, 4, 50);
+        s.on_token(0, NetworkId::new(0), newer, &cfg);
+        assert!(s.on_token(1, NetworkId::new(1), older, &cfg).is_empty());
+        // The newer instance still completes when its second copy lands.
+        let newer = token(1, 5, 50);
+        let ev = s.on_token(2, NetworkId::new(1), newer, &cfg);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn all_faulty_routes_fall_back_to_all_networks() {
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        assert_eq!(s.routes().len(), 2);
+        s.faulty[0] = true;
+        assert_eq!(s.routes(), vec![NetworkId::new(1)]);
+        s.faulty[1] = true;
+        assert_eq!(s.routes().len(), 2, "never stop sending entirely");
+    }
+
+    #[test]
+    fn rotation_counter_distinguishes_idle_ring_tokens() {
+        // Two rotations with identical seq (idle ring): the second is
+        // a NEW instance, not a duplicate (paper §2 footnote 1).
+        let cfg = cfg(2);
+        let mut s = ActiveState::new(&cfg);
+        let r1 = token(1, 1, 7);
+        s.on_token(0, NetworkId::new(0), r1.clone(), &cfg);
+        s.on_token(1, NetworkId::new(1), r1, &cfg);
+        let r2 = token(1, 2, 7);
+        assert!(s.on_token(2, NetworkId::new(0), r2.clone(), &cfg).is_empty());
+        let ev = s.on_token(3, NetworkId::new(1), r2, &cfg);
+        assert_eq!(ev.len(), 1, "second rotation delivers again");
+    }
+}

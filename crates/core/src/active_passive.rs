@@ -1,0 +1,309 @@
+//! Active-passive replication (paper §7).
+//!
+//! Requires at least three networks. Each message and token is sent
+//! over **K** consecutive networks of a sliding round-robin window
+//! (`1 < K < N`): if the last send started at network `m`, the next
+//! uses networks `m+1 … m+K (mod N)`. The receive side is a two-stage
+//! pipeline: stage one is the passive-style Figure-5 monitor (message
+//! and token reception counts per network); stage two is the
+//! active-style token gate, passing a token up once **K** copies have
+//! arrived or a timeout occurs. Loss of a message on up to K−1
+//! networks is masked without a retransmission delay.
+
+use std::collections::HashMap;
+
+use totem_wire::{NetworkId, NodeId, Packet, Token};
+
+use crate::active::token_key;
+use crate::config::RrpConfig;
+use crate::fault::{FaultReason, FaultReport, MonitorKind};
+use crate::layer::RrpEvent;
+use crate::monitor::MonitorModule;
+
+/// State of the active-passive algorithm.
+#[derive(Debug)]
+pub(crate) struct ActivePassiveState {
+    k: usize,
+    pub faulty: Vec<bool>,
+    msg_rr: usize,
+    tok_rr: usize,
+    /// Separate window pointer for retransmissions served on other
+    /// senders' behalf (see the passive module for why).
+    retrans_rr: usize,
+    /// Stage two: which networks have delivered the current token
+    /// instance.
+    seen: Vec<bool>,
+    last_token: Option<Token>,
+    last_key: Option<(u64, u64, u64)>,
+    timer: Option<u64>,
+    /// Stage one: Figure-5 monitors.
+    token_monitor: MonitorModule,
+    msg_monitors: HashMap<NodeId, MonitorModule>,
+    /// Per-network reinstatement grace (see the passive module).
+    grace_until: Vec<u64>,
+}
+
+impl ActivePassiveState {
+    pub fn new(cfg: &RrpConfig, k: usize) -> Self {
+        ActivePassiveState {
+            k,
+            faulty: vec![false; cfg.networks],
+            msg_rr: 0,
+            tok_rr: 0,
+            retrans_rr: 0,
+            seen: vec![false; cfg.networks],
+            last_token: None,
+            last_key: None,
+            timer: None,
+            token_monitor: MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every),
+            msg_monitors: HashMap::new(),
+            grace_until: vec![0; cfg.networks],
+        }
+    }
+
+    fn level_monitors(&mut self, net: NetworkId) {
+        self.token_monitor.reinstate(net);
+        for m in self.msg_monitors.values_mut() {
+            m.reinstate(net);
+        }
+    }
+
+    /// K consecutive non-faulty networks starting after the pointer;
+    /// the window start advances by one per send.
+    fn window(rr: &mut usize, k: usize, faulty: &[bool]) -> Vec<NetworkId> {
+        let n = faulty.len();
+        *rr = (*rr + 1) % n;
+        let mut out = Vec::with_capacity(k);
+        let mut idx = *rr;
+        for _ in 0..n {
+            if !faulty[idx] {
+                out.push(NetworkId::new(idx as u8));
+                if out.len() == k {
+                    break;
+                }
+            }
+            idx = (idx + 1) % n;
+        }
+        if out.is_empty() {
+            // Everything marked faulty: fall back to the plain window.
+            out = (0..k).map(|i| NetworkId::new(((*rr + i) % n) as u8)).collect();
+        }
+        out
+    }
+
+    /// Networks for the next message.
+    pub fn routes_message(&mut self) -> Vec<NetworkId> {
+        Self::window(&mut self.msg_rr, self.k, &self.faulty)
+    }
+
+    /// Networks for the next token.
+    pub fn routes_token(&mut self) -> Vec<NetworkId> {
+        Self::window(&mut self.tok_rr, self.k, &self.faulty)
+    }
+
+    /// Networks for a retransmission served on another sender's
+    /// behalf.
+    pub fn routes_retransmission(&mut self) -> Vec<NetworkId> {
+        Self::window(&mut self.retrans_rr, self.k, &self.faulty)
+    }
+
+    /// Stage one for message-class packets.
+    pub fn on_message(&mut self, now: u64, net: NetworkId, sender: NodeId, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let monitor = self
+            .msg_monitors
+            .entry(sender)
+            .or_insert_with(|| MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every));
+        let suspects = monitor.record(net, &self.faulty);
+        self.flag(now, suspects, MonitorKind::Messages { sender })
+    }
+
+    /// Stage one (token monitor) then stage two (K-copy gate).
+    pub fn on_token(&mut self, now: u64, net: NetworkId, t: Token, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let suspects = self.token_monitor.record(net, &self.faulty);
+        let mut events = self.flag(now, suspects, MonitorKind::Token);
+        let key = token_key(&t);
+        match self.last_key {
+            Some(last) if key < last => return events,
+            Some(last) if key == last => {
+                if self.last_token.is_none() {
+                    self.seen[net.index()] = true;
+                    return events; // already delivered; ignore stragglers
+                }
+                self.seen[net.index()] = true;
+            }
+            _ => {
+                self.last_key = Some(key);
+                self.last_token = Some(t);
+                self.seen.iter_mut().for_each(|s| *s = false);
+                self.seen[net.index()] = true;
+                self.timer = Some(now + cfg.active_token_timeout);
+            }
+        }
+        let copies = self.seen.iter().filter(|&&s| s).count();
+        if copies >= self.k {
+            self.timer = None;
+            if let Some(tok) = self.last_token.take() {
+                events.push(RrpEvent::Deliver(Packet::Token(tok), net));
+            }
+        }
+        events
+    }
+
+    /// Timeout path of stage two plus grace-expiry bookkeeping.
+    /// (Compensation is message-driven, inside the monitor modules.)
+    pub fn on_timer(&mut self, now: u64, _cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        if self.timer.is_some_and(|d| d <= now) {
+            self.timer = None;
+            if let Some(tok) = self.last_token.take() {
+                let net = NetworkId::new(self.seen.iter().position(|&s| s).unwrap_or(0) as u8);
+                events.push(RrpEvent::Deliver(Packet::Token(tok), net));
+            }
+        }
+        for i in 0..self.grace_until.len() {
+            if self.grace_until[i] != 0 && now >= self.grace_until[i] {
+                self.grace_until[i] = 0;
+                self.level_monitors(NetworkId::new(i as u8));
+            }
+        }
+        events
+    }
+
+    pub fn next_deadline(&self) -> Option<u64> {
+        let grace = self.grace_until.iter().copied().filter(|&g| g != 0).min();
+        [self.timer, grace].into_iter().flatten().min()
+    }
+
+    fn flag(&mut self, now: u64, suspects: Vec<(NetworkId, u64)>, monitor: MonitorKind) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        for (net, behind) in suspects {
+            if now < self.grace_until[net.index()] {
+                continue; // reinstatement grace: observe, don't declare
+            }
+            if !self.faulty[net.index()] {
+                self.faulty[net.index()] = true;
+                events.push(RrpEvent::Fault(FaultReport {
+                    net,
+                    at: now,
+                    reason: FaultReason::ReceptionLag { behind, monitor },
+                }));
+            }
+        }
+        events
+    }
+
+    /// Puts a faulty network back in service, leveling its reception
+    /// counts and starting a declaration grace period. Returns whether
+    /// it was faulty.
+    pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
+        let was = self.faulty[net.index()];
+        self.faulty[net.index()] = false;
+        self.level_monitors(net);
+        self.grace_until[net.index()] = now + grace;
+        was
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationStyle;
+    use totem_wire::{RingId, Seq};
+
+    fn cfg(n: usize, k: u8) -> RrpConfig {
+        RrpConfig::new(ReplicationStyle::ActivePassive { copies: k }, n)
+    }
+
+    fn token(rotation: u64, seq: u64) -> Token {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+        t.rotation = rotation;
+        t.seq = Seq::new(seq);
+        t
+    }
+
+    #[test]
+    fn window_slides_by_one_and_has_k_networks() {
+        let cfg = cfg(4, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        let w1: Vec<u8> = s.routes_message().iter().map(|n| n.as_u8()).collect();
+        let w2: Vec<u8> = s.routes_message().iter().map(|n| n.as_u8()).collect();
+        let w3: Vec<u8> = s.routes_message().iter().map(|n| n.as_u8()).collect();
+        assert_eq!(w1, vec![1, 2]);
+        assert_eq!(w2, vec![2, 3]);
+        assert_eq!(w3, vec![3, 0]);
+    }
+
+    #[test]
+    fn window_skips_faulty_networks() {
+        let cfg = cfg(4, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        s.faulty[2] = true;
+        let w: Vec<u8> = s.routes_message().iter().map(|n| n.as_u8()).collect();
+        assert_eq!(w, vec![1, 3]);
+    }
+
+    #[test]
+    fn token_delivers_after_k_copies() {
+        let cfg = cfg(3, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        let t = token(0, 4);
+        assert!(s
+            .on_token(0, NetworkId::new(0), t.clone(), &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        let ev = s.on_token(1, NetworkId::new(2), t.clone(), &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        // The third copy is ignored.
+        assert!(s.on_token(2, NetworkId::new(1), t, &cfg).iter().all(|e| !matches!(e, RrpEvent::Deliver(..))));
+    }
+
+    #[test]
+    fn timeout_passes_token_with_fewer_than_k_copies() {
+        let cfg = cfg(3, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        s.on_token(0, NetworkId::new(1), token(0, 4), &cfg);
+        let d = s.next_deadline().unwrap();
+        let ev = s.on_timer(d, &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+    }
+
+    #[test]
+    fn monitors_flag_lagging_network() {
+        let cfg = cfg(3, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        let mut faults = Vec::new();
+        // Enough receptions that the leading network's count exceeds
+        // net2's by strictly more than the threshold despite the
+        // message-driven compensation crediting the laggard.
+        for i in 0..cfg.monitor_threshold * 2 + 20 {
+            faults.extend(
+                s.on_message(i, NetworkId::new(i as u8 % 2), NodeId::new(7), &cfg)
+                    .into_iter()
+                    .filter(|e| matches!(e, RrpEvent::Fault(_))),
+            );
+        }
+        // Networks 0 and 1 alternate; network 2 never receives → flagged.
+        assert_eq!(faults.len(), 1);
+        assert!(s.faulty[2]);
+    }
+
+    #[test]
+    fn newer_token_resets_the_copy_count() {
+        let cfg = cfg(3, 2);
+        let mut s = ActivePassiveState::new(&cfg, 2);
+        s.on_token(0, NetworkId::new(0), token(0, 4), &cfg);
+        // A newer instance arrives before the second copy of the old.
+        assert!(s
+            .on_token(1, NetworkId::new(1), token(1, 4), &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        // A stale copy of the old instance no longer counts.
+        assert!(s
+            .on_token(2, NetworkId::new(2), token(0, 4), &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        // The second copy of the new one delivers.
+        let ev = s.on_token(3, NetworkId::new(0), token(1, 4), &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))));
+    }
+}

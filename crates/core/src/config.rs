@@ -1,0 +1,231 @@
+//! Configuration of the redundant ring layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Which network replication style to run (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicationStyle {
+    /// No replication: everything on network 0. The paper's baseline.
+    Single,
+    /// Every message and token on all N networks (§5).
+    Active,
+    /// Each message and token on exactly one network, round-robin (§6).
+    Passive,
+    /// Each message and token on `copies` consecutive networks of the
+    /// round-robin window (§7). Requires `1 < copies < N`, hence at
+    /// least three networks.
+    ActivePassive {
+        /// K: how many copies of each packet are sent.
+        copies: u8,
+    },
+}
+
+impl ReplicationStyle {
+    /// Short human-readable name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationStyle::Single => "no replication",
+            ReplicationStyle::Active => "active replication",
+            ReplicationStyle::Passive => "passive replication",
+            ReplicationStyle::ActivePassive { .. } => "active-passive replication",
+        }
+    }
+}
+
+impl core::fmt::Display for ReplicationStyle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplicationStyle::ActivePassive { copies } => {
+                write!(f, "active-passive replication (K={copies})")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Tunable parameters of the redundant ring layer. Times are in
+/// nanoseconds of protocol time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RrpConfig {
+    /// Replication style.
+    pub style: ReplicationStyle,
+    /// Number of redundant networks N.
+    pub networks: usize,
+    /// Active replication: how long to wait for the remaining copies
+    /// of a token after the first copy arrives before passing it up
+    /// anyway (Requirement A4).
+    pub active_token_timeout: u64,
+    /// Passive replication: how long a token buffered behind missing
+    /// messages may wait before being passed up anyway (Requirement
+    /// P3). The paper used 10 ms.
+    pub passive_token_timeout: u64,
+    /// Active replication: how many token-timer expiries a network may
+    /// accumulate before being declared faulty (Requirement A5).
+    pub problem_threshold: u32,
+    /// Active replication: how often each network's problem counter is
+    /// decremented, so sporadic losses do not accumulate into a false
+    /// alarm (Requirement A6).
+    pub problem_decay_interval: u64,
+    /// Passive replication: a network whose reception count lags the
+    /// best network by more than this is declared faulty (Requirement
+    /// P4).
+    pub monitor_threshold: u64,
+    /// Passive replication: lagging reception counts are credited one
+    /// reception every this many receptions (the paper's
+    /// message-driven compensation), so sporadic losses are forgiven
+    /// at any traffic rate without ever masking a dead network
+    /// (Requirement P5).
+    pub compensation_every: u64,
+    /// Automatic reinstatement probation: if non-zero, a network that
+    /// has been marked faulty is put back in service after this long,
+    /// on probation — if it is still broken the monitors will flag it
+    /// again within one detection interval. Zero (the default, and the
+    /// paper's model) leaves reinstatement to the administrator via
+    /// [`crate::RrpLayer::reinstate`].
+    pub auto_reinstate_interval: u64,
+    /// Grace period after a reinstatement during which the monitors
+    /// observe the network but do not re-declare it faulty, and at
+    /// whose end the reception counts are re-leveled. Needed because
+    /// reinstatement is a per-node decision: until *every* node has
+    /// resumed sending on the network, receivers legitimately see
+    /// traffic starving it and would re-flag instantly.
+    pub reinstate_grace: u64,
+}
+
+impl RrpConfig {
+    /// Defaults for `style` over `networks` networks, mirroring the
+    /// paper's deployment (10 ms passive token timer).
+    pub fn new(style: ReplicationStyle, networks: usize) -> Self {
+        RrpConfig {
+            style,
+            networks,
+            active_token_timeout: 2_000_000,      // 2 ms
+            passive_token_timeout: 10_000_000,    // 10 ms (paper §6)
+            problem_threshold: 10,
+            problem_decay_interval: 1_000_000_000, // 1 s
+            monitor_threshold: 50,
+            compensation_every: 25,               // forgive 4% divergence
+            auto_reinstate_interval: 0,           // manual repair (paper §3)
+            reinstate_grace: 250_000_000,         // 250 ms
+        }
+    }
+
+    /// Enables automatic reinstatement probation with the given
+    /// period.
+    pub fn with_auto_reinstate(mut self, interval: u64) -> Self {
+        self.auto_reinstate_interval = interval;
+        self
+    }
+
+    /// Validates style/network-count consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint:
+    /// `Single` wants exactly 1 network, `Active`/`Passive` at least
+    /// 2, and `ActivePassive` requires `1 < K < N` (paper §7).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.networks == 0 {
+            return Err("at least one network is required".into());
+        }
+        match self.style {
+            ReplicationStyle::Single => {
+                if self.networks != 1 {
+                    return Err(format!(
+                        "single (unreplicated) style uses exactly 1 network, got {}",
+                        self.networks
+                    ));
+                }
+            }
+            ReplicationStyle::Active | ReplicationStyle::Passive => {
+                if self.networks < 2 {
+                    return Err(format!("{} needs at least 2 networks", self.style));
+                }
+            }
+            ReplicationStyle::ActivePassive { copies } => {
+                let k = copies as usize;
+                if !(1 < k && k < self.networks) {
+                    return Err(format!(
+                        "active-passive requires 1 < K < N (got K={k}, N={})",
+                        self.networks
+                    ));
+                }
+            }
+        }
+        if self.active_token_timeout == 0 || self.passive_token_timeout == 0 {
+            return Err("token timeouts must be positive".into());
+        }
+        if self.problem_threshold == 0 {
+            return Err("problem_threshold must be positive".into());
+        }
+        if self.monitor_threshold == 0 {
+            return Err("monitor_threshold must be positive".into());
+        }
+        if self.compensation_every == 0 {
+            return Err("compensation_every must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_configs_pass() {
+        RrpConfig::new(ReplicationStyle::Single, 1).validate().unwrap();
+        RrpConfig::new(ReplicationStyle::Active, 2).validate().unwrap();
+        RrpConfig::new(ReplicationStyle::Passive, 3).validate().unwrap();
+        RrpConfig::new(ReplicationStyle::ActivePassive { copies: 2 }, 3).validate().unwrap();
+    }
+
+    #[test]
+    fn single_rejects_multiple_networks() {
+        assert!(RrpConfig::new(ReplicationStyle::Single, 2).validate().is_err());
+    }
+
+    #[test]
+    fn replicated_styles_need_two_networks() {
+        assert!(RrpConfig::new(ReplicationStyle::Active, 1).validate().is_err());
+        assert!(RrpConfig::new(ReplicationStyle::Passive, 1).validate().is_err());
+    }
+
+    #[test]
+    fn active_passive_bounds_match_the_paper() {
+        // 1 < K < N: K=1 and K=N are rejected (they degenerate to
+        // passive and active).
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 1 }, 3).validate().is_err());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 3).validate().is_err());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 2 }, 4).validate().is_ok());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_network_count_rejected() {
+        let mut cfg = RrpConfig::new(ReplicationStyle::Single, 1);
+        cfg.networks = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_thresholds_rejected() {
+        let mut cfg = RrpConfig::new(ReplicationStyle::Active, 2);
+        cfg.problem_threshold = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RrpConfig::new(ReplicationStyle::Passive, 2);
+        cfg.monitor_threshold = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RrpConfig::new(ReplicationStyle::Active, 2);
+        cfg.active_token_timeout = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn style_names_match_figure_legends() {
+        assert_eq!(ReplicationStyle::Single.name(), "no replication");
+        assert_eq!(ReplicationStyle::Active.name(), "active replication");
+        assert_eq!(ReplicationStyle::Passive.name(), "passive replication");
+        assert_eq!(ReplicationStyle::ActivePassive { copies: 2 }.to_string(), "active-passive replication (K=2)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Network fault reports (paper §3).
+//!
+//! The RRP monitor operates entirely locally: it never probes, it only
+//! watches what arrives. When a network's behaviour deviates from
+//! normal it is marked faulty, the node stops **sending** on it (but
+//! keeps accepting receptions, since other nodes may not have noticed
+//! yet), and a [`FaultReport`] is raised to the application so an
+//! administrator can react while the system keeps running.
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::{NetworkId, NodeId};
+
+/// Which monitoring module detected the fault (paper §6: one module
+/// per sender's message traffic plus one for the token traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitorKind {
+    /// The token monitor (covers the token path even when no messages
+    /// flow).
+    Token,
+    /// The per-sender message monitor.
+    Messages {
+        /// The sender whose traffic exposed the divergence.
+        sender: NodeId,
+    },
+}
+
+impl core::fmt::Display for MonitorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorKind::Token => f.write_str("token monitor"),
+            MonitorKind::Messages { sender } => write!(f, "message monitor for {sender}"),
+        }
+    }
+}
+
+/// Why a network was declared faulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultReason {
+    /// Active replication: the network failed to deliver the token
+    /// before the token timer expired `count` times (Requirement A5).
+    TokenTimeouts {
+        /// Value the problem counter reached.
+        count: u32,
+    },
+    /// Passive / active-passive replication: the network's reception
+    /// count fell `behind` receptions short of the best network
+    /// (Requirement P4).
+    ReceptionLag {
+        /// How far behind the best network the faulty one was.
+        behind: u64,
+        /// The monitoring module that noticed.
+        monitor: MonitorKind,
+    },
+}
+
+/// A fault report delivered to the application process (paper §3:
+/// "the Totem RRP issues a fault report to the user application
+/// process"). The order and content of reports across nodes aid
+/// diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The network declared faulty.
+    pub net: NetworkId,
+    /// Protocol time of the detection, in nanoseconds.
+    pub at: u64,
+    /// What the monitor observed.
+    pub reason: FaultReason,
+}
+
+impl core::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.reason {
+            FaultReason::TokenTimeouts { count } => {
+                write!(f, "{} declared faulty: missed the token {count} times", self.net)
+            }
+            FaultReason::ReceptionLag { behind, monitor } => {
+                write!(f, "{} declared faulty: {behind} receptions behind ({monitor})", self.net)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_render_for_operators() {
+        let r = FaultReport {
+            net: NetworkId::new(1),
+            at: 5,
+            reason: FaultReason::TokenTimeouts { count: 10 },
+        };
+        assert_eq!(r.to_string(), "net1 declared faulty: missed the token 10 times");
+
+        let r = FaultReport {
+            net: NetworkId::new(0),
+            at: 9,
+            reason: FaultReason::ReceptionLag {
+                behind: 51,
+                monitor: MonitorKind::Messages { sender: NodeId::new(2) },
+            },
+        };
+        assert_eq!(
+            r.to_string(),
+            "net0 declared faulty: 51 receptions behind (message monitor for n2)"
+        );
+        let r = FaultReport {
+            net: NetworkId::new(0),
+            at: 9,
+            reason: FaultReason::ReceptionLag { behind: 51, monitor: MonitorKind::Token },
+        };
+        assert!(r.to_string().contains("token monitor"));
+    }
+}

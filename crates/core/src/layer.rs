@@ -1,0 +1,515 @@
+//! The unified redundant-ring layer: one façade over the four
+//! replication styles.
+//!
+//! [`RrpLayer`] sits between the SRP and the networks:
+//!
+//! ```text
+//!   SRP  ──(send msg/token)──▶  routes_for_message / routes_for_token
+//!   nets ──(recv packet)────▶  on_packet ──▶ Deliver(..) up to the SRP
+//!                                        └─▶ Fault(..) to the operator
+//! ```
+//!
+//! The host composes it with an SRP node; after the SRP processes a
+//! delivered message, the host must call [`RrpLayer::poll_release`]
+//! with the fresh `any_messages_missing()` so passive replication can
+//! release a token that was buffered behind the gap (paper Figure 4,
+//! `recvMsg`).
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::{NetworkId, NodeId, Packet};
+
+use crate::active::ActiveState;
+use crate::active_passive::ActivePassiveState;
+use crate::config::{ReplicationStyle, RrpConfig};
+use crate::fault::FaultReport;
+use crate::passive::PassiveState;
+
+/// What the layer tells its host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrpEvent {
+    /// Hand this packet to the SRP. The network it (first) arrived on
+    /// is attached for statistics.
+    Deliver(Packet, NetworkId),
+    /// A network has been declared faulty; the application/operator
+    /// should be told (paper §3).
+    Fault(FaultReport),
+    /// A previously faulty network was put back in service (by the
+    /// administrator via [`RrpLayer::reinstate`] or by automatic
+    /// probation — see [`crate::RrpConfig::auto_reinstate_interval`]).
+    Reinstated {
+        /// The repaired network.
+        net: NetworkId,
+        /// Protocol time of the reinstatement, in nanoseconds.
+        at: u64,
+    },
+}
+
+/// Wire-level counters kept by the layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RrpStats {
+    /// Packets received per network.
+    pub received: Vec<u64>,
+    /// Message-class sends issued (each counted once per copy).
+    pub message_copies_sent: u64,
+    /// Token-class sends issued (each counted once per copy).
+    pub token_copies_sent: u64,
+    /// Tokens released by a token-timer expiry rather than completion.
+    pub tokens_timer_released: u64,
+    /// Tokens buffered behind missing messages (passive).
+    pub tokens_buffered: u64,
+}
+
+/// The redundant ring protocol layer. See the
+/// [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct RrpLayer {
+    cfg: RrpConfig,
+    inner: Inner,
+    stats: RrpStats,
+    /// When each currently-faulty network was flagged (drives the
+    /// optional automatic reinstatement probation).
+    flagged_at: Vec<Option<u64>>,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Single,
+    Active(ActiveState),
+    Passive(PassiveState),
+    ActivePassive(ActivePassiveState),
+}
+
+impl RrpLayer {
+    /// Builds a layer for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`RrpConfig::validate`].
+    pub fn new(cfg: RrpConfig) -> Self {
+        cfg.validate().expect("invalid RrpConfig");
+        let inner = match cfg.style {
+            ReplicationStyle::Single => Inner::Single,
+            ReplicationStyle::Active => Inner::Active(ActiveState::new(&cfg)),
+            ReplicationStyle::Passive => Inner::Passive(PassiveState::new(&cfg)),
+            ReplicationStyle::ActivePassive { copies } => {
+                Inner::ActivePassive(ActivePassiveState::new(&cfg, copies as usize))
+            }
+        };
+        let stats = RrpStats { received: vec![0; cfg.networks], ..RrpStats::default() };
+        let flagged_at = vec![None; cfg.networks];
+        RrpLayer { cfg, inner, stats, flagged_at }
+    }
+
+    /// Administrative repair: puts a faulty network back in service.
+    /// The paper leaves repair to "an administrator reacting to the
+    /// alarm" (§1/§3); this is that hook. Monitor state for the
+    /// network is reset so it starts probation with a clean slate.
+    /// Returns `true` if the network was indeed marked faulty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
+    /// # use totem_wire::NetworkId;
+    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+    /// // Nothing faulty yet: reinstating is a no-op.
+    /// assert!(!rrp.reinstate(0, NetworkId::new(1)));
+    /// ```
+    pub fn reinstate(&mut self, now: u64, net: NetworkId) -> bool {
+        assert!(net.index() < self.cfg.networks, "network out of range");
+        let grace = self.cfg.reinstate_grace;
+        let was = match &mut self.inner {
+            Inner::Single => false,
+            Inner::Active(s) => s.reinstate(now, net, grace),
+            Inner::Passive(s) => s.reinstate(now, net, grace),
+            Inner::ActivePassive(s) => s.reinstate(now, net, grace),
+        };
+        self.flagged_at[net.index()] = None;
+        was
+    }
+
+    fn note_new_faults(&mut self, events: &[RrpEvent]) {
+        for ev in events {
+            if let RrpEvent::Fault(r) = ev {
+                self.flagged_at[r.net.index()] = Some(r.at);
+            }
+        }
+    }
+
+    fn auto_reinstatements(&mut self, now: u64) -> Vec<RrpEvent> {
+        if self.cfg.auto_reinstate_interval == 0 {
+            return Vec::new();
+        }
+        let due: Vec<NetworkId> = self
+            .flagged_at
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.and_then(|at| {
+                    (now >= at + self.cfg.auto_reinstate_interval).then_some(NetworkId::new(i as u8))
+                })
+            })
+            .collect();
+        due.into_iter()
+            .filter(|&net| self.reinstate(now, net))
+            .map(|net| RrpEvent::Reinstated { net, at: now })
+            .collect()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RrpConfig {
+        &self.cfg
+    }
+
+    /// Number of redundant networks.
+    pub fn networks(&self) -> usize {
+        self.cfg.networks
+    }
+
+    /// Which networks are currently marked faulty. A faulty network is
+    /// never used for sending but is still accepted for reception
+    /// (paper §3).
+    pub fn faulty(&self) -> Vec<bool> {
+        match &self.inner {
+            Inner::Single => vec![false],
+            Inner::Active(s) => s.faulty.clone(),
+            Inner::Passive(s) => s.faulty.clone(),
+            Inner::ActivePassive(s) => s.faulty.clone(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RrpStats {
+        &self.stats
+    }
+
+    /// Networks on which to send the next **message-class** packet
+    /// (data packets and join messages).
+    ///
+    /// # Example
+    ///
+    /// Passive replication alternates networks per packet:
+    ///
+    /// ```
+    /// # use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
+    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+    /// let first = rrp.routes_for_message();
+    /// let second = rrp.routes_for_message();
+    /// assert_eq!(first.len(), 1);
+    /// assert_ne!(first, second);
+    /// ```
+    pub fn routes_for_message(&mut self) -> Vec<NetworkId> {
+        let routes = match &mut self.inner {
+            Inner::Single => vec![NetworkId::new(0)],
+            Inner::Active(s) => s.routes(),
+            Inner::Passive(s) => vec![s.route_message()],
+            Inner::ActivePassive(s) => s.routes_message(),
+        };
+        self.stats.message_copies_sent += routes.len() as u64;
+        routes
+    }
+
+    /// Networks on which to send the next **token-class** packet
+    /// (regular tokens).
+    pub fn routes_for_token(&mut self) -> Vec<NetworkId> {
+        let routes = match &mut self.inner {
+            Inner::Single => vec![NetworkId::new(0)],
+            Inner::Active(s) => s.routes(),
+            Inner::Passive(s) => vec![s.route_token()],
+            Inner::ActivePassive(s) => s.routes_token(),
+        };
+        self.stats.token_copies_sent += routes.len() as u64;
+        routes
+    }
+
+    /// Networks for a **retransmission** this node serves on another
+    /// sender's behalf. Uses a rotation independent of the node's own
+    /// data rotation so per-sender reception monitors stay unskewed.
+    pub fn routes_for_retransmission(&mut self) -> Vec<NetworkId> {
+        let routes = match &mut self.inner {
+            Inner::Single => vec![NetworkId::new(0)],
+            Inner::Active(s) => s.routes(),
+            Inner::Passive(s) => vec![s.route_retransmission()],
+            Inner::ActivePassive(s) => s.routes_retransmission(),
+        };
+        self.stats.message_copies_sent += routes.len() as u64;
+        routes
+    }
+
+    /// Networks for **membership traffic** (join messages and commit
+    /// tokens): always every non-faulty network, under every style.
+    /// Membership traffic is rare and small, and the membership
+    /// protocol has no retransmission machinery for the commit token —
+    /// under passive replication a single-copy commit token would be
+    /// lost with ~50% probability per hop while a network is dead but
+    /// not yet flagged, livelocking reformation. Replicating it keeps
+    /// reconfiguration robust at negligible cost (the SRP's join and
+    /// commit handlers are idempotent against duplicates).
+    pub fn routes_for_membership(&mut self) -> Vec<NetworkId> {
+        let faulty = self.faulty();
+        let healthy: Vec<NetworkId> = (0..self.cfg.networks as u8)
+            .map(NetworkId::new)
+            .filter(|n| !faulty[n.index()])
+            .collect();
+        let routes = if healthy.is_empty() {
+            (0..self.cfg.networks as u8).map(NetworkId::new).collect()
+        } else {
+            healthy
+        };
+        self.stats.message_copies_sent += routes.len() as u64;
+        routes
+    }
+
+    /// Feeds a packet received on `net`. `any_missing` is the SRP's
+    /// `any_messages_missing()` evaluated *before* this packet is
+    /// processed (only consulted for tokens under passive
+    /// replication).
+    ///
+    /// Regular tokens are gated per the replication style. Messages,
+    /// join messages and commit tokens pass straight up: duplicate
+    /// data packets are destroyed by the SRP's sequence-number filter
+    /// (Requirement A1) and the membership handlers are idempotent
+    /// against duplicate joins/commits.
+    pub fn on_packet(&mut self, now: u64, net: NetworkId, pkt: Packet, any_missing: bool) -> Vec<RrpEvent> {
+        self.stats.received[net.index()] += 1;
+        let events = match (&mut self.inner, pkt) {
+            (Inner::Single, pkt) => vec![RrpEvent::Deliver(pkt, net)],
+            (Inner::Active(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
+            (Inner::Active(_), pkt) => vec![RrpEvent::Deliver(pkt, net)],
+            (Inner::Passive(s), Packet::Token(t)) => {
+                let buffered_before = any_missing;
+                let ev = s.on_token(now, net, t, any_missing, &self.cfg);
+                if buffered_before && !ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))) {
+                    self.stats.tokens_buffered += 1;
+                }
+                ev
+            }
+            (Inner::Passive(s), pkt) => {
+                let mut ev = match sender_of(&pkt) {
+                    Some(sender) => s.on_message(now, net, sender, &self.cfg),
+                    None => Vec::new(), // commit tokens count on the token monitor
+                };
+                if matches!(pkt, Packet::Commit(_)) {
+                    // Commit tokens travel the token path; count them
+                    // on the token monitor so quiet-period coverage
+                    // extends to reconfiguration (paper §6).
+                    let mut t_ev = s.on_token_monitor_only(now, net, &self.cfg);
+                    ev.append(&mut t_ev);
+                }
+                ev.push(RrpEvent::Deliver(pkt, net));
+                ev
+            }
+            (Inner::ActivePassive(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
+            (Inner::ActivePassive(s), pkt) => {
+                let mut ev = match sender_of(&pkt) {
+                    Some(sender) => s.on_message(now, net, sender, &self.cfg),
+                    None => Vec::new(),
+                };
+                ev.push(RrpEvent::Deliver(pkt, net));
+                ev
+            }
+        };
+        self.note_new_faults(&events);
+        events
+    }
+
+    /// Must be called after the SRP has processed a delivered message,
+    /// with the fresh `any_messages_missing()`: passive replication
+    /// releases a buffered token the moment the gap closes (paper
+    /// Figure 4, `recvMsg`).
+    pub fn poll_release(&mut self, _now: u64, any_missing: bool) -> Vec<RrpEvent> {
+        match &mut self.inner {
+            Inner::Passive(s) => s.poll_release(any_missing),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Fires any timers with deadline `<= now`.
+    pub fn on_timer(&mut self, now: u64) -> Vec<RrpEvent> {
+        let mut ev = match &mut self.inner {
+            Inner::Single => Vec::new(),
+            Inner::Active(s) => s.on_timer(now, &self.cfg),
+            Inner::Passive(s) => s.on_timer(now, &self.cfg),
+            Inner::ActivePassive(s) => s.on_timer(now, &self.cfg),
+        };
+        self.stats.tokens_timer_released +=
+            ev.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count() as u64;
+        self.note_new_faults(&ev);
+        ev.extend(self.auto_reinstatements(now));
+        ev
+    }
+
+    /// Active replication's per-network problem counters (Figure 2),
+    /// for diagnostics; zeros under the other styles.
+    pub fn problem_counters(&self) -> Vec<u32> {
+        match &self.inner {
+            Inner::Active(s) => (0..self.cfg.networks)
+                .map(|i| s.problem_counter(NetworkId::new(i as u8)))
+                .collect(),
+            _ => vec![0; self.cfg.networks],
+        }
+    }
+
+    /// Diagnostic snapshot of the reception-count monitors (passive
+    /// style only; empty otherwise).
+    pub fn monitor_report(&self) -> Vec<(crate::fault::MonitorKind, Vec<u64>)> {
+        match &self.inner {
+            Inner::Passive(s) => s.monitor_report(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The earliest instant [`RrpLayer::on_timer`] must run, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let inner = match &self.inner {
+            Inner::Single => None,
+            Inner::Active(s) => s.next_deadline(),
+            Inner::Passive(s) => s.next_deadline(),
+            Inner::ActivePassive(s) => s.next_deadline(),
+        };
+        let auto = (self.cfg.auto_reinstate_interval > 0)
+            .then(|| {
+                self.flagged_at
+                    .iter()
+                    .flatten()
+                    .map(|at| at + self.cfg.auto_reinstate_interval)
+                    .min()
+            })
+            .flatten();
+        [inner, auto].into_iter().flatten().min()
+    }
+}
+
+/// The sender of a message-class packet, for the per-sender monitors.
+fn sender_of(pkt: &Packet) -> Option<NodeId> {
+    match pkt {
+        Packet::Data(d) => Some(d.sender),
+        Packet::Join(j) => Some(j.sender),
+        Packet::Token(_) | Packet::Commit(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use totem_wire::{Chunk, DataPacket, RingId, Seq, Token};
+
+    fn data(seq: u64, sender: u16) -> Packet {
+        Packet::Data(DataPacket {
+            ring: RingId::new(NodeId::new(0), 1),
+            seq: Seq::new(seq),
+            sender: NodeId::new(sender),
+            chunks: vec![Chunk::complete(0, Bytes::from_static(b"x"))],
+        })
+    }
+
+    fn token(seq: u64) -> Packet {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+        t.seq = Seq::new(seq);
+        Packet::Token(t)
+    }
+
+    #[test]
+    fn single_is_transparent_passthrough() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Single, 1));
+        assert_eq!(l.routes_for_message(), vec![NetworkId::new(0)]);
+        assert_eq!(l.routes_for_token(), vec![NetworkId::new(0)]);
+        let ev = l.on_packet(0, NetworkId::new(0), token(1), true);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(l.next_deadline().is_none());
+    }
+
+    #[test]
+    fn active_sends_messages_and_tokens_everywhere() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 3));
+        assert_eq!(l.routes_for_message().len(), 3);
+        assert_eq!(l.routes_for_token().len(), 3);
+        assert_eq!(l.stats().message_copies_sent, 3);
+        assert_eq!(l.stats().token_copies_sent, 3);
+    }
+
+    #[test]
+    fn active_messages_pass_straight_up() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        let ev = l.on_packet(0, NetworkId::new(1), data(1, 0), false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Data(_), _)]));
+        // The duplicate copy on the other network also goes up — the
+        // SRP's sequence filter destroys it (Requirement A1).
+        let ev = l.on_packet(1, NetworkId::new(0), data(1, 0), false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Data(_), _)]));
+    }
+
+    #[test]
+    fn passive_alternates_and_buffers_tokens_behind_gaps() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let m1 = l.routes_for_message();
+        let m2 = l.routes_for_message();
+        assert_eq!(m1.len(), 1);
+        assert_ne!(m1, m2);
+
+        let ev = l.on_packet(0, NetworkId::new(0), token(3), true);
+        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        assert_eq!(l.stats().tokens_buffered, 1);
+        let ev = l.poll_release(1, false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+    }
+
+    #[test]
+    fn commit_tokens_pass_up_unconditionally() {
+        use totem_wire::CommitToken;
+        for style in [ReplicationStyle::Active, ReplicationStyle::Passive] {
+            let mut l = RrpLayer::new(RrpConfig::new(style, 2));
+            let ct = Packet::Commit(CommitToken {
+                ring: RingId::new(NodeId::new(0), 2),
+                round: 0,
+                entries: vec![],
+            });
+            let ev = l.on_packet(0, NetworkId::new(0), ct, true);
+            assert!(
+                ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Commit(_), _))),
+                "commit token must pass up under {style}"
+            );
+        }
+    }
+
+    #[test]
+    fn timer_release_is_counted() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        l.on_packet(0, NetworkId::new(0), token(3), true);
+        let d = l.next_deadline().unwrap();
+        let ev = l.on_timer(d);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert_eq!(l.stats().tokens_timer_released, 1);
+    }
+
+    #[test]
+    fn received_counters_track_networks() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        l.on_packet(0, NetworkId::new(0), data(1, 0), false);
+        l.on_packet(0, NetworkId::new(1), data(1, 0), false);
+        l.on_packet(0, NetworkId::new(1), data(2, 0), false);
+        assert_eq!(l.stats().received, vec![1, 2]);
+    }
+
+    #[test]
+    fn problem_counters_report_active_state() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        assert_eq!(l.problem_counters(), vec![0, 0]);
+        // One token seen on net0 only; timer expiry penalizes net1.
+        l.on_packet(0, NetworkId::new(0), token(1), false);
+        let d = l.next_deadline().unwrap();
+        l.on_timer(d);
+        assert_eq!(l.problem_counters(), vec![0, 1]);
+        // Non-active styles always report zeros.
+        let p = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        assert_eq!(p.problem_counters(), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RrpConfig")]
+    fn invalid_config_is_rejected_at_construction() {
+        let _ = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 1));
+    }
+}

@@ -1,0 +1,199 @@
+//! The network monitor module for passive replication (paper §6,
+//! Figure 5).
+//!
+//! A module counts receptions per network; if some network's count
+//! falls more than a threshold behind the best one, that network is
+//! declared faulty. To keep sporadic losses from accumulating into a
+//! false alarm over long runs (Requirement P5), lagging counts are
+//! credited one reception every `comp_every` receptions ("slowly
+//! increasing `recvCount` for networks that lag behind" — the paper's
+//! *message-driven* variant). Message-driven forgiveness is
+//! self-scaling: its rate is a fixed fraction of the traffic rate, so
+//! it forgives sporadic loss at any throughput yet can never mask a
+//! dead network (whose divergence grows with ~half the traffic).
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::NetworkId;
+
+/// One Figure-5 monitoring module: reception counts per network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorModule {
+    counts: Vec<u64>,
+    threshold: u64,
+    /// Credit laggards one reception every this many receptions.
+    comp_every: u64,
+    since_comp: u64,
+}
+
+impl MonitorModule {
+    /// A module for `networks` networks with the given divergence
+    /// threshold, compensating laggards once per `comp_every`
+    /// receptions.
+    pub fn new(networks: usize, threshold: u64, comp_every: u64) -> Self {
+        MonitorModule { counts: vec![0; networks], threshold, comp_every: comp_every.max(1), since_comp: 0 }
+    }
+
+    /// Records one reception on `net`; returns the networks that just
+    /// crossed the divergence threshold (newly suspect), with how far
+    /// behind they are.
+    pub fn record(&mut self, net: NetworkId, faulty: &[bool]) -> Vec<(NetworkId, u64)> {
+        self.counts[net.index()] += 1;
+        self.since_comp += 1;
+        if self.since_comp >= self.comp_every {
+            self.since_comp = 0;
+            self.compensate();
+        }
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let mut out = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let behind = max - c;
+            if behind > self.threshold && !faulty[i] {
+                out.push((NetworkId::new(i as u8), behind));
+            }
+        }
+        out
+    }
+
+    /// Periodic compensation: credits every lagging network one
+    /// reception (Requirement P5).
+    pub fn compensate(&mut self) {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        for c in &mut self.counts {
+            if *c < max {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Current reception count of one network.
+    pub fn count(&self, net: NetworkId) -> u64 {
+        self.counts[net.index()]
+    }
+
+    /// All reception counts, indexed by network.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Resets one network's count to the current maximum so a
+    /// reinstated network starts its probation with a clean slate
+    /// instead of being re-flagged on the next reception.
+    pub fn reinstate(&mut self, net: NetworkId) {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        self.counts[net.index()] = max;
+    }
+
+    /// How far the worst network lags the best.
+    pub fn max_divergence(&self) -> u64 {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let min = self.counts.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_faults(n: usize) -> Vec<bool> {
+        vec![false; n]
+    }
+
+    #[test]
+    fn balanced_reception_never_trips() {
+        let mut m = MonitorModule::new(2, 5, 1000);
+        let faulty = no_faults(2);
+        for _ in 0..1000 {
+            assert!(m.record(NetworkId::new(0), &faulty).is_empty());
+            assert!(m.record(NetworkId::new(1), &faulty).is_empty());
+        }
+        assert!(m.max_divergence() <= 1);
+    }
+
+    #[test]
+    fn dead_network_crosses_threshold_exactly_once_threshold_plus_one_behind() {
+        let mut m = MonitorModule::new(2, 5, 1000);
+        let faulty = no_faults(2);
+        let mut tripped = None;
+        for i in 1..=10 {
+            let suspects = m.record(NetworkId::new(0), &faulty);
+            if !suspects.is_empty() {
+                tripped = Some((i, suspects));
+                break;
+            }
+        }
+        let (i, suspects) = tripped.expect("network 1 must be flagged");
+        assert_eq!(i, 6, "flagged on the reception that makes the gap threshold+1");
+        assert_eq!(suspects, vec![(NetworkId::new(1), 6)]);
+    }
+
+    #[test]
+    fn already_faulty_networks_are_not_reflagged() {
+        let mut m = MonitorModule::new(2, 2, 1000);
+        let mut faulty = no_faults(2);
+        for _ in 0..3 {
+            m.record(NetworkId::new(0), &faulty);
+        }
+        let suspects = m.record(NetworkId::new(0), &faulty);
+        assert_eq!(suspects.len(), 1);
+        faulty[1] = true;
+        assert!(m.record(NetworkId::new(0), &faulty).is_empty());
+    }
+
+    #[test]
+    fn compensation_forgives_sporadic_loss() {
+        let mut m = MonitorModule::new(2, 10, 1000);
+        let faulty = no_faults(2);
+        // Network 1 drops ~1 in 5 receptions.
+        for i in 0..50u64 {
+            m.record(NetworkId::new(0), &faulty);
+            if i % 5 != 0 {
+                m.record(NetworkId::new(1), &faulty);
+            }
+        }
+        let gap_before = m.max_divergence();
+        assert!(gap_before > 0);
+        for _ in 0..gap_before {
+            m.compensate();
+        }
+        assert_eq!(m.max_divergence(), 0, "compensation must close the gap");
+    }
+
+    #[test]
+    fn message_driven_compensation_forgives_but_cannot_mask_death() {
+        // comp_every=10: forgiveness rate is 10% of traffic.
+        let mut m = MonitorModule::new(2, 20, 10);
+        let faulty = no_faults(2);
+        // Sporadic 5% loss on net1: divergence growth (2.5% of
+        // traffic) stays below forgiveness (10%) — never flags.
+        for i in 0..2000u64 {
+            assert!(m.record(NetworkId::new(0), &faulty).is_empty());
+            if i % 20 != 0 {
+                assert!(m.record(NetworkId::new(1), &faulty).is_empty(), "tripped at {i}");
+            }
+        }
+        // A dead net1: divergence grows with every reception; the
+        // 10% forgiveness cannot keep up and it flags quickly.
+        let mut flagged = false;
+        for _ in 0..60 {
+            if !m.record(NetworkId::new(0), &faulty).is_empty() {
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "dead network must not be masked by compensation");
+    }
+
+    #[test]
+    fn compensation_never_overshoots_the_max() {
+        let mut m = MonitorModule::new(3, 5, 1000);
+        let faulty = no_faults(3);
+        m.record(NetworkId::new(0), &faulty);
+        for _ in 0..10 {
+            m.compensate();
+        }
+        assert_eq!(m.count(NetworkId::new(1)), m.count(NetworkId::new(0)));
+        assert_eq!(m.max_divergence(), 0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Passive replication (paper §6, Figures 4 and 5).
+//!
+//! Each message and token is sent over exactly one network, assigned
+//! round-robin (skipping networks marked faulty). Received messages
+//! pass straight up. A token that arrives while messages are still
+//! missing is **buffered** (Requirement P1 — a delayed message on
+//! another network must not provoke a retransmission request) and
+//! released either by the message that fills the gap or by a small
+//! token timer (Requirement P3; the paper used 10 ms). The network
+//! health monitor is a set of M+1 Figure-5 modules — one per sender's
+//! message traffic plus one for token traffic — each comparing
+//! per-network reception counts (Requirements P4/P5).
+
+use std::collections::HashMap;
+
+use totem_wire::{NetworkId, NodeId, Packet, Token};
+
+use crate::active::token_key;
+use crate::config::RrpConfig;
+use crate::fault::{FaultReason, FaultReport, MonitorKind};
+use crate::layer::RrpEvent;
+use crate::monitor::MonitorModule;
+
+/// State of the passive replication algorithm (Figure 4) plus its
+/// monitor modules (Figure 5).
+#[derive(Debug)]
+pub(crate) struct PassiveState {
+    pub faulty: Vec<bool>,
+    /// `sendMessageVia` of Figure 4 — advanced only by this node's
+    /// own data packets, so each sender's stream alternates networks
+    /// strictly (the property the Figure-5 monitors rely on).
+    msg_rr: usize,
+    /// `sendTokenVia` of Figure 4 — regular tokens only.
+    tok_rr: usize,
+    /// Round-robin for retransmissions this node serves on behalf of
+    /// other senders. Kept separate from `msg_rr`: a retransmitted
+    /// packet carries the original sender's id, and letting it perturb
+    /// this node's own data rotation phase-locks the rotation under
+    /// saturation, skewing every receiver's per-sender monitor.
+    retrans_rr: usize,
+    /// `lastToken` buffered behind missing messages.
+    buffered: Option<Token>,
+    buffered_net: NetworkId,
+    /// The token timer (never restarted while running).
+    timer: Option<u64>,
+    token_monitor: MonitorModule,
+    msg_monitors: HashMap<NodeId, MonitorModule>,
+    /// Per-network instant until which fault declaration is suspended
+    /// after a reinstatement (0 = none); counts are re-leveled when
+    /// the grace expires.
+    grace_until: Vec<u64>,
+}
+
+impl PassiveState {
+    pub fn new(cfg: &RrpConfig) -> Self {
+        PassiveState {
+            faulty: vec![false; cfg.networks],
+            msg_rr: 0,
+            tok_rr: 0,
+            retrans_rr: 0,
+            buffered: None,
+            buffered_net: NetworkId::new(0),
+            timer: None,
+            token_monitor: MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every),
+            msg_monitors: HashMap::new(),
+            grace_until: vec![0; cfg.networks],
+        }
+    }
+
+    fn level_monitors(&mut self, net: NetworkId) {
+        self.token_monitor.reinstate(net);
+        for m in self.msg_monitors.values_mut() {
+            m.reinstate(net);
+        }
+    }
+
+    fn next_rr(rr: &mut usize, faulty: &[bool]) -> NetworkId {
+        let n = faulty.len();
+        for _ in 0..n {
+            *rr = (*rr + 1) % n;
+            if !faulty[*rr] {
+                return NetworkId::new(*rr as u8);
+            }
+        }
+        // Everything is marked faulty: keep rotating anyway rather
+        // than going silent.
+        *rr = (*rr + 1) % n;
+        NetworkId::new(*rr as u8)
+    }
+
+    /// Figure 4 `sendMsg` network selection.
+    pub fn route_message(&mut self) -> NetworkId {
+        Self::next_rr(&mut self.msg_rr, &self.faulty)
+    }
+
+    /// Figure 4 `sendToken` network selection.
+    pub fn route_token(&mut self) -> NetworkId {
+        Self::next_rr(&mut self.tok_rr, &self.faulty)
+    }
+
+    /// Network for a retransmission served on another sender's behalf.
+    pub fn route_retransmission(&mut self) -> NetworkId {
+        Self::next_rr(&mut self.retrans_rr, &self.faulty)
+    }
+
+    /// Message-monitor update on reception of a message-class packet
+    /// from `sender` via `net` (Figure 4 `messageMonitor`).
+    pub fn on_message(&mut self, now: u64, net: NetworkId, sender: NodeId, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let monitor = self
+            .msg_monitors
+            .entry(sender)
+            .or_insert_with(|| MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every));
+        let suspects = monitor.record(net, &self.faulty);
+        self.flag(now, suspects, MonitorKind::Messages { sender })
+    }
+
+    /// Figure 4 `recvToken` (with `tokenMonitor`): deliver if nothing
+    /// is missing, otherwise buffer and start the token timer.
+    pub fn on_token(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        t: Token,
+        any_missing: bool,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let suspects = self.token_monitor.record(net, &self.faulty);
+        let mut events = self.flag(now, suspects, MonitorKind::Token);
+        if !any_missing {
+            events.push(RrpEvent::Deliver(Packet::Token(t), net));
+            return events;
+        }
+        // Buffer the newest token; the timer is never restarted while
+        // it is active (Figure 4).
+        match &self.buffered {
+            Some(old) if token_key(old) >= token_key(&t) => {}
+            _ => {
+                self.buffered = Some(t);
+                self.buffered_net = net;
+            }
+        }
+        if self.timer.is_none() {
+            self.timer = Some(now + cfg.passive_token_timeout);
+        }
+        events
+    }
+
+    /// Token-monitor update without gating — used for commit tokens,
+    /// which travel the token path but pass up unconditionally.
+    pub fn on_token_monitor_only(&mut self, now: u64, net: NetworkId, _cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let suspects = self.token_monitor.record(net, &self.faulty);
+        self.flag(now, suspects, MonitorKind::Token)
+    }
+
+    /// Figure 4 `recvMsg` tail: if the token timer is running and the
+    /// just-processed message closed the last gap, release the
+    /// buffered token immediately.
+    pub fn poll_release(&mut self, any_missing: bool) -> Vec<RrpEvent> {
+        if self.timer.is_some() && !any_missing {
+            self.timer = None;
+            if let Some(t) = self.buffered.take() {
+                return vec![RrpEvent::Deliver(Packet::Token(t), self.buffered_net)];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Figure 4 `tokenTimerExpired` plus grace-expiry bookkeeping.
+    /// (Compensation is message-driven, inside the monitor modules.)
+    pub fn on_timer(&mut self, now: u64, _cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        if self.timer.is_some_and(|d| d <= now) {
+            self.timer = None;
+            if let Some(t) = self.buffered.take() {
+                events.push(RrpEvent::Deliver(Packet::Token(t), self.buffered_net));
+            }
+        }
+        // Grace expiry: level the counts once everyone has had time to
+        // resume sending, so the monitors judge the network afresh.
+        for i in 0..self.grace_until.len() {
+            if self.grace_until[i] != 0 && now >= self.grace_until[i] {
+                self.grace_until[i] = 0;
+                self.level_monitors(NetworkId::new(i as u8));
+            }
+        }
+        events
+    }
+
+    pub fn next_deadline(&self) -> Option<u64> {
+        let grace = self.grace_until.iter().copied().filter(|&g| g != 0).min();
+        [self.timer, grace].into_iter().flatten().min()
+    }
+
+    /// Puts a faulty network back in service, leveling its reception
+    /// counts and starting a declaration grace period. Returns whether
+    /// it was faulty.
+    pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
+        let was = self.faulty[net.index()];
+        self.faulty[net.index()] = false;
+        self.level_monitors(net);
+        self.grace_until[net.index()] = now + grace;
+        was
+    }
+
+    /// Diagnostic snapshot of all monitor modules' reception counts.
+    pub fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
+        let mut out = vec![(MonitorKind::Token, self.token_monitor.counts().to_vec())];
+        for (sender, m) in &self.msg_monitors {
+            out.push((MonitorKind::Messages { sender: *sender }, m.counts().to_vec()));
+        }
+        out
+    }
+
+    fn flag(&mut self, now: u64, suspects: Vec<(NetworkId, u64)>, monitor: MonitorKind) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        for (net, behind) in suspects {
+            if now < self.grace_until[net.index()] {
+                continue; // reinstatement grace: observe, don't declare
+            }
+            if !self.faulty[net.index()] {
+                self.faulty[net.index()] = true;
+                events.push(RrpEvent::Fault(FaultReport {
+                    net,
+                    at: now,
+                    reason: FaultReason::ReceptionLag { behind, monitor },
+                }));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationStyle;
+    use totem_wire::{RingId, Seq};
+
+    fn cfg(n: usize) -> RrpConfig {
+        let mut c = RrpConfig::new(ReplicationStyle::Passive, n);
+        c.monitor_threshold = 5;
+        c
+    }
+
+    fn token(seq: u64) -> Token {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+        t.seq = Seq::new(seq);
+        t
+    }
+
+    #[test]
+    fn round_robin_alternates_networks() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        let seq: Vec<u8> = (0..6).map(|_| s.route_message().as_u8()).collect();
+        assert_eq!(seq, vec![1, 0, 1, 0, 1, 0]);
+        // Tokens rotate independently.
+        let seq: Vec<u8> = (0..4).map(|_| s.route_token().as_u8()).collect();
+        assert_eq!(seq, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_faulty_networks() {
+        let cfg = cfg(3);
+        let mut s = PassiveState::new(&cfg);
+        s.faulty[1] = true;
+        let seq: Vec<u8> = (0..4).map(|_| s.route_message().as_u8()).collect();
+        assert_eq!(seq, vec![2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn all_faulty_keeps_sending() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        s.faulty = vec![true, true];
+        // Still yields a network rather than silence.
+        let _ = s.route_message();
+        let _ = s.route_token();
+    }
+
+    #[test]
+    fn token_with_nothing_missing_passes_straight_through() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        let ev = s.on_token(0, NetworkId::new(0), token(5), false, &cfg);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(s.timer.is_none());
+    }
+
+    #[test]
+    fn token_behind_missing_messages_is_buffered_until_release() {
+        // Requirement P1: a delayed message (Figure 3 scenarios) must
+        // not let the token reach the SRP early.
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        let ev = s.on_token(0, NetworkId::new(1), token(5), true, &cfg);
+        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        assert!(s.timer.is_some());
+        // Still missing: no release.
+        assert!(s.poll_release(true).is_empty());
+        // The gap closes: release immediately, well before the timer.
+        let ev = s.poll_release(false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(s.timer.is_none());
+    }
+
+    #[test]
+    fn token_timer_expiry_releases_buffered_token() {
+        // Requirement P3: progress even if the missing message never
+        // arrives.
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        s.on_token(0, NetworkId::new(0), token(5), true, &cfg);
+        let deadline = s.next_deadline().unwrap();
+        assert_eq!(deadline, cfg.passive_token_timeout);
+        let ev = s.on_timer(deadline, &cfg);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+    }
+
+    #[test]
+    fn timer_is_not_restarted_while_active() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        s.on_token(0, NetworkId::new(0), token(5), true, &cfg);
+        let first = s.timer.unwrap();
+        // A newer token arrives while one is already buffered (can
+        // happen across a reconfiguration): buffer is replaced, timer
+        // is left alone.
+        let mut newer = token(9);
+        newer.rotation = 1;
+        s.on_token(5_000_000, NetworkId::new(1), newer, true, &cfg);
+        assert_eq!(s.timer.unwrap(), first);
+        let ev = s.on_timer(first, &cfg);
+        match ev.as_slice() {
+            [RrpEvent::Deliver(Packet::Token(t), _)] => assert_eq!(t.seq.as_u64(), 9),
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lagging_network_is_flagged_by_message_monitor() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        let sender = NodeId::new(3);
+        let mut reports = Vec::new();
+        for _ in 0..cfg.monitor_threshold + 1 {
+            reports.extend(s.on_message(7, NetworkId::new(0), sender, &cfg));
+        }
+        assert_eq!(reports.len(), 1);
+        match &reports[0] {
+            RrpEvent::Fault(r) => {
+                assert_eq!(r.net, NetworkId::new(1));
+                assert!(matches!(
+                    r.reason,
+                    FaultReason::ReceptionLag { monitor: MonitorKind::Messages { sender: sd }, .. } if sd == sender
+                ));
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert!(s.faulty[1]);
+    }
+
+    #[test]
+    fn token_monitor_covers_quiet_periods() {
+        // "Token monitoring is a useful alternative during periods in
+        // which no messages are sent" (paper §6).
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        let mut flagged = false;
+        for i in 0..cfg.monitor_threshold + 1 {
+            let ev = s.on_token(i, NetworkId::new(1), token(i), false, &cfg);
+            flagged |= ev.iter().any(|e| matches!(e, RrpEvent::Fault(r) if r.net == NetworkId::new(0)));
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn monitors_are_per_sender() {
+        let cfg = cfg(2);
+        let mut s = PassiveState::new(&cfg);
+        // Each sender's own traffic alternates networks (as passive
+        // round-robin sending guarantees): no monitor may trip even
+        // though the interleaving differs per sender.
+        for i in 0..100u64 {
+            let sender = NodeId::new((i % 2) as u16);
+            let net = NetworkId::new(((i / 2) % 2) as u8);
+            assert!(s.on_message(i, net, sender, &cfg).iter().all(|e| !matches!(e, RrpEvent::Fault(_))),
+                "alternating traffic must not trip the monitor");
+        }
+        assert!(!s.faulty[0] && !s.faulty[1]);
+    }
+
+    #[test]
+    fn message_driven_compensation_forgives_sporadic_loss() {
+        let mut cfg = cfg(2);
+        cfg.monitor_threshold = 20;
+        cfg.compensation_every = 10;
+        let mut s = PassiveState::new(&cfg);
+        // A sender whose traffic alternates but loses ~4% on net1:
+        // forgiveness (10% of receptions) outpaces the divergence.
+        for i in 0..5000u64 {
+            let ev = s.on_message(i, NetworkId::new(0), NodeId::new(0), &cfg);
+            assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Fault(_))), "tripped at {i}");
+            if i % 25 != 0 {
+                let ev = s.on_message(i, NetworkId::new(1), NodeId::new(0), &cfg);
+                assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Fault(_))), "tripped at {i}");
+            }
+        }
+        assert!(!s.faulty[1], "sporadic loss must be forgiven (P5)");
+    }
+}

@@ -1,0 +1,301 @@
+//! Simulation configuration: network models, CPU models, seeds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Model of one shared-medium network (an Ethernet segment with its
+/// switch/hub).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Raw medium bandwidth in bits per second. The paper's testbeds
+    /// used 100 Mbit/s Ethernet.
+    pub bandwidth_bps: u64,
+    /// One-way propagation + switching latency applied to every frame.
+    pub latency: SimDuration,
+    /// Probability that a frame is lost on the medium (affects all
+    /// receivers of a broadcast at once — e.g. a hub glitch).
+    pub frame_loss: f64,
+    /// Probability that an individual receiver misses an otherwise
+    /// delivered frame (e.g. NIC buffer overrun). Applied per
+    /// receiver, independently.
+    pub rx_loss: f64,
+}
+
+impl NetworkConfig {
+    /// The paper's network: 100 Mbit/s Ethernet, 30 µs one-way
+    /// latency, lossless.
+    pub fn ethernet_100mbit() -> Self {
+        NetworkConfig {
+            bandwidth_bps: 100_000_000,
+            latency: SimDuration::from_micros(30),
+            frame_loss: 0.0,
+            rx_loss: 0.0,
+        }
+    }
+
+    /// Same network with a given independent per-receiver loss
+    /// probability.
+    pub fn with_rx_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.rx_loss = p;
+        self
+    }
+
+    /// Same network with a given whole-frame loss probability.
+    pub fn with_frame_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.frame_loss = p;
+        self
+    }
+
+    /// Same network with a different bandwidth.
+    pub fn with_bandwidth(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Same network with a different one-way latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::ethernet_100mbit()
+    }
+}
+
+/// Model of a node's protocol-stack processing costs.
+///
+/// Every packet handed to the stack for transmission costs
+/// `send_packet` (+ `send_per_byte` × payload) of CPU; every packet
+/// received costs `recv_packet` (+ `recv_per_byte` × payload). The
+/// node's CPU is a serial resource: costs queue behind one another.
+/// This is the model that reproduces the paper's finding that doubling
+/// the number of calls to the network protocol stack (active
+/// replication) costs throughput, and that passive replication becomes
+/// CPU-bound (§8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Fixed CPU cost of one send call into the stack.
+    pub send_packet: SimDuration,
+    /// Additional CPU cost per payload byte sent.
+    pub send_per_byte_ns: u64,
+    /// Fixed CPU cost of receiving one packet (the stack call; paid
+    /// for every copy, including duplicates that the protocol will
+    /// discard).
+    pub recv_packet: SimDuration,
+    /// Additional CPU cost per payload byte received.
+    pub recv_per_byte_ns: u64,
+    /// Fixed CPU cost of fully processing one *distinct* delivered
+    /// application message (ordering, duplicate bookkeeping, liveness
+    /// update, copy to the application) — the paper's §8 explanation
+    /// of why passive replication becomes CPU-bound. Charged by the
+    /// protocol host per delivery, not per reception.
+    pub deliver_msg: SimDuration,
+    /// Additional delivery-processing cost per application byte.
+    pub deliver_per_byte_ns: u64,
+}
+
+impl CpuConfig {
+    /// Calibrated to the paper's first testbed (Pentium II 450 MHz):
+    /// an unreplicated 4-node ring peaks near the paper's ≈9,000–
+    /// 10,000 1-Kbyte msgs/sec on one 100 Mbit/s Ethernet
+    /// (network-bound), ≈40,000 msgs/sec at 100 bytes (CPU-bound),
+    /// active replication loses roughly a thousand msgs/sec to the
+    /// doubled stack calls, and passive replication saturates the CPU
+    /// well short of doubling the unreplicated throughput.
+    pub fn pentium_ii_450() -> Self {
+        CpuConfig {
+            send_packet: SimDuration::from_micros(20),
+            send_per_byte_ns: 4,
+            recv_packet: SimDuration::from_micros(14),
+            recv_per_byte_ns: 4,
+            deliver_msg: SimDuration::from_micros(14),
+            deliver_per_byte_ns: 30,
+        }
+    }
+
+    /// Calibrated to the paper's second testbed (Pentium III
+    /// 900 MHz / 1 GHz): roughly twice the processing speed.
+    pub fn pentium_iii_900() -> Self {
+        CpuConfig {
+            send_packet: SimDuration::from_micros(11),
+            send_per_byte_ns: 2,
+            recv_packet: SimDuration::from_micros(8),
+            recv_per_byte_ns: 2,
+            deliver_msg: SimDuration::from_micros(8),
+            deliver_per_byte_ns: 18,
+        }
+    }
+
+    /// An effectively infinite CPU, for tests that want pure network
+    /// behaviour.
+    pub fn instant() -> Self {
+        CpuConfig {
+            send_packet: SimDuration::ZERO,
+            send_per_byte_ns: 0,
+            recv_packet: SimDuration::ZERO,
+            recv_per_byte_ns: 0,
+            deliver_msg: SimDuration::ZERO,
+            deliver_per_byte_ns: 0,
+        }
+    }
+
+    /// CPU time consumed by sending a packet with `payload` bytes.
+    pub fn send_cost(&self, payload: usize) -> SimDuration {
+        self.send_packet + SimDuration::from_nanos(self.send_per_byte_ns * payload as u64)
+    }
+
+    /// CPU time consumed by receiving a packet with `payload` bytes.
+    pub fn recv_cost(&self, payload: usize) -> SimDuration {
+        self.recv_packet + SimDuration::from_nanos(self.recv_per_byte_ns * payload as u64)
+    }
+
+    /// CPU time consumed by fully processing one delivered message of
+    /// `len` application bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use totem_sim::CpuConfig;
+    /// let cpu = CpuConfig::pentium_ii_450();
+    /// assert!(cpu.deliver_cost(1400) > cpu.deliver_cost(100));
+    /// assert_eq!(CpuConfig::instant().deliver_cost(1400).as_nanos(), 0);
+    /// ```
+    pub fn deliver_cost(&self, len: usize) -> SimDuration {
+        self.deliver_msg + SimDuration::from_nanos(self.deliver_per_byte_ns * len as u64)
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::pentium_ii_450()
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// One model per redundant network.
+    pub networks: Vec<NetworkConfig>,
+    /// One CPU model per node.
+    pub cpus: Vec<CpuConfig>,
+    /// Seed for the simulation's random number generator (loss draws).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A homogeneous LAN: `nodes` identical nodes on `networks`
+    /// identical 100 Mbit/s Ethernets, default CPU model, seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `networks` is zero.
+    pub fn lan(nodes: usize, networks: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(networks > 0, "need at least one network");
+        SimConfig {
+            nodes,
+            networks: vec![NetworkConfig::default(); networks],
+            cpus: vec![CpuConfig::default(); nodes],
+            seed: 0,
+        }
+    }
+
+    /// Replaces every node's CPU model.
+    pub fn with_cpu(mut self, cpu: CpuConfig) -> Self {
+        self.cpus = vec![cpu; self.nodes];
+        self
+    }
+
+    /// Replaces every network's model.
+    pub fn with_networks(mut self, net: NetworkConfig, count: usize) -> Self {
+        assert!(count > 0, "need at least one network");
+        self.networks = vec![net; count];
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of redundant networks.
+    pub fn network_count(&self) -> usize {
+        self.networks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_builds_homogeneous_config() {
+        let cfg = SimConfig::lan(4, 2);
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.network_count(), 2);
+        assert_eq!(cfg.cpus.len(), 4);
+        assert_eq!(cfg.networks[0], cfg.networks[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one node")]
+    fn lan_rejects_zero_nodes() {
+        let _ = SimConfig::lan(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one network")]
+    fn lan_rejects_zero_networks() {
+        let _ = SimConfig::lan(1, 0);
+    }
+
+    #[test]
+    fn cpu_costs_scale_with_payload() {
+        let cpu = CpuConfig::pentium_ii_450();
+        assert!(cpu.send_cost(1000) > cpu.send_cost(0));
+        assert_eq!(
+            cpu.send_cost(1000).as_nanos() - cpu.send_cost(0).as_nanos(),
+            1000 * cpu.send_per_byte_ns
+        );
+        assert_eq!(CpuConfig::instant().recv_cost(10_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn faster_testbed_is_cheaper_per_packet() {
+        let p2 = CpuConfig::pentium_ii_450();
+        let p3 = CpuConfig::pentium_iii_900();
+        assert!(p3.send_cost(1000) < p2.send_cost(1000));
+        assert!(p3.recv_cost(1000) < p2.recv_cost(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_probability_is_validated() {
+        let _ = NetworkConfig::default().with_rx_loss(1.5);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let net = NetworkConfig::ethernet_100mbit()
+            .with_bandwidth(10_000_000)
+            .with_latency(SimDuration::from_micros(100))
+            .with_frame_loss(0.01);
+        assert_eq!(net.bandwidth_bps, 10_000_000);
+        assert_eq!(net.latency, SimDuration::from_micros(100));
+        assert!((net.frame_loss - 0.01).abs() < 1e-12);
+        let cfg = SimConfig::lan(2, 1).with_networks(net.clone(), 3).with_seed(7).with_cpu(CpuConfig::instant());
+        assert_eq!(cfg.network_count(), 3);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.networks[2], net);
+    }
+}

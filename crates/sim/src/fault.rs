@@ -1,0 +1,236 @@
+//! Fault injection: the paper's network fault model (§3), as
+//! schedulable simulator state.
+//!
+//! The paper enumerates exactly three kinds of tolerated network
+//! fault:
+//!
+//! 1. a node is unable to **send** via a particular network;
+//! 2. a node is unable to **receive** via a particular network;
+//! 3. a network is unable to deliver data from some subset of nodes to
+//!    some other subset (up to and including everyone — a total
+//!    network failure).
+//!
+//! [`FaultPlane`] represents all three; [`FaultCommand`] lets test and
+//! bench code schedule them at simulated instants via
+//! [`crate::SimWorld::schedule_fault`].
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::{NetworkId, NodeId};
+
+/// A change to the fault state, schedulable at a simulated time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCommand {
+    /// Make `node` unable (or able again) to send on `net`.
+    SendFault {
+        /// Affected node.
+        node: NodeId,
+        /// Affected network.
+        net: NetworkId,
+        /// `true` to inject the fault, `false` to repair it.
+        failed: bool,
+    },
+    /// Make `node` unable (or able again) to receive on `net`.
+    RecvFault {
+        /// Affected node.
+        node: NodeId,
+        /// Affected network.
+        net: NetworkId,
+        /// `true` to inject the fault, `false` to repair it.
+        failed: bool,
+    },
+    /// Kill (or revive) an entire network: nothing is delivered on it.
+    NetworkDown {
+        /// Affected network.
+        net: NetworkId,
+        /// `true` to kill, `false` to revive.
+        down: bool,
+    },
+    /// Partition a network into groups: frames are delivered only
+    /// between nodes in the same group. `groups[i]` is node `i`'s
+    /// group label. An empty vector clears the partition.
+    Partition {
+        /// Affected network.
+        net: NetworkId,
+        /// Group label per node (empty = healed).
+        groups: Vec<u8>,
+    },
+}
+
+/// Current fault state of all networks.
+///
+/// # Example
+///
+/// ```
+/// # use totem_sim::{FaultCommand, FaultPlane};
+/// # use totem_wire::{NetworkId, NodeId};
+/// let mut plane = FaultPlane::new(4, 2);
+/// plane.apply(&FaultCommand::SendFault {
+///     node: NodeId::new(1),
+///     net: NetworkId::new(0),
+///     failed: true,
+/// });
+/// assert!(!plane.can_send(NodeId::new(1), NetworkId::new(0)));
+/// assert!(plane.can_send(NodeId::new(1), NetworkId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    nodes: usize,
+    networks: usize,
+    /// `send_fault[net][node]`
+    send_fault: Vec<Vec<bool>>,
+    /// `recv_fault[net][node]`
+    recv_fault: Vec<Vec<bool>>,
+    down: Vec<bool>,
+    /// Per network: `None` = no partition, `Some(groups)` with one
+    /// label per node.
+    partition: Vec<Option<Vec<u8>>>,
+}
+
+impl FaultPlane {
+    /// A fault-free plane for `nodes` nodes and `networks` networks.
+    pub fn new(nodes: usize, networks: usize) -> Self {
+        FaultPlane {
+            nodes,
+            networks,
+            send_fault: vec![vec![false; nodes]; networks],
+            recv_fault: vec![vec![false; nodes]; networks],
+            down: vec![false; networks],
+            partition: vec![None; networks],
+        }
+    }
+
+    /// Applies a fault command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command names a node or network outside the
+    /// configured topology, or a partition vector of the wrong length.
+    pub fn apply(&mut self, cmd: &FaultCommand) {
+        match cmd {
+            FaultCommand::SendFault { node, net, failed } => {
+                self.check(*node, *net);
+                self.send_fault[net.index()][node.index()] = *failed;
+            }
+            FaultCommand::RecvFault { node, net, failed } => {
+                self.check(*node, *net);
+                self.recv_fault[net.index()][node.index()] = *failed;
+            }
+            FaultCommand::NetworkDown { net, down } => {
+                assert!(net.index() < self.networks, "network out of range");
+                self.down[net.index()] = *down;
+            }
+            FaultCommand::Partition { net, groups } => {
+                assert!(net.index() < self.networks, "network out of range");
+                if groups.is_empty() {
+                    self.partition[net.index()] = None;
+                } else {
+                    assert_eq!(groups.len(), self.nodes, "one group label per node required");
+                    self.partition[net.index()] = Some(groups.clone());
+                }
+            }
+        }
+    }
+
+    fn check(&self, node: NodeId, net: NetworkId) {
+        assert!(node.index() < self.nodes, "node out of range");
+        assert!(net.index() < self.networks, "network out of range");
+    }
+
+    /// Whether a frame sent by `from` on `net` enters the medium at all.
+    pub fn can_send(&self, from: NodeId, net: NetworkId) -> bool {
+        !self.down[net.index()] && !self.send_fault[net.index()][from.index()]
+    }
+
+    /// Whether a frame from `from` on `net` reaches `to` (given it
+    /// entered the medium).
+    pub fn can_deliver(&self, from: NodeId, to: NodeId, net: NetworkId) -> bool {
+        if self.down[net.index()] || self.recv_fault[net.index()][to.index()] {
+            return false;
+        }
+        match &self.partition[net.index()] {
+            None => true,
+            Some(groups) => groups[from.index()] == groups[to.index()],
+        }
+    }
+
+    /// Whether the network is currently marked completely down.
+    pub fn is_down(&self, net: NetworkId) -> bool {
+        self.down[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u16, m: u8) -> (NodeId, NetworkId) {
+        (NodeId::new(n), NetworkId::new(m))
+    }
+
+    #[test]
+    fn fresh_plane_is_fault_free() {
+        let p = FaultPlane::new(4, 2);
+        let (n0, net0) = ids(0, 0);
+        let (n3, net1) = ids(3, 1);
+        assert!(p.can_send(n0, net0));
+        assert!(p.can_deliver(n0, n3, net1));
+        assert!(!p.is_down(net0));
+    }
+
+    #[test]
+    fn send_fault_blocks_only_that_sender_and_network() {
+        let mut p = FaultPlane::new(4, 2);
+        p.apply(&FaultCommand::SendFault { node: NodeId::new(1), net: NetworkId::new(0), failed: true });
+        assert!(!p.can_send(NodeId::new(1), NetworkId::new(0)));
+        assert!(p.can_send(NodeId::new(1), NetworkId::new(1)));
+        assert!(p.can_send(NodeId::new(0), NetworkId::new(0)));
+        // Repair.
+        p.apply(&FaultCommand::SendFault { node: NodeId::new(1), net: NetworkId::new(0), failed: false });
+        assert!(p.can_send(NodeId::new(1), NetworkId::new(0)));
+    }
+
+    #[test]
+    fn recv_fault_blocks_only_that_receiver() {
+        let mut p = FaultPlane::new(3, 1);
+        p.apply(&FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(0), failed: true });
+        assert!(!p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
+        assert!(p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
+    }
+
+    #[test]
+    fn network_down_blocks_everything_on_it() {
+        let mut p = FaultPlane::new(2, 2);
+        p.apply(&FaultCommand::NetworkDown { net: NetworkId::new(1), down: true });
+        assert!(!p.can_send(NodeId::new(0), NetworkId::new(1)));
+        assert!(!p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(1)));
+        assert!(p.can_send(NodeId::new(0), NetworkId::new(0)));
+        assert!(p.is_down(NetworkId::new(1)));
+    }
+
+    #[test]
+    fn partition_splits_delivery_by_group() {
+        let mut p = FaultPlane::new(4, 1);
+        p.apply(&FaultCommand::Partition { net: NetworkId::new(0), groups: vec![0, 0, 1, 1] });
+        assert!(p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
+        assert!(!p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
+        assert!(p.can_deliver(NodeId::new(2), NodeId::new(3), NetworkId::new(0)));
+        // Heal.
+        p.apply(&FaultCommand::Partition { net: NetworkId::new(0), groups: vec![] });
+        assert!(p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one group label per node")]
+    fn partition_vector_length_is_validated() {
+        let mut p = FaultPlane::new(4, 1);
+        p.apply(&FaultCommand::Partition { net: NetworkId::new(0), groups: vec![0, 1] });
+    }
+
+    #[test]
+    #[should_panic(expected = "network out of range")]
+    fn out_of_range_network_is_rejected() {
+        let mut p = FaultPlane::new(2, 1);
+        p.apply(&FaultCommand::NetworkDown { net: NetworkId::new(5), down: true });
+    }
+}

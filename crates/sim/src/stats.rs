@@ -1,0 +1,112 @@
+//! Simulation statistics: what moved on each network.
+//!
+//! The simulator counts frames and bytes per network and per outcome
+//! (delivered, lost, blocked by a fault). Application-level counters
+//! (messages delivered, payload bytes, latencies) live with the
+//! protocol harness in `totem-cluster`; these are the wire-level
+//! facts.
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::NetworkId;
+
+/// Wire-level counters for one network.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Frames that entered the medium.
+    pub frames_sent: u64,
+    /// Total wire bytes (payload + header overhead) that entered the
+    /// medium.
+    pub wire_bytes: u64,
+    /// Per-receiver deliveries (one broadcast to k receivers counts k).
+    pub deliveries: u64,
+    /// Frames lost on the medium (affecting all receivers).
+    pub frames_lost: u64,
+    /// Per-receiver losses.
+    pub rx_lost: u64,
+    /// Send attempts suppressed by a send fault or a dead network.
+    pub blocked_sends: u64,
+    /// Per-receiver deliveries suppressed by receive faults or
+    /// partitions.
+    pub blocked_deliveries: u64,
+}
+
+impl NetStats {
+    /// Mean utilization of the medium over `elapsed` seconds at
+    /// `bandwidth_bps`, in `[0, 1]`.
+    pub fn utilization(&self, elapsed_secs: f64, bandwidth_bps: u64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.wire_bytes as f64 * 8.0) / (elapsed_secs * bandwidth_bps as f64)
+    }
+}
+
+/// Counters for all networks in a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    nets: Vec<NetStats>,
+}
+
+impl SimStats {
+    /// Creates zeroed stats for `networks` networks.
+    pub fn new(networks: usize) -> Self {
+        SimStats { nets: vec![NetStats::default(); networks] }
+    }
+
+    /// Counters for one network.
+    pub fn net(&self, net: NetworkId) -> &NetStats {
+        &self.nets[net.index()]
+    }
+
+    /// Mutable counters for one network (used by the world).
+    pub(crate) fn net_mut(&mut self, net: NetworkId) -> &mut NetStats {
+        &mut self.nets[net.index()]
+    }
+
+    /// Iterates over `(network, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NetworkId, &NetStats)> {
+        self.nets.iter().enumerate().map(|(i, s)| (NetworkId::new(i as u8), s))
+    }
+
+    /// Total frames sent across all networks.
+    pub fn total_frames(&self) -> u64 {
+        self.nets.iter().map(|n| n.frames_sent).sum()
+    }
+
+    /// Total wire bytes across all networks.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.nets.iter().map(|n| n.wire_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_construction() {
+        let s = SimStats::new(2);
+        assert_eq!(s.total_frames(), 0);
+        assert_eq!(s.net(NetworkId::new(1)), &NetStats::default());
+    }
+
+    #[test]
+    fn utilization_math() {
+        let n = NetStats { wire_bytes: 12_500_000, ..Default::default() };
+        // 12.5 MB in one second on 100 Mbit/s = 100% utilization.
+        assert!((n.utilization(1.0, 100_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(n.utilization(0.0, 100_000_000), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_networks() {
+        let mut s = SimStats::new(2);
+        s.net_mut(NetworkId::new(0)).frames_sent = 3;
+        s.net_mut(NetworkId::new(1)).frames_sent = 4;
+        s.net_mut(NetworkId::new(1)).wire_bytes = 100;
+        assert_eq!(s.total_frames(), 7);
+        assert_eq!(s.total_wire_bytes(), 100);
+        assert_eq!(s.iter().count(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+//!
+//! The simulator never consults the wall clock; all timing flows from
+//! [`SimTime`] values produced by the event queue, which is what makes
+//! executions deterministic and replayable.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// # use totem_sim::SimDuration;
+/// let d = SimDuration::from_millis(10);
+/// assert_eq!(d.as_nanos(), 10_000_000);
+/// assert_eq!(d * 3, SimDuration::from_millis(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration in seconds as a float, for rate computations.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Transmission time of `bytes` at `bits_per_sec` on a serial
+    /// medium.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use totem_sim::SimDuration;
+    /// // 1518 bytes at 100 Mbit/s ≈ 121.4 µs
+    /// let d = SimDuration::transmission(1518, 100_000_000);
+    /// assert_eq!(d.as_micros(), 121);
+    /// ```
+    pub fn transmission(bytes: usize, bits_per_sec: u64) -> Self {
+        debug_assert!(bits_per_sec > 0, "bandwidth must be positive");
+        SimDuration((bytes as u128 * 8 * 1_000_000_000 / bits_per_sec as u128) as u64)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+/// An instant in simulated time, measured from the start of the run.
+///
+/// # Example
+///
+/// ```
+/// # use totem_sim::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.elapsed_since(SimTime::ZERO), SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `ns` nanoseconds after the start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `ms` milliseconds after the start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after the start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier` (zero if `earlier` is later).
+    pub fn elapsed_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn transmission_time_100mbit() {
+        // 100 Mbit/s moves 12.5 bytes per microsecond.
+        let d = SimDuration::transmission(1250, 100_000_000);
+        assert_eq!(d.as_micros(), 100);
+    }
+
+    #[test]
+    fn transmission_time_rounds_down_but_never_zero_for_big_frames() {
+        let d = SimDuration::transmission(1518, 1_000_000_000); // gigabit
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_millis(2) + SimDuration::from_micros(500);
+        assert_eq!(t.as_nanos(), 2_500_000);
+        assert_eq!(t - SimTime::from_millis(1), SimDuration::from_micros(1500));
+        assert_eq!(SimTime::from_millis(1) - t, SimDuration::ZERO); // saturates
+    }
+
+    #[test]
+    fn display_pretty_prints_scales() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.000µs");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn max_of_instants() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn rate_helper_as_secs_f64() {
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

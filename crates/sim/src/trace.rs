@@ -1,0 +1,177 @@
+//! Optional packet-level tracing of a simulation run.
+//!
+//! When enabled on a [`crate::SimWorld`], every wire-level event —
+//! frames entering a medium, deliveries, losses, blocks — is appended
+//! to a bounded in-memory log with its timestamp. Useful for
+//! debugging protocol schedules ("where was the token at t=1.2 ms?")
+//! and for tests that assert on wire-level behaviour rather than
+//! protocol outcomes.
+
+use serde::{Deserialize, Serialize};
+
+use totem_wire::{NetworkId, NodeId};
+
+use crate::time::SimTime;
+
+/// What happened to a packet on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The frame entered the medium (transmission started).
+    Sent,
+    /// The frame arrived at a receiver's NIC.
+    Delivered,
+    /// The frame was dropped by the medium (frame loss).
+    LostFrame,
+    /// One receiver's copy was dropped (receive loss).
+    LostRx,
+    /// The send was suppressed by a send fault or a dead network.
+    BlockedSend,
+    /// A receiver's copy was suppressed by a receive fault or a
+    /// partition.
+    BlockedDelivery,
+}
+
+impl core::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            TraceKind::Sent => "sent",
+            TraceKind::Delivered => "delivered",
+            TraceKind::LostFrame => "lost (frame)",
+            TraceKind::LostRx => "lost (rx)",
+            TraceKind::BlockedSend => "blocked (send)",
+            TraceKind::BlockedDelivery => "blocked (delivery)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A short classification of the traced packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TracedPacket {
+    /// Broadcast data frame, with its ring sequence number.
+    Data {
+        /// The packet's sequence number.
+        seq: u64,
+    },
+    /// Regular token, with `(rotation, seq)`.
+    Token {
+        /// Rotation counter.
+        rotation: u64,
+        /// Sequence number carried.
+        seq: u64,
+    },
+    /// Membership join message.
+    Join,
+    /// Commit token.
+    Commit,
+}
+
+/// One wire-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The network involved.
+    pub net: NetworkId,
+    /// The transmitting node.
+    pub from: NodeId,
+    /// The receiving node (`None` for medium-level events).
+    pub to: Option<NodeId>,
+    /// What kind of packet.
+    pub packet: TracedPacket,
+}
+
+/// A bounded in-memory trace log (oldest events are dropped once the
+/// capacity is reached).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog { events: std::collections::VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// All retained events in time order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted because the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events of one kind, in time order.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Token events only, in time order — the token's itinerary.
+    pub fn token_itinerary(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| matches!(e.packet, TracedPacket::Token { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(at_ns),
+            kind,
+            net: NetworkId::new(0),
+            from: NodeId::new(0),
+            to: None,
+            packet: TracedPacket::Token { rotation: 1, seq: at_ns },
+        }
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.push(ev(i, TraceKind::Sent));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.at, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn kind_filter_selects() {
+        let mut log = TraceLog::new(10);
+        log.push(ev(1, TraceKind::Sent));
+        log.push(ev(2, TraceKind::Delivered));
+        log.push(ev(3, TraceKind::Sent));
+        assert_eq!(log.of_kind(TraceKind::Sent).count(), 2);
+        assert_eq!(log.of_kind(TraceKind::LostRx).count(), 0);
+        assert_eq!(log.token_itinerary().count(), 3);
+    }
+}

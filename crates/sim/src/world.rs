@@ -1,0 +1,664 @@
+//! The simulation world: actors, networks, CPUs and the event loop.
+//!
+//! # Timing model
+//!
+//! A packet sent by an actor at simulated time `t` passes through
+//! three serial resources:
+//!
+//! 1. **Sender CPU** — the send call costs
+//!    [`CpuConfig::send_cost`](crate::CpuConfig::send_cost); calls
+//!    queue behind whatever the node's CPU is already doing. The
+//!    packet reaches the NIC when the call completes.
+//! 2. **Medium** — each network transmits one frame at a time at its
+//!    configured bandwidth; frames queue FIFO. A frame occupies the
+//!    medium for `wire_frame_len(payload) × 8 / bandwidth` and then
+//!    propagates with the configured latency. Because frames from all
+//!    senders serialize through the single medium, FIFO order per
+//!    `(sender, network)` holds exactly as the paper assumes for UDP
+//!    on a LAN (§5, footnote 2) — and *only* per network, which is
+//!    precisely the reordering the RRP algorithms must tolerate.
+//! 3. **Receiver CPU** — on arrival the packet queues for the
+//!    receiver's CPU and costs
+//!    [`CpuConfig::recv_cost`](crate::CpuConfig::recv_cost); the actor
+//!    sees it when processing completes.
+//!
+//! Loss draws and fault checks happen on the medium, so a blocked or
+//! lost frame still never reorders the survivors.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use totem_wire::{frame::wire_frame_len, NetworkId, NodeId, Packet};
+
+use crate::config::SimConfig;
+use crate::event::EventQueue;
+use crate::fault::{FaultCommand, FaultPlane};
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind, TraceLog, TracedPacket};
+
+/// Protocol logic hosted by the simulator.
+///
+/// Implementations are plain state machines: they receive callbacks
+/// with the current simulated time and emit effects through the
+/// [`Ctx`].
+pub trait Actor {
+    /// Called once at simulation start (time zero).
+    fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_>);
+    /// Called when a packet addressed to (or broadcast past) this node
+    /// has been received *and processed* by the node's CPU.
+    fn on_packet(&mut self, now: SimTime, net: NetworkId, from: NodeId, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// Called when the alarm set via [`Ctx::set_alarm`] fires.
+    fn on_alarm(&mut self, now: SimTime, ctx: &mut Ctx<'_>);
+}
+
+/// The effect interface handed to actors during callbacks.
+///
+/// Effects are buffered and applied by the world when the callback
+/// returns, in the order they were issued.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    me: NodeId,
+    now: SimTime,
+    nodes: usize,
+    networks: usize,
+    sends: &'a mut Vec<(NetworkId, Option<NodeId>, Packet)>,
+    alarm: &'a mut Option<Option<SimTime>>,
+    cpu: &'a mut SimDuration,
+}
+
+impl Ctx<'_> {
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of redundant networks.
+    pub fn network_count(&self) -> usize {
+        self.networks
+    }
+
+    /// Broadcasts `pkt` on `net` to every other node.
+    pub fn broadcast(&mut self, net: NetworkId, pkt: Packet) {
+        assert!(net.index() < self.networks, "network out of range");
+        self.sends.push((net, None, pkt));
+    }
+
+    /// Unicasts `pkt` on `net` to `dst`.
+    pub fn unicast(&mut self, net: NetworkId, dst: NodeId, pkt: Packet) {
+        assert!(net.index() < self.networks, "network out of range");
+        assert!(dst.index() < self.nodes, "destination out of range");
+        self.sends.push((net, Some(dst), pkt));
+    }
+
+    /// Arms (or re-arms) this node's single alarm to fire at `at`.
+    /// A later call replaces an earlier one.
+    pub fn set_alarm(&mut self, at: SimTime) {
+        *self.alarm = Some(Some(at));
+    }
+
+    /// Cancels any pending alarm.
+    pub fn cancel_alarm(&mut self) {
+        *self.alarm = Some(None);
+    }
+
+    /// Charges additional processing time to this node's CPU (e.g.
+    /// protocol work per delivered message). Subsequent receptions and
+    /// sends queue behind it.
+    pub fn consume_cpu(&mut self, cost: SimDuration) {
+        *self.cpu = *self.cpu + cost;
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start(NodeId),
+    Alarm { node: NodeId, gen: u64 },
+    /// Packet finished the sender's CPU and reached the NIC.
+    MediumEnter { net: NetworkId, from: NodeId, dst: Option<NodeId>, pkt: Packet },
+    /// Frame arrived at a receiver's NIC; queue for its CPU.
+    RxArrive { node: NodeId, net: NetworkId, from: NodeId, pkt: Packet },
+    /// Receiver CPU finished processing; hand to the actor.
+    RxDone { node: NodeId, net: NetworkId, from: NodeId, pkt: Packet },
+    Fault(FaultCommand),
+}
+
+/// The discrete-event simulation world.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct SimWorld<A> {
+    cfg: SimConfig,
+    actors: Vec<A>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    rng: SmallRng,
+    faults: FaultPlane,
+    stats: SimStats,
+    /// Per-node instant at which the CPU becomes free.
+    cpu_free: Vec<SimTime>,
+    /// Per-network instant at which the medium becomes free.
+    medium_free: Vec<SimTime>,
+    /// Per-node alarm state: (armed generation, current generation).
+    alarm_gen: Vec<u64>,
+    started: bool,
+    // Scratch buffers reused across dispatches.
+    scratch_sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
+    scratch_alarm: Option<Option<SimTime>>,
+    trace: Option<TraceLog>,
+}
+
+impl<A: std::fmt::Debug> std::fmt::Debug for SimWorld<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("now", &self.now)
+            .field("nodes", &self.cfg.nodes)
+            .field("networks", &self.cfg.network_count())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<A: Actor> SimWorld<A> {
+    /// Creates a world hosting `actors` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len() != cfg.nodes`.
+    pub fn new(cfg: SimConfig, actors: Vec<A>) -> Self {
+        assert_eq!(actors.len(), cfg.nodes, "one actor per configured node required");
+        let nodes = cfg.nodes;
+        let networks = cfg.network_count();
+        let mut queue = EventQueue::new();
+        for i in 0..nodes {
+            queue.push(SimTime::ZERO, Ev::Start(NodeId::new(i as u16)));
+        }
+        SimWorld {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            faults: FaultPlane::new(nodes, networks),
+            stats: SimStats::new(networks),
+            cpu_free: vec![SimTime::ZERO; nodes],
+            medium_free: vec![SimTime::ZERO; networks],
+            alarm_gen: vec![0; nodes],
+            actors,
+            queue,
+            now: SimTime::ZERO,
+            started: false,
+            scratch_sends: Vec::new(),
+            scratch_alarm: None,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Enables wire-level tracing, retaining up to `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The trace log, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, kind: TraceKind, net: NetworkId, from: NodeId, to: Option<NodeId>, pkt: &Packet) {
+        let Some(log) = self.trace.as_mut() else { return };
+        let packet = match pkt {
+            Packet::Data(d) => TracedPacket::Data { seq: d.seq.as_u64() },
+            Packet::Token(t) => TracedPacket::Token { rotation: t.rotation, seq: t.seq.as_u64() },
+            Packet::Join(_) => TracedPacket::Join,
+            Packet::Commit(_) => TracedPacket::Commit,
+        };
+        log.push(TraceEvent { at: self.now, kind, net, from, to, packet });
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Wire-level statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Immutable access to an actor.
+    pub fn actor(&self, id: NodeId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    /// Mutable access to an actor (for inspection/configuration only —
+    /// effects issued outside a callback are not collected; use
+    /// [`SimWorld::with_actor`] to interact).
+    pub fn actor_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    /// Iterates over all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Runs `f` against an actor with a live [`Ctx`], applying any
+    /// effects it issues. This is how external harness code (e.g. a
+    /// workload generator submitting application messages) interacts
+    /// with a node mid-simulation.
+    pub fn with_actor<R>(&mut self, id: NodeId, f: impl FnOnce(&mut A, SimTime, &mut Ctx<'_>) -> R) -> R {
+        let now = self.now;
+        let (r, sends, alarm, cpu) = {
+            let mut sends = std::mem::take(&mut self.scratch_sends);
+            let mut alarm = self.scratch_alarm.take();
+            let mut cpu = SimDuration::ZERO;
+            let mut ctx = Ctx {
+                me: id,
+                now,
+                nodes: self.cfg.nodes,
+                networks: self.cfg.network_count(),
+                sends: &mut sends,
+                alarm: &mut alarm,
+                cpu: &mut cpu,
+            };
+            let r = f(&mut self.actors[id.index()], now, &mut ctx);
+            (r, sends, alarm, cpu)
+        };
+        self.apply_effects(id, now, sends, alarm, cpu);
+        r
+    }
+
+    /// Schedules a fault command at a simulated instant.
+    pub fn schedule_fault(&mut self, at: SimTime, cmd: FaultCommand) {
+        self.queue.push(at.max(self.now), Ev::Fault(cmd));
+    }
+
+    /// Applies a fault command immediately.
+    pub fn fault_now(&mut self, cmd: FaultCommand) {
+        self.faults.apply(&cmd);
+    }
+
+    /// Read access to the current fault state.
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Processes events until simulated time `until` (inclusive);
+    /// afterwards `now() == until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Processes the single earliest event. Returns `false` if the
+    /// queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else { return false };
+        debug_assert!(t >= self.now, "time must not run backwards");
+        self.now = t;
+        self.started = true;
+        match ev {
+            Ev::Start(node) => self.dispatch(node, |a, now, ctx| a.on_start(now, ctx)),
+            Ev::Alarm { node, gen } => {
+                if self.alarm_gen[node.index()] == gen {
+                    self.dispatch(node, |a, now, ctx| a.on_alarm(now, ctx));
+                }
+            }
+            Ev::MediumEnter { net, from, dst, pkt } => self.medium_enter(net, from, dst, pkt),
+            Ev::RxArrive { node, net, from, pkt } => {
+                // Queue for the receiver's CPU (FIFO in arrival order).
+                let payload = pkt.wire_payload_len();
+                let cost = self.cfg.cpus[node.index()].recv_cost(payload);
+                let start = self.cpu_free[node.index()].max(self.now);
+                let done = start + cost;
+                self.cpu_free[node.index()] = done;
+                self.queue.push(done, Ev::RxDone { node, net, from, pkt });
+            }
+            Ev::RxDone { node, net, from, pkt } => {
+                self.dispatch(node, |a, now, ctx| a.on_packet(now, net, from, pkt, ctx));
+            }
+            Ev::Fault(cmd) => self.faults.apply(&cmd),
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut A, SimTime, &mut Ctx<'_>)) {
+        self.with_actor(node, |a, now, ctx| f(a, now, ctx));
+    }
+
+    fn apply_effects(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        mut sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
+        alarm: Option<Option<SimTime>>,
+        cpu: SimDuration,
+    ) {
+        for (net, dst, pkt) in sends.drain(..) {
+            // The send call consumes sender CPU; the packet reaches the
+            // NIC when the call completes.
+            let cost = self.cfg.cpus[node.index()].send_cost(pkt.wire_payload_len());
+            let start = self.cpu_free[node.index()].max(now);
+            let nic_at = start + cost;
+            self.cpu_free[node.index()] = nic_at;
+            self.queue.push(nic_at, Ev::MediumEnter { net, from: node, dst, pkt });
+        }
+        // Return the scratch buffer.
+        self.scratch_sends = sends;
+        if cpu > SimDuration::ZERO {
+            // Explicitly charged processing time (per-delivery
+            // protocol work) occupies the CPU *after* the sends: a
+            // node hands packets and the token to the NIC before it
+            // does application-delivery work, so the charge delays
+            // its future processing, not the token it just forwarded.
+            let busy = self.cpu_free[node.index()].max(now);
+            self.cpu_free[node.index()] = busy + cpu;
+        }
+        match alarm {
+            None => {}
+            Some(None) => {
+                self.alarm_gen[node.index()] += 1; // cancel: invalidate outstanding
+            }
+            Some(Some(at)) => {
+                self.alarm_gen[node.index()] += 1;
+                let gen = self.alarm_gen[node.index()];
+                self.queue.push(at.max(now), Ev::Alarm { node, gen });
+            }
+        }
+    }
+
+    fn medium_enter(&mut self, net: NetworkId, from: NodeId, dst: Option<NodeId>, pkt: Packet) {
+        if !self.faults.can_send(from, net) {
+            self.stats.net_mut(net).blocked_sends += 1;
+            self.trace_event(TraceKind::BlockedSend, net, from, None, &pkt);
+            return;
+        }
+        let netcfg = self.cfg.networks[net.index()].clone();
+        let wire_len = wire_frame_len(pkt.wire_payload_len());
+        // Serialize through the shared medium.
+        let tx_start = self.medium_free[net.index()].max(self.now);
+        let tx_dur = SimDuration::transmission(wire_len, netcfg.bandwidth_bps);
+        self.medium_free[net.index()] = tx_start + tx_dur;
+        let stats = self.stats.net_mut(net);
+        stats.frames_sent += 1;
+        stats.wire_bytes += wire_len as u64;
+        self.trace_event(TraceKind::Sent, net, from, dst, &pkt);
+
+        if netcfg.frame_loss > 0.0 && self.rng.gen_bool(netcfg.frame_loss) {
+            self.stats.net_mut(net).frames_lost += 1;
+            self.trace_event(TraceKind::LostFrame, net, from, None, &pkt);
+            return;
+        }
+        let arrive = tx_start + tx_dur + netcfg.latency;
+        let receivers: Vec<NodeId> = match dst {
+            Some(d) => vec![d],
+            None => (0..self.cfg.nodes as u16).map(NodeId::new).filter(|n| *n != from).collect(),
+        };
+        let rx_loss = netcfg.rx_loss;
+        for to in receivers {
+            if !self.faults.can_deliver(from, to, net) {
+                self.stats.net_mut(net).blocked_deliveries += 1;
+                self.trace_event(TraceKind::BlockedDelivery, net, from, Some(to), &pkt);
+                continue;
+            }
+            if rx_loss > 0.0 && self.rng.gen_bool(rx_loss) {
+                self.stats.net_mut(net).rx_lost += 1;
+                self.trace_event(TraceKind::LostRx, net, from, Some(to), &pkt);
+                continue;
+            }
+            self.stats.net_mut(net).deliveries += 1;
+            self.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
+            self.queue.push(arrive, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuConfig, NetworkConfig};
+    use totem_wire::{RingId, Seq, Token};
+
+    /// Records every packet it sees; broadcasts `to_send` packets on
+    /// start.
+    struct Recorder {
+        to_send: Vec<(NetworkId, Packet)>,
+        seen: Vec<(SimTime, NetworkId, NodeId, Packet)>,
+        alarms: Vec<SimTime>,
+        alarm_at: Option<SimTime>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder { to_send: vec![], seen: vec![], alarms: vec![], alarm_at: None }
+        }
+    }
+
+    impl Actor for Recorder {
+        fn on_start(&mut self, _now: SimTime, ctx: &mut Ctx<'_>) {
+            for (net, pkt) in self.to_send.drain(..) {
+                ctx.broadcast(net, pkt);
+            }
+            if let Some(at) = self.alarm_at {
+                ctx.set_alarm(at);
+            }
+        }
+        fn on_packet(&mut self, now: SimTime, net: NetworkId, from: NodeId, pkt: Packet, _ctx: &mut Ctx<'_>) {
+            self.seen.push((now, net, from, pkt));
+        }
+        fn on_alarm(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) {
+            self.alarms.push(now);
+        }
+    }
+
+    fn token_pkt(seq: u64) -> Packet {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+        t.seq = Seq::new(seq);
+        Packet::Token(t)
+    }
+
+    fn world_with(n: usize, nets: usize, f: impl Fn(usize, &mut Recorder)) -> SimWorld<Recorder> {
+        let cfg = SimConfig::lan(n, nets).with_cpu(CpuConfig::instant());
+        let actors = (0..n)
+            .map(|i| {
+                let mut r = Recorder::new();
+                f(i, &mut r);
+                r
+            })
+            .collect();
+        SimWorld::new(cfg, actors)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_the_sender() {
+        let mut w = world_with(4, 1, |i, r| {
+            if i == 0 {
+                r.to_send.push((NetworkId::new(0), token_pkt(1)));
+            }
+        });
+        w.run_until(SimTime::from_millis(10));
+        assert!(w.actor(NodeId::new(0)).seen.is_empty());
+        for i in 1..4 {
+            assert_eq!(w.actor(NodeId::new(i)).seen.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fifo_holds_per_sender_per_network() {
+        let mut w = world_with(2, 1, |i, r| {
+            if i == 0 {
+                for s in 1..=50 {
+                    r.to_send.push((NetworkId::new(0), token_pkt(s)));
+                }
+            }
+        });
+        w.run_until(SimTime::from_secs(1));
+        let seqs: Vec<u64> = w
+            .actor(NodeId::new(1))
+            .seen
+            .iter()
+            .map(|(_, _, _, p)| match p {
+                Packet::Token(t) => t.seq.as_u64(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_and_bandwidth_shape_arrival_time() {
+        // One packet, instant CPU: arrival = transmission + latency.
+        let net = NetworkConfig::ethernet_100mbit().with_latency(SimDuration::from_micros(50));
+        let cfg = SimConfig::lan(2, 1).with_networks(net, 1).with_cpu(CpuConfig::instant());
+        let mut a0 = Recorder::new();
+        a0.to_send.push((NetworkId::new(0), token_pkt(1)));
+        let mut w = SimWorld::new(cfg, vec![a0, Recorder::new()]);
+        w.run_until(SimTime::from_millis(10));
+        let (at, _, _, _) = w.actor(NodeId::new(1)).seen[0];
+        let pkt = token_pkt(1);
+        let expect = SimDuration::transmission(wire_frame_len(pkt.wire_payload_len()), 100_000_000)
+            + SimDuration::from_micros(50);
+        assert_eq!(at.as_nanos(), expect.as_nanos());
+    }
+
+    #[test]
+    fn send_fault_blocks_at_the_medium() {
+        let mut w = world_with(2, 2, |i, r| {
+            if i == 0 {
+                r.to_send.push((NetworkId::new(0), token_pkt(1)));
+                r.to_send.push((NetworkId::new(1), token_pkt(2)));
+            }
+        });
+        w.fault_now(FaultCommand::SendFault { node: NodeId::new(0), net: NetworkId::new(0), failed: true });
+        w.run_until(SimTime::from_millis(10));
+        let seen = &w.actor(NodeId::new(1)).seen;
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1, NetworkId::new(1));
+        assert_eq!(w.stats().net(NetworkId::new(0)).blocked_sends, 1);
+    }
+
+    #[test]
+    fn scheduled_fault_takes_effect_at_its_time() {
+        // Node 0 broadcasts at t=0 (delivered) and we kill the network
+        // at t=1ms; a with_actor send at t=2ms is blocked.
+        let mut w = world_with(2, 1, |i, r| {
+            if i == 0 {
+                r.to_send.push((NetworkId::new(0), token_pkt(1)));
+            }
+        });
+        w.schedule_fault(SimTime::from_millis(1), FaultCommand::NetworkDown { net: NetworkId::new(0), down: true });
+        w.run_until(SimTime::from_millis(2));
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(2));
+        });
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 1);
+        assert_eq!(w.stats().net(NetworkId::new(0)).blocked_sends, 1);
+    }
+
+    #[test]
+    fn alarm_fires_once_and_rearm_replaces() {
+        let mut w = world_with(1, 1, |_, r| {
+            r.alarm_at = Some(SimTime::from_millis(5));
+        });
+        w.run_until(SimTime::from_millis(20));
+        assert_eq!(w.actor(NodeId::new(0)).alarms, vec![SimTime::from_millis(5)]);
+
+        // Re-arm externally, then cancel before it fires.
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| ctx.set_alarm(SimTime::from_millis(30)));
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| ctx.cancel_alarm());
+        w.run_until(SimTime::from_millis(50));
+        assert_eq!(w.actor(NodeId::new(0)).alarms.len(), 1);
+    }
+
+    #[test]
+    fn rx_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let net = NetworkConfig::ethernet_100mbit().with_rx_loss(0.5);
+            let cfg = SimConfig::lan(2, 1).with_networks(net, 1).with_cpu(CpuConfig::instant()).with_seed(seed);
+            let mut a0 = Recorder::new();
+            for s in 0..100 {
+                a0.to_send.push((NetworkId::new(0), token_pkt(s)));
+            }
+            let mut w = SimWorld::new(cfg, vec![a0, Recorder::new()]);
+            w.run_until(SimTime::from_secs(1));
+            (w.actor(NodeId::new(1)).seen.len(), w.stats().net(NetworkId::new(0)).rx_lost)
+        };
+        let (seen_a, lost_a) = run(42);
+        let (seen_b, lost_b) = run(42);
+        assert_eq!((seen_a, lost_a), (seen_b, lost_b));
+        assert_eq!(seen_a as u64 + lost_a, 100);
+        assert!(lost_a > 10, "with p=0.5 over 100 frames, losses are near-certain");
+        let (seen_c, _) = run(43);
+        // Different seed almost surely differs; tolerate equality but
+        // verify the mechanism ran.
+        let _ = seen_c;
+    }
+
+    #[test]
+    fn cpu_cost_serializes_receives() {
+        // Two frames arrive back-to-back; with a 100µs recv cost the
+        // second on_packet happens ≥100µs after the first.
+        let cpu = CpuConfig {
+            send_packet: SimDuration::ZERO,
+            send_per_byte_ns: 0,
+            recv_packet: SimDuration::from_micros(100),
+            recv_per_byte_ns: 0,
+            deliver_msg: SimDuration::ZERO,
+            deliver_per_byte_ns: 0,
+        };
+        let cfg = SimConfig::lan(2, 1).with_cpu(cpu);
+        let mut a0 = Recorder::new();
+        a0.to_send.push((NetworkId::new(0), token_pkt(1)));
+        a0.to_send.push((NetworkId::new(0), token_pkt(2)));
+        let mut w = SimWorld::new(cfg, vec![a0, Recorder::new()]);
+        w.run_until(SimTime::from_millis(10));
+        let seen = &w.actor(NodeId::new(1)).seen;
+        assert_eq!(seen.len(), 2);
+        let gap = seen[1].0 - seen[0].0;
+        assert!(gap >= SimDuration::from_micros(100), "gap was {gap}");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w = world_with(1, 1, |_, _| {});
+        w.run_until(SimTime::from_secs(3));
+        assert_eq!(w.now(), SimTime::from_secs(3));
+        assert!(!w.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "one actor per configured node")]
+    fn actor_count_is_validated() {
+        let cfg = SimConfig::lan(3, 1);
+        let _ = SimWorld::new(cfg, vec![Recorder::new()]);
+    }
+
+    #[test]
+    fn unicast_reaches_only_destination() {
+        let cfg = SimConfig::lan(3, 1).with_cpu(CpuConfig::instant());
+        let mut w = SimWorld::new(cfg, vec![Recorder::new(), Recorder::new(), Recorder::new()]);
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.unicast(NetworkId::new(0), NodeId::new(2), token_pkt(9));
+        });
+        w.run_until(SimTime::from_millis(5));
+        assert!(w.actor(NodeId::new(1)).seen.is_empty());
+        assert_eq!(w.actor(NodeId::new(2)).seen.len(), 1);
+    }
+}

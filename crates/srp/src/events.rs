@@ -1,0 +1,109 @@
+//! Outputs of the single ring protocol state machine.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use totem_wire::{NodeId, Packet, RingId, Seq};
+
+/// An application message delivered in total order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivered {
+    /// The node that originated the message.
+    pub sender: NodeId,
+    /// The global sequence number of the packet that completed the
+    /// message (for fragmented messages, the final fragment's packet).
+    pub seq: Seq,
+    /// The ring the message was ordered on.
+    pub ring: RingId,
+    /// The application payload.
+    pub data: Bytes,
+}
+
+/// Which flavour of configuration change is being delivered
+/// (extended-virtual-synchrony style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigKind {
+    /// The transitional configuration: the members of the old ring
+    /// that survive into the new one. Messages delivered after it and
+    /// before the regular configuration are old-ring messages ordered
+    /// among the survivors.
+    Transitional,
+    /// The regular configuration: the full membership of the new ring.
+    Regular,
+}
+
+/// A membership (configuration) change delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigChange {
+    /// Transitional or regular.
+    pub kind: ConfigKind,
+    /// The identity of the ring the configuration belongs to.
+    pub ring: RingId,
+    /// Members, in ring order.
+    pub members: Vec<NodeId>,
+}
+
+/// Everything the SRP state machine can ask its host to do or observe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrpEvent {
+    /// Broadcast a packet to all ring members (the redundant ring
+    /// layer decides which network(s)).
+    Broadcast(Packet),
+    /// Rebroadcast a packet in answer to a retransmission request.
+    /// Kept distinct from [`SrpEvent::Broadcast`] so the redundant
+    /// ring layer can route retransmissions on their own round-robin
+    /// sequence — a retransmission carries the *original* sender's id,
+    /// so folding it into the retransmitter's data rotation would
+    /// skew the per-sender reception monitors.
+    Rebroadcast(Packet),
+    /// Unicast a packet (the token) to the ring successor.
+    ToSuccessor(NodeId, Packet),
+    /// Deliver an application message.
+    Deliver(Delivered),
+    /// Deliver a configuration change.
+    Config(ConfigChange),
+}
+
+impl SrpEvent {
+    /// Convenience: the packet if this is a send event.
+    pub fn packet(&self) -> Option<&Packet> {
+        match self {
+            SrpEvent::Broadcast(p) | SrpEvent::Rebroadcast(p) | SrpEvent::ToSuccessor(_, p) => {
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+
+    /// Convenience: the delivery if this is a deliver event.
+    pub fn delivered(&self) -> Option<&Delivered> {
+        match self {
+            SrpEvent::Deliver(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totem_wire::{RingId, Token};
+
+    #[test]
+    fn accessors_select_the_right_variants() {
+        let token = Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1)));
+        let ev = SrpEvent::ToSuccessor(NodeId::new(1), token.clone());
+        assert_eq!(ev.packet(), Some(&token));
+        assert!(ev.delivered().is_none());
+
+        let d = Delivered {
+            sender: NodeId::new(0),
+            seq: Seq::new(1),
+            ring: RingId::new(NodeId::new(0), 1),
+            data: Bytes::from_static(b"x"),
+        };
+        let ev = SrpEvent::Deliver(d.clone());
+        assert_eq!(ev.delivered(), Some(&d));
+        assert!(ev.packet().is_none());
+    }
+}

@@ -1,0 +1,647 @@
+//! The Totem SRP membership protocol: Gather → Commit → Recovery.
+//!
+//! When a node's token-loss timer fires (or it hears a join message
+//! from a node outside its ring), it enters **Gather** and broadcasts
+//! join messages carrying the set of processors it can hear
+//! (`proc_set`) and those it has given up on (`fail_set`). When every
+//! reachable processor advertises identical sets, consensus is
+//! reached; the smallest member (the representative) circulates a
+//! **commit token** around the candidate ring: the first rotation
+//! collects each member's old-ring state, the second distributes the
+//! complete picture and moves members to **Recovery**. In recovery the
+//! members rebroadcast old-ring packets that some survivor is missing
+//! (encapsulated on the new ring), then deliver the transitional
+//! configuration, the recovered old-ring messages, and the regular
+//! configuration — in that order, in the style of extended virtual
+//! synchrony — before going Operational on the new ring.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use totem_wire::{
+    CommitToken, DataPacket, JoinMessage, MembEntry, NodeId, Packet, RingId, Seq, Token,
+};
+
+use crate::events::{ConfigChange, ConfigKind, SrpEvent};
+use crate::node::{
+    deliver_packets, forward_token, recovery_chunk, Nanos, RingCtx, SrpNode, StateImpl, TokenCtx,
+};
+
+/// Gather-state bookkeeping.
+#[derive(Debug)]
+pub(crate) struct GatherCtx {
+    pub proc_set: BTreeSet<NodeId>,
+    pub fail_set: BTreeSet<NodeId>,
+    /// Last join received from each processor: `(proc_set, fail_set)`.
+    pub joins: BTreeMap<NodeId, (BTreeSet<NodeId>, BTreeSet<NodeId>)>,
+    /// Next periodic join rebroadcast.
+    pub join_deadline: Nanos,
+    /// Consensus watchdog: on expiry, unresponsive processors move to
+    /// the fail set (or the whole gather restarts if we were waiting
+    /// for a commit token that never came).
+    pub consensus_deadline: Nanos,
+}
+
+impl GatherCtx {
+    /// A dormant context (used before [`SrpNode::start`] arms the
+    /// timers).
+    pub(crate) fn empty() -> Self {
+        GatherCtx {
+            proc_set: BTreeSet::new(),
+            fail_set: BTreeSet::new(),
+            joins: BTreeMap::new(),
+            join_deadline: Nanos::MAX,
+            consensus_deadline: Nanos::MAX,
+        }
+    }
+}
+
+/// Commit-state bookkeeping: waiting for the commit token to complete
+/// its rotations.
+#[derive(Debug)]
+pub(crate) struct CommitCtx {
+    pub ring: RingId,
+    /// Candidate membership in ring order.
+    pub members: Vec<NodeId>,
+    pub loss_deadline: Nanos,
+}
+
+/// Recovery-state bookkeeping.
+#[derive(Debug)]
+pub(crate) struct RecoveryCtx {
+    /// The new ring being brought up (its window holds recovery
+    /// packets).
+    pub new: RingCtx,
+    /// Commit-token entries: every member's old-ring state.
+    pub entries: Vec<MembEntry>,
+    /// Old-ring sequence range to recover for *my* old ring:
+    /// `(plan_low, plan_high]`.
+    pub plan_low: Seq,
+    pub plan_high: Seq,
+    /// Old-ring sequence numbers already rebroadcast on the new ring
+    /// (by anyone), so each packet is retransmitted once.
+    pub recovered_seen: BTreeSet<u64>,
+    pub token: TokenCtx,
+    /// Consecutive idle token visits (no traffic, `aru == seq`); two
+    /// of them mean recovery is complete ring-wide.
+    pub quiet: u8,
+}
+
+impl SrpNode {
+    // ------------------------------------------------------------------
+    // Gather
+    // ------------------------------------------------------------------
+
+    /// Enters (or restarts) the Gather state and broadcasts a join
+    /// message.
+    pub(crate) fn enter_gather(&mut self, now: Nanos, seed_fail: Vec<NodeId>) -> Vec<SrpEvent> {
+        self.stats.gathers += 1;
+        let mut proc_set = BTreeSet::new();
+        proc_set.insert(self.me);
+        let fail_set: BTreeSet<NodeId> = seed_fail.into_iter().filter(|f| *f != self.me).collect();
+        let g = GatherCtx {
+            proc_set,
+            fail_set,
+            joins: BTreeMap::new(),
+            join_deadline: now + self.cfg.join_retransmit_interval,
+            consensus_deadline: now + self.cfg.consensus_timeout,
+        };
+        self.state = StateImpl::Gather(g);
+        // No consensus check here: with a freshly reset `proc_set` of
+        // one, an instant check would form a spurious singleton ring.
+        // Consensus is evaluated as joins arrive; a true singleton only
+        // forms after the consensus timeout expires unanswered.
+        vec![self.my_join_broadcast()]
+    }
+
+    fn my_join_broadcast(&self) -> SrpEvent {
+        let StateImpl::Gather(g) = &self.state else {
+            unreachable!("join broadcast outside gather")
+        };
+        SrpEvent::Broadcast(Packet::Join(JoinMessage {
+            sender: self.me,
+            ring_seq: self.max_ring_seq,
+            proc_set: g.proc_set.iter().copied().collect(),
+            fail_set: g.fail_set.iter().copied().collect(),
+        }))
+    }
+
+    /// Periodic gather timers: join rebroadcast and the consensus
+    /// watchdog.
+    pub(crate) fn gather_timers(&mut self, now: Nanos) -> Vec<SrpEvent> {
+        let mut events = Vec::new();
+        let StateImpl::Gather(g) = &mut self.state else { return events };
+        let mut rebroadcast = false;
+        if g.join_deadline <= now {
+            g.join_deadline = now + self.cfg.join_retransmit_interval;
+            rebroadcast = true;
+        }
+        if g.consensus_deadline <= now {
+            // Give up on processors that never answered.
+            let silent: Vec<NodeId> = g
+                .proc_set
+                .iter()
+                .copied()
+                .filter(|p| *p != self.me && !g.joins.contains_key(p))
+                .collect();
+            for p in silent {
+                g.fail_set.insert(p);
+            }
+            // Also retire stale agreement state so consensus is
+            // re-evaluated against the new fail set.
+            g.consensus_deadline = now + self.cfg.consensus_timeout;
+            rebroadcast = true;
+        }
+        if rebroadcast {
+            events.push(self.my_join_broadcast());
+            // The watchdog has expired at least once: a singleton ring
+            // may now form if we are truly alone.
+            events.extend(self.check_consensus(now, true));
+        }
+        events
+    }
+
+    /// Handles a join message in any state.
+    pub(crate) fn handle_join(&mut self, now: Nanos, j: JoinMessage) -> Vec<SrpEvent> {
+        if j.sender == self.me {
+            return Vec::new(); // our own broadcast echoed back
+        }
+        self.max_ring_seq = self.max_ring_seq.max(j.ring_seq);
+        match &mut self.state {
+            StateImpl::Operational(_) => {
+                let ring = self.ring.as_ref().expect("operational ring");
+                if ring.members.contains(&j.sender) {
+                    if j.ring_seq < ring.ring.seq {
+                        return Vec::new(); // stale join from before our ring formed
+                    }
+                    // Our own representative's merge-detect
+                    // announcement: it describes exactly our ring.
+                    let own_announcement = j.ring_seq == ring.ring.seq
+                        && j.fail_set.is_empty()
+                        && j.proc_set == ring.members;
+                    if own_announcement {
+                        return Vec::new();
+                    }
+                }
+                // Someone needs a membership change (a joiner, or a
+                // member that lost the token): shift to Gather and
+                // process the join there.
+                let mut events = self.enter_gather(now, Vec::new());
+                events.extend(self.handle_join(now, j));
+                events
+            }
+            StateImpl::Commit(c) => {
+                if j.ring_seq >= c.ring.seq || !c.members.contains(&j.sender) {
+                    let mut events = self.enter_gather(now, Vec::new());
+                    events.extend(self.handle_join(now, j));
+                    events
+                } else {
+                    Vec::new()
+                }
+            }
+            StateImpl::Recovery(r) => {
+                if j.ring_seq >= r.new.ring.seq || !r.new.members.contains(&j.sender) {
+                    let mut events = self.enter_gather(now, Vec::new());
+                    events.extend(self.handle_join(now, j));
+                    events
+                } else {
+                    Vec::new()
+                }
+            }
+            StateImpl::Gather(g) => {
+                let mut changed = g.proc_set.insert(j.sender);
+                for p in &j.proc_set {
+                    changed |= g.proc_set.insert(*p);
+                }
+                for f in &j.fail_set {
+                    if *f != self.me {
+                        changed |= g.fail_set.insert(*f);
+                    }
+                }
+                let mut jp: BTreeSet<NodeId> = j.proc_set.iter().copied().collect();
+                jp.insert(j.sender);
+                let jf: BTreeSet<NodeId> = j.fail_set.iter().copied().collect();
+                g.joins.insert(j.sender, (jp, jf));
+                let mut events = Vec::new();
+                if changed {
+                    // New information: re-advertise and give consensus
+                    // a fresh window.
+                    g.consensus_deadline = now + self.cfg.consensus_timeout;
+                    g.join_deadline = now + self.cfg.join_retransmit_interval;
+                    events.push(self.my_join_broadcast());
+                }
+                events.extend(self.check_consensus(now, false));
+                events
+            }
+        }
+    }
+
+    /// Checks whether every reachable processor advertises our exact
+    /// sets; if so — and we are the representative — builds and sends
+    /// the commit token.
+    fn check_consensus(&mut self, now: Nanos, allow_singleton: bool) -> Vec<SrpEvent> {
+        let StateImpl::Gather(g) = &self.state else { return Vec::new() };
+        let candidate: Vec<NodeId> =
+            g.proc_set.iter().copied().filter(|p| !g.fail_set.contains(p)).collect();
+        if candidate.is_empty() || !candidate.contains(&self.me) {
+            return Vec::new();
+        }
+        if candidate.len() == 1 && !allow_singleton {
+            // Being alone is only believable once the consensus
+            // watchdog has expired with no other voice heard.
+            return Vec::new();
+        }
+        let agreed = candidate.iter().all(|p| {
+            *p == self.me
+                || g.joins
+                    .get(p)
+                    .is_some_and(|(ps, fs)| *ps == g.proc_set && *fs == g.fail_set)
+        });
+        if !agreed {
+            return Vec::new();
+        }
+        let rep = candidate[0];
+        if rep != self.me {
+            // Consensus reached; await the representative's commit
+            // token (the consensus watchdog covers its loss).
+            return Vec::new();
+        }
+        // Build the commit token for the candidate ring.
+        let new_ring = RingId::new(self.me, self.max_ring_seq + 1);
+        self.max_ring_seq += 1;
+        let mut entries: Vec<MembEntry> = candidate
+            .iter()
+            .map(|&node| MembEntry {
+                node,
+                old_ring: RingId::new(node, 0),
+                my_aru: Seq::ZERO,
+                high_delivered: Seq::ZERO,
+                received_flag: false,
+            })
+            .collect();
+        let me_idx = entries.iter().position(|e| e.node == self.me).expect("own entry");
+        self.fill_commit_entry(&mut entries[me_idx]);
+        let ct = CommitToken { ring: new_ring, round: 0, entries };
+
+        if candidate.len() == 1 {
+            // Singleton ring: the commit token "circulates" through us
+            // alone — process it inline instead of the wire.
+            self.state = StateImpl::Commit(CommitCtx {
+                ring: new_ring,
+                members: candidate,
+                loss_deadline: now + self.cfg.token_loss_timeout,
+            });
+            return self.handle_commit(now, ct);
+        }
+        let succ = next_after(&candidate, self.me);
+        self.state = StateImpl::Commit(CommitCtx {
+            ring: new_ring,
+            members: candidate,
+            loss_deadline: now + self.cfg.token_loss_timeout,
+        });
+        vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct))]
+    }
+
+    fn fill_commit_entry(&self, entry: &mut MembEntry) {
+        match &self.ring {
+            Some(r) => {
+                entry.old_ring = r.ring;
+                entry.my_aru = r.window.my_aru();
+                entry.high_delivered = r.window.high_seen();
+            }
+            None => {
+                entry.old_ring = RingId::new(self.me, 0);
+                entry.my_aru = Seq::ZERO;
+                entry.high_delivered = Seq::ZERO;
+            }
+        }
+        entry.received_flag = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Handles the commit token in any state.
+    pub(crate) fn handle_commit(&mut self, now: Nanos, mut ct: CommitToken) -> Vec<SrpEvent> {
+        let in_members = ct.members().any(|m| m == self.me);
+        if !in_members {
+            return Vec::new();
+        }
+        self.max_ring_seq = self.max_ring_seq.max(ct.ring.seq);
+        match &mut self.state {
+            StateImpl::Gather(_) | StateImpl::Operational(_) => {
+                // Stale commit for a ring older than ours?
+                if self.ring.as_ref().is_some_and(|r| ct.ring.seq <= r.ring.seq) {
+                    return Vec::new();
+                }
+                if ct.round != 0 {
+                    // We missed round 0 (e.g. we re-entered gather);
+                    // let the membership protocol restart around us.
+                    return Vec::new();
+                }
+                let me_idx =
+                    ct.entries.iter().position(|e| e.node == self.me).expect("member entry");
+                self.fill_commit_entry(&mut ct.entries[me_idx]);
+                let members: Vec<NodeId> = ct.members().collect();
+                let succ = next_after(&members, self.me);
+                self.state = StateImpl::Commit(CommitCtx {
+                    ring: ct.ring,
+                    members,
+                    loss_deadline: now + self.cfg.token_loss_timeout,
+                });
+                vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct))]
+            }
+            StateImpl::Commit(c) => {
+                if ct.ring != c.ring {
+                    return Vec::new();
+                }
+                let members = c.members.clone();
+                let rep = members[0];
+                if self.me == rep && ct.round == 0 {
+                    if ct.entries.iter().all(|e| e.received_flag) {
+                        // First rotation complete: distribute the full
+                        // picture and move to recovery ourselves.
+                        ct.round = 1;
+                        let mut events = self.enter_recovery(now, &ct);
+                        if members.len() == 1 {
+                            // Singleton: round 1 also completes here.
+                            events.extend(self.handle_commit(now, ct));
+                        } else {
+                            let succ = next_after(&members, self.me);
+                            events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct)));
+                        }
+                        events
+                    } else {
+                        // An incomplete round-0 token returning to the
+                        // rep means a member was skipped; restart.
+                        self.enter_gather(now, Vec::new())
+                    }
+                } else if ct.round == 1 {
+                    // Second rotation: adopt the full picture, enter
+                    // recovery, pass it on.
+                    let mut events = self.enter_recovery(now, &ct);
+                    let succ = next_after(&members, self.me);
+                    events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct)));
+                    events
+                } else {
+                    Vec::new() // duplicate round-0 visit
+                }
+            }
+            StateImpl::Recovery(r) => {
+                if ct.ring == r.new.ring && ct.round == 1 && r.new.rep() == self.me {
+                    // Round 1 returned to the representative: the ring
+                    // is formed — inject the initial regular token.
+                    let t = Token::initial(ct.ring);
+                    self.handle_token(now, t)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    fn enter_recovery(&mut self, now: Nanos, ct: &CommitToken) -> Vec<SrpEvent> {
+        let members: Vec<NodeId> = ct.members().collect();
+        let new = RingCtx::new(ct.ring, members);
+        let my_old_ring = self.ring.as_ref().map(|r| r.ring).unwrap_or(RingId::new(self.me, 0));
+        let group: Vec<&MembEntry> =
+            ct.entries.iter().filter(|e| e.old_ring == my_old_ring).collect();
+        let plan_low = group.iter().map(|e| e.my_aru).min().unwrap_or(Seq::ZERO);
+        let plan_high = group.iter().map(|e| e.high_delivered).max().unwrap_or(Seq::ZERO);
+        let token =
+            TokenCtx { loss_deadline: Some(now + self.cfg.token_loss_timeout), ..Default::default() };
+        self.state = StateImpl::Recovery(RecoveryCtx {
+            new,
+            entries: ct.entries.clone(),
+            plan_low,
+            plan_high,
+            recovered_seen: BTreeSet::new(),
+            token,
+            quiet: 0,
+        });
+        Vec::new()
+    }
+
+    /// Data packets while in Recovery: new-ring recovery packets are
+    /// absorbed (and their old-ring cargo unwrapped); stray old-ring
+    /// packets still help fill the old window.
+    pub(crate) fn recovery_handle_data(&mut self, _now: Nanos, pkt: DataPacket) -> Vec<SrpEvent> {
+        let StateImpl::Recovery(rec) = &mut self.state else { return Vec::new() };
+        let my_old_ring = self.ring.as_ref().map(|r| r.ring);
+        if pkt.ring == rec.new.ring {
+            let seq = pkt.seq;
+            let chunks = pkt.chunks.clone();
+            if !rec.new.window.insert(pkt) {
+                return Vec::new();
+            }
+            if rec.token.sent_token.as_ref().is_some_and(|t| seq > t.seq) {
+                rec.token.sent_token = None;
+                rec.token.retx_deadline = None;
+            }
+            for chunk in &chunks {
+                if chunk.kind != totem_wire::ChunkKind::Recovery {
+                    continue;
+                }
+                if let Ok(Packet::Data(inner)) = Packet::decode(&chunk.data) {
+                    if Some(inner.ring) == my_old_ring {
+                        rec.recovered_seen.insert(inner.seq.as_u64());
+                        if let Some(old) = self.ring.as_mut() {
+                            old.window.insert(inner);
+                        }
+                    }
+                }
+            }
+        } else if Some(pkt.ring) == my_old_ring {
+            if let Some(old) = self.ring.as_mut() {
+                old.window.insert(pkt);
+            }
+        }
+        Vec::new()
+    }
+
+    /// The token while in Recovery: same circulation rules as
+    /// Operational, but the payload is old-ring packets wrapped as
+    /// recovery chunks, and two idle rotations end the phase.
+    pub(crate) fn recovery_token(&mut self, now: Nanos, mut t: Token) -> Vec<SrpEvent> {
+        let mut events = Vec::new();
+        let StateImpl::Recovery(rec) = &mut self.state else { return events };
+        if t.ring != rec.new.ring {
+            return events;
+        }
+        let key = (t.rotation, t.seq.as_u64());
+        if rec.token.last_key.is_some_and(|last| key <= last) {
+            return events;
+        }
+        rec.token.last_key = Some(key);
+        rec.token.sent_token = None;
+        rec.token.retx_deadline = None;
+        rec.token.loss_deadline = Some(now + self.cfg.token_loss_timeout);
+        self.stats.tokens_handled += 1;
+
+        let old_seq = t.seq;
+        rec.new.window.note_seq(t.seq);
+
+        // Serve retransmission requests for new-ring (recovery) packets.
+        let mut sent: u32 = 0;
+        let mut kept = Vec::with_capacity(t.rtr.len());
+        for s in t.rtr.drain(..) {
+            if sent < self.cfg.max_retransmit_per_token {
+                if let Some(pkt) = rec.new.window.get(s) {
+                    events.push(SrpEvent::Rebroadcast(Packet::Data(pkt.clone())));
+                    self.stats.retransmissions += 1;
+                    sent += 1;
+                    continue;
+                }
+            }
+            kept.push(s);
+        }
+        t.rtr = kept;
+
+        // Rebroadcast old-ring packets some survivor is missing.
+        let in_flight = t.fcc.saturating_sub(rec.token.my_last_fcc);
+        let fair_min = self.cfg.window_size / rec.new.members.len().max(1) as u32;
+        let allow = self
+            .cfg
+            .max_messages_per_token
+            .min(fair_min.max(self.cfg.window_size.saturating_sub(in_flight)))
+            .saturating_sub(sent);
+        if let Some(old) = self.ring.as_ref() {
+            let candidates: Vec<DataPacket> = old
+                .window
+                .range(rec.plan_low, rec.plan_high)
+                .filter(|p| !rec.recovered_seen.contains(&p.seq.as_u64()))
+                .take(allow as usize)
+                .cloned()
+                .collect();
+            for old_pkt in candidates {
+                rec.recovered_seen.insert(old_pkt.seq.as_u64());
+                t.seq = t.seq.next();
+                let pkt = DataPacket {
+                    ring: rec.new.ring,
+                    seq: t.seq,
+                    sender: self.me,
+                    chunks: vec![recovery_chunk(&old_pkt)],
+                };
+                rec.new.window.insert(pkt.clone());
+                events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+                self.stats.packets_sent += 1;
+                sent += 1;
+            }
+        }
+        t.fcc = (t.fcc + sent).saturating_sub(rec.token.my_last_fcc);
+        rec.token.my_last_fcc = sent;
+        t.backlog = 0;
+
+        // aru bookkeeping on the new ring.
+        let my_aru = rec.new.window.my_aru();
+        if my_aru < t.aru {
+            t.aru = my_aru;
+            t.aru_id = Some(self.me);
+        } else if t.aru_id == Some(self.me) {
+            if my_aru >= t.seq {
+                t.aru = t.seq;
+                t.aru_id = None;
+            } else {
+                t.aru = my_aru;
+            }
+        } else if t.aru == old_seq && t.aru_id.is_none() {
+            t.aru = t.seq;
+        }
+        let room = totem_wire::token::MAX_RTR.saturating_sub(t.rtr.len());
+        let missing = rec.new.window.missing(room);
+        self.stats.retrans_requested += missing.len() as u64;
+        for s in missing {
+            if !t.rtr.contains(&s) {
+                t.rtr.push(s);
+            }
+        }
+        rec.token.push_aru(t.aru);
+        // Advance the delivery cursor (recovery chunks deliver
+        // nothing to the application) so post-recovery GC can work.
+        let ready = rec.new.window.take_deliverable(rec.new.window.my_aru());
+        let new_ring_id = rec.new.ring;
+        deliver_packets(self.me, new_ring_id, ready, &mut self.reassembler, &mut self.stats, &mut events);
+
+        if rec.new.rep() == self.me {
+            t.rotation += 1;
+        }
+
+        // Completion detection: a full rotation with no traffic and
+        // everyone caught up — twice, so every member sees it.
+        let idle = sent == 0 && t.rtr.is_empty() && t.seq == old_seq && t.aru == t.seq && t.fcc == 0;
+        if idle {
+            rec.quiet = rec.quiet.saturating_add(1);
+        } else {
+            rec.quiet = 0;
+        }
+        let finish = rec.quiet >= 2;
+
+        forward_token(self.me, &self.cfg, &mut rec.token, &rec.new, t, now, &mut events);
+
+        if finish {
+            events.extend(self.finalize_recovery());
+        }
+        events
+    }
+
+    /// Delivers transitional config, recovered old-ring messages, and
+    /// the regular config; installs the new ring and goes Operational.
+    fn finalize_recovery(&mut self) -> Vec<SrpEvent> {
+        let state = std::mem::replace(&mut self.state, StateImpl::Gather(GatherCtx::empty()));
+        let StateImpl::Recovery(rec) = state else { unreachable!("finalize outside recovery") };
+        let mut events = Vec::new();
+
+        if let Some(old) = self.ring.take() {
+            let survivors: Vec<NodeId> = rec
+                .entries
+                .iter()
+                .filter(|e| e.old_ring == old.ring)
+                .map(|e| e.node)
+                .collect();
+            events.push(SrpEvent::Config(ConfigChange {
+                kind: ConfigKind::Transitional,
+                ring: old.ring,
+                members: survivors,
+            }));
+            self.stats.config_changes += 1;
+            // Deliver the recovered tail of the old ring, in order,
+            // skipping sequence numbers no survivor had (those were
+            // never delivered anywhere).
+            let tail: Vec<DataPacket> =
+                old.window.range(old.window.delivered_up_to(), rec.plan_high).cloned().collect();
+            deliver_packets(self.me, old.ring, tail, &mut self.reassembler, &mut self.stats, &mut events);
+        }
+        // Torn fragment chains cannot complete across the change.
+        self.reassembler.clear();
+
+        events.push(SrpEvent::Config(ConfigChange {
+            kind: ConfigKind::Regular,
+            ring: rec.new.ring,
+            members: rec.new.members.clone(),
+        }));
+        self.stats.config_changes += 1;
+
+        let rep = rec.new.rep();
+        self.ring = Some(rec.new);
+        let mut token = rec.token;
+        if rep == self.me {
+            // The new representative starts announcing the ring for
+            // merge detection. Base the first deadline on the token
+            // loss deadline already armed (we have no `now` here).
+            let base = token.loss_deadline.unwrap_or(0).saturating_sub(self.cfg.token_loss_timeout);
+            token.announce_deadline = Some(base + self.cfg.merge_detect_interval);
+        }
+        self.state = StateImpl::Operational(token);
+        events
+    }
+}
+
+/// The next member after `me` in ring order (wrapping).
+fn next_after(members: &[NodeId], me: NodeId) -> NodeId {
+    let idx = members.iter().position(|&m| m == me).expect("member of candidate ring");
+    members[(idx + 1) % members.len()]
+}

@@ -1,0 +1,764 @@
+//! The single ring protocol state machine.
+//!
+//! [`SrpNode`] is a sans-io state machine with four states mirroring
+//! the Totem SRP:
+//!
+//! * **Operational** — the ring is formed; the token circulates and
+//!   schedules broadcasts ([`node`](self) module, this file);
+//! * **Gather**, **Commit**, **Recovery** — the membership protocol
+//!   ([`crate::member`]).
+//!
+//! All inputs carry an explicit timestamp in nanoseconds ([`Nanos`]);
+//! the host (simulator or real-time runtime) owns the clock and the
+//! single alarm per node ([`SrpNode::next_deadline`]).
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use totem_wire::token::MAX_RTR;
+use totem_wire::{Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, Token};
+
+use crate::config::{DeliveryGuarantee, SrpConfig};
+use crate::events::{Delivered, SrpEvent};
+use crate::member::{CommitCtx, GatherCtx, RecoveryCtx};
+use crate::packing::{Packer, Reassembler};
+use crate::window::ReceiveWindow;
+
+/// Protocol time in nanoseconds. The zero point is arbitrary; only
+/// differences matter.
+pub type Nanos = u64;
+
+/// Which phase of the protocol a node is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrpState {
+    /// Ring formed, token circulating, messages flowing.
+    Operational,
+    /// Membership lost; exchanging join messages.
+    Gather,
+    /// Consensus reached; commit token circulating.
+    Commit,
+    /// New ring formed; exchanging old-ring messages.
+    Recovery,
+}
+
+/// Error returned by [`SrpNode::submit`] when the local send queue is
+/// full (flow-control backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitError {
+    /// The configured queue limit that was hit.
+    pub limit: usize,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "send queue full ({} messages); retry after deliveries", self.limit)
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrpStats {
+    /// Application messages delivered.
+    pub delivered_msgs: u64,
+    /// Application payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Data packets broadcast (first transmissions).
+    pub packets_sent: u64,
+    /// Data packets rebroadcast in answer to retransmission requests.
+    pub retransmissions: u64,
+    /// Retransmission requests this node placed on the token.
+    pub retrans_requested: u64,
+    /// Tokens processed (held).
+    pub tokens_handled: u64,
+    /// Tokens this node retransmitted to its successor.
+    pub token_retransmits: u64,
+    /// Configuration changes delivered (regular + transitional).
+    pub config_changes: u64,
+    /// Membership (gather) episodes entered.
+    pub gathers: u64,
+}
+
+/// Ring context: identity, membership and the receive window.
+#[derive(Debug)]
+pub(crate) struct RingCtx {
+    pub ring: RingId,
+    /// Members in ring order (ascending `NodeId`).
+    pub members: Vec<NodeId>,
+    pub window: ReceiveWindow,
+}
+
+impl RingCtx {
+    pub(crate) fn new(ring: RingId, mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        RingCtx { ring, members, window: ReceiveWindow::new() }
+    }
+
+    /// The next node after `me` in ring order.
+    pub(crate) fn successor(&self, me: NodeId) -> NodeId {
+        let idx = self.members.iter().position(|&m| m == me).expect("member of own ring");
+        self.members[(idx + 1) % self.members.len()]
+    }
+
+    pub(crate) fn rep(&self) -> NodeId {
+        self.members[0]
+    }
+}
+
+/// Per-token-circulation state, shared by the Operational and Recovery
+/// phases.
+#[derive(Debug, Default)]
+pub(crate) struct TokenCtx {
+    /// `(rotation, seq)` of the last token processed, for duplicate
+    /// suppression (paper §2, footnote 1).
+    pub last_key: Option<(u64, u64)>,
+    /// What this node added to the token's `fcc` on its previous
+    /// visit.
+    pub my_last_fcc: u32,
+    /// Copy of the last token sent, retransmitted until evidence of
+    /// receipt (paper §2).
+    pub sent_token: Option<Token>,
+    pub retx_deadline: Option<Nanos>,
+    pub loss_deadline: Option<Nanos>,
+    /// Token held back on an idle ring (pacing).
+    pub hold: Option<Token>,
+    pub hold_deadline: Option<Nanos>,
+    /// The token `aru` observed on the last two visits; their minimum
+    /// bounds every member's `my_aru` from below and gates buffer GC
+    /// and safe delivery.
+    pub aru_history: VecDeque<u64>,
+    /// Next merge-detect announcement (armed on the representative
+    /// only): a periodic broadcast describing the current ring so
+    /// that healed partitions discover each other even when idle.
+    pub announce_deadline: Option<Nanos>,
+}
+
+impl TokenCtx {
+    pub(crate) fn low_water(&self) -> Seq {
+        Seq::new(self.aru_history.iter().copied().min().unwrap_or(0))
+    }
+
+    pub(crate) fn push_aru(&mut self, aru: Seq) {
+        self.aru_history.push_back(aru.as_u64());
+        while self.aru_history.len() > 2 {
+            self.aru_history.pop_front();
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum StateImpl {
+    Operational(TokenCtx),
+    Gather(GatherCtx),
+    Commit(CommitCtx),
+    Recovery(RecoveryCtx),
+}
+
+/// A Totem single-ring protocol endpoint.
+///
+/// See the [crate documentation](crate) for a driving example.
+#[derive(Debug)]
+pub struct SrpNode {
+    pub(crate) me: NodeId,
+    pub(crate) cfg: SrpConfig,
+    pub(crate) state: StateImpl,
+    /// The current ring when Operational; the **old** (frozen) ring
+    /// during membership phases; `None` for a node that has never
+    /// been on a ring.
+    pub(crate) ring: Option<RingCtx>,
+    pub(crate) send_queue: VecDeque<Bytes>,
+    pub(crate) packer: Packer,
+    pub(crate) reassembler: Reassembler,
+    /// Highest ring sequence number ever observed (join messages must
+    /// propose something fresh).
+    pub(crate) max_ring_seq: u64,
+    pub(crate) stats: SrpStats,
+}
+
+impl SrpNode {
+    /// Creates a node directly in the Operational state on a
+    /// statically known ring — the bootstrap used by benchmarks and
+    /// most tests. Exactly one member (the representative, i.e. the
+    /// smallest id) must then be given the initial token via
+    /// [`SrpNode::bootstrap_token`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not in `members`, if `members` is empty, or
+    /// if `cfg` fails validation.
+    pub fn new_operational(me: NodeId, cfg: SrpConfig, members: &[NodeId], now: Nanos) -> Self {
+        cfg.validate().expect("invalid SrpConfig");
+        assert!(!members.is_empty(), "members must not be empty");
+        assert!(members.contains(&me), "own id must be a member");
+        let ring_ctx = RingCtx::new(RingId::new(*members.iter().min().expect("nonempty"), 1), members.to_vec());
+        let token = TokenCtx {
+            loss_deadline: Some(now + cfg.token_loss_timeout),
+            announce_deadline: (ring_ctx.rep() == me).then(|| now + cfg.merge_detect_interval),
+            ..Default::default()
+        };
+        SrpNode {
+            me,
+            cfg,
+            state: StateImpl::Operational(token),
+            ring: Some(ring_ctx),
+            send_queue: VecDeque::new(),
+            packer: Packer::new(),
+            reassembler: Reassembler::new(),
+            max_ring_seq: 1,
+            stats: SrpStats::default(),
+        }
+    }
+
+    /// Creates a node with no ring, starting in the Gather state: it
+    /// will discover peers through join messages and form a ring via
+    /// the membership protocol.
+    ///
+    /// Call [`SrpNode::start`] to obtain the initial join broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new_joining(me: NodeId, cfg: SrpConfig) -> Self {
+        cfg.validate().expect("invalid SrpConfig");
+        SrpNode {
+            me,
+            cfg,
+            state: StateImpl::Gather(GatherCtx::empty()),
+            ring: None,
+            send_queue: VecDeque::new(),
+            packer: Packer::new(),
+            reassembler: Reassembler::new(),
+            max_ring_seq: 0,
+            stats: SrpStats::default(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current protocol state.
+    pub fn state(&self) -> SrpState {
+        match &self.state {
+            StateImpl::Operational(_) => SrpState::Operational,
+            StateImpl::Gather(_) => SrpState::Gather,
+            StateImpl::Commit(_) => SrpState::Commit,
+            StateImpl::Recovery(_) => SrpState::Recovery,
+        }
+    }
+
+    /// The ring this node currently operates on (the old ring during
+    /// membership changes), if any.
+    pub fn ring_id(&self) -> Option<RingId> {
+        self.ring.as_ref().map(|r| r.ring)
+    }
+
+    /// Current ring membership in ring order, if on a ring.
+    pub fn members(&self) -> Option<&[NodeId]> {
+        self.ring.as_ref().map(|r| r.members.as_slice())
+    }
+
+    /// Counters for tests and benchmarks.
+    pub fn stats(&self) -> &SrpStats {
+        &self.stats
+    }
+
+    /// Number of application messages waiting in the send queue.
+    pub fn send_queue_len(&self) -> usize {
+        self.send_queue.len()
+    }
+
+    /// Whether a packet known to exist on the current ring has not
+    /// been received — the predicate the passive replication layer
+    /// queries before releasing a buffered token (paper Figure 4).
+    pub fn any_messages_missing(&self) -> bool {
+        match &self.state {
+            StateImpl::Operational(_) => self.ring.as_ref().is_some_and(|r| r.window.any_missing()),
+            StateImpl::Recovery(rec) => rec.new.window.any_missing(),
+            _ => false,
+        }
+    }
+
+    /// Starts the node: for a [`SrpNode::new_joining`] node, returns
+    /// the initial join broadcast and arms the membership timers.
+    pub fn start(&mut self, now: Nanos) -> Vec<SrpEvent> {
+        match self.state {
+            StateImpl::Gather(_) => self.enter_gather(now, Vec::new()),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Injects the initial token on a statically bootstrapped ring.
+    /// Must be called exactly once, on the ring representative, after
+    /// constructing every member with [`SrpNode::new_operational`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not Operational or not the
+    /// representative.
+    pub fn bootstrap_token(&mut self, now: Nanos) -> Vec<SrpEvent> {
+        let ring = self.ring.as_ref().expect("operational node has a ring");
+        assert_eq!(ring.rep(), self.me, "only the representative bootstraps the token");
+        assert!(matches!(self.state, StateImpl::Operational(_)), "node must be operational");
+        let token = Token::initial(ring.ring);
+        self.handle_token(now, token)
+    }
+
+    /// Queues an application message for totally ordered broadcast.
+    /// If this node is sitting on an idle (held) token, the message is
+    /// broadcast immediately and the token released, so the returned
+    /// events may contain sends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] when the local queue is full; the
+    /// caller should retry after some deliveries have drained it.
+    pub fn submit(&mut self, now: Nanos, data: Bytes) -> Result<Vec<SrpEvent>, SubmitError> {
+        if self.send_queue.len() >= self.cfg.send_queue_limit {
+            return Err(SubmitError { limit: self.cfg.send_queue_limit });
+        }
+        self.send_queue.push_back(data);
+        let mut events = Vec::new();
+        if let StateImpl::Operational(tok) = &mut self.state {
+            if let Some(t) = tok.hold.take() {
+                // We hold an idle token: run the send phase on it now
+                // and forward, instead of burning a rotation.
+                tok.hold_deadline = None;
+                events.extend(self.send_on_held_token(now, t));
+            }
+        }
+        Ok(events)
+    }
+
+    /// Send phase on a token this node is still holding (it was held
+    /// back as idle, so this visit has contributed nothing yet).
+    fn send_on_held_token(&mut self, now: Nanos, mut t: Token) -> Vec<SrpEvent> {
+        let mut events = Vec::new();
+        let StateImpl::Operational(tok) = &mut self.state else { unreachable!() };
+        let ring = self.ring.as_mut().expect("operational ring");
+        debug_assert_eq!(tok.my_last_fcc, 0, "held tokens are idle visits");
+        let old_seq = t.seq;
+        let in_flight = t.fcc.saturating_sub(tok.my_last_fcc);
+        let fair_min = self.cfg.window_size / ring.members.len().max(1) as u32;
+        let allow = self
+            .cfg
+            .max_messages_per_token
+            .min(fair_min.max(self.cfg.window_size.saturating_sub(in_flight)));
+        let mut sent = 0u32;
+        for chunks in self.packer.pack(&mut self.send_queue, allow as usize) {
+            t.seq = t.seq.next();
+            let pkt = DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks };
+            ring.window.insert(pkt.clone());
+            events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+            self.stats.packets_sent += 1;
+            sent += 1;
+        }
+        t.fcc = (t.fcc + sent).saturating_sub(tok.my_last_fcc);
+        tok.my_last_fcc = sent;
+        t.backlog = self.send_queue.len().min(u32::MAX as usize) as u32;
+        // The aru must track the new sequence numbers exactly as in a
+        // normal visit, or it freezes below `seq` for good (nobody
+        // ever lowers it, and the equal-to-seq advancement rule never
+        // fires again).
+        let my_aru = ring.window.my_aru();
+        if my_aru < t.aru {
+            t.aru = my_aru;
+            t.aru_id = Some(self.me);
+        } else if t.aru_id == Some(self.me) {
+            if my_aru >= t.seq {
+                t.aru = t.seq;
+                t.aru_id = None;
+            } else {
+                t.aru = my_aru;
+            }
+        } else if t.aru == old_seq && t.aru_id.is_none() {
+            t.aru = t.seq;
+        }
+        // Everything we just sent is contiguous for us: deliver own
+        // messages under the agreed guarantee.
+        if self.cfg.guarantee == DeliveryGuarantee::Agreed {
+            let up_to = ring.window.my_aru();
+            let ready = ring.window.take_deliverable(up_to);
+            deliver_packets(self.me, ring.ring, ready, &mut self.reassembler, &mut self.stats, &mut events);
+        }
+        // The aru can only trail what this visit already established;
+        // leave it and forward.
+        forward_token(self.me, &self.cfg, tok, ring, t, now, &mut events);
+        events
+    }
+
+    /// Handles any received packet.
+    pub fn handle_packet(&mut self, now: Nanos, pkt: Packet) -> Vec<SrpEvent> {
+        match pkt {
+            Packet::Data(d) => self.handle_data(now, d),
+            Packet::Token(t) => self.handle_token(now, t),
+            Packet::Join(j) => self.handle_join(now, j),
+            Packet::Commit(c) => self.handle_commit(now, c),
+        }
+    }
+
+    /// The earliest instant at which [`SrpNode::on_timer`] must be
+    /// called, if any timer is armed.
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        let mins = |t: &TokenCtx| {
+            [t.retx_deadline, t.loss_deadline, t.hold_deadline].into_iter().flatten().min()
+        };
+        match &self.state {
+            StateImpl::Operational(t) => {
+                [mins(t), t.announce_deadline].into_iter().flatten().min()
+            }
+            StateImpl::Gather(g) => [Some(g.join_deadline), Some(g.consensus_deadline)].into_iter().flatten().min(),
+            StateImpl::Commit(c) => Some(c.loss_deadline),
+            StateImpl::Recovery(r) => mins(&r.token),
+        }
+    }
+
+    /// Fires any timers whose deadline is `<= now`.
+    pub fn on_timer(&mut self, now: Nanos) -> Vec<SrpEvent> {
+        let mut events = Vec::new();
+        match &mut self.state {
+            StateImpl::Operational(_) | StateImpl::Recovery(_) => {
+                // Work on the token context common to both phases.
+                let is_recovery = matches!(self.state, StateImpl::Recovery(_));
+                let (tok, ring_ref) = match &mut self.state {
+                    StateImpl::Operational(t) => {
+                        (t, self.ring.as_ref().expect("operational ring"))
+                    }
+                    StateImpl::Recovery(r) => {
+                        let RecoveryCtx { token, new, .. } = r;
+                        (token, &*new)
+                    }
+                    _ => unreachable!(),
+                };
+                // Idle hold expiry: forward the held token.
+                if tok.hold_deadline.is_some_and(|d| d <= now) {
+                    release_held_token(self.me, &self.cfg, tok, ring_ref, &mut events);
+                }
+                // Token retransmission (paper §2).
+                if tok.retx_deadline.is_some_and(|d| d <= now) {
+                    if let Some(t) = &tok.sent_token {
+                        let succ = ring_ref.successor(self.me);
+                        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone())));
+                        self.stats.token_retransmits += 1;
+                    }
+                    tok.retx_deadline =
+                        tok.sent_token.as_ref().map(|_| now + self.cfg.token_retransmit_interval);
+                }
+                // Merge-detect announcement (representative only,
+                // operational only): broadcast a join describing the
+                // current ring so a healed partition notices us.
+                if !is_recovery && tok.announce_deadline.is_some_and(|d| d <= now) {
+                    tok.announce_deadline = Some(now + self.cfg.merge_detect_interval);
+                    let announce = JoinMessage {
+                        sender: self.me,
+                        ring_seq: ring_ref.ring.seq,
+                        proc_set: ring_ref.members.clone(),
+                        fail_set: Vec::new(),
+                    };
+                    events.push(SrpEvent::Broadcast(Packet::Join(announce)));
+                }
+                // Token loss: the ring has failed; start the
+                // membership protocol.
+                if tok.loss_deadline.is_some_and(|d| d <= now) {
+                    events.extend(self.enter_gather(now, Vec::new()));
+                }
+            }
+            StateImpl::Gather(_) => {
+                events.extend(self.gather_timers(now));
+            }
+            StateImpl::Commit(c) => {
+                if c.loss_deadline <= now {
+                    // Commit token lost; reform.
+                    events.extend(self.enter_gather(now, Vec::new()));
+                }
+            }
+        }
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Operational: data packets
+    // ------------------------------------------------------------------
+
+    fn handle_data(&mut self, now: Nanos, pkt: DataPacket) -> Vec<SrpEvent> {
+        // Foreign-traffic trigger: a packet from a node outside our
+        // ring (two healed partitions discovering each other) or from
+        // a newer ring we missed sends us to Gather so the rings can
+        // merge.
+        if matches!(self.state, StateImpl::Operational(_)) {
+            let ring = self.ring.as_ref().expect("operational ring");
+            if pkt.ring != ring.ring {
+                if !ring.members.contains(&pkt.sender) || pkt.ring.seq > ring.ring.seq {
+                    return self.enter_gather(now, Vec::new());
+                }
+                return Vec::new(); // stale traffic from our own past
+            }
+        }
+        let mut events = Vec::new();
+        match &mut self.state {
+            StateImpl::Operational(tok) => {
+                let ring = self.ring.as_mut().expect("operational ring");
+                if pkt.ring != ring.ring {
+                    return events; // unreachable: filtered above
+                }
+                let seq = pkt.seq;
+                let is_new = ring.window.insert(pkt);
+                if !is_new {
+                    return events;
+                }
+                // Evidence our forwarded token was received: someone
+                // later on the ring broadcast a higher sequence number
+                // (paper §2).
+                if tok.sent_token.as_ref().is_some_and(|t| seq > t.seq) {
+                    tok.sent_token = None;
+                    tok.retx_deadline = None;
+                }
+                if self.cfg.guarantee == DeliveryGuarantee::Agreed {
+                    let up_to = ring.window.my_aru();
+                    let ready = ring.window.take_deliverable(up_to);
+                    deliver_packets(
+                        self.me,
+                        ring.ring,
+                        ready,
+                        &mut self.reassembler,
+                        &mut self.stats,
+                        &mut events,
+                    );
+                }
+                let _ = now;
+            }
+            StateImpl::Recovery(_) => {
+                events.extend(self.recovery_handle_data(now, pkt));
+            }
+            StateImpl::Gather(_) | StateImpl::Commit(_) => {
+                // Keep absorbing old-ring traffic: it reduces what
+                // recovery must retransmit (paper §3: nodes accept on
+                // networks they no longer send on; same spirit here).
+                if let Some(ring) = self.ring.as_mut() {
+                    if pkt.ring == ring.ring {
+                        ring.window.insert(pkt);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Operational: the token
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_token(&mut self, now: Nanos, t: Token) -> Vec<SrpEvent> {
+        match &self.state {
+            StateImpl::Operational(_) => self.operational_token(now, t),
+            StateImpl::Recovery(_) => self.recovery_token(now, t),
+            // A token while gathering/committing is stale; membership
+            // will reform the ring.
+            StateImpl::Gather(_) | StateImpl::Commit(_) => Vec::new(),
+        }
+    }
+
+    fn operational_token(&mut self, now: Nanos, mut t: Token) -> Vec<SrpEvent> {
+        {
+            let ring = self.ring.as_ref().expect("operational ring");
+            if t.ring != ring.ring {
+                if t.ring.seq > ring.ring.seq {
+                    // A newer ring exists that we are not on: rejoin.
+                    return self.enter_gather(now, Vec::new());
+                }
+                return Vec::new();
+            }
+        }
+        let mut events = Vec::new();
+        let StateImpl::Operational(tok) = &mut self.state else { unreachable!() };
+        let ring = self.ring.as_mut().expect("operational ring");
+        let key = (t.rotation, t.seq.as_u64());
+        if tok.last_key.is_some_and(|last| key <= last) {
+            return events; // retransmitted or stale token
+        }
+        tok.last_key = Some(key);
+        tok.hold = None;
+        tok.hold_deadline = None;
+        // Receiving a fresh token proves the previous one circulated.
+        tok.sent_token = None;
+        tok.retx_deadline = None;
+        tok.loss_deadline = Some(now + self.cfg.token_loss_timeout);
+        self.stats.tokens_handled += 1;
+
+        let old_seq = t.seq;
+        ring.window.note_seq(t.seq);
+
+        // 1. Serve retransmission requests from the local buffer.
+        let mut sent: u32 = 0;
+        let mut kept = Vec::with_capacity(t.rtr.len());
+        for s in t.rtr.drain(..) {
+            if sent < self.cfg.max_retransmit_per_token {
+                if let Some(pkt) = ring.window.get(s) {
+                    events.push(SrpEvent::Rebroadcast(Packet::Data(pkt.clone())));
+                    self.stats.retransmissions += 1;
+                    sent += 1;
+                    continue;
+                }
+            }
+            kept.push(s);
+        }
+        t.rtr = kept;
+
+        // 2. Broadcast new messages under flow control: the global
+        //    window minus what the rest of the ring used this
+        //    rotation, capped per visit — but never below a fair
+        //    per-member share of the window, or the members visited
+        //    late in the rotation are starved outright by the early
+        //    ones under saturation.
+        let in_flight = t.fcc.saturating_sub(tok.my_last_fcc);
+        let fair_min = self.cfg.window_size / ring.members.len().max(1) as u32;
+        let allow = self
+            .cfg
+            .max_messages_per_token
+            .min(fair_min.max(self.cfg.window_size.saturating_sub(in_flight)))
+            .saturating_sub(sent);
+        let chunk_lists = self.packer.pack(&mut self.send_queue, allow as usize);
+        for chunks in chunk_lists {
+            t.seq = t.seq.next();
+            let pkt = DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks };
+            ring.window.insert(pkt.clone());
+            events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+            self.stats.packets_sent += 1;
+            sent += 1;
+        }
+        t.fcc = (t.fcc + sent).saturating_sub(tok.my_last_fcc);
+        tok.my_last_fcc = sent;
+        t.backlog = self.send_queue.len().min(u32::MAX as usize) as u32;
+
+        // 3. All-received-up-to bookkeeping.
+        let my_aru = ring.window.my_aru();
+        if my_aru < t.aru {
+            t.aru = my_aru;
+            t.aru_id = Some(self.me);
+        } else if t.aru_id == Some(self.me) {
+            if my_aru >= t.seq {
+                t.aru = t.seq;
+                t.aru_id = None;
+            } else {
+                t.aru = my_aru;
+            }
+        } else if t.aru == old_seq && t.aru_id.is_none() {
+            t.aru = t.seq;
+        }
+
+        // 4. Request what we are missing.
+        let room = MAX_RTR.saturating_sub(t.rtr.len());
+        let missing = ring.window.missing(room);
+        self.stats.retrans_requested += missing.len() as u64;
+        for s in missing {
+            if !t.rtr.contains(&s) {
+                t.rtr.push(s);
+            }
+        }
+
+        // 5. Deliver and garbage-collect.
+        tok.push_aru(t.aru);
+        let low_water = tok.low_water();
+        let deliver_to = match self.cfg.guarantee {
+            DeliveryGuarantee::Agreed => ring.window.my_aru(),
+            DeliveryGuarantee::Safe => low_water,
+        };
+        let ready = ring.window.take_deliverable(deliver_to);
+        deliver_packets(self.me, ring.ring, ready, &mut self.reassembler, &mut self.stats, &mut events);
+        ring.window.discard_up_to(low_water);
+
+        // 6. The representative counts rotations (paper §2 footnote 1).
+        if ring.rep() == self.me {
+            t.rotation += 1;
+        }
+
+        // 7. Forward — or hold briefly if the ring is idle.
+        let idle = sent == 0 && t.rtr.is_empty() && t.seq == old_seq;
+        if idle && self.cfg.idle_token_hold > 0 {
+            tok.hold = Some(t);
+            tok.hold_deadline = Some(now + self.cfg.idle_token_hold);
+        } else {
+            forward_token(self.me, &self.cfg, tok, ring, t, now, &mut events);
+        }
+        events
+    }
+}
+
+/// Forwards `t` to the successor, arming the retransmission timer.
+pub(crate) fn forward_token(
+    me: NodeId,
+    cfg: &SrpConfig,
+    tok: &mut TokenCtx,
+    ring: &RingCtx,
+    t: Token,
+    now: Nanos,
+    events: &mut Vec<SrpEvent>,
+) {
+    let succ = ring.successor(me);
+    if succ == me {
+        // Singleton ring: the token comes straight back. Re-process on
+        // the next hold/timer tick instead of spinning; model it as a
+        // self-addressed send so hosts with loopback semantics work.
+        events.push(SrpEvent::ToSuccessor(me, Packet::Token(t.clone())));
+    } else {
+        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone())));
+    }
+    tok.sent_token = Some(t);
+    tok.retx_deadline = Some(now + cfg.token_retransmit_interval);
+}
+
+fn release_held_token(
+    me: NodeId,
+    cfg: &SrpConfig,
+    tok: &mut TokenCtx,
+    ring: &RingCtx,
+    events: &mut Vec<SrpEvent>,
+) {
+    if let Some(t) = tok.hold.take() {
+        let deadline = tok.hold_deadline.take().unwrap_or(0);
+        forward_token(me, cfg, tok, ring, t, deadline, events);
+    }
+}
+
+/// Unpacks delivered packets into application messages.
+pub(crate) fn deliver_packets(
+    _me: NodeId,
+    ring: RingId,
+    packets: Vec<DataPacket>,
+    reassembler: &mut Reassembler,
+    stats: &mut SrpStats,
+    events: &mut Vec<SrpEvent>,
+) {
+    for pkt in packets {
+        for chunk in &pkt.chunks {
+            if chunk.kind == ChunkKind::Recovery {
+                continue; // protocol-internal; unwrapped elsewhere
+            }
+            if let Some(data) = reassembler.push(pkt.sender, chunk) {
+                stats.delivered_msgs += 1;
+                stats.delivered_bytes += data.len() as u64;
+                events.push(SrpEvent::Deliver(Delivered {
+                    sender: pkt.sender,
+                    seq: pkt.seq,
+                    ring,
+                    data,
+                }));
+            }
+        }
+    }
+}
+
+/// Builds a recovery chunk embedding an old-ring packet.
+pub(crate) fn recovery_chunk(old: &DataPacket) -> Chunk {
+    Chunk {
+        kind: ChunkKind::Recovery,
+        msg_id: 0,
+        orig_len: 0,
+        data: Bytes::from(Packet::Data(old.clone()).encode()),
+    }
+}

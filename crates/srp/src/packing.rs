@@ -1,0 +1,363 @@
+//! Message packing and fragmentation (paper §8).
+//!
+//! Totem fills each 1424-byte frame payload with as many whole
+//! application messages as fit (each costing a 12-byte chunk
+//! sub-header) and fragments messages that exceed a frame. Packing is
+//! what produces the paper's characteristic throughput peaks at 700
+//! and 1400 bytes.
+//!
+//! [`Packer`] turns a queue of application payloads into chunk lists
+//! (one list per packet); [`Reassembler`] is its inverse, fed chunks
+//! in global delivery order.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use totem_wire::frame::{MAX_PAYLOAD, MAX_UNFRAGMENTED_MSG};
+use totem_wire::{Chunk, ChunkKind, NodeId};
+
+/// Builds packed packets from a sender's message queue.
+///
+/// # Example
+///
+/// Two 700-byte messages fill one 1424-byte frame exactly — the
+/// packing effect behind the paper's throughput peak at 700 bytes:
+///
+/// ```
+/// # use totem_srp::packing::Packer;
+/// # use std::collections::VecDeque;
+/// # use bytes::Bytes;
+/// let mut queue: VecDeque<Bytes> =
+///     [Bytes::from(vec![0u8; 700]), Bytes::from(vec![1u8; 700])].into();
+/// let packets = Packer::new().pack(&mut queue, usize::MAX);
+/// assert_eq!(packets.len(), 1);
+/// assert_eq!(packets[0].len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Packer {
+    next_msg_id: u32,
+    /// A message mid-fragmentation: `(msg_id, payload, offset)`.
+    in_progress: Option<(u32, Bytes, usize)>,
+}
+
+impl Packer {
+    /// Creates a packer with message ids starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a fragmented message is only partially packed (the
+    /// packer must be drained before the queue order can change).
+    pub fn mid_fragment(&self) -> bool {
+        self.in_progress.is_some()
+    }
+
+    /// Packs up to `max_packets` packets' worth of chunks from
+    /// `queue`. Each returned `Vec<Chunk>` fits within
+    /// [`MAX_PAYLOAD`] including sub-headers and is non-empty.
+    /// Messages are consumed from the queue front; a message longer
+    /// than [`MAX_UNFRAGMENTED_MSG`] is split into fragments that may
+    /// span several packets (and several calls).
+    pub fn pack(&mut self, queue: &mut VecDeque<Bytes>, max_packets: usize) -> Vec<Vec<Chunk>> {
+        let mut packets = Vec::new();
+        while packets.len() < max_packets {
+            let mut chunks: Vec<Chunk> = Vec::new();
+            let mut remaining = MAX_PAYLOAD;
+
+            // Resume an in-progress fragmentation first: its next
+            // fragment always opens the packet.
+            if let Some((msg_id, payload, offset)) = self.in_progress.take() {
+                let room = remaining - totem_wire::CHUNK_HEADER_LEN;
+                let left = payload.len() - offset;
+                let take = left.min(room);
+                let kind = if take == left { ChunkKind::FragEnd } else { ChunkKind::FragCont };
+                chunks.push(Chunk {
+                    kind,
+                    msg_id,
+                    orig_len: payload.len() as u32,
+                    data: payload.slice(offset..offset + take),
+                });
+                remaining -= totem_wire::CHUNK_HEADER_LEN + take;
+                if take < left {
+                    self.in_progress = Some((msg_id, payload, offset + take));
+                    // A continuation fragment fills the whole packet.
+                    packets.push(chunks);
+                    continue;
+                }
+            }
+
+            // Fill with whole messages; start a fragmentation if the
+            // queue head is oversized.
+            while let Some(front_len) = queue.front().map(Bytes::len) {
+                let need = front_len + totem_wire::CHUNK_HEADER_LEN;
+                if front_len > MAX_UNFRAGMENTED_MSG {
+                    // Oversized: fragment, but only from the start of a
+                    // packet so fragments stay frame-aligned.
+                    if !chunks.is_empty() {
+                        break;
+                    }
+                    let payload = queue.pop_front().expect("peeked");
+                    let msg_id = self.bump_id();
+                    let take = MAX_UNFRAGMENTED_MSG;
+                    chunks.push(Chunk {
+                        kind: ChunkKind::FragStart,
+                        msg_id,
+                        orig_len: payload.len() as u32,
+                        data: payload.slice(0..take),
+                    });
+                    self.in_progress = Some((msg_id, payload, take));
+                    break;
+                }
+                if need > remaining {
+                    break; // closes this packet; the message opens the next
+                }
+                let payload = queue.pop_front().expect("peeked");
+                let msg_id = self.bump_id();
+                chunks.push(Chunk::complete(msg_id, payload));
+                remaining -= need;
+            }
+
+            if chunks.is_empty() {
+                break; // nothing left to send
+            }
+            packets.push(chunks);
+        }
+        packets
+    }
+
+    fn bump_id(&mut self) -> u32 {
+        let id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        id
+    }
+}
+
+/// Reassembles application messages from chunks delivered in global
+/// sequence order.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    /// Partial messages keyed by `(sender, msg_id)`.
+    partial: HashMap<(NodeId, u32), Vec<u8>>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one chunk (in delivery order); returns the complete
+    /// application payload when the chunk finishes a message.
+    ///
+    /// Chunks of kind [`ChunkKind::Recovery`] are protocol-internal
+    /// and must be unwrapped by the caller before reassembly; passing
+    /// one here returns `None`.
+    pub fn push(&mut self, sender: NodeId, chunk: &Chunk) -> Option<Bytes> {
+        match chunk.kind {
+            ChunkKind::Complete => Some(chunk.data.clone()),
+            ChunkKind::FragStart => {
+                let mut buf = Vec::with_capacity(chunk.orig_len as usize);
+                buf.extend_from_slice(&chunk.data);
+                self.partial.insert((sender, chunk.msg_id), buf);
+                None
+            }
+            ChunkKind::FragCont => {
+                if let Some(buf) = self.partial.get_mut(&(sender, chunk.msg_id)) {
+                    buf.extend_from_slice(&chunk.data);
+                }
+                None
+            }
+            ChunkKind::FragEnd => {
+                let mut buf = self.partial.remove(&(sender, chunk.msg_id))?;
+                buf.extend_from_slice(&chunk.data);
+                if buf.len() != chunk.orig_len as usize {
+                    // A fragment went missing in a configuration change;
+                    // drop the torn message rather than deliver garbage.
+                    return None;
+                }
+                Some(Bytes::from(buf))
+            }
+            ChunkKind::Recovery => None,
+        }
+    }
+
+    /// Number of incomplete messages currently buffered.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Drops all partial state (used at configuration changes for
+    /// senders that did not survive).
+    pub fn clear(&mut self) {
+        self.partial.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totem_wire::frame::CHUNK_HEADER_LEN;
+
+    fn q(sizes: &[usize]) -> VecDeque<Bytes> {
+        sizes.iter().map(|&n| Bytes::from(vec![n as u8; n])).collect()
+    }
+
+    fn payload_len(chunks: &[Chunk]) -> usize {
+        chunks.iter().map(Chunk::wire_len).sum()
+    }
+
+    #[test]
+    fn two_700_byte_messages_share_a_packet_exactly() {
+        let mut p = Packer::new();
+        let mut queue = q(&[700, 700]);
+        let pkts = p.pack(&mut queue, 10);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].len(), 2);
+        assert_eq!(payload_len(&pkts[0]), MAX_PAYLOAD);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn small_messages_pack_many_per_packet() {
+        let mut p = Packer::new();
+        let mut queue = q(&[100; 24]);
+        let pkts = p.pack(&mut queue, 10);
+        // 12 per packet: 12 × (100+12) = 1344 ≤ 1424, 13 would overflow.
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].len(), 12);
+        assert_eq!(pkts[1].len(), 12);
+    }
+
+    #[test]
+    fn oversized_message_fragments_across_packets() {
+        let len = 3000;
+        let mut p = Packer::new();
+        let mut queue = q(&[len]);
+        let pkts = p.pack(&mut queue, 10);
+        // 3000 = 1412 + 1412 + 176 → 3 packets.
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0][0].kind, ChunkKind::FragStart);
+        assert_eq!(pkts[1][0].kind, ChunkKind::FragCont);
+        assert_eq!(pkts[2][0].kind, ChunkKind::FragEnd);
+        assert_eq!(
+            pkts.iter().flat_map(|c| c.iter().map(|ch| ch.data.len())).sum::<usize>(),
+            len
+        );
+        assert!(!p.mid_fragment());
+    }
+
+    #[test]
+    fn final_fragment_shares_packet_with_next_message() {
+        let mut p = Packer::new();
+        let mut queue = q(&[1500, 100]);
+        let pkts = p.pack(&mut queue, 10);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[1][0].kind, ChunkKind::FragEnd);
+        assert_eq!(pkts[1][1].kind, ChunkKind::Complete);
+        assert_eq!(pkts[1][1].data.len(), 100);
+    }
+
+    #[test]
+    fn packet_budget_suspends_and_resumes_fragmentation() {
+        let mut p = Packer::new();
+        let mut queue = q(&[5000]);
+        let first = p.pack(&mut queue, 2);
+        assert_eq!(first.len(), 2);
+        assert!(p.mid_fragment());
+        let rest = p.pack(&mut queue, 10);
+        assert!(!p.mid_fragment());
+        let total: usize =
+            first.iter().chain(rest.iter()).flat_map(|c| c.iter().map(|ch| ch.data.len())).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn every_packet_respects_max_payload() {
+        let mut p = Packer::new();
+        let mut queue = q(&[1, 50, 700, 1412, 1413, 4000, 9, 100, 100, 100]);
+        let pkts = p.pack(&mut queue, 100);
+        for pkt in &pkts {
+            assert!(payload_len(pkt) <= MAX_PAYLOAD, "packet overflows: {}", payload_len(pkt));
+            assert!(!pkt.is_empty());
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_reassembler() {
+        let sizes = [1usize, 50, 700, 700, 1412, 1413, 4000, 9, 100];
+        let mut p = Packer::new();
+        let mut queue = q(&sizes);
+        let original: Vec<Bytes> = queue.iter().cloned().collect();
+        let pkts = p.pack(&mut queue, 100);
+
+        let mut r = Reassembler::new();
+        let sender = NodeId::new(0);
+        let mut out = Vec::new();
+        for chunks in &pkts {
+            for c in chunks {
+                if let Some(msg) = r.push(sender, c) {
+                    out.push(msg);
+                }
+            }
+        }
+        assert_eq!(out, original);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembler_drops_torn_message_missing_start() {
+        let mut r = Reassembler::new();
+        let sender = NodeId::new(1);
+        // FragEnd without a FragStart (lost across a config change).
+        let end = Chunk {
+            kind: ChunkKind::FragEnd,
+            msg_id: 7,
+            orig_len: 100,
+            data: Bytes::from(vec![0u8; 40]),
+        };
+        assert_eq!(r.push(sender, &end), None);
+    }
+
+    #[test]
+    fn reassembler_separates_senders() {
+        let mut r = Reassembler::new();
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let start = |data: &'static [u8]| Chunk {
+            kind: ChunkKind::FragStart,
+            msg_id: 0,
+            orig_len: (data.len() * 2) as u32,
+            data: Bytes::from_static(data),
+        };
+        let end = |data: &'static [u8]| Chunk {
+            kind: ChunkKind::FragEnd,
+            msg_id: 0,
+            orig_len: (data.len() * 2) as u32,
+            data: Bytes::from_static(data),
+        };
+        assert_eq!(r.push(a, &start(b"aa")), None);
+        assert_eq!(r.push(b, &start(b"bb")), None);
+        assert_eq!(r.push(a, &end(b"AA")).unwrap(), Bytes::from_static(b"aaAA"));
+        assert_eq!(r.push(b, &end(b"BB")).unwrap(), Bytes::from_static(b"bbBB"));
+    }
+
+    #[test]
+    fn boundary_sizes_match_frame_math() {
+        // MAX_UNFRAGMENTED_MSG fits in one packet alone; one byte more
+        // fragments.
+        let mut p = Packer::new();
+        let mut queue = q(&[MAX_UNFRAGMENTED_MSG]);
+        let pkts = p.pack(&mut queue, 10);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0][0].kind, ChunkKind::Complete);
+        assert_eq!(payload_len(&pkts[0]), MAX_PAYLOAD);
+
+        let mut queue = q(&[MAX_UNFRAGMENTED_MSG + 1]);
+        let pkts = p.pack(&mut queue, 10);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0][0].kind, ChunkKind::FragStart);
+        let _ = CHUNK_HEADER_LEN;
+    }
+}

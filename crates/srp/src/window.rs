@@ -1,0 +1,286 @@
+//! The receive window: buffered packets, the contiguity watermark
+//! (`my_aru`), gap tracking and duplicate suppression.
+//!
+//! Duplicate suppression by sequence number is also what satisfies the
+//! redundant ring protocol's Requirement A1: copies of the same packet
+//! arriving over different networks are indistinguishable from
+//! retransmissions and are dropped here.
+
+use std::collections::BTreeMap;
+
+use totem_wire::{DataPacket, Seq};
+
+/// Buffered packets of one ring, ordered by sequence number.
+///
+/// # Example
+///
+/// ```
+/// # use totem_srp::window::ReceiveWindow;
+/// # use totem_wire::{DataPacket, NodeId, RingId, Seq};
+/// # fn pkt(seq: u64) -> DataPacket {
+/// #     DataPacket { ring: RingId::new(NodeId::new(0), 1), seq: Seq::new(seq),
+/// #                  sender: NodeId::new(0), chunks: vec![] }
+/// # }
+/// let mut w = ReceiveWindow::new();
+/// w.insert(pkt(1));
+/// w.insert(pkt(3)); // a gap at 2
+/// assert_eq!(w.my_aru(), Seq::new(1));
+/// assert!(w.any_missing());
+/// assert_eq!(w.missing(10), vec![Seq::new(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReceiveWindow {
+    packets: BTreeMap<u64, DataPacket>,
+    /// Highest sequence number such that all packets `1..=my_aru` are
+    /// present.
+    my_aru: Seq,
+    /// Highest sequence number observed anywhere (packets received or
+    /// token fields).
+    high_seen: Seq,
+    /// Delivery cursor: packets `<= delivered_up_to` have been handed
+    /// to the application.
+    delivered_up_to: Seq,
+    /// Count of duplicate receptions suppressed (statistics; exercised
+    /// heavily under active replication).
+    duplicates: u64,
+}
+
+impl ReceiveWindow {
+    /// An empty window for a fresh ring (sequence numbers start at 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a received packet. Returns `true` if the packet was
+    /// new, `false` if it was a duplicate (already present or already
+    /// beneath the contiguity watermark).
+    pub fn insert(&mut self, pkt: DataPacket) -> bool {
+        let s = pkt.seq.as_u64();
+        if s == 0 {
+            return false; // sequence numbers start at 1
+        }
+        if pkt.seq <= self.my_aru || self.packets.contains_key(&s) {
+            self.duplicates += 1;
+            return false;
+        }
+        self.note_seq(pkt.seq);
+        self.packets.insert(s, pkt);
+        // Advance the contiguity watermark.
+        let mut aru = self.my_aru.as_u64();
+        while self.packets.contains_key(&(aru + 1)) {
+            aru += 1;
+        }
+        self.my_aru = Seq::new(aru);
+        true
+    }
+
+    /// Records that sequence number `seq` exists on the ring (learned
+    /// from a token or another packet's header).
+    pub fn note_seq(&mut self, seq: Seq) {
+        if seq > self.high_seen {
+            self.high_seen = seq;
+        }
+    }
+
+    /// The contiguity watermark: all of `1..=my_aru` are present.
+    pub fn my_aru(&self) -> Seq {
+        self.my_aru
+    }
+
+    /// Highest sequence number known to exist.
+    pub fn high_seen(&self) -> Seq {
+        self.high_seen
+    }
+
+    /// The delivery cursor.
+    pub fn delivered_up_to(&self) -> Seq {
+        self.delivered_up_to
+    }
+
+    /// Whether any packet known to exist has not been received — the
+    /// predicate the passive replication algorithm queries before
+    /// releasing a buffered token (paper Figure 4,
+    /// `anyMessagesMissing`).
+    pub fn any_missing(&self) -> bool {
+        self.my_aru < self.high_seen
+    }
+
+    /// The missing sequence numbers in `(my_aru, high_seen]`, capped
+    /// at `limit` (these become retransmission requests on the token).
+    pub fn missing(&self, limit: usize) -> Vec<Seq> {
+        let mut out = Vec::new();
+        for s in self.my_aru.as_u64() + 1..=self.high_seen.as_u64() {
+            if !self.packets.contains_key(&s) {
+                out.push(Seq::new(s));
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// A buffered packet by sequence number (for answering
+    /// retransmission requests).
+    pub fn get(&self, seq: Seq) -> Option<&DataPacket> {
+        self.packets.get(&seq.as_u64())
+    }
+
+    /// Packets that may now be delivered: everything in
+    /// `(delivered_up_to, min(up_to, my_aru)]`, in sequence order.
+    /// Advances the delivery cursor; the packets stay buffered for
+    /// retransmission until [`ReceiveWindow::discard_up_to`].
+    pub fn take_deliverable(&mut self, up_to: Seq) -> Vec<DataPacket> {
+        let hi = up_to.min(self.my_aru);
+        let mut out = Vec::new();
+        for s in self.delivered_up_to.as_u64() + 1..=hi.as_u64() {
+            let pkt = self.packets.get(&s).expect("contiguous below my_aru");
+            out.push(pkt.clone());
+        }
+        if hi > self.delivered_up_to {
+            self.delivered_up_to = hi;
+        }
+        out
+    }
+
+    /// Discards buffered packets with `seq <= floor`. The caller must
+    /// guarantee no ring member can still request them (the token's
+    /// rotation-minimum `aru`) and that they have been delivered
+    /// locally.
+    pub fn discard_up_to(&mut self, floor: Seq) {
+        let floor = floor.min(self.delivered_up_to);
+        let keep = self.packets.split_off(&(floor.as_u64() + 1));
+        self.packets = keep;
+    }
+
+    /// Number of buffered packets.
+    pub fn buffered(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Duplicates suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Iterates over buffered packets with `seq` in `(lo, hi]`, in
+    /// order (used by membership recovery to retransmit old-ring
+    /// packets).
+    pub fn range(&self, lo: Seq, hi: Seq) -> impl Iterator<Item = &DataPacket> {
+        let start = lo.as_u64() + 1;
+        let end = hi.as_u64().saturating_add(1);
+        let span = if start >= end { start..start } else { start..end };
+        self.packets.range(span).map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use totem_wire::{NodeId, RingId};
+
+    fn pkt(seq: u64) -> DataPacket {
+        DataPacket {
+            ring: RingId::new(NodeId::new(0), 1),
+            seq: Seq::new(seq),
+            sender: NodeId::new(0),
+            chunks: vec![],
+        }
+    }
+
+    #[test]
+    fn contiguous_inserts_advance_aru() {
+        let mut w = ReceiveWindow::new();
+        for s in 1..=5 {
+            assert!(w.insert(pkt(s)));
+        }
+        assert_eq!(w.my_aru(), Seq::new(5));
+        assert!(!w.any_missing());
+    }
+
+    #[test]
+    fn gap_freezes_aru_and_reports_missing() {
+        let mut w = ReceiveWindow::new();
+        w.insert(pkt(1));
+        w.insert(pkt(3));
+        w.insert(pkt(5));
+        assert_eq!(w.my_aru(), Seq::new(1));
+        assert!(w.any_missing());
+        assert_eq!(w.missing(10), vec![Seq::new(2), Seq::new(4)]);
+        // Filling the first gap advances through the second packet.
+        w.insert(pkt(2));
+        assert_eq!(w.my_aru(), Seq::new(3));
+        assert_eq!(w.missing(10), vec![Seq::new(4)]);
+    }
+
+    #[test]
+    fn missing_respects_limit() {
+        let mut w = ReceiveWindow::new();
+        w.note_seq(Seq::new(100));
+        assert_eq!(w.missing(3).len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_counted() {
+        let mut w = ReceiveWindow::new();
+        assert!(w.insert(pkt(1)));
+        assert!(!w.insert(pkt(1)));
+        w.take_deliverable(Seq::new(1));
+        w.discard_up_to(Seq::new(1));
+        // Even after GC, a stale retransmission below the watermark is
+        // recognized as duplicate.
+        assert!(!w.insert(pkt(1)));
+        assert_eq!(w.duplicates(), 2);
+    }
+
+    #[test]
+    fn token_knowledge_creates_missing_without_packets() {
+        let mut w = ReceiveWindow::new();
+        w.note_seq(Seq::new(4));
+        assert!(w.any_missing());
+        assert_eq!(w.missing(10), vec![Seq::new(1), Seq::new(2), Seq::new(3), Seq::new(4)]);
+    }
+
+    #[test]
+    fn deliverable_respects_cursor_and_cap() {
+        let mut w = ReceiveWindow::new();
+        for s in 1..=5 {
+            w.insert(pkt(s));
+        }
+        let first = w.take_deliverable(Seq::new(3));
+        assert_eq!(first.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Second call returns only new ground.
+        let second = w.take_deliverable(Seq::new(10)); // capped by my_aru = 5
+        assert_eq!(second.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(w.take_deliverable(Seq::new(10)).is_empty());
+    }
+
+    #[test]
+    fn discard_never_outruns_delivery() {
+        let mut w = ReceiveWindow::new();
+        for s in 1..=5 {
+            w.insert(pkt(s));
+        }
+        w.take_deliverable(Seq::new(2));
+        w.discard_up_to(Seq::new(5)); // clamped to delivered cursor (2)
+        assert!(w.get(Seq::new(2)).is_none());
+        assert!(w.get(Seq::new(3)).is_some());
+    }
+
+    #[test]
+    fn range_iterates_half_open_interval() {
+        let mut w = ReceiveWindow::new();
+        for s in 1..=6 {
+            w.insert(pkt(s));
+        }
+        let seqs: Vec<u64> = w.range(Seq::new(2), Seq::new(5)).map(|p| p.seq.as_u64()).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn seq_zero_is_rejected() {
+        let mut w = ReceiveWindow::new();
+        assert!(!w.insert(pkt(0)));
+        assert_eq!(w.my_aru(), Seq::ZERO);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests on the SRP's core data structures: the
+//! receive window's contiguity/gap invariants under arbitrary arrival
+//! orders, and packer/reassembler round-trips over arbitrary message
+//! mixes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use totem_srp::packing::{Packer, Reassembler};
+use totem_srp::window::ReceiveWindow;
+use totem_wire::frame::MAX_PAYLOAD;
+use totem_wire::{Chunk, DataPacket, NodeId, RingId, Seq};
+
+fn pkt(seq: u64) -> DataPacket {
+    DataPacket {
+        ring: RingId::new(NodeId::new(0), 1),
+        seq: Seq::new(seq),
+        sender: NodeId::new(0),
+        chunks: vec![],
+    }
+}
+
+proptest! {
+    /// Whatever the arrival order (with duplicates), the window's
+    /// `my_aru` is exactly the longest contiguous prefix of the set of
+    /// distinct sequence numbers received, and `missing()` enumerates
+    /// exactly the holes below `high_seen`.
+    #[test]
+    fn window_aru_and_missing_are_exact(
+        seqs in proptest::collection::vec(1u64..60, 1..120),
+    ) {
+        let mut w = ReceiveWindow::new();
+        for &s in &seqs {
+            w.insert(pkt(s));
+        }
+        let distinct: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
+        let mut expect_aru = 0u64;
+        while distinct.contains(&(expect_aru + 1)) {
+            expect_aru += 1;
+        }
+        prop_assert_eq!(w.my_aru().as_u64(), expect_aru);
+
+        let high = *distinct.iter().max().unwrap();
+        prop_assert_eq!(w.high_seen().as_u64(), high);
+
+        let expect_missing: Vec<u64> =
+            (expect_aru + 1..=high).filter(|s| !distinct.contains(s)).collect();
+        let got: Vec<u64> = w.missing(usize::MAX).iter().map(|s| s.as_u64()).collect();
+        prop_assert_eq!(got, expect_missing);
+        prop_assert_eq!(w.any_missing(), high > expect_aru);
+    }
+
+    /// Deliveries come out exactly once, in sequence order, regardless
+    /// of arrival order and of how delivery is interleaved with
+    /// insertion.
+    #[test]
+    fn window_delivers_each_seq_once_in_order(
+        seqs in proptest::collection::vec(1u64..50, 1..100),
+        deliver_every in 1usize..8,
+    ) {
+        let mut w = ReceiveWindow::new();
+        let mut delivered: Vec<u64> = Vec::new();
+        for (i, &s) in seqs.iter().enumerate() {
+            w.insert(pkt(s));
+            if i % deliver_every == 0 {
+                delivered.extend(w.take_deliverable(w.my_aru()).iter().map(|p| p.seq.as_u64()));
+            }
+        }
+        delivered.extend(w.take_deliverable(w.my_aru()).iter().map(|p| p.seq.as_u64()));
+        // Strictly increasing by one from 1.
+        for (i, s) in delivered.iter().enumerate() {
+            prop_assert_eq!(*s, i as u64 + 1);
+        }
+        prop_assert_eq!(delivered.len() as u64, w.my_aru().as_u64());
+    }
+
+    /// GC never discards anything undelivered or above the floor, and
+    /// retransmission lookups still work for everything kept.
+    #[test]
+    fn window_gc_keeps_everything_requestable(
+        count in 1u64..60,
+        deliver_to in 0u64..60,
+        floor in 0u64..60,
+    ) {
+        let mut w = ReceiveWindow::new();
+        for s in 1..=count {
+            w.insert(pkt(s));
+        }
+        let deliver_to = deliver_to.min(count);
+        w.take_deliverable(Seq::new(deliver_to));
+        w.discard_up_to(Seq::new(floor));
+        let effective_floor = floor.min(deliver_to);
+        for s in 1..=count {
+            let kept = w.get(Seq::new(s)).is_some();
+            prop_assert_eq!(kept, s > effective_floor, "seq {} (floor {})", s, effective_floor);
+        }
+    }
+
+    /// Packer → Reassembler is the identity on arbitrary message
+    /// mixes, every packet respects MAX_PAYLOAD, and message ids are
+    /// consumed in order.
+    #[test]
+    fn packer_reassembler_roundtrip(
+        sizes in proptest::collection::vec(0usize..5000, 1..40),
+        budget in 1usize..10,
+    ) {
+        let mut queue: std::collections::VecDeque<Bytes> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Bytes::from(vec![(i % 251) as u8; n]))
+            .collect();
+        let original: Vec<Bytes> = queue.iter().cloned().collect();
+        let mut packer = Packer::new();
+        let mut reasm = Reassembler::new();
+        let sender = NodeId::new(3);
+        let mut out: Vec<Bytes> = Vec::new();
+        // Pack in small bursts to exercise suspended fragmentation.
+        loop {
+            let pkts = packer.pack(&mut queue, budget);
+            if pkts.is_empty() {
+                prop_assert!(!packer.mid_fragment());
+                break;
+            }
+            for chunks in &pkts {
+                let payload: usize = chunks.iter().map(Chunk::wire_len).sum();
+                prop_assert!(payload <= MAX_PAYLOAD, "packet overflows: {payload}");
+                for c in chunks {
+                    if let Some(msg) = reasm.push(sender, c) {
+                        out.push(msg);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(out, original);
+        prop_assert_eq!(reasm.pending(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Transports for the Totem stack: N redundant channels per node.
+//!
+//! The protocol crates are sans-io; this crate supplies the io for the
+//! real-time runtime in `totem-cluster`:
+//!
+//! * [`UdpTransport`] — one UDP socket per redundant network, as in
+//!   the paper's deployment (each workstation had one NIC per
+//!   network). Broadcast is emulated by unicast fan-out to every peer,
+//!   which keeps the example runnable on a loopback interface without
+//!   multicast configuration.
+//! * [`InMemoryTransport`] — a process-local hub for tests and
+//!   examples that do not want sockets at all.
+//!
+//! Both implement [`Transport`]; reader threads funnel every received
+//! datagram into a single crossbeam channel so a driver loop can wait
+//! on all networks at once with a timeout (the protocol's next timer
+//! deadline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod udp;
+
+pub use memory::{InMemoryHub, InMemoryTransport};
+pub use udp::{UdpTopology, UdpTransport};
+
+use std::io;
+use std::time::Duration;
+
+use totem_wire::{NetworkId, NodeId};
+
+/// Where a packet should go on one network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// All peers on the network (data packets and join messages).
+    Broadcast,
+    /// A single peer (tokens).
+    Node(NodeId),
+}
+
+/// A set of N redundant channels belonging to one node.
+///
+/// Sending never blocks on peers; receiving is a single multiplexed
+/// queue across all networks.
+pub trait Transport: Send {
+    /// Number of redundant networks.
+    fn networks(&self) -> usize;
+
+    /// Sends `payload` on `net` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying channel. Transient
+    /// send failures should be treated as packet loss (the protocol
+    /// retransmits); callers should not retry in a loop.
+    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()>;
+
+    /// Waits up to `timeout` for the next datagram on any network.
+    /// Returns `None` on timeout or if the transport has shut down.
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn destination_is_plain_data() {
+        let d = Destination::Node(NodeId::new(3));
+        assert_eq!(d, Destination::Node(NodeId::new(3)));
+        assert_ne!(d, Destination::Broadcast);
+    }
+}

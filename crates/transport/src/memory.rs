@@ -1,0 +1,168 @@
+//! A process-local transport: N simulated networks as crossbeam
+//! channels, no sockets.
+//!
+//! [`InMemoryHub::new`] builds one [`InMemoryTransport`] per node; a
+//! broadcast clones the payload to every other node's queue. Delivery
+//! is reliable and FIFO per (sender, network) — like an idle LAN.
+//! Useful for runtime tests and examples that want real threads but
+//! no real network.
+
+use std::io;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use totem_wire::{NetworkId, NodeId};
+
+use crate::{Destination, Transport};
+
+type Datagram = (NetworkId, Vec<u8>);
+
+/// Shared state: every node's inbox.
+#[derive(Debug)]
+struct Shared {
+    inboxes: Vec<Sender<Datagram>>,
+    /// Per network: is it administratively down? (simple fault hook
+    /// for runtime tests; the simulator has the full fault plane).
+    down: Mutex<Vec<bool>>,
+}
+
+/// Factory for a cluster of in-memory transports.
+#[derive(Debug)]
+pub struct InMemoryHub;
+
+impl InMemoryHub {
+    /// Builds `nodes` connected transports over `networks` networks.
+    /// (A factory, not a constructor — the hub itself lives inside the
+    /// returned endpoints.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `networks` is zero.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(nodes: usize, networks: usize) -> Vec<InMemoryTransport> {
+        assert!(nodes > 0 && networks > 0, "nodes and networks must be positive");
+        let mut inboxes = Vec::with_capacity(nodes);
+        let mut receivers = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let shared = std::sync::Arc::new(Shared { inboxes, down: Mutex::new(vec![false; networks]) });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| InMemoryTransport {
+                me: NodeId::new(i as u16),
+                networks,
+                shared: shared.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
+
+/// One node's endpoint on the in-memory hub.
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    me: NodeId,
+    networks: usize,
+    shared: std::sync::Arc<Shared>,
+    rx: Receiver<Datagram>,
+}
+
+impl InMemoryTransport {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Administratively kills or revives a network for everyone on the
+    /// hub (packets on a dead network are silently dropped).
+    pub fn set_network_down(&self, net: NetworkId, down: bool) {
+        self.shared.down.lock()[net.index()] = down;
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn networks(&self) -> usize {
+        self.networks
+    }
+
+    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()> {
+        assert!(net.index() < self.networks, "network out of range");
+        if self.shared.down.lock()[net.index()] {
+            return Ok(()); // dropped on the dead network
+        }
+        match dst {
+            Destination::Broadcast => {
+                for (i, tx) in self.shared.inboxes.iter().enumerate() {
+                    if i != self.me.index() {
+                        let _ = tx.send((net, payload.to_vec()));
+                    }
+                }
+            }
+            Destination::Node(d) => {
+                let tx = self
+                    .shared
+                    .inboxes
+                    .get(d.index())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown destination node"))?;
+                let _ = tx.send((net, payload.to_vec()));
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let hub = InMemoryHub::new(3, 2);
+        hub[0].send(NetworkId::new(1), Destination::Broadcast, b"hi").unwrap();
+        for t in &hub[1..] {
+            let (net, data) = t.recv_timeout(Duration::from_millis(100)).unwrap();
+            assert_eq!(net, NetworkId::new(1));
+            assert_eq!(data, b"hi");
+        }
+        assert!(hub[0].recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn unicast_reaches_only_destination() {
+        let hub = InMemoryHub::new(3, 1);
+        hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(2)), b"tok").unwrap();
+        assert!(hub[1].recv_timeout(Duration::from_millis(10)).is_none());
+        assert_eq!(hub[2].recv_timeout(Duration::from_millis(100)).unwrap().1, b"tok");
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let hub = InMemoryHub::new(2, 1);
+        let err = hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(9)), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn dead_network_swallows_traffic() {
+        let hub = InMemoryHub::new(2, 2);
+        hub[0].set_network_down(NetworkId::new(0), true);
+        hub[0].send(NetworkId::new(0), Destination::Broadcast, b"a").unwrap();
+        hub[0].send(NetworkId::new(1), Destination::Broadcast, b"b").unwrap();
+        let (net, data) = hub[1].recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!((net, data.as_slice()), (NetworkId::new(1), b"b".as_slice()));
+        // Revive and confirm it works again.
+        hub[1].set_network_down(NetworkId::new(0), false);
+        hub[0].send(NetworkId::new(0), Destination::Broadcast, b"c").unwrap();
+        assert_eq!(hub[1].recv_timeout(Duration::from_millis(100)).unwrap().1, b"c");
+    }
+}

@@ -1,0 +1,231 @@
+//! Real UDP transport: one socket per redundant network.
+//!
+//! The paper's testbed gave every workstation one NIC per network; the
+//! analogue here is one bound UDP socket per network per node. A
+//! [`UdpTopology`] maps `(node, network) → SocketAddr`. Broadcast is
+//! emulated by unicast fan-out to all peers on that network, so
+//! everything runs on 127.0.0.1 without multicast setup; on a real
+//! segmented LAN the same topology works with per-subnet addresses.
+//!
+//! One reader thread per socket funnels datagrams into a single
+//! channel, giving the driver loop a `recv_timeout` across all
+//! networks.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use totem_wire::{NetworkId, NodeId};
+
+use crate::{Destination, Transport};
+
+/// Maximum datagram the transport accepts (a Totem frame plus slack
+/// for recovery encapsulation).
+const MAX_DATAGRAM: usize = 64 * 1024;
+
+/// Address map of a cluster: `addrs[node][network]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpTopology {
+    addrs: Vec<Vec<SocketAddr>>,
+}
+
+impl UdpTopology {
+    /// Builds a topology from an explicit address table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or the table is empty.
+    pub fn new(addrs: Vec<Vec<SocketAddr>>) -> Self {
+        assert!(!addrs.is_empty(), "topology must have at least one node");
+        let n = addrs[0].len();
+        assert!(n > 0, "topology must have at least one network");
+        assert!(addrs.iter().all(|row| row.len() == n), "all nodes need the same network count");
+        UdpTopology { addrs }
+    }
+
+    /// A loopback topology: `nodes × networks` consecutive ports
+    /// starting at `base_port` on 127.0.0.1.
+    pub fn loopback(nodes: usize, networks: usize, base_port: u16) -> Self {
+        let addrs = (0..nodes)
+            .map(|node| {
+                (0..networks)
+                    .map(|net| {
+                        let port = base_port + (node * networks + net) as u16;
+                        SocketAddr::from(([127, 0, 0, 1], port))
+                    })
+                    .collect()
+            })
+            .collect();
+        UdpTopology::new(addrs)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Number of networks.
+    pub fn networks(&self) -> usize {
+        self.addrs[0].len()
+    }
+
+    /// Address of `(node, net)`.
+    pub fn addr(&self, node: NodeId, net: NetworkId) -> SocketAddr {
+        self.addrs[node.index()][net.index()]
+    }
+}
+
+/// A node's UDP endpoint: one bound socket per network plus reader
+/// threads.
+#[derive(Debug)]
+pub struct UdpTransport {
+    me: NodeId,
+    topology: UdpTopology,
+    sockets: Vec<UdpSocket>,
+    rx: Receiver<(NetworkId, Vec<u8>)>,
+    stop: Arc<AtomicBool>,
+}
+
+impl UdpTransport {
+    /// Binds node `me`'s sockets per `topology` and starts the reader
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket bind/configuration error.
+    pub fn bind(me: NodeId, topology: UdpTopology) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded();
+        let mut sockets = Vec::with_capacity(topology.networks());
+        for net in 0..topology.networks() {
+            let net_id = NetworkId::new(net as u8);
+            let socket = UdpSocket::bind(topology.addr(me, net_id))?;
+            socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+            spawn_reader(socket.try_clone()?, net_id, tx.clone(), stop.clone());
+            sockets.push(socket);
+        }
+        Ok(UdpTransport { me, topology, sockets, rx, stop })
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The topology this endpoint participates in.
+    pub fn topology(&self) -> &UdpTopology {
+        &self.topology
+    }
+}
+
+fn spawn_reader(socket: UdpSocket, net: NetworkId, tx: Sender<(NetworkId, Vec<u8>)>, stop: Arc<AtomicBool>) {
+    std::thread::Builder::new()
+        .name(format!("totem-udp-{net}"))
+        .spawn(move || {
+            let mut buf = vec![0u8; MAX_DATAGRAM];
+            while !stop.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((len, _peer)) => {
+                        if tx.send((net, buf[..len].to_vec())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn udp reader thread");
+}
+
+impl Transport for UdpTransport {
+    fn networks(&self) -> usize {
+        self.topology.networks()
+    }
+
+    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()> {
+        let socket = &self.sockets[net.index()];
+        match dst {
+            Destination::Broadcast => {
+                for node in 0..self.topology.nodes() {
+                    let node = NodeId::new(node as u16);
+                    if node != self.me {
+                        socket.send_to(payload, self.topology.addr(node, net))?;
+                    }
+                }
+            }
+            Destination::Node(d) => {
+                socket.send_to(payload, self.topology.addr(d, net))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl Drop for UdpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Reader threads wake within their 50 ms read timeout and exit.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free_base_port() -> u16 {
+        // Bind an ephemeral socket to discover a usable port region.
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        // Leave slack for the table we are about to bind.
+        port.saturating_sub(64).max(20_000)
+    }
+
+    #[test]
+    fn loopback_topology_assigns_consecutive_ports() {
+        let t = UdpTopology::loopback(2, 2, 30_000);
+        assert_eq!(t.addr(NodeId::new(0), NetworkId::new(0)).port(), 30_000);
+        assert_eq!(t.addr(NodeId::new(0), NetworkId::new(1)).port(), 30_001);
+        assert_eq!(t.addr(NodeId::new(1), NetworkId::new(0)).port(), 30_002);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.networks(), 2);
+    }
+
+    #[test]
+    fn datagrams_flow_between_endpoints_on_both_networks() {
+        let base = free_base_port();
+        let topo = UdpTopology::loopback(2, 2, base);
+        let a = UdpTransport::bind(NodeId::new(0), topo.clone()).unwrap();
+        let b = UdpTransport::bind(NodeId::new(1), topo).unwrap();
+
+        a.send(NetworkId::new(0), Destination::Broadcast, b"net0").unwrap();
+        a.send(NetworkId::new(1), Destination::Node(NodeId::new(1)), b"net1").unwrap();
+
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (net, data) = b.recv_timeout(Duration::from_secs(2)).expect("datagram");
+            got.push((net.as_u8(), data));
+        }
+        got.sort();
+        assert_eq!(got, vec![(0, b"net0".to_vec()), (1, b"net1".to_vec())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same network count")]
+    fn ragged_topology_is_rejected() {
+        let _ = UdpTopology::new(vec![
+            vec![SocketAddr::from(([127, 0, 0, 1], 1000))],
+            vec![],
+        ]);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Ethernet framing model from the paper (Section 8).
+//!
+//! > "The maximum frame size is 1518 bytes, of which 94 bytes are used
+//! > for the Ethernet header and trailer, IPv4 header, UDP header and
+//! > the Totem header. This results in a maximum payload of 1424 bytes
+//! > for each Ethernet frame. If several messages can fit into that
+//! > space, they are placed into a single packet by the message
+//! > packing algorithm. If a message is longer than 1424 bytes, Totem
+//! > splits it up into multiple packets."
+//!
+//! These constants drive two things: the message packer in
+//! `totem-srp` (which produces the characteristic throughput peaks at
+//! 700 and 1400 bytes) and the simulator's bandwidth accounting in
+//! `totem-sim` (which charges [`wire_frame_len`] bytes of medium time
+//! per packet).
+
+/// Maximum Ethernet frame size in bytes (paper §8).
+pub const ETHERNET_MTU: usize = 1518;
+
+/// Bytes of a maximum frame consumed by the Ethernet header/trailer,
+/// IPv4 header, UDP header and the Totem per-packet header (paper §8).
+pub const HEADER_OVERHEAD: usize = 94;
+
+/// Maximum Totem payload per Ethernet frame: [`ETHERNET_MTU`] minus
+/// [`HEADER_OVERHEAD`].
+pub const MAX_PAYLOAD: usize = ETHERNET_MTU - HEADER_OVERHEAD;
+
+/// Per-chunk sub-header inside a packed data packet: chunk kind,
+/// flags, length, and the sender-local message id used to reassemble
+/// fragments. Chosen so that two 700-byte application messages pack
+/// exactly into one 1424-byte frame (2 × (700 + 12) = 1424), which is
+/// what gives the paper's Figures 6–9 their peak at 700 bytes.
+pub const CHUNK_HEADER_LEN: usize = 12;
+
+/// Number of whole chunks of application-payload size `msg_len` that
+/// fit into a single frame (zero means the message must be
+/// fragmented).
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::frame::chunk_capacity;
+/// assert_eq!(chunk_capacity(700), 2);   // the paper's first peak
+/// assert_eq!(chunk_capacity(1400), 1);  // the paper's second peak
+/// assert_eq!(chunk_capacity(1413), 0);  // must fragment
+/// assert_eq!(chunk_capacity(100), 12);
+/// ```
+pub fn chunk_capacity(msg_len: usize) -> usize {
+    MAX_PAYLOAD / (msg_len + CHUNK_HEADER_LEN)
+}
+
+/// Bytes a packet with `payload_len` bytes of Totem payload occupies
+/// on the wire, including all header overhead. Used by the simulator
+/// to charge medium time.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::frame::{wire_frame_len, MAX_PAYLOAD, ETHERNET_MTU};
+/// assert_eq!(wire_frame_len(MAX_PAYLOAD), ETHERNET_MTU);
+/// assert_eq!(wire_frame_len(0), 94);
+/// ```
+pub fn wire_frame_len(payload_len: usize) -> usize {
+    payload_len + HEADER_OVERHEAD
+}
+
+/// Largest application message that still fits unfragmented in one
+/// frame alongside its chunk header.
+pub const MAX_UNFRAGMENTED_MSG: usize = MAX_PAYLOAD - CHUNK_HEADER_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(ETHERNET_MTU, 1518);
+        assert_eq!(HEADER_OVERHEAD, 94);
+        assert_eq!(MAX_PAYLOAD, 1424);
+    }
+
+    #[test]
+    fn seven_hundred_byte_messages_pack_two_per_frame() {
+        assert_eq!(chunk_capacity(700), 2);
+        // ...and they fill the frame exactly.
+        assert_eq!(2 * (700 + CHUNK_HEADER_LEN), MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn fourteen_hundred_byte_messages_nearly_fill_a_frame() {
+        assert_eq!(chunk_capacity(1400), 1);
+        assert_eq!(1400 + CHUNK_HEADER_LEN, MAX_PAYLOAD - 12);
+    }
+
+    #[test]
+    fn capacity_is_monotone_nonincreasing_in_message_size() {
+        let mut prev = usize::MAX;
+        for len in 1..=2000 {
+            let cap = chunk_capacity(len);
+            assert!(cap <= prev, "capacity must not grow with message size");
+            prev = cap;
+        }
+    }
+
+    #[test]
+    fn max_unfragmented_msg_fits_and_next_does_not() {
+        assert_eq!(chunk_capacity(MAX_UNFRAGMENTED_MSG), 1);
+        assert_eq!(chunk_capacity(MAX_UNFRAGMENTED_MSG + 1), 0);
+    }
+
+    #[test]
+    fn wire_frame_len_is_affine_in_payload() {
+        assert_eq!(wire_frame_len(100) - wire_frame_len(0), 100);
+    }
+}

@@ -1,0 +1,273 @@
+//! Strongly typed identifiers used throughout the Totem stack.
+//!
+//! Newtypes keep node indices, network indices, ring identities and
+//! sequence numbers from being confused with one another (and with
+//! plain integers) at compile time.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor (a node on the ring).
+///
+/// Totem orders nodes by their identifier when electing the ring
+/// representative, so `NodeId` is totally ordered.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::NodeId;
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(3);
+/// assert!(a < b);
+/// assert_eq!(b.as_u16(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node identifier from its raw index.
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize`, convenient for
+    /// indexing per-node tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Identifier of one of the `N` redundant networks.
+///
+/// The paper names the networks `n'`, `n''`, ...; here they are
+/// `NetworkId(0)`, `NetworkId(1)`, ...
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::NetworkId;
+/// let primary = NetworkId::new(0);
+/// assert_eq!(primary.index(), 0);
+/// assert_eq!(primary.to_string(), "net0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetworkId(u8);
+
+impl NetworkId {
+    /// Creates a network identifier from its raw index.
+    pub const fn new(raw: u8) -> Self {
+        NetworkId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize`, convenient for
+    /// indexing per-network tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+impl From<u8> for NetworkId {
+    fn from(raw: u8) -> Self {
+        NetworkId(raw)
+    }
+}
+
+/// Identity of a ring configuration.
+///
+/// A ring is identified by its representative (the lowest
+/// [`NodeId`] in the membership) and a monotonically increasing ring
+/// sequence number chosen by the membership protocol. Every data
+/// packet and token carries the `RingId` it belongs to so that stale
+/// traffic from a previous configuration can be discarded.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::{NodeId, RingId};
+/// let old = RingId::new(NodeId::new(0), 4);
+/// let new = old.successor(NodeId::new(1));
+/// assert!(new.seq > old.seq);
+/// assert_eq!(new.rep, NodeId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RingId {
+    /// The ring representative: the smallest node identifier in the
+    /// membership.
+    pub rep: NodeId,
+    /// The ring sequence number. Totem increments this by a step
+    /// large enough that every node's next proposal is fresh; we use
+    /// a simple monotone counter managed by the membership protocol.
+    pub seq: u64,
+}
+
+impl RingId {
+    /// Creates a ring identity.
+    pub const fn new(rep: NodeId, seq: u64) -> Self {
+        RingId { rep, seq }
+    }
+
+    /// Returns the identity of a successor ring led by `rep`, with a
+    /// strictly larger ring sequence number.
+    pub fn successor(self, rep: NodeId) -> Self {
+        RingId { rep, seq: self.seq + 1 }
+    }
+}
+
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring({}, {})", self.rep, self.seq)
+    }
+}
+
+/// A global message (packet) sequence number on a ring.
+///
+/// The token carries the sequence number of the last packet broadcast
+/// on the ring; each node increments it for every packet it sends
+/// while holding the token, which imposes the total order.
+///
+/// `Seq` is 64 bits wide, so wrap-around is not a practical concern;
+/// arithmetic still goes through named methods to keep call sites
+/// auditable.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::Seq;
+/// let s = Seq::ZERO.next();
+/// assert_eq!(s, Seq::new(1));
+/// assert_eq!(s.gap_from(Seq::ZERO), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Seq(u64);
+
+impl Seq {
+    /// The zero sequence number: "no packet broadcast yet".
+    pub const ZERO: Seq = Seq(0);
+
+    /// Creates a sequence number from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Seq(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the underlying `u64` (unreachable in any
+    /// realistic execution).
+    pub fn next(self) -> Seq {
+        Seq(self.0.checked_add(1).expect("sequence number overflow"))
+    }
+
+    /// Returns how many sequence numbers lie strictly after `earlier`
+    /// up to and including `self` (zero if `self <= earlier`).
+    pub fn gap_from(self, earlier: Seq) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Iterates over all sequence numbers in `(self, until]`, i.e. the
+    /// numbers a node is missing when its high watermark is `self`
+    /// and the ring has reached `until`.
+    pub fn missing_until(self, until: Seq) -> impl Iterator<Item = Seq> {
+        (self.0 + 1..=until.0).map(Seq)
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for Seq {
+    fn from(raw: u64) -> Self {
+        Seq(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_orders_by_raw_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5).index(), 5);
+        assert_eq!(NodeId::from(7).as_u16(), 7);
+    }
+
+    #[test]
+    fn network_id_display_and_index() {
+        assert_eq!(NetworkId::new(2).to_string(), "net2");
+        assert_eq!(NetworkId::from(3).index(), 3);
+    }
+
+    #[test]
+    fn ring_successor_increments_seq_and_replaces_rep() {
+        let r = RingId::new(NodeId::new(4), 10);
+        let s = r.successor(NodeId::new(2));
+        assert_eq!(s.seq, 11);
+        assert_eq!(s.rep, NodeId::new(2));
+        assert!(s > r || s.rep < r.rep); // ordering is lexicographic on (rep, seq)
+    }
+
+    #[test]
+    fn seq_next_and_gap() {
+        let s = Seq::new(10);
+        assert_eq!(s.next(), Seq::new(11));
+        assert_eq!(Seq::new(15).gap_from(s), 5);
+        assert_eq!(s.gap_from(Seq::new(15)), 0);
+    }
+
+    #[test]
+    fn seq_missing_until_enumerates_open_closed_interval() {
+        let missing: Vec<Seq> = Seq::new(3).missing_until(Seq::new(6)).collect();
+        assert_eq!(missing, vec![Seq::new(4), Seq::new(5), Seq::new(6)]);
+        assert_eq!(Seq::new(6).missing_until(Seq::new(6)).count(), 0);
+    }
+
+    #[test]
+    fn seq_zero_is_default() {
+        assert_eq!(Seq::default(), Seq::ZERO);
+    }
+
+    #[test]
+    fn ring_id_display_mentions_rep_and_seq() {
+        let r = RingId::new(NodeId::new(1), 9);
+        assert_eq!(r.to_string(), "ring(n1, 9)");
+    }
+}

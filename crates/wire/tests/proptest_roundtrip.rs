@@ -1,0 +1,135 @@
+//! Property-based tests: every structurally valid packet round-trips
+//! through the codec, and the decoder never panics on arbitrary bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use totem_wire::{
+    Chunk, ChunkKind, CommitToken, DataPacket, JoinMessage, MembEntry, NodeId, Packet, RingId, Seq,
+    Token,
+};
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u16..64).prop_map(NodeId::new)
+}
+
+fn arb_ring() -> impl Strategy<Value = RingId> {
+    (arb_node(), 0u64..1_000_000).prop_map(|(rep, seq)| RingId::new(rep, seq))
+}
+
+fn arb_seq() -> impl Strategy<Value = Seq> {
+    (0u64..u64::MAX / 2).prop_map(Seq::new)
+}
+
+fn arb_chunk_kind() -> impl Strategy<Value = ChunkKind> {
+    prop_oneof![
+        Just(ChunkKind::Complete),
+        Just(ChunkKind::FragStart),
+        Just(ChunkKind::FragCont),
+        Just(ChunkKind::FragEnd),
+        Just(ChunkKind::Recovery),
+    ]
+}
+
+fn arb_chunk() -> impl Strategy<Value = Chunk> {
+    (arb_chunk_kind(), any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..1424))
+        .prop_map(|(kind, msg_id, orig_len, data)| Chunk { kind, msg_id, orig_len, data: Bytes::from(data) })
+}
+
+fn arb_data_packet() -> impl Strategy<Value = DataPacket> {
+    (arb_ring(), arb_seq(), arb_node(), proptest::collection::vec(arb_chunk(), 0..6))
+        .prop_map(|(ring, seq, sender, chunks)| DataPacket { ring, seq, sender, chunks })
+}
+
+fn arb_token() -> impl Strategy<Value = Token> {
+    (
+        arb_ring(),
+        any::<u32>(),
+        arb_seq(),
+        arb_seq(),
+        proptest::option::of(arb_node()),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_seq(), 0..20),
+    )
+        .prop_map(|(ring, rotation, seq, aru, aru_id, fcc, backlog, rtr)| Token {
+            ring,
+            rotation: rotation as u64,
+            seq,
+            aru,
+            aru_id,
+            fcc,
+            backlog,
+            rtr,
+        })
+}
+
+fn arb_join() -> impl Strategy<Value = JoinMessage> {
+    (
+        arb_node(),
+        0u64..1_000_000,
+        proptest::collection::vec(arb_node(), 0..16),
+        proptest::collection::vec(arb_node(), 0..16),
+    )
+        .prop_map(|(sender, ring_seq, proc_set, fail_set)| JoinMessage { sender, ring_seq, proc_set, fail_set })
+}
+
+fn arb_memb_entry() -> impl Strategy<Value = MembEntry> {
+    (arb_node(), arb_ring(), arb_seq(), arb_seq(), any::<bool>()).prop_map(
+        |(node, old_ring, my_aru, high_delivered, received_flag)| MembEntry {
+            node,
+            old_ring,
+            my_aru,
+            high_delivered,
+            received_flag,
+        },
+    )
+}
+
+fn arb_commit() -> impl Strategy<Value = CommitToken> {
+    (arb_ring(), 0u8..2, proptest::collection::vec(arb_memb_entry(), 0..16))
+        .prop_map(|(ring, round, entries)| CommitToken { ring, round, entries })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        arb_data_packet().prop_map(Packet::Data),
+        arb_token().prop_map(Packet::Token),
+        arb_join().prop_map(Packet::Join),
+        arb_commit().prop_map(Packet::Commit),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packet_roundtrip(pkt in arb_packet()) {
+        let bytes = pkt.encode();
+        let decoded = Packet::decode(&bytes).expect("valid packet must decode");
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_packets(
+        pkt in arb_packet(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = pkt.encode();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+            let _ = Packet::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn control_packet_encoded_len_is_exact(t in arb_token(), j in arb_join(), c in arb_commit()) {
+        prop_assert_eq!(Packet::Token(t.clone()).encode().len(), t.encoded_len() + 1);
+        prop_assert_eq!(Packet::Join(j.clone()).encode().len(), j.encoded_len() + 1);
+        prop_assert_eq!(Packet::Commit(c.clone()).encode().len(), c.encoded_len() + 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Network fail-over: the headline scenario of the paper.
+//!
+//! A six-node cluster runs active replication over two networks. At
+//! t=1s network 0 dies completely. The application notices *nothing* —
+//! messages keep flowing in total order over network 1 — while every
+//! node's local monitor raises a fault report that an administrator
+//! would act on (paper §3: "the distributed system remains operational
+//! while an administrator reacts to an alarm").
+//!
+//! Run with: `cargo run --example network_failover`
+
+use bytes::Bytes;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimTime};
+use totem_wire::NetworkId;
+
+fn main() {
+    let mut cluster = SimCluster::new(ClusterConfig::new(6, ReplicationStyle::Active));
+
+    // A steady trickle of traffic: one message per node every 50 ms.
+    let mut sent = 0u32;
+    let mut t = SimTime::ZERO;
+    let net0_dies = SimTime::from_secs(1);
+    cluster.schedule_fault(net0_dies, FaultCommand::NetworkDown { net: NetworkId::new(0), down: true });
+
+    while t < SimTime::from_secs(3) {
+        cluster.run_until(t);
+        for node in 0..6 {
+            cluster.submit(node, Bytes::from(format!("tick {sent} from node {node}")));
+        }
+        sent += 6;
+        t += totem_sim::SimDuration::from_millis(50);
+    }
+    cluster.run_until(SimTime::from_secs(4));
+
+    // Every message was delivered everywhere, in one agreed order,
+    // straight through the network failure.
+    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
+    assert_eq!(reference.len() as u32, sent, "messages lost across the failure");
+    for node in 1..6 {
+        let order: Vec<&[u8]> = cluster.delivered(node).iter().map(|d| &d.data[..]).collect();
+        assert_eq!(order, reference, "node {node} disagrees");
+    }
+    println!("{sent} messages delivered in total order across a total network failure.");
+    println!();
+
+    // And the operators were told. The paper: "the order in which the
+    // fault reports are issued and the content of those reports aids
+    // the user in diagnosing the problem."
+    println!("fault reports raised to the application:");
+    for node in 0..6 {
+        for report in cluster.faults(node) {
+            println!(
+                "  node {node} at t+{:.3}s: {report}",
+                report.at as f64 / 1e9
+            );
+        }
+        assert!(
+            cluster.faulty_networks(node)[0],
+            "node {node} failed to mark network 0 faulty"
+        );
+    }
+    println!();
+    println!("membership was never disturbed: every node still sees all 6 members:");
+    for node in 0..6 {
+        assert_eq!(cluster.members(node).unwrap().len(), 6);
+    }
+    println!("  OK — the network fault stayed below the membership layer.");
+}

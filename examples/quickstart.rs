@@ -1,0 +1,60 @@
+//! Quickstart: a four-node Totem RRP cluster on two redundant
+//! simulated Ethernets, active replication.
+//!
+//! Every node submits a few messages; every node then delivers *all*
+//! messages in exactly the same total order — the core guarantee the
+//! redundant ring preserves across networks.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bytes::Bytes;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::SimTime;
+
+fn main() {
+    // Four nodes, active replication over two networks (the default
+    // network count for active/passive styles).
+    let cfg = ClusterConfig::new(4, ReplicationStyle::Active);
+    let mut cluster = SimCluster::new(cfg);
+
+    // Each node says three things.
+    for node in 0..4 {
+        for i in 0..3 {
+            cluster.submit(node, Bytes::from(format!("node{node} says hello #{i}")));
+        }
+    }
+
+    // Let the ring spin for half a simulated second.
+    cluster.run_until(SimTime::from_millis(500));
+
+    // Every node delivered all 12 messages...
+    for node in 0..4 {
+        assert_eq!(cluster.delivered(node).len(), 12, "node {node} missed messages");
+    }
+    // ...in exactly the same order.
+    let reference: Vec<String> = cluster
+        .delivered(0)
+        .iter()
+        .map(|d| String::from_utf8_lossy(&d.data).into_owned())
+        .collect();
+    for node in 1..4 {
+        let order: Vec<String> = cluster
+            .delivered(node)
+            .iter()
+            .map(|d| String::from_utf8_lossy(&d.data).into_owned())
+            .collect();
+        assert_eq!(order, reference, "node {node} disagrees on the order");
+    }
+
+    println!("Total order agreed by all 4 nodes:");
+    for (i, msg) in reference.iter().enumerate() {
+        println!("  {:>2}. {msg}", i + 1);
+    }
+    println!();
+    println!(
+        "networks used: {} frames on net0, {} frames on net1 (active replication sends on both)",
+        cluster.net_stats().net(totem_wire::NetworkId::new(0)).frames_sent,
+        cluster.net_stats().net(totem_wire::NetworkId::new(1)).frames_sent,
+    );
+}

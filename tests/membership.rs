@@ -1,0 +1,237 @@
+//! Membership over redundant networks: cold start, crash, rejoin and
+//! partition-heal through the full stack (the membership protocol's
+//! joins and commit tokens themselves travel through the RRP layer).
+
+use bytes::Bytes;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimTime};
+use totem_srp::{ConfigKind, SrpState};
+use totem_wire::{NetworkId, NodeId};
+
+fn crash(cluster: &mut SimCluster, node: u16, networks: usize) {
+    for net in 0..networks as u8 {
+        cluster.fault_now(FaultCommand::SendFault { node: NodeId::new(node), net: NetworkId::new(net), failed: true });
+        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(node), net: NetworkId::new(net), failed: true });
+    }
+}
+
+fn revive(cluster: &mut SimCluster, node: u16, networks: usize) {
+    for net in 0..networks as u8 {
+        cluster.fault_now(FaultCommand::SendFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
+        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
+    }
+}
+
+#[test]
+fn cold_start_forms_one_ring_under_each_style() {
+    for style in [ReplicationStyle::Active, ReplicationStyle::Passive] {
+        let mut cluster = SimCluster::new(ClusterConfig::new(4, style).joining().with_seed(1));
+        cluster.run_until(SimTime::from_secs(3));
+        for n in 0..4 {
+            assert_eq!(cluster.srp_state(n), SrpState::Operational, "{style}: node {n} not up");
+            assert_eq!(cluster.members(n).unwrap().len(), 4, "{style}: wrong ring size");
+        }
+        // The regular configuration was delivered to the application.
+        for n in 0..4 {
+            assert!(cluster
+                .configs(n)
+                .iter()
+                .any(|c| c.kind == ConfigKind::Regular && c.members.len() == 4));
+        }
+    }
+}
+
+#[test]
+fn crash_is_excluded_with_transitional_and_regular_configs() {
+    let mut cluster = SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(2));
+    cluster.submit(0, Bytes::from_static(b"pre"));
+    cluster.run_until(SimTime::from_millis(300));
+    crash(&mut cluster, 3, 2);
+    cluster.run_until(SimTime::from_secs(4));
+    for n in 0..3 {
+        let members = cluster.members(n).unwrap();
+        assert_eq!(members.len(), 3, "node {n}: ring not reformed");
+        assert!(!members.contains(&NodeId::new(3)));
+        let kinds: Vec<ConfigKind> = cluster.configs(n).iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&ConfigKind::Transitional), "node {n}: no transitional config");
+        assert!(kinds.contains(&ConfigKind::Regular), "node {n}: no regular config");
+        // EVS ordering: the transitional configuration precedes the
+        // regular one.
+        let t = kinds.iter().position(|k| *k == ConfigKind::Transitional).unwrap();
+        let r = kinds.iter().position(|k| *k == ConfigKind::Regular).unwrap();
+        assert!(t < r, "node {n}: transitional must precede regular");
+    }
+    // Survivors still agree on everything delivered.
+    cluster.submit(1, Bytes::from_static(b"post"));
+    cluster.run_until(SimTime::from_secs(6));
+    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
+    for n in 1..3 {
+        let o: Vec<&[u8]> = cluster.delivered(n).iter().map(|d| &d.data[..]).collect();
+        assert_eq!(o, reference, "node {n} disagrees");
+    }
+    assert!(reference.contains(&b"post".as_slice()));
+}
+
+#[test]
+fn crashed_node_rejoins_after_revival() {
+    let mut cluster = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(3));
+    cluster.submit(0, Bytes::from_static(b"hello"));
+    cluster.run_until(SimTime::from_millis(300));
+    crash(&mut cluster, 2, 2);
+    cluster.run_until(SimTime::from_secs(4));
+    assert_eq!(cluster.members(0).unwrap().len(), 2);
+
+    revive(&mut cluster, 2, 2);
+    cluster.run_until(SimTime::from_secs(10));
+    for n in 0..3 {
+        assert_eq!(
+            cluster.members(n).map(|m| m.len()),
+            Some(3),
+            "node {n}: revived node not re-admitted"
+        );
+    }
+    // New traffic reaches the returnee.
+    cluster.submit(0, Bytes::from_static(b"welcome back"));
+    cluster.run_until(SimTime::from_secs(12));
+    assert!(cluster.delivered(2).iter().any(|d| &d.data[..] == b"welcome back"));
+}
+
+#[test]
+fn in_flight_message_survives_sender_crash_via_recovery() {
+    // The lagging-survivor scenario: node 2 misses a message, the
+    // sender crashes, and recovery re-delivers it from node 1's
+    // buffer — over redundant networks.
+    let mut cluster = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).with_seed(4));
+    cluster.submit(0, Bytes::from_static(b"warm"));
+    cluster.run_until(SimTime::from_millis(300));
+    // Position the token deterministically: submit a sync message at
+    // node 2 and wait until node 1 delivers it — at that point the
+    // token has just left node 2 and is heading for node 0, so it is
+    // not on the 1→2 leg when node 2 goes deaf below.
+    cluster.submit(2, Bytes::from_static(b"sync"));
+    let mut t = SimTime::from_millis(300);
+    while !cluster.delivered(1).iter().any(|d| &d.data[..] == b"sync") {
+        t += totem_sim::SimDuration::from_micros(50);
+        assert!(t < SimTime::from_millis(500), "sync message never arrived");
+        cluster.run_until(t);
+    }
+    // Node 2 goes deaf (both networks); node 0 broadcasts a message
+    // that reaches only node 1; then — well before the token-loss
+    // timeout can reform the ring — node 0 dies and node 2's hearing
+    // returns. Nodes 1 and 2 reform from the SAME old ring, so the
+    // recovery phase must hand node 2 the message from node 1's
+    // buffer.
+    for net in 0..2u8 {
+        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(net), failed: true });
+    }
+    cluster.submit(0, Bytes::from_static(b"endangered"));
+    cluster.run_until(t + totem_sim::SimDuration::from_millis(20));
+    assert!(
+        cluster.delivered(1).iter().any(|d| &d.data[..] == b"endangered"),
+        "precondition: node 1 must have the endangered message before the crash"
+    );
+    crash(&mut cluster, 0, 2);
+    for net in 0..2u8 {
+        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(net), failed: false });
+    }
+    cluster.run_until(SimTime::from_secs(5));
+    assert!(
+        cluster.delivered(2).iter().any(|d| &d.data[..] == b"endangered"),
+        "node 2 must obtain the endangered message through membership recovery"
+    );
+    // And both survivors agree on the final order.
+    let o1: Vec<&[u8]> = cluster.delivered(1).iter().map(|d| &d.data[..]).collect();
+    let o2: Vec<&[u8]> = cluster.delivered(2).iter().map(|d| &d.data[..]).collect();
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn network_fault_during_membership_change_is_survived() {
+    // Kill a network *while* the ring is reforming: the membership
+    // protocol's own traffic must fail over.
+    let mut cluster = SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(5));
+    cluster.run_until(SimTime::from_millis(200));
+    crash(&mut cluster, 3, 2);
+    // The gather starts after the token-loss timeout (~200 ms); kill
+    // net0 right in the middle of it.
+    cluster.schedule_fault(
+        SimTime::from_millis(550),
+        FaultCommand::NetworkDown { net: NetworkId::new(0), down: true },
+    );
+    cluster.run_until(SimTime::from_secs(6));
+    for n in 0..3 {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} stuck");
+        assert_eq!(cluster.members(n).unwrap().len(), 3);
+    }
+    cluster.submit(0, Bytes::from_static(b"made it"));
+    cluster.run_until(SimTime::from_secs(8));
+    for n in 0..3 {
+        assert!(cluster.delivered(n).iter().any(|d| &d.data[..] == b"made it"));
+    }
+}
+
+#[test]
+fn representative_crash_is_survived() {
+    // The representative is special: it runs the rotation counter,
+    // creates commit tokens and emits merge announcements. Its death
+    // must not be any harder than a member's.
+    let mut cluster = SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(6));
+    cluster.submit(0, Bytes::from_static(b"from the rep"));
+    cluster.run_until(SimTime::from_millis(300));
+    crash(&mut cluster, 0, 2); // node 0 IS the representative
+    cluster.run_until(SimTime::from_secs(4));
+    for n in 1..4 {
+        let members = cluster.members(n).unwrap();
+        assert_eq!(members.len(), 3, "node {n}: ring not reformed after rep crash");
+        assert_eq!(members[0], NodeId::new(1), "node 1 must be the new representative");
+    }
+    cluster.submit(1, Bytes::from_static(b"new rep speaking"));
+    cluster.run_until(SimTime::from_secs(6));
+    for n in 1..4 {
+        assert!(cluster.delivered(n).iter().any(|d| &d.data[..] == b"new rep speaking"));
+    }
+}
+
+#[test]
+fn two_simultaneous_crashes_are_survived() {
+    let mut cluster = SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Passive).with_seed(7));
+    cluster.submit(0, Bytes::from_static(b"warm"));
+    cluster.run_until(SimTime::from_millis(300));
+    crash(&mut cluster, 1, 2);
+    crash(&mut cluster, 3, 2);
+    cluster.run_until(SimTime::from_secs(5));
+    for n in [0usize, 2, 4] {
+        let members = cluster.members(n).unwrap();
+        assert_eq!(members.len(), 3, "node {n}: expected a 3-ring, got {members:?}");
+        assert!(!members.contains(&NodeId::new(1)));
+        assert!(!members.contains(&NodeId::new(3)));
+    }
+    cluster.submit(2, Bytes::from_static(b"three of us left"));
+    cluster.run_until(SimTime::from_secs(7));
+    for n in [0usize, 2, 4] {
+        assert!(cluster.delivered(n).iter().any(|d| &d.data[..] == b"three of us left"));
+    }
+}
+
+#[test]
+fn crash_during_reformation_is_survived() {
+    // Node 3 crashes; while the survivors are still reforming, node 2
+    // crashes too. The membership protocol must restart and settle on
+    // the remaining pair.
+    let mut cluster = SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(8));
+    cluster.run_until(SimTime::from_millis(200));
+    crash(&mut cluster, 3, 2);
+    // Token loss fires around +200 ms; gather/commit run after that.
+    cluster.run_until(SimTime::from_millis(500));
+    crash(&mut cluster, 2, 2);
+    cluster.run_until(SimTime::from_secs(6));
+    for n in 0..2 {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} stuck");
+        let members = cluster.members(n).unwrap();
+        assert_eq!(members.len(), 2, "node {n}: expected a pair, got {members:?}");
+    }
+    cluster.submit(0, Bytes::from_static(b"pair"));
+    cluster.run_until(SimTime::from_secs(8));
+    assert!(cluster.delivered(1).iter().any(|d| &d.data[..] == b"pair"));
+}

@@ -1,0 +1,176 @@
+//! Requirements A1–A6 of the paper (§5), exercised end to end under
+//! active replication: the application never notices network faults,
+//! the monitor reports them, and sporadic loss never triggers a false
+//! alarm.
+
+use bytes::Bytes;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::{FaultReason, ReplicationStyle};
+use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimTime};
+use totem_wire::{NetworkId, NodeId};
+
+fn active_cluster(nodes: usize, seed: u64) -> SimCluster {
+    SimCluster::new(ClusterConfig::new(nodes, ReplicationStyle::Active).with_seed(seed))
+}
+
+fn assert_all_delivered_in_agreement(cluster: &SimCluster, nodes: usize, expect: usize) {
+    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
+    assert_eq!(reference.len(), expect);
+    for n in 1..nodes {
+        let o: Vec<&[u8]> = cluster.delivered(n).iter().map(|d| &d.data[..]).collect();
+        assert_eq!(o, reference, "node {n} disagrees");
+    }
+}
+
+/// A1: duplicates from redundant networks are suppressed — exactly one
+/// delivery per message even though every packet travels twice.
+#[test]
+fn a1_duplicate_suppression_across_networks() {
+    let mut cluster = active_cluster(4, 1);
+    for node in 0..4 {
+        cluster.submit(node, Bytes::from(format!("once-{node}")));
+    }
+    cluster.run_until(SimTime::from_secs(1));
+    assert_all_delivered_in_agreement(&cluster, 4, 4);
+    // Both networks actually carried the traffic.
+    for net in 0..2 {
+        assert!(cluster.net_stats().net(NetworkId::new(net)).frames_sent > 4);
+    }
+}
+
+/// A2: cross-network reorder must not trigger retransmissions. With
+/// asymmetric network latencies every token overtakes the messages on
+/// the other network — and still no node requests a retransmission.
+#[test]
+fn a2_no_spurious_retransmissions_under_asymmetric_latency() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Active).with_seed(2);
+    let mut sim = SimConfig::lan(3, 2);
+    sim.networks[0] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(10));
+    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(900));
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    for i in 0..30 {
+        cluster.submit(i % 3, Bytes::from(format!("m{i}")));
+    }
+    cluster.run_until(SimTime::from_secs(1));
+    assert_all_delivered_in_agreement(&cluster, 3, 30);
+    for n in 0..3 {
+        let stats = cluster.srp_stats(n);
+        assert_eq!(
+            stats.retrans_requested, 0,
+            "node {n} requested retransmissions despite lossless networks (A2 violated)"
+        );
+    }
+}
+
+/// A3: a slower network must not fall behind (the token waits for all
+/// copies). With one network at a tenth the bandwidth the ring still
+/// agrees and makes progress.
+#[test]
+fn a3_networks_stay_synchronized_despite_speed_mismatch() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Active).with_seed(3);
+    let mut sim = SimConfig::lan(3, 2);
+    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_bandwidth(10_000_000);
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    for i in 0..20 {
+        cluster.submit(i % 3, Bytes::from(format!("sync{i}")));
+    }
+    cluster.run_until(SimTime::from_secs(2));
+    assert_all_delivered_in_agreement(&cluster, 3, 20);
+}
+
+/// A4: progress despite token loss on one network — the token timer
+/// passes the token up without waiting forever.
+#[test]
+fn a4_progress_when_one_network_drops_tokens() {
+    let mut cluster = active_cluster(3, 4);
+    // One node cannot receive on network 1 at all.
+    cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(1), net: NetworkId::new(1), failed: true });
+    for i in 0..10 {
+        cluster.submit(i % 3, Bytes::from(format!("go{i}")));
+    }
+    cluster.run_until(SimTime::from_secs(2));
+    assert_all_delivered_in_agreement(&cluster, 3, 10);
+    // The token timer had to fire at node 1.
+    assert!(cluster.node_counters(1).msgs == 10);
+}
+
+/// A5: a permanent network failure is detected and reported on every
+/// node, with the paper's problem-counter mechanism.
+#[test]
+fn a5_permanent_failure_detected_and_reported() {
+    let mut cluster = active_cluster(4, 5);
+    cluster.enable_saturation(200);
+    cluster.schedule_fault(
+        SimTime::from_millis(100),
+        FaultCommand::NetworkDown { net: NetworkId::new(1), down: true },
+    );
+    cluster.run_until(SimTime::from_secs(3));
+    for n in 0..4 {
+        assert!(cluster.faulty_networks(n)[1], "node {n} never marked net1 faulty");
+        let reports = cluster.faults(n);
+        assert!(!reports.is_empty(), "node {n} raised no fault report");
+        assert!(matches!(reports[0].reason, FaultReason::TokenTimeouts { .. }));
+        assert_eq!(reports[0].net, NetworkId::new(1));
+    }
+}
+
+/// A6: sporadic loss must NOT accumulate into a false alarm — the
+/// problem counter decays.
+#[test]
+fn a6_sporadic_loss_never_declares_a_healthy_network_faulty() {
+    let mut cfg = ClusterConfig::new(4, ReplicationStyle::Active).counters_only().with_seed(6);
+    let mut sim = SimConfig::lan(4, 2);
+    // 0.2% per-receiver loss on both networks: sporadic, symmetric.
+    sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(0.002); 2];
+    sim.seed = 6;
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+    cluster.run_until(SimTime::from_secs(10));
+    for n in 0..4 {
+        assert_eq!(
+            cluster.faulty_networks(n),
+            vec![false, false],
+            "node {n} falsely declared a network faulty under sporadic loss (A6 violated)"
+        );
+        assert!(cluster.faults(n).is_empty());
+    }
+    assert!(cluster.counters().msgs > 10_000, "ring should have kept running at speed");
+}
+
+/// The composite guarantee of §3: faults remain transparent — traffic
+/// continues through a send-side fault, a receive-side fault AND a
+/// partition all hitting network 0, with no membership change,
+/// because network 1 stays whole. (Faults spread across *different*
+/// networks can compose into a full pairwise cut, which no redundancy
+/// scheme can mask — that case ends in a membership change instead.)
+#[test]
+fn faults_are_transparent_and_membership_is_untouched() {
+    let mut cluster = active_cluster(4, 7);
+    cluster.schedule_fault(
+        SimTime::from_millis(50),
+        FaultCommand::SendFault { node: NodeId::new(0), net: NetworkId::new(0), failed: true },
+    );
+    cluster.schedule_fault(
+        SimTime::from_millis(60),
+        FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(0), failed: true },
+    );
+    cluster.schedule_fault(
+        SimTime::from_millis(70),
+        FaultCommand::Partition { net: NetworkId::new(0), groups: vec![0, 0, 1, 1] },
+    );
+    let mut t = SimTime::ZERO;
+    for i in 0..40 {
+        cluster.run_until(t);
+        cluster.submit(i % 4, Bytes::from(format!("t{i}")));
+        t += totem_sim::SimDuration::from_millis(10);
+    }
+    cluster.run_until(SimTime::from_secs(3));
+    assert_all_delivered_in_agreement(&cluster, 4, 40);
+    for n in 0..4 {
+        assert_eq!(cluster.members(n).unwrap().len(), 4, "membership must be untouched");
+        assert_eq!(cluster.srp_stats(n).gathers, 0, "no membership protocol run expected");
+    }
+}

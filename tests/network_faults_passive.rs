@@ -1,0 +1,174 @@
+//! Requirements P1–P5 of the paper (§6), exercised end to end under
+//! passive replication: out-of-order arrival across networks never
+//! provokes retransmissions, the ring makes progress through loss,
+//! and the Figure-5 monitors detect real failures without false
+//! alarms.
+
+use bytes::Bytes;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::{FaultReason, ReplicationStyle};
+use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimTime};
+use totem_wire::{NetworkId, NodeId};
+
+fn passive_cluster(nodes: usize, seed: u64) -> SimCluster {
+    SimCluster::new(ClusterConfig::new(nodes, ReplicationStyle::Passive).with_seed(seed))
+}
+
+fn assert_agreement(cluster: &SimCluster, nodes: usize, expect: usize) {
+    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
+    assert_eq!(reference.len(), expect);
+    for n in 1..nodes {
+        let o: Vec<&[u8]> = cluster.delivered(n).iter().map(|d| &d.data[..]).collect();
+        assert_eq!(o, reference, "node {n} disagrees");
+    }
+}
+
+/// P1: a message delayed on the other network (Figure 3 scenarios)
+/// must not trigger a retransmission — the token is buffered until
+/// the message lands.
+#[test]
+fn p1_delayed_messages_do_not_trigger_retransmission() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(1);
+    let mut sim = SimConfig::lan(3, 2);
+    // Grossly asymmetric latencies: messages on net1 arrive long after
+    // tokens on net0 (Figure 3, scenario 1).
+    sim.networks[0] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(5));
+    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(1500));
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    for i in 0..30 {
+        cluster.submit(i % 3, Bytes::from(format!("p1-{i}")));
+    }
+    cluster.run_until(SimTime::from_secs(1));
+    assert_agreement(&cluster, 3, 30);
+    for n in 0..3 {
+        assert_eq!(
+            cluster.srp_stats(n).retrans_requested,
+            0,
+            "node {n} requested retransmission of a merely-delayed message (P1 violated)"
+        );
+    }
+}
+
+/// P2: networks of different speeds stay synchronized — the round-
+/// robin token paces the ring to the slower network without stalling.
+#[test]
+fn p2_speed_mismatch_does_not_desynchronize() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(2);
+    let mut sim = SimConfig::lan(3, 2);
+    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_bandwidth(10_000_000);
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    for i in 0..20 {
+        cluster.submit(i % 3, Bytes::from(format!("p2-{i}")));
+    }
+    cluster.run_until(SimTime::from_secs(2));
+    assert_agreement(&cluster, 3, 20);
+}
+
+/// P3: progress even when messages are really lost — the 10 ms token
+/// timer releases the buffered token and the normal retransmission
+/// machinery recovers the message.
+#[test]
+fn p3_progress_through_real_loss() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(3);
+    let mut sim = SimConfig::lan(3, 2);
+    sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(0.05); 2];
+    sim.seed = 3;
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    // Spread 50 frame-sized messages over time so each rides its own
+    // packet — plenty of receptions for 5% loss to strike.
+    let mut t = SimTime::ZERO;
+    for i in 0..50u32 {
+        cluster.run_until(t);
+        let mut body = vec![b'!'; 1200];
+        let tag = format!("p3-{i}");
+        body[..tag.len()].copy_from_slice(tag.as_bytes());
+        cluster.submit((i % 3) as usize, Bytes::from(body));
+        t += totem_sim::SimDuration::from_millis(4);
+    }
+    cluster.run_until(SimTime::from_secs(5));
+    assert_agreement(&cluster, 3, 50);
+    // Real loss means real retransmissions this time.
+    let total_retrans: u64 = (0..3).map(|n| cluster.srp_stats(n).retransmissions).sum();
+    assert!(total_retrans > 0, "5% loss must have caused retransmissions");
+}
+
+/// P4: a dead network is detected by the reception-count monitors and
+/// reported; the ring keeps running on the survivor.
+#[test]
+fn p4_dead_network_detected_by_monitors() {
+    let mut cluster = passive_cluster(4, 4);
+    cluster.enable_saturation(500);
+    cluster.schedule_fault(
+        SimTime::from_millis(100),
+        FaultCommand::NetworkDown { net: NetworkId::new(0), down: true },
+    );
+    cluster.run_until(SimTime::from_secs(3));
+    for n in 0..4 {
+        assert!(cluster.faulty_networks(n)[0], "node {n} never marked net0 faulty");
+        let reports = cluster.faults(n);
+        assert!(!reports.is_empty());
+        assert!(matches!(reports[0].reason, FaultReason::ReceptionLag { .. }));
+        assert_eq!(reports[0].net, NetworkId::new(0));
+    }
+    // Still flowing after the detection.
+    let before = cluster.counters().msgs;
+    cluster.run_until(SimTime::from_secs(4));
+    assert!(cluster.counters().msgs > before, "traffic must continue on the survivor");
+}
+
+/// P5: sporadic, symmetric loss never crosses the monitor threshold —
+/// the compensation mechanism forgives it.
+#[test]
+fn p5_sporadic_loss_is_forgiven() {
+    let mut cfg = ClusterConfig::new(4, ReplicationStyle::Passive).counters_only().with_seed(5);
+    let mut sim = SimConfig::lan(4, 2);
+    sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(0.001); 2];
+    sim.seed = 5;
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+    cluster.run_until(SimTime::from_secs(10));
+    for n in 0..4 {
+        assert_eq!(
+            cluster.faulty_networks(n),
+            vec![false, false],
+            "node {n} falsely flagged a network under sporadic loss (P5 violated)"
+        );
+    }
+}
+
+/// §3: a node's refusal to send on a faulty network is itself detected
+/// by the *other* nodes' monitors ("a node's refusal to send via a
+/// particular network is interpreted as a fault by the monitors of
+/// the other nodes").
+#[test]
+fn refusal_to_send_propagates_fault_detection() {
+    let mut cluster = passive_cluster(4, 6);
+    cluster.enable_saturation(500);
+    // Only node 0 loses its send path on net1; the others' monitors
+    // must still conclude net1 is suspect (node 0's traffic vanishes
+    // from it).
+    cluster.schedule_fault(
+        SimTime::from_millis(100),
+        FaultCommand::SendFault { node: NodeId::new(0), net: NetworkId::new(1), failed: true },
+    );
+    cluster.run_until(SimTime::from_secs(5));
+    let flagged = (1..4).filter(|&n| cluster.faulty_networks(n)[1]).count();
+    assert!(flagged >= 1, "no other node detected node 0's refusal to send on net1");
+}
+
+/// Bandwidth accounting: passive splits traffic roughly evenly across
+/// both networks in the fault-free case.
+#[test]
+fn passive_balances_load_across_networks() {
+    let mut cluster = passive_cluster(4, 7);
+    cluster.enable_saturation(1000);
+    cluster.run_until(SimTime::from_secs(1));
+    let a = cluster.net_stats().net(NetworkId::new(0)).wire_bytes as f64;
+    let b = cluster.net_stats().net(NetworkId::new(1)).wire_bytes as f64;
+    let ratio = a.max(b) / a.min(b);
+    assert!(ratio < 1.6, "load should be roughly balanced, got ratio {ratio:.2}");
+}

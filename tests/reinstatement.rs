@@ -1,0 +1,128 @@
+//! Network reinstatement: the paper's operational story ("the system
+//! remains operational while an administrator reacts to an alarm")
+//! completed with the repair half — administrative reinstatement and
+//! the optional automatic probation mode.
+
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimTime};
+use totem_wire::NetworkId;
+
+fn kill(cluster: &mut SimCluster, net: u8, at_ms: u64, down: bool) {
+    cluster.schedule_fault(
+        SimTime::from_millis(at_ms),
+        FaultCommand::NetworkDown { net: NetworkId::new(net), down },
+    );
+}
+
+#[test]
+fn administrative_reinstate_restores_two_network_operation() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Passive).counters_only().with_seed(1));
+    cluster.enable_saturation(700);
+    kill(&mut cluster, 0, 100, true);
+    cluster.run_until(SimTime::from_secs(3));
+    for n in 0..4 {
+        assert!(cluster.faulty_networks(n)[0], "node {n}: fault not detected");
+    }
+    // Physically repair the network, then the administrator reinstates
+    // it on every node.
+    cluster.fault_now(FaultCommand::NetworkDown { net: NetworkId::new(0), down: false });
+    for n in 0..4 {
+        assert!(cluster.reinstate(n, NetworkId::new(0)), "node {n}: nothing to reinstate");
+        assert_eq!(cluster.faulty_networks(n), vec![false, false]);
+    }
+    // Both networks carry traffic again...
+    let before = cluster.net_stats().net(NetworkId::new(0)).wire_bytes;
+    cluster.run_until(SimTime::from_secs(5));
+    let after = cluster.net_stats().net(NetworkId::new(0)).wire_bytes;
+    assert!(after > before + 1_000_000, "net0 must carry real traffic after reinstatement");
+    // ...and no false re-flagging occurs on the healthy network.
+    for n in 0..4 {
+        assert_eq!(cluster.faulty_networks(n), vec![false, false], "node {n} re-flagged");
+    }
+}
+
+#[test]
+fn auto_reinstate_probation_recovers_a_repaired_network() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Passive).counters_only().with_seed(2);
+    cfg.rrp = cfg.rrp.with_auto_reinstate(500_000_000); // 500 ms probation
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+    // Fail at 100 ms; physically repair at 1 s (well before any node's
+    // probation is likely to have fired and re-flagged).
+    kill(&mut cluster, 1, 100, true);
+    kill(&mut cluster, 1, 1000, false);
+    cluster.run_until(SimTime::from_secs(5));
+    for n in 0..3 {
+        assert_eq!(
+            cluster.faulty_networks(n),
+            vec![false, false],
+            "node {n}: probation failed to restore the repaired network"
+        );
+        assert!(
+            !cluster.reinstatements(n).is_empty(),
+            "node {n}: no reinstatement event was observed"
+        );
+    }
+    // The restored network is really used again.
+    let b0 = cluster.net_stats().net(NetworkId::new(1)).wire_bytes;
+    cluster.run_until(SimTime::from_secs(7));
+    assert!(cluster.net_stats().net(NetworkId::new(1)).wire_bytes > b0 + 1_000_000);
+}
+
+#[test]
+fn auto_reinstate_reflags_a_still_broken_network() {
+    let mut cfg = ClusterConfig::new(3, ReplicationStyle::Passive).counters_only().with_seed(3);
+    cfg.rrp = cfg.rrp.with_auto_reinstate(400_000_000);
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+    kill(&mut cluster, 0, 100, true); // ... and it stays dead
+    cluster.run_until(SimTime::from_secs(6));
+    for n in 0..3 {
+        // Probation fired at least once...
+        assert!(!cluster.reinstatements(n).is_empty(), "node {n}: probation never fired");
+        // ...and the monitors re-flagged the still-dead network more
+        // than once (fault → probation → fault ...).
+        assert!(
+            cluster.faults(n).len() >= 2,
+            "node {n}: expected repeated fault detections, got {}",
+            cluster.faults(n).len()
+        );
+    }
+    // Throughput keeps flowing on the healthy network throughout.
+    let m0 = cluster.counters().msgs;
+    cluster.run_until(SimTime::from_secs(7));
+    assert!(cluster.counters().msgs > m0);
+}
+
+#[test]
+fn reinstate_under_active_replication_resumes_duplication() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).counters_only().with_seed(4));
+    cluster.enable_saturation(500);
+    kill(&mut cluster, 1, 100, true);
+    cluster.run_until(SimTime::from_secs(3));
+    for n in 0..3 {
+        assert!(cluster.faulty_networks(n)[1]);
+    }
+    cluster.fault_now(FaultCommand::NetworkDown { net: NetworkId::new(1), down: false });
+    for n in 0..3 {
+        cluster.reinstate(n, NetworkId::new(1));
+    }
+    let before = cluster.net_stats().net(NetworkId::new(1)).wire_bytes;
+    cluster.run_until(SimTime::from_secs(4));
+    let after = cluster.net_stats().net(NetworkId::new(1)).wire_bytes;
+    assert!(after > before + 1_000_000, "active replication must duplicate onto net1 again");
+    for n in 0..3 {
+        assert_eq!(cluster.faulty_networks(n), vec![false, false]);
+    }
+}
+
+#[test]
+fn reinstating_a_healthy_network_is_a_noop() {
+    let mut cluster = SimCluster::new(ClusterConfig::new(2, ReplicationStyle::Active).with_seed(5));
+    cluster.run_until(SimTime::from_millis(100));
+    assert!(!cluster.reinstate(0, NetworkId::new(0)), "nothing was faulty");
+    assert_eq!(cluster.faulty_networks(0), vec![false, false]);
+}

@@ -1,0 +1,106 @@
+//! Fault handling on the threaded real-time runtime (in-memory
+//! transport): a network dies under live traffic, every node reports
+//! the fault, traffic continues, and the administrator reinstates the
+//! repaired network through the runtime handle.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use totem_cluster::{spawn_node, RuntimeEvent, RuntimeHandle, StartMode, TotemNode};
+use totem_rrp::{ReplicationStyle, RrpConfig};
+use totem_srp::SrpConfig;
+use totem_transport::{InMemoryHub, InMemoryTransport};
+use totem_wire::{NetworkId, NodeId};
+
+fn spawn_cluster(n: usize) -> (Vec<RuntimeHandle>, Vec<InMemoryTransport>) {
+    // Keep one extra hub endpoint around just to retain a kill switch
+    // for the networks (the hub state is shared).
+    let mut transports = InMemoryHub::new(n + 1, 2);
+    let admin = transports.split_off(n);
+    let members: Vec<NodeId> = (0..n as u16).map(NodeId::new).collect();
+    let handles = transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let me = NodeId::new(i as u16);
+            let node = TotemNode::new_operational(
+                me,
+                &members,
+                SrpConfig::default(),
+                RrpConfig::new(ReplicationStyle::Active, 2),
+                0,
+            );
+            let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
+            spawn_node(node, t, mode)
+        })
+        .collect();
+    (handles, admin)
+}
+
+fn await_delivery(h: &RuntimeHandle, needle: &[u8], timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if let Some(RuntimeEvent::Delivered(d)) = h.next_event(Duration::from_millis(50)) {
+            if d.data == needle {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn live_network_death_is_reported_and_survived_then_reinstated() {
+    let (handles, admin) = spawn_cluster(3);
+
+    // Warm up: one round of traffic.
+    handles[0].submit(Bytes::from_static(b"warmup"));
+    assert!(await_delivery(&handles[2], b"warmup", Duration::from_secs(10)));
+
+    // Kill network 0 for everyone.
+    admin[0].set_network_down(NetworkId::new(0), true);
+
+    // Traffic continues over network 1...
+    handles[1].submit(Bytes::from_static(b"through the failure"));
+    assert!(
+        await_delivery(&handles[0], b"through the failure", Duration::from_secs(10)),
+        "delivery must continue on the surviving network"
+    );
+    // ...and each node eventually raises a fault report.
+    let mut reported = vec![false; 3];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reported.iter().any(|r| !r) && Instant::now() < deadline {
+        for (i, h) in handles.iter().enumerate() {
+            if let Some(RuntimeEvent::Fault(f)) = h.next_event(Duration::from_millis(20)) {
+                assert_eq!(f.net, NetworkId::new(0));
+                reported[i] = true;
+            }
+        }
+    }
+    assert_eq!(reported, vec![true; 3], "every node must report the fault");
+
+    // Physical repair + administrative reinstatement on every node.
+    admin[0].set_network_down(NetworkId::new(0), false);
+    for h in &handles {
+        h.reinstate(NetworkId::new(0));
+    }
+    let mut reinstated = vec![false; 3];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reinstated.iter().any(|r| !r) && Instant::now() < deadline {
+        for (i, h) in handles.iter().enumerate() {
+            if let Some(RuntimeEvent::Reinstated { net, .. }) = h.next_event(Duration::from_millis(20)) {
+                assert_eq!(net, NetworkId::new(0));
+                reinstated[i] = true;
+            }
+        }
+    }
+    assert_eq!(reinstated, vec![true; 3], "every node must confirm the reinstatement");
+
+    // Still totally ordered afterwards.
+    handles[2].submit(Bytes::from_static(b"after repair"));
+    assert!(await_delivery(&handles[1], b"after repair", Duration::from_secs(10)));
+
+    for h in handles {
+        h.shutdown();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over the whole stack: for arbitrary loss
+//! seeds, loss rates, styles and workloads, the cluster must converge
+//! to one agreed total order with per-sender FIFO and no duplicates.
+//! (Few cases, short simulated runs — these are full-stack executions.)
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{NetworkConfig, SimConfig, SimDuration, SimTime};
+use totem_wire::NodeId;
+
+fn run_cluster(style: ReplicationStyle, loss: f64, seed: u64, msgs: u32, size: usize) -> SimCluster {
+    let networks = if style == ReplicationStyle::Single { 1 } else { 2 };
+    let mut cfg = ClusterConfig::new(3, style).with_seed(seed);
+    let mut sim = SimConfig::lan(3, networks);
+    sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(loss); networks];
+    sim.seed = seed;
+    cfg.sim = sim;
+    let mut cluster = SimCluster::new(cfg);
+    let mut t = SimTime::ZERO;
+    for i in 0..msgs {
+        cluster.run_until(t);
+        let node = (i % 3) as usize;
+        let mut body = vec![b'p'; size.max(12)];
+        let tag = format!("{node}-{i:04}");
+        body[..tag.len()].copy_from_slice(tag.as_bytes());
+        let _ = cluster.try_submit(node, Bytes::from(body));
+        t += SimDuration::from_millis(3);
+    }
+    cluster.run_until(SimTime::from_secs(15));
+    cluster
+}
+
+fn assert_invariants(cluster: &SimCluster, msgs: u32) {
+    let orders: Vec<Vec<(NodeId, Bytes)>> = (0..3)
+        .map(|n| cluster.delivered(n).iter().map(|d| (d.sender, d.data.clone())).collect())
+        .collect();
+    // Liveness: everything delivered everywhere (lossy but connected).
+    for (n, o) in orders.iter().enumerate() {
+        assert!(
+            o.len() as u32 >= msgs.saturating_sub(2),
+            "node {n} delivered {} of {msgs}",
+            o.len()
+        );
+    }
+    // Agreement.
+    for n in 1..3 {
+        assert_eq!(orders[n], orders[0], "node {n} disagrees on order");
+    }
+    // Integrity + per-sender FIFO.
+    let mut seen = std::collections::HashSet::new();
+    let mut last: std::collections::HashMap<NodeId, u32> = Default::default();
+    for (sender, data) in &orders[0] {
+        assert!(seen.insert(data.clone()), "duplicate delivery");
+        let counter: u32 = String::from_utf8_lossy(&data[2..6]).parse().expect("counter");
+        if let Some(prev) = last.insert(*sender, counter) {
+            assert!(prev < counter, "sender {sender} reordered");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn active_replication_total_order_under_random_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.10,
+    ) {
+        let cluster = run_cluster(ReplicationStyle::Active, loss, seed, 40, 200);
+        assert_invariants(&cluster, 40);
+    }
+
+    #[test]
+    fn passive_replication_total_order_under_random_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.06,
+    ) {
+        let cluster = run_cluster(ReplicationStyle::Passive, loss, seed, 40, 200);
+        assert_invariants(&cluster, 40);
+    }
+
+    #[test]
+    fn single_network_total_order_under_random_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.10,
+    ) {
+        let cluster = run_cluster(ReplicationStyle::Single, loss, seed, 40, 200);
+        assert_invariants(&cluster, 40);
+    }
+
+    #[test]
+    fn random_message_sizes_roundtrip_through_the_stack(
+        seed in any::<u64>(),
+        size in 12usize..8000,
+    ) {
+        let cluster = run_cluster(ReplicationStyle::Active, 0.01, seed, 25, size);
+        assert_invariants(&cluster, 25);
+        // Payload integrity for large/fragmented messages.
+        for d in cluster.delivered(0) {
+            assert_eq!(d.data.len(), size.max(12));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Smoke test of the real-socket path: the same protocol stack the
+//! simulator hosts, over UDP on 127.0.0.1 with two port-group
+//! "networks" and the threaded runtime.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use totem_cluster::{spawn_node, RuntimeEvent, StartMode, TotemNode};
+use totem_rrp::{ReplicationStyle, RrpConfig};
+use totem_srp::SrpConfig;
+use totem_transport::{UdpTopology, UdpTransport};
+use totem_wire::NodeId;
+
+fn free_base_port(span: u16) -> u16 {
+    // Find a region of free ports by binding a probe socket.
+    let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let port = probe.local_addr().unwrap().port();
+    port.checked_sub(span).filter(|p| *p >= 1024).unwrap_or(21_000)
+}
+
+fn run_cluster(style: ReplicationStyle, networks: usize) {
+    let nodes = 3;
+    let base = free_base_port((nodes * networks) as u16);
+    let topology = UdpTopology::loopback(nodes, networks, base);
+    let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
+    let handles: Vec<_> = members
+        .iter()
+        .map(|&me| {
+            let transport = UdpTransport::bind(me, topology.clone()).expect("bind");
+            let node = TotemNode::new_operational(
+                me,
+                &members,
+                SrpConfig::default(),
+                RrpConfig::new(style, networks),
+                0,
+            );
+            let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };
+            spawn_node(node, transport, mode)
+        })
+        .collect();
+
+    for (i, h) in handles.iter().enumerate() {
+        h.submit(Bytes::from(format!("udp-{style}-{i}")));
+    }
+
+    let mut orders: Vec<Vec<Bytes>> = vec![Vec::new(); nodes];
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while orders.iter().any(|o| o.len() < nodes) && Instant::now() < deadline {
+        for (i, h) in handles.iter().enumerate() {
+            while let Some(ev) = h.next_event(Duration::from_millis(20)) {
+                if let RuntimeEvent::Delivered(d) = ev {
+                    orders[i].push(d.data);
+                }
+            }
+        }
+    }
+    for (i, o) in orders.iter().enumerate() {
+        assert_eq!(o.len(), nodes, "node {i} delivered {} of {nodes} under {style}", o.len());
+        assert_eq!(o, &orders[0], "node {i} disagrees under {style}");
+    }
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn udp_active_replication_smoke() {
+    run_cluster(ReplicationStyle::Active, 2);
+}
+
+#[test]
+fn udp_passive_replication_smoke() {
+    run_cluster(ReplicationStyle::Passive, 2);
+}
+
+#[test]
+fn udp_single_network_smoke() {
+    run_cluster(ReplicationStyle::Single, 1);
+}
