@@ -71,8 +71,7 @@ fn run(
 
 fn main() {
     let quick = std::env::var_os("TOTEM_QUICK").is_some();
-    let window =
-        if quick { SimDuration::from_millis(200) } else { SimDuration::from_millis(800) };
+    let window = if quick { SimDuration::from_millis(200) } else { SimDuration::from_millis(800) };
 
     println!("== Ablation 1: passive token timer (paper fixed it at 10 ms) ==");
     println!("   4 nodes, 2 networks, 1 Kbyte messages, 2% per-receiver loss");
@@ -87,13 +86,24 @@ fn main() {
     println!("   (the paper had only two networks and could not run this)");
     println!("{:>24} | {:>12} | {:>14}", "configuration", "msgs/sec", "mean lat (us)");
     let passive4 = run(ReplicationStyle::Passive, 4, 0.0, None, window);
-    println!("{:>24} | {:>12.0} | {:>14.0}", "passive (K=1)", passive4.msgs_per_sec, passive4.latency_mean_us);
+    println!(
+        "{:>24} | {:>12.0} | {:>14.0}",
+        "passive (K=1)", passive4.msgs_per_sec, passive4.latency_mean_us
+    );
     for k in [2u8, 3] {
         let p = run(ReplicationStyle::ActivePassive { copies: k }, 4, 0.0, None, window);
-        println!("{:>24} | {:>12.0} | {:>14.0}", format!("active-passive K={k}"), p.msgs_per_sec, p.latency_mean_us);
+        println!(
+            "{:>24} | {:>12.0} | {:>14.0}",
+            format!("active-passive K={k}"),
+            p.msgs_per_sec,
+            p.latency_mean_us
+        );
     }
     let active4 = run(ReplicationStyle::Active, 4, 0.0, None, window);
-    println!("{:>24} | {:>12.0} | {:>14.0}", "active (K=N)", active4.msgs_per_sec, active4.latency_mean_us);
+    println!(
+        "{:>24} | {:>12.0} | {:>14.0}",
+        "active (K=N)", active4.msgs_per_sec, active4.latency_mean_us
+    );
 
     println!();
     println!("== Ablation 3: loss sensitivity (1 Kbyte messages) ==");

@@ -2,7 +2,9 @@
 //! codec round-trips, message packing, receive-window bookkeeping, and
 //! the per-packet costs of the RRP replication algorithms.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput as CriterionThroughput};
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Criterion, Throughput as CriterionThroughput,
+};
 
 use bytes::Bytes;
 use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
@@ -35,7 +37,7 @@ fn bench_codec(c: &mut Criterion) {
         g.throughput(CriterionThroughput::Bytes(bytes.len() as u64));
         g.bench_function(format!("encode_data_{payload}B"), |b| b.iter(|| pkt.encode()));
         g.bench_function(format!("decode_data_{payload}B"), |b| {
-            b.iter(|| Packet::decode(&bytes).unwrap())
+            b.iter(|| Packet::decode(&bytes).unwrap());
         });
     }
     let tok = Packet::Token(token_packet(3, 500));
@@ -47,18 +49,22 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_packer(c: &mut Criterion) {
     let mut g = c.benchmark_group("packer");
-    for (name, size, count) in [("small_100B", 100usize, 120usize), ("frame_700B", 700, 40), ("large_10KB", 10_000, 4)] {
+    for (name, size, count) in
+        [("small_100B", 100usize, 120usize), ("frame_700B", 700, 40), ("large_10KB", 10_000, 4)]
+    {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || {
                     (
                         Packer::new(),
-                        (0..count).map(|_| Bytes::from(vec![7u8; size])).collect::<std::collections::VecDeque<_>>(),
+                        (0..count)
+                            .map(|_| Bytes::from(vec![7u8; size]))
+                            .collect::<std::collections::VecDeque<_>>(),
                     )
                 },
                 |(mut packer, mut queue)| packer.pack(&mut queue, usize::MAX),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -77,7 +83,7 @@ fn bench_window(c: &mut Criterion) {
                 w.take_deliverable(Seq::new(1000)).len()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("insert_1000_reversed_gaps", |b| {
         b.iter_batched(
@@ -90,7 +96,7 @@ fn bench_window(c: &mut Criterion) {
                 w.my_aru()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -108,7 +114,7 @@ fn bench_rrp(c: &mut Criterion) {
                 }
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("passive_message_monitor", |b| {
         b.iter_batched(
@@ -120,11 +126,11 @@ fn bench_rrp(c: &mut Criterion) {
                 }
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("routes_round_robin", |b| {
         let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
-        b.iter(|| layer.routes_for_message())
+        b.iter(|| layer.routes_for_message());
     });
     g.finish();
 }

@@ -15,12 +15,11 @@ fn main() {
     let window = if quick { SimDuration::from_millis(200) } else { SimDuration::from_millis(800) };
     println!("== Scalability: ring size sweep, 1 Kbyte messages ==");
     println!();
+    println!("{:>6} | {:>22} | {:>22} | {:>22}", "nodes", "no replication", "active", "passive");
     println!(
-        "{:>6} | {:>22} | {:>22} | {:>22}",
-        "nodes", "no replication", "active", "passive"
+        "{:>6} | {:>11}{:>11} | {:>11}{:>11} | {:>11}{:>11}",
+        "", "msgs/s", "lat µs", "msgs/s", "lat µs", "msgs/s", "lat µs"
     );
-    println!("{:>6} | {:>11}{:>11} | {:>11}{:>11} | {:>11}{:>11}",
-        "", "msgs/s", "lat µs", "msgs/s", "lat µs", "msgs/s", "lat µs");
     println!("{:-^6}-+-{:-^22}-+-{:-^22}-+-{:-^22}", "", "", "", "");
     for nodes in [2usize, 3, 4, 6, 8, 12, 16] {
         let m = |style| {
@@ -33,9 +32,12 @@ fn main() {
         println!(
             "{:>6} | {:>11.0}{:>11.0} | {:>11.0}{:>11.0} | {:>11.0}{:>11.0}",
             nodes,
-            s.msgs_per_sec, s.latency_mean_us,
-            a.msgs_per_sec, a.latency_mean_us,
-            p.msgs_per_sec, p.latency_mean_us,
+            s.msgs_per_sec,
+            s.latency_mean_us,
+            a.msgs_per_sec,
+            a.latency_mean_us,
+            p.msgs_per_sec,
+            p.latency_mean_us,
         );
     }
     println!();

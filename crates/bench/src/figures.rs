@@ -69,14 +69,22 @@ pub fn fig7() -> FigureSpec {
 
 /// Figure 8: transmission rate in Kbytes/sec for four nodes.
 pub fn fig8() -> FigureSpec {
-    FigureSpec { metric: Metric::KbytesPerSec, id: "Figure 8",
-        title: "Transmission rate of the Totem RRP in Kbytes/sec for four nodes", ..fig6() }
+    FigureSpec {
+        metric: Metric::KbytesPerSec,
+        id: "Figure 8",
+        title: "Transmission rate of the Totem RRP in Kbytes/sec for four nodes",
+        ..fig6()
+    }
 }
 
 /// Figure 9: transmission rate in Kbytes/sec for six nodes.
 pub fn fig9() -> FigureSpec {
-    FigureSpec { metric: Metric::KbytesPerSec, id: "Figure 9",
-        title: "Transmission rate of the Totem RRP in Kbytes/sec for six nodes", ..fig7() }
+    FigureSpec {
+        metric: Metric::KbytesPerSec,
+        id: "Figure 9",
+        title: "Transmission rate of the Totem RRP in Kbytes/sec for six nodes",
+        ..fig7()
+    }
 }
 
 /// The three series of every paper figure, in legend order.
@@ -96,8 +104,7 @@ impl SweepResult {
     /// The measurement for `style` at `size`.
     pub fn point(&self, style: ReplicationStyle, size: usize) -> &Throughput {
         let i = self.sizes.iter().position(|&s| s == size).expect("size in sweep");
-        let (_, points) =
-            self.series.iter().find(|(s, _)| *s == style).expect("style in sweep");
+        let (_, points) = self.series.iter().find(|(s, _)| *s == style).expect("style in sweep");
         &points[i]
     }
 }

@@ -25,7 +25,10 @@ pub mod measure;
 pub mod report;
 pub mod runner;
 
-pub use figures::{fig6, fig7, fig8, fig9, figure_sweep, FigureSpec, Metric, SweepResult, PAPER_SIZES, QUICK_SIZES, SERIES};
+pub use figures::{
+    fig6, fig7, fig8, fig9, figure_sweep, FigureSpec, Metric, SweepResult, PAPER_SIZES,
+    QUICK_SIZES, SERIES,
+};
 pub use measure::{measure, MeasureConfig, Throughput};
 pub use report::{print_checks, print_figure, shape_checks, ShapeCheck};
 pub use runner::run_figure;

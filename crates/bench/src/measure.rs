@@ -90,8 +90,7 @@ pub fn measure(cfg: &MeasureConfig) -> Throughput {
 
     cluster.run_until(SimTime::ZERO + cfg.warmup);
     let before = cluster.counters();
-    let wire_before: Vec<u64> =
-        cluster.net_stats().iter().map(|(_, s)| s.wire_bytes).collect();
+    let wire_before: Vec<u64> = cluster.net_stats().iter().map(|(_, s)| s.wire_bytes).collect();
 
     cluster.run_until(SimTime::ZERO + cfg.warmup + cfg.window);
     let after = cluster.counters();

@@ -23,16 +23,16 @@ fn value(metric: Metric, t: &Throughput) -> f64 {
 pub fn print_figure(spec: &FigureSpec, result: &SweepResult) {
     println!();
     println!("== {}: {} ==", spec.id, spec.title);
-    println!(
-        "   ({} nodes, 2x 100 Mbit/s Ethernet; simulated testbed)",
-        spec.nodes
-    );
+    println!("   ({} nodes, 2x 100 Mbit/s Ethernet; simulated testbed)", spec.nodes);
     let unit = match spec.metric {
         Metric::MsgsPerSec => "msgs/sec",
         Metric::KbytesPerSec => "Kbytes/sec",
     };
     println!();
-    println!("{:>10} | {:>16} | {:>18} | {:>19}", "msg bytes", "no replication", "active replication", "passive replication");
+    println!(
+        "{:>10} | {:>16} | {:>18} | {:>19}",
+        "msg bytes", "no replication", "active replication", "passive replication"
+    );
     println!("{:->10}-+-{:->16}-+-{:->18}-+-{:->19}", "", "", "", "");
     for (i, size) in result.sizes.iter().enumerate() {
         let cell = |style: ReplicationStyle| {
@@ -89,7 +89,9 @@ pub fn shape_checks(spec: &FigureSpec, result: &SweepResult) -> Vec<ShapeCheck> 
             pass,
             detail: match worst {
                 None => "passive at or above the unreplicated system at every size".into(),
-                Some((s, n, p)) => format!("violated at {s} B: none={n:.0} KB/s, passive={p:.0} KB/s"),
+                Some((s, n, p)) => {
+                    format!("violated at {s} B: none={n:.0} KB/s, passive={p:.0} KB/s")
+                }
             },
         });
     }
@@ -110,7 +112,11 @@ pub fn shape_checks(spec: &FigureSpec, result: &SweepResult) -> Vec<ShapeCheck> 
         checks.push(ShapeCheck {
             name: "active <= no-replication throughput",
             pass,
-            detail: if pass { "active pays for the duplicated sends everywhere".into() } else { worst },
+            detail: if pass {
+                "active pays for the duplicated sends everywhere".into()
+            } else {
+                worst
+            },
         });
     }
 
@@ -141,7 +147,12 @@ pub fn shape_checks(spec: &FigureSpec, result: &SweepResult) -> Vec<ShapeCheck> 
             pass: peak,
             detail: format!(
                 "bandwidth at 500/700/900 B = {:.0}/{:.0}/{:.0} KB/s (rate {:.0}/{:.0}/{:.0})",
-                b(500), b(700), b(900), r(500), r(700), r(900)
+                b(500),
+                b(700),
+                b(900),
+                r(500),
+                r(700),
+                r(900)
             ),
         });
     }
@@ -150,7 +161,12 @@ pub fn shape_checks(spec: &FigureSpec, result: &SweepResult) -> Vec<ShapeCheck> 
         checks.push(ShapeCheck {
             name: "packing peak at 1400 bytes",
             pass: b(1400) > b(1200) && b(1400) > b(1700),
-            detail: format!("bandwidth at 1200/1400/1700 B = {:.0}/{:.0}/{:.0} KB/s", b(1200), b(1400), b(1700)),
+            detail: format!(
+                "bandwidth at 1200/1400/1700 B = {:.0}/{:.0}/{:.0} KB/s",
+                b(1200),
+                b(1400),
+                b(1700)
+            ),
         });
     }
 
@@ -236,8 +252,11 @@ mod tests {
         let checks = shape_checks(&fig6(), &result);
         // The headline-rate check needs msgs/sec ≈ 9.2 at 1000 B via
         // the fake conversion (9200/1000*1000 = 9200): passes.
-        assert!(checks.iter().all(|c| c.pass), "failed: {:?}",
-            checks.iter().filter(|c| !c.pass).map(|c| c.name).collect::<Vec<_>>());
+        assert!(
+            checks.iter().all(|c| c.pass),
+            "failed: {:?}",
+            checks.iter().filter(|c| !c.pass).map(|c| c.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

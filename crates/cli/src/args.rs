@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use totem_rrp::ReplicationStyle;
 
 /// Parsed flags of one subcommand.
+#[derive(Debug)]
 pub struct Flags {
     values: HashMap<String, String>,
     bools: Vec<String>,
@@ -77,13 +78,10 @@ pub fn parse_style(raw: &str) -> Result<ReplicationStyle, String> {
         "passive" => Ok(ReplicationStyle::Passive),
         other => {
             if let Some(k) = other.strip_prefix("ap:") {
-                let copies: u8 =
-                    k.parse().map_err(|_| format!("invalid K in `--style ap:{k}`"))?;
+                let copies: u8 = k.parse().map_err(|_| format!("invalid K in `--style ap:{k}`"))?;
                 Ok(ReplicationStyle::ActivePassive { copies })
             } else {
-                Err(format!(
-                    "unknown style `{other}` (use single, active, passive, or ap:K)"
-                ))
+                Err(format!("unknown style `{other}` (use single, active, passive, or ap:K)"))
             }
         }
     }

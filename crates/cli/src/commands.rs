@@ -56,10 +56,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let nodes: usize = flags.get("nodes", 4)?;
     let size: usize = flags.get("size", 1000)?;
-    println!(
-        "{:<36} {:>12} {:>14} {:>12}",
-        "style", "msgs/sec", "Kbytes/sec", "latency µs"
-    );
+    println!("{:<36} {:>12} {:>14} {:>12}", "style", "msgs/sec", "Kbytes/sec", "latency µs");
     for style in [
         ReplicationStyle::Single,
         ReplicationStyle::Active,
@@ -181,13 +178,14 @@ pub fn soak(args: &[String]) -> Result<(), String> {
 
     let mut cfg = ClusterConfig::new(nodes, style).with_seed(seed);
     let mut sim = SimConfig::lan(nodes, networks);
-    sim.networks =
-        vec![NetworkConfig::ethernet_100mbit().with_rx_loss(loss_pct / 100.0); networks];
+    sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(loss_pct / 100.0); networks];
     sim.seed = seed;
     cfg.sim = sim;
     let mut cluster = SimCluster::new(cfg);
 
-    println!("{style}, {nodes} nodes, {loss_pct}% per-receiver loss, seed {seed}, {seconds}s simulated");
+    println!(
+        "{style}, {nodes} nodes, {loss_pct}% per-receiver loss, seed {seed}, {seconds}s simulated"
+    );
     let mut t = SimTime::ZERO;
     let mut submitted = 0u64;
     let end = SimTime::from_secs(seconds);

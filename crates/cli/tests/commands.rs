@@ -9,10 +9,8 @@ fn argv(s: &[&str]) -> Vec<String> {
 #[test]
 fn throughput_runs_for_every_style() {
     for style in ["single", "active", "passive", "ap:2"] {
-        commands::throughput(&argv(&[
-            "--style", style, "--size", "700", "--window-ms", "150",
-        ]))
-        .unwrap_or_else(|e| panic!("{style}: {e}"));
+        commands::throughput(&argv(&["--style", style, "--size", "700", "--window-ms", "150"]))
+            .unwrap_or_else(|e| panic!("{style}: {e}"));
     }
 }
 

@@ -73,7 +73,7 @@ impl TotemNode {
         now: Nanos,
     ) -> Self {
         TotemNode {
-            srp: SrpNode::new_operational(me, srp_cfg, members, now),
+            srp: SrpNode::new_operational(me, srp_cfg, members, now).expect("valid SRP bootstrap"),
             rrp: RrpLayer::new(rrp_cfg),
         }
     }
@@ -85,7 +85,10 @@ impl TotemNode {
     ///
     /// Panics if either configuration is invalid.
     pub fn new_joining(me: NodeId, srp_cfg: SrpConfig, rrp_cfg: RrpConfig) -> Self {
-        TotemNode { srp: SrpNode::new_joining(me, srp_cfg), rrp: RrpLayer::new(rrp_cfg) }
+        TotemNode {
+            srp: SrpNode::new_joining(me, srp_cfg).expect("valid SRP config"),
+            rrp: RrpLayer::new(rrp_cfg),
+        }
     }
 
     /// This node's identifier.
@@ -209,7 +212,7 @@ impl TotemNode {
                     // the style's route.
                     let routes = match &pkt {
                         Packet::Join(_) | Packet::Commit(_) => self.rrp.routes_for_membership(),
-                        _ => self.rrp.routes_for_message(),
+                        Packet::Data(_) | Packet::Token(_) => self.rrp.routes_for_message(),
                     };
                     for net in routes {
                         out.push(NodeOutput::Send { net, dst: None, pkt: pkt.clone() });
@@ -223,7 +226,9 @@ impl TotemNode {
                 SrpEvent::ToSuccessor(succ, pkt) => {
                     let routes = match &pkt {
                         Packet::Commit(_) => self.rrp.routes_for_membership(),
-                        _ => self.rrp.routes_for_token(),
+                        Packet::Data(_) | Packet::Token(_) | Packet::Join(_) => {
+                            self.rrp.routes_for_token()
+                        }
                     };
                     for net in routes {
                         out.push(NodeOutput::Send { net, dst: Some(succ), pkt: pkt.clone() });
@@ -267,7 +272,9 @@ mod tests {
             let nets: Vec<u8> = out
                 .iter()
                 .filter_map(|o| match o {
-                    NodeOutput::Send { net, dst: Some(_), pkt: Packet::Token(_) } => Some(net.as_u8()),
+                    NodeOutput::Send { net, dst: Some(_), pkt: Packet::Token(_) } => {
+                        Some(net.as_u8())
+                    }
                     _ => None,
                 })
                 .collect();

@@ -139,7 +139,11 @@ impl Drop for RuntimeHandle {
 /// assert!(got);
 /// # for h in handles { h.shutdown(); }
 /// ```
-pub fn spawn_node<T: Transport + 'static>(mut node: TotemNode, transport: T, start: StartMode) -> RuntimeHandle {
+pub fn spawn_node<T: Transport + 'static>(
+    mut node: TotemNode,
+    transport: T,
+    start: StartMode,
+) -> RuntimeHandle {
     let (cmd_tx, cmd_rx) = unbounded();
     let (events_tx, events_rx) = unbounded();
     let join = std::thread::Builder::new()
@@ -216,7 +220,11 @@ fn drive<T: Transport>(
     }
 }
 
-fn perform<T: Transport>(outputs: Vec<NodeOutput>, transport: &T, events_tx: &Sender<RuntimeEvent>) {
+fn perform<T: Transport>(
+    outputs: Vec<NodeOutput>,
+    transport: &T,
+    events_tx: &Sender<RuntimeEvent>,
+) {
     for out in outputs {
         match out {
             NodeOutput::Send { net, dst, pkt } => {

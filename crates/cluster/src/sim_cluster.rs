@@ -116,7 +116,8 @@ pub struct ClusterCounters {
 impl ClusterCounters {
     /// Mean delivery latency in nanoseconds, if any samples exist.
     pub fn latency_mean_ns(&self) -> Option<u64> {
-        (self.latency_samples > 0).then(|| (self.latency_sum_ns / self.latency_samples as u128) as u64)
+        (self.latency_samples > 0)
+            .then(|| (self.latency_sum_ns / self.latency_samples as u128) as u64)
     }
 
     fn absorb(&mut self, other: &ClusterCounters) {
@@ -222,7 +223,14 @@ impl Actor for ClusterActor {
         self.arm(ctx);
     }
 
-    fn on_packet(&mut self, now: SimTime, net: NetworkId, _from: NodeId, pkt: totem_wire::Packet, ctx: &mut Ctx<'_>) {
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        net: NetworkId,
+        _from: NodeId,
+        pkt: totem_wire::Packet,
+        ctx: &mut Ctx<'_>,
+    ) {
         let outputs = self.node.on_packet(now.as_nanos(), net, pkt);
         self.handle(now, outputs, ctx);
         self.pump(now, ctx);

@@ -21,6 +21,7 @@ use totem_wire::{NetworkId, Packet, Token};
 use crate::config::RrpConfig;
 use crate::fault::{FaultReason, FaultReport};
 use crate::layer::RrpEvent;
+use crate::pernet::PerNet;
 
 /// Ordering key for token instances: `(ring seq, rotation, seq)`.
 /// Copies of the same token instance share the key; a genuinely newer
@@ -33,34 +34,34 @@ pub(crate) fn token_key(t: &Token) -> (u64, u64, u64) {
 /// State of the active replication algorithm (Figure 2).
 #[derive(Debug)]
 pub(crate) struct ActiveState {
-    pub faulty: Vec<bool>,
+    pub faulty: PerNet<bool>,
     /// `recvLastToken[i]` of Figure 2.
-    recv_last: Vec<bool>,
+    recv_last: PerNet<bool>,
     /// The newest token seen (None once delivered upward).
     last_token: Option<Token>,
     last_key: Option<(u64, u64, u64)>,
     /// Token timer of Figure 2.
     timer: Option<u64>,
     /// `problemCounter[i]` of Figure 2.
-    problem: Vec<u32>,
+    problem: PerNet<u32>,
     /// Next periodic decay of the problem counters (A6).
     decay_at: u64,
     /// Per-network instant until which fault declaration is suspended
     /// after a reinstatement (0 = no grace active).
-    grace_until: Vec<u64>,
+    grace_until: PerNet<u64>,
 }
 
 impl ActiveState {
     pub fn new(cfg: &RrpConfig) -> Self {
         ActiveState {
-            faulty: vec![false; cfg.networks],
-            recv_last: vec![false; cfg.networks],
+            faulty: PerNet::filled(cfg.networks, false),
+            recv_last: PerNet::filled(cfg.networks, false),
             last_token: None,
             last_key: None,
             timer: None,
-            problem: vec![0; cfg.networks],
+            problem: PerNet::filled(cfg.networks, 0),
             decay_at: cfg.problem_decay_interval,
-            grace_until: vec![0; cfg.networks],
+            grace_until: PerNet::filled(cfg.networks, 0),
         }
     }
 
@@ -69,19 +70,23 @@ impl ActiveState {
     /// been declared faulty we keep sending on all networks — sending
     /// nothing would kill a ring that might still limp along.
     pub fn routes(&self) -> Vec<NetworkId> {
-        let healthy: Vec<NetworkId> = (0..self.faulty.len() as u8)
-            .map(NetworkId::new)
-            .filter(|n| !self.faulty[n.index()])
-            .collect();
+        let healthy: Vec<NetworkId> =
+            self.faulty.iter().filter(|(_, &f)| !f).map(|(n, _)| n).collect();
         if healthy.is_empty() {
-            (0..self.faulty.len() as u8).map(NetworkId::new).collect()
+            self.faulty.ids().collect()
         } else {
             healthy
         }
     }
 
     /// Figure 2 `recvToken`.
-    pub fn on_token(&mut self, now: u64, net: NetworkId, t: Token, cfg: &RrpConfig) -> Vec<RrpEvent> {
+    pub fn on_token(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        t: Token,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
         let key = token_key(&t);
         match self.last_key {
             Some(last) if key < last => return Vec::new(), // stale copy of an older token
@@ -89,10 +94,10 @@ impl ActiveState {
                 if self.last_token.is_none() {
                     // Already passed up (all copies or timer); later
                     // copies are ignored (Figure 2 / Requirement A4).
-                    self.recv_last[net.index()] = true;
+                    self.recv_last.set(net, true);
                     return Vec::new();
                 }
-                self.recv_last[net.index()] = true;
+                self.recv_last.set(net, true);
             }
             _ => {
                 // A new token instance: reset the per-network flags and
@@ -102,16 +107,13 @@ impl ActiveState {
                 // was already delivered or timed out.
                 self.last_key = Some(key);
                 self.last_token = Some(t);
-                self.recv_last.iter_mut().for_each(|r| *r = false);
-                self.recv_last[net.index()] = true;
+                self.recv_last.fill(false);
+                self.recv_last.set(net, true);
                 self.timer = Some(now + cfg.active_token_timeout);
             }
         }
-        let complete = self
-            .recv_last
-            .iter()
-            .zip(&self.faulty)
-            .all(|(&got, &faulty)| got || faulty);
+        let complete =
+            self.recv_last.values().zip(self.faulty.values()).all(|(&got, &faulty)| got || faulty);
         if complete {
             self.timer = None;
             if let Some(tok) = self.last_token.take() {
@@ -126,30 +128,39 @@ impl ActiveState {
         let mut events = Vec::new();
         if self.timer.is_some_and(|d| d <= now) {
             self.timer = None;
-            for i in 0..self.problem.len() {
-                if !self.recv_last[i] && !self.faulty[i] && now >= self.grace_until[i] {
-                    self.problem[i] += 1;
-                    if self.problem[i] >= cfg.problem_threshold {
-                        self.faulty[i] = true;
-                        events.push(RrpEvent::Fault(FaultReport {
-                            net: NetworkId::new(i as u8),
-                            at: now,
-                            reason: FaultReason::TokenTimeouts { count: self.problem[i] },
-                        }));
-                    }
+            let mut newly_faulty = Vec::new();
+            for (net, problem) in self.problem.iter_mut() {
+                if self.recv_last.at(net) || self.faulty.at(net) || now < self.grace_until.at(net) {
+                    continue;
                 }
+                *problem = problem.saturating_add(1);
+                if *problem >= cfg.problem_threshold {
+                    newly_faulty.push(net);
+                    events.push(RrpEvent::Fault(FaultReport {
+                        net,
+                        at: now,
+                        reason: FaultReason::TokenTimeouts { count: *problem },
+                    }));
+                }
+            }
+            for net in newly_faulty {
+                self.faulty.set(net, true);
             }
             if let Some(tok) = self.last_token.take() {
                 events.push(RrpEvent::Deliver(
                     Packet::Token(tok),
                     // Attribute delivery to the first network that did
                     // deliver a copy, if any.
-                    NetworkId::new(self.recv_last.iter().position(|&r| r).unwrap_or(0) as u8),
+                    self.recv_last
+                        .iter()
+                        .find(|(_, &r)| r)
+                        .map(|(n, _)| n)
+                        .unwrap_or(NetworkId::new(0)),
                 ));
             }
         }
         if self.decay_at <= now {
-            for p in &mut self.problem {
+            for p in self.problem.values_mut() {
                 *p = p.saturating_sub(1);
             }
             self.decay_at = now + cfg.problem_decay_interval;
@@ -163,17 +174,17 @@ impl ActiveState {
 
     /// Current problem counter of a network (tests/diagnostics).
     pub fn problem_counter(&self, net: NetworkId) -> u32 {
-        self.problem[net.index()]
+        self.problem.at(net)
     }
 
     /// Puts a faulty network back in service with a cleared problem
     /// counter and a declaration grace period. Returns whether it was
     /// faulty.
     pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
-        let was = self.faulty[net.index()];
-        self.faulty[net.index()] = false;
-        self.problem[net.index()] = 0;
-        self.grace_until[net.index()] = now + grace;
+        let was = self.faulty.at(net);
+        self.faulty.set(net, false);
+        self.problem.set(net, 0);
+        self.grace_until.set(net, now + grace);
         was
     }
 }
@@ -267,7 +278,9 @@ mod tests {
                 if let RrpEvent::Fault(r) = ev {
                     faults += 1;
                     assert_eq!(r.net, NetworkId::new(1));
-                    assert!(matches!(r.reason, FaultReason::TokenTimeouts { count } if count == cfg.problem_threshold));
+                    assert!(
+                        matches!(r.reason, FaultReason::TokenTimeouts { count } if count == cfg.problem_threshold)
+                    );
                 }
             }
         }

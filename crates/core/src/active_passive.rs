@@ -19,12 +19,13 @@ use crate::config::RrpConfig;
 use crate::fault::{FaultReason, FaultReport, MonitorKind};
 use crate::layer::RrpEvent;
 use crate::monitor::MonitorModule;
+use crate::pernet::PerNet;
 
 /// State of the active-passive algorithm.
 #[derive(Debug)]
 pub(crate) struct ActivePassiveState {
     k: usize,
-    pub faulty: Vec<bool>,
+    pub faulty: PerNet<bool>,
     msg_rr: usize,
     tok_rr: usize,
     /// Separate window pointer for retransmissions served on other
@@ -32,7 +33,7 @@ pub(crate) struct ActivePassiveState {
     retrans_rr: usize,
     /// Stage two: which networks have delivered the current token
     /// instance.
-    seen: Vec<bool>,
+    seen: PerNet<bool>,
     last_token: Option<Token>,
     last_key: Option<(u64, u64, u64)>,
     timer: Option<u64>,
@@ -40,24 +41,28 @@ pub(crate) struct ActivePassiveState {
     token_monitor: MonitorModule,
     msg_monitors: HashMap<NodeId, MonitorModule>,
     /// Per-network reinstatement grace (see the passive module).
-    grace_until: Vec<u64>,
+    grace_until: PerNet<u64>,
 }
 
 impl ActivePassiveState {
     pub fn new(cfg: &RrpConfig, k: usize) -> Self {
         ActivePassiveState {
             k,
-            faulty: vec![false; cfg.networks],
+            faulty: PerNet::filled(cfg.networks, false),
             msg_rr: 0,
             tok_rr: 0,
             retrans_rr: 0,
-            seen: vec![false; cfg.networks],
+            seen: PerNet::filled(cfg.networks, false),
             last_token: None,
             last_key: None,
             timer: None,
-            token_monitor: MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every),
+            token_monitor: MonitorModule::new(
+                cfg.networks,
+                cfg.monitor_threshold,
+                cfg.compensation_every,
+            ),
             msg_monitors: HashMap::new(),
-            grace_until: vec![0; cfg.networks],
+            grace_until: PerNet::filled(cfg.networks, 0),
         }
     }
 
@@ -70,14 +75,15 @@ impl ActivePassiveState {
 
     /// K consecutive non-faulty networks starting after the pointer;
     /// the window start advances by one per send.
-    fn window(rr: &mut usize, k: usize, faulty: &[bool]) -> Vec<NetworkId> {
-        let n = faulty.len();
+    fn window(rr: &mut usize, k: usize, faulty: &PerNet<bool>) -> Vec<NetworkId> {
+        let n = faulty.len().max(1);
         *rr = (*rr + 1) % n;
         let mut out = Vec::with_capacity(k);
         let mut idx = *rr;
         for _ in 0..n {
-            if !faulty[idx] {
-                out.push(NetworkId::new(idx as u8));
+            let net = NetworkId::new(idx as u8);
+            if !faulty.at(net) {
+                out.push(net);
                 if out.len() == k {
                     break;
                 }
@@ -108,17 +114,28 @@ impl ActivePassiveState {
     }
 
     /// Stage one for message-class packets.
-    pub fn on_message(&mut self, now: u64, net: NetworkId, sender: NodeId, cfg: &RrpConfig) -> Vec<RrpEvent> {
-        let monitor = self
-            .msg_monitors
-            .entry(sender)
-            .or_insert_with(|| MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every));
+    pub fn on_message(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        sender: NodeId,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let monitor = self.msg_monitors.entry(sender).or_insert_with(|| {
+            MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every)
+        });
         let suspects = monitor.record(net, &self.faulty);
         self.flag(now, suspects, MonitorKind::Messages { sender })
     }
 
     /// Stage one (token monitor) then stage two (K-copy gate).
-    pub fn on_token(&mut self, now: u64, net: NetworkId, t: Token, cfg: &RrpConfig) -> Vec<RrpEvent> {
+    pub fn on_token(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        t: Token,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
         let suspects = self.token_monitor.record(net, &self.faulty);
         let mut events = self.flag(now, suspects, MonitorKind::Token);
         let key = token_key(&t);
@@ -126,20 +143,20 @@ impl ActivePassiveState {
             Some(last) if key < last => return events,
             Some(last) if key == last => {
                 if self.last_token.is_none() {
-                    self.seen[net.index()] = true;
+                    self.seen.set(net, true);
                     return events; // already delivered; ignore stragglers
                 }
-                self.seen[net.index()] = true;
+                self.seen.set(net, true);
             }
             _ => {
                 self.last_key = Some(key);
                 self.last_token = Some(t);
-                self.seen.iter_mut().for_each(|s| *s = false);
-                self.seen[net.index()] = true;
+                self.seen.fill(false);
+                self.seen.set(net, true);
                 self.timer = Some(now + cfg.active_token_timeout);
             }
         }
-        let copies = self.seen.iter().filter(|&&s| s).count();
+        let copies = self.seen.values().filter(|&&s| s).count();
         if copies >= self.k {
             self.timer = None;
             if let Some(tok) = self.last_token.take() {
@@ -156,32 +173,42 @@ impl ActivePassiveState {
         if self.timer.is_some_and(|d| d <= now) {
             self.timer = None;
             if let Some(tok) = self.last_token.take() {
-                let net = NetworkId::new(self.seen.iter().position(|&s| s).unwrap_or(0) as u8);
+                let net =
+                    self.seen.iter().find(|(_, &s)| s).map(|(n, _)| n).unwrap_or(NetworkId::new(0));
                 events.push(RrpEvent::Deliver(Packet::Token(tok), net));
             }
         }
-        for i in 0..self.grace_until.len() {
-            if self.grace_until[i] != 0 && now >= self.grace_until[i] {
-                self.grace_until[i] = 0;
-                self.level_monitors(NetworkId::new(i as u8));
-            }
+        let expired: Vec<NetworkId> = self
+            .grace_until
+            .iter()
+            .filter(|(_, &g)| g != 0 && now >= g)
+            .map(|(net, _)| net)
+            .collect();
+        for net in expired {
+            self.grace_until.set(net, 0);
+            self.level_monitors(net);
         }
         events
     }
 
     pub fn next_deadline(&self) -> Option<u64> {
-        let grace = self.grace_until.iter().copied().filter(|&g| g != 0).min();
+        let grace = self.grace_until.values().copied().filter(|&g| g != 0).min();
         [self.timer, grace].into_iter().flatten().min()
     }
 
-    fn flag(&mut self, now: u64, suspects: Vec<(NetworkId, u64)>, monitor: MonitorKind) -> Vec<RrpEvent> {
+    fn flag(
+        &mut self,
+        now: u64,
+        suspects: Vec<(NetworkId, u64)>,
+        monitor: MonitorKind,
+    ) -> Vec<RrpEvent> {
         let mut events = Vec::new();
         for (net, behind) in suspects {
-            if now < self.grace_until[net.index()] {
+            if now < self.grace_until.at(net) {
                 continue; // reinstatement grace: observe, don't declare
             }
-            if !self.faulty[net.index()] {
-                self.faulty[net.index()] = true;
+            if !self.faulty.at(net) {
+                self.faulty.set(net, true);
                 events.push(RrpEvent::Fault(FaultReport {
                     net,
                     at: now,
@@ -196,10 +223,10 @@ impl ActivePassiveState {
     /// counts and starting a declaration grace period. Returns whether
     /// it was faulty.
     pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
-        let was = self.faulty[net.index()];
-        self.faulty[net.index()] = false;
+        let was = self.faulty.at(net);
+        self.faulty.set(net, false);
         self.level_monitors(net);
-        self.grace_until[net.index()] = now + grace;
+        self.grace_until.set(net, now + grace);
         was
     }
 }
@@ -254,7 +281,10 @@ mod tests {
         let ev = s.on_token(1, NetworkId::new(2), t.clone(), &cfg);
         assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
         // The third copy is ignored.
-        assert!(s.on_token(2, NetworkId::new(1), t, &cfg).iter().all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        assert!(s
+            .on_token(2, NetworkId::new(1), t, &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
     }
 
     #[test]

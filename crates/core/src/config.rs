@@ -99,14 +99,14 @@ impl RrpConfig {
         RrpConfig {
             style,
             networks,
-            active_token_timeout: 2_000_000,      // 2 ms
-            passive_token_timeout: 10_000_000,    // 10 ms (paper §6)
+            active_token_timeout: 2_000_000,   // 2 ms
+            passive_token_timeout: 10_000_000, // 10 ms (paper §6)
             problem_threshold: 10,
             problem_decay_interval: 1_000_000_000, // 1 s
             monitor_threshold: 50,
-            compensation_every: 25,               // forgive 4% divergence
-            auto_reinstate_interval: 0,           // manual repair (paper §3)
-            reinstate_grace: 250_000_000,         // 250 ms
+            compensation_every: 25,       // forgive 4% divergence
+            auto_reinstate_interval: 0,   // manual repair (paper §3)
+            reinstate_grace: 250_000_000, // 250 ms
         }
     }
 
@@ -195,10 +195,18 @@ mod tests {
     fn active_passive_bounds_match_the_paper() {
         // 1 < K < N: K=1 and K=N are rejected (they degenerate to
         // passive and active).
-        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 1 }, 3).validate().is_err());
-        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 3).validate().is_err());
-        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 2 }, 4).validate().is_ok());
-        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 4).validate().is_ok());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 1 }, 3)
+            .validate()
+            .is_err());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 3)
+            .validate()
+            .is_err());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 2 }, 4)
+            .validate()
+            .is_ok());
+        assert!(RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 4)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -226,6 +234,9 @@ mod tests {
         assert_eq!(ReplicationStyle::Single.name(), "no replication");
         assert_eq!(ReplicationStyle::Active.name(), "active replication");
         assert_eq!(ReplicationStyle::Passive.name(), "passive replication");
-        assert_eq!(ReplicationStyle::ActivePassive { copies: 2 }.to_string(), "active-passive replication (K=2)");
+        assert_eq!(
+            ReplicationStyle::ActivePassive { copies: 2 }.to_string(),
+            "active-passive replication (K=2)"
+        );
     }
 }

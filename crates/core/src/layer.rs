@@ -24,6 +24,7 @@ use crate::active_passive::ActivePassiveState;
 use crate::config::{ReplicationStyle, RrpConfig};
 use crate::fault::FaultReport;
 use crate::passive::PassiveState;
+use crate::pernet::PerNet;
 
 /// What the layer tells its host.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +70,7 @@ pub struct RrpLayer {
     stats: RrpStats,
     /// When each currently-faulty network was flagged (drives the
     /// optional automatic reinstatement probation).
-    flagged_at: Vec<Option<u64>>,
+    flagged_at: PerNet<Option<u64>>,
 }
 
 #[derive(Debug)]
@@ -87,7 +88,10 @@ impl RrpLayer {
     ///
     /// Panics if `cfg` fails [`RrpConfig::validate`].
     pub fn new(cfg: RrpConfig) -> Self {
-        cfg.validate().expect("invalid RrpConfig");
+        // Construction-time validation is the one sanctioned panic in
+        // this crate (budgeted in lint-budget.toml): a bad RrpConfig
+        // is a programming error, not a runtime fault to mask.
+        cfg.validate().expect("invalid RrpConfig"); // lint:allow(no-panic-paths)
         let inner = match cfg.style {
             ReplicationStyle::Single => Inner::Single,
             ReplicationStyle::Active => Inner::Active(ActiveState::new(&cfg)),
@@ -97,7 +101,7 @@ impl RrpLayer {
             }
         };
         let stats = RrpStats { received: vec![0; cfg.networks], ..RrpStats::default() };
-        let flagged_at = vec![None; cfg.networks];
+        let flagged_at = PerNet::filled(cfg.networks, None);
         RrpLayer { cfg, inner, stats, flagged_at }
     }
 
@@ -125,14 +129,14 @@ impl RrpLayer {
             Inner::Passive(s) => s.reinstate(now, net, grace),
             Inner::ActivePassive(s) => s.reinstate(now, net, grace),
         };
-        self.flagged_at[net.index()] = None;
+        self.flagged_at.set(net, None);
         was
     }
 
     fn note_new_faults(&mut self, events: &[RrpEvent]) {
         for ev in events {
             if let RrpEvent::Fault(r) = ev {
-                self.flagged_at[r.net.index()] = Some(r.at);
+                self.flagged_at.set(r.net, Some(r.at));
             }
         }
     }
@@ -144,11 +148,8 @@ impl RrpLayer {
         let due: Vec<NetworkId> = self
             .flagged_at
             .iter()
-            .enumerate()
-            .filter_map(|(i, f)| {
-                f.and_then(|at| {
-                    (now >= at + self.cfg.auto_reinstate_interval).then_some(NetworkId::new(i as u8))
-                })
+            .filter_map(|(net, f)| {
+                f.and_then(|at| (now >= at + self.cfg.auto_reinstate_interval).then_some(net))
             })
             .collect();
         due.into_iter()
@@ -173,9 +174,9 @@ impl RrpLayer {
     pub fn faulty(&self) -> Vec<bool> {
         match &self.inner {
             Inner::Single => vec![false],
-            Inner::Active(s) => s.faulty.clone(),
-            Inner::Passive(s) => s.faulty.clone(),
-            Inner::ActivePassive(s) => s.faulty.clone(),
+            Inner::Active(s) => s.faulty.to_vec(),
+            Inner::Passive(s) => s.faulty.to_vec(),
+            Inner::ActivePassive(s) => s.faulty.to_vec(),
         }
     }
 
@@ -247,11 +248,9 @@ impl RrpLayer {
     /// reconfiguration robust at negligible cost (the SRP's join and
     /// commit handlers are idempotent against duplicates).
     pub fn routes_for_membership(&mut self) -> Vec<NetworkId> {
-        let faulty = self.faulty();
-        let healthy: Vec<NetworkId> = (0..self.cfg.networks as u8)
-            .map(NetworkId::new)
-            .filter(|n| !faulty[n.index()])
-            .collect();
+        let faulty = PerNet::from_vec(self.faulty());
+        let healthy: Vec<NetworkId> =
+            (0..self.cfg.networks as u8).map(NetworkId::new).filter(|&n| !faulty.at(n)).collect();
         let routes = if healthy.is_empty() {
             (0..self.cfg.networks as u8).map(NetworkId::new).collect()
         } else {
@@ -271,8 +270,16 @@ impl RrpLayer {
     /// data packets are destroyed by the SRP's sequence-number filter
     /// (Requirement A1) and the membership handlers are idempotent
     /// against duplicate joins/commits.
-    pub fn on_packet(&mut self, now: u64, net: NetworkId, pkt: Packet, any_missing: bool) -> Vec<RrpEvent> {
-        self.stats.received[net.index()] += 1;
+    pub fn on_packet(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        pkt: Packet,
+        any_missing: bool,
+    ) -> Vec<RrpEvent> {
+        if let Some(count) = self.stats.received.get_mut(net.index()) {
+            *count += 1;
+        }
         let events = match (&mut self.inner, pkt) {
             (Inner::Single, pkt) => vec![RrpEvent::Deliver(pkt, net)],
             (Inner::Active(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
@@ -321,7 +328,7 @@ impl RrpLayer {
     pub fn poll_release(&mut self, _now: u64, any_missing: bool) -> Vec<RrpEvent> {
         match &mut self.inner {
             Inner::Passive(s) => s.poll_release(any_missing),
-            _ => Vec::new(),
+            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => Vec::new(),
         }
     }
 
@@ -334,7 +341,8 @@ impl RrpLayer {
             Inner::ActivePassive(s) => s.on_timer(now, &self.cfg),
         };
         self.stats.tokens_timer_released +=
-            ev.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count() as u64;
+            ev.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count()
+                as u64;
         self.note_new_faults(&ev);
         ev.extend(self.auto_reinstatements(now));
         ev
@@ -344,10 +352,12 @@ impl RrpLayer {
     /// for diagnostics; zeros under the other styles.
     pub fn problem_counters(&self) -> Vec<u32> {
         match &self.inner {
-            Inner::Active(s) => (0..self.cfg.networks)
-                .map(|i| s.problem_counter(NetworkId::new(i as u8)))
-                .collect(),
-            _ => vec![0; self.cfg.networks],
+            Inner::Active(s) => {
+                (0..self.cfg.networks).map(|i| s.problem_counter(NetworkId::new(i as u8))).collect()
+            }
+            Inner::Single | Inner::Passive(_) | Inner::ActivePassive(_) => {
+                vec![0; self.cfg.networks]
+            }
         }
     }
 
@@ -356,7 +366,7 @@ impl RrpLayer {
     pub fn monitor_report(&self) -> Vec<(crate::fault::MonitorKind, Vec<u64>)> {
         match &self.inner {
             Inner::Passive(s) => s.monitor_report(),
-            _ => Vec::new(),
+            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => Vec::new(),
         }
     }
 
@@ -371,7 +381,7 @@ impl RrpLayer {
         let auto = (self.cfg.auto_reinstate_interval > 0)
             .then(|| {
                 self.flagged_at
-                    .iter()
+                    .values()
                     .flatten()
                     .map(|at| at + self.cfg.auto_reinstate_interval)
                     .min()

@@ -60,7 +60,9 @@ pub mod fault;
 pub mod layer;
 pub mod monitor;
 pub mod passive;
+pub mod pernet;
 
 pub use config::{ReplicationStyle, RrpConfig};
 pub use fault::{FaultReason, FaultReport, MonitorKind};
 pub use layer::{RrpEvent, RrpLayer, RrpStats};
+pub use pernet::PerNet;

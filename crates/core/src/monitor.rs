@@ -16,10 +16,12 @@ use serde::{Deserialize, Serialize};
 
 use totem_wire::NetworkId;
 
+use crate::pernet::PerNet;
+
 /// One Figure-5 monitoring module: reception counts per network.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonitorModule {
-    counts: Vec<u64>,
+    counts: PerNet<u64>,
     threshold: u64,
     /// Credit laggards one reception every this many receptions.
     comp_every: u64,
@@ -31,25 +33,32 @@ impl MonitorModule {
     /// threshold, compensating laggards once per `comp_every`
     /// receptions.
     pub fn new(networks: usize, threshold: u64, comp_every: u64) -> Self {
-        MonitorModule { counts: vec![0; networks], threshold, comp_every: comp_every.max(1), since_comp: 0 }
+        MonitorModule {
+            counts: PerNet::filled(networks, 0),
+            threshold,
+            comp_every: comp_every.max(1),
+            since_comp: 0,
+        }
     }
 
     /// Records one reception on `net`; returns the networks that just
     /// crossed the divergence threshold (newly suspect), with how far
     /// behind they are.
-    pub fn record(&mut self, net: NetworkId, faulty: &[bool]) -> Vec<(NetworkId, u64)> {
-        self.counts[net.index()] += 1;
+    pub fn record(&mut self, net: NetworkId, faulty: &PerNet<bool>) -> Vec<(NetworkId, u64)> {
+        if let Some(c) = self.counts.get_mut(net) {
+            *c = c.saturating_add(1);
+        }
         self.since_comp += 1;
         if self.since_comp >= self.comp_every {
             self.since_comp = 0;
             self.compensate();
         }
-        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let max = self.counts.values().copied().max().unwrap_or(0);
         let mut out = Vec::new();
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (id, &c) in self.counts.iter() {
             let behind = max - c;
-            if behind > self.threshold && !faulty[i] {
-                out.push((NetworkId::new(i as u8), behind));
+            if behind > self.threshold && !faulty.at(id) {
+                out.push((id, behind));
             }
         }
         out
@@ -58,8 +67,8 @@ impl MonitorModule {
     /// Periodic compensation: credits every lagging network one
     /// reception (Requirement P5).
     pub fn compensate(&mut self) {
-        let max = self.counts.iter().copied().max().unwrap_or(0);
-        for c in &mut self.counts {
+        let max = self.counts.values().copied().max().unwrap_or(0);
+        for c in self.counts.values_mut() {
             if *c < max {
                 *c += 1;
             }
@@ -68,26 +77,26 @@ impl MonitorModule {
 
     /// Current reception count of one network.
     pub fn count(&self, net: NetworkId) -> u64 {
-        self.counts[net.index()]
+        self.counts.at(net)
     }
 
     /// All reception counts, indexed by network.
     pub fn counts(&self) -> &[u64] {
-        &self.counts
+        self.counts.as_slice()
     }
 
     /// Resets one network's count to the current maximum so a
     /// reinstated network starts its probation with a clean slate
     /// instead of being re-flagged on the next reception.
     pub fn reinstate(&mut self, net: NetworkId) {
-        let max = self.counts.iter().copied().max().unwrap_or(0);
-        self.counts[net.index()] = max;
+        let max = self.counts.values().copied().max().unwrap_or(0);
+        self.counts.set(net, max);
     }
 
     /// How far the worst network lags the best.
     pub fn max_divergence(&self) -> u64 {
-        let max = self.counts.iter().copied().max().unwrap_or(0);
-        let min = self.counts.iter().copied().min().unwrap_or(0);
+        let max = self.counts.values().copied().max().unwrap_or(0);
+        let min = self.counts.values().copied().min().unwrap_or(0);
         max - min
     }
 }
@@ -96,8 +105,8 @@ impl MonitorModule {
 mod tests {
     use super::*;
 
-    fn no_faults(n: usize) -> Vec<bool> {
-        vec![false; n]
+    fn no_faults(n: usize) -> PerNet<bool> {
+        PerNet::filled(n, false)
     }
 
     #[test]

@@ -20,12 +20,13 @@ use crate::config::RrpConfig;
 use crate::fault::{FaultReason, FaultReport, MonitorKind};
 use crate::layer::RrpEvent;
 use crate::monitor::MonitorModule;
+use crate::pernet::PerNet;
 
 /// State of the passive replication algorithm (Figure 4) plus its
 /// monitor modules (Figure 5).
 #[derive(Debug)]
 pub(crate) struct PassiveState {
-    pub faulty: Vec<bool>,
+    pub faulty: PerNet<bool>,
     /// `sendMessageVia` of Figure 4 — advanced only by this node's
     /// own data packets, so each sender's stream alternates networks
     /// strictly (the property the Figure-5 monitors rely on).
@@ -48,22 +49,26 @@ pub(crate) struct PassiveState {
     /// Per-network instant until which fault declaration is suspended
     /// after a reinstatement (0 = none); counts are re-leveled when
     /// the grace expires.
-    grace_until: Vec<u64>,
+    grace_until: PerNet<u64>,
 }
 
 impl PassiveState {
     pub fn new(cfg: &RrpConfig) -> Self {
         PassiveState {
-            faulty: vec![false; cfg.networks],
+            faulty: PerNet::filled(cfg.networks, false),
             msg_rr: 0,
             tok_rr: 0,
             retrans_rr: 0,
             buffered: None,
             buffered_net: NetworkId::new(0),
             timer: None,
-            token_monitor: MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every),
+            token_monitor: MonitorModule::new(
+                cfg.networks,
+                cfg.monitor_threshold,
+                cfg.compensation_every,
+            ),
             msg_monitors: HashMap::new(),
-            grace_until: vec![0; cfg.networks],
+            grace_until: PerNet::filled(cfg.networks, 0),
         }
     }
 
@@ -74,12 +79,13 @@ impl PassiveState {
         }
     }
 
-    fn next_rr(rr: &mut usize, faulty: &[bool]) -> NetworkId {
-        let n = faulty.len();
+    fn next_rr(rr: &mut usize, faulty: &PerNet<bool>) -> NetworkId {
+        let n = faulty.len().max(1);
         for _ in 0..n {
             *rr = (*rr + 1) % n;
-            if !faulty[*rr] {
-                return NetworkId::new(*rr as u8);
+            let net = NetworkId::new(*rr as u8);
+            if !faulty.at(net) {
+                return net;
             }
         }
         // Everything is marked faulty: keep rotating anyway rather
@@ -105,11 +111,16 @@ impl PassiveState {
 
     /// Message-monitor update on reception of a message-class packet
     /// from `sender` via `net` (Figure 4 `messageMonitor`).
-    pub fn on_message(&mut self, now: u64, net: NetworkId, sender: NodeId, cfg: &RrpConfig) -> Vec<RrpEvent> {
-        let monitor = self
-            .msg_monitors
-            .entry(sender)
-            .or_insert_with(|| MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every));
+    pub fn on_message(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        sender: NodeId,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let monitor = self.msg_monitors.entry(sender).or_insert_with(|| {
+            MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every)
+        });
         let suspects = monitor.record(net, &self.faulty);
         self.flag(now, suspects, MonitorKind::Messages { sender })
     }
@@ -147,7 +158,12 @@ impl PassiveState {
 
     /// Token-monitor update without gating — used for commit tokens,
     /// which travel the token path but pass up unconditionally.
-    pub fn on_token_monitor_only(&mut self, now: u64, net: NetworkId, _cfg: &RrpConfig) -> Vec<RrpEvent> {
+    pub fn on_token_monitor_only(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        _cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
         let suspects = self.token_monitor.record(net, &self.faulty);
         self.flag(now, suspects, MonitorKind::Token)
     }
@@ -177,17 +193,21 @@ impl PassiveState {
         }
         // Grace expiry: level the counts once everyone has had time to
         // resume sending, so the monitors judge the network afresh.
-        for i in 0..self.grace_until.len() {
-            if self.grace_until[i] != 0 && now >= self.grace_until[i] {
-                self.grace_until[i] = 0;
-                self.level_monitors(NetworkId::new(i as u8));
-            }
+        let expired: Vec<NetworkId> = self
+            .grace_until
+            .iter()
+            .filter(|(_, &g)| g != 0 && now >= g)
+            .map(|(net, _)| net)
+            .collect();
+        for net in expired {
+            self.grace_until.set(net, 0);
+            self.level_monitors(net);
         }
         events
     }
 
     pub fn next_deadline(&self) -> Option<u64> {
-        let grace = self.grace_until.iter().copied().filter(|&g| g != 0).min();
+        let grace = self.grace_until.values().copied().filter(|&g| g != 0).min();
         [self.timer, grace].into_iter().flatten().min()
     }
 
@@ -195,10 +215,10 @@ impl PassiveState {
     /// counts and starting a declaration grace period. Returns whether
     /// it was faulty.
     pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
-        let was = self.faulty[net.index()];
-        self.faulty[net.index()] = false;
+        let was = self.faulty.at(net);
+        self.faulty.set(net, false);
         self.level_monitors(net);
-        self.grace_until[net.index()] = now + grace;
+        self.grace_until.set(net, now + grace);
         was
     }
 
@@ -211,14 +231,19 @@ impl PassiveState {
         out
     }
 
-    fn flag(&mut self, now: u64, suspects: Vec<(NetworkId, u64)>, monitor: MonitorKind) -> Vec<RrpEvent> {
+    fn flag(
+        &mut self,
+        now: u64,
+        suspects: Vec<(NetworkId, u64)>,
+        monitor: MonitorKind,
+    ) -> Vec<RrpEvent> {
         let mut events = Vec::new();
         for (net, behind) in suspects {
-            if now < self.grace_until[net.index()] {
+            if now < self.grace_until.at(net) {
                 continue; // reinstatement grace: observe, don't declare
             }
-            if !self.faulty[net.index()] {
-                self.faulty[net.index()] = true;
+            if !self.faulty.at(net) {
+                self.faulty.set(net, true);
                 events.push(RrpEvent::Fault(FaultReport {
                     net,
                     at: now,
@@ -272,7 +297,7 @@ mod tests {
     fn all_faulty_keeps_sending() {
         let cfg = cfg(2);
         let mut s = PassiveState::new(&cfg);
-        s.faulty = vec![true, true];
+        s.faulty = PerNet::from_vec(vec![true, true]);
         // Still yields a network rather than silence.
         let _ = s.route_message();
         let _ = s.route_token();
@@ -369,7 +394,8 @@ mod tests {
         let mut flagged = false;
         for i in 0..cfg.monitor_threshold + 1 {
             let ev = s.on_token(i, NetworkId::new(1), token(i), false, &cfg);
-            flagged |= ev.iter().any(|e| matches!(e, RrpEvent::Fault(r) if r.net == NetworkId::new(0)));
+            flagged |=
+                ev.iter().any(|e| matches!(e, RrpEvent::Fault(r) if r.net == NetworkId::new(0)));
         }
         assert!(flagged);
     }
@@ -384,8 +410,10 @@ mod tests {
         for i in 0..100u64 {
             let sender = NodeId::new((i % 2) as u16);
             let net = NetworkId::new(((i / 2) % 2) as u8);
-            assert!(s.on_message(i, net, sender, &cfg).iter().all(|e| !matches!(e, RrpEvent::Fault(_))),
-                "alternating traffic must not trip the monitor");
+            assert!(
+                s.on_message(i, net, sender, &cfg).iter().all(|e| !matches!(e, RrpEvent::Fault(_))),
+                "alternating traffic must not trip the monitor"
+            );
         }
         assert!(!s.faulty[0] && !s.faulty[1]);
     }

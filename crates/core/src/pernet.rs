@@ -1,0 +1,177 @@
+//! A panic-free per-network table.
+//!
+//! Every replication style in this crate keeps per-network state —
+//! problem counters (Figure 2), reception monitors (Figure 5), fault
+//! flags, reinstatement grace deadlines — indexed by [`NetworkId`].
+//! Raw `Vec` indexing turns a confused network id into a crash of the
+//! whole protocol stack, which is exactly the fault amplification the
+//! redundant-ring design exists to prevent. [`PerNet`] offers only
+//! total operations: out-of-range reads yield `None`/default and
+//! out-of-range writes are ignored (and reported via `bool`), so a
+//! bad id degrades into a no-op instead of a panic.
+
+use serde::{Deserialize, Serialize};
+use totem_wire::NetworkId;
+
+/// Fixed-size table of one `T` per redundant network.
+///
+/// The length is set at construction (the configured number of
+/// networks, 1–255) and never changes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerNet<T> {
+    slots: Vec<T>,
+}
+
+impl<T> PerNet<T> {
+    /// Wraps an existing per-network vector.
+    pub fn from_vec(slots: Vec<T>) -> Self {
+        PerNet { slots }
+    }
+
+    /// Number of networks covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when configured with zero networks (never the case for a
+    /// validated [`crate::RrpConfig`]).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The entry for `net`, if in range.
+    pub fn get(&self, net: NetworkId) -> Option<&T> {
+        self.slots.get(net.index())
+    }
+
+    /// Mutable entry for `net`, if in range.
+    pub fn get_mut(&mut self, net: NetworkId) -> Option<&mut T> {
+        self.slots.get_mut(net.index())
+    }
+
+    /// Overwrites the entry for `net`. Returns `false` (and does
+    /// nothing) when `net` is out of range.
+    pub fn set(&mut self, net: NetworkId, value: T) -> bool {
+        match self.slots.get_mut(net.index()) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All network ids covered by this table, in order.
+    pub fn ids(&self) -> impl Iterator<Item = NetworkId> {
+        (0..self.slots.len()).map(|i| NetworkId::new(i as u8))
+    }
+
+    /// `(id, &value)` pairs in network order.
+    pub fn iter(&self) -> impl Iterator<Item = (NetworkId, &T)> {
+        self.slots.iter().enumerate().map(|(i, v)| (NetworkId::new(i as u8), v))
+    }
+
+    /// `(id, &mut value)` pairs in network order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NetworkId, &mut T)> {
+        self.slots.iter_mut().enumerate().map(|(i, v)| (NetworkId::new(i as u8), v))
+    }
+
+    /// Values in network order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter()
+    }
+
+    /// Mutable values in network order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut()
+    }
+
+    /// The table as a slice (diagnostics, stats snapshots).
+    pub fn as_slice(&self) -> &[T] {
+        &self.slots
+    }
+}
+
+impl<T: Clone> PerNet<T> {
+    /// A table of `networks` copies of `value`.
+    pub fn filled(networks: usize, value: T) -> Self {
+        PerNet { slots: vec![value; networks] }
+    }
+
+    /// Copies the table out (public API snapshots).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.slots.clone()
+    }
+
+    /// Resets every entry to `value`.
+    pub fn fill(&mut self, value: T) {
+        for slot in &mut self.slots {
+            *slot = value.clone();
+        }
+    }
+}
+
+impl<T: Copy + Default> PerNet<T> {
+    /// The value for `net`, or `T::default()` when out of range — the
+    /// workhorse read for `bool`/counter tables, where the default
+    /// (`false`, `0`) is exactly the safe degraded answer.
+    pub fn at(&self, net: NetworkId) -> T {
+        self.get(net).copied().unwrap_or_default()
+    }
+}
+
+// Test-only indexing sugar: production code must go through the total
+// accessors above, but assertions read more naturally as `table[i]`.
+#[cfg(test)]
+impl<T> std::ops::Index<usize> for PerNet<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.slots[i]
+    }
+}
+
+#[cfg(test)]
+impl<T> std::ops::IndexMut<usize> for PerNet<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.slots[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_reads_degrade_to_default() {
+        let t: PerNet<u32> = PerNet::filled(2, 7);
+        assert_eq!(t.at(NetworkId::new(1)), 7);
+        assert_eq!(t.at(NetworkId::new(9)), 0);
+        assert!(t.get(NetworkId::new(9)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_writes_are_ignored() {
+        let mut t: PerNet<bool> = PerNet::filled(2, false);
+        assert!(t.set(NetworkId::new(1), true));
+        assert!(!t.set(NetworkId::new(5), true));
+        assert_eq!(t.to_vec(), vec![false, true]);
+    }
+
+    #[test]
+    fn iteration_pairs_ids_with_values() {
+        let mut t: PerNet<u32> = PerNet::filled(3, 0);
+        for (id, v) in t.iter_mut() {
+            *v = u32::from(id.as_u8()) * 10;
+        }
+        let pairs: Vec<(u8, u32)> = t.iter().map(|(id, &v)| (id.as_u8(), v)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 10), (2, 20)]);
+        assert_eq!(t.ids().count(), 3);
+    }
+
+    #[test]
+    fn fill_resets_all() {
+        let mut t: PerNet<u64> = PerNet::from_vec(vec![3, 4, 5]);
+        t.fill(0);
+        assert_eq!(t.as_slice(), &[0, 0, 0]);
+    }
+}

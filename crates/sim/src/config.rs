@@ -293,7 +293,10 @@ mod tests {
         assert_eq!(net.bandwidth_bps, 10_000_000);
         assert_eq!(net.latency, SimDuration::from_micros(100));
         assert!((net.frame_loss - 0.01).abs() < 1e-12);
-        let cfg = SimConfig::lan(2, 1).with_networks(net.clone(), 3).with_seed(7).with_cpu(CpuConfig::instant());
+        let cfg = SimConfig::lan(2, 1)
+            .with_networks(net.clone(), 3)
+            .with_seed(7)
+            .with_cpu(CpuConfig::instant());
         assert_eq!(cfg.network_count(), 3);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.networks[2], net);

@@ -181,19 +181,31 @@ mod tests {
     #[test]
     fn send_fault_blocks_only_that_sender_and_network() {
         let mut p = FaultPlane::new(4, 2);
-        p.apply(&FaultCommand::SendFault { node: NodeId::new(1), net: NetworkId::new(0), failed: true });
+        p.apply(&FaultCommand::SendFault {
+            node: NodeId::new(1),
+            net: NetworkId::new(0),
+            failed: true,
+        });
         assert!(!p.can_send(NodeId::new(1), NetworkId::new(0)));
         assert!(p.can_send(NodeId::new(1), NetworkId::new(1)));
         assert!(p.can_send(NodeId::new(0), NetworkId::new(0)));
         // Repair.
-        p.apply(&FaultCommand::SendFault { node: NodeId::new(1), net: NetworkId::new(0), failed: false });
+        p.apply(&FaultCommand::SendFault {
+            node: NodeId::new(1),
+            net: NetworkId::new(0),
+            failed: false,
+        });
         assert!(p.can_send(NodeId::new(1), NetworkId::new(0)));
     }
 
     #[test]
     fn recv_fault_blocks_only_that_receiver() {
         let mut p = FaultPlane::new(3, 1);
-        p.apply(&FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(0), failed: true });
+        p.apply(&FaultCommand::RecvFault {
+            node: NodeId::new(2),
+            net: NetworkId::new(0),
+            failed: true,
+        });
         assert!(!p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
         assert!(p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
     }

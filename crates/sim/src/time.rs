@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.as_nanos(), 10_000_000);
 /// assert_eq!(d * 3, SimDuration::from_millis(30));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -120,7 +122,9 @@ impl core::ops::Mul<u64> for SimDuration {
 /// let t = SimTime::ZERO + SimDuration::from_millis(5);
 /// assert_eq!(t.elapsed_since(SimTime::ZERO), SimDuration::from_millis(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

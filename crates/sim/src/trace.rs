@@ -95,7 +95,11 @@ pub struct TraceLog {
 impl TraceLog {
     /// A log retaining up to `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        TraceLog { events: std::collections::VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+        TraceLog {
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
     }
 
     pub(crate) fn push(&mut self, ev: TraceEvent) {

@@ -47,7 +47,14 @@ pub trait Actor {
     fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_>);
     /// Called when a packet addressed to (or broadcast past) this node
     /// has been received *and processed* by the node's CPU.
-    fn on_packet(&mut self, now: SimTime, net: NetworkId, from: NodeId, pkt: Packet, ctx: &mut Ctx<'_>);
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        net: NetworkId,
+        from: NodeId,
+        pkt: Packet,
+        ctx: &mut Ctx<'_>,
+    );
     /// Called when the alarm set via [`Ctx::set_alarm`] fires.
     fn on_alarm(&mut self, now: SimTime, ctx: &mut Ctx<'_>);
 }
@@ -123,13 +130,31 @@ impl Ctx<'_> {
 #[derive(Debug)]
 enum Ev {
     Start(NodeId),
-    Alarm { node: NodeId, gen: u64 },
+    Alarm {
+        node: NodeId,
+        gen: u64,
+    },
     /// Packet finished the sender's CPU and reached the NIC.
-    MediumEnter { net: NetworkId, from: NodeId, dst: Option<NodeId>, pkt: Packet },
+    MediumEnter {
+        net: NetworkId,
+        from: NodeId,
+        dst: Option<NodeId>,
+        pkt: Packet,
+    },
     /// Frame arrived at a receiver's NIC; queue for its CPU.
-    RxArrive { node: NodeId, net: NetworkId, from: NodeId, pkt: Packet },
+    RxArrive {
+        node: NodeId,
+        net: NetworkId,
+        from: NodeId,
+        pkt: Packet,
+    },
     /// Receiver CPU finished processing; hand to the actor.
-    RxDone { node: NodeId, net: NetworkId, from: NodeId, pkt: Packet },
+    RxDone {
+        node: NodeId,
+        net: NetworkId,
+        from: NodeId,
+        pkt: Packet,
+    },
     Fault(FaultCommand),
 }
 
@@ -210,7 +235,14 @@ impl<A: Actor> SimWorld<A> {
         self.trace.as_ref()
     }
 
-    fn trace_event(&mut self, kind: TraceKind, net: NetworkId, from: NodeId, to: Option<NodeId>, pkt: &Packet) {
+    fn trace_event(
+        &mut self,
+        kind: TraceKind,
+        net: NetworkId,
+        from: NodeId,
+        to: Option<NodeId>,
+        pkt: &Packet,
+    ) {
         let Some(log) = self.trace.as_mut() else { return };
         let packet = match pkt {
             Packet::Data(d) => TracedPacket::Data { seq: d.seq.as_u64() },
@@ -257,7 +289,11 @@ impl<A: Actor> SimWorld<A> {
     /// effects it issues. This is how external harness code (e.g. a
     /// workload generator submitting application messages) interacts
     /// with a node mid-simulation.
-    pub fn with_actor<R>(&mut self, id: NodeId, f: impl FnOnce(&mut A, SimTime, &mut Ctx<'_>) -> R) -> R {
+    pub fn with_actor<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, SimTime, &mut Ctx<'_>) -> R,
+    ) -> R {
         let now = self.now;
         let (r, sends, alarm, cpu) = {
             let mut sends = std::mem::take(&mut self.scratch_sends);
@@ -459,7 +495,14 @@ mod tests {
                 ctx.set_alarm(at);
             }
         }
-        fn on_packet(&mut self, now: SimTime, net: NetworkId, from: NodeId, pkt: Packet, _ctx: &mut Ctx<'_>) {
+        fn on_packet(
+            &mut self,
+            now: SimTime,
+            net: NetworkId,
+            from: NodeId,
+            pkt: Packet,
+            _ctx: &mut Ctx<'_>,
+        ) {
             self.seen.push((now, net, from, pkt));
         }
         fn on_alarm(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) {
@@ -545,7 +588,11 @@ mod tests {
                 r.to_send.push((NetworkId::new(1), token_pkt(2)));
             }
         });
-        w.fault_now(FaultCommand::SendFault { node: NodeId::new(0), net: NetworkId::new(0), failed: true });
+        w.fault_now(FaultCommand::SendFault {
+            node: NodeId::new(0),
+            net: NetworkId::new(0),
+            failed: true,
+        });
         w.run_until(SimTime::from_millis(10));
         let seen = &w.actor(NodeId::new(1)).seen;
         assert_eq!(seen.len(), 1);
@@ -562,7 +609,10 @@ mod tests {
                 r.to_send.push((NetworkId::new(0), token_pkt(1)));
             }
         });
-        w.schedule_fault(SimTime::from_millis(1), FaultCommand::NetworkDown { net: NetworkId::new(0), down: true });
+        w.schedule_fault(
+            SimTime::from_millis(1),
+            FaultCommand::NetworkDown { net: NetworkId::new(0), down: true },
+        );
         w.run_until(SimTime::from_millis(2));
         w.with_actor(NodeId::new(0), |_a, _now, ctx| {
             ctx.broadcast(NetworkId::new(0), token_pkt(2));
@@ -591,7 +641,10 @@ mod tests {
     fn rx_loss_is_deterministic_per_seed() {
         let run = |seed| {
             let net = NetworkConfig::ethernet_100mbit().with_rx_loss(0.5);
-            let cfg = SimConfig::lan(2, 1).with_networks(net, 1).with_cpu(CpuConfig::instant()).with_seed(seed);
+            let cfg = SimConfig::lan(2, 1)
+                .with_networks(net, 1)
+                .with_cpu(CpuConfig::instant())
+                .with_seed(seed);
             let mut a0 = Recorder::new();
             for s in 0..100 {
                 a0.to_send.push((NetworkId::new(0), token_pkt(s)));

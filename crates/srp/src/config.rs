@@ -143,8 +143,12 @@ mod tests {
     #[test]
     fn zero_timeouts_rejected() {
         assert!(SrpConfig { token_loss_timeout: 0, ..SrpConfig::default() }.validate().is_err());
-        assert!(SrpConfig { token_retransmit_interval: 0, ..SrpConfig::default() }.validate().is_err());
-        assert!(SrpConfig { max_messages_per_token: 0, ..SrpConfig::default() }.validate().is_err());
+        assert!(SrpConfig { token_retransmit_interval: 0, ..SrpConfig::default() }
+            .validate()
+            .is_err());
+        assert!(SrpConfig { max_messages_per_token: 0, ..SrpConfig::default() }
+            .validate()
+            .is_err());
         assert!(SrpConfig { send_queue_limit: 0, ..SrpConfig::default() }.validate().is_err());
     }
 }

@@ -71,7 +71,7 @@ impl SrpEvent {
             SrpEvent::Broadcast(p) | SrpEvent::Rebroadcast(p) | SrpEvent::ToSuccessor(_, p) => {
                 Some(p)
             }
-            _ => None,
+            SrpEvent::Deliver(_) | SrpEvent::Config(_) => None,
         }
     }
 
@@ -79,7 +79,10 @@ impl SrpEvent {
     pub fn delivered(&self) -> Option<&Delivered> {
         match self {
             SrpEvent::Deliver(d) => Some(d),
-            _ => None,
+            SrpEvent::Broadcast(_)
+            | SrpEvent::Rebroadcast(_)
+            | SrpEvent::ToSuccessor(_, _)
+            | SrpEvent::Config(_) => None,
         }
     }
 }

@@ -37,8 +37,8 @@
 //!
 //! let members: Vec<NodeId> = (0..2).map(NodeId::new).collect();
 //! let cfg = SrpConfig::default();
-//! let mut a = SrpNode::new_operational(NodeId::new(0), cfg.clone(), &members, 0);
-//! let mut b = SrpNode::new_operational(NodeId::new(1), cfg, &members, 0);
+//! let mut a = SrpNode::new_operational(NodeId::new(0), cfg.clone(), &members, 0).unwrap();
+//! let mut b = SrpNode::new_operational(NodeId::new(1), cfg, &members, 0).unwrap();
 //!
 //! a.submit(0, bytes::Bytes::from_static(b"hello ring")).unwrap();
 //!
@@ -80,4 +80,4 @@ pub mod window;
 
 pub use config::{DeliveryGuarantee, SrpConfig};
 pub use events::{ConfigChange, ConfigKind, Delivered, SrpEvent};
-pub use node::{Nanos, SrpNode, SrpState, SubmitError};
+pub use node::{Nanos, NodeInitError, SrpNode, SrpState, SubmitError};

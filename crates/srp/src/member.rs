@@ -110,19 +110,19 @@ impl SrpNode {
         // one, an instant check would form a spurious singleton ring.
         // Consensus is evaluated as joins arrive; a true singleton only
         // forms after the consensus timeout expires unanswered.
-        vec![self.my_join_broadcast()]
+        self.my_join_broadcast().into_iter().collect()
     }
 
-    fn my_join_broadcast(&self) -> SrpEvent {
-        let StateImpl::Gather(g) = &self.state else {
-            unreachable!("join broadcast outside gather")
-        };
-        SrpEvent::Broadcast(Packet::Join(JoinMessage {
+    /// The join broadcast advertising this node's current sets; `None`
+    /// outside the Gather state (there are no sets to advertise).
+    fn my_join_broadcast(&self) -> Option<SrpEvent> {
+        let StateImpl::Gather(g) = &self.state else { return None };
+        Some(SrpEvent::Broadcast(Packet::Join(JoinMessage {
             sender: self.me,
             ring_seq: self.max_ring_seq,
             proc_set: g.proc_set.iter().copied().collect(),
             fail_set: g.fail_set.iter().copied().collect(),
-        }))
+        })))
     }
 
     /// Periodic gather timers: join rebroadcast and the consensus
@@ -152,7 +152,7 @@ impl SrpNode {
             rebroadcast = true;
         }
         if rebroadcast {
-            events.push(self.my_join_broadcast());
+            events.extend(self.my_join_broadcast());
             // The watchdog has expired at least once: a singleton ring
             // may now form if we are truly alone.
             events.extend(self.check_consensus(now, true));
@@ -168,18 +168,19 @@ impl SrpNode {
         self.max_ring_seq = self.max_ring_seq.max(j.ring_seq);
         match &mut self.state {
             StateImpl::Operational(_) => {
-                let ring = self.ring.as_ref().expect("operational ring");
-                if ring.members.contains(&j.sender) {
-                    if j.ring_seq < ring.ring.seq {
-                        return Vec::new(); // stale join from before our ring formed
-                    }
-                    // Our own representative's merge-detect
-                    // announcement: it describes exactly our ring.
-                    let own_announcement = j.ring_seq == ring.ring.seq
-                        && j.fail_set.is_empty()
-                        && j.proc_set == ring.members;
-                    if own_announcement {
-                        return Vec::new();
+                if let Some(ring) = self.ring.as_ref() {
+                    if ring.members.contains(&j.sender) {
+                        if j.ring_seq < ring.ring.seq {
+                            return Vec::new(); // stale join from before our ring formed
+                        }
+                        // Our own representative's merge-detect
+                        // announcement: it describes exactly our ring.
+                        let own_announcement = j.ring_seq == ring.ring.seq
+                            && j.fail_set.is_empty()
+                            && j.proc_set == ring.members;
+                        if own_announcement {
+                            return Vec::new();
+                        }
                     }
                 }
                 // Someone needs a membership change (a joiner, or a
@@ -227,7 +228,7 @@ impl SrpNode {
                     // a fresh window.
                     g.consensus_deadline = now + self.cfg.consensus_timeout;
                     g.join_deadline = now + self.cfg.join_retransmit_interval;
-                    events.push(self.my_join_broadcast());
+                    events.extend(self.my_join_broadcast());
                 }
                 events.extend(self.check_consensus(now, false));
                 events
@@ -252,14 +253,12 @@ impl SrpNode {
         }
         let agreed = candidate.iter().all(|p| {
             *p == self.me
-                || g.joins
-                    .get(p)
-                    .is_some_and(|(ps, fs)| *ps == g.proc_set && *fs == g.fail_set)
+                || g.joins.get(p).is_some_and(|(ps, fs)| *ps == g.proc_set && *fs == g.fail_set)
         });
         if !agreed {
             return Vec::new();
         }
-        let rep = candidate[0];
+        let Some(&rep) = candidate.first() else { return Vec::new() };
         if rep != self.me {
             // Consensus reached; await the representative's commit
             // token (the consensus watchdog covers its loss).
@@ -278,8 +277,9 @@ impl SrpNode {
                 received_flag: false,
             })
             .collect();
-        let me_idx = entries.iter().position(|e| e.node == self.me).expect("own entry");
-        self.fill_commit_entry(&mut entries[me_idx]);
+        if let Some(entry) = entries.iter_mut().find(|e| e.node == self.me) {
+            self.fill_commit_entry(entry);
+        }
         let ct = CommitToken { ring: new_ring, round: 0, entries };
 
         if candidate.len() == 1 {
@@ -339,9 +339,12 @@ impl SrpNode {
                     // let the membership protocol restart around us.
                     return Vec::new();
                 }
-                let me_idx =
-                    ct.entries.iter().position(|e| e.node == self.me).expect("member entry");
-                self.fill_commit_entry(&mut ct.entries[me_idx]);
+                // `in_members` was checked on entry, so the entry is
+                // present; tolerate a malformed token all the same.
+                let Some(entry) = ct.entries.iter_mut().find(|e| e.node == self.me) else {
+                    return Vec::new();
+                };
+                self.fill_commit_entry(entry);
                 let members: Vec<NodeId> = ct.members().collect();
                 let succ = next_after(&members, self.me);
                 self.state = StateImpl::Commit(CommitCtx {
@@ -356,7 +359,7 @@ impl SrpNode {
                     return Vec::new();
                 }
                 let members = c.members.clone();
-                let rep = members[0];
+                let Some(&rep) = members.first() else { return Vec::new() };
                 if self.me == rep && ct.round == 0 {
                     if ct.entries.iter().all(|e| e.received_flag) {
                         // First rotation complete: distribute the full
@@ -412,8 +415,10 @@ impl SrpNode {
             ct.entries.iter().filter(|e| e.old_ring == my_old_ring).collect();
         let plan_low = group.iter().map(|e| e.my_aru).min().unwrap_or(Seq::ZERO);
         let plan_high = group.iter().map(|e| e.high_delivered).max().unwrap_or(Seq::ZERO);
-        let token =
-            TokenCtx { loss_deadline: Some(now + self.cfg.token_loss_timeout), ..Default::default() };
+        let token = TokenCtx {
+            loss_deadline: Some(now + self.cfg.token_loss_timeout),
+            ..Default::default()
+        };
         self.state = StateImpl::Recovery(RecoveryCtx {
             new,
             entries: ct.entries.clone(),
@@ -564,7 +569,14 @@ impl SrpNode {
         // nothing to the application) so post-recovery GC can work.
         let ready = rec.new.window.take_deliverable(rec.new.window.my_aru());
         let new_ring_id = rec.new.ring;
-        deliver_packets(self.me, new_ring_id, ready, &mut self.reassembler, &mut self.stats, &mut events);
+        deliver_packets(
+            self.me,
+            new_ring_id,
+            ready,
+            &mut self.reassembler,
+            &mut self.stats,
+            &mut events,
+        );
 
         if rec.new.rep() == self.me {
             t.rotation += 1;
@@ -572,7 +584,8 @@ impl SrpNode {
 
         // Completion detection: a full rotation with no traffic and
         // everyone caught up — twice, so every member sees it.
-        let idle = sent == 0 && t.rtr.is_empty() && t.seq == old_seq && t.aru == t.seq && t.fcc == 0;
+        let idle =
+            sent == 0 && t.rtr.is_empty() && t.seq == old_seq && t.aru == t.seq && t.fcc == 0;
         if idle {
             rec.quiet = rec.quiet.saturating_add(1);
         } else {
@@ -592,16 +605,20 @@ impl SrpNode {
     /// the regular config; installs the new ring and goes Operational.
     fn finalize_recovery(&mut self) -> Vec<SrpEvent> {
         let state = std::mem::replace(&mut self.state, StateImpl::Gather(GatherCtx::empty()));
-        let StateImpl::Recovery(rec) = state else { unreachable!("finalize outside recovery") };
+        let rec = match state {
+            StateImpl::Recovery(rec) => rec,
+            // Only ever called from the recovery token path; put any
+            // other state back untouched.
+            other @ (StateImpl::Operational(_) | StateImpl::Gather(_) | StateImpl::Commit(_)) => {
+                self.state = other;
+                return Vec::new();
+            }
+        };
         let mut events = Vec::new();
 
         if let Some(old) = self.ring.take() {
-            let survivors: Vec<NodeId> = rec
-                .entries
-                .iter()
-                .filter(|e| e.old_ring == old.ring)
-                .map(|e| e.node)
-                .collect();
+            let survivors: Vec<NodeId> =
+                rec.entries.iter().filter(|e| e.old_ring == old.ring).map(|e| e.node).collect();
             events.push(SrpEvent::Config(ConfigChange {
                 kind: ConfigKind::Transitional,
                 ring: old.ring,
@@ -613,7 +630,14 @@ impl SrpNode {
             // never delivered anywhere).
             let tail: Vec<DataPacket> =
                 old.window.range(old.window.delivered_up_to(), rec.plan_high).cloned().collect();
-            deliver_packets(self.me, old.ring, tail, &mut self.reassembler, &mut self.stats, &mut events);
+            deliver_packets(
+                self.me,
+                old.ring,
+                tail,
+                &mut self.reassembler,
+                &mut self.stats,
+                &mut events,
+            );
         }
         // Torn fragment chains cannot complete across the change.
         self.reassembler.clear();
@@ -640,8 +664,10 @@ impl SrpNode {
     }
 }
 
-/// The next member after `me` in ring order (wrapping).
+/// The next member after `me` in ring order (wrapping). A caller
+/// outside the candidate ring (unreachable: every call site has
+/// checked membership) degrades to self-addressing.
 fn next_after(members: &[NodeId], me: NodeId) -> NodeId {
-    let idx = members.iter().position(|&m| m == me).expect("member of candidate ring");
-    members[(idx + 1) % members.len()]
+    let idx = members.iter().position(|&m| m == me).unwrap_or(0);
+    members.get((idx + 1) % members.len().max(1)).copied().unwrap_or(me)
 }

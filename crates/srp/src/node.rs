@@ -59,6 +59,29 @@ impl core::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Error returned by the [`SrpNode`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeInitError {
+    /// The configuration failed [`SrpConfig::validate`].
+    InvalidConfig(String),
+    /// An operational bootstrap needs at least one member.
+    EmptyMembership,
+    /// The node's own id was not in the membership list.
+    NotAMember(NodeId),
+}
+
+impl core::fmt::Display for NodeInitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeInitError::InvalidConfig(why) => write!(f, "invalid SrpConfig: {why}"),
+            NodeInitError::EmptyMembership => write!(f, "members must not be empty"),
+            NodeInitError::NotAMember(me) => write!(f, "own id {me} must be a member"),
+        }
+    }
+}
+
+impl std::error::Error for NodeInitError {}
+
 /// Counters exposed for tests and benchmarks.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SrpStats {
@@ -98,14 +121,19 @@ impl RingCtx {
         RingCtx { ring, members, window: ReceiveWindow::new() }
     }
 
-    /// The next node after `me` in ring order.
+    /// The next node after `me` in ring order. A node absent from its
+    /// own membership (unreachable via the constructors) degrades to
+    /// self-addressing rather than a panic.
     pub(crate) fn successor(&self, me: NodeId) -> NodeId {
-        let idx = self.members.iter().position(|&m| m == me).expect("member of own ring");
-        self.members[(idx + 1) % self.members.len()]
+        let idx = self.members.iter().position(|&m| m == me).unwrap_or(0);
+        self.members.get((idx + 1) % self.members.len().max(1)).copied().unwrap_or(me)
     }
 
+    /// The ring representative: the smallest member id. An empty
+    /// membership (unrepresentable via [`RingCtx::new`]'s callers)
+    /// degrades to an id no real node uses.
     pub(crate) fn rep(&self) -> NodeId {
-        self.members[0]
+        self.members.first().copied().unwrap_or(NodeId::new(u16::MAX))
     }
 }
 
@@ -186,21 +214,31 @@ impl SrpNode {
     /// smallest id) must then be given the initial token via
     /// [`SrpNode::bootstrap_token`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `me` is not in `members`, if `members` is empty, or
-    /// if `cfg` fails validation.
-    pub fn new_operational(me: NodeId, cfg: SrpConfig, members: &[NodeId], now: Nanos) -> Self {
-        cfg.validate().expect("invalid SrpConfig");
-        assert!(!members.is_empty(), "members must not be empty");
-        assert!(members.contains(&me), "own id must be a member");
-        let ring_ctx = RingCtx::new(RingId::new(*members.iter().min().expect("nonempty"), 1), members.to_vec());
+    /// Returns [`NodeInitError`] if `me` is not in `members`, if
+    /// `members` is empty, or if `cfg` fails validation.
+    pub fn new_operational(
+        me: NodeId,
+        cfg: SrpConfig,
+        members: &[NodeId],
+        now: Nanos,
+    ) -> Result<Self, NodeInitError> {
+        cfg.validate().map_err(NodeInitError::InvalidConfig)?;
+        if members.is_empty() {
+            return Err(NodeInitError::EmptyMembership);
+        }
+        if !members.contains(&me) {
+            return Err(NodeInitError::NotAMember(me));
+        }
+        let rep = members.iter().min().copied().unwrap_or(me);
+        let ring_ctx = RingCtx::new(RingId::new(rep, 1), members.to_vec());
         let token = TokenCtx {
             loss_deadline: Some(now + cfg.token_loss_timeout),
             announce_deadline: (ring_ctx.rep() == me).then(|| now + cfg.merge_detect_interval),
             ..Default::default()
         };
-        SrpNode {
+        Ok(SrpNode {
             me,
             cfg,
             state: StateImpl::Operational(token),
@@ -210,7 +248,7 @@ impl SrpNode {
             reassembler: Reassembler::new(),
             max_ring_seq: 1,
             stats: SrpStats::default(),
-        }
+        })
     }
 
     /// Creates a node with no ring, starting in the Gather state: it
@@ -219,12 +257,13 @@ impl SrpNode {
     ///
     /// Call [`SrpNode::start`] to obtain the initial join broadcast.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg` fails validation.
-    pub fn new_joining(me: NodeId, cfg: SrpConfig) -> Self {
-        cfg.validate().expect("invalid SrpConfig");
-        SrpNode {
+    /// Returns [`NodeInitError::InvalidConfig`] if `cfg` fails
+    /// validation.
+    pub fn new_joining(me: NodeId, cfg: SrpConfig) -> Result<Self, NodeInitError> {
+        cfg.validate().map_err(NodeInitError::InvalidConfig)?;
+        Ok(SrpNode {
             me,
             cfg,
             state: StateImpl::Gather(GatherCtx::empty()),
@@ -234,7 +273,7 @@ impl SrpNode {
             reassembler: Reassembler::new(),
             max_ring_seq: 0,
             stats: SrpStats::default(),
-        }
+        })
     }
 
     /// This node's identifier.
@@ -280,7 +319,7 @@ impl SrpNode {
         match &self.state {
             StateImpl::Operational(_) => self.ring.as_ref().is_some_and(|r| r.window.any_missing()),
             StateImpl::Recovery(rec) => rec.new.window.any_missing(),
-            _ => false,
+            StateImpl::Gather(_) | StateImpl::Commit(_) => false,
         }
     }
 
@@ -289,20 +328,21 @@ impl SrpNode {
     pub fn start(&mut self, now: Nanos) -> Vec<SrpEvent> {
         match self.state {
             StateImpl::Gather(_) => self.enter_gather(now, Vec::new()),
-            _ => Vec::new(),
+            StateImpl::Operational(_) | StateImpl::Commit(_) | StateImpl::Recovery(_) => Vec::new(),
         }
     }
 
     /// Injects the initial token on a statically bootstrapped ring.
     /// Must be called exactly once, on the ring representative, after
     /// constructing every member with [`SrpNode::new_operational`].
+    /// Returns no events when called on a node without a ring.
     ///
     /// # Panics
     ///
     /// Panics if the node is not Operational or not the
     /// representative.
     pub fn bootstrap_token(&mut self, now: Nanos) -> Vec<SrpEvent> {
-        let ring = self.ring.as_ref().expect("operational node has a ring");
+        let Some(ring) = self.ring.as_ref() else { return Vec::new() };
         assert_eq!(ring.rep(), self.me, "only the representative bootstraps the token");
         assert!(matches!(self.state, StateImpl::Operational(_)), "node must be operational");
         let token = Token::initial(ring.ring);
@@ -339,8 +379,9 @@ impl SrpNode {
     /// back as idle, so this visit has contributed nothing yet).
     fn send_on_held_token(&mut self, now: Nanos, mut t: Token) -> Vec<SrpEvent> {
         let mut events = Vec::new();
-        let StateImpl::Operational(tok) = &mut self.state else { unreachable!() };
-        let ring = self.ring.as_mut().expect("operational ring");
+        let Some((tok, ring)) = operational_parts(&mut self.state, &mut self.ring) else {
+            return events;
+        };
         debug_assert_eq!(tok.my_last_fcc, 0, "held tokens are idle visits");
         let old_seq = t.seq;
         let in_flight = t.fcc.saturating_sub(tok.my_last_fcc);
@@ -384,7 +425,14 @@ impl SrpNode {
         if self.cfg.guarantee == DeliveryGuarantee::Agreed {
             let up_to = ring.window.my_aru();
             let ready = ring.window.take_deliverable(up_to);
-            deliver_packets(self.me, ring.ring, ready, &mut self.reassembler, &mut self.stats, &mut events);
+            deliver_packets(
+                self.me,
+                ring.ring,
+                ready,
+                &mut self.reassembler,
+                &mut self.stats,
+                &mut events,
+            );
         }
         // The aru can only trail what this visit already established;
         // leave it and forward.
@@ -409,10 +457,10 @@ impl SrpNode {
             [t.retx_deadline, t.loss_deadline, t.hold_deadline].into_iter().flatten().min()
         };
         match &self.state {
-            StateImpl::Operational(t) => {
-                [mins(t), t.announce_deadline].into_iter().flatten().min()
+            StateImpl::Operational(t) => [mins(t), t.announce_deadline].into_iter().flatten().min(),
+            StateImpl::Gather(g) => {
+                [Some(g.join_deadline), Some(g.consensus_deadline)].into_iter().flatten().min()
             }
-            StateImpl::Gather(g) => [Some(g.join_deadline), Some(g.consensus_deadline)].into_iter().flatten().min(),
             StateImpl::Commit(c) => Some(c.loss_deadline),
             StateImpl::Recovery(r) => mins(&r.token),
         }
@@ -425,15 +473,14 @@ impl SrpNode {
             StateImpl::Operational(_) | StateImpl::Recovery(_) => {
                 // Work on the token context common to both phases.
                 let is_recovery = matches!(self.state, StateImpl::Recovery(_));
-                let (tok, ring_ref) = match &mut self.state {
-                    StateImpl::Operational(t) => {
-                        (t, self.ring.as_ref().expect("operational ring"))
-                    }
-                    StateImpl::Recovery(r) => {
+                let (tok, ring_ref) = match (&mut self.state, &self.ring) {
+                    (StateImpl::Operational(t), Some(ring)) => (t, ring),
+                    (StateImpl::Operational(_), None) => return events,
+                    (StateImpl::Recovery(r), _) => {
                         let RecoveryCtx { token, new, .. } = r;
                         (token, &*new)
                     }
-                    _ => unreachable!(),
+                    (StateImpl::Gather(_) | StateImpl::Commit(_), _) => return events,
                 };
                 // Idle hold expiry: forward the held token.
                 if tok.hold_deadline.is_some_and(|d| d <= now) {
@@ -491,7 +538,7 @@ impl SrpNode {
         // a newer ring we missed sends us to Gather so the rings can
         // merge.
         if matches!(self.state, StateImpl::Operational(_)) {
-            let ring = self.ring.as_ref().expect("operational ring");
+            let Some(ring) = self.ring.as_ref() else { return Vec::new() };
             if pkt.ring != ring.ring {
                 if !ring.members.contains(&pkt.sender) || pkt.ring.seq > ring.ring.seq {
                     return self.enter_gather(now, Vec::new());
@@ -502,7 +549,7 @@ impl SrpNode {
         let mut events = Vec::new();
         match &mut self.state {
             StateImpl::Operational(tok) => {
-                let ring = self.ring.as_mut().expect("operational ring");
+                let Some(ring) = self.ring.as_mut() else { return events };
                 if pkt.ring != ring.ring {
                     return events; // unreachable: filtered above
                 }
@@ -565,7 +612,7 @@ impl SrpNode {
 
     fn operational_token(&mut self, now: Nanos, mut t: Token) -> Vec<SrpEvent> {
         {
-            let ring = self.ring.as_ref().expect("operational ring");
+            let Some(ring) = self.ring.as_ref() else { return Vec::new() };
             if t.ring != ring.ring {
                 if t.ring.seq > ring.ring.seq {
                     // A newer ring exists that we are not on: rejoin.
@@ -575,8 +622,9 @@ impl SrpNode {
             }
         }
         let mut events = Vec::new();
-        let StateImpl::Operational(tok) = &mut self.state else { unreachable!() };
-        let ring = self.ring.as_mut().expect("operational ring");
+        let Some((tok, ring)) = operational_parts(&mut self.state, &mut self.ring) else {
+            return events;
+        };
         let key = (t.rotation, t.seq.as_u64());
         if tok.last_key.is_some_and(|last| key <= last) {
             return events; // retransmitted or stale token
@@ -669,7 +717,14 @@ impl SrpNode {
             DeliveryGuarantee::Safe => low_water,
         };
         let ready = ring.window.take_deliverable(deliver_to);
-        deliver_packets(self.me, ring.ring, ready, &mut self.reassembler, &mut self.stats, &mut events);
+        deliver_packets(
+            self.me,
+            ring.ring,
+            ready,
+            &mut self.reassembler,
+            &mut self.stats,
+            &mut events,
+        );
         ring.window.discard_up_to(low_water);
 
         // 6. The representative counts rotations (paper §2 footnote 1).
@@ -686,6 +741,23 @@ impl SrpNode {
             forward_token(self.me, &self.cfg, tok, ring, t, now, &mut events);
         }
         events
+    }
+}
+
+/// Simultaneous disjoint borrows of the Operational token context and
+/// the ring — the shape every token-processing path needs. `None`
+/// outside Operational or (unreachable via the constructors) when an
+/// Operational node has no ring.
+pub(crate) fn operational_parts<'a>(
+    state: &'a mut StateImpl,
+    ring: &'a mut Option<RingCtx>,
+) -> Option<(&'a mut TokenCtx, &'a mut RingCtx)> {
+    match (state, ring) {
+        (StateImpl::Operational(tok), Some(r)) => Some((tok, r)),
+        (StateImpl::Operational(_), None)
+        | (StateImpl::Gather(_), _)
+        | (StateImpl::Commit(_), _)
+        | (StateImpl::Recovery(_), _) => None,
     }
 }
 

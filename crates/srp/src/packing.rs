@@ -97,7 +97,7 @@ impl Packer {
                     if !chunks.is_empty() {
                         break;
                     }
-                    let payload = queue.pop_front().expect("peeked");
+                    let Some(payload) = queue.pop_front() else { break };
                     let msg_id = self.bump_id();
                     let take = MAX_UNFRAGMENTED_MSG;
                     chunks.push(Chunk {
@@ -112,7 +112,7 @@ impl Packer {
                 if need > remaining {
                     break; // closes this packet; the message opens the next
                 }
-                let payload = queue.pop_front().expect("peeked");
+                let Some(payload) = queue.pop_front() else { break };
                 let msg_id = self.bump_id();
                 chunks.push(Chunk::complete(msg_id, payload));
                 remaining -= need;
@@ -240,10 +240,7 @@ mod tests {
         assert_eq!(pkts[0][0].kind, ChunkKind::FragStart);
         assert_eq!(pkts[1][0].kind, ChunkKind::FragCont);
         assert_eq!(pkts[2][0].kind, ChunkKind::FragEnd);
-        assert_eq!(
-            pkts.iter().flat_map(|c| c.iter().map(|ch| ch.data.len())).sum::<usize>(),
-            len
-        );
+        assert_eq!(pkts.iter().flat_map(|c| c.iter().map(|ch| ch.data.len())).sum::<usize>(), len);
         assert!(!p.mid_fragment());
     }
 

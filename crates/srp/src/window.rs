@@ -133,13 +133,15 @@ impl ReceiveWindow {
     pub fn take_deliverable(&mut self, up_to: Seq) -> Vec<DataPacket> {
         let hi = up_to.min(self.my_aru);
         let mut out = Vec::new();
+        let mut delivered_to = self.delivered_up_to;
         for s in self.delivered_up_to.as_u64() + 1..=hi.as_u64() {
-            let pkt = self.packets.get(&s).expect("contiguous below my_aru");
+            // Contiguity below `my_aru` is an invariant; if it is ever
+            // violated, stop at the gap rather than skip past it.
+            let Some(pkt) = self.packets.get(&s) else { break };
             out.push(pkt.clone());
+            delivered_to = Seq::new(s);
         }
-        if hi > self.delivered_up_to {
-            self.delivered_up_to = hi;
-        }
+        self.delivered_up_to = delivered_to;
         out
     }
 

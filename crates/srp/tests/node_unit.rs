@@ -12,7 +12,7 @@ fn members(n: u16) -> Vec<NodeId> {
 }
 
 fn node(me: u16, n: u16) -> SrpNode {
-    SrpNode::new_operational(NodeId::new(me), SrpConfig::default(), &members(n), 0)
+    SrpNode::new_operational(NodeId::new(me), SrpConfig::default(), &members(n), 0).unwrap()
 }
 
 fn ring() -> RingId {
@@ -107,7 +107,9 @@ fn submit_releases_held_token_with_the_message_aboard() {
     assert_eq!(t.seq, Seq::new(1), "the fresh message got a sequence number");
     assert_eq!(t.aru, Seq::new(1), "aru must track the new seq on an all-caught-up ring");
     assert!(
-        events.iter().any(|e| matches!(e, SrpEvent::Broadcast(Packet::Data(d)) if d.seq == Seq::new(1))),
+        events
+            .iter()
+            .any(|e| matches!(e, SrpEvent::Broadcast(Packet::Data(d)) if d.seq == Seq::new(1))),
         "the message itself was broadcast"
     );
 }
@@ -186,9 +188,9 @@ fn retransmission_requests_are_served_from_the_buffer() {
     let mut t = token(0, 3, 3);
     t.rtr = vec![Seq::new(2)];
     let events = n.handle_packet(10, Packet::Token(t));
-    let served = events.iter().any(
-        |e| matches!(e, SrpEvent::Rebroadcast(Packet::Data(d)) if d.seq == Seq::new(2)),
-    );
+    let served = events
+        .iter()
+        .any(|e| matches!(e, SrpEvent::Rebroadcast(Packet::Data(d)) if d.seq == Seq::new(2)));
     assert!(served, "requested packet must be rebroadcast");
     let (_, t) = sent_token(&events).expect("forwarded");
     assert!(t.rtr.is_empty(), "served request removed from the token");

@@ -28,7 +28,10 @@ struct Harness {
 impl Harness {
     fn operational(n: usize, cfg: SrpConfig) -> Self {
         let members: Vec<NodeId> = (0..n as u16).map(NodeId::new).collect();
-        let nodes = members.iter().map(|m| SrpNode::new_operational(*m, cfg.clone(), &members, 0)).collect();
+        let nodes = members
+            .iter()
+            .map(|m| SrpNode::new_operational(*m, cfg.clone(), &members, 0).unwrap())
+            .collect();
         let mut h = Self::wrap(nodes);
         let events = h.nodes[0].bootstrap_token(0);
         h.enqueue(NodeId::new(0), events);
@@ -36,8 +39,9 @@ impl Harness {
     }
 
     fn joining(n: usize, cfg: SrpConfig) -> Self {
-        let nodes: Vec<SrpNode> =
-            (0..n as u16).map(|i| SrpNode::new_joining(NodeId::new(i), cfg.clone())).collect();
+        let nodes: Vec<SrpNode> = (0..n as u16)
+            .map(|i| SrpNode::new_joining(NodeId::new(i), cfg.clone()).unwrap())
+            .collect();
         let mut h = Self::wrap(nodes);
         for i in 0..n {
             let id = NodeId::new(i as u16);
@@ -122,7 +126,8 @@ impl Harness {
 
     fn submit(&mut self, node: usize, data: &[u8]) {
         let id = NodeId::new(node as u16);
-        let events = self.nodes[node].submit(self.now, Bytes::copy_from_slice(data)).expect("submit");
+        let events =
+            self.nodes[node].submit(self.now, Bytes::copy_from_slice(data)).expect("submit");
         self.enqueue(id, events);
     }
 
@@ -193,7 +198,10 @@ fn interleaved_submissions_preserve_per_sender_fifo() {
     let from0: Vec<&Bytes> =
         h.delivered[1].iter().filter(|(s, _)| *s == NodeId::new(0)).map(|(_, b)| b).collect();
     let expected: Vec<String> = (0..30).step_by(3).map(|i| format!("x{i}")).collect();
-    assert_eq!(from0.iter().map(|b| String::from_utf8_lossy(b).into_owned()).collect::<Vec<_>>(), expected);
+    assert_eq!(
+        from0.iter().map(|b| String::from_utf8_lossy(b).into_owned()).collect::<Vec<_>>(),
+        expected
+    );
 }
 
 #[test]
@@ -284,7 +292,9 @@ fn crashed_node_is_excluded_and_survivors_continue() {
     assert!(
         h.run_until(600_000, |h| (0..3).all(|i| h.configs[i]
             .iter()
-            .any(|(k, m)| *k == ConfigKind::Regular && m.len() == 3 && !m.contains(&NodeId::new(3))))),
+            .any(|(k, m)| *k == ConfigKind::Regular
+                && m.len() == 3
+                && !m.contains(&NodeId::new(3))))),
         "survivors must form a 3-member ring without node 3"
     );
     // Transitional configuration must also have been delivered.
@@ -305,8 +315,9 @@ fn crashed_node_is_excluded_and_survivors_continue() {
 fn cold_start_gather_forms_a_ring_from_nothing() {
     let mut h = Harness::joining(4, cfg());
     assert!(
-        h.run_until(400_000, |h| h.nodes.iter().all(|n| n.state() == SrpState::Operational
-            && n.members().is_some_and(|m| m.len() == 4))),
+        h.run_until(400_000, |h| h.nodes.iter().all(
+            |n| n.state() == SrpState::Operational && n.members().is_some_and(|m| m.len() == 4)
+        )),
         "all four joiners must land on one operational 4-ring"
     );
     for node in 0..4 {
@@ -329,8 +340,8 @@ fn singleton_forms_and_delivers_to_itself() {
 fn late_joiner_is_admitted_into_running_ring() {
     let members: Vec<NodeId> = (0..3).map(NodeId::new).collect();
     let mut nodes: Vec<SrpNode> =
-        members.iter().map(|m| SrpNode::new_operational(*m, cfg(), &members, 0)).collect();
-    nodes.push(SrpNode::new_joining(NodeId::new(3), cfg()));
+        members.iter().map(|m| SrpNode::new_operational(*m, cfg(), &members, 0).unwrap()).collect();
+    nodes.push(SrpNode::new_joining(NodeId::new(3), cfg()).unwrap());
     let mut h = Harness::wrap(nodes);
     let events = h.nodes[0].bootstrap_token(0);
     h.enqueue(NodeId::new(0), events);
@@ -340,12 +351,15 @@ fn late_joiner_is_admitted_into_running_ring() {
     let ev = h.nodes[3].start(h.now);
     h.enqueue(NodeId::new(3), ev);
     assert!(
-        h.run_until(600_000, |h| h.nodes.iter().all(|n| n.state() == SrpState::Operational
-            && n.members().is_some_and(|m| m.len() == 4))),
+        h.run_until(600_000, |h| h.nodes.iter().all(
+            |n| n.state() == SrpState::Operational && n.members().is_some_and(|m| m.len() == 4)
+        )),
         "the joiner must be admitted into a 4-member ring"
     );
     h.submit(2, b"hello newcomer");
-    assert!(h.run_until(200_000, |h| h.delivered[3].iter().any(|(_, b)| &b[..] == b"hello newcomer")));
+    assert!(
+        h.run_until(200_000, |h| h.delivered[3].iter().any(|(_, b)| &b[..] == b"hello newcomer"))
+    );
 }
 
 #[test]
@@ -356,7 +370,8 @@ fn recovery_delivers_old_ring_messages_to_lagging_survivor() {
     // Node 2 misses the next message entirely; then node 0 crashes
     // before any retransmission: node 2 must get it from node 1
     // during recovery.
-    h.drop_filter = Box::new(move |_, dst, pkt| !(dst == NodeId::new(2) && matches!(pkt, Packet::Data(_))));
+    h.drop_filter =
+        Box::new(move |_, dst, pkt| !(dst == NodeId::new(2) && matches!(pkt, Packet::Data(_))));
     h.submit(0, b"endangered");
     // Let it reach node 1 (but not node 2), then crash node 0. We stop
     // the world as soon as node 1 has it.
@@ -388,7 +403,7 @@ fn submit_backpressure_reports_queue_limit() {
     small.send_queue_limit = 4;
     let members = [NodeId::new(0), NodeId::new(1)];
     // No token circulating: the queue can only fill up.
-    let mut node = SrpNode::new_operational(NodeId::new(1), small, &members, 0);
+    let mut node = SrpNode::new_operational(NodeId::new(1), small, &members, 0).unwrap();
     for _ in 0..4 {
         node.submit(0, Bytes::from_static(b"x")).unwrap();
     }
@@ -416,7 +431,11 @@ fn flow_control_caps_packets_per_token_visit() {
     let sent = h.nodes[0].stats().packets_sent;
     assert!((100..=102).contains(&sent), "unexpected packet count {sent}");
     // 100 packets at ≤20 per visit require at least 5 token visits.
-    assert!(h.nodes[0].stats().tokens_handled >= 5, "token visits: {}", h.nodes[0].stats().tokens_handled);
+    assert!(
+        h.nodes[0].stats().tokens_handled >= 5,
+        "token visits: {}",
+        h.nodes[0].stats().tokens_handled
+    );
 }
 
 #[test]
@@ -463,8 +482,9 @@ fn two_simultaneous_partitions_heal_into_one_ring() {
     let groups = |n: NodeId| n.index() / 2;
     h.drop_filter = Box::new(move |src, dst, _| groups(src) == groups(dst));
     assert!(
-        h.run_until(800_000, |h| h.nodes.iter().all(|n| n.state() == SrpState::Operational
-            && n.members().is_some_and(|m| m.len() == 2))),
+        h.run_until(800_000, |h| h.nodes.iter().all(
+            |n| n.state() == SrpState::Operational && n.members().is_some_and(|m| m.len() == 2)
+        )),
         "each half must form its own 2-ring"
     );
     // Heal the partition: cross-partition traffic makes each side see
@@ -474,8 +494,9 @@ fn two_simultaneous_partitions_heal_into_one_ring() {
     h.submit(0, b"ping-left");
     h.submit(3, b"ping-right");
     assert!(
-        h.run_until(1_200_000, |h| h.nodes.iter().all(|n| n.state() == SrpState::Operational
-            && n.members().is_some_and(|m| m.len() == 4))),
+        h.run_until(1_200_000, |h| h.nodes.iter().all(
+            |n| n.state() == SrpState::Operational && n.members().is_some_and(|m| m.len() == 4)
+        )),
         "after healing, one 4-ring must form"
     );
     h.submit(3, b"post-heal");

@@ -50,7 +50,8 @@ impl InMemoryHub {
             inboxes.push(tx);
             receivers.push(rx);
         }
-        let shared = std::sync::Arc::new(Shared { inboxes, down: Mutex::new(vec![false; networks]) });
+        let shared =
+            std::sync::Arc::new(Shared { inboxes, down: Mutex::new(vec![false; networks]) });
         receivers
             .into_iter()
             .enumerate()
@@ -105,11 +106,9 @@ impl Transport for InMemoryTransport {
                 }
             }
             Destination::Node(d) => {
-                let tx = self
-                    .shared
-                    .inboxes
-                    .get(d.index())
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown destination node"))?;
+                let tx = self.shared.inboxes.get(d.index()).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotFound, "unknown destination node")
+                })?;
                 let _ = tx.send((net, payload.to_vec()));
             }
         }
@@ -148,7 +147,8 @@ mod tests {
     #[test]
     fn unknown_destination_errors() {
         let hub = InMemoryHub::new(2, 1);
-        let err = hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(9)), b"x").unwrap_err();
+        let err =
+            hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(9)), b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 

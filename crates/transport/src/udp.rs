@@ -122,7 +122,12 @@ impl UdpTransport {
     }
 }
 
-fn spawn_reader(socket: UdpSocket, net: NetworkId, tx: Sender<(NetworkId, Vec<u8>)>, stop: Arc<AtomicBool>) {
+fn spawn_reader(
+    socket: UdpSocket,
+    net: NetworkId,
+    tx: Sender<(NetworkId, Vec<u8>)>,
+    stop: Arc<AtomicBool>,
+) {
     std::thread::Builder::new()
         .name(format!("totem-udp-{net}"))
         .spawn(move || {
@@ -223,9 +228,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "same network count")]
     fn ragged_topology_is_rejected() {
-        let _ = UdpTopology::new(vec![
-            vec![SocketAddr::from(([127, 0, 0, 1], 1000))],
-            vec![],
-        ]);
+        let _ = UdpTopology::new(vec![vec![SocketAddr::from(([127, 0, 0, 1], 1000))], vec![]]);
     }
 }

@@ -184,12 +184,22 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
+        let Some(s) = self.pos.checked_add(n).and_then(|end| self.buf.get(self.pos..end)) else {
             return Err(CodecError::Truncated { needed: n, remaining: self.remaining() });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(s)
+    }
+
+    /// Takes the next `N` bytes as a fixed-size array without any
+    /// fallible slice-to-array conversion on the hot decode path.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(s) {
+            *dst = *src;
+        }
+        Ok(out)
     }
 
     /// Reads one byte.
@@ -198,7 +208,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Truncated`] if the buffer is exhausted.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian `u16`.
@@ -207,7 +217,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Truncated`] if fewer than 2 bytes remain.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len checked")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian `u32`.
@@ -216,7 +226,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Truncated`] if fewer than 4 bytes remain.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len checked")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian `u64`.
@@ -225,7 +235,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Truncated`] if fewer than 8 bytes remain.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len checked")))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     /// Reads a boolean encoded as a `0`/`1` byte.

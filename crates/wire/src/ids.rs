@@ -166,7 +166,9 @@ impl fmt::Display for RingId {
 /// assert_eq!(s, Seq::new(1));
 /// assert_eq!(s.gap_from(Seq::ZERO), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Seq(u64);
 
 impl Seq {
@@ -183,14 +185,11 @@ impl Seq {
         self.0
     }
 
-    /// Returns the next sequence number.
-    ///
-    /// # Panics
-    ///
-    /// Panics on overflow of the underlying `u64` (unreachable in any
-    /// realistic execution).
+    /// Returns the next sequence number, saturating at `u64::MAX`
+    /// (unreachable in any realistic execution: at one packet per
+    /// nanosecond the counter lasts five centuries).
     pub fn next(self) -> Seq {
-        Seq(self.0.checked_add(1).expect("sequence number overflow"))
+        Seq(self.0.saturating_add(1))
     }
 
     /// Returns how many sequence numbers lie strictly after `earlier`

@@ -58,7 +58,9 @@ pub mod packet;
 pub mod token;
 
 pub use codec::{CodecError, Reader, Writer};
-pub use frame::{chunk_capacity, wire_frame_len, CHUNK_HEADER_LEN, ETHERNET_MTU, HEADER_OVERHEAD, MAX_PAYLOAD};
+pub use frame::{
+    chunk_capacity, wire_frame_len, CHUNK_HEADER_LEN, ETHERNET_MTU, HEADER_OVERHEAD, MAX_PAYLOAD,
+};
 pub use ids::{NetworkId, NodeId, RingId, Seq};
 pub use membership::{CommitToken, JoinMessage, MembEntry};
 pub use packet::{Chunk, ChunkKind, DataPacket, Packet};

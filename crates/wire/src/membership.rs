@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn empty_sets_roundtrip() {
-        let j = JoinMessage { sender: NodeId::new(0), ring_seq: 0, proc_set: vec![], fail_set: vec![] };
+        let j =
+            JoinMessage { sender: NodeId::new(0), ring_seq: 0, proc_set: vec![], fail_set: vec![] };
         let pkt = Packet::Join(j);
         assert_eq!(Packet::decode(&pkt.encode()).unwrap(), pkt);
     }

@@ -318,7 +318,8 @@ mod tests {
     #[test]
     fn token_class_predicate() {
         assert!(!Packet::Data(sample_data_packet()).is_token_class());
-        let join = JoinMessage { sender: NodeId::new(0), ring_seq: 0, proc_set: vec![], fail_set: vec![] };
+        let join =
+            JoinMessage { sender: NodeId::new(0), ring_seq: 0, proc_set: vec![], fail_set: vec![] };
         assert!(!Packet::Join(join).is_token_class());
         let token = Token::initial(RingId::new(NodeId::new(0), 1));
         assert!(Packet::Token(token).is_token_class());

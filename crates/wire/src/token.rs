@@ -113,7 +113,15 @@ impl Token {
     pub fn encoded_len(&self) -> usize {
         // ring(10) + rotation(8) + seq(8) + aru(8) + aru_id(1 or 3)
         // + fcc(4) + backlog(4) + rtr count(4) + 8/entry
-        2 + 8 + 8 + 8 + 8 + if self.aru_id.is_some() { 3 } else { 1 } + 4 + 4 + 4 + 8 * self.rtr.len()
+        2 + 8
+            + 8
+            + 8
+            + 8
+            + if self.aru_id.is_some() { 3 } else { 1 }
+            + 4
+            + 4
+            + 4
+            + 8 * self.rtr.len()
     }
 }
 

@@ -32,7 +32,12 @@ fn arb_chunk_kind() -> impl Strategy<Value = ChunkKind> {
 
 fn arb_chunk() -> impl Strategy<Value = Chunk> {
     (arb_chunk_kind(), any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..1424))
-        .prop_map(|(kind, msg_id, orig_len, data)| Chunk { kind, msg_id, orig_len, data: Bytes::from(data) })
+        .prop_map(|(kind, msg_id, orig_len, data)| Chunk {
+            kind,
+            msg_id,
+            orig_len,
+            data: Bytes::from(data),
+        })
 }
 
 fn arb_data_packet() -> impl Strategy<Value = DataPacket> {
@@ -70,7 +75,12 @@ fn arb_join() -> impl Strategy<Value = JoinMessage> {
         proptest::collection::vec(arb_node(), 0..16),
         proptest::collection::vec(arb_node(), 0..16),
     )
-        .prop_map(|(sender, ring_seq, proc_set, fail_set)| JoinMessage { sender, ring_seq, proc_set, fail_set })
+        .prop_map(|(sender, ring_seq, proc_set, fail_set)| JoinMessage {
+            sender,
+            ring_seq,
+            proc_set,
+            fail_set,
+        })
 }
 
 fn arb_memb_entry() -> impl Strategy<Value = MembEntry> {

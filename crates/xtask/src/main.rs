@@ -1,0 +1,142 @@
+//! Workspace automation for the Totem RRP reproduction.
+//!
+//! `cargo xtask lint` runs the totem-lint protocol-invariant pass over
+//! every first-party crate (see [`rules`] for what each rule checks
+//! and why). Diagnostics are `file:line: rule: message`, one per line
+//! on stdout, so editors and CI can jump straight to the site.
+//!
+//! Exit codes are machine-readable:
+//!
+//! * `0` — workspace is clean (suppressions within budget),
+//! * `1` — at least one violation (or a blown suppression budget),
+//! * `2` — usage or I/O error (bad arguments, unreadable files,
+//!   malformed `lint-budget.toml`).
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{Budget, Finding, Rule};
+
+const USAGE: &str = "usage: cargo xtask lint [--stats]
+
+Runs the totem-lint static analysis pass over the workspace.
+  --stats   also print per-crate violation counts and the
+            suppression budget utilization";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stats = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--stats" => stats = true,
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("lint") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let Some(root) = workspace_root() else {
+        eprintln!("error: cannot locate the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::from(2);
+    };
+
+    let budget = match Budget::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = match rules::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    findings.extend(rules::budget_violations(&findings, &budget));
+
+    let violations: Vec<&Finding> = findings.iter().filter(|f| !f.suppressed).collect();
+    for f in &violations {
+        println!("{f}");
+    }
+    if stats {
+        print_stats(&findings, &budget);
+    }
+    if violations.is_empty() {
+        if !stats {
+            println!("totem-lint: workspace clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!("totem-lint: {} violation(s)", violations.len());
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`; falls back to the location this binary was
+/// compiled in.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR")).parent()?.parent()?;
+    compiled.exists().then(|| compiled.to_path_buf())
+}
+
+/// `--stats`: per-crate counts plus suppression budget utilization.
+fn print_stats(findings: &[Finding], budget: &Budget) {
+    let crates: Vec<String> = {
+        let mut names: Vec<String> = findings.iter().map(|f| f.krate.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    println!();
+    println!("totem-lint stats");
+    println!("{:<18} {:>22} {:>12}", "crate", "rule", "violations");
+    let usage = rules::suppression_usage(findings);
+    for krate in &crates {
+        for rule in Rule::all() {
+            let open = findings
+                .iter()
+                .filter(|f| !f.suppressed && f.krate == *krate && f.rule == rule)
+                .count();
+            let used = usage.get(&(krate.clone(), rule)).copied().unwrap_or(0);
+            let allowance = budget.allowance(krate, rule);
+            if open == 0 && used == 0 && allowance == 0 {
+                continue;
+            }
+            let suppression = if used > 0 || allowance > 0 {
+                format!("  (suppressed {used}/{allowance})")
+            } else {
+                String::new()
+            };
+            println!("{krate:<18} {:>22} {open:>12}{suppression}", rule.name());
+        }
+    }
+    if findings.iter().all(|f| f.suppressed) {
+        println!("(no open violations)");
+    }
+}

@@ -17,8 +17,7 @@ use totem_srp::{ConfigKind, SrpState};
 use totem_wire::{NetworkId, NodeId};
 
 fn main() {
-    let mut cluster =
-        SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Passive).joining());
+    let mut cluster = SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Passive).joining());
 
     // Cold start: the ring forms through Gather -> Commit -> Recovery.
     cluster.run_until(SimTime::from_secs(2));

@@ -22,7 +22,10 @@ fn main() {
     let mut sent = 0u32;
     let mut t = SimTime::ZERO;
     let net0_dies = SimTime::from_secs(1);
-    cluster.schedule_fault(net0_dies, FaultCommand::NetworkDown { net: NetworkId::new(0), down: true });
+    cluster.schedule_fault(
+        net0_dies,
+        FaultCommand::NetworkDown { net: NetworkId::new(0), down: true },
+    );
 
     while t < SimTime::from_secs(3) {
         cluster.run_until(t);
@@ -51,15 +54,9 @@ fn main() {
     println!("fault reports raised to the application:");
     for node in 0..6 {
         for report in cluster.faults(node) {
-            println!(
-                "  node {node} at t+{:.3}s: {report}",
-                report.at as f64 / 1e9
-            );
+            println!("  node {node} at t+{:.3}s: {report}", report.at as f64 / 1e9);
         }
-        assert!(
-            cluster.faulty_networks(node)[0],
-            "node {node} failed to mark network 0 faulty"
-        );
+        assert!(cluster.faulty_networks(node)[0], "node {node} failed to mark network 0 faulty");
     }
     println!();
     println!("membership was never disturbed: every node still sees all 6 members:");

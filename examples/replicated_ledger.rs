@@ -77,7 +77,10 @@ fn main() {
     for round in 0..50u32 {
         cluster.run_until(t);
         if round % 5 == 0 {
-            cluster.submit(0, Bytes::from(format!("deposit {} 100", people[(round / 5) as usize % 4])));
+            cluster.submit(
+                0,
+                Bytes::from(format!("deposit {} 100", people[(round / 5) as usize % 4])),
+            );
         }
         for node in 0..nodes {
             let from = people[node % 4];

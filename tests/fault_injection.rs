@@ -131,11 +131,31 @@ fn random_fault_storm_never_violates_safety() {
         }
         // Heal everything at the end so liveness can be checked.
         for net in 0..2u8 {
-            cluster.schedule_fault(SimTime::from_secs(4), FaultCommand::NetworkDown { net: NetworkId::new(net), down: false });
-            cluster.schedule_fault(SimTime::from_secs(4), FaultCommand::Partition { net: NetworkId::new(net), groups: vec![] });
+            cluster.schedule_fault(
+                SimTime::from_secs(4),
+                FaultCommand::NetworkDown { net: NetworkId::new(net), down: false },
+            );
+            cluster.schedule_fault(
+                SimTime::from_secs(4),
+                FaultCommand::Partition { net: NetworkId::new(net), groups: vec![] },
+            );
             for node in 0..4u16 {
-                cluster.schedule_fault(SimTime::from_secs(4), FaultCommand::SendFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
-                cluster.schedule_fault(SimTime::from_secs(4), FaultCommand::RecvFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
+                cluster.schedule_fault(
+                    SimTime::from_secs(4),
+                    FaultCommand::SendFault {
+                        node: NodeId::new(node),
+                        net: NetworkId::new(net),
+                        failed: false,
+                    },
+                );
+                cluster.schedule_fault(
+                    SimTime::from_secs(4),
+                    FaultCommand::RecvFault {
+                        node: NodeId::new(node),
+                        net: NetworkId::new(net),
+                        failed: false,
+                    },
+                );
             }
         }
         let mut t = SimTime::ZERO;

@@ -11,15 +11,31 @@ use totem_wire::{NetworkId, NodeId};
 
 fn crash(cluster: &mut SimCluster, node: u16, networks: usize) {
     for net in 0..networks as u8 {
-        cluster.fault_now(FaultCommand::SendFault { node: NodeId::new(node), net: NetworkId::new(net), failed: true });
-        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(node), net: NetworkId::new(net), failed: true });
+        cluster.fault_now(FaultCommand::SendFault {
+            node: NodeId::new(node),
+            net: NetworkId::new(net),
+            failed: true,
+        });
+        cluster.fault_now(FaultCommand::RecvFault {
+            node: NodeId::new(node),
+            net: NetworkId::new(net),
+            failed: true,
+        });
     }
 }
 
 fn revive(cluster: &mut SimCluster, node: u16, networks: usize) {
     for net in 0..networks as u8 {
-        cluster.fault_now(FaultCommand::SendFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
-        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(node), net: NetworkId::new(net), failed: false });
+        cluster.fault_now(FaultCommand::SendFault {
+            node: NodeId::new(node),
+            net: NetworkId::new(net),
+            failed: false,
+        });
+        cluster.fault_now(FaultCommand::RecvFault {
+            node: NodeId::new(node),
+            net: NetworkId::new(net),
+            failed: false,
+        });
     }
 }
 
@@ -75,7 +91,8 @@ fn crash_is_excluded_with_transitional_and_regular_configs() {
 
 #[test]
 fn crashed_node_rejoins_after_revival() {
-    let mut cluster = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(3));
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(3));
     cluster.submit(0, Bytes::from_static(b"hello"));
     cluster.run_until(SimTime::from_millis(300));
     crash(&mut cluster, 2, 2);
@@ -123,7 +140,11 @@ fn in_flight_message_survives_sender_crash_via_recovery() {
     // recovery phase must hand node 2 the message from node 1's
     // buffer.
     for net in 0..2u8 {
-        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(net), failed: true });
+        cluster.fault_now(FaultCommand::RecvFault {
+            node: NodeId::new(2),
+            net: NetworkId::new(net),
+            failed: true,
+        });
     }
     cluster.submit(0, Bytes::from_static(b"endangered"));
     cluster.run_until(t + totem_sim::SimDuration::from_millis(20));
@@ -133,7 +154,11 @@ fn in_flight_message_survives_sender_crash_via_recovery() {
     );
     crash(&mut cluster, 0, 2);
     for net in 0..2u8 {
-        cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(2), net: NetworkId::new(net), failed: false });
+        cluster.fault_now(FaultCommand::RecvFault {
+            node: NodeId::new(2),
+            net: NetworkId::new(net),
+            failed: false,
+        });
     }
     cluster.run_until(SimTime::from_secs(5));
     assert!(
@@ -195,7 +220,8 @@ fn representative_crash_is_survived() {
 
 #[test]
 fn two_simultaneous_crashes_are_survived() {
-    let mut cluster = SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Passive).with_seed(7));
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Passive).with_seed(7));
     cluster.submit(0, Bytes::from_static(b"warm"));
     cluster.run_until(SimTime::from_millis(300));
     crash(&mut cluster, 1, 2);

@@ -45,8 +45,10 @@ fn a1_duplicate_suppression_across_networks() {
 fn a2_no_spurious_retransmissions_under_asymmetric_latency() {
     let mut cfg = ClusterConfig::new(3, ReplicationStyle::Active).with_seed(2);
     let mut sim = SimConfig::lan(3, 2);
-    sim.networks[0] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(10));
-    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(900));
+    sim.networks[0] =
+        NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(10));
+    sim.networks[1] =
+        NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(900));
     cfg.sim = sim;
     let mut cluster = SimCluster::new(cfg);
     for i in 0..30 {
@@ -86,7 +88,11 @@ fn a3_networks_stay_synchronized_despite_speed_mismatch() {
 fn a4_progress_when_one_network_drops_tokens() {
     let mut cluster = active_cluster(3, 4);
     // One node cannot receive on network 1 at all.
-    cluster.fault_now(FaultCommand::RecvFault { node: NodeId::new(1), net: NetworkId::new(1), failed: true });
+    cluster.fault_now(FaultCommand::RecvFault {
+        node: NodeId::new(1),
+        net: NetworkId::new(1),
+        failed: true,
+    });
     for i in 0..10 {
         cluster.submit(i % 3, Bytes::from(format!("go{i}")));
     }

@@ -32,8 +32,10 @@ fn p1_delayed_messages_do_not_trigger_retransmission() {
     let mut sim = SimConfig::lan(3, 2);
     // Grossly asymmetric latencies: messages on net1 arrive long after
     // tokens on net0 (Figure 3, scenario 1).
-    sim.networks[0] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(5));
-    sim.networks[1] = NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(1500));
+    sim.networks[0] =
+        NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(5));
+    sim.networks[1] =
+        NetworkConfig::ethernet_100mbit().with_latency(totem_sim::SimDuration::from_micros(1500));
     cfg.sim = sim;
     let mut cluster = SimCluster::new(cfg);
     for i in 0..30 {

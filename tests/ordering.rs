@@ -45,7 +45,8 @@ fn every_style_reaches_identical_total_order() {
 
 #[test]
 fn per_sender_fifo_holds_under_interleaving() {
-    let mut cluster = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(6));
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Passive).with_seed(6));
     let mut t = SimTime::ZERO;
     for i in 0..30u32 {
         cluster.run_until(t);
@@ -94,18 +95,16 @@ fn saturated_senders_share_the_window_fairly() {
     // Regression: window-based flow control must not let the members
     // visited early in each rotation starve the last one (the fair
     // per-member minimum share).
-    let mut cluster =
-        SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Single).counters_only().with_seed(9));
+    let mut cluster = SimCluster::new(
+        ClusterConfig::new(4, ReplicationStyle::Single).counters_only().with_seed(9),
+    );
     cluster.enable_saturation(1000);
     cluster.run_until(SimTime::from_secs(1));
     let sent: Vec<u64> = (0..4).map(|n| cluster.srp_stats(n).packets_sent).collect();
     let min = *sent.iter().min().unwrap();
     let max = *sent.iter().max().unwrap();
     assert!(min > 0, "a sender was starved: {sent:?}");
-    assert!(
-        max - min <= max / 10,
-        "senders should share the window within 10%: {sent:?}"
-    );
+    assert!(max - min <= max / 10, "senders should share the window within 10%: {sent:?}");
 }
 
 #[test]
@@ -121,10 +120,7 @@ fn sustained_saturation_preserves_agreement_for_all_styles() {
         let min = *per_node.iter().min().unwrap();
         let max = *per_node.iter().max().unwrap();
         assert!(min > 500, "{style}: too few deliveries {per_node:?}");
-        assert!(
-            max - min < max / 5,
-            "{style}: deliveries diverge too much {per_node:?}"
-        );
+        assert!(max - min < max / 5, "{style}: deliveries diverge too much {per_node:?}");
     }
 }
 

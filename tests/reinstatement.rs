@@ -17,8 +17,9 @@ fn kill(cluster: &mut SimCluster, net: u8, at_ms: u64, down: bool) {
 
 #[test]
 fn administrative_reinstate_restores_two_network_operation() {
-    let mut cluster =
-        SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Passive).counters_only().with_seed(1));
+    let mut cluster = SimCluster::new(
+        ClusterConfig::new(4, ReplicationStyle::Passive).counters_only().with_seed(1),
+    );
     cluster.enable_saturation(700);
     kill(&mut cluster, 0, 100, true);
     cluster.run_until(SimTime::from_secs(3));
@@ -98,8 +99,9 @@ fn auto_reinstate_reflags_a_still_broken_network() {
 
 #[test]
 fn reinstate_under_active_replication_resumes_duplication() {
-    let mut cluster =
-        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).counters_only().with_seed(4));
+    let mut cluster = SimCluster::new(
+        ClusterConfig::new(3, ReplicationStyle::Active).counters_only().with_seed(4),
+    );
     cluster.enable_saturation(500);
     kill(&mut cluster, 1, 100, true);
     cluster.run_until(SimTime::from_secs(3));

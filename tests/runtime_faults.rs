@@ -88,7 +88,9 @@ fn live_network_death_is_reported_and_survived_then_reinstated() {
     let deadline = Instant::now() + Duration::from_secs(10);
     while reinstated.iter().any(|r| !r) && Instant::now() < deadline {
         for (i, h) in handles.iter().enumerate() {
-            if let Some(RuntimeEvent::Reinstated { net, .. }) = h.next_event(Duration::from_millis(20)) {
+            if let Some(RuntimeEvent::Reinstated { net, .. }) =
+                h.next_event(Duration::from_millis(20))
+            {
                 assert_eq!(net, NetworkId::new(0));
                 reinstated[i] = true;
             }

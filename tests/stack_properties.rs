@@ -10,7 +10,13 @@ use totem_rrp::ReplicationStyle;
 use totem_sim::{NetworkConfig, SimConfig, SimDuration, SimTime};
 use totem_wire::NodeId;
 
-fn run_cluster(style: ReplicationStyle, loss: f64, seed: u64, msgs: u32, size: usize) -> SimCluster {
+fn run_cluster(
+    style: ReplicationStyle,
+    loss: f64,
+    seed: u64,
+    msgs: u32,
+    size: usize,
+) -> SimCluster {
     let networks = if style == ReplicationStyle::Single { 1 } else { 2 };
     let mut cfg = ClusterConfig::new(3, style).with_seed(seed);
     let mut sim = SimConfig::lan(3, networks);

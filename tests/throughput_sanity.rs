@@ -58,6 +58,8 @@ fn six_node_testbed_shows_the_same_ordering() {
     let single = m(ReplicationStyle::Single);
     let active = m(ReplicationStyle::Active);
     let passive = m(ReplicationStyle::Passive);
-    assert!(passive > single && active <= single * 1.02,
-        "6-node ordering broken: single={single:.0} active={active:.0} passive={passive:.0}");
+    assert!(
+        passive > single && active <= single * 1.02,
+        "6-node ordering broken: single={single:.0} active={active:.0} passive={passive:.0}"
+    );
 }

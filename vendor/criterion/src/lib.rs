@@ -1,0 +1,246 @@
+//! Offline vendored mini-criterion.
+//!
+//! A functional micro-benchmark harness with criterion's API shape:
+//! warmup, calibrated iteration counts, median-of-samples timing, and
+//! optional throughput reporting. Statistical machinery (outlier
+//! analysis, HTML reports, comparison against saved baselines) is out
+//! of scope; numbers print to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// vendored harness always re-runs setup per sample batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark driver handed to registered benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("TOTEM_QUICK").is_ok();
+        Criterion {
+            measurement_time: if quick {
+                Duration::from_millis(200)
+            } else {
+                Duration::from_secs(1)
+            },
+            warm_up_time: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&id, None);
+        self
+    }
+
+    /// Sets the target measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the target measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.warm_up_time, self.criterion.measurement_time);
+        f(&mut b);
+        b.report(&id, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver: runs the closure under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher { warm_up, measurement, samples: Vec::new() }
+    }
+
+    /// Benchmarks `f` directly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: how many iterations fit in ~1ms?
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed() < self.warm_up {
+            black_box(f());
+            cal_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / cal_iters.max(1) as f64;
+        let batch = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    /// Benchmarks `routine` over inputs built by `setup`; setup time is
+    /// excluded from measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("  {id}: no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", n as f64 / median / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        println!("  {id}: {}{rate}", fmt_time(median));
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:.3} s/iter")
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,122 @@
+//! Offline vendored mini-proptest.
+//!
+//! A deterministic generate-and-assert property testing harness with
+//! the API subset the Totem workspace uses: `proptest!`, `prop_assert*`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, numeric-range strategies,
+//! `prop_map`, `proptest::collection::vec`, `proptest::option::of`, and
+//! `prop::sample::Index`.
+//!
+//! Differences from the real crate, on purpose:
+//! - **No shrinking.** A failing case reports its deterministic seed
+//!   and case number; re-running reproduces it exactly.
+//! - **Deterministic by default.** The RNG seed derives from the test
+//!   name, so CI runs are reproducible. Set `PROPTEST_SEED` to explore
+//!   a different stream, `PROPTEST_CASES` to change the case count.
+//! - `prop_assert!`/`prop_assert_eq!` panic instead of returning
+//!   `Result`, which is equivalent under the test harness.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                let strategies = ( $($strat,)* );
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    let case_seed = rng.state();
+                    let ( $($arg,)* ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let run = || { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest: test `{}` failed at case {}/{} (case seed {:#x}); \
+                             re-run with PROPTEST_SEED to reproduce a stream",
+                            stringify!($name), case + 1, cases, case_seed,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among the given strategies (all must share a value
+/// type). Weights are not supported by this vendored version.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

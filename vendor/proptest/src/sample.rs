@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection of unknown length: generated as a raw
+/// value, projected into `[0, len)` at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects the index into `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, matching upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

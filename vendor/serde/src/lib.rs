@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on wire and config
+//! types as forward-looking decoration but never serializes through
+//! serde (the binary codec in `totem-wire` is hand-written). This stub
+//! provides the two marker traits and re-exports no-op derive macros so
+//! the derive attributes compile offline. If real serde serialization
+//! is ever needed, replace this vendor crate with the actual registry
+//! crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline vendored no-op derive macros for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking decoration — nothing actually serializes through
+//! serde (the wire codec is hand-written in `totem-wire`). These
+//! derives therefore expand to nothing; the matching marker traits live
+//! in the vendored `serde` crate. `attributes(serde)` is declared so
+//! field attributes would not break compilation if introduced.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
