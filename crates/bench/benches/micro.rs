@@ -105,7 +105,7 @@ fn bench_rrp(c: &mut Criterion) {
     let mut g = c.benchmark_group("rrp_layer");
     g.bench_function("active_token_two_copies", |b| {
         b.iter_batched(
-            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)),
+            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).expect("valid config"),
             |mut layer| {
                 for r in 0..100u64 {
                     let t = token_packet(r, r);
@@ -118,7 +118,7 @@ fn bench_rrp(c: &mut Criterion) {
     });
     g.bench_function("passive_message_monitor", |b| {
         b.iter_batched(
-            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)),
+            || RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).expect("valid config"),
             |mut layer| {
                 for i in 0..100u64 {
                     let pkt = data_packet(i, 100);
@@ -129,7 +129,8 @@ fn bench_rrp(c: &mut Criterion) {
         );
     });
     g.bench_function("routes_round_robin", |b| {
-        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let mut layer =
+            RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).expect("valid config");
         b.iter(|| layer.routes_for_message());
     });
     g.finish();

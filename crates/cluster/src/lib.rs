@@ -48,8 +48,10 @@
 
 pub mod node;
 pub mod runtime;
+pub mod scenarios;
 pub mod sim_cluster;
 
 pub use node::{NodeOutput, TotemNode};
 pub use runtime::{spawn_node, RuntimeEvent, RuntimeHandle, StartMode};
+pub use scenarios::{run_all, ScenarioReport};
 pub use sim_cluster::{ClusterConfig, ClusterCounters, SimCluster};

@@ -16,7 +16,7 @@ use bytes::Bytes;
 
 use totem_rrp::{FaultReport, RrpConfig, RrpEvent, RrpLayer};
 use totem_srp::{ConfigChange, Delivered, SrpConfig, SrpEvent, SrpNode, SrpState, SubmitError};
-use totem_wire::{NetworkId, NodeId, Packet};
+use totem_wire::{NetworkId, NodeId, Packet, Transition};
 
 /// Protocol time in nanoseconds (shared with `totem-srp`).
 pub type Nanos = u64;
@@ -74,7 +74,7 @@ impl TotemNode {
     ) -> Self {
         TotemNode {
             srp: SrpNode::new_operational(me, srp_cfg, members, now).expect("valid SRP bootstrap"),
-            rrp: RrpLayer::new(rrp_cfg),
+            rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
         }
     }
 
@@ -87,7 +87,7 @@ impl TotemNode {
     pub fn new_joining(me: NodeId, srp_cfg: SrpConfig, rrp_cfg: RrpConfig) -> Self {
         TotemNode {
             srp: SrpNode::new_joining(me, srp_cfg).expect("valid SRP config"),
-            rrp: RrpLayer::new(rrp_cfg),
+            rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
         }
     }
 
@@ -175,6 +175,15 @@ impl TotemNode {
     /// The earliest instant [`TotemNode::on_timer`] must be called.
     pub fn next_deadline(&self) -> Option<Nanos> {
         [self.srp.next_deadline(), self.rrp.next_deadline()].into_iter().flatten().min()
+    }
+
+    /// Drains the protocol state-machine transitions recorded by both
+    /// layers since the last call (the conformance trace consumed by
+    /// `cargo xtask conformance`).
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        let mut trs = self.srp.take_transitions();
+        trs.extend(self.rrp.take_transitions());
+        trs
     }
 
     /// Passive replication: release tokens that were buffered behind

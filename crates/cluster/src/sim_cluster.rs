@@ -206,6 +206,11 @@ impl ClusterActor {
             Some(d) => ctx.set_alarm(SimTime::from_nanos(d)),
             None => ctx.cancel_alarm(),
         }
+        // Hand any state-machine transitions this callback produced to
+        // the world's trace (timestamped, attributed to this node).
+        for t in self.node.take_transitions() {
+            ctx.note_transition(t);
+        }
     }
 }
 

@@ -43,6 +43,76 @@ impl core::fmt::Display for ReplicationStyle {
     }
 }
 
+/// Why an [`RrpConfig`] failed [`RrpConfig::validate`].
+///
+/// Construction sites ([`crate::RrpLayer::new`]) surface this instead
+/// of panicking, so a host that assembles configurations at runtime
+/// (an operator console, a config file) can report the violation and
+/// keep running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrpConfigError {
+    /// `networks` was zero.
+    NoNetworks,
+    /// `Single` style over anything but exactly one network.
+    SingleNeedsOneNetwork {
+        /// The offending network count.
+        got: usize,
+    },
+    /// `Active` or `Passive` style over fewer than two networks.
+    NeedsTwoNetworks {
+        /// The style that was asked for.
+        style: ReplicationStyle,
+        /// The offending network count.
+        got: usize,
+    },
+    /// `ActivePassive` outside the paper's `1 < K < N` bound (§7).
+    ActivePassiveBounds {
+        /// The requested K.
+        copies: u8,
+        /// The number of networks N.
+        networks: usize,
+    },
+    /// A token timeout (`active_token_timeout` or
+    /// `passive_token_timeout`) was zero.
+    ZeroTokenTimeout,
+    /// `problem_threshold` was zero (Requirement A5 needs a positive
+    /// trip point).
+    ZeroProblemThreshold,
+    /// `monitor_threshold` was zero (Requirement P4 needs a positive
+    /// lag bound).
+    ZeroMonitorThreshold,
+    /// `compensation_every` was zero (Requirement P5's forgiveness
+    /// rate is a division by this).
+    ZeroCompensation,
+}
+
+impl core::fmt::Display for RrpConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RrpConfigError::NoNetworks => f.write_str("at least one network is required"),
+            RrpConfigError::SingleNeedsOneNetwork { got } => {
+                write!(f, "single (unreplicated) style uses exactly 1 network, got {got}")
+            }
+            RrpConfigError::NeedsTwoNetworks { style, got } => {
+                write!(f, "{style} needs at least 2 networks, got {got}")
+            }
+            RrpConfigError::ActivePassiveBounds { copies, networks } => {
+                write!(f, "active-passive requires 1 < K < N (got K={copies}, N={networks})")
+            }
+            RrpConfigError::ZeroTokenTimeout => f.write_str("token timeouts must be positive"),
+            RrpConfigError::ZeroProblemThreshold => {
+                f.write_str("problem_threshold must be positive")
+            }
+            RrpConfigError::ZeroMonitorThreshold => {
+                f.write_str("monitor_threshold must be positive")
+            }
+            RrpConfigError::ZeroCompensation => f.write_str("compensation_every must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for RrpConfigError {}
+
 /// Tunable parameters of the redundant ring layer. Times are in
 /// nanoseconds of protocol time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,48 +191,49 @@ impl RrpConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint:
-    /// `Single` wants exactly 1 network, `Active`/`Passive` at least
-    /// 2, and `ActivePassive` requires `1 < K < N` (paper §7).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed
+    /// [`RrpConfigError`]: `Single` wants exactly 1 network,
+    /// `Active`/`Passive` at least 2, and `ActivePassive` requires
+    /// `1 < K < N` (paper §7).
+    pub fn validate(&self) -> Result<(), RrpConfigError> {
         if self.networks == 0 {
-            return Err("at least one network is required".into());
+            return Err(RrpConfigError::NoNetworks);
         }
         match self.style {
             ReplicationStyle::Single => {
                 if self.networks != 1 {
-                    return Err(format!(
-                        "single (unreplicated) style uses exactly 1 network, got {}",
-                        self.networks
-                    ));
+                    return Err(RrpConfigError::SingleNeedsOneNetwork { got: self.networks });
                 }
             }
             ReplicationStyle::Active | ReplicationStyle::Passive => {
                 if self.networks < 2 {
-                    return Err(format!("{} needs at least 2 networks", self.style));
+                    return Err(RrpConfigError::NeedsTwoNetworks {
+                        style: self.style,
+                        got: self.networks,
+                    });
                 }
             }
             ReplicationStyle::ActivePassive { copies } => {
                 let k = copies as usize;
                 if !(1 < k && k < self.networks) {
-                    return Err(format!(
-                        "active-passive requires 1 < K < N (got K={k}, N={})",
-                        self.networks
-                    ));
+                    return Err(RrpConfigError::ActivePassiveBounds {
+                        copies,
+                        networks: self.networks,
+                    });
                 }
             }
         }
         if self.active_token_timeout == 0 || self.passive_token_timeout == 0 {
-            return Err("token timeouts must be positive".into());
+            return Err(RrpConfigError::ZeroTokenTimeout);
         }
         if self.problem_threshold == 0 {
-            return Err("problem_threshold must be positive".into());
+            return Err(RrpConfigError::ZeroProblemThreshold);
         }
         if self.monitor_threshold == 0 {
-            return Err("monitor_threshold must be positive".into());
+            return Err(RrpConfigError::ZeroMonitorThreshold);
         }
         if self.compensation_every == 0 {
-            return Err("compensation_every must be positive".into());
+            return Err(RrpConfigError::ZeroCompensation);
         }
         Ok(())
     }
@@ -182,13 +253,22 @@ mod tests {
 
     #[test]
     fn single_rejects_multiple_networks() {
-        assert!(RrpConfig::new(ReplicationStyle::Single, 2).validate().is_err());
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::Single, 2).validate(),
+            Err(RrpConfigError::SingleNeedsOneNetwork { got: 2 })
+        );
     }
 
     #[test]
     fn replicated_styles_need_two_networks() {
-        assert!(RrpConfig::new(ReplicationStyle::Active, 1).validate().is_err());
-        assert!(RrpConfig::new(ReplicationStyle::Passive, 1).validate().is_err());
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::Active, 1).validate(),
+            Err(RrpConfigError::NeedsTwoNetworks { style: ReplicationStyle::Active, got: 1 })
+        );
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::Passive, 1).validate(),
+            Err(RrpConfigError::NeedsTwoNetworks { style: ReplicationStyle::Passive, got: 1 })
+        );
     }
 
     #[test]
@@ -213,20 +293,38 @@ mod tests {
     fn zero_network_count_rejected() {
         let mut cfg = RrpConfig::new(ReplicationStyle::Single, 1);
         cfg.networks = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(RrpConfigError::NoNetworks));
     }
 
     #[test]
     fn zero_thresholds_rejected() {
         let mut cfg = RrpConfig::new(ReplicationStyle::Active, 2);
         cfg.problem_threshold = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(RrpConfigError::ZeroProblemThreshold));
         let mut cfg = RrpConfig::new(ReplicationStyle::Passive, 2);
         cfg.monitor_threshold = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(RrpConfigError::ZeroMonitorThreshold));
+        let mut cfg = RrpConfig::new(ReplicationStyle::Passive, 2);
+        cfg.compensation_every = 0;
+        assert_eq!(cfg.validate(), Err(RrpConfigError::ZeroCompensation));
         let mut cfg = RrpConfig::new(ReplicationStyle::Active, 2);
         cfg.active_token_timeout = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(RrpConfigError::ZeroTokenTimeout));
+    }
+
+    #[test]
+    fn config_errors_render_for_operators() {
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::ActivePassive { copies: 3 }, 3)
+                .validate()
+                .unwrap_err()
+                .to_string(),
+            "active-passive requires 1 < K < N (got K=3, N=3)"
+        );
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::Active, 1).validate().unwrap_err().to_string(),
+            "active replication needs at least 2 networks, got 1"
+        );
     }
 
     #[test]

@@ -17,12 +17,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use totem_wire::{NetworkId, NodeId, Packet};
+use totem_wire::{NetworkId, NodeId, Packet, Transition, TRANSITION_BUFFER_CAP};
 
 use crate::active::ActiveState;
 use crate::active_passive::ActivePassiveState;
-use crate::config::{ReplicationStyle, RrpConfig};
-use crate::fault::FaultReport;
+use crate::config::{ReplicationStyle, RrpConfig, RrpConfigError};
+use crate::fault::{FaultReason, FaultReport};
 use crate::passive::PassiveState;
 use crate::pernet::PerNet;
 
@@ -71,6 +71,9 @@ pub struct RrpLayer {
     /// When each currently-faulty network was flagged (drives the
     /// optional automatic reinstatement probation).
     flagged_at: PerNet<Option<u64>>,
+    /// Per-style state-machine transitions since the last
+    /// [`RrpLayer::take_transitions`], for the conformance gate.
+    transitions: Vec<Transition>,
 }
 
 #[derive(Debug)]
@@ -84,14 +87,12 @@ enum Inner {
 impl RrpLayer {
     /// Builds a layer for the given configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg` fails [`RrpConfig::validate`].
-    pub fn new(cfg: RrpConfig) -> Self {
-        // Construction-time validation is the one sanctioned panic in
-        // this crate (budgeted in lint-budget.toml): a bad RrpConfig
-        // is a programming error, not a runtime fault to mask.
-        cfg.validate().expect("invalid RrpConfig"); // lint:allow(no-panic-paths)
+    /// Returns the first [`RrpConfig::validate`] violation; an invalid
+    /// configuration never yields a half-built layer.
+    pub fn new(cfg: RrpConfig) -> Result<Self, RrpConfigError> {
+        cfg.validate()?;
         let inner = match cfg.style {
             ReplicationStyle::Single => Inner::Single,
             ReplicationStyle::Active => Inner::Active(ActiveState::new(&cfg)),
@@ -102,7 +103,30 @@ impl RrpLayer {
         };
         let stats = RrpStats { received: vec![0; cfg.networks], ..RrpStats::default() };
         let flagged_at = PerNet::filled(cfg.networks, None);
-        RrpLayer { cfg, inner, stats, flagged_at }
+        Ok(RrpLayer { cfg, inner, stats, flagged_at, transitions: Vec::new() })
+    }
+
+    /// Drains the state-machine transitions recorded since the last
+    /// call (network fault/reinstate machines and the passive token
+    /// buffer machine), for the conformance trace.
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// Records one state-machine transition. Call sites pass four
+    /// string literals so `cargo xtask conformance` can extract the
+    /// transition table statically; the buffer is capped so an
+    /// un-drained layer cannot grow without bound.
+    fn note_transition(
+        &mut self,
+        machine: &'static str,
+        from: &'static str,
+        event: &'static str,
+        to: &'static str,
+    ) {
+        if self.transitions.len() < TRANSITION_BUFFER_CAP {
+            self.transitions.push(Transition { machine, from, event, to });
+        }
     }
 
     /// Administrative repair: puts a faulty network back in service.
@@ -116,7 +140,7 @@ impl RrpLayer {
     /// ```
     /// # use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
     /// # use totem_wire::NetworkId;
-    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
     /// // Nothing faulty yet: reinstating is a no-op.
     /// assert!(!rrp.reinstate(0, NetworkId::new(1)));
     /// ```
@@ -130,6 +154,26 @@ impl RrpLayer {
             Inner::ActivePassive(s) => s.reinstate(now, net, grace),
         };
         self.flagged_at.set(net, None);
+        if was {
+            let style = self.cfg.style;
+            match style {
+                ReplicationStyle::Single => {}
+                ReplicationStyle::Active => {
+                    self.note_transition("rrp-active-net", "Faulty", "Reinstate", "Operative");
+                }
+                ReplicationStyle::Passive => {
+                    self.note_transition("rrp-passive-net", "Faulty", "Reinstate", "Operative");
+                }
+                ReplicationStyle::ActivePassive { .. } => {
+                    self.note_transition(
+                        "rrp-active-passive-net",
+                        "Faulty",
+                        "Reinstate",
+                        "Operative",
+                    );
+                }
+            }
+        }
         was
     }
 
@@ -137,6 +181,42 @@ impl RrpLayer {
         for ev in events {
             if let RrpEvent::Fault(r) = ev {
                 self.flagged_at.set(r.net, Some(r.at));
+                let style = self.cfg.style;
+                let reason = r.reason;
+                match (style, reason) {
+                    (ReplicationStyle::Active, FaultReason::TokenTimeouts { .. }) => {
+                        self.note_transition(
+                            "rrp-active-net",
+                            "Operative",
+                            "TokenTimeouts",
+                            "Faulty",
+                        );
+                    }
+                    (ReplicationStyle::Passive, FaultReason::ReceptionLag { .. }) => {
+                        self.note_transition(
+                            "rrp-passive-net",
+                            "Operative",
+                            "ReceptionLag",
+                            "Faulty",
+                        );
+                    }
+                    (ReplicationStyle::ActivePassive { .. }, FaultReason::ReceptionLag { .. }) => {
+                        self.note_transition(
+                            "rrp-active-passive-net",
+                            "Operative",
+                            "ReceptionLag",
+                            "Faulty",
+                        );
+                    }
+                    // A style never produces the other style's fault
+                    // reason, and Single has no monitors at all.
+                    (ReplicationStyle::Single, FaultReason::TokenTimeouts { .. })
+                    | (ReplicationStyle::Single, FaultReason::ReceptionLag { .. })
+                    | (ReplicationStyle::Active, FaultReason::ReceptionLag { .. })
+                    | (ReplicationStyle::Passive, FaultReason::TokenTimeouts { .. })
+                    | (ReplicationStyle::ActivePassive { .. }, FaultReason::TokenTimeouts { .. }) =>
+                        {}
+                }
             }
         }
     }
@@ -194,7 +274,7 @@ impl RrpLayer {
     ///
     /// ```
     /// # use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
-    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+    /// let mut rrp = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
     /// let first = rrp.routes_for_message();
     /// let second = rrp.routes_for_message();
     /// assert_eq!(first.len(), 1);
@@ -280,16 +360,19 @@ impl RrpLayer {
         if let Some(count) = self.stats.received.get_mut(net.index()) {
             *count += 1;
         }
+        let mut token_newly_buffered = false;
         let events = match (&mut self.inner, pkt) {
             (Inner::Single, pkt) => vec![RrpEvent::Deliver(pkt, net)],
             (Inner::Active(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
             (Inner::Active(_), pkt) => vec![RrpEvent::Deliver(pkt, net)],
             (Inner::Passive(s), Packet::Token(t)) => {
                 let buffered_before = any_missing;
+                let was_buffering = s.buffering();
                 let ev = s.on_token(now, net, t, any_missing, &self.cfg);
                 if buffered_before && !ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))) {
                     self.stats.tokens_buffered += 1;
                 }
+                token_newly_buffered = !was_buffering && s.buffering();
                 ev
             }
             (Inner::Passive(s), pkt) => {
@@ -317,6 +400,9 @@ impl RrpLayer {
                 ev
             }
         };
+        if token_newly_buffered {
+            self.note_transition("rrp-passive-token", "Idle", "TokenBehindGap", "Buffered");
+        }
         self.note_new_faults(&events);
         events
     }
@@ -326,20 +412,37 @@ impl RrpLayer {
     /// releases a buffered token the moment the gap closes (paper
     /// Figure 4, `recvMsg`).
     pub fn poll_release(&mut self, _now: u64, any_missing: bool) -> Vec<RrpEvent> {
-        match &mut self.inner {
-            Inner::Passive(s) => s.poll_release(any_missing),
-            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => Vec::new(),
+        let (ev, gap_closed) = match &mut self.inner {
+            Inner::Passive(s) => {
+                let was_buffering = s.buffering();
+                let ev = s.poll_release(any_missing);
+                (ev, was_buffering && !s.buffering())
+            }
+            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => (Vec::new(), false),
+        };
+        if gap_closed {
+            self.note_transition("rrp-passive-token", "Buffered", "GapClosed", "Idle");
         }
+        ev
     }
 
     /// Fires any timers with deadline `<= now`.
     pub fn on_timer(&mut self, now: u64) -> Vec<RrpEvent> {
+        let mut buffer_timed_out = false;
         let mut ev = match &mut self.inner {
             Inner::Single => Vec::new(),
             Inner::Active(s) => s.on_timer(now, &self.cfg),
-            Inner::Passive(s) => s.on_timer(now, &self.cfg),
+            Inner::Passive(s) => {
+                let was_buffering = s.buffering();
+                let ev = s.on_timer(now, &self.cfg);
+                buffer_timed_out = was_buffering && !s.buffering();
+                ev
+            }
             Inner::ActivePassive(s) => s.on_timer(now, &self.cfg),
         };
+        if buffer_timed_out {
+            self.note_transition("rrp-passive-token", "Buffered", "TimerExpiry", "Idle");
+        }
         self.stats.tokens_timer_released +=
             ev.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count()
                 as u64;
@@ -423,7 +526,7 @@ mod tests {
 
     #[test]
     fn single_is_transparent_passthrough() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Single, 1));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Single, 1)).unwrap();
         assert_eq!(l.routes_for_message(), vec![NetworkId::new(0)]);
         assert_eq!(l.routes_for_token(), vec![NetworkId::new(0)]);
         let ev = l.on_packet(0, NetworkId::new(0), token(1), true);
@@ -433,7 +536,7 @@ mod tests {
 
     #[test]
     fn active_sends_messages_and_tokens_everywhere() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 3));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 3)).unwrap();
         assert_eq!(l.routes_for_message().len(), 3);
         assert_eq!(l.routes_for_token().len(), 3);
         assert_eq!(l.stats().message_copies_sent, 3);
@@ -442,7 +545,7 @@ mod tests {
 
     #[test]
     fn active_messages_pass_straight_up() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
         let ev = l.on_packet(0, NetworkId::new(1), data(1, 0), false);
         assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Data(_), _)]));
         // The duplicate copy on the other network also goes up — the
@@ -453,7 +556,7 @@ mod tests {
 
     #[test]
     fn passive_alternates_and_buffers_tokens_behind_gaps() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
         let m1 = l.routes_for_message();
         let m2 = l.routes_for_message();
         assert_eq!(m1.len(), 1);
@@ -470,7 +573,7 @@ mod tests {
     fn commit_tokens_pass_up_unconditionally() {
         use totem_wire::CommitToken;
         for style in [ReplicationStyle::Active, ReplicationStyle::Passive] {
-            let mut l = RrpLayer::new(RrpConfig::new(style, 2));
+            let mut l = RrpLayer::new(RrpConfig::new(style, 2)).unwrap();
             let ct = Packet::Commit(CommitToken {
                 ring: RingId::new(NodeId::new(0), 2),
                 round: 0,
@@ -486,7 +589,7 @@ mod tests {
 
     #[test]
     fn timer_release_is_counted() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
         l.on_packet(0, NetworkId::new(0), token(3), true);
         let d = l.next_deadline().unwrap();
         let ev = l.on_timer(d);
@@ -496,7 +599,7 @@ mod tests {
 
     #[test]
     fn received_counters_track_networks() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
         l.on_packet(0, NetworkId::new(0), data(1, 0), false);
         l.on_packet(0, NetworkId::new(1), data(1, 0), false);
         l.on_packet(0, NetworkId::new(1), data(2, 0), false);
@@ -505,7 +608,7 @@ mod tests {
 
     #[test]
     fn problem_counters_report_active_state() {
-        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2));
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
         assert_eq!(l.problem_counters(), vec![0, 0]);
         // One token seen on net0 only; timer expiry penalizes net1.
         l.on_packet(0, NetworkId::new(0), token(1), false);
@@ -513,13 +616,61 @@ mod tests {
         l.on_timer(d);
         assert_eq!(l.problem_counters(), vec![0, 1]);
         // Non-active styles always report zeros.
-        let p = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let p = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
         assert_eq!(p.problem_counters(), vec![0, 0]);
     }
 
     #[test]
-    #[should_panic(expected = "invalid RrpConfig")]
     fn invalid_config_is_rejected_at_construction() {
-        let _ = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 1));
+        use crate::config::RrpConfigError;
+        assert_eq!(
+            RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 1)).map(|_| ()),
+            Err(RrpConfigError::NeedsTwoNetworks { style: ReplicationStyle::Active, got: 1 })
+        );
+    }
+
+    #[test]
+    fn fault_and_reinstate_transitions_are_recorded() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
+        let cfg = l.config().clone();
+        for i in 0..cfg.problem_threshold as u64 {
+            let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+            t.rotation = i;
+            t.seq = Seq::new(i + 1);
+            l.on_packet(i * 10_000_000, NetworkId::new(0), Packet::Token(t), false);
+            if let Some(d) = l.next_deadline() {
+                l.on_timer(d);
+            }
+        }
+        let trs = l.take_transitions();
+        assert!(
+            trs.iter().any(|t| t.machine == "rrp-active-net"
+                && t.from == "Operative"
+                && t.event == "TokenTimeouts"
+                && t.to == "Faulty"),
+            "fault transition missing from {trs:?}"
+        );
+        assert!(l.reinstate(1_000_000_000, NetworkId::new(1)));
+        let trs = l.take_transitions();
+        assert_eq!(trs.len(), 1);
+        assert_eq!(trs[0].event, "Reinstate");
+        assert!(l.take_transitions().is_empty(), "take_transitions drains");
+    }
+
+    #[test]
+    fn passive_token_machine_transitions_are_recorded() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
+        l.on_packet(0, NetworkId::new(0), token(3), true);
+        l.poll_release(1, false);
+        l.on_packet(2, NetworkId::new(1), token(4), true);
+        let d = l.next_deadline().unwrap();
+        l.on_timer(d);
+        let path: Vec<&str> = l
+            .take_transitions()
+            .iter()
+            .filter(|t| t.machine == "rrp-passive-token")
+            .map(|t| t.event)
+            .collect();
+        assert_eq!(path, vec!["TokenBehindGap", "GapClosed", "TokenBehindGap", "TimerExpiry"]);
     }
 }

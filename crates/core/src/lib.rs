@@ -36,8 +36,9 @@
 //! use totem_rrp::{ReplicationStyle, RrpConfig, RrpEvent, RrpLayer};
 //! use totem_wire::{NetworkId, NodeId, Packet, RingId, Token};
 //!
+//! # fn main() -> Result<(), totem_rrp::RrpConfigError> {
 //! let cfg = RrpConfig::new(ReplicationStyle::Active, 2);
-//! let mut rrp = RrpLayer::new(cfg);
+//! let mut rrp = RrpLayer::new(cfg)?;
 //!
 //! // Outgoing packets go to both networks.
 //! assert_eq!(rrp.routes_for_token().len(), 2);
@@ -48,6 +49,8 @@
 //! assert!(up.is_empty(), "first copy alone is not delivered");
 //! let up = rrp.on_packet(2_000, NetworkId::new(1), t, false);
 //! assert!(matches!(up.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -62,7 +65,7 @@ pub mod monitor;
 pub mod passive;
 pub mod pernet;
 
-pub use config::{ReplicationStyle, RrpConfig};
+pub use config::{ReplicationStyle, RrpConfig, RrpConfigError};
 pub use fault::{FaultReason, FaultReport, MonitorKind};
 pub use layer::{RrpEvent, RrpLayer, RrpStats};
 pub use pernet::PerNet;

@@ -168,6 +168,13 @@ impl PassiveState {
         self.flag(now, suspects, MonitorKind::Token)
     }
 
+    /// Whether a token is currently buffered behind missing messages
+    /// (the token timer is running). The layer samples this around
+    /// each call to track the Idle/Buffered machine for conformance.
+    pub fn buffering(&self) -> bool {
+        self.timer.is_some()
+    }
+
     /// Figure 4 `recvMsg` tail: if the token timer is running and the
     /// just-processed message closed the last gap, release the
     /// buffered token immediately.

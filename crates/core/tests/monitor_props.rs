@@ -96,7 +96,7 @@ proptest! {
         drops in proptest::collection::vec(any::<bool>(), 20..120),
     ) {
         let cfg = RrpConfig::new(ReplicationStyle::Active, 2);
-        let mut layer = RrpLayer::new(cfg.clone());
+        let mut layer = RrpLayer::new(cfg.clone()).expect("valid config");
         // Each round is one token rotation, spaced so that a decay
         // interval elapses between consecutive rounds: a loss in every
         // round is still "sporadic" relative to the decay clock.
@@ -128,7 +128,7 @@ proptest! {
         extra in 1u64..20,
     ) {
         let cfg = RrpConfig::new(ReplicationStyle::Active, 2);
-        let mut layer = RrpLayer::new(cfg.clone());
+        let mut layer = RrpLayer::new(cfg.clone()).expect("valid config");
         let round_len = cfg.active_token_timeout + 2; // far below the decay interval
         let mut now = 0;
         let mut rotation = 0;

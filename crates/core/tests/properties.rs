@@ -28,7 +28,7 @@ proptest! {
         // Per rotation, a permutation choice for copy arrival order.
         perm_seed in any::<u64>(),
     ) {
-        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, networks));
+        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, networks)).expect("valid config");
         let mut seed = perm_seed;
         let mut rng = move || {
             seed ^= seed << 13;
@@ -65,7 +65,7 @@ proptest! {
         networks in 2usize..5,
         packets in proptest::collection::vec((0u64..100, 0u8..4), 1..200),
     ) {
-        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, networks));
+        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, networks)).expect("valid config");
         for (i, (seq, net)) in packets.iter().enumerate() {
             let net = NetworkId::new(net % networks as u8);
             let pkt = Packet::Data(totem_wire::DataPacket {
@@ -89,7 +89,7 @@ proptest! {
         lanes in proptest::collection::vec(0usize..4, 1..400),
     ) {
         let networks = 2usize;
-        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, networks));
+        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, networks)).expect("valid config");
         // Each "lane" is a sender whose own packets alternate networks.
         let mut next_net = [0u8; 4];
         for (i, &lane) in lanes.iter().enumerate() {
@@ -127,7 +127,7 @@ proptest! {
     fn passive_gates_tokens_behind_gaps(
         seqs in proptest::collection::vec(1u64..1000, 1..30),
     ) {
-        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2));
+        let mut layer = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).expect("valid config");
         let mut now = 0;
         let mut best: Option<(u64, u64)> = None;
         for (i, &s) in seqs.iter().enumerate() {
@@ -160,7 +160,7 @@ proptest! {
     ) {
         let k = (2 + k_off).min(networks - 1);
         let mut layer =
-            RrpLayer::new(RrpConfig::new(ReplicationStyle::ActivePassive { copies: k as u8 }, networks));
+            RrpLayer::new(RrpConfig::new(ReplicationStyle::ActivePassive { copies: k as u8 }, networks)).expect("valid config");
         let mut seed = perm_seed | 1;
         let mut rng = move || {
             seed ^= seed << 13;

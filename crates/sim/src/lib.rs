@@ -66,5 +66,5 @@ pub use config::{CpuConfig, NetworkConfig, SimConfig};
 pub use fault::{FaultCommand, FaultPlane};
 pub use stats::{NetStats, SimStats};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceKind, TraceLog, TracedPacket};
+pub use trace::{TraceEvent, TraceKind, TraceLog, TracedPacket, TransitionRecord};
 pub use world::{Actor, Ctx, SimWorld};

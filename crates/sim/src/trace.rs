@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use totem_wire::{NetworkId, NodeId};
+use totem_wire::{NetworkId, NodeId, Transition};
 
 use crate::time::SimTime;
 
@@ -83,13 +83,33 @@ pub struct TraceEvent {
     pub packet: TracedPacket,
 }
 
+/// One protocol state-machine transition, attributed to the node and
+/// simulated instant at which it fired. Actors report transitions via
+/// [`crate::Ctx::note_transition`]; the conformance gate
+/// (`cargo xtask conformance`) consumes the log to check that every
+/// documented transition is exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// When the machine moved.
+    pub at: SimTime,
+    /// The node whose machine moved.
+    pub node: NodeId,
+    /// The transition itself (machine, from, event, to).
+    pub transition: Transition,
+}
+
 /// A bounded in-memory trace log (oldest events are dropped once the
-/// capacity is reached).
+/// capacity is reached). Wire-level events and state-machine
+/// transitions are retained in separate ring buffers of the same
+/// capacity, so heavy wire traffic cannot evict the (much rarer)
+/// transition records.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     events: std::collections::VecDeque<TraceEvent>,
+    transitions: std::collections::VecDeque<TransitionRecord>,
     capacity: usize,
     dropped: u64,
+    transitions_dropped: u64,
 }
 
 impl TraceLog {
@@ -97,8 +117,10 @@ impl TraceLog {
     pub fn new(capacity: usize) -> Self {
         TraceLog {
             events: std::collections::VecDeque::new(),
+            transitions: std::collections::VecDeque::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            transitions_dropped: 0,
         }
     }
 
@@ -108,6 +130,14 @@ impl TraceLog {
             self.dropped += 1;
         }
         self.events.push_back(ev);
+    }
+
+    pub(crate) fn push_transition(&mut self, rec: TransitionRecord) {
+        if self.transitions.len() == self.capacity {
+            self.transitions.pop_front();
+            self.transitions_dropped += 1;
+        }
+        self.transitions.push_back(rec);
     }
 
     /// All retained events in time order.
@@ -139,6 +169,21 @@ impl TraceLog {
     pub fn token_itinerary(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(|e| matches!(e.packet, TracedPacket::Token { .. }))
     }
+
+    /// All retained state-machine transitions in time order.
+    pub fn transitions(&self) -> impl Iterator<Item = &TransitionRecord> {
+        self.transitions.iter()
+    }
+
+    /// Number of retained transition records.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// How many transition records were evicted at capacity.
+    pub fn transitions_dropped(&self) -> u64 {
+        self.transitions_dropped
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +211,25 @@ mod tests {
         assert_eq!(log.dropped(), 2);
         let first = log.events().next().unwrap();
         assert_eq!(first.at, SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn transition_buffer_is_bounded_separately() {
+        let mut log = TraceLog::new(2);
+        for i in 0..4u64 {
+            log.push(ev(i, TraceKind::Sent));
+            log.push_transition(TransitionRecord {
+                at: SimTime::from_nanos(i),
+                node: NodeId::new(0),
+                transition: Transition { machine: "m", from: "A", event: "E", to: "B" },
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.transition_count(), 2);
+        assert_eq!(log.transitions_dropped(), 2);
+        let last = log.transitions().last().unwrap();
+        assert_eq!(last.at, SimTime::from_nanos(3));
+        assert_eq!(last.transition.to_string(), "m: A --E--> B");
     }
 
     #[test]

@@ -28,14 +28,14 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use totem_wire::{frame::wire_frame_len, NetworkId, NodeId, Packet};
+use totem_wire::{frame::wire_frame_len, NetworkId, NodeId, Packet, Transition};
 
 use crate::config::SimConfig;
 use crate::event::EventQueue;
 use crate::fault::{FaultCommand, FaultPlane};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, TraceKind, TraceLog, TracedPacket};
+use crate::trace::{TraceEvent, TraceKind, TraceLog, TracedPacket, TransitionRecord};
 
 /// Protocol logic hosted by the simulator.
 ///
@@ -72,6 +72,7 @@ pub struct Ctx<'a> {
     sends: &'a mut Vec<(NetworkId, Option<NodeId>, Packet)>,
     alarm: &'a mut Option<Option<SimTime>>,
     cpu: &'a mut SimDuration,
+    transitions: &'a mut Vec<Transition>,
 }
 
 impl Ctx<'_> {
@@ -124,6 +125,13 @@ impl Ctx<'_> {
     /// sends queue behind it.
     pub fn consume_cpu(&mut self, cost: SimDuration) {
         *self.cpu = *self.cpu + cost;
+    }
+
+    /// Reports a protocol state-machine transition. Recorded into the
+    /// world's [`TraceLog`] (timestamped and attributed to this node)
+    /// when tracing is enabled; discarded otherwise.
+    pub fn note_transition(&mut self, transition: Transition) {
+        self.transitions.push(transition);
     }
 }
 
@@ -179,6 +187,7 @@ pub struct SimWorld<A> {
     // Scratch buffers reused across dispatches.
     scratch_sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
     scratch_alarm: Option<Option<SimTime>>,
+    scratch_transitions: Vec<Transition>,
     trace: Option<TraceLog>,
 }
 
@@ -220,6 +229,7 @@ impl<A: Actor> SimWorld<A> {
             started: false,
             scratch_sends: Vec::new(),
             scratch_alarm: None,
+            scratch_transitions: Vec::new(),
             trace: None,
             cfg,
         }
@@ -295,10 +305,11 @@ impl<A: Actor> SimWorld<A> {
         f: impl FnOnce(&mut A, SimTime, &mut Ctx<'_>) -> R,
     ) -> R {
         let now = self.now;
-        let (r, sends, alarm, cpu) = {
+        let (r, sends, alarm, cpu, transitions) = {
             let mut sends = std::mem::take(&mut self.scratch_sends);
             let mut alarm = self.scratch_alarm.take();
             let mut cpu = SimDuration::ZERO;
+            let mut transitions = std::mem::take(&mut self.scratch_transitions);
             let mut ctx = Ctx {
                 me: id,
                 now,
@@ -307,11 +318,12 @@ impl<A: Actor> SimWorld<A> {
                 sends: &mut sends,
                 alarm: &mut alarm,
                 cpu: &mut cpu,
+                transitions: &mut transitions,
             };
             let r = f(&mut self.actors[id.index()], now, &mut ctx);
-            (r, sends, alarm, cpu)
+            (r, sends, alarm, cpu, transitions)
         };
-        self.apply_effects(id, now, sends, alarm, cpu);
+        self.apply_effects(id, now, sends, alarm, cpu, transitions);
         r
     }
 
@@ -385,7 +397,17 @@ impl<A: Actor> SimWorld<A> {
         mut sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
         alarm: Option<Option<SimTime>>,
         cpu: SimDuration,
+        mut transitions: Vec<Transition>,
     ) {
+        if let Some(log) = self.trace.as_mut() {
+            for transition in transitions.drain(..) {
+                log.push_transition(TransitionRecord { at: now, node, transition });
+            }
+        } else {
+            transitions.clear();
+        }
+        // Return the scratch buffer.
+        self.scratch_transitions = transitions;
         for (net, dst, pkt) in sends.drain(..) {
             // The send call consumes sender CPU; the packet reaches the
             // NIC when the call completes.

@@ -186,12 +186,14 @@ impl SrpNode {
                 // Someone needs a membership change (a joiner, or a
                 // member that lost the token): shift to Gather and
                 // process the join there.
+                self.note_transition("srp-membership", "Operational", "JoinReceived", "Gather");
                 let mut events = self.enter_gather(now, Vec::new());
                 events.extend(self.handle_join(now, j));
                 events
             }
             StateImpl::Commit(c) => {
                 if j.ring_seq >= c.ring.seq || !c.members.contains(&j.sender) {
+                    self.note_transition("srp-membership", "Commit", "JoinReceived", "Gather");
                     let mut events = self.enter_gather(now, Vec::new());
                     events.extend(self.handle_join(now, j));
                     events
@@ -201,6 +203,7 @@ impl SrpNode {
             }
             StateImpl::Recovery(r) => {
                 if j.ring_seq >= r.new.ring.seq || !r.new.members.contains(&j.sender) {
+                    self.note_transition("srp-membership", "Recovery", "JoinReceived", "Gather");
                     let mut events = self.enter_gather(now, Vec::new());
                     events.extend(self.handle_join(now, j));
                     events
@@ -285,6 +288,7 @@ impl SrpNode {
         if candidate.len() == 1 {
             // Singleton ring: the commit token "circulates" through us
             // alone — process it inline instead of the wire.
+            self.note_transition("srp-membership", "Gather", "ConsensusReached", "Commit");
             self.state = StateImpl::Commit(CommitCtx {
                 ring: new_ring,
                 members: candidate,
@@ -293,6 +297,7 @@ impl SrpNode {
             return self.handle_commit(now, ct);
         }
         let succ = next_after(&candidate, self.me);
+        self.note_transition("srp-membership", "Gather", "ConsensusReached", "Commit");
         self.state = StateImpl::Commit(CommitCtx {
             ring: new_ring,
             members: candidate,
@@ -345,6 +350,22 @@ impl SrpNode {
                     return Vec::new();
                 };
                 self.fill_commit_entry(entry);
+                match &self.state {
+                    StateImpl::Gather(_) => {
+                        self.note_transition("srp-membership", "Gather", "CommitRound0", "Commit");
+                    }
+                    StateImpl::Operational(_) => {
+                        self.note_transition(
+                            "srp-membership",
+                            "Operational",
+                            "CommitRound0",
+                            "Commit",
+                        );
+                    }
+                    // Unreachable: this arm of the outer match is only
+                    // entered from Gather or Operational.
+                    StateImpl::Commit(_) | StateImpl::Recovery(_) => {}
+                }
                 let members: Vec<NodeId> = ct.members().collect();
                 let succ = next_after(&members, self.me);
                 self.state = StateImpl::Commit(CommitCtx {
@@ -377,6 +398,12 @@ impl SrpNode {
                     } else {
                         // An incomplete round-0 token returning to the
                         // rep means a member was skipped; restart.
+                        self.note_transition(
+                            "srp-membership",
+                            "Commit",
+                            "IncompleteRound",
+                            "Gather",
+                        );
                         self.enter_gather(now, Vec::new())
                     }
                 } else if ct.round == 1 {
@@ -408,13 +435,19 @@ impl SrpNode {
     // ------------------------------------------------------------------
 
     fn enter_recovery(&mut self, now: Nanos, ct: &CommitToken) -> Vec<SrpEvent> {
+        // Both call sites hold a complete commit-token round in the
+        // Commit state.
+        self.note_transition("srp-membership", "Commit", "RoundComplete", "Recovery");
         let members: Vec<NodeId> = ct.members().collect();
         let new = RingCtx::new(ct.ring, members);
         let my_old_ring = self.ring.as_ref().map(|r| r.ring).unwrap_or(RingId::new(self.me, 0));
         let group: Vec<&MembEntry> =
             ct.entries.iter().filter(|e| e.old_ring == my_old_ring).collect();
-        let plan_low = group.iter().map(|e| e.my_aru).min().unwrap_or(Seq::ZERO);
-        let plan_high = group.iter().map(|e| e.high_delivered).max().unwrap_or(Seq::ZERO);
+        // Serial-number min/max: the recovery plan must stay correct
+        // when the old ring's sequence numbers straddle the wrap.
+        let plan_low = group.iter().map(|e| e.my_aru).reduce(Seq::serial_min).unwrap_or(Seq::ZERO);
+        let plan_high =
+            group.iter().map(|e| e.high_delivered).reduce(Seq::serial_max).unwrap_or(Seq::ZERO);
         let token = TokenCtx {
             loss_deadline: Some(now + self.cfg.token_loss_timeout),
             ..Default::default()
@@ -443,7 +476,7 @@ impl SrpNode {
             if !rec.new.window.insert(pkt) {
                 return Vec::new();
             }
-            if rec.token.sent_token.as_ref().is_some_and(|t| seq > t.seq) {
+            if rec.token.sent_token.as_ref().is_some_and(|t| seq.follows(t.seq)) {
                 rec.token.sent_token = None;
                 rec.token.retx_deadline = None;
             }
@@ -477,11 +510,10 @@ impl SrpNode {
         if t.ring != rec.new.ring {
             return events;
         }
-        let key = (t.rotation, t.seq.as_u64());
-        if rec.token.last_key.is_some_and(|last| key <= last) {
+        if !rec.token.is_fresh(t.rotation, t.seq) {
             return events;
         }
-        rec.token.last_key = Some(key);
+        rec.token.last_key = Some((t.rotation, t.seq.as_u64()));
         rec.token.sent_token = None;
         rec.token.retx_deadline = None;
         rec.token.loss_deadline = Some(now + self.cfg.token_loss_timeout);
@@ -543,11 +575,11 @@ impl SrpNode {
 
         // aru bookkeeping on the new ring.
         let my_aru = rec.new.window.my_aru();
-        if my_aru < t.aru {
+        if my_aru.precedes(t.aru) {
             t.aru = my_aru;
             t.aru_id = Some(self.me);
         } else if t.aru_id == Some(self.me) {
-            if my_aru >= t.seq {
+            if my_aru.at_or_after(t.seq) {
                 t.aru = t.seq;
                 t.aru_id = None;
             } else {
@@ -659,6 +691,7 @@ impl SrpNode {
             let base = token.loss_deadline.unwrap_or(0).saturating_sub(self.cfg.token_loss_timeout);
             token.announce_deadline = Some(base + self.cfg.merge_detect_interval);
         }
+        self.note_transition("srp-membership", "Recovery", "RecoveryComplete", "Operational");
         self.state = StateImpl::Operational(token);
         events
     }

@@ -18,7 +18,10 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use totem_wire::token::MAX_RTR;
-use totem_wire::{Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, Token};
+use totem_wire::{
+    Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, Token, Transition,
+    TRANSITION_BUFFER_CAP,
+};
 
 use crate::config::{DeliveryGuarantee, SrpConfig};
 use crate::events::{Delivered, SrpEvent};
@@ -167,7 +170,19 @@ pub(crate) struct TokenCtx {
 
 impl TokenCtx {
     pub(crate) fn low_water(&self) -> Seq {
-        Seq::new(self.aru_history.iter().copied().min().unwrap_or(0))
+        self.aru_history.iter().copied().map(Seq::new).reduce(Seq::serial_min).unwrap_or(Seq::ZERO)
+    }
+
+    /// Whether a token stamped `(rotation, seq)` is fresh relative to
+    /// the last one processed. Sequence numbers are compared in
+    /// serial-number order, so freshness survives the wrap boundary.
+    pub(crate) fn is_fresh(&self, rotation: u64, seq: Seq) -> bool {
+        match self.last_key {
+            None => true,
+            Some((last_rot, last_seq)) => {
+                rotation > last_rot || (rotation == last_rot && seq.follows(Seq::new(last_seq)))
+            }
+        }
     }
 
     pub(crate) fn push_aru(&mut self, aru: Seq) {
@@ -205,6 +220,9 @@ pub struct SrpNode {
     /// propose something fresh).
     pub(crate) max_ring_seq: u64,
     pub(crate) stats: SrpStats,
+    /// Membership state-machine transitions since the last
+    /// [`SrpNode::take_transitions`] (conformance coverage records).
+    pub(crate) transitions: Vec<Transition>,
 }
 
 impl SrpNode {
@@ -248,6 +266,7 @@ impl SrpNode {
             reassembler: Reassembler::new(),
             max_ring_seq: 1,
             stats: SrpStats::default(),
+            transitions: Vec::new(),
         })
     }
 
@@ -273,6 +292,7 @@ impl SrpNode {
             reassembler: Reassembler::new(),
             max_ring_seq: 0,
             stats: SrpStats::default(),
+            transitions: Vec::new(),
         })
     }
 
@@ -307,6 +327,28 @@ impl SrpNode {
         &self.stats
     }
 
+    /// Drains the membership state-machine transitions recorded since
+    /// the previous call (for conformance coverage; see
+    /// `spec/protocol.toml`).
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    /// Records one membership transition. The four arguments must be
+    /// string literals naming `spec/protocol.toml` entries — the
+    /// conformance analyzer extracts them from the source text.
+    pub(crate) fn note_transition(
+        &mut self,
+        machine: &'static str,
+        from: &'static str,
+        event: &'static str,
+        to: &'static str,
+    ) {
+        if self.transitions.len() < TRANSITION_BUFFER_CAP {
+            self.transitions.push(Transition { machine, from, event, to });
+        }
+    }
+
     /// Number of application messages waiting in the send queue.
     pub fn send_queue_len(&self) -> usize {
         self.send_queue.len()
@@ -327,7 +369,10 @@ impl SrpNode {
     /// the initial join broadcast and arms the membership timers.
     pub fn start(&mut self, now: Nanos) -> Vec<SrpEvent> {
         match self.state {
-            StateImpl::Gather(_) => self.enter_gather(now, Vec::new()),
+            StateImpl::Gather(_) => {
+                self.note_transition("srp-membership", "Gather", "Restart", "Gather");
+                self.enter_gather(now, Vec::new())
+            }
             StateImpl::Operational(_) | StateImpl::Commit(_) | StateImpl::Recovery(_) => Vec::new(),
         }
     }
@@ -407,11 +452,11 @@ impl SrpNode {
         // ever lowers it, and the equal-to-seq advancement rule never
         // fires again).
         let my_aru = ring.window.my_aru();
-        if my_aru < t.aru {
+        if my_aru.precedes(t.aru) {
             t.aru = my_aru;
             t.aru_id = Some(self.me);
         } else if t.aru_id == Some(self.me) {
-            if my_aru >= t.seq {
+            if my_aru.at_or_after(t.seq) {
                 t.aru = t.seq;
                 t.aru_id = None;
             } else {
@@ -512,6 +557,16 @@ impl SrpNode {
                 // Token loss: the ring has failed; start the
                 // membership protocol.
                 if tok.loss_deadline.is_some_and(|d| d <= now) {
+                    if is_recovery {
+                        self.note_transition("srp-membership", "Recovery", "TokenLoss", "Gather");
+                    } else {
+                        self.note_transition(
+                            "srp-membership",
+                            "Operational",
+                            "TokenLoss",
+                            "Gather",
+                        );
+                    }
                     events.extend(self.enter_gather(now, Vec::new()));
                 }
             }
@@ -521,6 +576,7 @@ impl SrpNode {
             StateImpl::Commit(c) => {
                 if c.loss_deadline <= now {
                     // Commit token lost; reform.
+                    self.note_transition("srp-membership", "Commit", "TokenLoss", "Gather");
                     events.extend(self.enter_gather(now, Vec::new()));
                 }
             }
@@ -541,6 +597,7 @@ impl SrpNode {
             let Some(ring) = self.ring.as_ref() else { return Vec::new() };
             if pkt.ring != ring.ring {
                 if !ring.members.contains(&pkt.sender) || pkt.ring.seq > ring.ring.seq {
+                    self.note_transition("srp-membership", "Operational", "ForeignData", "Gather");
                     return self.enter_gather(now, Vec::new());
                 }
                 return Vec::new(); // stale traffic from our own past
@@ -561,7 +618,7 @@ impl SrpNode {
                 // Evidence our forwarded token was received: someone
                 // later on the ring broadcast a higher sequence number
                 // (paper §2).
-                if tok.sent_token.as_ref().is_some_and(|t| seq > t.seq) {
+                if tok.sent_token.as_ref().is_some_and(|t| seq.follows(t.seq)) {
                     tok.sent_token = None;
                     tok.retx_deadline = None;
                 }
@@ -616,6 +673,7 @@ impl SrpNode {
             if t.ring != ring.ring {
                 if t.ring.seq > ring.ring.seq {
                     // A newer ring exists that we are not on: rejoin.
+                    self.note_transition("srp-membership", "Operational", "ForeignToken", "Gather");
                     return self.enter_gather(now, Vec::new());
                 }
                 return Vec::new();
@@ -625,11 +683,10 @@ impl SrpNode {
         let Some((tok, ring)) = operational_parts(&mut self.state, &mut self.ring) else {
             return events;
         };
-        let key = (t.rotation, t.seq.as_u64());
-        if tok.last_key.is_some_and(|last| key <= last) {
+        if !tok.is_fresh(t.rotation, t.seq) {
             return events; // retransmitted or stale token
         }
-        tok.last_key = Some(key);
+        tok.last_key = Some((t.rotation, t.seq.as_u64()));
         tok.hold = None;
         tok.hold_deadline = None;
         // Receiving a fresh token proves the previous one circulated.
@@ -685,11 +742,11 @@ impl SrpNode {
 
         // 3. All-received-up-to bookkeeping.
         let my_aru = ring.window.my_aru();
-        if my_aru < t.aru {
+        if my_aru.precedes(t.aru) {
             t.aru = my_aru;
             t.aru_id = Some(self.me);
         } else if t.aru_id == Some(self.me) {
-            if my_aru >= t.seq {
+            if my_aru.at_or_after(t.seq) {
                 t.aru = t.seq;
                 t.aru_id = None;
             } else {

@@ -51,6 +51,16 @@ impl ReceiveWindow {
         Self::default()
     }
 
+    /// A window whose watermarks start at `aru` instead of
+    /// [`Seq::ZERO`]: the first expected packet is `aru.next()`.
+    ///
+    /// Production rings always start at zero; this constructor exists
+    /// so tests can place the window just below the `u64::MAX` wrap
+    /// boundary and exercise the serial-number arithmetic across it.
+    pub fn starting_at(aru: Seq) -> Self {
+        ReceiveWindow { my_aru: aru, high_seen: aru, delivered_up_to: aru, ..Self::default() }
+    }
+
     /// Inserts a received packet. Returns `true` if the packet was
     /// new, `false` if it was a duplicate (already present or already
     /// beneath the contiguity watermark).
@@ -59,25 +69,24 @@ impl ReceiveWindow {
         if s == 0 {
             return false; // sequence numbers start at 1
         }
-        if pkt.seq <= self.my_aru || self.packets.contains_key(&s) {
+        if !pkt.seq.follows(self.my_aru) || self.packets.contains_key(&s) {
             self.duplicates += 1;
             return false;
         }
         self.note_seq(pkt.seq);
         self.packets.insert(s, pkt);
-        // Advance the contiguity watermark.
-        let mut aru = self.my_aru.as_u64();
-        while self.packets.contains_key(&(aru + 1)) {
-            aru += 1;
+        // Advance the contiguity watermark (stepping with `next`, so
+        // the walk is correct across the wrap boundary).
+        while self.packets.contains_key(&self.my_aru.next().as_u64()) {
+            self.my_aru = self.my_aru.next();
         }
-        self.my_aru = Seq::new(aru);
         true
     }
 
     /// Records that sequence number `seq` exists on the ring (learned
     /// from a token or another packet's header).
     pub fn note_seq(&mut self, seq: Seq) {
-        if seq > self.high_seen {
+        if seq.follows(self.high_seen) {
             self.high_seen = seq;
         }
     }
@@ -102,16 +111,16 @@ impl ReceiveWindow {
     /// releasing a buffered token (paper Figure 4,
     /// `anyMessagesMissing`).
     pub fn any_missing(&self) -> bool {
-        self.my_aru < self.high_seen
+        self.high_seen.follows(self.my_aru)
     }
 
     /// The missing sequence numbers in `(my_aru, high_seen]`, capped
     /// at `limit` (these become retransmission requests on the token).
     pub fn missing(&self, limit: usize) -> Vec<Seq> {
         let mut out = Vec::new();
-        for s in self.my_aru.as_u64() + 1..=self.high_seen.as_u64() {
-            if !self.packets.contains_key(&s) {
-                out.push(Seq::new(s));
+        for s in self.my_aru.missing_until(self.high_seen) {
+            if !self.packets.contains_key(&s.as_u64()) {
+                out.push(s);
                 if out.len() >= limit {
                     break;
                 }
@@ -131,28 +140,27 @@ impl ReceiveWindow {
     /// Advances the delivery cursor; the packets stay buffered for
     /// retransmission until [`ReceiveWindow::discard_up_to`].
     pub fn take_deliverable(&mut self, up_to: Seq) -> Vec<DataPacket> {
-        let hi = up_to.min(self.my_aru);
+        let hi = up_to.serial_min(self.my_aru);
         let mut out = Vec::new();
         let mut delivered_to = self.delivered_up_to;
-        for s in self.delivered_up_to.as_u64() + 1..=hi.as_u64() {
+        for s in self.delivered_up_to.missing_until(hi) {
             // Contiguity below `my_aru` is an invariant; if it is ever
             // violated, stop at the gap rather than skip past it.
-            let Some(pkt) = self.packets.get(&s) else { break };
+            let Some(pkt) = self.packets.get(&s.as_u64()) else { break };
             out.push(pkt.clone());
-            delivered_to = Seq::new(s);
+            delivered_to = s;
         }
         self.delivered_up_to = delivered_to;
         out
     }
 
-    /// Discards buffered packets with `seq <= floor`. The caller must
-    /// guarantee no ring member can still request them (the token's
-    /// rotation-minimum `aru`) and that they have been delivered
-    /// locally.
+    /// Discards buffered packets serially at or below `floor`. The
+    /// caller must guarantee no ring member can still request them
+    /// (the token's rotation-minimum `aru`) and that they have been
+    /// delivered locally.
     pub fn discard_up_to(&mut self, floor: Seq) {
-        let floor = floor.min(self.delivered_up_to);
-        let keep = self.packets.split_off(&(floor.as_u64() + 1));
-        self.packets = keep;
+        let floor = floor.serial_min(self.delivered_up_to);
+        self.packets.retain(|_, p| p.seq.follows(floor));
     }
 
     /// Number of buffered packets.
@@ -166,13 +174,11 @@ impl ReceiveWindow {
     }
 
     /// Iterates over buffered packets with `seq` in `(lo, hi]`, in
-    /// order (used by membership recovery to retransmit old-ring
-    /// packets).
+    /// serial order (used by membership recovery to retransmit
+    /// old-ring packets). Walks sequence numbers with [`Seq::next`],
+    /// so the interval is correct across the wrap boundary.
     pub fn range(&self, lo: Seq, hi: Seq) -> impl Iterator<Item = &DataPacket> {
-        let start = lo.as_u64() + 1;
-        let end = hi.as_u64().saturating_add(1);
-        let span = if start >= end { start..start } else { start..end };
-        self.packets.range(span).map(|(_, p)| p)
+        lo.missing_until(hi).filter_map(move |s| self.packets.get(&s.as_u64()))
     }
 }
 
@@ -284,5 +290,76 @@ mod tests {
         let mut w = ReceiveWindow::new();
         assert!(!w.insert(pkt(0)));
         assert_eq!(w.my_aru(), Seq::ZERO);
+    }
+
+    // ---- wrap boundary (satellite: RFC 1982-style serial ordering) ----
+
+    #[test]
+    fn aru_advances_across_the_wrap_boundary() {
+        let start = Seq::new(u64::MAX - 2);
+        let mut w = ReceiveWindow::starting_at(start);
+        // MAX-1, MAX, then the wrap to 1 (zero is skipped), then 2.
+        for s in [u64::MAX - 1, u64::MAX, 1, 2] {
+            assert!(w.insert(pkt(s)), "seq {s} rejected");
+        }
+        assert_eq!(w.my_aru(), Seq::new(2));
+        assert!(!w.any_missing());
+    }
+
+    #[test]
+    fn gaps_and_retransmission_requests_across_the_wrap() {
+        let start = Seq::new(u64::MAX - 1);
+        let mut w = ReceiveWindow::starting_at(start);
+        w.insert(pkt(u64::MAX));
+        w.insert(pkt(2)); // gap at 1 (post-wrap)
+        assert_eq!(w.my_aru(), Seq::new(u64::MAX));
+        assert!(w.any_missing());
+        assert_eq!(w.missing(10), vec![Seq::new(1)]);
+        w.insert(pkt(1));
+        assert_eq!(w.my_aru(), Seq::new(2));
+        assert_eq!(w.missing(10), Vec::<Seq>::new());
+    }
+
+    #[test]
+    fn delivery_and_discard_across_the_wrap() {
+        let start = Seq::new(u64::MAX - 1);
+        let mut w = ReceiveWindow::starting_at(start);
+        for s in [u64::MAX, 1, 2, 3] {
+            w.insert(pkt(s));
+        }
+        let first = w.take_deliverable(Seq::new(1));
+        assert_eq!(first.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![u64::MAX, 1]);
+        let rest = w.take_deliverable(Seq::new(3));
+        assert_eq!(rest.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![2, 3]);
+        // Discard up to the post-wrap floor: the pre-wrap packet at
+        // MAX is serially below 2 and must go; 3 must stay.
+        w.discard_up_to(Seq::new(2));
+        assert!(w.get(Seq::new(u64::MAX)).is_none());
+        assert!(w.get(Seq::new(1)).is_none());
+        assert!(w.get(Seq::new(3)).is_some());
+    }
+
+    #[test]
+    fn pre_wrap_duplicates_are_suppressed_after_the_wrap() {
+        let start = Seq::new(u64::MAX - 1);
+        let mut w = ReceiveWindow::starting_at(start);
+        w.insert(pkt(u64::MAX));
+        w.insert(pkt(1));
+        // A stale retransmission of the pre-wrap packet is a duplicate,
+        // not a "future" packet, even though its raw value is larger.
+        assert!(!w.insert(pkt(u64::MAX)));
+        assert_eq!(w.duplicates(), 1);
+    }
+
+    #[test]
+    fn range_spans_the_wrap_boundary() {
+        let start = Seq::new(u64::MAX - 1);
+        let mut w = ReceiveWindow::starting_at(start);
+        for s in [u64::MAX, 1, 2] {
+            w.insert(pkt(s));
+        }
+        let seqs: Vec<u64> =
+            w.range(Seq::new(u64::MAX - 1), Seq::new(2)).map(|p| p.seq.as_u64()).collect();
+        assert_eq!(seqs, vec![u64::MAX, 1, 2]);
     }
 }

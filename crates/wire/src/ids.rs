@@ -154,9 +154,14 @@ impl fmt::Display for RingId {
 /// on the ring; each node increments it for every packet it sends
 /// while holding the token, which imposes the total order.
 ///
-/// `Seq` is 64 bits wide, so wrap-around is not a practical concern;
-/// arithmetic still goes through named methods to keep call sites
-/// auditable.
+/// Totem's global sequence numbers wrap: the paper treats them as a
+/// circular space, and so does this type. [`Seq::next`] wraps past
+/// `u64::MAX` (skipping the reserved [`Seq::ZERO`], which means "no
+/// packet broadcast yet"), and order-sensitive protocol code must
+/// compare with the RFC 1982-style serial-number methods
+/// ([`Seq::follows`], [`Seq::serial_max`], ...) rather than the
+/// derived `Ord`, which is only raw-value order (used for hashing,
+/// display and map keys, never for protocol decisions across a wrap).
 ///
 /// # Example
 ///
@@ -165,6 +170,11 @@ impl fmt::Display for RingId {
 /// let s = Seq::ZERO.next();
 /// assert_eq!(s, Seq::new(1));
 /// assert_eq!(s.gap_from(Seq::ZERO), 1);
+/// // Wrap boundary: MAX + 1 skips the reserved zero...
+/// let wrapped = Seq::new(u64::MAX).next();
+/// assert_eq!(wrapped, Seq::new(1));
+/// // ...and serial comparison still orders it after MAX.
+/// assert!(wrapped.follows(Seq::new(u64::MAX)));
 /// ```
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
@@ -174,6 +184,11 @@ pub struct Seq(u64);
 impl Seq {
     /// The zero sequence number: "no packet broadcast yet".
     pub const ZERO: Seq = Seq(0);
+
+    /// Half the sequence space; the serial-number comparison horizon
+    /// (RFC 1982). Two live sequence numbers on one ring are always
+    /// far less than this far apart.
+    const HALF: u64 = 1 << 63;
 
     /// Creates a sequence number from its raw value.
     pub const fn new(raw: u64) -> Self {
@@ -185,24 +200,89 @@ impl Seq {
         self.0
     }
 
-    /// Returns the next sequence number, saturating at `u64::MAX`
-    /// (unreachable in any realistic execution: at one packet per
-    /// nanosecond the counter lasts five centuries).
+    /// Returns the next sequence number, wrapping past `u64::MAX` and
+    /// skipping the reserved [`Seq::ZERO`] sentinel, as the paper's
+    /// circular global sequence space requires.
     pub fn next(self) -> Seq {
-        Seq(self.0.saturating_add(1))
+        match self.0.wrapping_add(1) {
+            0 => Seq(1),
+            n => Seq(n),
+        }
+    }
+
+    /// Serial-number (RFC 1982) "strictly after": true when `self` is
+    /// within half the sequence space ahead of `other`, including
+    /// across the wrap boundary.
+    pub fn follows(self, other: Seq) -> bool {
+        self.0 != other.0 && self.0.wrapping_sub(other.0) < Self::HALF
+    }
+
+    /// Serial-number "at or after": [`Seq::follows`] or equal.
+    pub fn at_or_after(self, other: Seq) -> bool {
+        self.0 == other.0 || self.follows(other)
+    }
+
+    /// Serial-number "strictly before": the dual of [`Seq::follows`].
+    pub fn precedes(self, other: Seq) -> bool {
+        other.follows(self)
+    }
+
+    /// The serially later of `self` and `other`.
+    pub fn serial_max(self, other: Seq) -> Seq {
+        if self.follows(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The serially earlier of `self` and `other`.
+    pub fn serial_min(self, other: Seq) -> Seq {
+        if self.follows(other) {
+            other
+        } else {
+            self
+        }
     }
 
     /// Returns how many sequence numbers lie strictly after `earlier`
-    /// up to and including `self` (zero if `self <= earlier`).
+    /// up to and including `self` (zero if `self` is at or serially
+    /// before `earlier`), wrapping across the top of the space.
     pub fn gap_from(self, earlier: Seq) -> u64 {
-        self.0.saturating_sub(earlier.0)
+        if self.follows(earlier) {
+            // A wrap step skips the reserved zero, so a distance that
+            // crosses it counts one fewer actual sequence number.
+            let raw = self.0.wrapping_sub(earlier.0);
+            if self.0 < earlier.0 {
+                raw - 1
+            } else {
+                raw
+            }
+        } else {
+            0
+        }
     }
 
     /// Iterates over all sequence numbers in `(self, until]`, i.e. the
     /// numbers a node is missing when its high watermark is `self`
-    /// and the ring has reached `until`.
+    /// and the ring has reached `until`. Steps with [`Seq::next`], so
+    /// the range is correct across the wrap boundary.
     pub fn missing_until(self, until: Seq) -> impl Iterator<Item = Seq> {
-        (self.0 + 1..=until.0).map(Seq)
+        let mut cur = self;
+        // `ZERO` is the reserved "nothing broadcast yet" sentinel, so
+        // nothing can be missing up to it (and it is unreachable by
+        // `next`, which would otherwise make the walk unbounded).
+        let mut done = until == Seq::ZERO || !until.follows(self);
+        core::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            cur = cur.next();
+            if cur == until {
+                done = true;
+            }
+            Some(cur)
+        })
     }
 }
 
@@ -262,6 +342,44 @@ mod tests {
     #[test]
     fn seq_zero_is_default() {
         assert_eq!(Seq::default(), Seq::ZERO);
+    }
+
+    #[test]
+    fn seq_next_wraps_past_max_skipping_zero() {
+        assert_eq!(Seq::new(u64::MAX).next(), Seq::new(1));
+        assert_eq!(Seq::new(u64::MAX - 1).next(), Seq::new(u64::MAX));
+    }
+
+    #[test]
+    fn serial_order_across_the_wrap_boundary() {
+        let before = Seq::new(u64::MAX - 2);
+        let after = Seq::new(3); // five `next` steps later (zero skipped)
+        assert!(after.follows(before));
+        assert!(!before.follows(after));
+        assert!(before.precedes(after));
+        assert!(after.at_or_after(before));
+        assert!(after.at_or_after(after));
+        assert_eq!(before.serial_max(after), after);
+        assert_eq!(before.serial_min(after), before);
+        // Raw `Ord` disagrees across the wrap — that is exactly why
+        // protocol code must use the serial methods.
+        assert!(after < before);
+    }
+
+    #[test]
+    fn serial_gap_counts_steps_across_the_wrap() {
+        // MAX -> 1 -> 2 -> 3: three next() steps, zero skipped.
+        assert_eq!(Seq::new(3).gap_from(Seq::new(u64::MAX)), 3);
+        assert_eq!(Seq::new(u64::MAX).gap_from(Seq::new(3)), 0);
+        assert_eq!(Seq::new(1).gap_from(Seq::new(u64::MAX)), 1);
+    }
+
+    #[test]
+    fn missing_until_walks_across_the_wrap() {
+        let missing: Vec<Seq> = Seq::new(u64::MAX - 1).missing_until(Seq::new(2)).collect();
+        assert_eq!(missing, vec![Seq::new(u64::MAX), Seq::new(1), Seq::new(2)]);
+        // Nothing is ever missing "up to ZERO".
+        assert_eq!(Seq::new(u64::MAX - 1).missing_until(Seq::ZERO).count(), 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod ids;
 pub mod membership;
 pub mod packet;
 pub mod token;
+pub mod transition;
 
 pub use codec::{CodecError, Reader, Writer};
 pub use frame::{
@@ -65,3 +66,4 @@ pub use ids::{NetworkId, NodeId, RingId, Seq};
 pub use membership::{CommitToken, JoinMessage, MembEntry};
 pub use packet::{Chunk, ChunkKind, DataPacket, Packet};
 pub use token::Token;
+pub use transition::{Transition, TRANSITION_BUFFER_CAP};

@@ -1,0 +1,93 @@
+//! Structured state-machine transition records.
+//!
+//! The conformance analyzer (`cargo xtask conformance`) checks the
+//! protocol implementation against the machine-readable spec in
+//! `spec/protocol.toml` twice over:
+//!
+//! 1. **statically** — every [`Transition`] recorded by the protocol
+//!    crates is written as four string literals at the transition
+//!    site, so the analyzer can lex the source and diff the table of
+//!    implemented transitions against the spec;
+//! 2. **dynamically** — the deterministic sim scenarios collect the
+//!    records emitted at run time and fail if any spec transition is
+//!    never exercised.
+//!
+//! The type lives in `totem-wire` because it is shared by `totem-srp`
+//! (the membership machine), `totem-rrp` (the per-network fault
+//! machines) and `totem-sim` (the trace layer), none of which depend
+//! on each other.
+
+use core::fmt;
+
+/// One observed edge of a protocol state machine.
+///
+/// All four fields are `&'static str` literals naming entries of
+/// `spec/protocol.toml`; the conformance analyzer matches them
+/// textually, so call sites must spell them exactly as the spec does.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::Transition;
+/// let t = Transition {
+///     machine: "srp-membership",
+///     from: "Operational",
+///     event: "TokenLoss",
+///     to: "Gather",
+/// };
+/// assert_eq!(t.to_string(), "srp-membership: Operational --TokenLoss--> Gather");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transition {
+    /// Which state machine the edge belongs to (a `[machine.*]`
+    /// section name in the spec).
+    pub machine: &'static str,
+    /// State the machine left.
+    pub from: &'static str,
+    /// Event that caused the transition.
+    pub event: &'static str,
+    /// State the machine entered.
+    pub to: &'static str,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} --{}--> {}", self.machine, self.from, self.event, self.to)
+    }
+}
+
+/// Upper bound on buffered transition records in a protocol state
+/// machine whose host never drains them.
+///
+/// The SRP node and RRP layer push into a local `Vec<Transition>`
+/// that the cluster host drains after every call; hosts that do not
+/// care (hand-driven doctests, benches) would otherwise accumulate
+/// records forever, so the recording helpers drop new records beyond
+/// this bound instead of growing without limit.
+pub const TRANSITION_BUFFER_CAP: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_spec_like() {
+        let t = Transition {
+            machine: "rrp-passive-token",
+            from: "Idle",
+            event: "TokenBehindGap",
+            to: "Buffered",
+        };
+        assert_eq!(t.to_string(), "rrp-passive-token: Idle --TokenBehindGap--> Buffered");
+    }
+
+    #[test]
+    fn transitions_are_comparable_and_hashable() {
+        use std::collections::BTreeSet;
+        let a = Transition { machine: "m", from: "A", event: "E", to: "B" };
+        let b = Transition { machine: "m", from: "A", event: "E", to: "B" };
+        let c = Transition { machine: "m", from: "B", event: "E", to: "A" };
+        let set: BTreeSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -8,7 +8,11 @@
 //! * line/block comments (nested), including `// lint:allow(rule)`
 //!   suppression markers;
 //! * string, raw-string, byte-string, and char literals (so that
-//!   nothing inside a literal is ever mistaken for code);
+//!   nothing inside a literal is ever mistaken for code); string
+//!   tokens carry their full source slice — quotes included, so a
+//!   literal can never be confused with an identifier or punctuation
+//!   token — and [`str_body`] recovers the contents (the conformance
+//!   extractor reads transition names out of them);
 //! * the char-literal vs. lifetime ambiguity after `'`;
 //! * numeric literals with value extraction (for the magic-number
 //!   checks of the `wire-invariants` rule);
@@ -107,8 +111,10 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let tok_line = line;
+                let start = i;
                 i = skip_string(&chars, i, &mut line);
-                out.tokens.push(Token { kind: Kind::Str, text: String::new(), line: tok_line });
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                out.tokens.push(Token { kind: Kind::Str, text, line: tok_line });
             }
             '\'' => {
                 lex_quote(&chars, &mut i, &mut line, &mut out.tokens);
@@ -146,11 +152,13 @@ pub fn lex(src: &str) -> Lexed {
                 if is_raw {
                     let tok_line = line;
                     i = skip_raw_string(&chars, i, &mut line);
-                    out.tokens.push(Token { kind: Kind::Str, text: String::new(), line: tok_line });
+                    let text: String = chars[start..i.min(chars.len())].iter().collect();
+                    out.tokens.push(Token { kind: Kind::Str, text, line: tok_line });
                 } else if is_bytestr {
                     let tok_line = line;
                     i = skip_string(&chars, i, &mut line);
-                    out.tokens.push(Token { kind: Kind::Str, text: String::new(), line: tok_line });
+                    let text: String = chars[start..i.min(chars.len())].iter().collect();
+                    out.tokens.push(Token { kind: Kind::Str, text, line: tok_line });
                 } else if is_bytechar {
                     i += 1; // consume the opening quote
                     lex_quote_body(&chars, &mut i, &mut line);
@@ -277,6 +285,22 @@ fn lex_quote_body(chars: &[char], i: &mut usize, line: &mut u32) {
     }
 }
 
+/// The inner content of a string-literal source slice (the `text` of
+/// a [`Kind::Str`] token): everything between the opening and closing
+/// quotes, with any `r`/`b`/`br` sigil and `#` guards stripped.
+/// Escape sequences are left unprocessed — the conformance extractor
+/// only consumes plain identifiers.
+pub fn str_body(lit: &str) -> &str {
+    let (Some(first), Some(last)) = (lit.find('"'), lit.rfind('"')) else {
+        return "";
+    };
+    if last > first {
+        &lit[first + 1..last]
+    } else {
+        ""
+    }
+}
+
 /// Extracts `lint:allow(a, b)` rule names from a comment.
 fn record_allows(out: &mut Lexed, comment: &str, line: u32) {
     let mut rest = comment;
@@ -374,6 +398,21 @@ mod tests {
         assert_eq!(num_value("0x5EE"), Some(0x5EE));
         assert_eq!(num_value("94usize"), Some(94));
         assert_eq!(num_value("1.5"), None);
+    }
+
+    #[test]
+    fn string_tokens_carry_their_source_and_body() {
+        let lexed = lex(r##"f("Gather", r#"raw"#, b"bytes")"##);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| str_body(&t.text))
+            .collect();
+        assert_eq!(strs, vec!["Gather", "raw", "bytes"]);
+        // The raw slice keeps its quotes, so no literal can collide
+        // with an identifier or punctuation comparison in the rules.
+        assert!(lexed.tokens.iter().filter(|t| t.kind == Kind::Str).all(|t| t.text.contains('"')));
     }
 
     #[test]

@@ -2,47 +2,68 @@
 //!
 //! `cargo xtask lint` runs the totem-lint protocol-invariant pass over
 //! every first-party crate (see [`rules`] for what each rule checks
-//! and why). Diagnostics are `file:line: rule: message`, one per line
-//! on stdout, so editors and CI can jump straight to the site.
+//! and why). `cargo xtask conformance` checks the implemented state
+//! machines against `spec/protocol.toml` and runs the deterministic
+//! transition-coverage scenarios (see [`conformance`]).
 //!
-//! Exit codes are machine-readable:
+//! Diagnostics are `file:line: rule: message`, one per line on stdout,
+//! so editors and CI can jump straight to the site.
 //!
-//! * `0` — workspace is clean (suppressions within budget),
-//! * `1` — at least one violation (or a blown suppression budget),
+//! Exit codes are machine-readable for both subcommands:
+//!
+//! * `0` — clean (lint: suppressions within budget; conformance: zero
+//!   undocumented, zero unimplemented, every spec transition
+//!   exercised),
+//! * `1` — at least one violation,
 //! * `2` — usage or I/O error (bad arguments, unreadable files,
-//!   malformed `lint-budget.toml`).
+//!   malformed `lint-budget.toml` or `spec/protocol.toml`).
 
+mod conformance;
 mod lexer;
 mod rules;
+mod spec;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use rules::{Budget, Finding, Rule};
 
-const USAGE: &str = "usage: cargo xtask lint [--stats]
+const USAGE: &str = "usage: cargo xtask <command>
 
-Runs the totem-lint static analysis pass over the workspace.
-  --stats   also print per-crate violation counts and the
-            suppression budget utilization";
+commands:
+  lint [--stats]
+      Run the totem-lint static analysis pass over the workspace.
+        --stats   also print per-crate violation counts and the
+                  suppression budget utilization
+
+  conformance [--markdown <path>]
+      Check note_transition call sites against spec/protocol.toml and
+      run the deterministic transition-coverage scenarios.
+        --markdown <path>   also write the coverage table as GitHub
+                            markdown (append to $GITHUB_STEP_SUMMARY)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("conformance") => run_conformance(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
     let mut stats = false;
-    let mut command = None;
-    for arg in &args {
+    for arg in args {
         match arg.as_str() {
-            "lint" if command.is_none() => command = Some("lint"),
             "--stats" => stats = true,
             other => {
                 eprintln!("unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
-    }
-    if command != Some("lint") {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
     }
 
     let Some(root) = workspace_root() else {
@@ -82,6 +103,80 @@ fn main() -> ExitCode {
         println!("totem-lint: {} violation(s)", violations.len());
         ExitCode::from(1)
     }
+}
+
+fn run_conformance(args: &[String]) -> ExitCode {
+    let mut markdown_path: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--markdown" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--markdown needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                markdown_path = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = workspace_root() else {
+        eprintln!("error: cannot locate the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::from(2);
+    };
+    let spec = match spec::load(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match conformance::analyze(&root, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = markdown_path {
+        let md = conformance::markdown(&report);
+        if let Err(e) = append_file(&path, &md) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    conformance::print_diagnostics(&report, "spec/protocol.toml");
+    let exercised = report.rows.iter().filter(|(_, _, n)| *n > 0).count();
+    println!(
+        "conformance: {} spec transitions, {} exercised by {} scenario(s)",
+        report.rows.len(),
+        exercised,
+        report.scenarios.len()
+    );
+    if report.is_clean() {
+        println!("conformance: spec and implementation agree");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "conformance: {} violation(s)",
+            report.undocumented.len() + report.unimplemented.len() + report.uncovered.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Appends to `path` (creating it if missing), matching how CI job
+/// summaries expect `$GITHUB_STEP_SUMMARY` to be written.
+fn append_file(path: &Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(text.as_bytes())
 }
 
 /// Walks up from the current directory to the first `Cargo.toml`

@@ -164,7 +164,7 @@ pub fn analyze_source(krate: &str, file: &str, src: &str) -> Vec<Finding> {
 
 /// Marks every token inside an item annotated `#[cfg(test)]` (module,
 /// impl block, or function), so the rules only police shipping code.
-fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -779,7 +779,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };

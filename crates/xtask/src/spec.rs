@@ -1,0 +1,317 @@
+//! Parser for `spec/protocol.toml`, the machine-readable protocol
+//! state-machine specification.
+//!
+//! The build container is offline, so no TOML crate is available; this
+//! is a hand-rolled parser for the deliberate subset the spec uses
+//! (documented at the top of `spec/protocol.toml`):
+//!
+//! * `[machine.<name>]` tables with a `states = ["..", ...]` array;
+//! * `[[transition.<name>]]` array-of-tables entries with `from`,
+//!   `event` and `to` string keys plus an optional free-text `paper`
+//!   provenance key;
+//! * `#` comments and blank lines.
+//!
+//! Every parsed entity keeps its 1-based source line so conformance
+//! diagnostics can point back into the spec file.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One declared state machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Declared state names.
+    pub states: Vec<String>,
+    /// Line of the `[machine.<name>]` header.
+    pub line: u32,
+}
+
+/// One documented transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTransition {
+    /// The machine this edge belongs to.
+    pub machine: String,
+    /// Source state.
+    pub from: String,
+    /// Event name.
+    pub event: String,
+    /// Destination state.
+    pub to: String,
+    /// Line of the `[[transition.<name>]]` header.
+    pub line: u32,
+}
+
+impl SpecTransition {
+    /// The `(machine, from, event, to)` identity of this edge.
+    pub fn key(&self) -> (&str, &str, &str, &str) {
+        (&self.machine, &self.from, &self.event, &self.to)
+    }
+}
+
+/// The parsed specification.
+#[derive(Debug, Default)]
+pub struct Spec {
+    /// Machines by name.
+    pub machines: BTreeMap<String, Machine>,
+    /// Every documented transition, in file order.
+    pub transitions: Vec<SpecTransition>,
+}
+
+/// What section the parser is currently inside.
+enum Section {
+    None,
+    Machine(String),
+    Transition(usize),
+}
+
+/// A transition entry mid-parse: fields land one `key = value` line at
+/// a time and are validated together once the file is consumed.
+struct PartialTransition {
+    machine: String,
+    from: Option<String>,
+    event: Option<String>,
+    to: Option<String>,
+    line: u32,
+}
+
+/// Parses the spec, validating internal consistency (machines exist,
+/// states are declared, no duplicate edges).
+///
+/// # Errors
+///
+/// Returns a `"line N: reason"` description of the first problem.
+pub fn parse(text: &str) -> Result<Spec, String> {
+    let mut spec = Spec::default();
+    let mut section = Section::None;
+    // Transitions are collected with possibly-missing fields and
+    // validated at the end, so diagnostics can name the entry header.
+    let mut partial: Vec<PartialTransition> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[transition.").and_then(|r| r.strip_suffix("]]")) {
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty transition machine name"));
+            }
+            partial.push(PartialTransition {
+                machine: name.to_string(),
+                from: None,
+                event: None,
+                to: None,
+                line: lineno,
+            });
+            section = Section::Transition(partial.len() - 1);
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[machine.").and_then(|r| r.strip_suffix(']')) {
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty machine name"));
+            }
+            if spec.machines.contains_key(name) {
+                return Err(format!("line {lineno}: machine `{name}` declared twice"));
+            }
+            spec.machines.insert(name.to_string(), Machine { states: Vec::new(), line: lineno });
+            section = Section::Machine(name.to_string());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unrecognized section header `{line}`"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match &mut section {
+            Section::None => {
+                return Err(format!("line {lineno}: `{key}` outside any section"));
+            }
+            Section::Machine(name) => {
+                if key != "states" {
+                    return Err(format!("line {lineno}: unknown machine key `{key}`"));
+                }
+                let states = parse_string_array(value)
+                    .ok_or_else(|| format!("line {lineno}: `states` must be [\"..\", ...]"))?;
+                if states.is_empty() {
+                    return Err(format!("line {lineno}: `states` must not be empty"));
+                }
+                if let Some(m) = spec.machines.get_mut(name.as_str()) {
+                    m.states = states;
+                }
+            }
+            Section::Transition(i) => {
+                let entry = &mut partial[*i];
+                let slot = match key {
+                    "from" => &mut entry.from,
+                    "event" => &mut entry.event,
+                    "to" => &mut entry.to,
+                    "paper" => {
+                        // Free-text provenance; validated as a string
+                        // but not retained.
+                        parse_string(value).ok_or_else(|| {
+                            format!("line {lineno}: `paper` must be a quoted string")
+                        })?;
+                        continue;
+                    }
+                    other => {
+                        return Err(format!("line {lineno}: unknown transition key `{other}`"));
+                    }
+                };
+                let s = parse_string(value)
+                    .ok_or_else(|| format!("line {lineno}: `{key}` must be a quoted string"))?;
+                if slot.replace(s).is_some() {
+                    return Err(format!("line {lineno}: `{key}` given twice in one transition"));
+                }
+            }
+        }
+    }
+
+    for p in partial {
+        let (Some(from), Some(event), Some(to)) = (p.from, p.event, p.to) else {
+            return Err(format!("line {}: transition needs `from`, `event` and `to`", p.line));
+        };
+        spec.transitions.push(SpecTransition { machine: p.machine, from, event, to, line: p.line });
+    }
+    validate(&spec)?;
+    Ok(spec)
+}
+
+/// Loads and parses `spec/protocol.toml` under the workspace root.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure.
+pub fn load(root: &Path) -> Result<Spec, String> {
+    let path = root.join("spec").join("protocol.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn validate(spec: &Spec) -> Result<(), String> {
+    let mut seen: BTreeMap<(&str, &str, &str, &str), u32> = BTreeMap::new();
+    for t in &spec.transitions {
+        let Some(machine) = spec.machines.get(&t.machine) else {
+            return Err(format!(
+                "line {}: transition for undeclared machine `{}`",
+                t.line, t.machine
+            ));
+        };
+        for state in [&t.from, &t.to] {
+            if !machine.states.contains(state) {
+                return Err(format!(
+                    "line {}: state `{state}` is not declared for machine `{}`",
+                    t.line, t.machine
+                ));
+            }
+        }
+        if let Some(first) = seen.insert(t.key(), t.line) {
+            return Err(format!(
+                "line {}: duplicate transition (first declared on line {first})",
+                t.line
+            ));
+        }
+    }
+    for (name, machine) in &spec.machines {
+        if !spec.transitions.iter().any(|t| &t.machine == name) {
+            return Err(format!("line {}: machine `{name}` declares no transitions", machine.line));
+        }
+    }
+    Ok(())
+}
+
+/// `"text"` → `text`.
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    // The spec subset forbids embedded quotes; escapes are not needed.
+    (!inner.contains('"')).then(|| inner.to_string())
+}
+
+/// `["a", "b"]` → `vec!["a", "b"]`.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|item| parse_string(item.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[machine.m1]
+states = ["A", "B"]
+
+[[transition.m1]]
+from = "A"
+event = "Go"
+to = "B"
+paper = "provenance"
+
+[[transition.m1]]
+from = "B"
+event = "Back"
+to = "A"
+"#;
+
+    #[test]
+    fn parses_machines_and_transitions_with_lines() {
+        let spec = parse(GOOD).unwrap();
+        assert_eq!(spec.machines.len(), 1);
+        assert_eq!(spec.machines["m1"].states, vec!["A", "B"]);
+        assert_eq!(spec.transitions.len(), 2);
+        assert_eq!(spec.transitions[0].key(), ("m1", "A", "Go", "B"));
+        assert_eq!(spec.transitions[0].line, 6);
+        assert_eq!(spec.transitions[1].line, 12);
+    }
+
+    #[test]
+    fn rejects_undeclared_state() {
+        let bad = "[machine.m]\nstates = [\"A\"]\n[[transition.m]]\nfrom = \"A\"\nevent = \"E\"\nto = \"Z\"\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.contains("state `Z`"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_transition() {
+        let bad = "[machine.m]\nstates = [\"A\"]\n[[transition.m]]\nfrom = \"A\"\nevent = \"E\"\nto = \"A\"\n[[transition.m]]\nfrom = \"A\"\nevent = \"E\"\nto = \"A\"\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_machine_and_missing_fields() {
+        let err =
+            parse("[[transition.ghost]]\nfrom = \"A\"\nevent = \"E\"\nto = \"A\"\n").unwrap_err();
+        assert!(err.contains("undeclared machine"), "{err}");
+        let err =
+            parse("[machine.m]\nstates = [\"A\"]\n[[transition.m]]\nfrom = \"A\"\n").unwrap_err();
+        assert!(err.contains("needs `from`, `event` and `to`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        let err = parse("[machine.m]\nstates = [\"A\"]\nbogus = \"x\"\n").unwrap_err();
+        assert!(err.contains("unknown machine key"), "{err}");
+        let err = parse("[machine.m]\nstates = \"A\"\n").unwrap_err();
+        assert!(err.contains("must be ["), "{err}");
+    }
+
+    #[test]
+    fn real_spec_file_parses() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("workspace root");
+        let spec = load(root).expect("spec/protocol.toml must parse");
+        assert!(spec.machines.contains_key("srp-membership"));
+        assert!(spec.transitions.len() >= 24);
+    }
+}
