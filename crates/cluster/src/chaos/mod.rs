@@ -1,0 +1,817 @@
+//! Chaos schedule fuzzing for the simulated cluster.
+//!
+//! A [`ChaosSchedule`] is a seed-deterministic list of timed
+//! [`FaultCommand`]s — crashes, restarts, partitions, network kills,
+//! send/receive fault bursts — plus a traffic window. [`run`] executes
+//! a schedule against a [`SimCluster`] while submitting application
+//! traffic, heals everything at the end of the window, waits for the
+//! cluster to re-converge, and hands the finished execution to the
+//! [`oracle`] checks. Everything is deterministic: the same schedule
+//! always produces the same execution, so a failing schedule **is** a
+//! repro.
+//!
+//! When a schedule does violate the oracle, [`shrink`] minimizes it
+//! with delta debugging: it repeatedly removes command chunks and
+//! trims the traffic window, keeping each cut only if the same class
+//! of violation still reproduces. The result serializes to a small
+//! TOML file ([`ChaosSchedule::to_toml`]) that `cargo xtask chaos
+//! --replay` can run back.
+
+pub mod oracle;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+pub use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimDuration, SimTime};
+use totem_wire::{NetworkId, NodeId};
+
+use crate::sim_cluster::{ClusterConfig, SimCluster};
+use oracle::Violation;
+
+/// Gap between two traffic submissions (one schedule "step").
+pub const TICK: SimDuration = SimDuration::from_millis(5);
+
+/// How long [`run`] waits for re-convergence after the final heal
+/// before declaring the execution [`Violation::NotConverged`].
+const CONVERGENCE_GRACE: SimDuration = SimDuration::from_secs(30);
+
+/// A fault command with the simulation time it fires at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCommand {
+    /// Absolute simulation time of the command, in nanoseconds.
+    pub at_ns: u64,
+    /// The fault to inject or heal.
+    pub cmd: FaultCommand,
+}
+
+/// A complete, replayable chaos scenario: cluster shape, traffic
+/// window, and timed fault commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    /// Seed for both the schedule generator and the simulation RNG.
+    pub seed: u64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Replication style under test.
+    pub style: ReplicationStyle,
+    /// Number of traffic ticks (one submission attempt per tick).
+    pub steps: u64,
+    /// Timed fault commands, sorted by time.
+    pub commands: Vec<ScheduledCommand>,
+}
+
+/// What [`run`] observed: oracle verdicts plus workload statistics.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Every oracle violation found (empty = the schedule passed).
+    pub violations: Vec<Violation>,
+    /// Messages accepted for submission during the traffic window.
+    pub submitted: u64,
+    /// Final delivery-log length per node.
+    pub delivered: Vec<usize>,
+    /// Total crash commands that took effect.
+    pub crashes: u64,
+}
+
+impl ChaosReport {
+    /// `true` when no oracle check was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn networks_for(style: ReplicationStyle) -> usize {
+    ClusterConfig::new(2, style).networks
+}
+
+/// Generates a seed-deterministic schedule: a weighted mix of
+/// crash/restart pairs, partition/heal pairs, network kills, and
+/// send/receive fault bursts inside the first 80% of the traffic
+/// window. Every injection is paired with a later heal, but the
+/// pairing is not load-bearing: [`run_with`] unconditionally heals
+/// everything once the window ends, so re-convergence is always
+/// possible — and so the shrinker cannot "reproduce" a convergence
+/// failure by merely deleting heal commands.
+pub fn generate(seed: u64, style: ReplicationStyle, nodes: usize, steps: u64) -> ChaosSchedule {
+    assert!(nodes >= 2, "chaos needs at least two nodes");
+    assert!(steps >= 16, "chaos needs at least 16 traffic steps");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A0_5C4A_0C4A_05C4);
+    let networks = networks_for(style);
+    let tick = TICK.as_nanos();
+    let window = steps * tick;
+    // Faults start once the initial ring has traffic flowing and stop
+    // early enough that paired heals mostly land inside the window.
+    let fault_from = window / 10;
+    let fault_until = window * 8 / 10;
+    let events = (steps / 16).clamp(2, 24);
+
+    let mut commands = Vec::new();
+    for _ in 0..events {
+        let at = rng.gen_range(fault_from..fault_until);
+        let dur = rng.gen_range(10 * tick..window / 2 + 10 * tick);
+        let node = NodeId::new(rng.gen_range(0..nodes as u64) as u16);
+        let net = NetworkId::new(rng.gen_range(0..networks as u64) as u8);
+        match rng.gen_range(0..100) {
+            0..=19 => {
+                commands
+                    .push(ScheduledCommand { at_ns: at, cmd: FaultCommand::CrashNode { node } });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::RestartNode { node },
+                });
+            }
+            20..=39 => {
+                let groups: Vec<u8> = (0..nodes).map(|_| rng.gen_range(0..2) as u8).collect();
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::Partition { net, groups },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::Partition { net, groups: Vec::new() },
+                });
+            }
+            40..=59 => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::NetworkDown { net, down: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::NetworkDown { net, down: false },
+                });
+            }
+            60..=79 => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::SendFault { node, net, failed: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::SendFault { node, net, failed: false },
+                });
+            }
+            _ => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::RecvFault { node, net, failed: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::RecvFault { node, net, failed: false },
+                });
+            }
+        }
+    }
+
+    commands.sort_by_key(|c| c.at_ns);
+    ChaosSchedule { seed, nodes, style, steps, commands }
+}
+
+/// Which networks any command in the schedule targets (for the
+/// fault-report soundness check), plus whether any crash is scheduled.
+fn fault_targets(schedule: &ChaosSchedule) -> (Vec<bool>, bool) {
+    let mut targeted = vec![false; networks_for(schedule.style)];
+    let mut any_crash = false;
+    for sc in &schedule.commands {
+        match &sc.cmd {
+            FaultCommand::SendFault { net, failed: true, .. }
+            | FaultCommand::RecvFault { net, failed: true, .. }
+            | FaultCommand::NetworkDown { net, down: true } => {
+                targeted[net.index()] = true;
+            }
+            FaultCommand::Partition { net, groups } if !groups.is_empty() => {
+                targeted[net.index()] = true;
+            }
+            FaultCommand::CrashNode { .. } => any_crash = true,
+            _ => {}
+        }
+    }
+    (targeted, any_crash)
+}
+
+fn converged(cluster: &SimCluster, nodes: usize) -> bool {
+    let full: Vec<NodeId> = (0..nodes).map(|n| NodeId::new(n as u16)).collect();
+    (0..nodes).all(|n| {
+        cluster.is_alive(n)
+            && cluster.srp_state(n) == totem_srp::SrpState::Operational
+            && cluster.members(n).map(|mut m| {
+                m.sort();
+                m == full
+            }) == Some(true)
+    })
+}
+
+/// Runs a schedule with the standard EVS safety oracle
+/// ([`oracle::check_safety`]).
+pub fn run(schedule: &ChaosSchedule) -> ChaosReport {
+    run_with(schedule, oracle::check_safety)
+}
+
+/// Runs a schedule with a caller-chosen delivery oracle (used by the
+/// shrinker demo to plug in the deliberately-too-strong
+/// [`oracle::check_prefix_equality`]).
+///
+/// The execution: build an operational cluster, schedule every fault
+/// command, submit one message per [`TICK`] from a rotating sender
+/// (skipping dead nodes; per-sender counters advance only on accepted
+/// submissions), run past the last command, heal every remaining
+/// fault and restart every crashed node, wait up to 30 simulated
+/// seconds for re-convergence, then send one probe message per node
+/// and require every probe to reach every node. Convergence and probe
+/// failures, fault-report soundness, and the delivery oracle all
+/// contribute violations.
+pub fn run_with(
+    schedule: &ChaosSchedule,
+    delivery_oracle: fn(&SimCluster, usize) -> Vec<Violation>,
+) -> ChaosReport {
+    let nodes = schedule.nodes;
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(nodes, schedule.style).with_seed(schedule.seed));
+    let mut crashes = 0;
+    for sc in &schedule.commands {
+        if matches!(sc.cmd, FaultCommand::CrashNode { .. }) {
+            crashes += 1;
+        }
+        cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
+    }
+
+    // Traffic window: one submission attempt per tick, round-robin.
+    let mut counters = vec![0u64; nodes];
+    let mut submitted = 0u64;
+    for step in 0..schedule.steps {
+        cluster.run_until(SimTime::from_nanos((step + 1) * TICK.as_nanos()));
+        let sender = (step as usize) % nodes;
+        if cluster.is_alive(sender) {
+            let payload = Bytes::from(format!("s{sender}-{}", counters[sender]));
+            if cluster.try_submit(sender, payload).is_ok() {
+                counters[sender] += 1;
+                submitted += 1;
+            }
+        }
+    }
+
+    // Run past the last scheduled command, then heal everything —
+    // every network, every per-node fault, every crashed node — so
+    // that re-convergence is always achievable and `NotConverged` is a
+    // real liveness verdict, never an artifact of an unhealed fault.
+    let last_cmd = schedule.commands.iter().map(|c| c.at_ns).max().unwrap_or(0);
+    let settle = last_cmd.max(schedule.steps * TICK.as_nanos()) + TICK.as_nanos();
+    cluster.run_until(SimTime::from_nanos(settle));
+    for k in 0..networks_for(schedule.style) {
+        let net = NetworkId::new(k as u8);
+        cluster.fault_now(FaultCommand::NetworkDown { net, down: false });
+        cluster.fault_now(FaultCommand::Partition { net, groups: Vec::new() });
+        for n in 0..nodes {
+            let node = NodeId::new(n as u16);
+            cluster.fault_now(FaultCommand::SendFault { node, net, failed: false });
+            cluster.fault_now(FaultCommand::RecvFault { node, net, failed: false });
+        }
+    }
+    for n in 0..nodes {
+        cluster.fault_now(FaultCommand::RestartNode { node: NodeId::new(n as u16) });
+    }
+    let deadline = settle + CONVERGENCE_GRACE.as_nanos();
+    let mut now = settle;
+    let mut violations = Vec::new();
+    while !converged(&cluster, nodes) {
+        if now >= deadline {
+            let states: Vec<String> = (0..nodes)
+                .map(|n| {
+                    format!(
+                        "node {n}: alive={} state={:?} members={:?}",
+                        cluster.is_alive(n),
+                        cluster.srp_state(n),
+                        cluster.members(n)
+                    )
+                })
+                .collect();
+            violations.push(Violation::NotConverged {
+                detail: format!(
+                    "no common full-membership operational ring {}s after final heal ({})",
+                    CONVERGENCE_GRACE.as_nanos() / 1_000_000_000,
+                    states.join("; ")
+                ),
+            });
+            break;
+        }
+        now += SimDuration::from_millis(250).as_nanos();
+        cluster.run_until(SimTime::from_nanos(now));
+    }
+
+    // Probe round: once converged, every node's next message must
+    // reach every node (liveness after healing).
+    if violations.is_empty() {
+        let mut probes = Vec::new();
+        for (sender, counter) in counters.iter_mut().enumerate() {
+            let payload = Bytes::from(format!("s{sender}-{counter}"));
+            let mut accepted = false;
+            for _ in 0..40 {
+                if cluster.try_submit(sender, payload.clone()).is_ok() {
+                    accepted = true;
+                    *counter += 1;
+                    submitted += 1;
+                    break;
+                }
+                now += SimDuration::from_millis(50).as_nanos();
+                cluster.run_until(SimTime::from_nanos(now));
+            }
+            if accepted {
+                probes.push(payload);
+            } else {
+                violations.push(Violation::NotConverged {
+                    detail: format!("node {sender} still refuses submissions after healing"),
+                });
+            }
+        }
+        let all_probes_delivered = |cluster: &SimCluster, probes: &[Bytes]| {
+            (0..nodes)
+                .all(|n| probes.iter().all(|p| cluster.delivered(n).iter().any(|d| d.data == *p)))
+        };
+        let probe_deadline = now + SimDuration::from_secs(5).as_nanos();
+        while now < probe_deadline && !all_probes_delivered(&cluster, &probes) {
+            now += SimDuration::from_millis(250).as_nanos();
+            cluster.run_until(SimTime::from_nanos(now));
+        }
+        for n in 0..nodes {
+            for probe in &probes {
+                if !cluster.delivered(n).iter().any(|d| d.data == *probe) {
+                    violations.push(Violation::NotConverged {
+                        detail: format!(
+                            "probe {:?} never delivered at node {n}",
+                            String::from_utf8_lossy(probe)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let (targeted, any_crash) = fault_targets(schedule);
+    violations.extend(oracle::check_fault_reports(&cluster, nodes, &targeted, any_crash));
+    violations.extend(delivery_oracle(&cluster, nodes));
+
+    let delivered = (0..nodes).map(|n| cluster.delivered(n).len()).collect();
+    ChaosReport { violations, submitted, delivered, crashes }
+}
+
+/// Minimizes a violating schedule with delta debugging.
+///
+/// A candidate "still reproduces" when running it under the same
+/// oracle yields at least one violation whose [`Violation::kind`]
+/// appeared in the original run. The shrinker then:
+///
+/// 1. ddmin over the command list (drop chunks at increasing
+///    granularity while the failure reproduces),
+/// 2. halves the traffic window while the failure reproduces,
+/// 3. runs one final ddmin pass at the reduced window.
+///
+/// Returns the smallest reproducing schedule found. If the input does
+/// not violate the oracle at all, it is returned unchanged.
+pub fn shrink(
+    schedule: &ChaosSchedule,
+    delivery_oracle: fn(&SimCluster, usize) -> Vec<Violation>,
+) -> ChaosSchedule {
+    let original = run_with(schedule, delivery_oracle);
+    if original.passed() {
+        return schedule.clone();
+    }
+    let target: std::collections::HashSet<&'static str> =
+        original.violations.iter().map(Violation::kind).collect();
+    let reproduces = |candidate: &ChaosSchedule| {
+        run_with(candidate, delivery_oracle).violations.iter().any(|v| target.contains(v.kind()))
+    };
+
+    let mut best = schedule.clone();
+    best.commands = ddmin(&best, &reproduces);
+
+    // Trim the traffic window.
+    while best.steps >= 32 {
+        let mut candidate = best.clone();
+        candidate.steps /= 2;
+        if reproduces(&candidate) {
+            best = candidate;
+        } else {
+            break;
+        }
+    }
+
+    best.commands = ddmin(&best, &reproduces);
+    best
+}
+
+/// Classic ddmin over the command list: try dropping chunks at
+/// granularity `n`, keeping any drop that still reproduces; refine the
+/// granularity until chunks are single commands and nothing more can
+/// go.
+fn ddmin(
+    schedule: &ChaosSchedule,
+    reproduces: &dyn Fn(&ChaosSchedule) -> bool,
+) -> Vec<ScheduledCommand> {
+    let mut commands = schedule.commands.clone();
+    let mut n = 2usize;
+    while commands.len() >= 2 && n <= commands.len() {
+        let chunk = commands.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < commands.len() {
+            let end = (start + chunk).min(commands.len());
+            let mut candidate_cmds = commands[..start].to_vec();
+            candidate_cmds.extend_from_slice(&commands[end..]);
+            if candidate_cmds.is_empty() {
+                start = end;
+                continue;
+            }
+            let mut candidate = schedule.clone();
+            candidate.commands = candidate_cmds;
+            if reproduces(&candidate) {
+                commands = candidate.commands;
+                reduced = true;
+                // Re-scan from the top at the same granularity.
+                start = 0;
+                n = n.max(2).min(commands.len().max(2));
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(commands.len());
+        }
+    }
+    commands
+}
+
+// ---------------------------------------------------------------------------
+// TOML repro serialization (hand-rolled: the vendored serde stub has no
+// TOML backend, and the format is deliberately tiny).
+// ---------------------------------------------------------------------------
+
+fn style_name(style: ReplicationStyle) -> String {
+    match style {
+        ReplicationStyle::Single => "single".into(),
+        ReplicationStyle::Active => "active".into(),
+        ReplicationStyle::Passive => "passive".into(),
+        ReplicationStyle::ActivePassive { copies } => format!("active-passive-{copies}"),
+    }
+}
+
+fn style_from_name(name: &str) -> Result<ReplicationStyle, String> {
+    if let Some(copies) = name.strip_prefix("active-passive-") {
+        let copies =
+            copies.parse().map_err(|_| format!("bad active-passive copy count {copies:?}"))?;
+        return Ok(ReplicationStyle::ActivePassive { copies });
+    }
+    match name {
+        "single" => Ok(ReplicationStyle::Single),
+        "active" => Ok(ReplicationStyle::Active),
+        "passive" => Ok(ReplicationStyle::Passive),
+        other => Err(format!("unknown replication style {other:?}")),
+    }
+}
+
+impl ChaosSchedule {
+    /// Serializes the schedule as a small self-describing TOML
+    /// document, suitable for `cargo xtask chaos --replay`.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Chaos repro schedule (totem_cluster::chaos). Replay with:\n");
+        out.push_str("#   cargo xtask chaos --replay <this file>\n");
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("nodes = {}\n", self.nodes));
+        out.push_str(&format!("style = \"{}\"\n", style_name(self.style)));
+        out.push_str(&format!("steps = {}\n", self.steps));
+        for sc in &self.commands {
+            out.push_str("\n[[command]]\n");
+            out.push_str(&format!("at_ns = {}\n", sc.at_ns));
+            match &sc.cmd {
+                FaultCommand::SendFault { node, net, failed } => {
+                    out.push_str("kind = \"send-fault\"\n");
+                    out.push_str(&format!("node = {}\n", node.as_u16()));
+                    out.push_str(&format!("net = {}\n", net.as_u8()));
+                    out.push_str(&format!("failed = {failed}\n"));
+                }
+                FaultCommand::RecvFault { node, net, failed } => {
+                    out.push_str("kind = \"recv-fault\"\n");
+                    out.push_str(&format!("node = {}\n", node.as_u16()));
+                    out.push_str(&format!("net = {}\n", net.as_u8()));
+                    out.push_str(&format!("failed = {failed}\n"));
+                }
+                FaultCommand::NetworkDown { net, down } => {
+                    out.push_str("kind = \"net-down\"\n");
+                    out.push_str(&format!("net = {}\n", net.as_u8()));
+                    out.push_str(&format!("down = {down}\n"));
+                }
+                FaultCommand::Partition { net, groups } => {
+                    out.push_str("kind = \"partition\"\n");
+                    out.push_str(&format!("net = {}\n", net.as_u8()));
+                    let labels: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+                    out.push_str(&format!("groups = [{}]\n", labels.join(", ")));
+                }
+                FaultCommand::CrashNode { node } => {
+                    out.push_str("kind = \"crash\"\n");
+                    out.push_str(&format!("node = {}\n", node.as_u16()));
+                }
+                FaultCommand::RestartNode { node } => {
+                    out.push_str("kind = \"restart\"\n");
+                    out.push_str(&format!("node = {}\n", node.as_u16()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a schedule previously written by [`Self::to_toml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input: unknown
+    /// keys or kinds, missing fields, or unparsable values.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        let mut seed = None;
+        let mut nodes = None;
+        let mut style = None;
+        let mut steps = None;
+        let mut commands = Vec::new();
+        let mut current: Option<std::collections::HashMap<String, String>> = None;
+
+        let finish = |block: Option<std::collections::HashMap<String, String>>,
+                      commands: &mut Vec<ScheduledCommand>|
+         -> Result<(), String> {
+            let Some(block) = block else { return Ok(()) };
+            commands.push(parse_command(&block)?);
+            Ok(())
+        };
+
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[command]]" {
+                finish(current.take(), &mut commands)?;
+                current = Some(std::collections::HashMap::new());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if let Some(block) = current.as_mut() {
+                block.insert(key.to_string(), value.to_string());
+            } else {
+                match key {
+                    "seed" => seed = Some(parse_u64(value)?),
+                    "nodes" => nodes = Some(parse_u64(value)? as usize),
+                    "style" => style = Some(style_from_name(parse_str(value)?)?),
+                    "steps" => steps = Some(parse_u64(value)?),
+                    other => return Err(format!("unknown header key {other:?}")),
+                }
+            }
+        }
+        finish(current.take(), &mut commands)?;
+
+        Ok(ChaosSchedule {
+            seed: seed.ok_or("missing `seed`")?,
+            nodes: nodes.ok_or("missing `nodes`")?,
+            style: style.ok_or("missing `style`")?,
+            steps: steps.ok_or("missing `steps`")?,
+            commands,
+        })
+    }
+}
+
+fn parse_u64(value: &str) -> Result<u64, String> {
+    value.parse().map_err(|_| format!("expected an integer, got {value:?}"))
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true/false, got {other:?}")),
+    }
+}
+
+fn parse_str(value: &str) -> Result<&str, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got {value:?}"))
+}
+
+fn field<'a>(
+    block: &'a std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<&'a str, String> {
+    block.get(key).map(String::as_str).ok_or_else(|| format!("command is missing `{key}`"))
+}
+
+fn parse_command(
+    block: &std::collections::HashMap<String, String>,
+) -> Result<ScheduledCommand, String> {
+    let at_ns = parse_u64(field(block, "at_ns")?)?;
+    let node =
+        || -> Result<NodeId, String> { Ok(NodeId::new(parse_u64(field(block, "node")?)? as u16)) };
+    let net = || -> Result<NetworkId, String> {
+        Ok(NetworkId::new(parse_u64(field(block, "net")?)? as u8))
+    };
+    let cmd = match parse_str(field(block, "kind")?)? {
+        "send-fault" => FaultCommand::SendFault {
+            node: node()?,
+            net: net()?,
+            failed: parse_bool(field(block, "failed")?)?,
+        },
+        "recv-fault" => FaultCommand::RecvFault {
+            node: node()?,
+            net: net()?,
+            failed: parse_bool(field(block, "failed")?)?,
+        },
+        "net-down" => {
+            FaultCommand::NetworkDown { net: net()?, down: parse_bool(field(block, "down")?)? }
+        }
+        "partition" => {
+            let raw = field(block, "groups")?;
+            let inner = raw
+                .strip_prefix('[')
+                .and_then(|v| v.strip_suffix(']'))
+                .ok_or_else(|| format!("expected `[..]` groups, got {raw:?}"))?;
+            let groups = inner
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| parse_u64(s).map(|g| g as u8))
+                .collect::<Result<Vec<u8>, String>>()?;
+            FaultCommand::Partition { net: net()?, groups }
+        }
+        "crash" => FaultCommand::CrashNode { node: node()? },
+        "restart" => FaultCommand::RestartNode { node: node()? },
+        other => return Err(format!("unknown command kind {other:?}")),
+    };
+    Ok(ScheduledCommand { at_ns, cmd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let a = generate(7, ReplicationStyle::Active, 4, 100);
+        let b = generate(7, ReplicationStyle::Active, 4, 100);
+        let c = generate(8, ReplicationStyle::Active, 4, 100);
+        assert_eq!(a, b);
+        assert_ne!(a.commands, c.commands);
+    }
+
+    #[test]
+    fn generated_schedules_pair_crashes_with_restarts() {
+        for seed in 0..20 {
+            let s = generate(seed, ReplicationStyle::Active, 4, 200);
+            for sc in &s.commands {
+                if let FaultCommand::CrashNode { node } = sc.cmd {
+                    assert!(
+                        s.commands.iter().any(|other| other.at_ns > sc.at_ns
+                            && other.cmd == (FaultCommand::RestartNode { node })),
+                        "seed {seed}: crash of {node} has no later restart"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toml_roundtrip_preserves_schedule() {
+        let schedule = generate(3, ReplicationStyle::Passive, 5, 160);
+        let text = schedule.to_toml();
+        let parsed = ChaosSchedule::from_toml(&text).expect("roundtrip parse");
+        assert_eq!(schedule, parsed);
+    }
+
+    #[test]
+    fn toml_parse_rejects_malformed_input() {
+        assert!(ChaosSchedule::from_toml("steps = 10").is_err());
+        assert!(ChaosSchedule::from_toml("bogus = 1").is_err());
+        let text = "seed = 1\nnodes = 3\nstyle = \"active\"\nsteps = 32\n\n\
+                    [[command]]\nat_ns = 5\nkind = \"teleport\"\nnode = 1\n";
+        let err = ChaosSchedule::from_toml(text).unwrap_err();
+        assert!(err.contains("teleport"), "got {err}");
+    }
+
+    #[test]
+    fn clean_schedule_passes_the_oracle() {
+        let schedule = generate(1, ReplicationStyle::Active, 4, 64);
+        let report = run(&schedule);
+        assert!(
+            report.passed(),
+            "seed 1 violated the oracle:\n{}",
+            report.violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        );
+        assert!(report.submitted > 0, "no traffic was accepted");
+    }
+
+    /// A schedule that splits the cluster in two (both networks
+    /// partitioned the same way) with traffic flowing on each side,
+    /// plus removable decoy fault bursts. EVS agreement holds across
+    /// the heal, but full prefix equality cannot.
+    fn prefix_demo_schedule() -> ChaosSchedule {
+        let ms = |v: u64| SimDuration::from_millis(v).as_nanos();
+        let groups = vec![0u8, 0, 1, 1];
+        let mut commands = Vec::new();
+        for k in 0..2u8 {
+            commands.push(ScheduledCommand {
+                at_ns: ms(200),
+                cmd: FaultCommand::Partition { net: NetworkId::new(k), groups: groups.clone() },
+            });
+            commands.push(ScheduledCommand {
+                at_ns: ms(1_200),
+                cmd: FaultCommand::Partition { net: NetworkId::new(k), groups: Vec::new() },
+            });
+        }
+        // Decoys: transient single-network send/recv faults that the
+        // shrinker should strip from the repro.
+        commands.push(ScheduledCommand {
+            at_ns: ms(150),
+            cmd: FaultCommand::SendFault {
+                node: NodeId::new(1),
+                net: NetworkId::new(0),
+                failed: true,
+            },
+        });
+        commands.push(ScheduledCommand {
+            at_ns: ms(400),
+            cmd: FaultCommand::SendFault {
+                node: NodeId::new(1),
+                net: NetworkId::new(0),
+                failed: false,
+            },
+        });
+        commands.push(ScheduledCommand {
+            at_ns: ms(300),
+            cmd: FaultCommand::RecvFault {
+                node: NodeId::new(3),
+                net: NetworkId::new(1),
+                failed: true,
+            },
+        });
+        commands.push(ScheduledCommand {
+            at_ns: ms(500),
+            cmd: FaultCommand::RecvFault {
+                node: NodeId::new(3),
+                net: NetworkId::new(1),
+                failed: false,
+            },
+        });
+        commands.sort_by_key(|c| c.at_ns);
+        ChaosSchedule { seed: 42, nodes: 4, style: ReplicationStyle::Active, steps: 128, commands }
+    }
+
+    #[test]
+    fn prefix_equality_oracle_is_too_strong_but_evs_holds() {
+        let schedule = prefix_demo_schedule();
+        let strict = run_with(&schedule, oracle::check_prefix_equality);
+        assert!(
+            strict.violations.iter().any(|v| v.kind() == "prefix-equality"),
+            "expected the too-strong oracle to fire, got {:?}",
+            strict.violations
+        );
+        let evs = run(&schedule);
+        assert!(
+            evs.passed(),
+            "real EVS oracle must hold on the same run:\n{}",
+            evs.violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_prefix_equality_repro() {
+        let schedule = prefix_demo_schedule();
+        let shrunk = shrink(&schedule, oracle::check_prefix_equality);
+        assert!(
+            shrunk.commands.len() < schedule.commands.len(),
+            "shrinker failed to drop the decoy commands: {} -> {}",
+            schedule.commands.len(),
+            shrunk.commands.len()
+        );
+        assert!(shrunk.steps <= schedule.steps);
+        let report = run_with(&shrunk, oracle::check_prefix_equality);
+        assert!(
+            report.violations.iter().any(|v| v.kind() == "prefix-equality"),
+            "shrunk schedule no longer reproduces: {:?}",
+            report.violations
+        );
+        // And the minimized repro replays from its TOML form.
+        let replay = ChaosSchedule::from_toml(&shrunk.to_toml()).expect("replay parse");
+        assert_eq!(replay, shrunk);
+    }
+
+    #[test]
+    fn shrink_returns_passing_schedules_unchanged() {
+        let schedule = generate(1, ReplicationStyle::Active, 4, 64);
+        let shrunk = shrink(&schedule, oracle::check_safety);
+        assert_eq!(schedule, shrunk);
+    }
+}

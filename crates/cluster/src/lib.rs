@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod node;
 pub mod runtime;
 pub mod scenarios;
 pub mod sim_cluster;
 
+pub use chaos::{ChaosReport, ChaosSchedule, ScheduledCommand};
 pub use node::{NodeOutput, TotemNode};
 pub use runtime::{spawn_node, RuntimeEvent, RuntimeHandle, StartMode};
 pub use scenarios::{run_all, ScenarioReport};

@@ -91,6 +91,22 @@ impl TotemNode {
         }
     }
 
+    /// A node rebooting cold after a processor crash, with a fresh
+    /// identity `epoch` (the highest ring sequence number the dead
+    /// incarnation reached; see [`SrpNode::new_rejoining`]). Both
+    /// layers start from scratch: the RRP's fault monitors, like the
+    /// SRP's ring state, do not survive a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn new_rejoining(me: NodeId, srp_cfg: SrpConfig, rrp_cfg: RrpConfig, epoch: u64) -> Self {
+        TotemNode {
+            srp: SrpNode::new_rejoining(me, srp_cfg, epoch).expect("valid SRP config"),
+            rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
+        }
+    }
+
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
         self.srp.id()

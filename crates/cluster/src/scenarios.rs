@@ -52,6 +52,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
             "active-passive-fault-reinstate",
             ReplicationStyle::ActivePassive { copies: 2 },
         ),
+        crash_rejoin(),
         membership_edges(),
         passive_token_buffering(),
     ]
@@ -134,6 +135,25 @@ fn fault_and_reinstate(name: &'static str, style: ReplicationStyle) -> ScenarioR
     let end = cluster.now() + SimDuration::from_millis(200);
     cluster.run_until(end);
     ScenarioReport { name, transitions: trace_transitions(&cluster) }
+}
+
+/// A node crashes out of a running ring and later reboots cold. The
+/// survivors' consensus watchdog expires without hearing the corpse
+/// (`Gather --PeerCrashTimeout--> Gather`) and reforms a smaller ring;
+/// the reboot rejoins with a fresh identity epoch
+/// (`Gather --CrashRejoin--> Gather`) and the full ring reassembles.
+fn crash_rejoin() -> ScenarioReport {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).with_seed(14));
+    cluster.enable_trace(8192);
+    cluster.schedule_fault(
+        SimTime::from_millis(100),
+        FaultCommand::CrashNode { node: NodeId::new(2) },
+    );
+    cluster
+        .schedule_fault(SimTime::from_secs(3), FaultCommand::RestartNode { node: NodeId::new(2) });
+    cluster.run_until(SimTime::from_secs(6));
+    ScenarioReport { name: "crash-rejoin", transitions: trace_transitions(&cluster) }
 }
 
 // ----------------------------------------------------------------------
@@ -330,6 +350,8 @@ mod tests {
     /// deliver — kept in lockstep with `spec/protocol.toml`.
     const EXPECTED: &[(&str, &str, &str, &str)] = &[
         ("srp-membership", "Gather", "Restart", "Gather"),
+        ("srp-membership", "Gather", "PeerCrashTimeout", "Gather"),
+        ("srp-membership", "Gather", "CrashRejoin", "Gather"),
         ("srp-membership", "Gather", "ConsensusReached", "Commit"),
         ("srp-membership", "Gather", "CommitRound0", "Commit"),
         ("srp-membership", "Operational", "CommitRound0", "Commit"),

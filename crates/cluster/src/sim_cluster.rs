@@ -132,6 +132,18 @@ impl ClusterCounters {
 /// One node hosted in the simulator.
 struct ClusterActor {
     node: TotemNode,
+    me: NodeId,
+    /// Protocol configurations, kept for rebuilding the node cold
+    /// after a crash.
+    srp_cfg: SrpConfig,
+    rrp_cfg: RrpConfig,
+    /// `false` while crashed by [`FaultCommand::CrashNode`].
+    alive: bool,
+    /// Reboots survived (0 = the original incarnation).
+    incarnation: u64,
+    /// Identity epoch carried into the next incarnation: the highest
+    /// ring sequence number any dead incarnation reached.
+    epoch: u64,
     /// Per-delivery protocol processing cost model (see
     /// `CpuConfig::deliver_cost`).
     cpu: totem_sim::CpuConfig,
@@ -188,6 +200,9 @@ impl ClusterActor {
     }
 
     fn pump(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        if !self.alive {
+            return;
+        }
         let Some(size) = self.saturate else { return };
         // Keep a healthy backlog without churning the full queue
         // limit on every callback.
@@ -248,6 +263,33 @@ impl Actor for ClusterActor {
         self.pump(now, ctx);
         self.arm(ctx);
     }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // Remember how far the dying incarnation's ring history got:
+        // the reboot must start beyond it.
+        self.epoch = self.epoch.max(self.node.srp().max_ring_seq());
+        self.alive = false;
+    }
+
+    fn on_restart(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        // Cold reboot: all protocol state is rebuilt from scratch;
+        // only the identity epoch survives (think: stable storage
+        // holding a single counter). Delivery logs and counters are
+        // the *observer's* records, not the node's, and accumulate
+        // across incarnations.
+        self.node = TotemNode::new_rejoining(
+            self.me,
+            self.srp_cfg.clone(),
+            self.rrp_cfg.clone(),
+            self.epoch,
+        );
+        self.alive = true;
+        self.incarnation += 1;
+        let outputs = self.node.start(now.as_nanos());
+        self.handle(now, outputs, ctx);
+        self.pump(now, ctx);
+        self.arm(ctx);
+    }
 }
 
 /// A simulated Totem cluster. See the [crate example](crate).
@@ -284,6 +326,12 @@ impl SimCluster {
                 };
                 ClusterActor {
                     node,
+                    me,
+                    srp_cfg: cfg.srp.clone(),
+                    rrp_cfg: cfg.rrp.clone(),
+                    alive: true,
+                    incarnation: 0,
+                    epoch: 0,
                     cpu: cfg.sim.cpus[me.index()].clone(),
                     bootstrap: !cfg.joining && me == members[0],
                     joining: cfg.joining,
@@ -315,13 +363,18 @@ impl SimCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`SubmitError`] on flow-control backpressure.
+    /// Returns [`SubmitError`] on flow-control backpressure, or with
+    /// `limit == 0` when the node is currently crashed (a dead
+    /// processor accepts nothing).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn try_submit(&mut self, node: usize, data: Bytes) -> Result<(), SubmitError> {
         self.world.with_actor(NodeId::new(node as u16), |a, now, ctx| {
+            if !a.alive {
+                return Err(SubmitError { limit: 0 });
+            }
             let outs = a.node.submit(now.as_nanos(), data)?;
             a.handle(now, outs, ctx);
             a.arm(ctx);
@@ -450,6 +503,28 @@ impl SimCluster {
         self.world.fault_now(cmd);
     }
 
+    /// Crashes `node` immediately (see [`FaultCommand::CrashNode`]).
+    pub fn crash(&mut self, node: usize) {
+        self.fault_now(FaultCommand::CrashNode { node: NodeId::new(node as u16) });
+    }
+
+    /// Restarts a crashed `node` immediately; it reboots cold with a
+    /// fresh identity epoch and rejoins through the membership
+    /// protocol (see [`FaultCommand::RestartNode`]).
+    pub fn restart(&mut self, node: usize) {
+        self.fault_now(FaultCommand::RestartNode { node: NodeId::new(node as u16) });
+    }
+
+    /// Whether `node` is currently alive (not crashed).
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.world.actor(NodeId::new(node as u16)).alive
+    }
+
+    /// How many times `node` has rebooted (0 = original incarnation).
+    pub fn incarnation(&self, node: usize) -> u64 {
+        self.world.actor(NodeId::new(node as u16)).incarnation
+    }
+
     /// Diagnostic snapshot of one node's RRP monitors.
     pub fn monitor_report(&self, node: usize) -> Vec<(totem_rrp::MonitorKind, Vec<u64>)> {
         self.world.actor(NodeId::new(node as u16)).node.rrp().monitor_report()
@@ -530,6 +605,45 @@ mod tests {
         c.run_until(SimTime::from_millis(200));
         assert!(c.delivered(0).is_empty());
         assert_eq!(c.counters().msgs, 2, "both nodes count the delivery");
+    }
+
+    #[test]
+    fn crashed_node_rejoins_cold_through_membership() {
+        let mut c = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).with_seed(5));
+        c.run_until(SimTime::from_millis(100));
+        c.crash(2);
+        assert!(!c.is_alive(2));
+        assert!(c.try_submit(2, Bytes::from_static(b"dead")).is_err());
+        // Survivors reform a 2-node ring once the token-loss timer and
+        // consensus watchdog run their course.
+        c.run_until(SimTime::from_secs(4));
+        for n in 0..2 {
+            assert_eq!(c.srp_state(n), SrpState::Operational, "survivor {n} not operational");
+            assert_eq!(
+                c.members(n).unwrap(),
+                vec![NodeId::new(0), NodeId::new(1)],
+                "survivor {n} should exclude the crashed node"
+            );
+        }
+        // Reboot: the node rejoins cold via Gather → Commit → Recovery
+        // and every node converges on the full ring again.
+        c.restart(2);
+        assert!(c.is_alive(2));
+        assert_eq!(c.incarnation(2), 1);
+        c.run_until(SimTime::from_secs(8));
+        for n in 0..3 {
+            assert_eq!(c.srp_state(n), SrpState::Operational, "node {n} not operational");
+            assert_eq!(c.members(n).unwrap().len(), 3, "node {n} missing members");
+        }
+        // The rejoined incarnation carries a fresh identity epoch.
+        let survivors_ring = c.members(0).unwrap();
+        assert_eq!(survivors_ring, c.members(2).unwrap());
+        // Every surviving node delivered a new configuration change
+        // that includes the rejoined node.
+        for n in 0..2 {
+            let last = c.configs(n).last().expect("survivor saw config changes");
+            assert_eq!(last.members.len(), 3, "survivor {n} final config lacks rejoiner");
+        }
     }
 
     #[test]

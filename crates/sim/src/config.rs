@@ -20,6 +20,17 @@ pub struct NetworkConfig {
     /// delivered frame (e.g. NIC buffer overrun). Applied per
     /// receiver, independently.
     pub rx_loss: f64,
+    /// Probability that an individual receiver sees an extra copy of a
+    /// delivered frame (e.g. a switch flooding a frame twice). Applied
+    /// per receiver, independently.
+    pub duplicate: f64,
+    /// Probability that an individual receiver sees a frame late, after
+    /// frames sent behind it — breaking the medium's per-sender FIFO
+    /// property. Applied per receiver, independently; a reordered copy
+    /// arrives `reorder_delay` later than scheduled.
+    pub reorder: f64,
+    /// Extra arrival delay applied to reordered frames.
+    pub reorder_delay: SimDuration,
 }
 
 impl NetworkConfig {
@@ -31,6 +42,9 @@ impl NetworkConfig {
             latency: SimDuration::from_micros(30),
             frame_loss: 0.0,
             rx_loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimDuration::from_micros(500),
         }
     }
 
@@ -46,6 +60,23 @@ impl NetworkConfig {
     pub fn with_frame_loss(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
         self.frame_loss = p;
+        self
+    }
+
+    /// Same network with a given per-receiver frame duplication
+    /// probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate probability must be in [0,1]");
+        self.duplicate = p;
+        self
+    }
+
+    /// Same network with a given per-receiver frame reorder probability
+    /// and the extra delay a reordered frame suffers.
+    pub fn with_reorder(mut self, p: f64, delay: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder probability must be in [0,1]");
+        self.reorder = p;
+        self.reorder_delay = delay;
         self
     }
 
@@ -282,6 +313,29 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn loss_probability_is_validated() {
         let _ = NetworkConfig::default().with_rx_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate probability")]
+    fn duplicate_probability_is_validated() {
+        let _ = NetworkConfig::default().with_duplicate(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder probability")]
+    fn reorder_probability_is_validated() {
+        let _ = NetworkConfig::default().with_reorder(2.0, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn duplicate_and_reorder_default_off() {
+        let net = NetworkConfig::default();
+        assert_eq!(net.duplicate, 0.0);
+        assert_eq!(net.reorder, 0.0);
+        let noisy = net.with_duplicate(0.05).with_reorder(0.02, SimDuration::from_micros(250));
+        assert!((noisy.duplicate - 0.05).abs() < 1e-12);
+        assert!((noisy.reorder - 0.02).abs() < 1e-12);
+        assert_eq!(noisy.reorder_delay, SimDuration::from_micros(250));
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub enum FaultCommand {
         /// Group label per node (empty = healed).
         groups: Vec<u8>,
     },
+    /// Crash a processor: it stops sending, receiving and processing
+    /// alarms, and all of its volatile protocol state is lost. A
+    /// crashed node stays dead until a matching [`RestartNode`]
+    /// command revives it.
+    ///
+    /// [`RestartNode`]: FaultCommand::RestartNode
+    CrashNode {
+        /// Node to crash. Crashing an already-crashed node is a no-op.
+        node: NodeId,
+    },
+    /// Restart a previously crashed processor. The node reboots cold:
+    /// it remembers nothing of its pre-crash rings and must rejoin
+    /// through the membership protocol.
+    RestartNode {
+        /// Node to restart. Restarting a live node is a no-op.
+        node: NodeId,
+    },
 }
 
 /// Current fault state of all networks.
@@ -85,6 +102,8 @@ pub struct FaultPlane {
     /// Per network: `None` = no partition, `Some(groups)` with one
     /// label per node.
     partition: Vec<Option<Vec<u8>>>,
+    /// `crashed[node]`: processor crash–recovery state.
+    crashed: Vec<bool>,
 }
 
 impl FaultPlane {
@@ -97,6 +116,7 @@ impl FaultPlane {
             recv_fault: vec![vec![false; nodes]; networks],
             down: vec![false; networks],
             partition: vec![None; networks],
+            crashed: vec![false; nodes],
         }
     }
 
@@ -129,6 +149,14 @@ impl FaultPlane {
                     self.partition[net.index()] = Some(groups.clone());
                 }
             }
+            FaultCommand::CrashNode { node } => {
+                assert!(node.index() < self.nodes, "node out of range");
+                self.crashed[node.index()] = true;
+            }
+            FaultCommand::RestartNode { node } => {
+                assert!(node.index() < self.nodes, "node out of range");
+                self.crashed[node.index()] = false;
+            }
         }
     }
 
@@ -139,13 +167,22 @@ impl FaultPlane {
 
     /// Whether a frame sent by `from` on `net` enters the medium at all.
     pub fn can_send(&self, from: NodeId, net: NetworkId) -> bool {
-        !self.down[net.index()] && !self.send_fault[net.index()][from.index()]
+        !self.crashed[from.index()]
+            && !self.down[net.index()]
+            && !self.send_fault[net.index()][from.index()]
     }
 
     /// Whether a frame from `from` on `net` reaches `to` (given it
     /// entered the medium).
+    ///
+    /// Frames already in flight when the *sender* crashes still arrive
+    /// (the wire does not know the sender died); a crashed *receiver*
+    /// hears nothing.
     pub fn can_deliver(&self, from: NodeId, to: NodeId, net: NetworkId) -> bool {
-        if self.down[net.index()] || self.recv_fault[net.index()][to.index()] {
+        if self.crashed[to.index()]
+            || self.down[net.index()]
+            || self.recv_fault[net.index()][to.index()]
+        {
             return false;
         }
         match &self.partition[net.index()] {
@@ -157,6 +194,11 @@ impl FaultPlane {
     /// Whether the network is currently marked completely down.
     pub fn is_down(&self, net: NetworkId) -> bool {
         self.down[net.index()]
+    }
+
+    /// Whether the processor is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
     }
 }
 
@@ -230,6 +272,32 @@ mod tests {
         // Heal.
         p.apply(&FaultCommand::Partition { net: NetworkId::new(0), groups: vec![] });
         assert!(p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
+    }
+
+    #[test]
+    fn crash_blocks_send_and_delivery_until_restart() {
+        let mut p = FaultPlane::new(3, 2);
+        p.apply(&FaultCommand::CrashNode { node: NodeId::new(1) });
+        assert!(p.is_crashed(NodeId::new(1)));
+        assert!(!p.can_send(NodeId::new(1), NetworkId::new(0)));
+        assert!(!p.can_send(NodeId::new(1), NetworkId::new(1)));
+        // Frames *to* the crashed node are dropped; frames *from* a
+        // live sender to other live nodes are unaffected.
+        assert!(!p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
+        assert!(p.can_deliver(NodeId::new(0), NodeId::new(2), NetworkId::new(0)));
+        // In-flight frames from the crashed sender still arrive.
+        assert!(p.can_deliver(NodeId::new(1), NodeId::new(2), NetworkId::new(0)));
+        p.apply(&FaultCommand::RestartNode { node: NodeId::new(1) });
+        assert!(!p.is_crashed(NodeId::new(1)));
+        assert!(p.can_send(NodeId::new(1), NetworkId::new(0)));
+        assert!(p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn crash_out_of_range_node_is_rejected() {
+        let mut p = FaultPlane::new(2, 1);
+        p.apply(&FaultCommand::CrashNode { node: NodeId::new(7) });
     }
 
     #[test]

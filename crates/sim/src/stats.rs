@@ -29,6 +29,11 @@ pub struct NetStats {
     /// Per-receiver deliveries suppressed by receive faults or
     /// partitions.
     pub blocked_deliveries: u64,
+    /// Extra per-receiver copies injected by the duplication knob.
+    pub duplicated: u64,
+    /// Per-receiver frames delayed past later traffic by the reorder
+    /// knob.
+    pub reordered: u64,
 }
 
 impl NetStats {

@@ -17,6 +17,13 @@
 //!    `(sender, network)` holds exactly as the paper assumes for UDP
 //!    on a LAN (§5, footnote 2) — and *only* per network, which is
 //!    precisely the reordering the RRP algorithms must tolerate.
+//!    The optional [`NetworkConfig::duplicate`] and
+//!    [`NetworkConfig::reorder`] knobs deliberately break the
+//!    per-receiver no-duplicates and FIFO guarantees, for stress
+//!    testing beyond the paper's LAN assumptions.
+//!
+//! [`NetworkConfig::duplicate`]: crate::NetworkConfig::duplicate
+//! [`NetworkConfig::reorder`]: crate::NetworkConfig::reorder
 //! 3. **Receiver CPU** — on arrival the packet queues for the
 //!    receiver's CPU and costs
 //!    [`CpuConfig::recv_cost`](crate::CpuConfig::recv_cost); the actor
@@ -57,6 +64,16 @@ pub trait Actor {
     );
     /// Called when the alarm set via [`Ctx::set_alarm`] fires.
     fn on_alarm(&mut self, now: SimTime, ctx: &mut Ctx<'_>);
+    /// Called when the node is crashed by
+    /// [`FaultCommand::CrashNode`]. The actor should drop all volatile
+    /// protocol state; it receives no further callbacks until
+    /// restarted. No effects can be issued — the processor is dead.
+    fn on_crash(&mut self, _now: SimTime) {}
+    /// Called when the node is rebooted by
+    /// [`FaultCommand::RestartNode`]. The actor starts cold, as after
+    /// [`Actor::on_start`], and may issue effects (e.g. send a join
+    /// message, arm a timer).
+    fn on_restart(&mut self, _now: SimTime, _ctx: &mut Ctx<'_>) {}
 }
 
 /// The effect interface handed to actors during callbacks.
@@ -334,7 +351,35 @@ impl<A: Actor> SimWorld<A> {
 
     /// Applies a fault command immediately.
     pub fn fault_now(&mut self, cmd: FaultCommand) {
-        self.faults.apply(&cmd);
+        self.apply_fault(cmd);
+    }
+
+    /// Applies a fault command, handling the processor crash–recovery
+    /// commands' side effects on actor and scheduler state.
+    fn apply_fault(&mut self, cmd: FaultCommand) {
+        match cmd {
+            FaultCommand::CrashNode { node } => {
+                if self.faults.is_crashed(node) {
+                    return; // already dead
+                }
+                self.faults.apply(&cmd);
+                // Invalidate any armed alarm: a dead node's timers die
+                // with it.
+                self.alarm_gen[node.index()] += 1;
+                // Whatever the CPU was doing is abandoned.
+                self.cpu_free[node.index()] = self.now;
+                self.actors[node.index()].on_crash(self.now);
+            }
+            FaultCommand::RestartNode { node } => {
+                if !self.faults.is_crashed(node) {
+                    return; // already alive
+                }
+                self.faults.apply(&cmd);
+                self.cpu_free[node.index()] = self.now;
+                self.dispatch(node, |a, now, ctx| a.on_restart(now, ctx));
+            }
+            _ => self.faults.apply(&cmd),
+        }
     }
 
     /// Read access to the current fault state.
@@ -362,14 +407,23 @@ impl<A: Actor> SimWorld<A> {
         self.now = t;
         self.started = true;
         match ev {
-            Ev::Start(node) => self.dispatch(node, |a, now, ctx| a.on_start(now, ctx)),
+            Ev::Start(node) => {
+                if !self.faults.is_crashed(node) {
+                    self.dispatch(node, |a, now, ctx| a.on_start(now, ctx));
+                }
+            }
             Ev::Alarm { node, gen } => {
-                if self.alarm_gen[node.index()] == gen {
+                if self.alarm_gen[node.index()] == gen && !self.faults.is_crashed(node) {
                     self.dispatch(node, |a, now, ctx| a.on_alarm(now, ctx));
                 }
             }
             Ev::MediumEnter { net, from, dst, pkt } => self.medium_enter(net, from, dst, pkt),
             Ev::RxArrive { node, net, from, pkt } => {
+                // A node that crashed after the frame left the medium
+                // never sees it.
+                if self.faults.is_crashed(node) {
+                    return true;
+                }
                 // Queue for the receiver's CPU (FIFO in arrival order).
                 let payload = pkt.wire_payload_len();
                 let cost = self.cfg.cpus[node.index()].recv_cost(payload);
@@ -379,9 +433,13 @@ impl<A: Actor> SimWorld<A> {
                 self.queue.push(done, Ev::RxDone { node, net, from, pkt });
             }
             Ev::RxDone { node, net, from, pkt } => {
-                self.dispatch(node, |a, now, ctx| a.on_packet(now, net, from, pkt, ctx));
+                // A crash can land between RxArrive and RxDone; the
+                // packet dies with the processor.
+                if !self.faults.is_crashed(node) {
+                    self.dispatch(node, |a, now, ctx| a.on_packet(now, net, from, pkt, ctx));
+                }
             }
-            Ev::Fault(cmd) => self.faults.apply(&cmd),
+            Ev::Fault(cmd) => self.apply_fault(cmd),
         }
         true
     }
@@ -480,9 +538,23 @@ impl<A: Actor> SimWorld<A> {
                 self.trace_event(TraceKind::LostRx, net, from, Some(to), &pkt);
                 continue;
             }
+            let mut arrive_at = arrive;
+            if netcfg.reorder > 0.0 && self.rng.gen_bool(netcfg.reorder) {
+                // A reordered frame arrives late enough to fall behind
+                // frames sent after it — a deliberate violation of the
+                // per-(sender, network) FIFO property.
+                self.stats.net_mut(net).reordered += 1;
+                arrive_at = arrive + netcfg.reorder_delay;
+            }
             self.stats.net_mut(net).deliveries += 1;
             self.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
-            self.queue.push(arrive, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
+            self.queue.push(arrive_at, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
+            if netcfg.duplicate > 0.0 && self.rng.gen_bool(netcfg.duplicate) {
+                self.stats.net_mut(net).duplicated += 1;
+                self.stats.net_mut(net).deliveries += 1;
+                self.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
+                self.queue.push(arrive_at, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
+            }
         }
     }
 }
@@ -500,11 +572,20 @@ mod tests {
         seen: Vec<(SimTime, NetworkId, NodeId, Packet)>,
         alarms: Vec<SimTime>,
         alarm_at: Option<SimTime>,
+        crashes: Vec<SimTime>,
+        restarts: Vec<SimTime>,
     }
 
     impl Recorder {
         fn new() -> Self {
-            Recorder { to_send: vec![], seen: vec![], alarms: vec![], alarm_at: None }
+            Recorder {
+                to_send: vec![],
+                seen: vec![],
+                alarms: vec![],
+                alarm_at: None,
+                crashes: vec![],
+                restarts: vec![],
+            }
         }
     }
 
@@ -529,6 +610,12 @@ mod tests {
         }
         fn on_alarm(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) {
             self.alarms.push(now);
+        }
+        fn on_crash(&mut self, now: SimTime) {
+            self.crashes.push(now);
+        }
+        fn on_restart(&mut self, now: SimTime, _ctx: &mut Ctx<'_>) {
+            self.restarts.push(now);
         }
     }
 
@@ -723,6 +810,118 @@ mod tests {
     fn actor_count_is_validated() {
         let cfg = SimConfig::lan(3, 1);
         let _ = SimWorld::new(cfg, vec![Recorder::new()]);
+    }
+
+    #[test]
+    fn crashed_node_is_deaf_and_mute_until_restart() {
+        let mut w = world_with(2, 1, |_, _| {});
+        w.run_until(SimTime::from_millis(1));
+        w.fault_now(FaultCommand::CrashNode { node: NodeId::new(1) });
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(1));
+        });
+        w.run_until(SimTime::from_millis(5));
+        assert!(w.actor(NodeId::new(1)).seen.is_empty());
+        assert_eq!(w.actor(NodeId::new(1)).crashes, vec![SimTime::from_millis(1)]);
+        // The crashed node's own sends are suppressed at the medium.
+        w.with_actor(NodeId::new(1), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(2));
+        });
+        w.run_until(SimTime::from_millis(10));
+        assert!(w.actor(NodeId::new(0)).seen.is_empty());
+        assert_eq!(w.stats().net(NetworkId::new(0)).blocked_sends, 1);
+        // Restart: traffic flows again and the hook fires.
+        w.fault_now(FaultCommand::RestartNode { node: NodeId::new(1) });
+        assert_eq!(w.actor(NodeId::new(1)).restarts.len(), 1);
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(3));
+        });
+        w.run_until(SimTime::from_millis(20));
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 1);
+    }
+
+    #[test]
+    fn crash_cancels_pending_alarm_and_is_idempotent() {
+        let mut w = world_with(1, 1, |_, r| {
+            r.alarm_at = Some(SimTime::from_millis(5));
+        });
+        w.run_until(SimTime::from_millis(1));
+        w.fault_now(FaultCommand::CrashNode { node: NodeId::new(0) });
+        w.fault_now(FaultCommand::CrashNode { node: NodeId::new(0) }); // no-op
+        w.run_until(SimTime::from_millis(20));
+        assert!(w.actor(NodeId::new(0)).alarms.is_empty());
+        assert_eq!(w.actor(NodeId::new(0)).crashes.len(), 1);
+        // Restarting twice fires the hook once.
+        w.fault_now(FaultCommand::RestartNode { node: NodeId::new(0) });
+        w.fault_now(FaultCommand::RestartNode { node: NodeId::new(0) }); // no-op
+        assert_eq!(w.actor(NodeId::new(0)).restarts.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_crash_takes_effect_at_its_time() {
+        let mut w = world_with(2, 1, |_, _| {});
+        w.schedule_fault(SimTime::from_millis(2), FaultCommand::CrashNode { node: NodeId::new(1) });
+        w.run_until(SimTime::from_millis(1));
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(1));
+        });
+        w.run_until(SimTime::from_millis(5));
+        // Sent before the crash instant: delivered.
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 1);
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.broadcast(NetworkId::new(0), token_pkt(2));
+        });
+        w.run_until(SimTime::from_millis(10));
+        // Sent after: dropped at delivery.
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 1);
+        assert_eq!(w.actor(NodeId::new(1)).crashes, vec![SimTime::from_millis(2)]);
+    }
+
+    #[test]
+    fn duplicate_knob_injects_extra_copies() {
+        let net = NetworkConfig::ethernet_100mbit().with_duplicate(1.0);
+        let cfg = SimConfig::lan(2, 1).with_networks(net, 1).with_cpu(CpuConfig::instant());
+        let mut a0 = Recorder::new();
+        for s in 0..5 {
+            a0.to_send.push((NetworkId::new(0), token_pkt(s)));
+        }
+        let mut w = SimWorld::new(cfg, vec![a0, Recorder::new()]);
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 10);
+        assert_eq!(w.stats().net(NetworkId::new(0)).duplicated, 5);
+        assert_eq!(w.stats().net(NetworkId::new(0)).deliveries, 10);
+    }
+
+    #[test]
+    fn reorder_knob_can_break_per_sender_fifo() {
+        // Only the first frame is reordered (probability 1.0 for a
+        // single draw is guaranteed); give it a delay far larger than
+        // the back-to-back transmission gap so it lands behind later
+        // frames.
+        let net = NetworkConfig::ethernet_100mbit().with_reorder(0.5, SimDuration::from_millis(2));
+        let cfg =
+            SimConfig::lan(2, 1).with_networks(net, 1).with_cpu(CpuConfig::instant()).with_seed(1);
+        let mut a0 = Recorder::new();
+        for s in 0..20 {
+            a0.to_send.push((NetworkId::new(0), token_pkt(s)));
+        }
+        let mut w = SimWorld::new(cfg, vec![a0, Recorder::new()]);
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.actor(NodeId::new(1)).seen.len(), 20);
+        let reordered = w.stats().net(NetworkId::new(0)).reordered;
+        assert!(reordered > 0, "with p=0.5 over 20 frames, a reorder is near-certain");
+        let seqs: Vec<u64> = w
+            .actor(NodeId::new(1))
+            .seen
+            .iter()
+            .map(|(_, _, _, p)| match p {
+                Packet::Token(t) => t.seq.as_u64(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, sorted, "delayed frames must fall behind later traffic");
     }
 
     #[test]

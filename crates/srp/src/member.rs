@@ -97,6 +97,17 @@ impl SrpNode {
         self.stats.gathers += 1;
         let mut proc_set = BTreeSet::new();
         proc_set.insert(self.me);
+        // Seed with the current ring's membership (paper §: the join
+        // message advertises my_proc_set, which starts from the old
+        // ring). Without this, a node that shifts from Operational to
+        // Gather can reach "consensus" with the first join it merges —
+        // a two-ring — before the rest of its old ring is heard from,
+        // and a cluster of such pairs can chase each other's merge
+        // announcements forever. Members that are genuinely gone are
+        // excluded by the consensus watchdog instead.
+        if let Some(r) = self.ring.as_ref() {
+            proc_set.extend(r.members.iter().copied());
+        }
         let fail_set: BTreeSet<NodeId> = seed_fail.into_iter().filter(|f| *f != self.me).collect();
         let g = GatherCtx {
             proc_set,
@@ -131,18 +142,31 @@ impl SrpNode {
         let mut events = Vec::new();
         let StateImpl::Gather(g) = &mut self.state else { return events };
         let mut rebroadcast = false;
+        let mut gave_up_on_silent = false;
         if g.join_deadline <= now {
             g.join_deadline = now + self.cfg.join_retransmit_interval;
             rebroadcast = true;
         }
         if g.consensus_deadline <= now {
-            // Give up on processors that never answered.
-            let silent: Vec<NodeId> = g
-                .proc_set
-                .iter()
-                .copied()
-                .filter(|p| *p != self.me && !g.joins.contains_key(p))
-                .collect();
+            // Give up on processors that fell silent. "Silent" is
+            // judged against the last join heard in ANY state, not
+            // against this round's `joins` map: re-entering Gather
+            // clears the map (so a peer that spoke milliseconds ago
+            // would look silent — seeding the gossip echo described in
+            // `handle_join`), while a join recorded just before its
+            // sender crashed would keep the corpse alive forever.
+            let silent: Vec<NodeId> =
+                g.proc_set
+                    .iter()
+                    .copied()
+                    .filter(|p| {
+                        *p != self.me
+                            && self.last_heard.get(p).is_none_or(|&t| {
+                                now.saturating_sub(t) >= self.cfg.consensus_timeout
+                            })
+                    })
+                    .collect();
+            gave_up_on_silent = !silent.is_empty();
             for p in silent {
                 g.fail_set.insert(p);
             }
@@ -150,6 +174,12 @@ impl SrpNode {
             // re-evaluated against the new fail set.
             g.consensus_deadline = now + self.cfg.consensus_timeout;
             rebroadcast = true;
+        }
+        if gave_up_on_silent {
+            // This is where a crashed (or unreachable) peer is finally
+            // excluded from the forming ring: the consensus watchdog
+            // expired without hearing its join.
+            self.note_transition("srp-membership", "Gather", "PeerCrashTimeout", "Gather");
         }
         if rebroadcast {
             events.extend(self.my_join_broadcast());
@@ -165,6 +195,7 @@ impl SrpNode {
         if j.sender == self.me {
             return Vec::new(); // our own broadcast echoed back
         }
+        self.last_heard.insert(j.sender, now);
         self.max_ring_seq = self.max_ring_seq.max(j.ring_seq);
         match &mut self.state {
             StateImpl::Operational(_) => {
@@ -192,7 +223,19 @@ impl SrpNode {
                 events
             }
             StateImpl::Commit(c) => {
-                if j.ring_seq >= c.ring.seq || !c.members.contains(&j.sender) {
+                // Abandon the forming ring only when the join carries a
+                // genuine membership conflict: a processor outside the
+                // agreed ring is speaking (or advertised), or a ring
+                // member is accused of failure. A member's rebroadcast
+                // join that merely gossips a higher ring seq is NOT a
+                // conflict — the member is simply still in Gather and
+                // the circulating commit token will capture it. (Keying
+                // this on the join's ring seq livelocks: every
+                // ConsensusReached bumps max_ring_seq, the bumped seq
+                // gossips out through joins, and each join then knocks
+                // some other node straight back out of Commit.) A lost
+                // commit token is covered by the loss deadline instead.
+                if membership_conflict(&c.members, &j) {
                     self.note_transition("srp-membership", "Commit", "JoinReceived", "Gather");
                     let mut events = self.enter_gather(now, Vec::new());
                     events.extend(self.handle_join(now, j));
@@ -202,7 +245,8 @@ impl SrpNode {
                 }
             }
             StateImpl::Recovery(r) => {
-                if j.ring_seq >= r.new.ring.seq || !r.new.members.contains(&j.sender) {
+                // Same conflict rule as Commit: see above.
+                if membership_conflict(&r.new.members, &j) {
                     self.note_transition("srp-membership", "Recovery", "JoinReceived", "Gather");
                     let mut events = self.enter_gather(now, Vec::new());
                     events.extend(self.handle_join(now, j));
@@ -212,12 +256,36 @@ impl SrpNode {
                 }
             }
             StateImpl::Gather(g) => {
-                let mut changed = g.proc_set.insert(j.sender);
+                // A fail-set entry means "presumed crashed because
+                // silent" — and this join is the accused speaking, so
+                // the accusation (ours, or one adopted from a peer) is
+                // refuted. Retract it; the consensus watchdog simply
+                // re-accuses if the sender falls silent again. Without
+                // retraction, two processors that accused each other
+                // while partitioned can never rejoin a common ring:
+                // each keeps spreading a stale accusation the other
+                // can never clear, and every consensus around them
+                // wedges waiting for a commit token that nobody sends.
+                let mut changed = g.fail_set.remove(&j.sender);
+                changed |= g.proc_set.insert(j.sender);
                 for p in &j.proc_set {
                     changed |= g.proc_set.insert(*p);
                 }
+                // Adopt a gossiped accusation only when the accused is
+                // also silent from OUR vantage point. Fail sets merge
+                // insert-only across joins, so without this gate one
+                // transient accusation echoes around the cluster
+                // forever: each direct retraction (above) is undone by
+                // the next join from a peer that has not retracted yet,
+                // fail sets never become equal anywhere, and consensus
+                // churns indefinitely.
                 for f in &j.fail_set {
-                    if *f != self.me {
+                    if *f != self.me
+                        && self
+                            .last_heard
+                            .get(f)
+                            .is_none_or(|&t| now.saturating_sub(t) >= self.cfg.consensus_timeout)
+                    {
                         changed |= g.fail_set.insert(*f);
                     }
                 }
@@ -330,6 +398,13 @@ impl SrpNode {
     pub(crate) fn handle_commit(&mut self, now: Nanos, mut ct: CommitToken) -> Vec<SrpEvent> {
         let in_members = ct.members().any(|m| m == self.me);
         if !in_members {
+            return Vec::new();
+        }
+        if ct.ring.seq <= self.epoch {
+            // A commit for a ring at or below our identity epoch was
+            // addressed to a previous incarnation of this node (it was
+            // built before, or concurrently with, our crash). A fresh
+            // incarnation must not resume its dead past.
             return Vec::new();
         }
         self.max_ring_seq = self.max_ring_seq.max(ct.ring.seq);
@@ -695,6 +770,21 @@ impl SrpNode {
         self.state = StateImpl::Operational(token);
         events
     }
+}
+
+/// Whether a join message conflicts with an agreed (forming) ring
+/// membership: the sender is outside the ring, its advertised
+/// candidate set (`proc_set` minus `fail_set`) includes a processor
+/// outside the ring, or it accuses a ring member of failure. Joins
+/// from ring members that carry none of those are pure gossip — the
+/// circulating commit token captures their senders — and must not
+/// abort the Commit/Recovery exchange. (A failed processor still
+/// listed in the sender's `proc_set` is not a conflict: proc sets
+/// only ever grow during Gather, so excluded members linger there.)
+fn membership_conflict(members: &[NodeId], j: &JoinMessage) -> bool {
+    !members.contains(&j.sender)
+        || j.fail_set.iter().any(|f| members.contains(f))
+        || j.proc_set.iter().any(|p| !members.contains(p) && !j.fail_set.contains(p))
 }
 
 /// The next member after `me` in ring order (wrapping). A caller

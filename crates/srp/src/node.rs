@@ -12,7 +12,7 @@
 //! the host (simulator or real-time runtime) owns the clock and the
 //! single alarm per node ([`SrpNode::next_deadline`]).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -219,6 +219,19 @@ pub struct SrpNode {
     /// Highest ring sequence number ever observed (join messages must
     /// propose something fresh).
     pub(crate) max_ring_seq: u64,
+    /// Identity epoch: the highest ring sequence number this
+    /// *incarnation* knows was reached by a previous incarnation of
+    /// this node. Zero for a node that never crashed. Commit tokens
+    /// for rings at or below the epoch are discarded: they belong to
+    /// membership rounds the pre-crash incarnation may have
+    /// participated in, and acting on them could resurrect stale ring
+    /// state.
+    pub(crate) epoch: u64,
+    /// When each peer's join message was last received. A failure
+    /// accusation (ours or a gossiped one) is only credible while the
+    /// accused has also been silent from *our* vantage point for a
+    /// full consensus timeout; see `handle_join` and `gather_timers`.
+    pub(crate) last_heard: BTreeMap<NodeId, Nanos>,
     pub(crate) stats: SrpStats,
     /// Membership state-machine transitions since the last
     /// [`SrpNode::take_transitions`] (conformance coverage records).
@@ -265,6 +278,8 @@ impl SrpNode {
             packer: Packer::new(),
             reassembler: Reassembler::new(),
             max_ring_seq: 1,
+            epoch: 0,
+            last_heard: BTreeMap::new(),
             stats: SrpStats::default(),
             transitions: Vec::new(),
         })
@@ -291,9 +306,29 @@ impl SrpNode {
             packer: Packer::new(),
             reassembler: Reassembler::new(),
             max_ring_seq: 0,
+            epoch: 0,
+            last_heard: BTreeMap::new(),
             stats: SrpStats::default(),
             transitions: Vec::new(),
         })
+    }
+
+    /// Creates a node rebooting cold after a processor crash. Like
+    /// [`SrpNode::new_joining`], but with a fresh identity `epoch`: the
+    /// highest ring sequence number the pre-crash incarnation is known
+    /// to have reached. The rejoining node proposes only rings beyond
+    /// the epoch and discards commit tokens at or below it, so packets
+    /// addressed to its dead past cannot re-enter the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeInitError::InvalidConfig`] if `cfg` fails
+    /// validation.
+    pub fn new_rejoining(me: NodeId, cfg: SrpConfig, epoch: u64) -> Result<Self, NodeInitError> {
+        let mut node = Self::new_joining(me, cfg)?;
+        node.max_ring_seq = epoch;
+        node.epoch = epoch;
+        Ok(node)
     }
 
     /// This node's identifier.
@@ -325,6 +360,19 @@ impl SrpNode {
     /// Counters for tests and benchmarks.
     pub fn stats(&self) -> &SrpStats {
         &self.stats
+    }
+
+    /// Highest ring sequence number ever observed. A host restarting a
+    /// crashed node feeds this into [`SrpNode::new_rejoining`] as the
+    /// new incarnation's identity epoch.
+    pub fn max_ring_seq(&self) -> u64 {
+        self.max_ring_seq
+    }
+
+    /// This incarnation's identity epoch (zero unless constructed via
+    /// [`SrpNode::new_rejoining`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Drains the membership state-machine transitions recorded since
@@ -370,7 +418,13 @@ impl SrpNode {
     pub fn start(&mut self, now: Nanos) -> Vec<SrpEvent> {
         match self.state {
             StateImpl::Gather(_) => {
-                self.note_transition("srp-membership", "Gather", "Restart", "Gather");
+                if self.epoch > 0 {
+                    // Cold reboot after a crash: same Gather entry, but
+                    // carrying a fresh identity epoch.
+                    self.note_transition("srp-membership", "Gather", "CrashRejoin", "Gather");
+                } else {
+                    self.note_transition("srp-membership", "Gather", "Restart", "Gather");
+                }
                 self.enter_gather(now, Vec::new())
             }
             StateImpl::Operational(_) | StateImpl::Commit(_) | StateImpl::Recovery(_) => Vec::new(),

@@ -137,6 +137,65 @@ proptest! {
     }
 
     #[test]
+    fn decoder_never_panics_on_truncated_packets(
+        pkt in arb_packet(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = pkt.encode();
+        let len = cut.index(bytes.len() + 1);
+        let _ = Packet::decode(&bytes[..len]);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_heavily_corrupted_packets(
+        pkt in arb_packet(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), 0u8..8), 1..16),
+    ) {
+        let mut bytes = pkt.encode();
+        if !bytes.is_empty() {
+            for (idx, bit) in flips {
+                let i = idx.index(bytes.len());
+                bytes[i] ^= 1 << bit;
+            }
+            let _ = Packet::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_trailing_garbage(
+        pkt in arb_packet(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut bytes = pkt.encode();
+        bytes.extend_from_slice(&garbage);
+        let _ = Packet::decode(&bytes);
+    }
+
+    // Whatever the decoder accepts — even from corrupted input — must
+    // be a fixed point: re-encoding and re-decoding yields the same
+    // packet. Without this, a mutated-but-accepted packet could mean
+    // different things to the node that forwards it and the node that
+    // receives the forward.
+    #[test]
+    fn accepted_decodes_are_reencode_stable(
+        pkt in arb_packet(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = pkt.encode();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+            if let Ok(decoded) = Packet::decode(&bytes) {
+                let reencoded = decoded.encode();
+                let redecoded = Packet::decode(&reencoded)
+                    .expect("re-encoding an accepted packet must decode");
+                prop_assert_eq!(redecoded, decoded);
+            }
+        }
+    }
+
+    #[test]
     fn control_packet_encoded_len_is_exact(t in arb_token(), j in arb_join(), c in arb_commit()) {
         prop_assert_eq!(Packet::Token(t.clone()).encode().len(), t.encoded_len() + 1);
         prop_assert_eq!(Packet::Join(j.clone()).encode().len(), j.encoded_len() + 1);

@@ -1,0 +1,243 @@
+//! `cargo xtask chaos` — the chaos schedule fuzzing gate.
+//!
+//! Fans seed-deterministic fault schedules (crashes, restarts,
+//! partitions, network kills, send/receive fault bursts) across all
+//! three replication styles, running each against the EVS invariant
+//! oracle in `totem_cluster::chaos`. On a violation, optionally
+//! minimizes the schedule with the built-in shrinker and always writes
+//! a replayable TOML repro file; `--replay <file>` runs such a file
+//! back.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use totem_cluster::chaos::{self, ChaosReport, ChaosSchedule, ReplicationStyle};
+
+use crate::USAGE;
+
+const STYLES: [ReplicationStyle; 3] =
+    [ReplicationStyle::Single, ReplicationStyle::Active, ReplicationStyle::Passive];
+
+struct Options {
+    seeds: u64,
+    seed_base: u64,
+    steps: u64,
+    nodes: usize,
+    minimize: bool,
+    replay: Option<PathBuf>,
+    repro_dir: PathBuf,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 10,
+        seed_base: 0,
+        steps: 200,
+        nodes: 4,
+        minimize: false,
+        replay: None,
+        repro_dir: PathBuf::from("."),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value =
+            |flag: &str| iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds needs an integer".to_string())?;
+            }
+            "--seed-base" => {
+                opts.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|_| "--seed-base needs an integer".to_string())?;
+            }
+            "--steps" => {
+                opts.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| "--steps needs an integer".to_string())?;
+            }
+            "--nodes" => {
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| "--nodes needs an integer".to_string())?;
+            }
+            "--minimize" => opts.minimize = true,
+            "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
+            "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    if opts.nodes < 2 {
+        return Err("--nodes must be at least 2".to_string());
+    }
+    if opts.steps < 16 {
+        return Err("--steps must be at least 16".to_string());
+    }
+    Ok(opts)
+}
+
+/// Entry point for `cargo xtask chaos`.
+pub fn run(args: &[String]) -> ExitCode {
+    let opts = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.replay.clone() {
+        return replay(&opts, path);
+    }
+    fuzz(&opts)
+}
+
+/// Replays one previously written repro file; with `--minimize`, a
+/// still-failing replay is shrunk and written back out.
+fn replay(opts: &Options, path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let schedule = match ChaosSchedule::from_toml(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "chaos: replaying {} ({} nodes, {}, seed {}, {} steps, {} commands)",
+        path.display(),
+        schedule.nodes,
+        schedule.style,
+        schedule.seed,
+        schedule.steps,
+        schedule.commands.len()
+    );
+    let report = chaos::run(&schedule);
+    print_violations(&report);
+    if report.passed() {
+        println!("chaos: replay passed (the repro no longer violates the oracle)");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: replay reproduced {} violation(s)", report.violations.len());
+        if opts.minimize {
+            if let Err(e) = write_repro(opts, &schedule, schedule.style, schedule.seed) {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        ExitCode::from(1)
+    }
+}
+
+/// Fans `seeds` schedules across every replication style.
+fn fuzz(opts: &Options) -> ExitCode {
+    println!(
+        "chaos: {} seed(s) x {} style(s), {} nodes, {} traffic ticks of {}ms",
+        opts.seeds,
+        STYLES.len(),
+        opts.nodes,
+        opts.steps,
+        chaos::TICK.as_nanos() / 1_000_000
+    );
+    println!(
+        "{:<10} {:>6} {:>9} {:>8} {:>10} {:>11}  result",
+        "style", "seed", "commands", "crashes", "submitted", "delivered"
+    );
+
+    let mut failures = 0u64;
+    for style in STYLES {
+        for seed in opts.seed_base..opts.seed_base + opts.seeds {
+            let schedule = chaos::generate(seed, style, opts.nodes, opts.steps);
+            let report = chaos::run(&schedule);
+            let delivered = format!(
+                "{}..{}",
+                report.delivered.iter().min().copied().unwrap_or(0),
+                report.delivered.iter().max().copied().unwrap_or(0)
+            );
+            println!(
+                "{:<10} {:>6} {:>9} {:>8} {:>10} {:>11}  {}",
+                style_label(style),
+                seed,
+                schedule.commands.len(),
+                report.crashes,
+                report.submitted,
+                delivered,
+                if report.passed() { "ok" } else { "VIOLATION" }
+            );
+            if !report.passed() {
+                failures += 1;
+                print_violations(&report);
+                if let Err(e) = write_repro(opts, &schedule, style, seed) {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "chaos: all {} schedule(s) passed the EVS oracle",
+            opts.seeds * STYLES.len() as u64
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {failures} schedule(s) violated the oracle");
+        ExitCode::from(1)
+    }
+}
+
+fn style_label(style: ReplicationStyle) -> &'static str {
+    match style {
+        ReplicationStyle::Single => "single",
+        ReplicationStyle::Active => "active",
+        ReplicationStyle::Passive => "passive",
+        ReplicationStyle::ActivePassive { .. } => "act-pass",
+    }
+}
+
+fn print_violations(report: &ChaosReport) {
+    for v in &report.violations {
+        println!("    violation: {v}");
+    }
+}
+
+/// Writes the (optionally minimized) repro TOML next to the repo root
+/// so CI can upload it as an artifact.
+fn write_repro(
+    opts: &Options,
+    schedule: &ChaosSchedule,
+    style: ReplicationStyle,
+    seed: u64,
+) -> Result<(), String> {
+    let repro = if opts.minimize {
+        println!("    minimizing (delta debugging over {} commands)...", schedule.commands.len());
+        let shrunk = chaos::shrink(schedule, chaos::oracle::check_safety);
+        println!(
+            "    minimized: {} -> {} commands, {} -> {} steps",
+            schedule.commands.len(),
+            shrunk.commands.len(),
+            schedule.steps,
+            shrunk.steps
+        );
+        shrunk
+    } else {
+        schedule.clone()
+    };
+    let path = opts.repro_dir.join(format!("chaos-repro-{}-{seed}.toml", style_label(style)));
+    std::fs::write(&path, repro.to_toml())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("    repro written to {}", path.display());
+    Ok(())
+}

@@ -4,20 +4,24 @@
 //! every first-party crate (see [`rules`] for what each rule checks
 //! and why). `cargo xtask conformance` checks the implemented state
 //! machines against `spec/protocol.toml` and runs the deterministic
-//! transition-coverage scenarios (see [`conformance`]).
+//! transition-coverage scenarios (see [`conformance`]). `cargo xtask
+//! chaos` fuzzes seeded fault schedules against the EVS invariant
+//! oracle, with delta-debugging minimization of failures (see
+//! [`chaos`]).
 //!
 //! Diagnostics are `file:line: rule: message`, one per line on stdout,
 //! so editors and CI can jump straight to the site.
 //!
-//! Exit codes are machine-readable for both subcommands:
+//! Exit codes are machine-readable for every subcommand:
 //!
 //! * `0` — clean (lint: suppressions within budget; conformance: zero
 //!   undocumented, zero unimplemented, every spec transition
-//!   exercised),
+//!   exercised; chaos: every schedule passed the oracle),
 //! * `1` — at least one violation,
 //! * `2` — usage or I/O error (bad arguments, unreadable files,
 //!   malformed `lint-budget.toml` or `spec/protocol.toml`).
 
+mod chaos;
 mod conformance;
 mod lexer;
 mod rules;
@@ -40,13 +44,29 @@ commands:
       Check note_transition call sites against spec/protocol.toml and
       run the deterministic transition-coverage scenarios.
         --markdown <path>   also write the coverage table as GitHub
-                            markdown (append to $GITHUB_STEP_SUMMARY)";
+                            markdown (append to $GITHUB_STEP_SUMMARY)
+
+  chaos [--seeds N] [--seed-base B] [--steps S] [--nodes K]
+        [--minimize] [--replay <file>] [--repro-dir <dir>]
+      Fuzz seed-deterministic fault schedules (crashes, restarts,
+      partitions, network kills, fault bursts) across all three
+      replication styles and check the EVS invariant oracle.
+        --seeds N           schedules per style (default 10)
+        --seed-base B       first seed (default 0) — lets CI shards
+                            fuzz disjoint seed windows
+        --steps S           traffic ticks per schedule (default 200)
+        --nodes K           cluster size (default 4)
+        --minimize          shrink a violating schedule before writing
+                            its repro file
+        --replay <file>     re-run a previously written repro TOML
+        --repro-dir <dir>   where repro files go (default .)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
+        Some("chaos") => chaos::run(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

@@ -1,0 +1,133 @@
+//! Crash–recovery fault model, end to end: a fail-stop crash is
+//! detected by the membership protocol, the survivors install a new
+//! configuration, and a cold reboot rejoins through Gather → Commit →
+//! Recovery with a fresh identity epoch. Deterministic seeds — these
+//! are regression pins, not fuzz runs (`cargo xtask chaos` is the
+//! fuzzer).
+
+use bytes::Bytes;
+use totem_cluster::chaos::oracle::assert_safety;
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimDuration, SimTime};
+use totem_srp::{ConfigKind, SrpState};
+use totem_wire::NodeId;
+
+/// The core crash+rejoin cycle: every survivor delivers a new regular
+/// configuration excluding the crashed node, then another including
+/// its rebooted incarnation.
+#[test]
+fn crash_and_rejoin_deliver_config_changes_at_every_survivor() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Active).with_seed(21));
+    cluster.run_until(SimTime::from_millis(200));
+
+    let baseline: Vec<usize> = (0..4).map(|n| cluster.configs(n).len()).collect();
+    cluster.fault_now(FaultCommand::CrashNode { node: NodeId::new(3) });
+    cluster.run_until(SimTime::from_secs(4));
+
+    for (n, &before) in baseline.iter().enumerate().take(3) {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "survivor {n} not operational");
+        let configs = cluster.configs(n);
+        assert!(
+            configs.len() > before,
+            "survivor {n} delivered no new configuration after the crash"
+        );
+        let last = configs.last().unwrap();
+        assert_eq!(last.kind, ConfigKind::Regular);
+        assert_eq!(last.members.len(), 3, "survivor {n} final config still counts the corpse");
+        assert!(!last.members.contains(&NodeId::new(3)));
+    }
+
+    let after_crash: Vec<usize> = (0..3).map(|n| cluster.configs(n).len()).collect();
+    cluster.fault_now(FaultCommand::RestartNode { node: NodeId::new(3) });
+    cluster.run_until(SimTime::from_secs(8));
+
+    assert_eq!(cluster.incarnation(3), 1, "reboot must bump the identity epoch");
+    for n in 0..4 {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} not operational");
+        assert_eq!(cluster.members(n).unwrap().len(), 4, "node {n} sees a partial ring");
+    }
+    for (n, &before) in after_crash.iter().enumerate() {
+        let configs = cluster.configs(n);
+        assert!(
+            configs.len() > before,
+            "survivor {n} delivered no new configuration for the rejoin"
+        );
+        let last = configs.last().unwrap();
+        assert_eq!(last.kind, ConfigKind::Regular);
+        assert_eq!(last.members.len(), 4, "survivor {n} final config lacks the rejoiner");
+        assert!(last.members.contains(&NodeId::new(3)));
+    }
+}
+
+/// Safety holds across a crash interleaved with live traffic: nothing
+/// is delivered twice, per-sender FIFO holds, and the survivors agree
+/// on order. Messages accepted from the victim before the crash
+/// either reach everyone or no one.
+#[test]
+fn traffic_through_a_crash_preserves_safety() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(4, ReplicationStyle::Passive).with_seed(22));
+    cluster.schedule_fault(
+        SimTime::from_millis(700),
+        FaultCommand::CrashNode { node: NodeId::new(1) },
+    );
+    let mut t = SimTime::ZERO;
+    for i in 0..80u64 {
+        cluster.run_until(t);
+        let _ = cluster.try_submit((i % 4) as usize, Bytes::from(format!("c-{i}")));
+        t += SimDuration::from_millis(15);
+    }
+    cluster.run_until(SimTime::from_secs(6));
+    assert_safety(&cluster, 4);
+    // Survivors converge on the same delivery sequence.
+    let reference: Vec<Bytes> = cluster.delivered(0).iter().map(|d| d.data.clone()).collect();
+    for n in [2usize, 3] {
+        let got: Vec<Bytes> = cluster.delivered(n).iter().map(|d| d.data.clone()).collect();
+        assert_eq!(got, reference, "survivor {n} diverged from survivor 0");
+    }
+}
+
+/// A crash *during* ring formation (the window where membership state
+/// is half-built) must not wedge the survivors.
+#[test]
+fn crash_during_formation_is_survived() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(5, ReplicationStyle::Single).joining().with_seed(23));
+    // Well inside the initial Gather/Commit window.
+    cluster
+        .schedule_fault(SimTime::from_millis(40), FaultCommand::CrashNode { node: NodeId::new(2) });
+    cluster.run_until(SimTime::from_secs(5));
+    for n in [0usize, 1, 3, 4] {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} wedged");
+        let members = cluster.members(n).unwrap();
+        assert_eq!(members.len(), 4, "node {n} ring has wrong size");
+        assert!(!members.contains(&NodeId::new(2)));
+    }
+    assert_safety(&cluster, 5);
+}
+
+/// Repeated crash/restart cycles of the same node keep converging —
+/// each reboot is a fresh incarnation, and stale state from incarnation
+/// k never wedges incarnation k+1.
+#[test]
+fn repeated_crash_restart_cycles_converge() {
+    let mut cluster =
+        SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).with_seed(24));
+    for cycle in 0..3u64 {
+        let base = SimTime::from_secs(1 + cycle * 6);
+        cluster.schedule_fault(base, FaultCommand::CrashNode { node: NodeId::new(2) });
+        cluster.schedule_fault(
+            base + SimDuration::from_secs(3),
+            FaultCommand::RestartNode { node: NodeId::new(2) },
+        );
+    }
+    cluster.run_until(SimTime::from_secs(24));
+    assert_eq!(cluster.incarnation(2), 3);
+    for n in 0..3 {
+        assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} not operational");
+        assert_eq!(cluster.members(n).unwrap().len(), 3, "node {n} ring incomplete");
+    }
+    assert_safety(&cluster, 3);
+}

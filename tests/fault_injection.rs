@@ -5,54 +5,11 @@
 //! per-sender FIFO.
 
 use bytes::Bytes;
+use totem_cluster::chaos::oracle::assert_safety;
 use totem_cluster::{ClusterConfig, SimCluster};
 use totem_rrp::ReplicationStyle;
 use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimDuration, SimTime};
 use totem_wire::{NetworkId, NodeId};
-
-/// Checks agreement on the common prefix plus integrity and FIFO.
-fn assert_safety(cluster: &SimCluster, nodes: usize) {
-    let orders: Vec<Vec<(NodeId, Bytes)>> = (0..nodes)
-        .map(|n| cluster.delivered(n).iter().map(|d| (d.sender, d.data.clone())).collect())
-        .collect();
-    for (n, o) in orders.iter().enumerate() {
-        // Integrity: no duplicates.
-        let mut seen = std::collections::HashSet::new();
-        for item in o {
-            assert!(seen.insert(item.clone()), "node {n} delivered a duplicate: {item:?}");
-        }
-        // Per-sender FIFO (payloads embed a per-sender counter).
-        let mut last: std::collections::HashMap<NodeId, u64> = Default::default();
-        for (sender, data) in o {
-            let counter: u64 = String::from_utf8_lossy(data)
-                .rsplit('-')
-                .next()
-                .unwrap()
-                .parse()
-                .expect("counter suffix");
-            if let Some(prev) = last.insert(*sender, counter) {
-                assert!(prev < counter, "node {n}: sender {sender} reordered");
-            }
-        }
-    }
-    // Agreement in the sense of extended virtual synchrony: any two
-    // nodes deliver the messages they have in common in the same
-    // relative order. (Prefix equality would be too strong: during a
-    // partition each component legitimately delivers its own
-    // messages.)
-    for a in 0..nodes {
-        for b in a + 1..nodes {
-            let set_a: std::collections::HashSet<_> = orders[a].iter().collect();
-            let set_b: std::collections::HashSet<_> = orders[b].iter().collect();
-            let common_a: Vec<_> = orders[a].iter().filter(|x| set_b.contains(x)).collect();
-            let common_b: Vec<_> = orders[b].iter().filter(|x| set_a.contains(x)).collect();
-            assert_eq!(
-                common_a, common_b,
-                "nodes {a} and {b} order their common messages differently"
-            );
-        }
-    }
-}
 
 fn lossy_cluster(style: ReplicationStyle, nodes: usize, loss: f64, seed: u64) -> SimCluster {
     let networks = 2;

@@ -4,6 +4,7 @@
 //! alarm.
 
 use bytes::Bytes;
+use totem_cluster::chaos::oracle::assert_identical_delivery as assert_all_delivered_in_agreement;
 use totem_cluster::{ClusterConfig, SimCluster};
 use totem_rrp::{FaultReason, ReplicationStyle};
 use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimTime};
@@ -11,15 +12,6 @@ use totem_wire::{NetworkId, NodeId};
 
 fn active_cluster(nodes: usize, seed: u64) -> SimCluster {
     SimCluster::new(ClusterConfig::new(nodes, ReplicationStyle::Active).with_seed(seed))
-}
-
-fn assert_all_delivered_in_agreement(cluster: &SimCluster, nodes: usize, expect: usize) {
-    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
-    assert_eq!(reference.len(), expect);
-    for n in 1..nodes {
-        let o: Vec<&[u8]> = cluster.delivered(n).iter().map(|d| &d.data[..]).collect();
-        assert_eq!(o, reference, "node {n} disagrees");
-    }
 }
 
 /// A1: duplicates from redundant networks are suppressed — exactly one

@@ -5,6 +5,7 @@
 //! alarms.
 
 use bytes::Bytes;
+use totem_cluster::chaos::oracle::assert_identical_delivery as assert_agreement;
 use totem_cluster::{ClusterConfig, SimCluster};
 use totem_rrp::{FaultReason, ReplicationStyle};
 use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimTime};
@@ -12,15 +13,6 @@ use totem_wire::{NetworkId, NodeId};
 
 fn passive_cluster(nodes: usize, seed: u64) -> SimCluster {
     SimCluster::new(ClusterConfig::new(nodes, ReplicationStyle::Passive).with_seed(seed))
-}
-
-fn assert_agreement(cluster: &SimCluster, nodes: usize, expect: usize) {
-    let reference: Vec<&[u8]> = cluster.delivered(0).iter().map(|d| &d.data[..]).collect();
-    assert_eq!(reference.len(), expect);
-    for n in 1..nodes {
-        let o: Vec<&[u8]> = cluster.delivered(n).iter().map(|d| &d.data[..]).collect();
-        assert_eq!(o, reference, "node {n} disagrees");
-    }
 }
 
 /// P1: a message delayed on the other network (Figure 3 scenarios)
