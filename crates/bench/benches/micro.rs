@@ -10,6 +10,7 @@ use bytes::Bytes;
 use totem_rrp::{ReplicationStyle, RrpConfig, RrpLayer};
 use totem_srp::packing::Packer;
 use totem_srp::window::ReceiveWindow;
+use totem_wire::frame::{MAX_PAYLOAD, MAX_UNFRAGMENTED_MSG};
 use totem_wire::{Chunk, DataPacket, NetworkId, NodeId, Packet, RingId, Seq, Token};
 
 fn data_packet(seq: u64, payload: usize) -> Packet {
@@ -31,7 +32,9 @@ fn token_packet(rotation: u64, seq: u64) -> Token {
 
 fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
-    for payload in [100usize, 1400] {
+    // 100 B is the paper's smallest sweep point; MAX_UNFRAGMENTED_MSG
+    // encodes to exactly the 1424-byte frame payload boundary.
+    for payload in [100usize, MAX_UNFRAGMENTED_MSG] {
         let pkt = data_packet(1, payload);
         let bytes = pkt.encode();
         g.throughput(CriterionThroughput::Bytes(bytes.len() as u64));
@@ -49,9 +52,21 @@ fn bench_codec(c: &mut Criterion) {
 
 fn bench_packer(c: &mut Criterion) {
     let mut g = c.benchmark_group("packer");
-    for (name, size, count) in
-        [("small_100B", 100usize, 120usize), ("frame_700B", 700, 40), ("large_10KB", 10_000, 4)]
-    {
+    for (name, size, count) in [
+        ("small_100B", 100usize, 120usize),
+        // 2 × (700 + chunk header) = 1424: two messages fill a frame
+        // exactly (see `totem_wire::frame::chunks_per_frame`).
+        ("frame_700B", 700, 40),
+        // Largest message that still fits one frame unfragmented...
+        ("boundary_fit_1frame", MAX_UNFRAGMENTED_MSG, 24),
+        // ...one byte past the 1424-byte payload boundary: the packer
+        // must fragment into two chunks across frames.
+        ("boundary_split_2frames", MAX_UNFRAGMENTED_MSG + 1, 24),
+        // A full frame payload with no room for the chunk header:
+        // worst-case interior fragmentation.
+        ("boundary_payload_1424B", MAX_PAYLOAD, 24),
+        ("large_10KB", 10_000, 4),
+    ] {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || {
@@ -78,7 +93,7 @@ fn bench_window(c: &mut Criterion) {
             |mut w| {
                 for s in 1..=1000u64 {
                     let Packet::Data(d) = data_packet(s, 100) else { unreachable!() };
-                    w.insert(d);
+                    w.insert(d.into());
                 }
                 w.take_deliverable(Seq::new(1000)).len()
             },
@@ -91,7 +106,7 @@ fn bench_window(c: &mut Criterion) {
             |mut w| {
                 for s in (1..=1000u64).rev() {
                     let Packet::Data(d) = data_packet(s, 100) else { unreachable!() };
-                    w.insert(d);
+                    w.insert(d.into());
                 }
                 w.my_aru()
             },
@@ -109,8 +124,18 @@ fn bench_rrp(c: &mut Criterion) {
             |mut layer| {
                 for r in 0..100u64 {
                     let t = token_packet(r, r);
-                    layer.on_packet(r * 1000, NetworkId::new(0), Packet::Token(t.clone()), false);
-                    layer.on_packet(r * 1000 + 1, NetworkId::new(1), Packet::Token(t), false);
+                    layer.on_packet(
+                        r * 1000,
+                        NetworkId::new(0),
+                        Packet::Token(t.clone()).into(),
+                        false,
+                    );
+                    layer.on_packet(
+                        r * 1000 + 1,
+                        NetworkId::new(1),
+                        Packet::Token(t).into(),
+                        false,
+                    );
                 }
             },
             BatchSize::SmallInput,
@@ -122,7 +147,7 @@ fn bench_rrp(c: &mut Criterion) {
             |mut layer| {
                 for i in 0..100u64 {
                     let pkt = data_packet(i, 100);
-                    layer.on_packet(i, NetworkId::new((i % 2) as u8), pkt, false);
+                    layer.on_packet(i, NetworkId::new((i % 2) as u8), pkt.into(), false);
                 }
             },
             BatchSize::SmallInput,

@@ -1,0 +1,379 @@
+//! Wall-clock benchmark gate for the zero-copy data plane
+//! (`cargo xtask bench` runs this binary and merges its output with
+//! the committed pre-change baseline into `BENCH_PR4.json`).
+//!
+//! Four sections, all emitted as hand-rolled JSON (the offline
+//! workspace has no `serde_json`):
+//!
+//! * **fig6** — the paper's Figure 6 sweep (4 nodes, three
+//!   replication styles, quick size grid), wall-clock timed per
+//!   figure point. This is the macro workload the ≥2× acceptance
+//!   criterion is judged on.
+//! * **macro** — one saturated operating point run for a longer
+//!   simulated window, reporting simulator events/sec (wire frames
+//!   sent + per-receiver deliveries per wall-clock second).
+//! * **allocs** — global-allocator counts over the macro run,
+//!   normalized per wire frame, so allocation regressions on the hot
+//!   path are visible as a single number.
+//! * **determinism** — FNV-1a digests of everything the simulation
+//!   delivers under (a) a fixed-seed mixed-size submit scenario and
+//!   (b) a chaos-style fault-schedule replay. Each scenario runs
+//!   twice in-process (must match), and the digests are compared
+//!   against the baseline by `cargo xtask bench` (must also match:
+//!   the zero-copy refactor must not change one delivered byte).
+//!
+//! Wall-clock numbers depend on `--quick` (shorter measurement
+//! window); determinism digests use fixed parameters in both modes so
+//! they are always comparable across runs and builds.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bytes::Bytes;
+use totem_bench::{fig6, measure, MeasureConfig, QUICK_SIZES, SERIES};
+use totem_cluster::{ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{FaultCommand, SimDuration, SimTime};
+use totem_wire::NetworkId;
+
+/// Counts every allocation and reallocation so the gate can report
+/// allocations per wire frame on the hot path.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain
+// relaxed atomics with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOC_COUNT.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------
+// FNV-1a digest of delivered state
+// ---------------------------------------------------------------------
+
+/// Incremental FNV-1a 64-bit hash; tiny, dependency-free and stable
+/// across builds, which is all a drift detector needs.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_be_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Folds everything externally observable about a finished run into
+/// one digest: per-node delivered messages (sender, seq, ring, full
+/// payload bytes), delivery times, configuration changes, and the
+/// wire-level [`totem_sim::SimStats`] via their `Debug` rendering.
+fn digest_cluster(cluster: &SimCluster, nodes: usize) -> u64 {
+    let mut h = Fnv::new();
+    for node in 0..nodes {
+        h.u64(node as u64);
+        for d in cluster.delivered(node) {
+            h.u64(d.sender.index() as u64);
+            h.u64(d.seq.as_u64());
+            h.str(&format!("{:?}", d.ring));
+            h.u64(d.data.len() as u64);
+            h.bytes(&d.data);
+        }
+        for &t in cluster.delivery_times(node) {
+            h.u64(t);
+        }
+        h.str(&format!("{:?}", cluster.configs(node)));
+    }
+    h.str(&format!("{:?}", cluster.net_stats()));
+    h.0
+}
+
+// ---------------------------------------------------------------------
+// Section 1: fig6 sweep, wall-clock per figure point
+// ---------------------------------------------------------------------
+
+struct FigPoint {
+    style: ReplicationStyle,
+    size: usize,
+    wall_ms: f64,
+    msgs_per_sec: f64,
+}
+
+fn run_fig6(window: SimDuration) -> (Vec<FigPoint>, f64) {
+    let spec = fig6();
+    let mut points = Vec::new();
+    let t0 = Instant::now();
+    for &style in SERIES {
+        for &size in QUICK_SIZES {
+            let cfg = MeasureConfig::new(style, size)
+                .with_nodes(spec.nodes)
+                .with_cpu(spec.cpu.clone())
+                .with_window(window);
+            let p0 = Instant::now();
+            let t = measure(&cfg);
+            points.push(FigPoint {
+                style,
+                size,
+                wall_ms: p0.elapsed().as_secs_f64() * 1000.0,
+                msgs_per_sec: t.msgs_per_sec,
+            });
+        }
+    }
+    (points, t0.elapsed().as_secs_f64() * 1000.0)
+}
+
+// ---------------------------------------------------------------------
+// Section 2 + 3: saturated macro run with allocation counting
+// ---------------------------------------------------------------------
+
+struct MacroResult {
+    wall_ms: f64,
+    frames: u64,
+    deliveries: u64,
+    events_per_sec: f64,
+    sim_msgs: u64,
+    allocs_per_frame: f64,
+    alloc_bytes_per_frame: f64,
+}
+
+fn run_macro(window: SimDuration) -> MacroResult {
+    let mut cfg = ClusterConfig::new(4, ReplicationStyle::Active).counters_only().with_seed(42);
+    cfg.sim = cfg.sim.with_cpu(totem_sim::CpuConfig::pentium_ii_450());
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+
+    // Warm up so ring formation and first-allocation noise stay out of
+    // the counted window.
+    cluster.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+    let frames_before = cluster.net_stats().total_frames();
+    let deliveries_before: u64 = cluster.net_stats().iter().map(|(_, s)| s.deliveries).sum();
+    let msgs_before = cluster.counters().msgs;
+    let (a0, b0) = alloc_snapshot();
+    let t0 = Instant::now();
+
+    cluster.run_until(SimTime::ZERO + SimDuration::from_millis(100) + window);
+
+    let wall = t0.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    let frames = cluster.net_stats().total_frames() - frames_before;
+    let deliveries: u64 =
+        cluster.net_stats().iter().map(|(_, s)| s.deliveries).sum::<u64>() - deliveries_before;
+    let events = frames + deliveries;
+    MacroResult {
+        wall_ms: wall * 1000.0,
+        frames,
+        deliveries,
+        events_per_sec: if wall > 0.0 { events as f64 / wall } else { 0.0 },
+        sim_msgs: cluster.counters().msgs - msgs_before,
+        allocs_per_frame: if frames > 0 { (a1 - a0) as f64 / frames as f64 } else { 0.0 },
+        alloc_bytes_per_frame: if frames > 0 { (b1 - b0) as f64 / frames as f64 } else { 0.0 },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section 4: determinism digests (fixed parameters in every mode)
+// ---------------------------------------------------------------------
+
+/// Mixed-size submit scenario: five nodes, passive replication, a
+/// deterministic payload schedule that exercises packing (tiny
+/// messages), the fragmentation path (multi-frame messages), and idle
+/// gaps. Returns the digest of everything delivered.
+fn scenario_digest() -> u64 {
+    const NODES: usize = 5;
+    let cfg = ClusterConfig::new(NODES, ReplicationStyle::Passive).counters_only().with_seed(7);
+    let mut cluster = SimCluster::new(cfg);
+    let mut payload = Vec::new();
+    for step in 0u64..200 {
+        cluster.run_until(SimTime::ZERO + SimDuration::from_micros(250 * step));
+        // Sizes cycle through packing-relevant shapes, including one
+        // above the unfragmented maximum.
+        let size = match step % 5 {
+            0 => 64,
+            1 => 700,
+            2 => totem_wire::frame::MAX_UNFRAGMENTED_MSG + 100,
+            3 => 1,
+            _ => 3000,
+        };
+        payload.clear();
+        payload.extend((0..size).map(|i| (step as usize * 31 + i) as u8));
+        let node = (step as usize) % NODES;
+        let _ = cluster.try_submit(node, Bytes::from(payload.clone()));
+    }
+    cluster.run_until(SimTime::ZERO + SimDuration::from_millis(400));
+    digest_cluster(&cluster, NODES)
+}
+
+/// Chaos-style replay: a fixed fault schedule (crash + restart, a
+/// network outage, a partition that heals) under saturating traffic.
+fn chaos_digest() -> u64 {
+    const NODES: usize = 4;
+    let cfg = ClusterConfig::new(NODES, ReplicationStyle::Active).counters_only().with_seed(99);
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+
+    let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    cluster.schedule_fault(at(50), FaultCommand::CrashNode { node: totem_wire::NodeId::new(2) });
+    cluster.schedule_fault(at(120), FaultCommand::RestartNode { node: totem_wire::NodeId::new(2) });
+    cluster
+        .schedule_fault(at(200), FaultCommand::NetworkDown { net: NetworkId::new(1), down: true });
+    cluster
+        .schedule_fault(at(280), FaultCommand::NetworkDown { net: NetworkId::new(1), down: false });
+    cluster.schedule_fault(
+        at(350),
+        FaultCommand::Partition { net: NetworkId::new(0), groups: vec![0, 0, 1, 1] },
+    );
+    cluster.schedule_fault(
+        at(450),
+        FaultCommand::Partition { net: NetworkId::new(0), groups: vec![] },
+    );
+
+    cluster.run_until(at(600));
+    digest_cluster(&cluster, NODES)
+}
+
+// ---------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------
+
+fn style_name(style: ReplicationStyle) -> &'static str {
+    match style {
+        ReplicationStyle::Single => "single",
+        ReplicationStyle::Active => "active",
+        ReplicationStyle::Passive => "passive",
+        ReplicationStyle::ActivePassive { .. } => "active_passive",
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = iter.next().cloned(),
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`");
+                eprintln!("usage: bench_gate [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fig_window =
+        if quick { SimDuration::from_millis(60) } else { SimDuration::from_millis(250) };
+    let macro_window =
+        if quick { SimDuration::from_millis(250) } else { SimDuration::from_millis(1000) };
+
+    eprintln!("bench_gate: fig6 sweep ({} sizes x {} styles)...", QUICK_SIZES.len(), SERIES.len());
+    let (points, fig6_total_ms) = run_fig6(fig_window);
+    eprintln!("bench_gate: fig6 sweep done in {fig6_total_ms:.0} ms");
+
+    eprintln!("bench_gate: saturated macro run...");
+    let mac = run_macro(macro_window);
+    eprintln!(
+        "bench_gate: macro {:.0} events/sec, {:.1} allocs/frame",
+        mac.events_per_sec, mac.allocs_per_frame
+    );
+
+    eprintln!("bench_gate: determinism scenarios (each twice)...");
+    let s1 = scenario_digest();
+    let s2 = scenario_digest();
+    let c1 = chaos_digest();
+    let c2 = chaos_digest();
+    let repeat_identical = s1 == s2 && c1 == c2;
+    eprintln!("bench_gate: scenario={s1:016x} chaos={c1:016x} repeat_identical={repeat_identical}");
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"totem-bench-gate-v1\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str("  \"fig6\": {\n");
+    j.push_str(&format!("    \"window_ms\": {},\n", fig_window.as_nanos() / 1_000_000));
+    j.push_str(&format!("    \"total_wall_ms\": {},\n", json_f(fig6_total_ms)));
+    j.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"style\": \"{}\", \"size\": {}, \"wall_ms\": {}, \"msgs_per_sec\": {}}}{}\n",
+            style_name(p.style),
+            p.size,
+            json_f(p.wall_ms),
+            json_f(p.msgs_per_sec),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("    ]\n  },\n");
+    j.push_str("  \"macro\": {\n");
+    j.push_str(&format!("    \"window_ms\": {},\n", macro_window.as_nanos() / 1_000_000));
+    j.push_str(&format!("    \"wall_ms\": {},\n", json_f(mac.wall_ms)));
+    j.push_str(&format!("    \"frames\": {},\n", mac.frames));
+    j.push_str(&format!("    \"deliveries\": {},\n", mac.deliveries));
+    j.push_str(&format!("    \"sim_msgs\": {},\n", mac.sim_msgs));
+    j.push_str(&format!("    \"events_per_sec\": {}\n", json_f(mac.events_per_sec)));
+    j.push_str("  },\n");
+    j.push_str("  \"allocs\": {\n");
+    j.push_str(&format!("    \"allocs_per_frame\": {},\n", json_f(mac.allocs_per_frame)));
+    j.push_str(&format!("    \"alloc_bytes_per_frame\": {}\n", json_f(mac.alloc_bytes_per_frame)));
+    j.push_str("  },\n");
+    j.push_str("  \"determinism\": {\n");
+    j.push_str(&format!("    \"scenario_digest\": \"{s1:016x}\",\n"));
+    j.push_str(&format!("    \"chaos_digest\": \"{c1:016x}\",\n"));
+    j.push_str(&format!("    \"repeat_identical\": {repeat_identical}\n"));
+    j.push_str("  }\n}\n");
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &j) {
+                eprintln!("bench_gate: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("bench_gate: wrote {path}");
+        }
+        None => print!("{j}"),
+    }
+
+    if !repeat_identical {
+        eprintln!("bench_gate: FAIL: repeated runs with identical seeds diverged");
+        std::process::exit(1);
+    }
+}

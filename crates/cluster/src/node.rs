@@ -16,7 +16,7 @@ use bytes::Bytes;
 
 use totem_rrp::{FaultReport, RrpConfig, RrpEvent, RrpLayer};
 use totem_srp::{ConfigChange, Delivered, SrpConfig, SrpEvent, SrpNode, SrpState, SubmitError};
-use totem_wire::{NetworkId, NodeId, Packet, Transition};
+use totem_wire::{NetworkId, NodeId, Packet, SharedPacket, Transition};
 
 /// Protocol time in nanoseconds (shared with `totem-srp`).
 pub type Nanos = u64;
@@ -30,8 +30,9 @@ pub enum NodeOutput {
         net: NetworkId,
         /// `None` = broadcast to all peers; `Some` = unicast.
         dst: Option<NodeId>,
-        /// The packet.
-        pkt: Packet,
+        /// The packet, as a shared encode-once handle: every route's
+        /// copy of one frame is a refcount bump on the same buffer.
+        pkt: SharedPacket,
     },
     /// An application message was delivered in total order.
     Deliver(Delivered),
@@ -54,6 +55,12 @@ pub enum NodeOutput {
 pub struct TotemNode {
     srp: SrpNode,
     rrp: RrpLayer,
+    /// Recycled RRP event buffer: the per-reception fast path (one
+    /// `Deliver` per packet) allocates nothing in steady state.
+    rrp_events: Vec<RrpEvent>,
+    /// Recycled route buffer: picking the networks for an outgoing
+    /// packet reuses one `Vec` instead of allocating per send.
+    route_buf: Vec<NetworkId>,
 }
 
 impl TotemNode {
@@ -75,6 +82,8 @@ impl TotemNode {
         TotemNode {
             srp: SrpNode::new_operational(me, srp_cfg, members, now).expect("valid SRP bootstrap"),
             rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
+            rrp_events: Vec::new(),
+            route_buf: Vec::new(),
         }
     }
 
@@ -88,6 +97,8 @@ impl TotemNode {
         TotemNode {
             srp: SrpNode::new_joining(me, srp_cfg).expect("valid SRP config"),
             rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
+            rrp_events: Vec::new(),
+            route_buf: Vec::new(),
         }
     }
 
@@ -104,6 +115,8 @@ impl TotemNode {
         TotemNode {
             srp: SrpNode::new_rejoining(me, srp_cfg, epoch).expect("valid SRP config"),
             rrp: RrpLayer::new(rrp_cfg).expect("valid RRP config"),
+            rrp_events: Vec::new(),
+            route_buf: Vec::new(),
         }
     }
 
@@ -151,35 +164,73 @@ impl TotemNode {
     /// Returns [`SubmitError`] when the local send queue is full
     /// (flow-control backpressure); retry after some deliveries.
     pub fn submit(&mut self, now: Nanos, data: Bytes) -> Result<Vec<NodeOutput>, SubmitError> {
-        let events = self.srp.submit(now, data)?;
         let mut out = Vec::new();
-        self.route_srp(now, events, &mut out);
+        self.submit_into(now, data, &mut out)?;
         Ok(out)
     }
 
+    /// Like [`TotemNode::submit`], but appends the outputs to a
+    /// caller-owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] when the local send queue is full;
+    /// `out` is left untouched in that case.
+    pub fn submit_into(
+        &mut self,
+        now: Nanos,
+        data: Bytes,
+        out: &mut Vec<NodeOutput>,
+    ) -> Result<(), SubmitError> {
+        let events = self.srp.submit(now, data)?;
+        self.route_srp(now, events, out);
+        Ok(())
+    }
+
     /// Feeds a packet received on `net`.
-    pub fn on_packet(&mut self, now: Nanos, net: NetworkId, pkt: Packet) -> Vec<NodeOutput> {
+    pub fn on_packet(&mut self, now: Nanos, net: NetworkId, pkt: SharedPacket) -> Vec<NodeOutput> {
         let mut out = Vec::new();
-        let missing = self.srp.any_messages_missing();
-        let events = self.rrp.on_packet(now, net, pkt, missing);
-        self.process_rrp(now, events, &mut out);
-        self.drain_releases(now, &mut out);
+        self.on_packet_into(now, net, pkt, &mut out);
         out
+    }
+
+    /// Like [`TotemNode::on_packet`], but appends the outputs to a
+    /// caller-owned buffer so the reception hot path can recycle one
+    /// allocation across packets.
+    pub fn on_packet_into(
+        &mut self,
+        now: Nanos,
+        net: NetworkId,
+        pkt: SharedPacket,
+        out: &mut Vec<NodeOutput>,
+    ) {
+        let missing = self.srp.any_messages_missing();
+        let mut events = std::mem::take(&mut self.rrp_events);
+        self.rrp.on_packet_into(now, net, pkt, missing, &mut events);
+        self.process_rrp(now, &mut events, out);
+        self.rrp_events = events;
+        self.drain_releases(now, out);
     }
 
     /// Fires any expired timers of either layer.
     pub fn on_timer(&mut self, now: Nanos) -> Vec<NodeOutput> {
         let mut out = Vec::new();
+        self.on_timer_into(now, &mut out);
+        out
+    }
+
+    /// Like [`TotemNode::on_timer`], but appends the outputs to a
+    /// caller-owned buffer.
+    pub fn on_timer_into(&mut self, now: Nanos, out: &mut Vec<NodeOutput>) {
         if self.srp.next_deadline().is_some_and(|d| d <= now) {
             let events = self.srp.on_timer(now);
-            self.route_srp(now, events, &mut out);
+            self.route_srp(now, events, out);
         }
         if self.rrp.next_deadline().is_some_and(|d| d <= now) {
-            let events = self.rrp.on_timer(now);
-            self.process_rrp(now, events, &mut out);
+            let mut events = self.rrp.on_timer(now);
+            self.process_rrp(now, &mut events, out);
         }
-        self.drain_releases(now, &mut out);
-        out
+        self.drain_releases(now, out);
     }
 
     /// Administrative repair of a faulty network (see
@@ -206,16 +257,16 @@ impl TotemNode {
     /// gaps the SRP has since filled.
     fn drain_releases(&mut self, now: Nanos, out: &mut Vec<NodeOutput>) {
         loop {
-            let events = self.rrp.poll_release(now, self.srp.any_messages_missing());
+            let mut events = self.rrp.poll_release(now, self.srp.any_messages_missing());
             if events.is_empty() {
                 break;
             }
-            self.process_rrp(now, events, out);
+            self.process_rrp(now, &mut events, out);
         }
     }
 
-    fn process_rrp(&mut self, now: Nanos, events: Vec<RrpEvent>, out: &mut Vec<NodeOutput>) {
-        for ev in events {
+    fn process_rrp(&mut self, now: Nanos, events: &mut Vec<RrpEvent>, out: &mut Vec<NodeOutput>) {
+        for ev in events.drain(..) {
             match ev {
                 RrpEvent::Deliver(pkt, _net) => {
                     let srp_events = self.srp.handle_packet(now, pkt);
@@ -228,34 +279,40 @@ impl TotemNode {
     }
 
     /// Maps SRP events onto networks and application outputs.
-    fn route_srp(&mut self, _now: Nanos, events: Vec<SrpEvent>, out: &mut Vec<NodeOutput>) {
-        for ev in events {
+    fn route_srp(&mut self, _now: Nanos, mut events: Vec<SrpEvent>, out: &mut Vec<NodeOutput>) {
+        let mut routes = std::mem::take(&mut self.route_buf);
+        for ev in events.drain(..) {
             match ev {
                 SrpEvent::Broadcast(pkt) => {
                     // Membership traffic is replicated on every
                     // healthy network regardless of style; data takes
                     // the style's route.
-                    let routes = match &pkt {
-                        Packet::Join(_) | Packet::Commit(_) => self.rrp.routes_for_membership(),
-                        Packet::Data(_) | Packet::Token(_) => self.rrp.routes_for_message(),
-                    };
-                    for net in routes {
+                    match pkt.packet() {
+                        Packet::Join(_) | Packet::Commit(_) => {
+                            self.rrp.routes_for_membership_into(&mut routes);
+                        }
+                        Packet::Data(_) | Packet::Token(_) => {
+                            self.rrp.routes_for_message_into(&mut routes);
+                        }
+                    }
+                    for &net in &routes {
                         out.push(NodeOutput::Send { net, dst: None, pkt: pkt.clone() });
                     }
                 }
                 SrpEvent::Rebroadcast(pkt) => {
-                    for net in self.rrp.routes_for_retransmission() {
+                    self.rrp.routes_for_retransmission_into(&mut routes);
+                    for &net in &routes {
                         out.push(NodeOutput::Send { net, dst: None, pkt: pkt.clone() });
                     }
                 }
                 SrpEvent::ToSuccessor(succ, pkt) => {
-                    let routes = match &pkt {
-                        Packet::Commit(_) => self.rrp.routes_for_membership(),
+                    match pkt.packet() {
+                        Packet::Commit(_) => self.rrp.routes_for_membership_into(&mut routes),
                         Packet::Data(_) | Packet::Token(_) | Packet::Join(_) => {
-                            self.rrp.routes_for_token()
+                            self.rrp.routes_for_token_into(&mut routes);
                         }
-                    };
-                    for net in routes {
+                    }
+                    for &net in &routes {
                         out.push(NodeOutput::Send { net, dst: Some(succ), pkt: pkt.clone() });
                     }
                 }
@@ -263,6 +320,8 @@ impl TotemNode {
                 SrpEvent::Config(c) => out.push(NodeOutput::Config(c)),
             }
         }
+        self.route_buf = routes;
+        self.srp.recycle_events(events);
     }
 }
 
@@ -297,7 +356,9 @@ mod tests {
             let nets: Vec<u8> = out
                 .iter()
                 .filter_map(|o| match o {
-                    NodeOutput::Send { net, dst: Some(_), pkt: Packet::Token(_) } => {
+                    NodeOutput::Send { net, dst: Some(_), pkt }
+                        if matches!(pkt.packet(), Packet::Token(_)) =>
+                    {
                         Some(net.as_u8())
                     }
                     _ => None,
@@ -315,7 +376,9 @@ mod tests {
         let data_nets: Vec<u8> = out
             .iter()
             .filter_map(|o| match o {
-                NodeOutput::Send { net, dst: None, pkt: Packet::Data(_) } => Some(net.as_u8()),
+                NodeOutput::Send { net, dst: None, pkt } if pkt.data().is_some() => {
+                    Some(net.as_u8())
+                }
                 _ => None,
             })
             .collect();

@@ -15,7 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use totem_rrp::FaultReport;
 use totem_srp::{ConfigChange, Delivered};
 use totem_transport::{Destination, Transport};
-use totem_wire::Packet;
+use totem_wire::{Packet, SharedPacket};
 
 use crate::node::{NodeOutput, TotemNode};
 
@@ -208,7 +208,9 @@ fn drive<T: Transport>(
         };
         if let Some((net, bytes)) = transport.recv_timeout(timeout) {
             if let Ok(pkt) = Packet::decode(&bytes) {
-                let outs = node.on_packet(now_ns(), net, pkt);
+                // Seed the encode cache with the received datagram so
+                // retransmitting this packet never re-encodes it.
+                let outs = node.on_packet(now_ns(), net, SharedPacket::from_wire(pkt, bytes));
                 perform(outs, transport, events_tx);
             }
         }
@@ -233,8 +235,9 @@ fn perform<T: Transport>(
                     Some(d) => Destination::Node(d),
                 };
                 // Treat transient send failures as packet loss; the
-                // protocol retransmits.
-                let _ = transport.send(net, dest, &pkt.encode());
+                // protocol retransmits. The cached encoding makes every
+                // copy of this frame share one buffer.
+                let _ = transport.send(net, dest, pkt.encoded().clone());
             }
             NodeOutput::Deliver(d) => {
                 let _ = events_tx.send(RuntimeEvent::Delivered(d));

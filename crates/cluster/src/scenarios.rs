@@ -164,7 +164,7 @@ fn crash_rejoin() -> ScenarioReport {
 fn only_packet(events: &[SrpEvent]) -> Packet {
     let mut pkts = events.iter().filter_map(|e| e.packet().cloned());
     let first = pkts.next().unwrap_or_else(|| unreachable!("scenario step produced no packet"));
-    first
+    first.into_packet()
 }
 
 /// Unwraps a commit token out of a packet the scenarios just produced.
@@ -190,12 +190,12 @@ fn pair_to_commit(cfg: &SrpConfig) -> (SrpNode, SrpNode, CommitToken) {
     let ja = only_packet(&a.start(0));
     let jb = only_packet(&b.start(0));
     // Each side learns of the other and re-advertises the merged set...
-    let jb2 = only_packet(&b.handle_packet(0, ja));
-    let ja2 = only_packet(&a.handle_packet(0, jb));
+    let jb2 = only_packet(&b.handle_packet(0, ja.into()));
+    let ja2 = only_packet(&a.handle_packet(0, jb.into()));
     // ...node 1 sees agreement and awaits the rep's commit token...
-    b.handle_packet(0, ja2);
+    b.handle_packet(0, ja2.into());
     // ...and node 0 (the rep) reaches consensus and builds it.
-    let ct = as_commit(only_packet(&a.handle_packet(0, jb2)));
+    let ct = as_commit(only_packet(&a.handle_packet(0, jb2.into())));
     (a, b, ct)
 }
 
@@ -215,7 +215,7 @@ fn membership_edges() -> ScenarioReport {
     // the representative with node 1's received flag still unset.
     {
         let (mut a, _b, ct) = pair_to_commit(&cfg);
-        a.handle_packet(0, Packet::Commit(ct));
+        a.handle_packet(0, Packet::Commit(ct).into());
         trs.extend(a.take_transitions());
     }
 
@@ -230,7 +230,7 @@ fn membership_edges() -> ScenarioReport {
     // while the commit token is in flight.
     {
         let (mut a, _b, _ct) = pair_to_commit(&cfg);
-        a.handle_packet(0, join_from(NodeId::new(9), 7));
+        a.handle_packet(0, join_from(NodeId::new(9), 7).into());
         trs.extend(a.take_transitions());
     }
 
@@ -239,9 +239,9 @@ fn membership_edges() -> ScenarioReport {
     // to the rep), then Recovery --JoinReceived--> Gather.
     {
         let (mut a, mut b, ct) = pair_to_commit(&cfg);
-        let ct1 = as_commit(only_packet(&b.handle_packet(0, Packet::Commit(ct))));
-        a.handle_packet(0, Packet::Commit(ct1));
-        a.handle_packet(0, join_from(NodeId::new(9), 9));
+        let ct1 = as_commit(only_packet(&b.handle_packet(0, Packet::Commit(ct).into())));
+        a.handle_packet(0, Packet::Commit(ct1).into());
+        a.handle_packet(0, join_from(NodeId::new(9), 9).into());
         trs.extend(a.take_transitions());
         trs.extend(b.take_transitions());
     }
@@ -250,8 +250,8 @@ fn membership_edges() -> ScenarioReport {
     // token never arrives.
     {
         let (mut a, mut b, ct) = pair_to_commit(&cfg);
-        let ct1 = as_commit(only_packet(&b.handle_packet(0, Packet::Commit(ct))));
-        a.handle_packet(0, Packet::Commit(ct1));
+        let ct1 = as_commit(only_packet(&b.handle_packet(0, Packet::Commit(ct).into())));
+        a.handle_packet(0, Packet::Commit(ct1).into());
         a.on_timer(cfg.token_loss_timeout + 1);
         trs.extend(a.take_transitions());
     }
@@ -267,7 +267,8 @@ fn membership_edges() -> ScenarioReport {
                 seq: Seq::new(1),
                 sender: NodeId::new(9),
                 chunks: vec![Chunk::complete(0, Bytes::from_static(b"foreign"))],
-            }),
+            })
+            .into(),
         );
         trs.extend(n.take_transitions());
     }
@@ -276,14 +277,14 @@ fn membership_edges() -> ScenarioReport {
     // we are not on.
     {
         let mut n = operational_node(&cfg);
-        n.handle_packet(0, Packet::Token(Token::initial(RingId::new(NodeId::new(1), 5))));
+        n.handle_packet(0, Packet::Token(Token::initial(RingId::new(NodeId::new(1), 5))).into());
         trs.extend(n.take_transitions());
     }
 
     // Operational --JoinReceived--> Gather: a joiner knocks.
     {
         let mut n = operational_node(&cfg);
-        n.handle_packet(0, join_from(NodeId::new(9), 3));
+        n.handle_packet(0, join_from(NodeId::new(9), 3).into());
         trs.extend(n.take_transitions());
     }
 
@@ -303,7 +304,7 @@ fn membership_edges() -> ScenarioReport {
             round: 0,
             entries: vec![entry(0), entry(1)],
         };
-        n.handle_packet(0, Packet::Commit(ct));
+        n.handle_packet(0, Packet::Commit(ct).into());
         trs.extend(n.take_transitions());
     }
 
@@ -330,11 +331,11 @@ fn passive_token_buffering() -> ScenarioReport {
         Packet::Token(t)
     };
     // A token ahead of messages still missing: buffered.
-    layer.on_packet(0, NetworkId::new(0), token_with_seq(3), true);
+    layer.on_packet(0, NetworkId::new(0), token_with_seq(3).into(), true);
     // The missing messages arrive: the gap closes, token released.
     layer.poll_release(1, false);
     // Buffer again, and this time let the release timer expire.
-    layer.on_packet(2, NetworkId::new(1), token_with_seq(4), true);
+    layer.on_packet(2, NetworkId::new(1), token_with_seq(4).into(), true);
     if let Some(deadline) = layer.next_deadline() {
         layer.on_timer(deadline);
     }

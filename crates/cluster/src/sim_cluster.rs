@@ -162,11 +162,15 @@ struct ClusterActor {
     faults: Vec<FaultReport>,
     reinstated: Vec<(NetworkId, u64)>,
     counters: ClusterCounters,
+    /// Recycled [`NodeOutput`] buffer for the reception/timer/pump hot
+    /// paths: one buffer per node, zero allocations per callback in
+    /// steady state.
+    out_buf: Vec<NodeOutput>,
 }
 
 impl ClusterActor {
-    fn handle(&mut self, now: SimTime, outputs: Vec<NodeOutput>, ctx: &mut Ctx<'_>) {
-        for out in outputs {
+    fn handle(&mut self, now: SimTime, outputs: &mut Vec<NodeOutput>, ctx: &mut Ctx<'_>) {
+        for out in outputs.drain(..) {
             match out {
                 NodeOutput::Send { net, dst, pkt } => match dst {
                     None => ctx.broadcast(net, pkt),
@@ -206,14 +210,16 @@ impl ClusterActor {
         let Some(size) = self.saturate else { return };
         // Keep a healthy backlog without churning the full queue
         // limit on every callback.
+        let mut outs = std::mem::take(&mut self.out_buf);
         while self.node.srp().send_queue_len() < 64 {
             let mut body = vec![0u8; size.max(8)];
             body[..8].copy_from_slice(&now.as_nanos().to_be_bytes());
-            match self.node.submit(now.as_nanos(), Bytes::from(body)) {
-                Ok(outs) => self.handle(now, outs, ctx),
+            match self.node.submit_into(now.as_nanos(), Bytes::from(body), &mut outs) {
+                Ok(()) => self.handle(now, &mut outs, ctx),
                 Err(_) => break,
             }
         }
+        self.out_buf = outs;
     }
 
     fn arm(&mut self, ctx: &mut Ctx<'_>) {
@@ -231,14 +237,14 @@ impl ClusterActor {
 
 impl Actor for ClusterActor {
     fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
-        let outputs = if self.joining {
+        let mut outputs = if self.joining {
             self.node.start(now.as_nanos())
         } else if self.bootstrap {
             self.node.bootstrap_token(now.as_nanos())
         } else {
             Vec::new()
         };
-        self.handle(now, outputs, ctx);
+        self.handle(now, &mut outputs, ctx);
         self.pump(now, ctx);
         self.arm(ctx);
     }
@@ -248,18 +254,22 @@ impl Actor for ClusterActor {
         now: SimTime,
         net: NetworkId,
         _from: NodeId,
-        pkt: totem_wire::Packet,
+        pkt: totem_wire::SharedPacket,
         ctx: &mut Ctx<'_>,
     ) {
-        let outputs = self.node.on_packet(now.as_nanos(), net, pkt);
-        self.handle(now, outputs, ctx);
+        let mut outputs = std::mem::take(&mut self.out_buf);
+        self.node.on_packet_into(now.as_nanos(), net, pkt, &mut outputs);
+        self.handle(now, &mut outputs, ctx);
+        self.out_buf = outputs;
         self.pump(now, ctx);
         self.arm(ctx);
     }
 
     fn on_alarm(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
-        let outputs = self.node.on_timer(now.as_nanos());
-        self.handle(now, outputs, ctx);
+        let mut outputs = std::mem::take(&mut self.out_buf);
+        self.node.on_timer_into(now.as_nanos(), &mut outputs);
+        self.handle(now, &mut outputs, ctx);
+        self.out_buf = outputs;
         self.pump(now, ctx);
         self.arm(ctx);
     }
@@ -285,8 +295,8 @@ impl Actor for ClusterActor {
         );
         self.alive = true;
         self.incarnation += 1;
-        let outputs = self.node.start(now.as_nanos());
-        self.handle(now, outputs, ctx);
+        let mut outputs = self.node.start(now.as_nanos());
+        self.handle(now, &mut outputs, ctx);
         self.pump(now, ctx);
         self.arm(ctx);
     }
@@ -343,6 +353,7 @@ impl SimCluster {
                     faults: Vec::new(),
                     reinstated: Vec::new(),
                     counters: ClusterCounters::default(),
+                    out_buf: Vec::new(),
                 }
             })
             .collect();
@@ -375,8 +386,8 @@ impl SimCluster {
             if !a.alive {
                 return Err(SubmitError { limit: 0 });
             }
-            let outs = a.node.submit(now.as_nanos(), data)?;
-            a.handle(now, outs, ctx);
+            let mut outs = a.node.submit(now.as_nanos(), data)?;
+            a.handle(now, &mut outs, ctx);
             a.arm(ctx);
             Ok(())
         })

@@ -69,13 +69,20 @@ impl ActiveState {
     /// paper sends via n' first, n'' second, ...). If everything has
     /// been declared faulty we keep sending on all networks — sending
     /// nothing would kill a ring that might still limp along.
+    #[cfg(test)]
     pub fn routes(&self) -> Vec<NetworkId> {
-        let healthy: Vec<NetworkId> =
-            self.faulty.iter().filter(|(_, &f)| !f).map(|(n, _)| n).collect();
-        if healthy.is_empty() {
-            self.faulty.ids().collect()
-        } else {
-            healthy
+        let mut out = Vec::new();
+        self.routes_into(&mut out);
+        out
+    }
+
+    /// Allocation-free route computation: clears `out` and fills it in
+    /// place so steady-state sends reuse one buffer.
+    pub fn routes_into(&self, out: &mut Vec<NetworkId>) {
+        out.clear();
+        out.extend(self.faulty.iter().filter(|(_, &f)| !f).map(|(n, _)| n));
+        if out.is_empty() {
+            out.extend(self.faulty.ids());
         }
     }
 
@@ -117,7 +124,7 @@ impl ActiveState {
         if complete {
             self.timer = None;
             if let Some(tok) = self.last_token.take() {
-                return vec![RrpEvent::Deliver(Packet::Token(tok), net)];
+                return vec![RrpEvent::Deliver(Packet::Token(tok).into(), net)];
             }
         }
         Vec::new()
@@ -148,7 +155,7 @@ impl ActiveState {
             }
             if let Some(tok) = self.last_token.take() {
                 events.push(RrpEvent::Deliver(
-                    Packet::Token(tok),
+                    Packet::Token(tok).into(),
                     // Attribute delivery to the first network that did
                     // deliver a copy, if any.
                     self.recv_last
@@ -207,7 +214,7 @@ mod tests {
     }
 
     fn is_token_delivery(ev: &RrpEvent) -> bool {
-        matches!(ev, RrpEvent::Deliver(Packet::Token(_), _))
+        matches!(ev, RrpEvent::Deliver(p, _) if p.is_token_class())
     }
 
     #[test]

@@ -75,10 +75,10 @@ impl ActivePassiveState {
 
     /// K consecutive non-faulty networks starting after the pointer;
     /// the window start advances by one per send.
-    fn window(rr: &mut usize, k: usize, faulty: &PerNet<bool>) -> Vec<NetworkId> {
+    fn window(rr: &mut usize, k: usize, faulty: &PerNet<bool>, out: &mut Vec<NetworkId>) {
         let n = faulty.len().max(1);
         *rr = (*rr + 1) % n;
-        let mut out = Vec::with_capacity(k);
+        out.clear();
         let mut idx = *rr;
         for _ in 0..n {
             let net = NetworkId::new(idx as u8);
@@ -92,25 +92,33 @@ impl ActivePassiveState {
         }
         if out.is_empty() {
             // Everything marked faulty: fall back to the plain window.
-            out = (0..k).map(|i| NetworkId::new(((*rr + i) % n) as u8)).collect();
+            out.extend((0..k).map(|i| NetworkId::new(((*rr + i) % n) as u8)));
         }
-        out
     }
 
     /// Networks for the next message.
+    #[cfg(test)]
     pub fn routes_message(&mut self) -> Vec<NetworkId> {
-        Self::window(&mut self.msg_rr, self.k, &self.faulty)
+        let mut out = Vec::new();
+        self.routes_message_into(&mut out);
+        out
     }
 
-    /// Networks for the next token.
-    pub fn routes_token(&mut self) -> Vec<NetworkId> {
-        Self::window(&mut self.tok_rr, self.k, &self.faulty)
+    /// Allocation-free route computation for the next message: clears
+    /// `out` and fills it in place.
+    pub fn routes_message_into(&mut self, out: &mut Vec<NetworkId>) {
+        Self::window(&mut self.msg_rr, self.k, &self.faulty, out);
     }
 
-    /// Networks for a retransmission served on another sender's
-    /// behalf.
-    pub fn routes_retransmission(&mut self) -> Vec<NetworkId> {
-        Self::window(&mut self.retrans_rr, self.k, &self.faulty)
+    /// Allocation-free route computation for the next token.
+    pub fn routes_token_into(&mut self, out: &mut Vec<NetworkId>) {
+        Self::window(&mut self.tok_rr, self.k, &self.faulty, out);
+    }
+
+    /// Allocation-free route computation for a retransmission served
+    /// on another sender's behalf.
+    pub fn routes_retransmission_into(&mut self, out: &mut Vec<NetworkId>) {
+        Self::window(&mut self.retrans_rr, self.k, &self.faulty, out);
     }
 
     /// Stage one for message-class packets.
@@ -160,7 +168,7 @@ impl ActivePassiveState {
         if copies >= self.k {
             self.timer = None;
             if let Some(tok) = self.last_token.take() {
-                events.push(RrpEvent::Deliver(Packet::Token(tok), net));
+                events.push(RrpEvent::Deliver(Packet::Token(tok).into(), net));
             }
         }
         events
@@ -175,7 +183,7 @@ impl ActivePassiveState {
             if let Some(tok) = self.last_token.take() {
                 let net =
                     self.seen.iter().find(|(_, &s)| s).map(|(n, _)| n).unwrap_or(NetworkId::new(0));
-                events.push(RrpEvent::Deliver(Packet::Token(tok), net));
+                events.push(RrpEvent::Deliver(Packet::Token(tok).into(), net));
             }
         }
         let expired: Vec<NetworkId> = self
@@ -279,7 +287,7 @@ mod tests {
             .iter()
             .all(|e| !matches!(e, RrpEvent::Deliver(..))));
         let ev = s.on_token(1, NetworkId::new(2), t.clone(), &cfg);
-        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
         // The third copy is ignored.
         assert!(s
             .on_token(2, NetworkId::new(1), t, &cfg)
@@ -294,7 +302,7 @@ mod tests {
         s.on_token(0, NetworkId::new(1), token(0, 4), &cfg);
         let d = s.next_deadline().unwrap();
         let ev = s.on_timer(d, &cfg);
-        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
     }
 
     #[test]

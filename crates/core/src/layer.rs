@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use totem_wire::{NetworkId, NodeId, Packet, Transition, TRANSITION_BUFFER_CAP};
+use totem_wire::{NetworkId, NodeId, Packet, SharedPacket, Transition, TRANSITION_BUFFER_CAP};
 
 use crate::active::ActiveState;
 use crate::active_passive::ActivePassiveState;
@@ -30,8 +30,10 @@ use crate::pernet::PerNet;
 #[derive(Debug, Clone, PartialEq)]
 pub enum RrpEvent {
     /// Hand this packet to the SRP. The network it (first) arrived on
-    /// is attached for statistics.
-    Deliver(Packet, NetworkId),
+    /// is attached for statistics. Message-class packets keep the
+    /// shared handle they arrived with, so the frame (and its cached
+    /// wire bytes) survives intact into the SRP's receive window.
+    Deliver(SharedPacket, NetworkId),
     /// A network has been declared faulty; the application/operator
     /// should be told (paper §3).
     Fault(FaultReport),
@@ -281,41 +283,80 @@ impl RrpLayer {
     /// assert_ne!(first, second);
     /// ```
     pub fn routes_for_message(&mut self) -> Vec<NetworkId> {
-        let routes = match &mut self.inner {
-            Inner::Single => vec![NetworkId::new(0)],
-            Inner::Active(s) => s.routes(),
-            Inner::Passive(s) => vec![s.route_message()],
-            Inner::ActivePassive(s) => s.routes_message(),
-        };
-        self.stats.message_copies_sent += routes.len() as u64;
+        let mut routes = Vec::new();
+        self.routes_for_message_into(&mut routes);
         routes
+    }
+
+    /// Allocation-free form of [`RrpLayer::routes_for_message`]:
+    /// clears `out` and fills it in place, so a caller on the send hot
+    /// path can recycle one route buffer across packets.
+    pub fn routes_for_message_into(&mut self, out: &mut Vec<NetworkId>) {
+        match &mut self.inner {
+            Inner::Single => {
+                out.clear();
+                out.push(NetworkId::new(0));
+            }
+            Inner::Active(s) => s.routes_into(out),
+            Inner::Passive(s) => {
+                out.clear();
+                out.push(s.route_message());
+            }
+            Inner::ActivePassive(s) => s.routes_message_into(out),
+        }
+        self.stats.message_copies_sent += out.len() as u64;
     }
 
     /// Networks on which to send the next **token-class** packet
     /// (regular tokens).
     pub fn routes_for_token(&mut self) -> Vec<NetworkId> {
-        let routes = match &mut self.inner {
-            Inner::Single => vec![NetworkId::new(0)],
-            Inner::Active(s) => s.routes(),
-            Inner::Passive(s) => vec![s.route_token()],
-            Inner::ActivePassive(s) => s.routes_token(),
-        };
-        self.stats.token_copies_sent += routes.len() as u64;
+        let mut routes = Vec::new();
+        self.routes_for_token_into(&mut routes);
         routes
+    }
+
+    /// Allocation-free form of [`RrpLayer::routes_for_token`].
+    pub fn routes_for_token_into(&mut self, out: &mut Vec<NetworkId>) {
+        match &mut self.inner {
+            Inner::Single => {
+                out.clear();
+                out.push(NetworkId::new(0));
+            }
+            Inner::Active(s) => s.routes_into(out),
+            Inner::Passive(s) => {
+                out.clear();
+                out.push(s.route_token());
+            }
+            Inner::ActivePassive(s) => s.routes_token_into(out),
+        }
+        self.stats.token_copies_sent += out.len() as u64;
     }
 
     /// Networks for a **retransmission** this node serves on another
     /// sender's behalf. Uses a rotation independent of the node's own
     /// data rotation so per-sender reception monitors stay unskewed.
     pub fn routes_for_retransmission(&mut self) -> Vec<NetworkId> {
-        let routes = match &mut self.inner {
-            Inner::Single => vec![NetworkId::new(0)],
-            Inner::Active(s) => s.routes(),
-            Inner::Passive(s) => vec![s.route_retransmission()],
-            Inner::ActivePassive(s) => s.routes_retransmission(),
-        };
-        self.stats.message_copies_sent += routes.len() as u64;
+        let mut routes = Vec::new();
+        self.routes_for_retransmission_into(&mut routes);
         routes
+    }
+
+    /// Allocation-free form of
+    /// [`RrpLayer::routes_for_retransmission`].
+    pub fn routes_for_retransmission_into(&mut self, out: &mut Vec<NetworkId>) {
+        match &mut self.inner {
+            Inner::Single => {
+                out.clear();
+                out.push(NetworkId::new(0));
+            }
+            Inner::Active(s) => s.routes_into(out),
+            Inner::Passive(s) => {
+                out.clear();
+                out.push(s.route_retransmission());
+            }
+            Inner::ActivePassive(s) => s.routes_retransmission_into(out),
+        }
+        self.stats.message_copies_sent += out.len() as u64;
     }
 
     /// Networks for **membership traffic** (join messages and commit
@@ -328,16 +369,31 @@ impl RrpLayer {
     /// reconfiguration robust at negligible cost (the SRP's join and
     /// commit handlers are idempotent against duplicates).
     pub fn routes_for_membership(&mut self) -> Vec<NetworkId> {
-        let faulty = PerNet::from_vec(self.faulty());
-        let healthy: Vec<NetworkId> =
-            (0..self.cfg.networks as u8).map(NetworkId::new).filter(|&n| !faulty.at(n)).collect();
-        let routes = if healthy.is_empty() {
-            (0..self.cfg.networks as u8).map(NetworkId::new).collect()
-        } else {
-            healthy
-        };
-        self.stats.message_copies_sent += routes.len() as u64;
+        let mut routes = Vec::new();
+        self.routes_for_membership_into(&mut routes);
         routes
+    }
+
+    /// Allocation-free form of [`RrpLayer::routes_for_membership`].
+    pub fn routes_for_membership_into(&mut self, out: &mut Vec<NetworkId>) {
+        out.clear();
+        let nets = (0..self.cfg.networks as u8).map(NetworkId::new);
+        out.extend(nets.clone().filter(|&n| !self.net_faulty(n)));
+        if out.is_empty() {
+            out.extend(nets);
+        }
+        self.stats.message_copies_sent += out.len() as u64;
+    }
+
+    /// Whether `net` is currently flagged faulty (no allocation, any
+    /// style).
+    fn net_faulty(&self, net: NetworkId) -> bool {
+        match &self.inner {
+            Inner::Single => false,
+            Inner::Active(s) => s.faulty.at(net),
+            Inner::Passive(s) => s.faulty.at(net),
+            Inner::ActivePassive(s) => s.faulty.at(net),
+        }
     }
 
     /// Feeds a packet received on `net`. `any_missing` is the SRP's
@@ -354,57 +410,82 @@ impl RrpLayer {
         &mut self,
         now: u64,
         net: NetworkId,
-        pkt: Packet,
+        pkt: SharedPacket,
         any_missing: bool,
     ) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        self.on_packet_into(now, net, pkt, any_missing, &mut events);
+        events
+    }
+
+    /// Like [`RrpLayer::on_packet`], but appends the resulting events
+    /// to a caller-supplied buffer. The message fast path (one
+    /// `Deliver` per reception) then allocates nothing when the caller
+    /// recycles the buffer across receptions.
+    pub fn on_packet_into(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        pkt: SharedPacket,
+        any_missing: bool,
+        out: &mut Vec<RrpEvent>,
+    ) {
         if let Some(count) = self.stats.received.get_mut(net.index()) {
             *count += 1;
         }
+        let start = out.len();
         let mut token_newly_buffered = false;
-        let events = match (&mut self.inner, pkt) {
-            (Inner::Single, pkt) => vec![RrpEvent::Deliver(pkt, net)],
-            (Inner::Active(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
-            (Inner::Active(_), pkt) => vec![RrpEvent::Deliver(pkt, net)],
-            (Inner::Passive(s), Packet::Token(t)) => {
-                let buffered_before = any_missing;
-                let was_buffering = s.buffering();
-                let ev = s.on_token(now, net, t, any_missing, &self.cfg);
-                if buffered_before && !ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))) {
-                    self.stats.tokens_buffered += 1;
+        // Regular tokens are extracted by value (the gated styles hold
+        // and compare them); every other class keeps its shared handle
+        // so the delivered frame is the one that arrived.
+        match &mut self.inner {
+            Inner::Single => out.push(RrpEvent::Deliver(pkt, net)),
+            Inner::Active(s) => match pkt.try_into_token() {
+                Ok(t) => out.append(&mut s.on_token(now, net, t, &self.cfg)),
+                Err(pkt) => out.push(RrpEvent::Deliver(pkt, net)),
+            },
+            Inner::Passive(s) => match pkt.try_into_token() {
+                Ok(t) => {
+                    let buffered_before = any_missing;
+                    let was_buffering = s.buffering();
+                    let ev = s.on_token(now, net, t, any_missing, &self.cfg);
+                    if buffered_before && !ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))) {
+                        self.stats.tokens_buffered += 1;
+                    }
+                    token_newly_buffered = !was_buffering && s.buffering();
+                    out.extend(ev);
                 }
-                token_newly_buffered = !was_buffering && s.buffering();
-                ev
-            }
-            (Inner::Passive(s), pkt) => {
-                let mut ev = match sender_of(&pkt) {
-                    Some(sender) => s.on_message(now, net, sender, &self.cfg),
-                    None => Vec::new(), // commit tokens count on the token monitor
-                };
-                if matches!(pkt, Packet::Commit(_)) {
-                    // Commit tokens travel the token path; count them
-                    // on the token monitor so quiet-period coverage
-                    // extends to reconfiguration (paper §6).
-                    let mut t_ev = s.on_token_monitor_only(now, net, &self.cfg);
-                    ev.append(&mut t_ev);
+                Err(pkt) => {
+                    // Commit tokens have no data sender; they count on
+                    // the token monitor below instead.
+                    if let Some(sender) = sender_of(&pkt) {
+                        out.extend(s.on_message(now, net, sender, &self.cfg));
+                    }
+                    if matches!(pkt.packet(), Packet::Commit(_)) {
+                        // Commit tokens travel the token path; count them
+                        // on the token monitor so quiet-period coverage
+                        // extends to reconfiguration (paper §6).
+                        out.extend(s.on_token_monitor_only(now, net, &self.cfg));
+                    }
+                    out.push(RrpEvent::Deliver(pkt, net));
                 }
-                ev.push(RrpEvent::Deliver(pkt, net));
-                ev
-            }
-            (Inner::ActivePassive(s), Packet::Token(t)) => s.on_token(now, net, t, &self.cfg),
-            (Inner::ActivePassive(s), pkt) => {
-                let mut ev = match sender_of(&pkt) {
-                    Some(sender) => s.on_message(now, net, sender, &self.cfg),
-                    None => Vec::new(),
-                };
-                ev.push(RrpEvent::Deliver(pkt, net));
-                ev
-            }
-        };
+            },
+            Inner::ActivePassive(s) => match pkt.try_into_token() {
+                Ok(t) => out.append(&mut s.on_token(now, net, t, &self.cfg)),
+                Err(pkt) => {
+                    if let Some(sender) = sender_of(&pkt) {
+                        out.extend(s.on_message(now, net, sender, &self.cfg));
+                    }
+                    out.push(RrpEvent::Deliver(pkt, net));
+                }
+            },
+        }
         if token_newly_buffered {
             self.note_transition("rrp-passive-token", "Idle", "TokenBehindGap", "Buffered");
         }
-        self.note_new_faults(&events);
-        events
+        if let Some(new) = out.get(start..) {
+            self.note_new_faults(new);
+        }
     }
 
     /// Must be called after the SRP has processed a delivered message,
@@ -443,9 +524,10 @@ impl RrpLayer {
         if buffer_timed_out {
             self.note_transition("rrp-passive-token", "Buffered", "TimerExpiry", "Idle");
         }
-        self.stats.tokens_timer_released +=
-            ev.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count()
-                as u64;
+        self.stats.tokens_timer_released += ev
+            .iter()
+            .filter(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class()))
+            .count() as u64;
         self.note_new_faults(&ev);
         ev.extend(self.auto_reinstatements(now));
         ev
@@ -529,8 +611,8 @@ mod tests {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Single, 1)).unwrap();
         assert_eq!(l.routes_for_message(), vec![NetworkId::new(0)]);
         assert_eq!(l.routes_for_token(), vec![NetworkId::new(0)]);
-        let ev = l.on_packet(0, NetworkId::new(0), token(1), true);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        let ev = l.on_packet(0, NetworkId::new(0), token(1).into(), true);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
         assert!(l.next_deadline().is_none());
     }
 
@@ -546,12 +628,12 @@ mod tests {
     #[test]
     fn active_messages_pass_straight_up() {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
-        let ev = l.on_packet(0, NetworkId::new(1), data(1, 0), false);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Data(_), _)]));
+        let ev = l.on_packet(0, NetworkId::new(1), data(1, 0).into(), false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.data().is_some()));
         // The duplicate copy on the other network also goes up — the
         // SRP's sequence filter destroys it (Requirement A1).
-        let ev = l.on_packet(1, NetworkId::new(0), data(1, 0), false);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Data(_), _)]));
+        let ev = l.on_packet(1, NetworkId::new(0), data(1, 0).into(), false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.data().is_some()));
     }
 
     #[test]
@@ -562,11 +644,11 @@ mod tests {
         assert_eq!(m1.len(), 1);
         assert_ne!(m1, m2);
 
-        let ev = l.on_packet(0, NetworkId::new(0), token(3), true);
-        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        let ev = l.on_packet(0, NetworkId::new(0), token(3).into(), true);
+        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
         assert_eq!(l.stats().tokens_buffered, 1);
         let ev = l.poll_release(1, false);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
     }
 
     #[test]
@@ -579,9 +661,9 @@ mod tests {
                 round: 0,
                 entries: vec![],
             });
-            let ev = l.on_packet(0, NetworkId::new(0), ct, true);
+            let ev = l.on_packet(0, NetworkId::new(0), ct.into(), true);
             assert!(
-                ev.iter().any(|e| matches!(e, RrpEvent::Deliver(Packet::Commit(_), _))),
+                ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if matches!(p.packet(), Packet::Commit(_)))),
                 "commit token must pass up under {style}"
             );
         }
@@ -590,19 +672,19 @@ mod tests {
     #[test]
     fn timer_release_is_counted() {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
-        l.on_packet(0, NetworkId::new(0), token(3), true);
+        l.on_packet(0, NetworkId::new(0), token(3).into(), true);
         let d = l.next_deadline().unwrap();
         let ev = l.on_timer(d);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
         assert_eq!(l.stats().tokens_timer_released, 1);
     }
 
     #[test]
     fn received_counters_track_networks() {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
-        l.on_packet(0, NetworkId::new(0), data(1, 0), false);
-        l.on_packet(0, NetworkId::new(1), data(1, 0), false);
-        l.on_packet(0, NetworkId::new(1), data(2, 0), false);
+        l.on_packet(0, NetworkId::new(0), data(1, 0).into(), false);
+        l.on_packet(0, NetworkId::new(1), data(1, 0).into(), false);
+        l.on_packet(0, NetworkId::new(1), data(2, 0).into(), false);
         assert_eq!(l.stats().received, vec![1, 2]);
     }
 
@@ -611,7 +693,7 @@ mod tests {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Active, 2)).unwrap();
         assert_eq!(l.problem_counters(), vec![0, 0]);
         // One token seen on net0 only; timer expiry penalizes net1.
-        l.on_packet(0, NetworkId::new(0), token(1), false);
+        l.on_packet(0, NetworkId::new(0), token(1).into(), false);
         let d = l.next_deadline().unwrap();
         l.on_timer(d);
         assert_eq!(l.problem_counters(), vec![0, 1]);
@@ -637,7 +719,7 @@ mod tests {
             let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
             t.rotation = i;
             t.seq = Seq::new(i + 1);
-            l.on_packet(i * 10_000_000, NetworkId::new(0), Packet::Token(t), false);
+            l.on_packet(i * 10_000_000, NetworkId::new(0), Packet::Token(t).into(), false);
             if let Some(d) = l.next_deadline() {
                 l.on_timer(d);
             }
@@ -660,9 +742,9 @@ mod tests {
     #[test]
     fn passive_token_machine_transitions_are_recorded() {
         let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::Passive, 2)).unwrap();
-        l.on_packet(0, NetworkId::new(0), token(3), true);
+        l.on_packet(0, NetworkId::new(0), token(3).into(), true);
         l.poll_release(1, false);
-        l.on_packet(2, NetworkId::new(1), token(4), true);
+        l.on_packet(2, NetworkId::new(1), token(4).into(), true);
         let d = l.next_deadline().unwrap();
         l.on_timer(d);
         let path: Vec<&str> = l

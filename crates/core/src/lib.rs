@@ -45,10 +45,10 @@
 //!
 //! // A token is handed to the SRP only once BOTH copies arrived...
 //! let t = Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1)));
-//! let up = rrp.on_packet(1_000, NetworkId::new(0), t.clone(), false);
+//! let up = rrp.on_packet(1_000, NetworkId::new(0), t.clone().into(), false);
 //! assert!(up.is_empty(), "first copy alone is not delivered");
-//! let up = rrp.on_packet(2_000, NetworkId::new(1), t, false);
-//! assert!(matches!(up.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+//! let up = rrp.on_packet(2_000, NetworkId::new(1), t.into(), false);
+//! assert!(matches!(up.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
 //! # Ok(())
 //! # }
 //! ```

@@ -138,7 +138,7 @@ impl PassiveState {
         let suspects = self.token_monitor.record(net, &self.faulty);
         let mut events = self.flag(now, suspects, MonitorKind::Token);
         if !any_missing {
-            events.push(RrpEvent::Deliver(Packet::Token(t), net));
+            events.push(RrpEvent::Deliver(Packet::Token(t).into(), net));
             return events;
         }
         // Buffer the newest token; the timer is never restarted while
@@ -182,7 +182,7 @@ impl PassiveState {
         if self.timer.is_some() && !any_missing {
             self.timer = None;
             if let Some(t) = self.buffered.take() {
-                return vec![RrpEvent::Deliver(Packet::Token(t), self.buffered_net)];
+                return vec![RrpEvent::Deliver(Packet::Token(t).into(), self.buffered_net)];
             }
         }
         Vec::new()
@@ -195,7 +195,7 @@ impl PassiveState {
         if self.timer.is_some_and(|d| d <= now) {
             self.timer = None;
             if let Some(t) = self.buffered.take() {
-                events.push(RrpEvent::Deliver(Packet::Token(t), self.buffered_net));
+                events.push(RrpEvent::Deliver(Packet::Token(t).into(), self.buffered_net));
             }
         }
         // Grace expiry: level the counts once everyone has had time to
@@ -315,7 +315,7 @@ mod tests {
         let cfg = cfg(2);
         let mut s = PassiveState::new(&cfg);
         let ev = s.on_token(0, NetworkId::new(0), token(5), false, &cfg);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
         assert!(s.timer.is_none());
     }
 
@@ -326,13 +326,13 @@ mod tests {
         let cfg = cfg(2);
         let mut s = PassiveState::new(&cfg);
         let ev = s.on_token(0, NetworkId::new(1), token(5), true, &cfg);
-        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(Packet::Token(_), _))));
+        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
         assert!(s.timer.is_some());
         // Still missing: no release.
         assert!(s.poll_release(true).is_empty());
         // The gap closes: release immediately, well before the timer.
         let ev = s.poll_release(false);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
         assert!(s.timer.is_none());
     }
 
@@ -346,7 +346,7 @@ mod tests {
         let deadline = s.next_deadline().unwrap();
         assert_eq!(deadline, cfg.passive_token_timeout);
         let ev = s.on_timer(deadline, &cfg);
-        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(Packet::Token(_), _)]));
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
     }
 
     #[test]
@@ -364,7 +364,10 @@ mod tests {
         assert_eq!(s.timer.unwrap(), first);
         let ev = s.on_timer(first, &cfg);
         match ev.as_slice() {
-            [RrpEvent::Deliver(Packet::Token(t), _)] => assert_eq!(t.seq.as_u64(), 9),
+            [RrpEvent::Deliver(p, _)] => match p.packet() {
+                Packet::Token(t) => assert_eq!(t.seq.as_u64(), 9),
+                other => panic!("unexpected packet: {other:?}"),
+            },
             other => panic!("unexpected events: {other:?}"),
         }
     }

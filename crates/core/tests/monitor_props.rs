@@ -104,10 +104,10 @@ proptest! {
         for (i, &drop_net1) in drops.iter().enumerate() {
             let now = i as u64 * round_len;
             let t = token(i as u64, i as u64);
-            let ev = layer.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()), false);
+            let ev = layer.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()).into(), false);
             prop_assert_eq!(fault_count(&ev), 0);
             if !drop_net1 {
-                let ev = layer.on_packet(now + 1, NetworkId::new(1), Packet::Token(t), false);
+                let ev = layer.on_packet(now + 1, NetworkId::new(1), Packet::Token(t).into(), false);
                 prop_assert_eq!(fault_count(&ev), 0);
             }
             // Fires the token timer (penalizing net1 on a loss) and,
@@ -134,8 +134,8 @@ proptest! {
         let mut rotation = 0;
         for _ in 0..warmup {
             let t = token(rotation, rotation);
-            layer.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()), false);
-            layer.on_packet(now + 1, NetworkId::new(1), Packet::Token(t), false);
+            layer.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()).into(), false);
+            layer.on_packet(now + 1, NetworkId::new(1), Packet::Token(t).into(), false);
             now += round_len;
             rotation += 1;
         }
@@ -145,7 +145,7 @@ proptest! {
         let mut faulted_after = None;
         for dead_round in 0..u64::from(cfg.problem_threshold) + extra {
             let t = token(rotation, rotation);
-            layer.on_packet(now, NetworkId::new(0), Packet::Token(t), false);
+            layer.on_packet(now, NetworkId::new(0), Packet::Token(t).into(), false);
             let ev = layer.on_timer(now + cfg.active_token_timeout);
             let n = fault_count(&ev);
             if n > 0 {

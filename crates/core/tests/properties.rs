@@ -13,7 +13,7 @@ fn token(rotation: u64, seq: u64) -> Token {
 }
 
 fn deliveries(events: &[RrpEvent]) -> usize {
-    events.iter().filter(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _))).count()
+    events.iter().filter(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())).count()
 }
 
 proptest! {
@@ -47,7 +47,7 @@ proptest! {
             let mut total = 0;
             for (k, &net) in order.iter().enumerate() {
                 now += 1;
-                let ev = layer.on_packet(now, NetworkId::new(net as u8), Packet::Token(t.clone()), false);
+                let ev = layer.on_packet(now, NetworkId::new(net as u8), Packet::Token(t.clone()).into(), false);
                 let d = deliveries(&ev);
                 if k + 1 < networks {
                     prop_assert_eq!(d, 0, "delivered before all copies arrived");
@@ -74,9 +74,9 @@ proptest! {
                 sender: NodeId::new((seq % 4) as u16),
                 chunks: vec![],
             });
-            let ev = layer.on_packet(i as u64, net, pkt, false);
+            let ev = layer.on_packet(i as u64, net, pkt.into(), false);
             prop_assert_eq!(ev.len(), 1);
-            prop_assert!(matches!(&ev[0], RrpEvent::Deliver(Packet::Data(_), n) if *n == net));
+            prop_assert!(matches!(&ev[0], RrpEvent::Deliver(p, n) if p.data().is_some() && *n == net));
         }
     }
 
@@ -101,7 +101,7 @@ proptest! {
                 sender: NodeId::new(lane as u16),
                 chunks: vec![],
             });
-            let ev = layer.on_packet(i as u64, net, pkt, false);
+            let ev = layer.on_packet(i as u64, net, pkt.into(), false);
             prop_assert!(
                 ev.iter().all(|e| !matches!(e, RrpEvent::Fault(_))),
                 "balanced traffic must never trip a monitor"
@@ -134,16 +134,18 @@ proptest! {
             now += 1;
             let t = token(i as u64, s);
             best = best.max(Some((i as u64, s)));
-            let ev = layer.on_packet(now, NetworkId::new((i % 2) as u8), Packet::Token(t), true);
+            let ev = layer.on_packet(now, NetworkId::new((i % 2) as u8), Packet::Token(t).into(), true);
             prop_assert_eq!(deliveries(&ev), 0, "token leaked past a gap");
         }
         let ev = layer.poll_release(now + 1, false);
         prop_assert_eq!(deliveries(&ev), 1);
         // The newest token is the one released.
-        if let Some(RrpEvent::Deliver(Packet::Token(t), _)) =
-            ev.iter().find(|e| matches!(e, RrpEvent::Deliver(Packet::Token(_), _)))
+        if let Some(RrpEvent::Deliver(p, _)) =
+            ev.iter().find(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class()))
         {
-            prop_assert_eq!((t.rotation, t.seq.as_u64()), best.unwrap());
+            if let Packet::Token(t) = p.packet() {
+                prop_assert_eq!((t.rotation, t.seq.as_u64()), best.unwrap());
+            }
         }
         // Nothing more to release.
         prop_assert_eq!(layer.poll_release(now + 2, false).len(), 0);
@@ -179,7 +181,7 @@ proptest! {
             let mut total = 0;
             for &net in &order {
                 now += 1;
-                let ev = layer.on_packet(now, NetworkId::new(net as u8), Packet::Token(t.clone()), false);
+                let ev = layer.on_packet(now, NetworkId::new(net as u8), Packet::Token(t.clone()).into(), false);
                 seen += 1;
                 let d = deliveries(&ev);
                 if seen < k {

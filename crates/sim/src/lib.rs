@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use totem_sim::{Actor, Ctx, SimConfig, SimTime, SimWorld};
-//! use totem_wire::{NetworkId, NodeId, Packet, Token, RingId};
+//! use totem_wire::{NetworkId, NodeId, Packet, SharedPacket, Token, RingId};
 //!
 //! /// A toy actor: node 0 unicasts the initial token to node 1.
 //! struct Toy { got: bool }
@@ -39,7 +39,7 @@
 //!         }
 //!     }
 //!     fn on_packet(&mut self, _now: SimTime, _net: NetworkId, _from: NodeId,
-//!                  _pkt: Packet, _ctx: &mut Ctx<'_>) {
+//!                  _pkt: SharedPacket, _ctx: &mut Ctx<'_>) {
 //!         self.got = true;
 //!     }
 //!     fn on_alarm(&mut self, _now: SimTime, _ctx: &mut Ctx<'_>) {}

@@ -35,7 +35,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use totem_wire::{frame::wire_frame_len, NetworkId, NodeId, Packet, Transition};
+use totem_wire::{frame::wire_frame_len, NetworkId, NodeId, Packet, SharedPacket, Transition};
 
 use crate::config::SimConfig;
 use crate::event::EventQueue;
@@ -59,7 +59,7 @@ pub trait Actor {
         now: SimTime,
         net: NetworkId,
         from: NodeId,
-        pkt: Packet,
+        pkt: SharedPacket,
         ctx: &mut Ctx<'_>,
     );
     /// Called when the alarm set via [`Ctx::set_alarm`] fires.
@@ -86,7 +86,7 @@ pub struct Ctx<'a> {
     now: SimTime,
     nodes: usize,
     networks: usize,
-    sends: &'a mut Vec<(NetworkId, Option<NodeId>, Packet)>,
+    sends: &'a mut Vec<(NetworkId, Option<NodeId>, SharedPacket)>,
     alarm: &'a mut Option<Option<SimTime>>,
     cpu: &'a mut SimDuration,
     transitions: &'a mut Vec<Transition>,
@@ -114,16 +114,16 @@ impl Ctx<'_> {
     }
 
     /// Broadcasts `pkt` on `net` to every other node.
-    pub fn broadcast(&mut self, net: NetworkId, pkt: Packet) {
+    pub fn broadcast(&mut self, net: NetworkId, pkt: impl Into<SharedPacket>) {
         assert!(net.index() < self.networks, "network out of range");
-        self.sends.push((net, None, pkt));
+        self.sends.push((net, None, pkt.into()));
     }
 
     /// Unicasts `pkt` on `net` to `dst`.
-    pub fn unicast(&mut self, net: NetworkId, dst: NodeId, pkt: Packet) {
+    pub fn unicast(&mut self, net: NetworkId, dst: NodeId, pkt: impl Into<SharedPacket>) {
         assert!(net.index() < self.networks, "network out of range");
         assert!(dst.index() < self.nodes, "destination out of range");
-        self.sends.push((net, Some(dst), pkt));
+        self.sends.push((net, Some(dst), pkt.into()));
     }
 
     /// Arms (or re-arms) this node's single alarm to fire at `at`.
@@ -164,21 +164,26 @@ enum Ev {
         net: NetworkId,
         from: NodeId,
         dst: Option<NodeId>,
-        pkt: Packet,
+        pkt: SharedPacket,
     },
-    /// Frame arrived at a receiver's NIC; queue for its CPU.
+    /// One frame arrived at a *cohort* of receivers' NICs at the same
+    /// instant; each queues for its own CPU. Batching the whole
+    /// broadcast fan-out into one heap entry makes a broadcast cost
+    /// O(1) queue operations instead of O(receivers), and the cohort
+    /// preserves the receiver iteration order the per-receiver events
+    /// had (the heap is FIFO among equal timestamps).
     RxArrive {
-        node: NodeId,
+        cohort: Vec<NodeId>,
         net: NetworkId,
         from: NodeId,
-        pkt: Packet,
+        pkt: SharedPacket,
     },
     /// Receiver CPU finished processing; hand to the actor.
     RxDone {
         node: NodeId,
         net: NetworkId,
         from: NodeId,
-        pkt: Packet,
+        pkt: SharedPacket,
     },
     Fault(FaultCommand),
 }
@@ -200,11 +205,20 @@ pub struct SimWorld<A> {
     medium_free: Vec<SimTime>,
     /// Per-node alarm state: (armed generation, current generation).
     alarm_gen: Vec<u64>,
+    /// Deadline of each node's currently scheduled alarm event, if
+    /// any. Re-arming to the *same* instant is a no-op (the scheduled
+    /// event already fires then), which keeps the one-alarm-per-node
+    /// pattern of re-arming after every callback from pushing a stale
+    /// heap entry per dispatch.
+    alarm_at: Vec<Option<SimTime>>,
     started: bool,
     // Scratch buffers reused across dispatches.
-    scratch_sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
+    scratch_sends: Vec<(NetworkId, Option<NodeId>, SharedPacket)>,
     scratch_alarm: Option<Option<SimTime>>,
     scratch_transitions: Vec<Transition>,
+    /// Recycled cohort buffers: consumed `RxArrive` cohorts return
+    /// here so steady-state broadcasts allocate nothing for fan-out.
+    cohort_pool: Vec<Vec<NodeId>>,
     trace: Option<TraceLog>,
 }
 
@@ -240,6 +254,7 @@ impl<A: Actor> SimWorld<A> {
             cpu_free: vec![SimTime::ZERO; nodes],
             medium_free: vec![SimTime::ZERO; networks],
             alarm_gen: vec![0; nodes],
+            alarm_at: vec![None; nodes],
             actors,
             queue,
             now: SimTime::ZERO,
@@ -247,6 +262,7 @@ impl<A: Actor> SimWorld<A> {
             scratch_sends: Vec::new(),
             scratch_alarm: None,
             scratch_transitions: Vec::new(),
+            cohort_pool: Vec::new(),
             trace: None,
             cfg,
         }
@@ -366,6 +382,7 @@ impl<A: Actor> SimWorld<A> {
                 // Invalidate any armed alarm: a dead node's timers die
                 // with it.
                 self.alarm_gen[node.index()] += 1;
+                self.alarm_at[node.index()] = None;
                 // Whatever the CPU was doing is abandoned.
                 self.cpu_free[node.index()] = self.now;
                 self.actors[node.index()].on_crash(self.now);
@@ -413,24 +430,34 @@ impl<A: Actor> SimWorld<A> {
                 }
             }
             Ev::Alarm { node, gen } => {
-                if self.alarm_gen[node.index()] == gen && !self.faults.is_crashed(node) {
-                    self.dispatch(node, |a, now, ctx| a.on_alarm(now, ctx));
+                if self.alarm_gen[node.index()] == gen {
+                    // The live alarm is consumed (fired or died with a
+                    // crashed node) — the next set_alarm must schedule
+                    // a fresh event even for the same instant.
+                    self.alarm_at[node.index()] = None;
+                    if !self.faults.is_crashed(node) {
+                        self.dispatch(node, |a, now, ctx| a.on_alarm(now, ctx));
+                    }
                 }
             }
             Ev::MediumEnter { net, from, dst, pkt } => self.medium_enter(net, from, dst, pkt),
-            Ev::RxArrive { node, net, from, pkt } => {
-                // A node that crashed after the frame left the medium
-                // never sees it.
-                if self.faults.is_crashed(node) {
-                    return true;
-                }
-                // Queue for the receiver's CPU (FIFO in arrival order).
+            Ev::RxArrive { mut cohort, net, from, pkt } => {
                 let payload = pkt.wire_payload_len();
-                let cost = self.cfg.cpus[node.index()].recv_cost(payload);
-                let start = self.cpu_free[node.index()].max(self.now);
-                let done = start + cost;
-                self.cpu_free[node.index()] = done;
-                self.queue.push(done, Ev::RxDone { node, net, from, pkt });
+                for node in cohort.drain(..) {
+                    // A node that crashed after the frame left the
+                    // medium never sees it.
+                    if self.faults.is_crashed(node) {
+                        continue;
+                    }
+                    // Queue for the receiver's CPU (FIFO in arrival
+                    // order).
+                    let cost = self.cfg.cpus[node.index()].recv_cost(payload);
+                    let start = self.cpu_free[node.index()].max(self.now);
+                    let done = start + cost;
+                    self.cpu_free[node.index()] = done;
+                    self.queue.push(done, Ev::RxDone { node, net, from, pkt: pkt.clone() });
+                }
+                self.cohort_pool.push(cohort);
             }
             Ev::RxDone { node, net, from, pkt } => {
                 // A crash can land between RxArrive and RxDone; the
@@ -452,7 +479,7 @@ impl<A: Actor> SimWorld<A> {
         &mut self,
         node: NodeId,
         now: SimTime,
-        mut sends: Vec<(NetworkId, Option<NodeId>, Packet)>,
+        mut sends: Vec<(NetworkId, Option<NodeId>, SharedPacket)>,
         alarm: Option<Option<SimTime>>,
         cpu: SimDuration,
         mut transitions: Vec<Transition>,
@@ -490,16 +517,29 @@ impl<A: Actor> SimWorld<A> {
             None => {}
             Some(None) => {
                 self.alarm_gen[node.index()] += 1; // cancel: invalidate outstanding
+                self.alarm_at[node.index()] = None;
             }
             Some(Some(at)) => {
-                self.alarm_gen[node.index()] += 1;
-                let gen = self.alarm_gen[node.index()];
-                self.queue.push(at.max(now), Ev::Alarm { node, gen });
+                let fire = at.max(now);
+                // Re-arming to the already-scheduled instant is a
+                // no-op: the pending event fires then anyway.
+                if self.alarm_at[node.index()] != Some(fire) {
+                    self.alarm_gen[node.index()] += 1;
+                    let gen = self.alarm_gen[node.index()];
+                    self.alarm_at[node.index()] = Some(fire);
+                    self.queue.push(fire, Ev::Alarm { node, gen });
+                }
             }
         }
     }
 
-    fn medium_enter(&mut self, net: NetworkId, from: NodeId, dst: Option<NodeId>, pkt: Packet) {
+    fn medium_enter(
+        &mut self,
+        net: NetworkId,
+        from: NodeId,
+        dst: Option<NodeId>,
+        pkt: SharedPacket,
+    ) {
         if !self.faults.can_send(from, net) {
             self.stats.net_mut(net).blocked_sends += 1;
             self.trace_event(TraceKind::BlockedSend, net, from, None, &pkt);
@@ -522,39 +562,71 @@ impl<A: Actor> SimWorld<A> {
             return;
         }
         let arrive = tx_start + tx_dur + netcfg.latency;
-        let receivers: Vec<NodeId> = match dst {
-            Some(d) => vec![d],
-            None => (0..self.cfg.nodes as u16).map(NodeId::new).filter(|n| *n != from).collect(),
-        };
+        // Receivers are grouped into at most two cohorts by arrival
+        // instant — on-time and reordered-late — each a single heap
+        // push, so a broadcast costs O(1) queue operations and O(1)
+        // allocations regardless of cluster size. Receivers are
+        // appended in iteration order, and the event queue is FIFO
+        // among equal timestamps, so per-receiver processing order
+        // (and thus every RNG draw and CPU-queue decision downstream)
+        // is identical to pushing one event per receiver.
+        let mut on_time: Vec<NodeId> = self.cohort_pool.pop().unwrap_or_default();
+        let mut late: Vec<NodeId> = self.cohort_pool.pop().unwrap_or_default();
         let rx_loss = netcfg.rx_loss;
-        for to in receivers {
-            if !self.faults.can_deliver(from, to, net) {
-                self.stats.net_mut(net).blocked_deliveries += 1;
-                self.trace_event(TraceKind::BlockedDelivery, net, from, Some(to), &pkt);
-                continue;
+        let mut each = |to: NodeId, world: &mut Self| {
+            if !world.faults.can_deliver(from, to, net) {
+                world.stats.net_mut(net).blocked_deliveries += 1;
+                world.trace_event(TraceKind::BlockedDelivery, net, from, Some(to), &pkt);
+                return;
             }
-            if rx_loss > 0.0 && self.rng.gen_bool(rx_loss) {
-                self.stats.net_mut(net).rx_lost += 1;
-                self.trace_event(TraceKind::LostRx, net, from, Some(to), &pkt);
-                continue;
+            if rx_loss > 0.0 && world.rng.gen_bool(rx_loss) {
+                world.stats.net_mut(net).rx_lost += 1;
+                world.trace_event(TraceKind::LostRx, net, from, Some(to), &pkt);
+                return;
             }
             let mut arrive_at = arrive;
-            if netcfg.reorder > 0.0 && self.rng.gen_bool(netcfg.reorder) {
+            if netcfg.reorder > 0.0 && world.rng.gen_bool(netcfg.reorder) {
                 // A reordered frame arrives late enough to fall behind
                 // frames sent after it — a deliberate violation of the
                 // per-(sender, network) FIFO property.
-                self.stats.net_mut(net).reordered += 1;
+                world.stats.net_mut(net).reordered += 1;
                 arrive_at = arrive + netcfg.reorder_delay;
             }
-            self.stats.net_mut(net).deliveries += 1;
-            self.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
-            self.queue.push(arrive_at, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
-            if netcfg.duplicate > 0.0 && self.rng.gen_bool(netcfg.duplicate) {
-                self.stats.net_mut(net).duplicated += 1;
-                self.stats.net_mut(net).deliveries += 1;
-                self.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
-                self.queue.push(arrive_at, Ev::RxArrive { node: to, net, from, pkt: pkt.clone() });
+            // Group strictly by arrival instant: a "reordered" frame
+            // with zero extra delay still lands in the on-time cohort,
+            // exactly where its per-receiver event would have sorted.
+            let cohort = if arrive_at == arrive { &mut on_time } else { &mut late };
+            world.stats.net_mut(net).deliveries += 1;
+            world.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
+            cohort.push(to);
+            if netcfg.duplicate > 0.0 && world.rng.gen_bool(netcfg.duplicate) {
+                world.stats.net_mut(net).duplicated += 1;
+                world.stats.net_mut(net).deliveries += 1;
+                world.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
+                cohort.push(to);
             }
+        };
+        match dst {
+            Some(d) => each(d, self),
+            None => {
+                for n in 0..self.cfg.nodes as u16 {
+                    let to = NodeId::new(n);
+                    if to != from {
+                        each(to, self);
+                    }
+                }
+            }
+        }
+        if on_time.is_empty() {
+            self.cohort_pool.push(on_time);
+        } else {
+            self.queue.push(arrive, Ev::RxArrive { cohort: on_time, net, from, pkt: pkt.clone() });
+        }
+        if late.is_empty() {
+            self.cohort_pool.push(late);
+        } else {
+            let at = arrive + netcfg.reorder_delay;
+            self.queue.push(at, Ev::RxArrive { cohort: late, net, from, pkt });
         }
     }
 }
@@ -569,7 +641,7 @@ mod tests {
     /// start.
     struct Recorder {
         to_send: Vec<(NetworkId, Packet)>,
-        seen: Vec<(SimTime, NetworkId, NodeId, Packet)>,
+        seen: Vec<(SimTime, NetworkId, NodeId, SharedPacket)>,
         alarms: Vec<SimTime>,
         alarm_at: Option<SimTime>,
         crashes: Vec<SimTime>,
@@ -603,7 +675,7 @@ mod tests {
             now: SimTime,
             net: NetworkId,
             from: NodeId,
-            pkt: Packet,
+            pkt: SharedPacket,
             _ctx: &mut Ctx<'_>,
         ) {
             self.seen.push((now, net, from, pkt));
@@ -665,7 +737,7 @@ mod tests {
             .actor(NodeId::new(1))
             .seen
             .iter()
-            .map(|(_, _, _, p)| match p {
+            .map(|(_, _, _, p)| match p.packet() {
                 Packet::Token(t) => t.seq.as_u64(),
                 _ => unreachable!(),
             })
@@ -914,7 +986,7 @@ mod tests {
             .actor(NodeId::new(1))
             .seen
             .iter()
-            .map(|(_, _, _, p)| match p {
+            .map(|(_, _, _, p)| match p.packet() {
                 Packet::Token(t) => t.seq.as_u64(),
                 _ => unreachable!(),
             })

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use totem_wire::{NodeId, Packet, RingId, Seq};
+use totem_wire::{NodeId, RingId, Seq, SharedPacket};
 
 /// An application message delivered in total order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,20 +44,25 @@ pub struct ConfigChange {
 }
 
 /// Everything the SRP state machine can ask its host to do or observe.
+///
+/// Send events carry a [`SharedPacket`]: the state machine seals the
+/// packet once, and every downstream copy (per-network replication,
+/// window retention, retransmission) is a refcount bump on the same
+/// frame with its encode-once wire bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SrpEvent {
     /// Broadcast a packet to all ring members (the redundant ring
     /// layer decides which network(s)).
-    Broadcast(Packet),
+    Broadcast(SharedPacket),
     /// Rebroadcast a packet in answer to a retransmission request.
     /// Kept distinct from [`SrpEvent::Broadcast`] so the redundant
     /// ring layer can route retransmissions on their own round-robin
     /// sequence — a retransmission carries the *original* sender's id,
     /// so folding it into the retransmitter's data rotation would
     /// skew the per-sender reception monitors.
-    Rebroadcast(Packet),
+    Rebroadcast(SharedPacket),
     /// Unicast a packet (the token) to the ring successor.
-    ToSuccessor(NodeId, Packet),
+    ToSuccessor(NodeId, SharedPacket),
     /// Deliver an application message.
     Deliver(Delivered),
     /// Deliver a configuration change.
@@ -66,7 +71,7 @@ pub enum SrpEvent {
 
 impl SrpEvent {
     /// Convenience: the packet if this is a send event.
-    pub fn packet(&self) -> Option<&Packet> {
+    pub fn packet(&self) -> Option<&SharedPacket> {
         match self {
             SrpEvent::Broadcast(p) | SrpEvent::Rebroadcast(p) | SrpEvent::ToSuccessor(_, p) => {
                 Some(p)
@@ -90,11 +95,12 @@ impl SrpEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use totem_wire::{RingId, Token};
+    use totem_wire::{Packet, RingId, Token};
 
     #[test]
     fn accessors_select_the_right_variants() {
-        let token = Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1)));
+        let token =
+            SharedPacket::new(Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1))));
         let ev = SrpEvent::ToSuccessor(NodeId::new(1), token.clone());
         assert_eq!(ev.packet(), Some(&token));
         assert!(ev.delivered().is_none());

@@ -18,7 +18,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use totem_wire::{
-    CommitToken, DataPacket, JoinMessage, MembEntry, NodeId, Packet, RingId, Seq, Token,
+    CommitToken, DataPacket, JoinMessage, MembEntry, NodeId, Packet, RingId, Seq, SharedPacket,
+    Token,
 };
 
 use crate::events::{ConfigChange, ConfigKind, SrpEvent};
@@ -128,12 +129,15 @@ impl SrpNode {
     /// outside the Gather state (there are no sets to advertise).
     fn my_join_broadcast(&self) -> Option<SrpEvent> {
         let StateImpl::Gather(g) = &self.state else { return None };
-        Some(SrpEvent::Broadcast(Packet::Join(JoinMessage {
-            sender: self.me,
-            ring_seq: self.max_ring_seq,
-            proc_set: g.proc_set.iter().copied().collect(),
-            fail_set: g.fail_set.iter().copied().collect(),
-        })))
+        Some(SrpEvent::Broadcast(
+            Packet::Join(JoinMessage {
+                sender: self.me,
+                ring_seq: self.max_ring_seq,
+                proc_set: g.proc_set.iter().copied().collect(),
+                fail_set: g.fail_set.iter().copied().collect(),
+            })
+            .into(),
+        ))
     }
 
     /// Periodic gather timers: join rebroadcast and the consensus
@@ -371,7 +375,7 @@ impl SrpNode {
             members: candidate,
             loss_deadline: now + self.cfg.token_loss_timeout,
         });
-        vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct))]
+        vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct).into())]
     }
 
     fn fill_commit_entry(&self, entry: &mut MembEntry) {
@@ -448,7 +452,7 @@ impl SrpNode {
                     members,
                     loss_deadline: now + self.cfg.token_loss_timeout,
                 });
-                vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct))]
+                vec![SrpEvent::ToSuccessor(succ, Packet::Commit(ct).into())]
             }
             StateImpl::Commit(c) => {
                 if ct.ring != c.ring {
@@ -467,7 +471,7 @@ impl SrpNode {
                             events.extend(self.handle_commit(now, ct));
                         } else {
                             let succ = next_after(&members, self.me);
-                            events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct)));
+                            events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct).into()));
                         }
                         events
                     } else {
@@ -486,7 +490,7 @@ impl SrpNode {
                     // recovery, pass it on.
                     let mut events = self.enter_recovery(now, &ct);
                     let succ = next_after(&members, self.me);
-                    events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct)));
+                    events.push(SrpEvent::ToSuccessor(succ, Packet::Commit(ct).into()));
                     events
                 } else {
                     Vec::new() // duplicate round-0 visit
@@ -542,12 +546,15 @@ impl SrpNode {
     /// Data packets while in Recovery: new-ring recovery packets are
     /// absorbed (and their old-ring cargo unwrapped); stray old-ring
     /// packets still help fill the old window.
-    pub(crate) fn recovery_handle_data(&mut self, _now: Nanos, pkt: DataPacket) -> Vec<SrpEvent> {
+    pub(crate) fn recovery_handle_data(&mut self, _now: Nanos, pkt: SharedPacket) -> Vec<SrpEvent> {
         let StateImpl::Recovery(rec) = &mut self.state else { return Vec::new() };
+        let Some(d) = pkt.data() else { return Vec::new() };
+        let (pkt_ring, seq) = (d.ring, d.seq);
         let my_old_ring = self.ring.as_ref().map(|r| r.ring);
-        if pkt.ring == rec.new.ring {
-            let seq = pkt.seq;
-            let chunks = pkt.chunks.clone();
+        if pkt_ring == rec.new.ring {
+            // Keep a second handle (refcount bump) so the chunks can
+            // be unwrapped after the window takes the packet.
+            let held = pkt.clone();
             if !rec.new.window.insert(pkt) {
                 return Vec::new();
             }
@@ -555,7 +562,8 @@ impl SrpNode {
                 rec.token.sent_token = None;
                 rec.token.retx_deadline = None;
             }
-            for chunk in &chunks {
+            let Some(d) = held.data() else { return Vec::new() };
+            for chunk in &d.chunks {
                 if chunk.kind != totem_wire::ChunkKind::Recovery {
                     continue;
                 }
@@ -563,12 +571,18 @@ impl SrpNode {
                     if Some(inner.ring) == my_old_ring {
                         rec.recovered_seen.insert(inner.seq.as_u64());
                         if let Some(old) = self.ring.as_mut() {
-                            old.window.insert(inner);
+                            // Seed the encoding cache with the chunk
+                            // bytes the packet was just decoded from:
+                            // re-encapsulating it later is then free.
+                            old.window.insert(SharedPacket::from_wire(
+                                Packet::Data(inner),
+                                chunk.data.clone(),
+                            ));
                         }
                     }
                 }
             }
-        } else if Some(pkt.ring) == my_old_ring {
+        } else if Some(pkt_ring) == my_old_ring {
             if let Some(old) = self.ring.as_mut() {
                 old.window.insert(pkt);
             }
@@ -603,7 +617,7 @@ impl SrpNode {
         for s in t.rtr.drain(..) {
             if sent < self.cfg.max_retransmit_per_token {
                 if let Some(pkt) = rec.new.window.get(s) {
-                    events.push(SrpEvent::Rebroadcast(Packet::Data(pkt.clone())));
+                    events.push(SrpEvent::Rebroadcast(pkt.clone()));
                     self.stats.retransmissions += 1;
                     sent += 1;
                     continue;
@@ -622,24 +636,29 @@ impl SrpNode {
             .min(fair_min.max(self.cfg.window_size.saturating_sub(in_flight)))
             .saturating_sub(sent);
         if let Some(old) = self.ring.as_ref() {
-            let candidates: Vec<DataPacket> = old
+            // Cloning a candidate is a refcount bump on the buffered
+            // old-ring frame; `recovery_chunk` then reuses its cached
+            // wire bytes instead of re-encoding.
+            let candidates: Vec<SharedPacket> = old
                 .window
                 .range(rec.plan_low, rec.plan_high)
-                .filter(|p| !rec.recovered_seen.contains(&p.seq.as_u64()))
+                .filter(|p| p.data().is_some_and(|d| !rec.recovered_seen.contains(&d.seq.as_u64())))
                 .take(allow as usize)
                 .cloned()
                 .collect();
             for old_pkt in candidates {
-                rec.recovered_seen.insert(old_pkt.seq.as_u64());
+                let Some(old_seq) = old_pkt.data().map(|d| d.seq.as_u64()) else { continue };
+                rec.recovered_seen.insert(old_seq);
                 t.seq = t.seq.next();
-                let pkt = DataPacket {
+                let pkt: SharedPacket = DataPacket {
                     ring: rec.new.ring,
                     seq: t.seq,
                     sender: self.me,
                     chunks: vec![recovery_chunk(&old_pkt)],
-                };
+                }
+                .into();
                 rec.new.window.insert(pkt.clone());
-                events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+                events.push(SrpEvent::Broadcast(pkt));
                 self.stats.packets_sent += 1;
                 sent += 1;
             }
@@ -735,7 +754,7 @@ impl SrpNode {
             // Deliver the recovered tail of the old ring, in order,
             // skipping sequence numbers no survivor had (those were
             // never delivered anywhere).
-            let tail: Vec<DataPacket> =
+            let tail: Vec<SharedPacket> =
                 old.window.range(old.window.delivered_up_to(), rec.plan_high).cloned().collect();
             deliver_packets(
                 self.me,

@@ -19,8 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use totem_wire::token::MAX_RTR;
 use totem_wire::{
-    Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, Token, Transition,
-    TRANSITION_BUFFER_CAP,
+    Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, SharedPacket, Token,
+    Transition, TRANSITION_BUFFER_CAP,
 };
 
 use crate::config::{DeliveryGuarantee, SrpConfig};
@@ -236,6 +236,10 @@ pub struct SrpNode {
     /// Membership state-machine transitions since the last
     /// [`SrpNode::take_transitions`] (conformance coverage records).
     pub(crate) transitions: Vec<Transition>,
+    /// Recycled buffer for the event vectors the entry points return:
+    /// callers hand it back via [`SrpNode::recycle_events`], making
+    /// the per-packet fast path allocation-free in steady state.
+    pub(crate) events_pool: Vec<SrpEvent>,
 }
 
 impl SrpNode {
@@ -282,6 +286,7 @@ impl SrpNode {
             last_heard: BTreeMap::new(),
             stats: SrpStats::default(),
             transitions: Vec::new(),
+            events_pool: Vec::new(),
         })
     }
 
@@ -310,6 +315,7 @@ impl SrpNode {
             last_heard: BTreeMap::new(),
             stats: SrpStats::default(),
             transitions: Vec::new(),
+            events_pool: Vec::new(),
         })
     }
 
@@ -462,7 +468,7 @@ impl SrpNode {
             return Err(SubmitError { limit: self.cfg.send_queue_limit });
         }
         self.send_queue.push_back(data);
-        let mut events = Vec::new();
+        let mut events = self.take_events();
         if let StateImpl::Operational(tok) = &mut self.state {
             if let Some(t) = tok.hold.take() {
                 // We hold an idle token: run the send phase on it now
@@ -492,9 +498,10 @@ impl SrpNode {
         let mut sent = 0u32;
         for chunks in self.packer.pack(&mut self.send_queue, allow as usize) {
             t.seq = t.seq.next();
-            let pkt = DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks };
+            let pkt: SharedPacket =
+                DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks }.into();
             ring.window.insert(pkt.clone());
-            events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+            events.push(SrpEvent::Broadcast(pkt));
             self.stats.packets_sent += 1;
             sent += 1;
         }
@@ -539,10 +546,33 @@ impl SrpNode {
         events
     }
 
-    /// Handles any received packet.
-    pub fn handle_packet(&mut self, now: Nanos, pkt: Packet) -> Vec<SrpEvent> {
-        match pkt {
-            Packet::Data(d) => self.handle_data(now, d),
+    /// Hands out the recycled event buffer (empty; callers return it
+    /// with [`SrpNode::recycle_events`]).
+    fn take_events(&mut self) -> Vec<SrpEvent> {
+        std::mem::take(&mut self.events_pool)
+    }
+
+    /// Returns an event vector obtained from [`SrpNode::handle_packet`]
+    /// (or any other event-producing entry point) to the recycling
+    /// pool once the caller has drained it. Purely an optimization —
+    /// dropping the vector instead is fine.
+    pub fn recycle_events(&mut self, mut events: Vec<SrpEvent>) {
+        if events.capacity() > self.events_pool.capacity() {
+            events.clear();
+            self.events_pool = events;
+        }
+    }
+
+    /// Handles any received packet. Data packets stay behind their
+    /// shared handle end to end — buffering one in the receive window
+    /// keeps (a refcount on) the frame that arrived, including its
+    /// cached wire bytes for recovery re-encapsulation.
+    pub fn handle_packet(&mut self, now: Nanos, pkt: SharedPacket) -> Vec<SrpEvent> {
+        if pkt.data().is_some() {
+            return self.handle_data(now, pkt);
+        }
+        match pkt.into_packet() {
+            Packet::Data(d) => self.handle_data(now, d.into()), // unreachable: handled above
             Packet::Token(t) => self.handle_token(now, t),
             Packet::Join(j) => self.handle_join(now, j),
             Packet::Commit(c) => self.handle_commit(now, c),
@@ -567,7 +597,7 @@ impl SrpNode {
 
     /// Fires any timers whose deadline is `<= now`.
     pub fn on_timer(&mut self, now: Nanos) -> Vec<SrpEvent> {
-        let mut events = Vec::new();
+        let mut events = self.take_events();
         match &mut self.state {
             StateImpl::Operational(_) | StateImpl::Recovery(_) => {
                 // Work on the token context common to both phases.
@@ -589,7 +619,7 @@ impl SrpNode {
                 if tok.retx_deadline.is_some_and(|d| d <= now) {
                     if let Some(t) = &tok.sent_token {
                         let succ = ring_ref.successor(self.me);
-                        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone())));
+                        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone()).into()));
                         self.stats.token_retransmits += 1;
                     }
                     tok.retx_deadline =
@@ -606,7 +636,7 @@ impl SrpNode {
                         proc_set: ring_ref.members.clone(),
                         fail_set: Vec::new(),
                     };
-                    events.push(SrpEvent::Broadcast(Packet::Join(announce)));
+                    events.push(SrpEvent::Broadcast(Packet::Join(announce).into()));
                 }
                 // Token loss: the ring has failed; start the
                 // membership protocol.
@@ -642,29 +672,33 @@ impl SrpNode {
     // Operational: data packets
     // ------------------------------------------------------------------
 
-    fn handle_data(&mut self, now: Nanos, pkt: DataPacket) -> Vec<SrpEvent> {
+    fn handle_data(&mut self, now: Nanos, pkt: SharedPacket) -> Vec<SrpEvent> {
+        // The identifying fields are `Copy`; lift them out so the
+        // shared handle itself can move into the receive window.
+        let Some(d) = pkt.data() else { return Vec::new() };
+        let (pkt_ring, pkt_sender) = (d.ring, d.sender);
+        let seq = d.seq;
         // Foreign-traffic trigger: a packet from a node outside our
         // ring (two healed partitions discovering each other) or from
         // a newer ring we missed sends us to Gather so the rings can
         // merge.
         if matches!(self.state, StateImpl::Operational(_)) {
             let Some(ring) = self.ring.as_ref() else { return Vec::new() };
-            if pkt.ring != ring.ring {
-                if !ring.members.contains(&pkt.sender) || pkt.ring.seq > ring.ring.seq {
+            if pkt_ring != ring.ring {
+                if !ring.members.contains(&pkt_sender) || pkt_ring.seq > ring.ring.seq {
                     self.note_transition("srp-membership", "Operational", "ForeignData", "Gather");
                     return self.enter_gather(now, Vec::new());
                 }
                 return Vec::new(); // stale traffic from our own past
             }
         }
-        let mut events = Vec::new();
+        let mut events = self.take_events();
         match &mut self.state {
             StateImpl::Operational(tok) => {
                 let Some(ring) = self.ring.as_mut() else { return events };
-                if pkt.ring != ring.ring {
+                if pkt_ring != ring.ring {
                     return events; // unreachable: filtered above
                 }
-                let seq = pkt.seq;
                 let is_new = ring.window.insert(pkt);
                 if !is_new {
                     return events;
@@ -698,7 +732,7 @@ impl SrpNode {
                 // recovery must retransmit (paper §3: nodes accept on
                 // networks they no longer send on; same spirit here).
                 if let Some(ring) = self.ring.as_mut() {
-                    if pkt.ring == ring.ring {
+                    if pkt_ring == ring.ring {
                         ring.window.insert(pkt);
                     }
                 }
@@ -733,7 +767,7 @@ impl SrpNode {
                 return Vec::new();
             }
         }
-        let mut events = Vec::new();
+        let mut events = self.take_events();
         let Some((tok, ring)) = operational_parts(&mut self.state, &mut self.ring) else {
             return events;
         };
@@ -758,7 +792,9 @@ impl SrpNode {
         for s in t.rtr.drain(..) {
             if sent < self.cfg.max_retransmit_per_token {
                 if let Some(pkt) = ring.window.get(s) {
-                    events.push(SrpEvent::Rebroadcast(Packet::Data(pkt.clone())));
+                    // Refcount bump: the retransmission shares the
+                    // buffered frame and its cached wire bytes.
+                    events.push(SrpEvent::Rebroadcast(pkt.clone()));
                     self.stats.retransmissions += 1;
                     sent += 1;
                     continue;
@@ -784,9 +820,10 @@ impl SrpNode {
         let chunk_lists = self.packer.pack(&mut self.send_queue, allow as usize);
         for chunks in chunk_lists {
             t.seq = t.seq.next();
-            let pkt = DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks };
+            let pkt: SharedPacket =
+                DataPacket { ring: ring.ring, seq: t.seq, sender: self.me, chunks }.into();
             ring.window.insert(pkt.clone());
-            events.push(SrpEvent::Broadcast(Packet::Data(pkt)));
+            events.push(SrpEvent::Broadcast(pkt));
             self.stats.packets_sent += 1;
             sent += 1;
         }
@@ -887,9 +924,9 @@ pub(crate) fn forward_token(
         // Singleton ring: the token comes straight back. Re-process on
         // the next hold/timer tick instead of spinning; model it as a
         // self-addressed send so hosts with loopback semantics work.
-        events.push(SrpEvent::ToSuccessor(me, Packet::Token(t.clone())));
+        events.push(SrpEvent::ToSuccessor(me, Packet::Token(t.clone()).into()));
     } else {
-        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone())));
+        events.push(SrpEvent::ToSuccessor(succ, Packet::Token(t.clone()).into()));
     }
     tok.sent_token = Some(t);
     tok.retx_deadline = Some(now + cfg.token_retransmit_interval);
@@ -912,22 +949,23 @@ fn release_held_token(
 pub(crate) fn deliver_packets(
     _me: NodeId,
     ring: RingId,
-    packets: Vec<DataPacket>,
+    packets: Vec<SharedPacket>,
     reassembler: &mut Reassembler,
     stats: &mut SrpStats,
     events: &mut Vec<SrpEvent>,
 ) {
     for pkt in packets {
-        for chunk in &pkt.chunks {
+        let Some(d) = pkt.data() else { continue };
+        for chunk in &d.chunks {
             if chunk.kind == ChunkKind::Recovery {
                 continue; // protocol-internal; unwrapped elsewhere
             }
-            if let Some(data) = reassembler.push(pkt.sender, chunk) {
+            if let Some(data) = reassembler.push(d.sender, chunk) {
                 stats.delivered_msgs += 1;
                 stats.delivered_bytes += data.len() as u64;
                 events.push(SrpEvent::Deliver(Delivered {
-                    sender: pkt.sender,
-                    seq: pkt.seq,
+                    sender: d.sender,
+                    seq: d.seq,
                     ring,
                     data,
                 }));
@@ -937,11 +975,12 @@ pub(crate) fn deliver_packets(
 }
 
 /// Builds a recovery chunk embedding an old-ring packet.
-pub(crate) fn recovery_chunk(old: &DataPacket) -> Chunk {
-    Chunk {
-        kind: ChunkKind::Recovery,
-        msg_id: 0,
-        orig_len: 0,
-        data: Bytes::from(Packet::Data(old.clone()).encode()),
-    }
+///
+/// The embedded bytes are the packet's cached wire encoding: for a
+/// frame that arrived off the wire this is the buffer it was decoded
+/// from, and for a locally originated frame it is the encoding
+/// produced when it was first broadcast — either way the encoder does
+/// not run again here.
+pub(crate) fn recovery_chunk(old: &SharedPacket) -> Chunk {
+    Chunk { kind: ChunkKind::Recovery, msg_id: 0, orig_len: 0, data: old.encoded().clone() }
 }

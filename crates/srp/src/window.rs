@@ -5,10 +5,16 @@
 //! redundant ring protocol's Requirement A1: copies of the same packet
 //! arriving over different networks are indistinguishable from
 //! retransmissions and are dropped here.
+//!
+//! The window stores [`SharedPacket`] handles, so buffering a packet a
+//! node sent or received — and serving it back out for
+//! retransmission, delivery or membership recovery — never deep-copies
+//! the frame: every hand-off is a refcount bump on the one shared
+//! packet with its encode-once wire bytes.
 
 use std::collections::BTreeMap;
 
-use totem_wire::{DataPacket, Seq};
+use totem_wire::{Seq, SharedPacket};
 
 /// Buffered packets of one ring, ordered by sequence number.
 ///
@@ -16,10 +22,10 @@ use totem_wire::{DataPacket, Seq};
 ///
 /// ```
 /// # use totem_srp::window::ReceiveWindow;
-/// # use totem_wire::{DataPacket, NodeId, RingId, Seq};
-/// # fn pkt(seq: u64) -> DataPacket {
+/// # use totem_wire::{DataPacket, NodeId, RingId, Seq, SharedPacket};
+/// # fn pkt(seq: u64) -> SharedPacket {
 /// #     DataPacket { ring: RingId::new(NodeId::new(0), 1), seq: Seq::new(seq),
-/// #                  sender: NodeId::new(0), chunks: vec![] }
+/// #                  sender: NodeId::new(0), chunks: vec![] }.into()
 /// # }
 /// let mut w = ReceiveWindow::new();
 /// w.insert(pkt(1));
@@ -30,7 +36,7 @@ use totem_wire::{DataPacket, Seq};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReceiveWindow {
-    packets: BTreeMap<u64, DataPacket>,
+    packets: BTreeMap<u64, SharedPacket>,
     /// Highest sequence number such that all packets `1..=my_aru` are
     /// present.
     my_aru: Seq,
@@ -61,19 +67,24 @@ impl ReceiveWindow {
         ReceiveWindow { my_aru: aru, high_seen: aru, delivered_up_to: aru, ..Self::default() }
     }
 
-    /// Inserts a received packet. Returns `true` if the packet was
+    /// Inserts a received packet (which must be a data frame; other
+    /// packet classes are rejected). Returns `true` if the packet was
     /// new, `false` if it was a duplicate (already present or already
     /// beneath the contiguity watermark).
-    pub fn insert(&mut self, pkt: DataPacket) -> bool {
-        let s = pkt.seq.as_u64();
+    pub fn insert(&mut self, pkt: SharedPacket) -> bool {
+        let Some(d) = pkt.data() else {
+            return false; // only data frames carry window sequence numbers
+        };
+        let seq = d.seq;
+        let s = seq.as_u64();
         if s == 0 {
             return false; // sequence numbers start at 1
         }
-        if !pkt.seq.follows(self.my_aru) || self.packets.contains_key(&s) {
+        if !seq.follows(self.my_aru) || self.packets.contains_key(&s) {
             self.duplicates += 1;
             return false;
         }
-        self.note_seq(pkt.seq);
+        self.note_seq(seq);
         self.packets.insert(s, pkt);
         // Advance the contiguity watermark (stepping with `next`, so
         // the walk is correct across the wrap boundary).
@@ -130,8 +141,9 @@ impl ReceiveWindow {
     }
 
     /// A buffered packet by sequence number (for answering
-    /// retransmission requests).
-    pub fn get(&self, seq: Seq) -> Option<&DataPacket> {
+    /// retransmission requests; cloning the returned handle is a
+    /// refcount bump).
+    pub fn get(&self, seq: Seq) -> Option<&SharedPacket> {
         self.packets.get(&seq.as_u64())
     }
 
@@ -139,7 +151,7 @@ impl ReceiveWindow {
     /// `(delivered_up_to, min(up_to, my_aru)]`, in sequence order.
     /// Advances the delivery cursor; the packets stay buffered for
     /// retransmission until [`ReceiveWindow::discard_up_to`].
-    pub fn take_deliverable(&mut self, up_to: Seq) -> Vec<DataPacket> {
+    pub fn take_deliverable(&mut self, up_to: Seq) -> Vec<SharedPacket> {
         let hi = up_to.serial_min(self.my_aru);
         let mut out = Vec::new();
         let mut delivered_to = self.delivered_up_to;
@@ -160,7 +172,8 @@ impl ReceiveWindow {
     /// delivered locally.
     pub fn discard_up_to(&mut self, floor: Seq) {
         let floor = floor.serial_min(self.delivered_up_to);
-        self.packets.retain(|_, p| p.seq.follows(floor));
+        // Keys equal each stored packet's sequence number.
+        self.packets.retain(|s, _| Seq::new(*s).follows(floor));
     }
 
     /// Number of buffered packets.
@@ -177,7 +190,7 @@ impl ReceiveWindow {
     /// serial order (used by membership recovery to retransmit
     /// old-ring packets). Walks sequence numbers with [`Seq::next`],
     /// so the interval is correct across the wrap boundary.
-    pub fn range(&self, lo: Seq, hi: Seq) -> impl Iterator<Item = &DataPacket> {
+    pub fn range(&self, lo: Seq, hi: Seq) -> impl Iterator<Item = &SharedPacket> {
         lo.missing_until(hi).filter_map(move |s| self.packets.get(&s.as_u64()))
     }
 }
@@ -185,15 +198,20 @@ impl ReceiveWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use totem_wire::{NodeId, RingId};
+    use totem_wire::{DataPacket, NodeId, RingId};
 
-    fn pkt(seq: u64) -> DataPacket {
+    fn pkt(seq: u64) -> SharedPacket {
         DataPacket {
             ring: RingId::new(NodeId::new(0), 1),
             seq: Seq::new(seq),
             sender: NodeId::new(0),
             chunks: vec![],
         }
+        .into()
+    }
+
+    fn seq_of(p: &SharedPacket) -> u64 {
+        p.data().map(|d| d.seq.as_u64()).unwrap_or(0)
     }
 
     #[test]
@@ -242,6 +260,16 @@ mod tests {
     }
 
     #[test]
+    fn non_data_packets_are_rejected_without_effect() {
+        use totem_wire::{Packet, Token};
+        let mut w = ReceiveWindow::new();
+        let tok = SharedPacket::new(Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1))));
+        assert!(!w.insert(tok));
+        assert_eq!(w.buffered(), 0);
+        assert_eq!(w.duplicates(), 0);
+    }
+
+    #[test]
     fn token_knowledge_creates_missing_without_packets() {
         let mut w = ReceiveWindow::new();
         w.note_seq(Seq::new(4));
@@ -256,11 +284,24 @@ mod tests {
             w.insert(pkt(s));
         }
         let first = w.take_deliverable(Seq::new(3));
-        assert_eq!(first.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(first.iter().map(seq_of).collect::<Vec<_>>(), vec![1, 2, 3]);
         // Second call returns only new ground.
         let second = w.take_deliverable(Seq::new(10)); // capped by my_aru = 5
-        assert_eq!(second.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(second.iter().map(seq_of).collect::<Vec<_>>(), vec![4, 5]);
         assert!(w.take_deliverable(Seq::new(10)).is_empty());
+    }
+
+    #[test]
+    fn deliverable_handles_share_the_buffered_packet() {
+        let mut w = ReceiveWindow::new();
+        w.insert(pkt(1));
+        let taken = w.take_deliverable(Seq::new(1));
+        // The delivered handle and the buffered one are the same
+        // allocation: cloning out of the window is a refcount bump.
+        assert_eq!(
+            taken[0].encoded().as_ref().as_ptr(),
+            w.get(Seq::new(1)).map(|p| p.encoded().as_ref().as_ptr()).unwrap_or(std::ptr::null())
+        );
     }
 
     #[test]
@@ -281,7 +322,7 @@ mod tests {
         for s in 1..=6 {
             w.insert(pkt(s));
         }
-        let seqs: Vec<u64> = w.range(Seq::new(2), Seq::new(5)).map(|p| p.seq.as_u64()).collect();
+        let seqs: Vec<u64> = w.range(Seq::new(2), Seq::new(5)).map(seq_of).collect();
         assert_eq!(seqs, vec![3, 4, 5]);
     }
 
@@ -328,9 +369,9 @@ mod tests {
             w.insert(pkt(s));
         }
         let first = w.take_deliverable(Seq::new(1));
-        assert_eq!(first.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![u64::MAX, 1]);
+        assert_eq!(first.iter().map(seq_of).collect::<Vec<_>>(), vec![u64::MAX, 1]);
         let rest = w.take_deliverable(Seq::new(3));
-        assert_eq!(rest.iter().map(|p| p.seq.as_u64()).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(rest.iter().map(seq_of).collect::<Vec<_>>(), vec![2, 3]);
         // Discard up to the post-wrap floor: the pre-wrap packet at
         // MAX is serially below 2 and must go; 3 must stay.
         w.discard_up_to(Seq::new(2));
@@ -358,8 +399,7 @@ mod tests {
         for s in [u64::MAX, 1, 2] {
             w.insert(pkt(s));
         }
-        let seqs: Vec<u64> =
-            w.range(Seq::new(u64::MAX - 1), Seq::new(2)).map(|p| p.seq.as_u64()).collect();
+        let seqs: Vec<u64> = w.range(Seq::new(u64::MAX - 1), Seq::new(2)).map(seq_of).collect();
         assert_eq!(seqs, vec![u64::MAX, 1, 2]);
     }
 }

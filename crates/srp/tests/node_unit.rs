@@ -38,7 +38,10 @@ fn data(seq: u64, sender: u16, body: &'static [u8]) -> DataPacket {
 
 fn sent_token(events: &[SrpEvent]) -> Option<(&NodeId, &Token)> {
     events.iter().find_map(|e| match e {
-        SrpEvent::ToSuccessor(succ, Packet::Token(t)) => Some((succ, t)),
+        SrpEvent::ToSuccessor(succ, pkt) => match pkt.packet() {
+            Packet::Token(t) => Some((succ, t)),
+            _ => None,
+        },
         _ => None,
     })
 }
@@ -48,7 +51,7 @@ fn fresh_token_is_forwarded_to_ring_successor() {
     // Node 1 of {0,1,2}: successor is node 2.
     let mut n = node(1, 3);
     n.submit(0, Bytes::from_static(b"hi")).unwrap();
-    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     let (succ, t) = sent_token(&events).expect("token forwarded");
     assert_eq!(*succ, NodeId::new(2));
     assert_eq!(t.seq, Seq::new(1), "one packet was broadcast");
@@ -58,7 +61,7 @@ fn fresh_token_is_forwarded_to_ring_successor() {
 fn last_member_wraps_token_to_representative() {
     let mut n = node(2, 3);
     n.submit(0, Bytes::from_static(b"x")).unwrap();
-    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     let (succ, _) = sent_token(&events).expect("token forwarded");
     assert_eq!(*succ, NodeId::new(0));
 }
@@ -67,10 +70,10 @@ fn last_member_wraps_token_to_representative() {
 fn duplicate_token_instance_is_ignored() {
     let mut n = node(1, 3);
     n.submit(0, Bytes::from_static(b"hi")).unwrap();
-    let first = n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    let first = n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     assert!(sent_token(&first).is_some());
     // The identical (retransmitted) token instance: no processing.
-    let second = n.handle_packet(10, Packet::Token(token(0, 0, 0)));
+    let second = n.handle_packet(10, Packet::Token(token(0, 0, 0)).into());
     assert!(second.is_empty(), "retransmitted token must be ignored: {second:?}");
     assert_eq!(n.stats().tokens_handled, 1);
 }
@@ -80,7 +83,7 @@ fn idle_ring_rotation_counter_distinguishes_new_tokens() {
     // Same seq on consecutive rotations: the rotation counter (paper
     // §2 footnote 1) marks the second as fresh.
     let mut n = node(1, 3);
-    let e1 = n.handle_packet(0, Packet::Token(token(1, 0, 0)));
+    let e1 = n.handle_packet(0, Packet::Token(token(1, 0, 0)).into());
     // An idle visit is held, not forwarded immediately...
     assert!(sent_token(&e1).is_none());
     // ...until the pacing timer releases it.
@@ -89,10 +92,10 @@ fn idle_ring_rotation_counter_distinguishes_new_tokens() {
     assert!(sent_token(&e2).is_some(), "held token released by the pacing timer");
     // The next rotation's token (identical seq, bumped rotation) is
     // recognized as FRESH, not as a duplicate.
-    let _ = n.handle_packet(1_000_000, Packet::Token(token(2, 0, 0)));
+    let _ = n.handle_packet(1_000_000, Packet::Token(token(2, 0, 0)).into());
     assert_eq!(n.stats().tokens_handled, 2);
     // Whereas an exact copy of it is a duplicate.
-    let e4 = n.handle_packet(1_000_001, Packet::Token(token(2, 0, 0)));
+    let e4 = n.handle_packet(1_000_001, Packet::Token(token(2, 0, 0)).into());
     assert!(e4.is_empty());
     assert_eq!(n.stats().tokens_handled, 2);
 }
@@ -100,7 +103,7 @@ fn idle_ring_rotation_counter_distinguishes_new_tokens() {
 #[test]
 fn submit_releases_held_token_with_the_message_aboard() {
     let mut n = node(1, 3);
-    let held = n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    let held = n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     assert!(sent_token(&held).is_none(), "idle token is held");
     let events = n.submit(50_000, Bytes::from_static(b"now")).unwrap();
     let (_, t) = sent_token(&events).expect("submit releases the token");
@@ -109,7 +112,7 @@ fn submit_releases_held_token_with_the_message_aboard() {
     assert!(
         events
             .iter()
-            .any(|e| matches!(e, SrpEvent::Broadcast(Packet::Data(d)) if d.seq == Seq::new(1))),
+            .any(|e| matches!(e, SrpEvent::Broadcast(p) if p.data().is_some_and(|d| d.seq == Seq::new(1)))),
         "the message itself was broadcast"
     );
 }
@@ -118,7 +121,7 @@ fn submit_releases_held_token_with_the_message_aboard() {
 fn token_retransmission_until_evidence_of_receipt() {
     let mut n = node(1, 3);
     n.submit(0, Bytes::from_static(b"m")).unwrap();
-    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    let events = n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     assert!(sent_token(&events).is_some());
     // No evidence: the retransmit timer resends the same token.
     let retx_at = n.next_deadline().expect("retx armed");
@@ -128,7 +131,7 @@ fn token_retransmission_until_evidence_of_receipt() {
     assert_eq!(n.stats().token_retransmits, 1);
     // Evidence arrives: a higher sequence number broadcast by someone
     // downstream. Retransmissions stop.
-    n.handle_packet(retx_at + 1, Packet::Data(data(2, 2, b"downstream")));
+    n.handle_packet(retx_at + 1, Packet::Data(data(2, 2, b"downstream")).into());
     let next = n.next_deadline().expect("token-loss still armed");
     let events = n.on_timer(next);
     assert!(sent_token(&events).is_none(), "no further token retransmission");
@@ -140,7 +143,7 @@ fn token_from_a_stale_ring_is_ignored() {
     let mut n = node(1, 3);
     let mut t = token(0, 7, 7);
     t.ring = RingId::new(NodeId::new(0), 0); // an older ring
-    assert!(n.handle_packet(0, Packet::Token(t)).is_empty());
+    assert!(n.handle_packet(0, Packet::Token(t).into()).is_empty());
     assert_eq!(n.stats().tokens_handled, 0);
 }
 
@@ -149,7 +152,7 @@ fn data_from_a_stale_ring_is_ignored() {
     let mut n = node(1, 3);
     let mut d = data(1, 0, b"old");
     d.ring = RingId::new(NodeId::new(0), 0);
-    let events = n.handle_packet(0, Packet::Data(d));
+    let events = n.handle_packet(0, Packet::Data(d).into());
     assert!(events.iter().all(|e| !matches!(e, SrpEvent::Deliver(_))));
 }
 
@@ -157,7 +160,7 @@ fn data_from_a_stale_ring_is_ignored() {
 fn aru_is_lowered_by_a_lagging_node_and_raised_when_it_catches_up() {
     let mut n = node(1, 3);
     // The ring has 4 packets; this node has none of them.
-    let events = n.handle_packet(0, Packet::Token(token(0, 4, 4)));
+    let events = n.handle_packet(0, Packet::Token(token(0, 4, 4)).into());
     let (_, t) = sent_token(&events).expect("forwarded");
     assert_eq!(t.aru, Seq::ZERO, "lagging node lowers aru to its own watermark");
     assert_eq!(t.aru_id, Some(NodeId::new(1)));
@@ -165,11 +168,11 @@ fn aru_is_lowered_by_a_lagging_node_and_raised_when_it_catches_up() {
 
     // The packets arrive (retransmitted); next visit restores aru.
     for s in 1..=4 {
-        n.handle_packet(s, Packet::Data(data(s, 0, b"fill")));
+        n.handle_packet(s, Packet::Data(data(s, 0, b"fill")).into());
     }
     let mut back = token(1, 4, 0);
     back.aru_id = Some(NodeId::new(1));
-    let mut events = n.handle_packet(100, Packet::Token(back));
+    let mut events = n.handle_packet(100, Packet::Token(back).into());
     if sent_token(&events).is_none() {
         // The caught-up visit is idle: the token is held; release it.
         events = n.on_timer(n.next_deadline().expect("hold armed"));
@@ -183,14 +186,14 @@ fn aru_is_lowered_by_a_lagging_node_and_raised_when_it_catches_up() {
 fn retransmission_requests_are_served_from_the_buffer() {
     let mut n = node(1, 3);
     for s in 1..=3 {
-        n.handle_packet(s, Packet::Data(data(s, 0, b"keep")));
+        n.handle_packet(s, Packet::Data(data(s, 0, b"keep")).into());
     }
     let mut t = token(0, 3, 3);
     t.rtr = vec![Seq::new(2)];
-    let events = n.handle_packet(10, Packet::Token(t));
-    let served = events
-        .iter()
-        .any(|e| matches!(e, SrpEvent::Rebroadcast(Packet::Data(d)) if d.seq == Seq::new(2)));
+    let events = n.handle_packet(10, Packet::Token(t).into());
+    let served = events.iter().any(
+        |e| matches!(e, SrpEvent::Rebroadcast(p) if p.data().is_some_and(|d| d.seq == Seq::new(2))),
+    );
     assert!(served, "requested packet must be rebroadcast");
     let (_, t) = sent_token(&events).expect("forwarded");
     assert!(t.rtr.is_empty(), "served request removed from the token");
@@ -203,7 +206,7 @@ fn unservable_requests_stay_on_the_token() {
     let mut t = token(0, 9, 0);
     t.rtr = vec![Seq::new(7)];
     t.aru_id = Some(NodeId::new(2));
-    let events = n.handle_packet(0, Packet::Token(t));
+    let events = n.handle_packet(0, Packet::Token(t).into());
     let (_, t) = sent_token(&events).expect("forwarded");
     assert!(t.rtr.contains(&Seq::new(7)), "unserved request rides on");
 }
@@ -227,14 +230,17 @@ fn own_messages_are_delivered_locally_in_order() {
 #[test]
 fn token_loss_timer_starts_the_membership_protocol() {
     let mut n = node(1, 3);
-    n.handle_packet(0, Packet::Token(token(0, 0, 0)));
+    n.handle_packet(0, Packet::Token(token(0, 0, 0)).into());
     // Let hold + retransmissions pass; eventually the loss timer fires.
     let mut now = 0;
     for _ in 0..64 {
         let Some(d) = n.next_deadline() else { break };
         now = now.max(d);
         let events = n.on_timer(now);
-        if events.iter().any(|e| matches!(e, SrpEvent::Broadcast(Packet::Join(_)))) {
+        if events
+            .iter()
+            .any(|e| matches!(e, SrpEvent::Broadcast(p) if matches!(p.packet(), Packet::Join(_))))
+        {
             assert_eq!(n.state(), totem_srp::SrpState::Gather);
             assert_eq!(n.stats().gathers, 1);
             return;

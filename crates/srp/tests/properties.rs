@@ -30,7 +30,7 @@ proptest! {
     ) {
         let mut w = ReceiveWindow::new();
         for &s in &seqs {
-            w.insert(pkt(s));
+            w.insert(pkt(s).into());
         }
         let distinct: std::collections::BTreeSet<u64> = seqs.iter().copied().collect();
         let mut expect_aru = 0u64;
@@ -60,12 +60,12 @@ proptest! {
         let mut w = ReceiveWindow::new();
         let mut delivered: Vec<u64> = Vec::new();
         for (i, &s) in seqs.iter().enumerate() {
-            w.insert(pkt(s));
+            w.insert(pkt(s).into());
             if i % deliver_every == 0 {
-                delivered.extend(w.take_deliverable(w.my_aru()).iter().map(|p| p.seq.as_u64()));
+                delivered.extend(w.take_deliverable(w.my_aru()).iter().filter_map(|p| p.data().map(|d| d.seq.as_u64())));
             }
         }
-        delivered.extend(w.take_deliverable(w.my_aru()).iter().map(|p| p.seq.as_u64()));
+        delivered.extend(w.take_deliverable(w.my_aru()).iter().filter_map(|p| p.data().map(|d| d.seq.as_u64())));
         // Strictly increasing by one from 1.
         for (i, s) in delivered.iter().enumerate() {
             prop_assert_eq!(*s, i as u64 + 1);
@@ -83,7 +83,7 @@ proptest! {
     ) {
         let mut w = ReceiveWindow::new();
         for s in 1..=count {
-            w.insert(pkt(s));
+            w.insert(pkt(s).into());
         }
         let deliver_to = deliver_to.min(count);
         w.take_deliverable(Seq::new(deliver_to));

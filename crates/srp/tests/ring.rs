@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use totem_srp::{ConfigKind, DeliveryGuarantee, SrpConfig, SrpEvent, SrpNode, SrpState};
-use totem_wire::{NodeId, Packet};
+use totem_wire::{NodeId, Packet, SharedPacket};
 
 /// Decides whether a packet (src, dst, pkt) is delivered.
 type DropFilter = Box<dyn FnMut(NodeId, NodeId, &Packet) -> bool>;
@@ -17,7 +17,7 @@ type DropFilter = Box<dyn FnMut(NodeId, NodeId, &Packet) -> bool>;
 struct Harness {
     nodes: Vec<SrpNode>,
     crashed: Vec<bool>,
-    queue: VecDeque<(NodeId, NodeId, Packet)>, // (src, dst, pkt)
+    queue: VecDeque<(NodeId, NodeId, SharedPacket)>, // (src, dst, pkt)
     now: u64,
     delivered: Vec<Vec<(NodeId, Bytes)>>, // per node, in delivery order
     configs: Vec<Vec<(ConfigKind, Vec<NodeId>)>>,

@@ -28,6 +28,8 @@ pub use udp::{UdpTopology, UdpTransport};
 use std::io;
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use totem_wire::{NetworkId, NodeId};
 
 /// Where a packet should go on one network.
@@ -49,16 +51,21 @@ pub trait Transport: Send {
 
     /// Sends `payload` on `net` to `dst`.
     ///
+    /// The payload is a refcounted [`Bytes`] handle so implementations
+    /// that fan one datagram out to many local queues (broadcast on
+    /// the in-memory hub) share a single buffer instead of copying it
+    /// per receiver.
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from the underlying channel. Transient
     /// send failures should be treated as packet loss (the protocol
     /// retransmits); callers should not retry in a loop.
-    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()>;
+    fn send(&self, net: NetworkId, dst: Destination, payload: Bytes) -> io::Result<()>;
 
     /// Waits up to `timeout` for the next datagram on any network.
     /// Returns `None` on timeout or if the transport has shut down.
-    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)>;
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Bytes)>;
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 use std::io;
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -17,7 +19,7 @@ use totem_wire::{NetworkId, NodeId};
 
 use crate::{Destination, Transport};
 
-type Datagram = (NetworkId, Vec<u8>);
+type Datagram = (NetworkId, Bytes);
 
 /// Shared state: every node's inbox.
 #[derive(Debug)]
@@ -92,16 +94,18 @@ impl Transport for InMemoryTransport {
         self.networks
     }
 
-    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()> {
+    fn send(&self, net: NetworkId, dst: Destination, payload: Bytes) -> io::Result<()> {
         assert!(net.index() < self.networks, "network out of range");
         if self.shared.down.lock()[net.index()] {
             return Ok(()); // dropped on the dead network
         }
         match dst {
             Destination::Broadcast => {
+                // Refcount bumps, not copies: all receivers share the
+                // sender's buffer.
                 for (i, tx) in self.shared.inboxes.iter().enumerate() {
                     if i != self.me.index() {
-                        let _ = tx.send((net, payload.to_vec()));
+                        let _ = tx.send((net, payload.clone()));
                     }
                 }
             }
@@ -109,13 +113,13 @@ impl Transport for InMemoryTransport {
                 let tx = self.shared.inboxes.get(d.index()).ok_or_else(|| {
                     io::Error::new(io::ErrorKind::NotFound, "unknown destination node")
                 })?;
-                let _ = tx.send((net, payload.to_vec()));
+                let _ = tx.send((net, payload));
             }
         }
         Ok(())
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)> {
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Bytes)> {
         self.rx.recv_timeout(timeout).ok()
     }
 }
@@ -127,11 +131,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone_but_sender() {
         let hub = InMemoryHub::new(3, 2);
-        hub[0].send(NetworkId::new(1), Destination::Broadcast, b"hi").unwrap();
+        hub[0].send(NetworkId::new(1), Destination::Broadcast, Bytes::from_static(b"hi")).unwrap();
         for t in &hub[1..] {
             let (net, data) = t.recv_timeout(Duration::from_millis(100)).unwrap();
             assert_eq!(net, NetworkId::new(1));
-            assert_eq!(data, b"hi");
+            assert_eq!(data.as_ref(), b"hi");
         }
         assert!(hub[0].recv_timeout(Duration::from_millis(10)).is_none());
     }
@@ -139,16 +143,19 @@ mod tests {
     #[test]
     fn unicast_reaches_only_destination() {
         let hub = InMemoryHub::new(3, 1);
-        hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(2)), b"tok").unwrap();
+        hub[0]
+            .send(NetworkId::new(0), Destination::Node(NodeId::new(2)), Bytes::from_static(b"tok"))
+            .unwrap();
         assert!(hub[1].recv_timeout(Duration::from_millis(10)).is_none());
-        assert_eq!(hub[2].recv_timeout(Duration::from_millis(100)).unwrap().1, b"tok");
+        assert_eq!(hub[2].recv_timeout(Duration::from_millis(100)).unwrap().1.as_ref(), b"tok");
     }
 
     #[test]
     fn unknown_destination_errors() {
         let hub = InMemoryHub::new(2, 1);
-        let err =
-            hub[0].send(NetworkId::new(0), Destination::Node(NodeId::new(9)), b"x").unwrap_err();
+        let err = hub[0]
+            .send(NetworkId::new(0), Destination::Node(NodeId::new(9)), Bytes::from_static(b"x"))
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
@@ -156,13 +163,13 @@ mod tests {
     fn dead_network_swallows_traffic() {
         let hub = InMemoryHub::new(2, 2);
         hub[0].set_network_down(NetworkId::new(0), true);
-        hub[0].send(NetworkId::new(0), Destination::Broadcast, b"a").unwrap();
-        hub[0].send(NetworkId::new(1), Destination::Broadcast, b"b").unwrap();
+        hub[0].send(NetworkId::new(0), Destination::Broadcast, Bytes::from_static(b"a")).unwrap();
+        hub[0].send(NetworkId::new(1), Destination::Broadcast, Bytes::from_static(b"b")).unwrap();
         let (net, data) = hub[1].recv_timeout(Duration::from_millis(100)).unwrap();
-        assert_eq!((net, data.as_slice()), (NetworkId::new(1), b"b".as_slice()));
+        assert_eq!((net, data.as_ref()), (NetworkId::new(1), b"b".as_slice()));
         // Revive and confirm it works again.
         hub[1].set_network_down(NetworkId::new(0), false);
-        hub[0].send(NetworkId::new(0), Destination::Broadcast, b"c").unwrap();
-        assert_eq!(hub[1].recv_timeout(Duration::from_millis(100)).unwrap().1, b"c");
+        hub[0].send(NetworkId::new(0), Destination::Broadcast, Bytes::from_static(b"c")).unwrap();
+        assert_eq!(hub[1].recv_timeout(Duration::from_millis(100)).unwrap().1.as_ref(), b"c");
     }
 }

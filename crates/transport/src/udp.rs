@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use totem_wire::{NetworkId, NodeId};
@@ -86,7 +87,7 @@ pub struct UdpTransport {
     me: NodeId,
     topology: UdpTopology,
     sockets: Vec<UdpSocket>,
-    rx: Receiver<(NetworkId, Vec<u8>)>,
+    rx: Receiver<(NetworkId, Bytes)>,
     stop: Arc<AtomicBool>,
 }
 
@@ -125,7 +126,7 @@ impl UdpTransport {
 fn spawn_reader(
     socket: UdpSocket,
     net: NetworkId,
-    tx: Sender<(NetworkId, Vec<u8>)>,
+    tx: Sender<(NetworkId, Bytes)>,
     stop: Arc<AtomicBool>,
 ) {
     std::thread::Builder::new()
@@ -135,7 +136,7 @@ fn spawn_reader(
             while !stop.load(Ordering::Relaxed) {
                 match socket.recv_from(&mut buf) {
                     Ok((len, _peer)) => {
-                        if tx.send((net, buf[..len].to_vec())).is_err() {
+                        if tx.send((net, Bytes::copy_from_slice(&buf[..len]))).is_err() {
                             break;
                         }
                     }
@@ -154,25 +155,25 @@ impl Transport for UdpTransport {
         self.topology.networks()
     }
 
-    fn send(&self, net: NetworkId, dst: Destination, payload: &[u8]) -> io::Result<()> {
+    fn send(&self, net: NetworkId, dst: Destination, payload: Bytes) -> io::Result<()> {
         let socket = &self.sockets[net.index()];
         match dst {
             Destination::Broadcast => {
                 for node in 0..self.topology.nodes() {
                     let node = NodeId::new(node as u16);
                     if node != self.me {
-                        socket.send_to(payload, self.topology.addr(node, net))?;
+                        socket.send_to(&payload, self.topology.addr(node, net))?;
                     }
                 }
             }
             Destination::Node(d) => {
-                socket.send_to(payload, self.topology.addr(d, net))?;
+                socket.send_to(&payload, self.topology.addr(d, net))?;
             }
         }
         Ok(())
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Vec<u8>)> {
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Bytes)> {
         self.rx.recv_timeout(timeout).ok()
     }
 }
@@ -213,13 +214,14 @@ mod tests {
         let a = UdpTransport::bind(NodeId::new(0), topo.clone()).unwrap();
         let b = UdpTransport::bind(NodeId::new(1), topo).unwrap();
 
-        a.send(NetworkId::new(0), Destination::Broadcast, b"net0").unwrap();
-        a.send(NetworkId::new(1), Destination::Node(NodeId::new(1)), b"net1").unwrap();
+        a.send(NetworkId::new(0), Destination::Broadcast, Bytes::from_static(b"net0")).unwrap();
+        a.send(NetworkId::new(1), Destination::Node(NodeId::new(1)), Bytes::from_static(b"net1"))
+            .unwrap();
 
         let mut got = Vec::new();
         for _ in 0..2 {
             let (net, data) = b.recv_timeout(Duration::from_secs(2)).expect("datagram");
-            got.push((net.as_u8(), data));
+            got.push((net.as_u8(), data.to_vec()));
         }
         got.sort();
         assert_eq!(got, vec![(0, b"net0".to_vec()), (1, b"net1".to_vec())]);

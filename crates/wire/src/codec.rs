@@ -146,9 +146,33 @@ impl Writer {
         self.buf.is_empty()
     }
 
+    /// Clears the contents while keeping the allocation, so one writer
+    /// can encode many frames without reallocating (the encode pool in
+    /// [`crate::packet`] relies on this).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ensures capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Consumes the writer, returning the encoded buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Copies the written bytes into an immutable, cheaply cloneable
+    /// [`Bytes`] without consuming the writer (one shared allocation;
+    /// the writer's own buffer is kept for reuse).
+    pub fn to_shared(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
     }
 }
 
@@ -264,6 +288,17 @@ impl<'a> Reader<'a> {
         if len > MAX_DECODE_LEN {
             return Err(CodecError::BadLength { what: "byte string", len });
         }
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    /// Reads exactly `len` un-prefixed bytes (the caller read the
+    /// length from its own header field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Truncated`] if fewer than `len` bytes
+    /// remain.
+    pub fn raw_bytes(&mut self, len: usize) -> Result<Bytes, CodecError> {
         Ok(Bytes::copy_from_slice(self.take(len)?))
     }
 

@@ -13,6 +13,8 @@
 //!   control information.
 //! * [`membership`] — the [`JoinMessage`] and [`CommitToken`] used by
 //!   the Totem SRP membership protocol.
+//! * [`shared`] — the [`SharedPacket`] encode-once/share-everywhere
+//!   handle the data plane fans out instead of deep-cloning packets.
 //! * [`codec`] — a small, dependency-free binary codec
 //!   (big-endian, length-prefixed) with a fuzz-friendly decoder.
 //! * [`frame`] — the Ethernet framing model from the paper
@@ -55,6 +57,7 @@ pub mod frame;
 pub mod ids;
 pub mod membership;
 pub mod packet;
+pub mod shared;
 pub mod token;
 pub mod transition;
 
@@ -65,5 +68,6 @@ pub use frame::{
 pub use ids::{NetworkId, NodeId, RingId, Seq};
 pub use membership::{CommitToken, JoinMessage, MembEntry};
 pub use packet::{Chunk, ChunkKind, DataPacket, Packet};
+pub use shared::{NetFrame, SharedPacket};
 pub use token::Token;
 pub use transition::{Transition, TRANSITION_BUFFER_CAP};

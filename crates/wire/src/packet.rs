@@ -115,14 +115,8 @@ impl Chunk {
         let len = r.u16()? as usize;
         let msg_id = r.u32()?;
         let orig_len = r.u32()?;
-        if r.remaining() < len {
-            return Err(CodecError::Truncated { needed: len, remaining: r.remaining() });
-        }
-        let mut data = Vec::with_capacity(len);
-        for _ in 0..len {
-            data.push(r.u8()?);
-        }
-        Ok(Chunk { kind, msg_id, orig_len, data: Bytes::from(data) })
+        let data = r.raw_bytes(len)?;
+        Ok(Chunk { kind, msg_id, orig_len, data })
     }
 }
 
@@ -185,6 +179,13 @@ impl Packet {
     /// Encodes the packet to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(self.wire_payload_len() + 16);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes the packet into an existing writer (appended), so a
+    /// pooled writer can serve many frames without reallocating.
+    pub fn encode_into(&self, w: &mut Writer) {
         match self {
             Packet::Data(d) => {
                 w.u8(TAG_DATA);
@@ -194,23 +195,48 @@ impl Packet {
                 w.u16(d.sender.as_u16());
                 w.u16(d.chunks.len() as u16);
                 for c in &d.chunks {
-                    c.encode(&mut w);
+                    c.encode(w);
                 }
             }
             Packet::Token(t) => {
                 w.u8(TAG_TOKEN);
-                t.encode(&mut w);
+                t.encode(w);
             }
             Packet::Join(j) => {
                 w.u8(TAG_JOIN);
-                j.encode(&mut w);
+                j.encode(w);
             }
             Packet::Commit(c) => {
                 w.u8(TAG_COMMIT);
-                c.encode(&mut w);
+                c.encode(w);
             }
         }
-        w.into_bytes()
+    }
+
+    /// Encodes the packet into a cheaply cloneable [`Bytes`] using a
+    /// thread-local pooled [`Writer`], so the steady-state cost per
+    /// frame is one shared allocation plus one copy — no per-call
+    /// staging buffer. This is what [`crate::SharedPacket::encoded`]
+    /// caches.
+    pub fn encode_shared(&self) -> Bytes {
+        thread_local! {
+            static POOL: core::cell::RefCell<Writer> = core::cell::RefCell::new(Writer::new());
+        }
+        POOL.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut w) => {
+                w.clear();
+                self.encode_into(&mut w);
+                w.to_shared()
+            }
+            // Unreachable re-entrancy guard (encode never calls back
+            // into the pool); fall back to a one-shot writer rather
+            // than panicking in a protocol crate.
+            Err(_) => {
+                let mut w = Writer::with_capacity(self.wire_payload_len() + 16);
+                self.encode_into(&mut w);
+                w.to_shared()
+            }
+        })
     }
 
     /// Decodes a packet, requiring the buffer to contain exactly one

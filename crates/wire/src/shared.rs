@@ -1,0 +1,235 @@
+//! A cheaply cloneable, encode-once packet handle.
+//!
+//! The data plane's hot path fans one frame out to many receivers
+//! (every receiver on every redundant network) and keeps further
+//! copies in the sender's retransmission window. Deep-cloning the
+//! [`Packet`] for each of those — and re-encoding it for every
+//! transmission — made the simulator allocation-bound at
+//! O(nodes × networks) allocations per broadcast.
+//!
+//! [`SharedPacket`] fixes both costs structurally:
+//!
+//! * **Share-everywhere** — the packet lives behind an [`Arc`], so
+//!   every fan-out copy, window entry and retransmission is a
+//!   refcount bump.
+//! * **Encode-once** — the wire encoding is computed lazily, at most
+//!   once per packet, through a [`OnceLock`]`<Bytes>`, via the pooled
+//!   writer in [`Packet::encode_shared`]. Retransmissions,
+//!   recovery encapsulation and every redundant network's copy reuse
+//!   the same immutable buffer. A packet that arrived off the wire
+//!   can seed the cache with the bytes it was decoded from
+//!   ([`SharedPacket::from_wire`]), making its re-encoding free.
+//!
+//! The handle is deliberately immutable: protocol state machines
+//! construct a [`Packet`], seal it into a `SharedPacket`, and from
+//! then on only read it. Mutation requires [`SharedPacket::into_packet`],
+//! which clones only when the handle is actually shared.
+
+use std::sync::{Arc, OnceLock};
+
+use bytes::Bytes;
+
+use crate::ids::NetworkId;
+use crate::packet::{DataPacket, Packet};
+use crate::token::Token;
+
+/// The shared interior: the decoded packet plus its lazily computed
+/// wire encoding.
+#[derive(Debug)]
+struct PacketCell {
+    pkt: Packet,
+    encoded: OnceLock<Bytes>,
+}
+
+/// A reference-counted [`Packet`] with a cached wire encoding.
+///
+/// Cloning is a refcount bump; [`SharedPacket::encoded`] encodes at
+/// most once. See the module docs for the ownership model.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::*;
+/// let token = Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1)));
+/// let shared = SharedPacket::new(token.clone());
+/// let copy = shared.clone(); // refcount bump, no deep clone
+/// assert_eq!(*copy.encoded(), *shared.encoded()); // encoded once, shared
+/// assert_eq!(copy.into_packet(), token);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedPacket {
+    cell: Arc<PacketCell>,
+}
+
+impl SharedPacket {
+    /// Seals `pkt` into a shared handle (no encoding happens yet).
+    pub fn new(pkt: Packet) -> Self {
+        SharedPacket { cell: Arc::new(PacketCell { pkt, encoded: OnceLock::new() }) }
+    }
+
+    /// Seals a packet that was just decoded from `wire`, seeding the
+    /// encoding cache with the bytes it came from so re-encoding it
+    /// (retransmission, recovery encapsulation) never runs the
+    /// encoder.
+    pub fn from_wire(pkt: Packet, wire: Bytes) -> Self {
+        let encoded = OnceLock::new();
+        // A freshly created lock with no other handles: set cannot
+        // race, and an Err would only mean a value is already cached,
+        // which is harmless.
+        let _ = encoded.set(wire);
+        SharedPacket { cell: Arc::new(PacketCell { pkt, encoded }) }
+    }
+
+    /// The decoded packet.
+    pub fn packet(&self) -> &Packet {
+        &self.cell.pkt
+    }
+
+    /// The packet's wire encoding, computed at most once per packet
+    /// and shared by every clone of this handle.
+    pub fn encoded(&self) -> &Bytes {
+        self.cell.encoded.get_or_init(|| self.cell.pkt.encode_shared())
+    }
+
+    /// Extracts the packet, cloning only if the handle is shared.
+    pub fn into_packet(self) -> Packet {
+        match Arc::try_unwrap(self.cell) {
+            Ok(cell) => cell.pkt,
+            Err(arc) => arc.pkt.clone(),
+        }
+    }
+
+    /// The data packet inside, if this is a data frame.
+    pub fn data(&self) -> Option<&DataPacket> {
+        match &self.cell.pkt {
+            Packet::Data(d) => Some(d),
+            Packet::Token(_) | Packet::Join(_) | Packet::Commit(_) => None,
+        }
+    }
+
+    /// Extracts an owned regular token, if this is a token frame
+    /// (cloning only if the handle is shared).
+    pub fn into_token(self) -> Option<Token> {
+        match self.into_packet() {
+            Packet::Token(t) => Some(t),
+            Packet::Data(_) | Packet::Join(_) | Packet::Commit(_) => None,
+        }
+    }
+
+    /// Like [`SharedPacket::into_token`], but hands the handle back
+    /// unchanged when this is not a token frame — for call sites that
+    /// gate tokens and forward everything else.
+    pub fn try_into_token(self) -> Result<Token, SharedPacket> {
+        if matches!(self.cell.pkt, Packet::Token(_)) {
+            match self.into_packet() {
+                Packet::Token(t) => Ok(t),
+                // Unreachable: the class was just checked.
+                other @ (Packet::Data(_) | Packet::Join(_) | Packet::Commit(_)) => {
+                    Err(SharedPacket::new(other))
+                }
+            }
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl std::ops::Deref for SharedPacket {
+    type Target = Packet;
+    fn deref(&self) -> &Packet {
+        &self.cell.pkt
+    }
+}
+
+impl From<Packet> for SharedPacket {
+    fn from(pkt: Packet) -> Self {
+        SharedPacket::new(pkt)
+    }
+}
+
+impl From<DataPacket> for SharedPacket {
+    fn from(d: DataPacket) -> Self {
+        SharedPacket::new(Packet::Data(d))
+    }
+}
+
+impl PartialEq for SharedPacket {
+    fn eq(&self, other: &SharedPacket) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell) || self.cell.pkt == other.cell.pkt
+    }
+}
+impl Eq for SharedPacket {}
+
+impl PartialEq<Packet> for SharedPacket {
+    fn eq(&self, other: &Packet) -> bool {
+        self.cell.pkt == *other
+    }
+}
+
+/// A frame travelling on (or delivered from) one specific network:
+/// the unit the redundant-ring layer reasons about.
+pub type NetFrame = (NetworkId, SharedPacket);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, RingId, Seq};
+    use crate::packet::Chunk;
+
+    fn data(seq: u64) -> Packet {
+        Packet::Data(DataPacket {
+            ring: RingId::new(NodeId::new(0), 1),
+            seq: Seq::new(seq),
+            sender: NodeId::new(2),
+            chunks: vec![Chunk::complete(1, Bytes::from_static(b"payload"))],
+        })
+    }
+
+    #[test]
+    fn encoded_is_cached_and_identical_across_clones() {
+        let shared = SharedPacket::new(data(7));
+        let copy = shared.clone();
+        let a = shared.encoded().clone();
+        let b = copy.encoded().clone();
+        assert_eq!(a, b);
+        // Same underlying buffer: both views start at the same address.
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        // And it matches the one-shot encoder.
+        assert_eq!(a.as_ref(), shared.packet().encode().as_slice());
+    }
+
+    #[test]
+    fn from_wire_seeds_the_cache() {
+        let pkt = data(9);
+        let wire = Bytes::from(pkt.encode());
+        let shared = SharedPacket::from_wire(pkt, wire.clone());
+        assert_eq!(shared.encoded().as_ref().as_ptr(), wire.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn into_packet_avoids_clone_when_unique() {
+        let shared = SharedPacket::new(data(1));
+        assert_eq!(shared.into_packet(), data(1));
+        let shared = SharedPacket::new(data(2));
+        let _held = shared.clone();
+        assert_eq!(shared.into_packet(), data(2)); // clones, still correct
+    }
+
+    #[test]
+    fn accessors_discriminate_packet_classes() {
+        let d = SharedPacket::new(data(3));
+        assert!(d.data().is_some());
+        assert!(d.clone().into_token().is_none());
+        let t = SharedPacket::new(Packet::Token(Token::initial(RingId::new(NodeId::new(0), 1))));
+        assert!(t.data().is_none());
+        assert!(t.is_token_class()); // Deref to Packet
+        assert!(t.into_token().is_some());
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        assert_eq!(SharedPacket::new(data(4)), SharedPacket::new(data(4)));
+        assert_ne!(SharedPacket::new(data(4)), SharedPacket::new(data(5)));
+        assert_eq!(SharedPacket::new(data(4)), data(4));
+    }
+}

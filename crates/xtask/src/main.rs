@@ -21,6 +21,7 @@
 //! * `2` — usage or I/O error (bad arguments, unreadable files,
 //!   malformed `lint-budget.toml` or `spec/protocol.toml`).
 
+mod bench;
 mod chaos;
 mod conformance;
 mod lexer;
@@ -59,7 +60,16 @@ commands:
         --minimize          shrink a violating schedule before writing
                             its repro file
         --replay <file>     re-run a previously written repro TOML
-        --repro-dir <dir>   where repro files go (default .)";
+        --repro-dir <dir>   where repro files go (default .)
+
+  bench [--quick] [--skip-micro]
+      Run the criterion micro-benches and the wall-clock macro gate,
+      then write BENCH_PR4.json (current numbers, the committed
+      pre-change baseline, speedups, determinism digests). Fails if
+      fixed-seed runs diverge from each other or from the baseline.
+        --quick        short measurement windows (CI smoke); criterion
+                       runs with TOTEM_QUICK=1
+        --skip-micro   macro gate only (skip criterion)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +77,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
+        Some("bench") => bench::run(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

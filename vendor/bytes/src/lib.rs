@@ -30,6 +30,9 @@ pub struct Bytes {
 enum Repr {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// A `Vec` adopted whole (`From<Vec<u8>>` / `BytesMut::freeze`):
+    /// ownership moves behind the `Arc` without copying the bytes.
+    Owned(Arc<Vec<u8>>),
 }
 
 impl Bytes {
@@ -43,9 +46,12 @@ impl Bytes {
         Bytes { repr: Repr::Static(bytes), start: 0, end: bytes.len() }
     }
 
-    /// Copies `data` into a freshly allocated `Bytes`.
+    /// Copies `data` into a freshly allocated `Bytes` (one shared
+    /// allocation, one copy).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        let arc: Arc<[u8]> = Arc::from(data);
+        let len = arc.len();
+        Bytes { repr: Repr::Shared(arc), start: 0, end: len }
     }
 
     /// Number of bytes in the buffer.
@@ -62,6 +68,7 @@ impl Bytes {
         let whole: &[u8] = match &self.repr {
             Repr::Static(s) => s,
             Repr::Shared(a) => a,
+            Repr::Owned(v) => v,
         };
         &whole[self.start..self.end]
     }
@@ -94,6 +101,136 @@ impl Bytes {
     }
 }
 
+/// A unique, growable byte buffer, convertible into [`Bytes`] without
+/// copying via [`BytesMut::freeze`].
+///
+/// This is the vendored subset of the real crate's `BytesMut`: an
+/// append-only builder. Encoders fill one `BytesMut` (reusing its
+/// capacity across frames via [`BytesMut::clear`]) and `freeze()` the
+/// finished frame into a cheaply cloneable `Bytes`.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Ensures space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends `data` (alias of [`BytesMut::extend_from_slice`],
+    /// matching the real crate's `BufMut::put_slice`).
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    ///
+    /// The bytes written move into shared storage; like the real crate
+    /// this transfers ownership without copying the contents again
+    /// beyond the one move into the shared allocation.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.buf.extend(iter);
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { buf: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.buf), f)
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.buf == other.buf
+    }
+}
+impl Eq for BytesMut {}
+
+impl PartialEq<[u8]> for BytesMut {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.buf.as_slice() == other
+    }
+}
+
 impl Default for Bytes {
     fn default() -> Self {
         Bytes::new()
@@ -121,9 +258,8 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let arc: Arc<[u8]> = v.into();
-        let len = arc.len();
-        Bytes { repr: Repr::Shared(arc), start: 0, end: len }
+        let len = v.len();
+        Bytes { repr: Repr::Owned(Arc::new(v)), start: 0, end: len }
     }
 }
 
@@ -263,5 +399,27 @@ mod tests {
     fn out_of_bounds_slice_panics() {
         let b = Bytes::from_static(b"ab");
         let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(1);
+        m.extend_from_slice(&[2, 3]);
+        m.put_slice(&[4]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(&m[..], &[1, 2, 3, 4]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_mut_clear_keeps_capacity() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(&[0u8; 32]);
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
     }
 }
