@@ -262,6 +262,30 @@ fn chaos_digest() -> u64 {
     digest_cluster(&cluster, NODES)
 }
 
+/// Active-passive (K=2 of N=3) replay: saturating traffic with one
+/// network dead for part of the run, exercising the K-copy token gate
+/// and the sliding send window under loss. Together with
+/// [`scenario_digest`] (passive) and [`chaos_digest`] (active) this
+/// pins the delivered-byte behaviour of all three legacy replication
+/// styles.
+fn ap_digest() -> u64 {
+    const NODES: usize = 4;
+    let cfg = ClusterConfig::new(NODES, ReplicationStyle::ActivePassive { copies: 2 })
+        .counters_only()
+        .with_seed(17);
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_saturation(700);
+
+    let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    cluster
+        .schedule_fault(at(150), FaultCommand::NetworkDown { net: NetworkId::new(2), down: true });
+    cluster
+        .schedule_fault(at(300), FaultCommand::NetworkDown { net: NetworkId::new(2), down: false });
+
+    cluster.run_until(at(500));
+    digest_cluster(&cluster, NODES)
+}
+
 // ---------------------------------------------------------------------
 // JSON output
 // ---------------------------------------------------------------------
@@ -272,6 +296,7 @@ fn style_name(style: ReplicationStyle) -> &'static str {
         ReplicationStyle::Active => "active",
         ReplicationStyle::Passive => "passive",
         ReplicationStyle::ActivePassive { .. } => "active_passive",
+        ReplicationStyle::KOfN { .. } => "k_of_n",
     }
 }
 
@@ -321,8 +346,13 @@ fn main() {
     let s2 = scenario_digest();
     let c1 = chaos_digest();
     let c2 = chaos_digest();
-    let repeat_identical = s1 == s2 && c1 == c2;
-    eprintln!("bench_gate: scenario={s1:016x} chaos={c1:016x} repeat_identical={repeat_identical}");
+    let a1 = ap_digest();
+    let a2 = ap_digest();
+    let repeat_identical = s1 == s2 && c1 == c2 && a1 == a2;
+    eprintln!(
+        "bench_gate: scenario={s1:016x} chaos={c1:016x} ap={a1:016x} \
+         repeat_identical={repeat_identical}"
+    );
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -358,6 +388,7 @@ fn main() {
     j.push_str("  \"determinism\": {\n");
     j.push_str(&format!("    \"scenario_digest\": \"{s1:016x}\",\n"));
     j.push_str(&format!("    \"chaos_digest\": \"{c1:016x}\",\n"));
+    j.push_str(&format!("    \"ap_digest\": \"{a1:016x}\",\n"));
     j.push_str(&format!("    \"repeat_identical\": {repeat_identical}\n"));
     j.push_str("  }\n}\n");
 

@@ -23,6 +23,9 @@ pub struct MeasureConfig {
     pub window: SimDuration,
     /// Simulation seed.
     pub seed: u64,
+    /// Network-count override; `None` keeps the style's default (e.g.
+    /// K-of-N sweeps pin N while K varies).
+    pub networks: Option<usize>,
 }
 
 impl MeasureConfig {
@@ -37,12 +40,19 @@ impl MeasureConfig {
             warmup: SimDuration::from_millis(200),
             window: SimDuration::from_secs(1),
             seed: 42,
+            networks: None,
         }
     }
 
     /// Overrides the node count.
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Overrides the network count (the style's default otherwise).
+    pub fn with_networks(mut self, networks: usize) -> Self {
+        self.networks = Some(networks);
         self
     }
 
@@ -82,8 +92,11 @@ pub struct Throughput {
 /// node delivers every message exactly once, per-node deliveries are
 /// averaged to obtain the system-wide send rate.
 pub fn measure(cfg: &MeasureConfig) -> Throughput {
-    let cluster_cfg = ClusterConfig::new(cfg.nodes, cfg.style).counters_only().with_seed(cfg.seed);
-    let mut cluster_cfg = cluster_cfg;
+    let mut cluster_cfg =
+        ClusterConfig::new(cfg.nodes, cfg.style).counters_only().with_seed(cfg.seed);
+    if let Some(networks) = cfg.networks {
+        cluster_cfg = cluster_cfg.with_networks(networks);
+    }
     cluster_cfg.sim = cluster_cfg.sim.with_cpu(cfg.cpu.clone());
     let mut cluster = SimCluster::new(cluster_cfg);
     cluster.enable_saturation(cfg.msg_size);
@@ -137,6 +150,39 @@ mod tests {
         assert!(t.latency_mean_us > 0.0);
         assert_eq!(t.utilization.len(), 1);
         assert!(t.utilization[0] > 0.3, "network should be well utilized");
+    }
+
+    /// The unified engine's degeneracy, observed end to end on the
+    /// saturating workload: on three networks, K=1 is the passive
+    /// algorithm and K=3 the active one, to the exact message count.
+    /// Prints the full K sweep (the EXPERIMENTS.md row).
+    #[test]
+    fn k_sweep_on_three_networks_matches_the_degenerate_styles() {
+        let run = |style| {
+            let cfg = MeasureConfig::new(style, 1000)
+                .with_networks(3)
+                .with_window(SimDuration::from_millis(300));
+            measure(&cfg)
+        };
+        let mut sweep = Vec::new();
+        for k in 1..=3u8 {
+            let t = run(ReplicationStyle::KOfN { copies: k });
+            println!(
+                "K={k} of N=3: {:.0} msgs/sec, {:.0} KB/sec, {:.0} us",
+                t.msgs_per_sec, t.kbytes_per_sec, t.latency_mean_us
+            );
+            sweep.push(t);
+        }
+        let passive = run(ReplicationStyle::Passive);
+        let active = run(ReplicationStyle::Active);
+        assert_eq!(sweep[0].msgs_per_sec, passive.msgs_per_sec, "K=1 must degenerate to passive");
+        assert_eq!(sweep[2].msgs_per_sec, active.msgs_per_sec, "K=3 must degenerate to active");
+        assert!(
+            sweep[0].msgs_per_sec > sweep[2].msgs_per_sec,
+            "fewer copies must buy throughput: K=1 {} vs K=3 {}",
+            sweep[0].msgs_per_sec,
+            sweep[2].msgs_per_sec
+        );
     }
 
     #[test]

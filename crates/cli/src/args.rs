@@ -55,18 +55,25 @@ impl Flags {
         self.bools.iter().any(|b| b == name)
     }
 
-    /// The replication style from `--style`, defaulting to `active`.
+    /// The replication style from `--replication` (or its legacy alias
+    /// `--style`), defaulting to `active`.
     ///
     /// # Errors
     ///
-    /// Rejects unknown style names.
+    /// Rejects unknown style names and giving both spellings at once.
     pub fn style(&self) -> Result<ReplicationStyle, String> {
-        let raw = self.values.get("style").map(String::as_str).unwrap_or("active");
+        let raw = match (self.values.get("replication"), self.values.get("style")) {
+            (Some(_), Some(_)) => {
+                return Err("give either --replication or --style, not both".into())
+            }
+            (Some(r), None) | (None, Some(r)) => r.as_str(),
+            (None, None) => "active",
+        };
         parse_style(raw)
     }
 }
 
-/// Parses `single`, `active`, `passive` or `ap:K`.
+/// Parses `single`, `active`, `passive`, `ap:K` or `k-of-n:K`.
 ///
 /// # Errors
 ///
@@ -78,10 +85,15 @@ pub fn parse_style(raw: &str) -> Result<ReplicationStyle, String> {
         "passive" => Ok(ReplicationStyle::Passive),
         other => {
             if let Some(k) = other.strip_prefix("ap:") {
-                let copies: u8 = k.parse().map_err(|_| format!("invalid K in `--style ap:{k}`"))?;
+                let copies: u8 = k.parse().map_err(|_| format!("invalid K in `ap:{k}`"))?;
                 Ok(ReplicationStyle::ActivePassive { copies })
+            } else if let Some(k) = other.strip_prefix("k-of-n:") {
+                let copies: u8 = k.parse().map_err(|_| format!("invalid K in `k-of-n:{k}`"))?;
+                Ok(ReplicationStyle::KOfN { copies })
             } else {
-                Err(format!("unknown style `{other}` (use single, active, passive, or ap:K)"))
+                Err(format!(
+                    "unknown style `{other}` (use single, active, passive, ap:K, or k-of-n:K)"
+                ))
             }
         }
     }
@@ -122,7 +134,19 @@ mod tests {
         assert_eq!(parse_style("active").unwrap(), ReplicationStyle::Active);
         assert_eq!(parse_style("passive").unwrap(), ReplicationStyle::Passive);
         assert_eq!(parse_style("ap:2").unwrap(), ReplicationStyle::ActivePassive { copies: 2 });
+        assert_eq!(parse_style("k-of-n:2").unwrap(), ReplicationStyle::KOfN { copies: 2 });
         assert!(parse_style("turbo").is_err());
         assert!(parse_style("ap:x").is_err());
+        assert!(parse_style("k-of-n:x").is_err());
+    }
+
+    #[test]
+    fn replication_flag_is_an_alias_for_style() {
+        let f = Flags::parse(&argv(&["--replication", "k-of-n:2"])).unwrap();
+        assert_eq!(f.style().unwrap(), ReplicationStyle::KOfN { copies: 2 });
+        let f = Flags::parse(&argv(&["--style", "passive"])).unwrap();
+        assert_eq!(f.style().unwrap(), ReplicationStyle::Passive);
+        let f = Flags::parse(&argv(&["--style", "active", "--replication", "passive"])).unwrap();
+        assert!(f.style().is_err(), "both spellings at once must be rejected");
     }
 }

@@ -14,20 +14,21 @@ use crate::args::Flags;
 pub const USAGE: &str = "totem — the Totem redundant ring protocol, on a simulated testbed
 
 usage:
-  totem throughput [--nodes N] [--style S] [--size BYTES] [--window-ms MS]
+  totem throughput [--nodes N] [--replication S] [--size BYTES] [--window-ms MS]
         one saturating-workload measurement (msgs/sec, KB/sec, latency)
   totem compare    [--nodes N] [--size BYTES]
         all four replication styles side by side
   totem figures    [--quick]
         regenerate Figures 6-9 of the paper, with shape checks
-  totem failover   [--style S] [--nodes N]
+  totem failover   [--replication S] [--nodes N]
         kill a network mid-run; show transparency + fault reports
-  totem soak       [--seconds S] [--loss PCT] [--style S] [--seed X]
+  totem soak       [--seconds S] [--loss PCT] [--replication S] [--seed X]
         randomized lossy run with safety verification
-  totem scale      [--style S] [--size BYTES] [--max-nodes N]
+  totem scale      [--replication S] [--size BYTES] [--max-nodes N]
         ring-size sweep: throughput and latency as the ring grows
 
-styles: single | active | passive | ap:K     (default: active)";
+replication styles (--replication, legacy alias --style):
+  single | active | passive | ap:K | k-of-n:K     (default: active)";
 
 /// `totem throughput`.
 pub fn throughput(args: &[String]) -> Result<(), String> {
@@ -102,7 +103,9 @@ pub fn failover(args: &[String]) -> Result<(), String> {
     let nodes: usize = flags.get("nodes", 4)?;
     let style = flags.style()?;
     if style == ReplicationStyle::Single {
-        return Err("fail-over needs a replicated style (active, passive, or ap:K)".into());
+        return Err(
+            "fail-over needs a replicated style (active, passive, ap:K, or k-of-n:K)".into()
+        );
     }
     let mut cluster = SimCluster::new(ClusterConfig::new(nodes, style));
     let dies = SimTime::from_secs(1);

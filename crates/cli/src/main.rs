@@ -2,16 +2,18 @@
 //! protocol reproduction.
 //!
 //! ```text
-//! totem throughput [--nodes N] [--style S] [--size BYTES] [--window-ms MS]
+//! totem throughput [--nodes N] [--replication S] [--size BYTES] [--window-ms MS]
 //! totem compare    [--nodes N] [--size BYTES]
 //! totem figures    [--quick]
-//! totem failover   [--style S] [--nodes N]
-//! totem soak       [--seconds S] [--loss PCT] [--style S] [--seed X]
+//! totem failover   [--replication S] [--nodes N]
+//! totem soak       [--seconds S] [--loss PCT] [--replication S] [--seed X]
 //! ```
 //!
-//! Styles: `single`, `active`, `passive`, `ap:K` (active-passive with
-//! K copies). Everything runs on the deterministic simulator; same
-//! arguments → same output, bit for bit.
+//! Replication styles: `single`, `active`, `passive`, `ap:K`
+//! (active-passive with K copies), `k-of-n:K` (the unified engine at
+//! degree K; `--style` is a legacy alias for `--replication`).
+//! Everything runs on the deterministic simulator; same arguments →
+//! same output, bit for bit.
 
 use std::process::ExitCode;
 

@@ -45,6 +45,19 @@ pub struct ScheduledCommand {
     pub cmd: FaultCommand,
 }
 
+/// A runtime replication-degree change ([`SimCluster::set_k`]) fired
+/// at a simulated instant. Not a fault: K-flips reconfigure how many
+/// networks carry each packet while the EVS oracle stays unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KFlip {
+    /// Absolute simulation time of the flip, in nanoseconds.
+    pub at_ns: u64,
+    /// The node whose operator changes K.
+    pub node: NodeId,
+    /// The new replication degree.
+    pub k: usize,
+}
+
 /// A complete, replayable chaos scenario: cluster shape, traffic
 /// window, and timed fault commands.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +72,8 @@ pub struct ChaosSchedule {
     pub steps: u64,
     /// Timed fault commands, sorted by time.
     pub commands: Vec<ScheduledCommand>,
+    /// Runtime K changes, sorted by time (K-of-N schedules only).
+    pub kflips: Vec<KFlip>,
 }
 
 /// What [`run`] observed: oracle verdicts plus workload statistics.
@@ -166,7 +181,23 @@ pub fn generate(seed: u64, style: ReplicationStyle, nodes: usize, steps: u64) ->
     }
 
     commands.sort_by_key(|c| c.at_ns);
-    ChaosSchedule { seed, nodes, style, steps, commands }
+
+    // K-flips ride along only under the K-of-N style, and their RNG
+    // draws come after every fault draw, so the schedules of the fixed
+    // styles stay bit-identical per seed (the bench digest gate pins
+    // them).
+    let mut kflips = Vec::new();
+    if matches!(style, ReplicationStyle::KOfN { .. }) {
+        for _ in 0..(events / 2).max(1) {
+            let at = rng.gen_range(fault_from..fault_until);
+            let node = NodeId::new(rng.gen_range(0..nodes as u64) as u16);
+            let k = rng.gen_range(1..networks as u64 + 1) as usize;
+            kflips.push(KFlip { at_ns: at, node, k });
+        }
+        kflips.sort_by_key(|f| f.at_ns);
+    }
+
+    ChaosSchedule { seed, nodes, style, steps, commands, kflips }
 }
 
 /// Which networks any command in the schedule targets (for the
@@ -237,11 +268,29 @@ pub fn run_with(
         cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
     }
 
+    // K-flips fire at tick granularity from inside the traffic loop
+    // (the simulator's fault queue only carries FaultCommands — a
+    // reconfiguration is an operator action, not a fault).
+    let mut kflips = schedule.kflips.clone();
+    kflips.sort_by_key(|f| f.at_ns);
+    let mut next_flip = 0usize;
+    let mut apply_flips_until = |cluster: &mut SimCluster, now_ns: u64| {
+        while kflips.get(next_flip).is_some_and(|f| f.at_ns <= now_ns) {
+            let f = &kflips[next_flip];
+            let node = f.node.as_u16() as usize;
+            if node < nodes && cluster.is_alive(node) {
+                let _ = cluster.set_k(node, f.k);
+            }
+            next_flip += 1;
+        }
+    };
+
     // Traffic window: one submission attempt per tick, round-robin.
     let mut counters = vec![0u64; nodes];
     let mut submitted = 0u64;
     for step in 0..schedule.steps {
         cluster.run_until(SimTime::from_nanos((step + 1) * TICK.as_nanos()));
+        apply_flips_until(&mut cluster, (step + 1) * TICK.as_nanos());
         let sender = (step as usize) % nodes;
         if cluster.is_alive(sender) {
             let payload = Bytes::from(format!("s{sender}-{}", counters[sender]));
@@ -259,6 +308,7 @@ pub fn run_with(
     let last_cmd = schedule.commands.iter().map(|c| c.at_ns).max().unwrap_or(0);
     let settle = last_cmd.max(schedule.steps * TICK.as_nanos()) + TICK.as_nanos();
     cluster.run_until(SimTime::from_nanos(settle));
+    apply_flips_until(&mut cluster, u64::MAX); // late flips (replayed files)
     for k in 0..networks_for(schedule.style) {
         let net = NetworkId::new(k as u8);
         cluster.fault_now(FaultCommand::NetworkDown { net, down: false });
@@ -386,6 +436,16 @@ pub fn shrink(
     let mut best = schedule.clone();
     best.commands = ddmin(&best, &reproduces);
 
+    // K-flips reconfigure replication, they do not inject faults; if
+    // the violation reproduces without them, drop them all at once.
+    if !best.kflips.is_empty() {
+        let mut candidate = best.clone();
+        candidate.kflips.clear();
+        if reproduces(&candidate) {
+            best = candidate;
+        }
+    }
+
     // Trim the traffic window.
     while best.steps >= 32 {
         let mut candidate = best.clone();
@@ -456,6 +516,7 @@ fn style_name(style: ReplicationStyle) -> String {
         ReplicationStyle::Active => "active".into(),
         ReplicationStyle::Passive => "passive".into(),
         ReplicationStyle::ActivePassive { copies } => format!("active-passive-{copies}"),
+        ReplicationStyle::KOfN { copies } => format!("k-of-n-{copies}"),
     }
 }
 
@@ -464,6 +525,10 @@ fn style_from_name(name: &str) -> Result<ReplicationStyle, String> {
         let copies =
             copies.parse().map_err(|_| format!("bad active-passive copy count {copies:?}"))?;
         return Ok(ReplicationStyle::ActivePassive { copies });
+    }
+    if let Some(copies) = name.strip_prefix("k-of-n-") {
+        let copies = copies.parse().map_err(|_| format!("bad k-of-n copy count {copies:?}"))?;
+        return Ok(ReplicationStyle::KOfN { copies });
     }
     match name {
         "single" => Ok(ReplicationStyle::Single),
@@ -521,6 +586,12 @@ impl ChaosSchedule {
                 }
             }
         }
+        for f in &self.kflips {
+            out.push_str("\n[[kflip]]\n");
+            out.push_str(&format!("at_ns = {}\n", f.at_ns));
+            out.push_str(&format!("node = {}\n", f.node.as_u16()));
+            out.push_str(&format!("k = {}\n", f.k));
+        }
         out
     }
 
@@ -531,18 +602,28 @@ impl ChaosSchedule {
     /// Returns a human-readable message on malformed input: unknown
     /// keys or kinds, missing fields, or unparsable values.
     pub fn from_toml(text: &str) -> Result<Self, String> {
+        #[derive(Clone, Copy)]
+        enum BlockKind {
+            Command,
+            KFlip,
+        }
         let mut seed = None;
         let mut nodes = None;
         let mut style = None;
         let mut steps = None;
         let mut commands = Vec::new();
-        let mut current: Option<std::collections::HashMap<String, String>> = None;
+        let mut kflips = Vec::new();
+        let mut current: Option<(BlockKind, std::collections::HashMap<String, String>)> = None;
 
-        let finish = |block: Option<std::collections::HashMap<String, String>>,
-                      commands: &mut Vec<ScheduledCommand>|
+        let finish = |block: Option<(BlockKind, std::collections::HashMap<String, String>)>,
+                      commands: &mut Vec<ScheduledCommand>,
+                      kflips: &mut Vec<KFlip>|
          -> Result<(), String> {
-            let Some(block) = block else { return Ok(()) };
-            commands.push(parse_command(&block)?);
+            let Some((kind, block)) = block else { return Ok(()) };
+            match kind {
+                BlockKind::Command => commands.push(parse_command(&block)?),
+                BlockKind::KFlip => kflips.push(parse_kflip(&block)?),
+            }
             Ok(())
         };
 
@@ -551,16 +632,21 @@ impl ChaosSchedule {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[command]]" {
-                finish(current.take(), &mut commands)?;
-                current = Some(std::collections::HashMap::new());
+            let header = match line {
+                "[[command]]" => Some(BlockKind::Command),
+                "[[kflip]]" => Some(BlockKind::KFlip),
+                _ => None,
+            };
+            if let Some(kind) = header {
+                finish(current.take(), &mut commands, &mut kflips)?;
+                current = Some((kind, std::collections::HashMap::new()));
                 continue;
             }
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
             let (key, value) = (key.trim(), value.trim());
-            if let Some(block) = current.as_mut() {
+            if let Some((_, block)) = current.as_mut() {
                 block.insert(key.to_string(), value.to_string());
             } else {
                 match key {
@@ -572,7 +658,7 @@ impl ChaosSchedule {
                 }
             }
         }
-        finish(current.take(), &mut commands)?;
+        finish(current.take(), &mut commands, &mut kflips)?;
 
         Ok(ChaosSchedule {
             seed: seed.ok_or("missing `seed`")?,
@@ -580,6 +666,7 @@ impl ChaosSchedule {
             style: style.ok_or("missing `style`")?,
             steps: steps.ok_or("missing `steps`")?,
             commands,
+            kflips,
         })
     }
 }
@@ -654,6 +741,14 @@ fn parse_command(
     Ok(ScheduledCommand { at_ns, cmd })
 }
 
+fn parse_kflip(block: &std::collections::HashMap<String, String>) -> Result<KFlip, String> {
+    Ok(KFlip {
+        at_ns: parse_u64(field(block, "at_ns")?)?,
+        node: NodeId::new(parse_u64(field(block, "node")?)? as u16),
+        k: parse_u64(field(block, "k")?)? as usize,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +760,31 @@ mod tests {
         let c = generate(8, ReplicationStyle::Active, 4, 100);
         assert_eq!(a, b);
         assert_ne!(a.commands, c.commands);
+        assert!(a.kflips.is_empty(), "fixed styles never schedule K flips");
+    }
+
+    #[test]
+    fn k_of_n_schedules_flip_k_and_pass_the_oracle() {
+        let schedule = generate(2, ReplicationStyle::KOfN { copies: 2 }, 4, 64);
+        assert!(!schedule.kflips.is_empty(), "k-of-n schedules should carry K flips");
+        // The flip stream reuses the fault RNG, drawn afterwards: the
+        // fault commands must match the fixed styles draw for draw.
+        assert_eq!(schedule.commands, generate(2, ReplicationStyle::Active, 4, 64).commands);
+        let report = run(&schedule);
+        assert!(
+            report.passed(),
+            "k-of-n seed 2 violated the oracle:\n{}",
+            report.violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        );
+        assert!(report.submitted > 0, "no traffic was accepted");
+    }
+
+    #[test]
+    fn kflips_roundtrip_through_toml() {
+        let schedule = generate(5, ReplicationStyle::KOfN { copies: 2 }, 4, 96);
+        assert!(!schedule.kflips.is_empty());
+        let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
+        assert_eq!(schedule, parsed);
     }
 
     #[test]
@@ -766,7 +886,14 @@ mod tests {
             },
         });
         commands.sort_by_key(|c| c.at_ns);
-        ChaosSchedule { seed: 42, nodes: 4, style: ReplicationStyle::Active, steps: 128, commands }
+        ChaosSchedule {
+            seed: 42,
+            nodes: 4,
+            style: ReplicationStyle::Active,
+            steps: 128,
+            commands,
+            kflips: Vec::new(),
+        }
     }
 
     #[test]

@@ -239,6 +239,13 @@ impl TotemNode {
         self.rrp.reinstate(now, net)
     }
 
+    /// Operator command: changes the replication degree K on the fly
+    /// (see [`RrpLayer::set_k`]). Returns `false` if K is out of range
+    /// or the node runs the unreplicated baseline.
+    pub fn set_k(&mut self, now: Nanos, k: usize) -> bool {
+        self.rrp.set_k(now, k)
+    }
+
     /// The earliest instant [`TotemNode::on_timer`] must be called.
     pub fn next_deadline(&self) -> Option<Nanos> {
         [self.srp.next_deadline(), self.rrp.next_deadline()].into_iter().flatten().min()

@@ -52,6 +52,7 @@ pub enum RuntimeEvent {
 enum Cmd {
     Submit(Bytes),
     Reinstate(totem_wire::NetworkId),
+    SetK(usize),
     Shutdown,
 }
 
@@ -74,6 +75,12 @@ impl RuntimeHandle {
     /// this node (see [`totem_rrp::RrpLayer::reinstate`]).
     pub fn reinstate(&self, net: totem_wire::NetworkId) {
         let _ = self.cmd_tx.send(Cmd::Reinstate(net));
+    }
+
+    /// Operator reconfiguration: changes this node's replication
+    /// degree K on the fly (see [`totem_rrp::RrpLayer::set_k`]).
+    pub fn set_k(&self, k: usize) {
+        let _ = self.cmd_tx.send(Cmd::SetK(k));
     }
 
     /// The stream of deliveries, configuration changes and fault
@@ -183,6 +190,11 @@ fn drive<T: Transport>(
                     if node.reinstate(now_ns(), net) {
                         let _ = events_tx.send(RuntimeEvent::Reinstated { net, at: now_ns() });
                     }
+                }
+                Ok(Cmd::SetK(k)) => {
+                    // An out-of-range K is dropped; the CLI validates
+                    // before sending, so there is no one to tell here.
+                    let _ = node.set_k(now_ns(), k);
                 }
                 Ok(Cmd::Shutdown) => return,
                 Err(TryRecvError::Empty) => break,

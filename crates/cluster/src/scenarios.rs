@@ -55,6 +55,7 @@ pub fn run_all() -> Vec<ScenarioReport> {
         crash_rejoin(),
         membership_edges(),
         passive_token_buffering(),
+        style_switch(),
     ]
 }
 
@@ -154,6 +155,55 @@ fn crash_rejoin() -> ScenarioReport {
         .schedule_fault(SimTime::from_secs(3), FaultCommand::RestartNode { node: NodeId::new(2) });
     cluster.run_until(SimTime::from_secs(6));
     ScenarioReport { name: "crash-rejoin", transitions: trace_transitions(&cluster) }
+}
+
+/// The replication degree K changes while the ring keeps running: the
+/// operator raises and restores K by hand (`Steady --OperatorSetK-->`),
+/// then a network fault drives the automatic policy — K steps down
+/// when the fault is declared (`Steady --AutoDegrade-->`) and back up
+/// when the repaired network is reinstated (`Steady --AutoRestore-->`).
+fn style_switch() -> ScenarioReport {
+    let nodes = 4usize;
+    let mut cfg = ClusterConfig::new(nodes, ReplicationStyle::KOfN { copies: 2 })
+        .with_networks(3)
+        .with_seed(15);
+    cfg.rrp.auto_degrade = true;
+    let mut cluster = SimCluster::new(cfg);
+    cluster.enable_trace(4096);
+    // Let the ring settle, then exercise the operator path on node 0:
+    // K 2 -> 3 (full active) and back down to the K-of-N baseline.
+    cluster.run_until(SimTime::from_millis(20));
+    assert!(cluster.set_k(0, 3), "operator raise rejected");
+    assert!(cluster.set_k(0, 2), "operator restore rejected");
+    // Kill one network under a live workload; every node's divergence
+    // monitors flag it and the auto-degrade policy drops K to 1.
+    cluster.schedule_fault(
+        SimTime::from_millis(50),
+        FaultCommand::NetworkDown { net: NetworkId::new(0), down: true },
+    );
+    let all_degraded =
+        |c: &SimCluster| (0..nodes).all(|n| c.faulty_networks(n).first().copied().unwrap_or(false));
+    let mut t = SimTime::from_millis(20);
+    while t < SimTime::from_secs(6) {
+        cluster.run_until(t);
+        if all_degraded(&cluster) {
+            break;
+        }
+        for node in 0..nodes {
+            let _ = cluster.try_submit(node, Bytes::from_static(b"coverage-tick"));
+        }
+        t += SimDuration::from_millis(5);
+    }
+    // Repair and reinstate: K climbs back to the baseline everywhere.
+    cluster.fault_now(FaultCommand::NetworkDown { net: NetworkId::new(0), down: false });
+    for node in 0..nodes {
+        if cluster.faulty_networks(node).first().copied().unwrap_or(false) {
+            cluster.reinstate(node, NetworkId::new(0));
+        }
+    }
+    let end = cluster.now() + SimDuration::from_millis(200);
+    cluster.run_until(end);
+    ScenarioReport { name: "style-switch", transitions: trace_transitions(&cluster) }
 }
 
 // ----------------------------------------------------------------------
@@ -376,6 +426,9 @@ mod tests {
         ("rrp-passive-token", "Idle", "TokenBehindGap", "Buffered"),
         ("rrp-passive-token", "Buffered", "GapClosed", "Idle"),
         ("rrp-passive-token", "Buffered", "TimerExpiry", "Idle"),
+        ("rrp-replication", "Steady", "OperatorSetK", "Steady"),
+        ("rrp-replication", "Steady", "AutoDegrade", "Steady"),
+        ("rrp-replication", "Steady", "AutoRestore", "Steady"),
     ];
 
     #[test]

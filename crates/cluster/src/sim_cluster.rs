@@ -47,6 +47,10 @@ impl ClusterConfig {
             ReplicationStyle::Single => 1,
             ReplicationStyle::Active | ReplicationStyle::Passive => 2,
             ReplicationStyle::ActivePassive { copies } => copies as usize + 1,
+            // K-of-N spans the full 1..=N range, so K alone doesn't
+            // pin N; default to K networks (at least 2) and let the
+            // caller override for headroom to reconfigure upward.
+            ReplicationStyle::KOfN { copies } => (copies as usize).max(2),
         };
         ClusterConfig {
             nodes,
@@ -470,6 +474,16 @@ impl SimCluster {
     pub fn reinstate(&mut self, node: usize, net: NetworkId) -> bool {
         self.world.with_actor(NodeId::new(node as u16), |a, now, ctx| {
             let r = a.node.reinstate(now.as_nanos(), net);
+            a.arm(ctx);
+            r
+        })
+    }
+
+    /// Operator reconfiguration: changes one node's replication degree
+    /// K on the fly (see [`totem_rrp::RrpLayer::set_k`]).
+    pub fn set_k(&mut self, node: usize, k: usize) -> bool {
+        self.world.with_actor(NodeId::new(node as u16), |a, now, ctx| {
+            let r = a.node.set_k(now.as_nanos(), k);
             a.arm(ctx);
             r
         })

@@ -18,6 +18,16 @@ pub enum ReplicationStyle {
         /// K: how many copies of each packet are sent.
         copies: u8,
     },
+    /// The unified K-of-N engine over the full `1 <= K <= N` range:
+    /// K=N runs the active algorithm, K=1 the passive one, anything in
+    /// between active-passive — and K may be changed at runtime
+    /// ([`crate::RrpLayer::set_k`]) or stepped automatically with
+    /// [`RrpConfig::auto_degrade`]. The three named styles above are
+    /// fixed-K aliases kept for the paper's figure configurations.
+    KOfN {
+        /// K: how many copies of each packet are sent initially.
+        copies: u8,
+    },
 }
 
 impl ReplicationStyle {
@@ -28,6 +38,21 @@ impl ReplicationStyle {
             ReplicationStyle::Active => "active replication",
             ReplicationStyle::Passive => "passive replication",
             ReplicationStyle::ActivePassive { .. } => "active-passive replication",
+            ReplicationStyle::KOfN { .. } => "k-of-n replication",
+        }
+    }
+
+    /// The initial replication degree K this style asks of the engine,
+    /// given N networks: N for active, 1 for passive, K as configured
+    /// otherwise.
+    pub fn initial_k(self, networks: usize) -> usize {
+        match self {
+            ReplicationStyle::Single => 1,
+            ReplicationStyle::Active => networks,
+            ReplicationStyle::Passive => 1,
+            ReplicationStyle::ActivePassive { copies } | ReplicationStyle::KOfN { copies } => {
+                copies as usize
+            }
         }
     }
 }
@@ -38,6 +63,7 @@ impl core::fmt::Display for ReplicationStyle {
             ReplicationStyle::ActivePassive { copies } => {
                 write!(f, "active-passive replication (K={copies})")
             }
+            ReplicationStyle::KOfN { copies } => write!(f, "k-of-n replication (K={copies})"),
             other => f.write_str(other.name()),
         }
     }
@@ -72,6 +98,15 @@ pub enum RrpConfigError {
         /// The number of networks N.
         networks: usize,
     },
+    /// `KOfN` outside `1 <= K <= N` (or fewer than two networks —
+    /// a single network leaves nothing to replicate or reconfigure
+    /// over; use `Single`).
+    KOfNBounds {
+        /// The requested K.
+        copies: u8,
+        /// The number of networks N.
+        networks: usize,
+    },
     /// A token timeout (`active_token_timeout` or
     /// `passive_token_timeout`) was zero.
     ZeroTokenTimeout,
@@ -98,6 +133,12 @@ impl core::fmt::Display for RrpConfigError {
             }
             RrpConfigError::ActivePassiveBounds { copies, networks } => {
                 write!(f, "active-passive requires 1 < K < N (got K={copies}, N={networks})")
+            }
+            RrpConfigError::KOfNBounds { copies, networks } => {
+                write!(
+                    f,
+                    "k-of-n requires 1 <= K <= N and at least 2 networks (got K={copies}, N={networks})"
+                )
             }
             RrpConfigError::ZeroTokenTimeout => f.write_str("token timeouts must be positive"),
             RrpConfigError::ZeroProblemThreshold => {
@@ -160,6 +201,13 @@ pub struct RrpConfig {
     /// resumed sending on the network, receivers legitimately see
     /// traffic starving it and would re-flag instantly.
     pub reinstate_grace: u64,
+    /// Automatic degradation policy: when enabled, the layer steps the
+    /// replication degree K down by one each time a network is declared
+    /// faulty (no point paying for copies on a dead network) and back
+    /// up by one on each reinstatement, never exceeding the configured
+    /// baseline. Off by default — the legacy styles keep their fixed K.
+    #[serde(default)]
+    pub auto_degrade: bool,
 }
 
 impl RrpConfig {
@@ -177,6 +225,7 @@ impl RrpConfig {
             compensation_every: 25,       // forgive 4% divergence
             auto_reinstate_interval: 0,   // manual repair (paper §3)
             reinstate_grace: 250_000_000, // 250 ms
+            auto_degrade: false,
         }
     }
 
@@ -184,6 +233,13 @@ impl RrpConfig {
     /// period.
     pub fn with_auto_reinstate(mut self, interval: u64) -> Self {
         self.auto_reinstate_interval = interval;
+        self
+    }
+
+    /// Enables the automatic K degradation policy (step K down on a
+    /// declared fault, back up on reinstatement).
+    pub fn with_auto_degrade(mut self) -> Self {
+        self.auto_degrade = true;
         self
     }
 
@@ -220,6 +276,12 @@ impl RrpConfig {
                         copies,
                         networks: self.networks,
                     });
+                }
+            }
+            ReplicationStyle::KOfN { copies } => {
+                let k = copies as usize;
+                if self.networks < 2 || k < 1 || k > self.networks {
+                    return Err(RrpConfigError::KOfNBounds { copies, networks: self.networks });
                 }
             }
         }
@@ -290,6 +352,35 @@ mod tests {
     }
 
     #[test]
+    fn k_of_n_spans_the_full_range() {
+        // K-of-N accepts the endpoints the fixed styles reject...
+        for k in 1..=3u8 {
+            RrpConfig::new(ReplicationStyle::KOfN { copies: k }, 3).validate().unwrap();
+        }
+        // ...but not out-of-range K or a single network.
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::KOfN { copies: 0 }, 3).validate(),
+            Err(RrpConfigError::KOfNBounds { copies: 0, networks: 3 })
+        );
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::KOfN { copies: 4 }, 3).validate(),
+            Err(RrpConfigError::KOfNBounds { copies: 4, networks: 3 })
+        );
+        assert_eq!(
+            RrpConfig::new(ReplicationStyle::KOfN { copies: 1 }, 1).validate(),
+            Err(RrpConfigError::KOfNBounds { copies: 1, networks: 1 })
+        );
+    }
+
+    #[test]
+    fn initial_k_matches_the_style_semantics() {
+        assert_eq!(ReplicationStyle::Active.initial_k(3), 3);
+        assert_eq!(ReplicationStyle::Passive.initial_k(3), 1);
+        assert_eq!(ReplicationStyle::ActivePassive { copies: 2 }.initial_k(4), 2);
+        assert_eq!(ReplicationStyle::KOfN { copies: 3 }.initial_k(4), 3);
+    }
+
+    #[test]
     fn zero_network_count_rejected() {
         let mut cfg = RrpConfig::new(ReplicationStyle::Single, 1);
         cfg.networks = 0;
@@ -336,5 +427,6 @@ mod tests {
             ReplicationStyle::ActivePassive { copies: 2 }.to_string(),
             "active-passive replication (K=2)"
         );
+        assert_eq!(ReplicationStyle::KOfN { copies: 2 }.to_string(), "k-of-n replication (K=2)");
     }
 }

@@ -1,0 +1,1225 @@
+//! The unified K-of-N replication engine (paper §5–§7).
+//!
+//! The paper presents active-passive replication (§7) as a K-of-N
+//! scheme whose endpoints are exactly the active (K=N, §5) and passive
+//! (K=1, §6) algorithms. This module implements all three as **one**
+//! parameterized state machine built from three composable stages:
+//!
+//! * a **send window** ([`advance_window`]) — K consecutive non-faulty
+//!   networks chosen round-robin, with separate rotation pointers for
+//!   data, tokens and retransmissions. At K=N it degenerates to
+//!   "all non-faulty networks in index order" (§5 sends via n' first,
+//!   n'' second, ...); at K=1 to the strict per-packet alternation of
+//!   Figure 4 `sendMsg`/`sendToken`;
+//! * a **stage-one health monitor** behind the [`MonitorStrategy`]
+//!   trait — the problem-counter style of Figure 2 (Requirements
+//!   A5/A6) when K=N, the reception-count-divergence style of Figure 5
+//!   (Requirements P4/P5) when K<N;
+//! * a **stage-two token gate** — wait for K copies of the current
+//!   token instance or a timeout. At K=N the count test is replaced by
+//!   the exact Figure-2 predicate (a copy on *every* non-faulty
+//!   network, Requirements A2/A3); at K=1 the gate degenerates to
+//!   passive's buffer-behind-gap hold-and-release (Requirements
+//!   P1/P3), because a single copy always "completes" and the only
+//!   reason to hold the token is a message gap.
+//!
+//! The replication degree K is **runtime-reconfigurable** via
+//! [`Engine::set_k`]: the faulty set, rotation pointers and any
+//! pending token survive the switch (a token held by the gate moves
+//! into the passive buffer and vice versa), while the monitor strategy
+//! is swapped fresh when the K=N boundary is crossed — the two
+//! strategies' histories are not comparable.
+
+use std::collections::HashMap;
+
+use totem_wire::{NetworkId, NodeId, Packet, Token};
+
+use crate::config::RrpConfig;
+use crate::fault::{FaultReason, FaultReport, MonitorKind};
+use crate::layer::RrpEvent;
+use crate::monitor::MonitorModule;
+use crate::pernet::PerNet;
+
+/// Ordering key for token instances: `(ring seq, rotation, seq)`.
+/// Copies of the same token instance share the key; a genuinely newer
+/// token always compares greater (the ring leader bumps `rotation`
+/// every full rotation, even on an idle ring).
+pub(crate) fn token_key(t: &Token) -> (u64, u64, u64) {
+    (t.ring.seq, t.rotation, t.seq.as_u64())
+}
+
+/// The shared send-window advance: fills `out` with the K networks for
+/// the next send and updates the rotation pointer `rr`.
+///
+/// The three regimes are **deliberately branch-exact** with the
+/// paper's per-style pseudocode — their pointer semantics differ
+/// observably and cannot be merged:
+///
+/// * `K >= N` (§5): all non-faulty networks in index order; the
+///   pointer never moves. Falls back to *all* networks when everything
+///   is marked faulty (sending nothing would kill a ring that might
+///   still limp along).
+/// * `K == 1` (§6 Figure 4): the pointer advances until it *lands on*
+///   a non-faulty network, so with N=3 and net1 faulty the sequence is
+///   2, 0, 2, 0 (the skipped slot keeps rotating). All-faulty
+///   fallback: advance once more and use that network regardless.
+/// * `1 < K < N` (§7): the window start advances by exactly one per
+///   send, then scans forward collecting K non-faulty networks.
+///   All-faulty fallback: the plain (unfiltered) window.
+pub(crate) fn advance_window(
+    rr: &mut usize,
+    k: usize,
+    faulty: &PerNet<bool>,
+    out: &mut Vec<NetworkId>,
+) {
+    let n = faulty.len().max(1);
+    out.clear();
+    if k >= n {
+        out.extend(faulty.iter().filter(|(_, &f)| !f).map(|(net, _)| net));
+        if out.is_empty() {
+            out.extend(faulty.ids());
+        }
+    } else if k == 1 {
+        for _ in 0..n {
+            *rr = (*rr + 1) % n;
+            let net = NetworkId::new(*rr as u8);
+            if !faulty.at(net) {
+                out.push(net);
+                return;
+            }
+        }
+        *rr = (*rr + 1) % n;
+        out.push(NetworkId::new(*rr as u8));
+    } else {
+        *rr = (*rr + 1) % n;
+        let mut idx = *rr;
+        for _ in 0..n {
+            let net = NetworkId::new(idx as u8);
+            if !faulty.at(net) {
+                out.push(net);
+                if out.len() == k {
+                    break;
+                }
+            }
+            idx = (idx + 1) % n;
+        }
+        if out.is_empty() {
+            out.extend((0..k).map(|i| NetworkId::new(((*rr + i) % n) as u8)));
+        }
+    }
+}
+
+/// A network suspected faulty by a stage-one monitor, with how far its
+/// reception count lagged the leader.
+type Suspect = (NetworkId, u64);
+
+/// Stage one of the receive pipeline: the per-network health monitor.
+///
+/// Two concrete strategies exist — [`ProblemCounter`] (Figure 2,
+/// K=N) and [`Divergence`] (Figure 5, K<N). The engine consults the
+/// strategy at every reception, token timeout and timer tick; the
+/// strategy never mutates the faulty set itself (declaration, with its
+/// shared grace-period gating, is the engine's job).
+pub(crate) trait MonitorStrategy: std::fmt::Debug + Send {
+    /// A message-class packet from `sender` arrived via `net`.
+    /// Returns suspect networks (divergence style only).
+    fn record_message(
+        &mut self,
+        net: NetworkId,
+        sender: NodeId,
+        faulty: &PerNet<bool>,
+        cfg: &RrpConfig,
+    ) -> Vec<Suspect>;
+
+    /// A token-class packet arrived via `net`. Returns suspect
+    /// networks (divergence style only; the problem-counter style
+    /// penalizes absence at the timeout instead).
+    fn record_token(&mut self, net: NetworkId, faulty: &PerNet<bool>) -> Vec<Suspect>;
+
+    /// The token timer expired with `seen` the per-network reception
+    /// flags of the current instance. Returns the fault reports to
+    /// raise (problem-counter style only; the engine marks the
+    /// reported networks faulty afterwards, so later networks in the
+    /// same expiry are judged against the pre-expiry faulty set, as in
+    /// Figure 2).
+    fn on_token_timeout(
+        &mut self,
+        now: u64,
+        seen: &PerNet<bool>,
+        faulty: &PerNet<bool>,
+        grace_until: &PerNet<u64>,
+        cfg: &RrpConfig,
+    ) -> Vec<FaultReport>;
+
+    /// Background deadline: the problem counters' periodic decay (A6),
+    /// or the earliest pending grace re-leveling (divergence style).
+    fn next_deadline(&self, grace_until: &PerNet<u64>) -> Option<u64>;
+
+    /// Fires background work due at `now`: counter decay, or grace
+    /// expiry (zero the entry and re-level the reception counts so the
+    /// monitors judge the network afresh).
+    fn on_timer(&mut self, now: u64, grace_until: &mut PerNet<u64>, cfg: &RrpConfig);
+
+    /// A network was administratively reinstated: clear its history so
+    /// probation starts from a clean slate.
+    fn on_reinstate(&mut self, net: NetworkId);
+
+    /// Diagnostic snapshot of the Figure-2 problem counters (zeros
+    /// under the divergence strategy).
+    fn problem_counters(&self, networks: usize) -> Vec<u32>;
+
+    /// Diagnostic snapshot of the Figure-5 reception counts (empty
+    /// under the problem-counter strategy).
+    fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)>;
+}
+
+/// Figure-2 stage-one monitor (K=N): one problem counter per network,
+/// incremented when the network misses a token deadline (A5), decayed
+/// periodically so sporadic loss does not accumulate into a false
+/// alarm (A6).
+#[derive(Debug)]
+struct ProblemCounter {
+    problem: PerNet<u32>,
+    /// Next periodic decay of the problem counters (A6).
+    decay_at: u64,
+}
+
+impl ProblemCounter {
+    fn new(networks: usize, decay_at: u64) -> Self {
+        ProblemCounter { problem: PerNet::filled(networks, 0), decay_at }
+    }
+}
+
+impl MonitorStrategy for ProblemCounter {
+    fn record_message(
+        &mut self,
+        _net: NetworkId,
+        _sender: NodeId,
+        _faulty: &PerNet<bool>,
+        _cfg: &RrpConfig,
+    ) -> Vec<Suspect> {
+        Vec::new()
+    }
+
+    fn record_token(&mut self, _net: NetworkId, _faulty: &PerNet<bool>) -> Vec<Suspect> {
+        Vec::new()
+    }
+
+    fn on_token_timeout(
+        &mut self,
+        now: u64,
+        seen: &PerNet<bool>,
+        faulty: &PerNet<bool>,
+        grace_until: &PerNet<u64>,
+        cfg: &RrpConfig,
+    ) -> Vec<FaultReport> {
+        let mut reports = Vec::new();
+        for (net, problem) in self.problem.iter_mut() {
+            if seen.at(net) || faulty.at(net) || now < grace_until.at(net) {
+                continue;
+            }
+            *problem = problem.saturating_add(1);
+            if *problem >= cfg.problem_threshold {
+                reports.push(FaultReport {
+                    net,
+                    at: now,
+                    reason: FaultReason::TokenTimeouts { count: *problem },
+                });
+            }
+        }
+        reports
+    }
+
+    fn next_deadline(&self, _grace_until: &PerNet<u64>) -> Option<u64> {
+        // The decay tick is unconditional; a pending grace expiry needs
+        // no wakeup of its own because declaration sites test it lazily.
+        Some(self.decay_at)
+    }
+
+    fn on_timer(&mut self, now: u64, _grace_until: &mut PerNet<u64>, cfg: &RrpConfig) {
+        if self.decay_at <= now {
+            for p in self.problem.values_mut() {
+                *p = p.saturating_sub(1);
+            }
+            self.decay_at = now + cfg.problem_decay_interval;
+        }
+    }
+
+    fn on_reinstate(&mut self, net: NetworkId) {
+        self.problem.set(net, 0);
+    }
+
+    fn problem_counters(&self, _networks: usize) -> Vec<u32> {
+        self.problem.to_vec()
+    }
+
+    fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
+        Vec::new()
+    }
+}
+
+/// Figure-5 stage-one monitor (K<N): M+1 reception-count modules — one
+/// per sender's message traffic plus one for token traffic — each
+/// comparing per-network counts (P4) with message-driven compensation
+/// (P5).
+#[derive(Debug)]
+struct Divergence {
+    token_monitor: MonitorModule,
+    msg_monitors: HashMap<NodeId, MonitorModule>,
+}
+
+impl Divergence {
+    fn new(cfg: &RrpConfig) -> Self {
+        Divergence {
+            token_monitor: MonitorModule::new(
+                cfg.networks,
+                cfg.monitor_threshold,
+                cfg.compensation_every,
+            ),
+            msg_monitors: HashMap::new(),
+        }
+    }
+
+    /// Re-levels every module's count for `net` to the current leader.
+    fn level(&mut self, net: NetworkId) {
+        self.token_monitor.reinstate(net);
+        for m in self.msg_monitors.values_mut() {
+            m.reinstate(net);
+        }
+    }
+}
+
+impl MonitorStrategy for Divergence {
+    fn record_message(
+        &mut self,
+        net: NetworkId,
+        sender: NodeId,
+        faulty: &PerNet<bool>,
+        cfg: &RrpConfig,
+    ) -> Vec<Suspect> {
+        let monitor = self.msg_monitors.entry(sender).or_insert_with(|| {
+            MonitorModule::new(cfg.networks, cfg.monitor_threshold, cfg.compensation_every)
+        });
+        monitor.record(net, faulty)
+    }
+
+    fn record_token(&mut self, net: NetworkId, faulty: &PerNet<bool>) -> Vec<Suspect> {
+        self.token_monitor.record(net, faulty)
+    }
+
+    fn on_token_timeout(
+        &mut self,
+        _now: u64,
+        _seen: &PerNet<bool>,
+        _faulty: &PerNet<bool>,
+        _grace_until: &PerNet<u64>,
+        _cfg: &RrpConfig,
+    ) -> Vec<FaultReport> {
+        Vec::new()
+    }
+
+    fn next_deadline(&self, grace_until: &PerNet<u64>) -> Option<u64> {
+        grace_until.values().copied().filter(|&g| g != 0).min()
+    }
+
+    fn on_timer(&mut self, now: u64, grace_until: &mut PerNet<u64>, _cfg: &RrpConfig) {
+        // Grace expiry: level the counts once everyone has had time to
+        // resume sending, so the monitors judge the network afresh.
+        let expired: Vec<NetworkId> =
+            grace_until.iter().filter(|(_, &g)| g != 0 && now >= g).map(|(net, _)| net).collect();
+        for net in expired {
+            grace_until.set(net, 0);
+            self.level(net);
+        }
+    }
+
+    fn on_reinstate(&mut self, net: NetworkId) {
+        self.level(net);
+    }
+
+    fn problem_counters(&self, networks: usize) -> Vec<u32> {
+        vec![0; networks]
+    }
+
+    fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
+        let mut out = vec![(MonitorKind::Token, self.token_monitor.counts().to_vec())];
+        for (sender, m) in &self.msg_monitors {
+            out.push((MonitorKind::Messages { sender: *sender }, m.counts().to_vec()));
+        }
+        out
+    }
+}
+
+/// Picks the stage-one strategy for a replication degree: Figure 2's
+/// problem counters at K=N, Figure 5's divergence monitors below.
+fn strategy_for(k: usize, decay_at: u64, cfg: &RrpConfig) -> Box<dyn MonitorStrategy> {
+    if k >= cfg.networks {
+        Box::new(ProblemCounter::new(cfg.networks, decay_at))
+    } else {
+        Box::new(Divergence::new(cfg))
+    }
+}
+
+/// The unified K-of-N replication engine: send window + stage-one
+/// monitor + stage-two token gate.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    /// Replication degree K (`1..=N`), runtime-reconfigurable.
+    k: usize,
+    pub faulty: PerNet<bool>,
+    /// `sendMessageVia` of Figure 4 — advanced only by this node's own
+    /// data packets, so each sender's stream rotates networks strictly
+    /// (the property the Figure-5 monitors rely on).
+    msg_rr: usize,
+    /// `sendTokenVia` of Figure 4 — regular tokens only.
+    tok_rr: usize,
+    /// Rotation for retransmissions this node serves on behalf of
+    /// other senders. Kept separate from `msg_rr`: a retransmitted
+    /// packet carries the original sender's id, and letting it perturb
+    /// this node's own data rotation phase-locks the rotation under
+    /// saturation, skewing every receiver's per-sender monitor.
+    retrans_rr: usize,
+    /// Stage two (K>=2): which networks have delivered the current
+    /// token instance (`recvLastToken[i]` of Figure 2).
+    seen: PerNet<bool>,
+    /// The newest gated token (None once delivered upward).
+    last_token: Option<Token>,
+    last_key: Option<(u64, u64, u64)>,
+    /// Stage two (K=1): `lastToken` buffered behind missing messages.
+    buffered: Option<Token>,
+    buffered_net: NetworkId,
+    /// The token timer (never restarted while running).
+    timer: Option<u64>,
+    monitor: Box<dyn MonitorStrategy>,
+    /// Per-network instant until which fault declaration is suspended
+    /// after a reinstatement (0 = no grace active).
+    grace_until: PerNet<u64>,
+}
+
+impl Engine {
+    pub fn new(cfg: &RrpConfig, k: usize) -> Self {
+        Engine {
+            k,
+            faulty: PerNet::filled(cfg.networks, false),
+            msg_rr: 0,
+            tok_rr: 0,
+            retrans_rr: 0,
+            seen: PerNet::filled(cfg.networks, false),
+            last_token: None,
+            last_key: None,
+            buffered: None,
+            buffered_net: NetworkId::new(0),
+            timer: None,
+            monitor: strategy_for(k, cfg.problem_decay_interval, cfg),
+            grace_until: PerNet::filled(cfg.networks, 0),
+        }
+    }
+
+    /// The replication degree currently in force.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Changes the replication degree in place. The faulty set,
+    /// rotation pointers and a running token timer survive; a token
+    /// pending in the stage-two gate moves into the passive buffer (or
+    /// back) so reconfiguration never drops a token. The stage-one
+    /// strategy is swapped fresh when the K=N boundary is crossed —
+    /// problem-counter history and reception-count history are not
+    /// comparable.
+    pub fn set_k(&mut self, now: u64, k: usize, cfg: &RrpConfig) {
+        if k == self.k {
+            return;
+        }
+        let was_pc = self.k >= cfg.networks;
+        let now_pc = k >= cfg.networks;
+        if was_pc != now_pc {
+            self.monitor = strategy_for(k, now + cfg.problem_decay_interval, cfg);
+        }
+        if self.k >= 2 && k == 1 {
+            // Gate → buffer: a token still waiting for copies becomes
+            // the buffered token (the running timer keeps bounding its
+            // wait, Requirement P3).
+            if let Some(t) = self.last_token.take() {
+                self.buffered_net = self
+                    .seen
+                    .iter()
+                    .find(|(_, &s)| s)
+                    .map(|(net, _)| net)
+                    .unwrap_or(NetworkId::new(0));
+                self.buffered = Some(t);
+            } else {
+                self.timer = None;
+            }
+        } else if self.k == 1 && k >= 2 {
+            // Buffer → gate: the buffered token becomes the pending
+            // instance with one copy accounted for.
+            if let Some(t) = self.buffered.take() {
+                self.last_key = Some(token_key(&t));
+                self.last_token = Some(t);
+                self.seen.fill(false);
+                self.seen.set(self.buffered_net, true);
+            } else {
+                self.timer = None;
+            }
+        }
+        self.k = k;
+    }
+
+    // -- send window ---------------------------------------------------
+
+    /// Networks for the next message.
+    pub fn routes_message_into(&mut self, out: &mut Vec<NetworkId>) {
+        advance_window(&mut self.msg_rr, self.k, &self.faulty, out);
+    }
+
+    /// Networks for the next regular token.
+    pub fn routes_token_into(&mut self, out: &mut Vec<NetworkId>) {
+        advance_window(&mut self.tok_rr, self.k, &self.faulty, out);
+    }
+
+    /// Networks for a retransmission served on another sender's behalf.
+    pub fn routes_retransmission_into(&mut self, out: &mut Vec<NetworkId>) {
+        advance_window(&mut self.retrans_rr, self.k, &self.faulty, out);
+    }
+
+    // -- receive pipeline ----------------------------------------------
+
+    /// Stage one for message-class packets (Figure 4 `messageMonitor`;
+    /// a no-op under the problem-counter strategy, which judges the
+    /// token path only).
+    pub fn on_message(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        sender: NodeId,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let suspects = self.monitor.record_message(net, sender, &self.faulty, cfg);
+        self.flag(now, suspects, MonitorKind::Messages { sender })
+    }
+
+    /// Stage one (token monitor) then stage two (token gate).
+    ///
+    /// `any_missing` is consulted only at K=1, where the gate is the
+    /// buffer-behind-gap hold of Figure 4 `recvToken`: deliver if
+    /// nothing is missing, otherwise buffer and start the token timer.
+    /// At K>=2 it is the copy-counting gate of Figure 2 / §7.
+    pub fn on_token(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        t: Token,
+        any_missing: bool,
+        cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let suspects = self.monitor.record_token(net, &self.faulty);
+        let mut events = self.flag(now, suspects, MonitorKind::Token);
+        if self.k == 1 {
+            if !any_missing {
+                events.push(RrpEvent::Deliver(Packet::Token(t).into(), net));
+                return events;
+            }
+            // Buffer the newest token; the timer is never restarted
+            // while it is active (Figure 4).
+            match &self.buffered {
+                Some(old) if token_key(old) >= token_key(&t) => {}
+                _ => {
+                    self.buffered = Some(t);
+                    self.buffered_net = net;
+                }
+            }
+            if self.timer.is_none() {
+                self.timer = Some(now + cfg.passive_token_timeout);
+            }
+            return events;
+        }
+        let key = token_key(&t);
+        match self.last_key {
+            Some(last) if key < last => return events, // stale copy of an older token
+            Some(last) if key == last => {
+                if self.last_token.is_none() {
+                    // Already passed up (K copies or timer); later
+                    // copies are ignored (Figure 2 / Requirement A4).
+                    self.seen.set(net, true);
+                    return events;
+                }
+                self.seen.set(net, true);
+            }
+            _ => {
+                // A new token instance: reset the per-network flags and
+                // start the token timer. The timer is never restarted
+                // while running — a new token can only arrive after the
+                // previous one completed a rotation, at which point it
+                // was already delivered or timed out.
+                self.last_key = Some(key);
+                self.last_token = Some(t);
+                self.seen.fill(false);
+                self.seen.set(net, true);
+                self.timer = Some(now + cfg.active_token_timeout);
+            }
+        }
+        // K=N uses the exact Figure-2 predicate — a copy on every
+        // non-faulty network — rather than a count: with F networks
+        // faulty only N−F copies can ever arrive, and the count form
+        // would deadlock every token into the timeout path.
+        let complete = if self.k >= cfg.networks {
+            self.seen.values().zip(self.faulty.values()).all(|(&got, &faulty)| got || faulty)
+        } else {
+            self.seen.values().filter(|&&s| s).count() >= self.k
+        };
+        if complete {
+            self.timer = None;
+            if let Some(tok) = self.last_token.take() {
+                events.push(RrpEvent::Deliver(Packet::Token(tok).into(), net));
+            }
+        }
+        events
+    }
+
+    /// Token-monitor update without gating — used for commit tokens,
+    /// which travel the token path but pass up unconditionally.
+    pub fn on_token_monitor_only(
+        &mut self,
+        now: u64,
+        net: NetworkId,
+        _cfg: &RrpConfig,
+    ) -> Vec<RrpEvent> {
+        let suspects = self.monitor.record_token(net, &self.faulty);
+        self.flag(now, suspects, MonitorKind::Token)
+    }
+
+    /// Whether a token is currently buffered behind missing messages
+    /// (K=1 and the token timer is running). The layer samples this
+    /// around each call to track the Idle/Buffered machine for
+    /// conformance.
+    pub fn buffering(&self) -> bool {
+        self.k == 1 && self.timer.is_some()
+    }
+
+    /// Figure 4 `recvMsg` tail (K=1 only): if the token timer is
+    /// running and the just-processed message closed the last gap,
+    /// release the buffered token immediately.
+    pub fn poll_release(&mut self, any_missing: bool) -> Vec<RrpEvent> {
+        if self.k == 1 && self.timer.is_some() && !any_missing {
+            self.timer = None;
+            if let Some(t) = self.buffered.take() {
+                return vec![RrpEvent::Deliver(Packet::Token(t).into(), self.buffered_net)];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Timer expiry — `tokenTimerExpired` of Figures 2 and 4 — plus the
+    /// strategy's background work (counter decay / grace re-leveling).
+    pub fn on_timer(&mut self, now: u64, cfg: &RrpConfig) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        if self.timer.is_some_and(|d| d <= now) {
+            self.timer = None;
+            if self.k == 1 {
+                if let Some(t) = self.buffered.take() {
+                    events.push(RrpEvent::Deliver(Packet::Token(t).into(), self.buffered_net));
+                }
+            } else {
+                let reports = self.monitor.on_token_timeout(
+                    now,
+                    &self.seen,
+                    &self.faulty,
+                    &self.grace_until,
+                    cfg,
+                );
+                for r in &reports {
+                    events.push(RrpEvent::Fault(*r));
+                }
+                for r in reports {
+                    self.faulty.set(r.net, true);
+                }
+                if let Some(tok) = self.last_token.take() {
+                    events.push(RrpEvent::Deliver(
+                        Packet::Token(tok).into(),
+                        // Attribute delivery to the first network that
+                        // did deliver a copy, if any.
+                        self.seen
+                            .iter()
+                            .find(|(_, &s)| s)
+                            .map(|(net, _)| net)
+                            .unwrap_or(NetworkId::new(0)),
+                    ));
+                }
+            }
+        }
+        self.monitor.on_timer(now, &mut self.grace_until, cfg);
+        events
+    }
+
+    pub fn next_deadline(&self) -> Option<u64> {
+        [self.timer, self.monitor.next_deadline(&self.grace_until)].into_iter().flatten().min()
+    }
+
+    /// Puts a faulty network back in service with cleared monitor
+    /// history and a declaration grace period. Returns whether it was
+    /// faulty.
+    pub fn reinstate(&mut self, now: u64, net: NetworkId, grace: u64) -> bool {
+        let was = self.faulty.at(net);
+        self.faulty.set(net, false);
+        self.monitor.on_reinstate(net);
+        self.grace_until.set(net, now + grace);
+        was
+    }
+
+    /// Current problem counter of a network (tests/diagnostics).
+    pub fn problem_counters(&self, networks: usize) -> Vec<u32> {
+        self.monitor.problem_counters(networks)
+    }
+
+    /// Diagnostic snapshot of the Figure-5 monitor modules' reception
+    /// counts (empty under the problem-counter strategy).
+    pub fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
+        self.monitor.monitor_report()
+    }
+
+    /// Shared fault declaration: marks suspect networks faulty and
+    /// raises reports, skipping networks inside a reinstatement grace
+    /// window (observe, don't declare).
+    fn flag(&mut self, now: u64, suspects: Vec<Suspect>, monitor: MonitorKind) -> Vec<RrpEvent> {
+        let mut events = Vec::new();
+        for (net, behind) in suspects {
+            if now < self.grace_until.at(net) {
+                continue;
+            }
+            if !self.faulty.at(net) {
+                self.faulty.set(net, true);
+                events.push(RrpEvent::Fault(FaultReport {
+                    net,
+                    at: now,
+                    reason: FaultReason::ReceptionLag { behind, monitor },
+                }));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationStyle;
+    use totem_wire::{RingId, Seq};
+
+    fn active_cfg(n: usize) -> RrpConfig {
+        RrpConfig::new(ReplicationStyle::Active, n)
+    }
+
+    fn passive_cfg(n: usize) -> RrpConfig {
+        let mut c = RrpConfig::new(ReplicationStyle::Passive, n);
+        c.monitor_threshold = 5;
+        c
+    }
+
+    fn ap_cfg(n: usize, k: u8) -> RrpConfig {
+        RrpConfig::new(ReplicationStyle::ActivePassive { copies: k }, n)
+    }
+
+    fn token(ring_seq: u64, rotation: u64, seq: u64) -> Token {
+        let mut t = Token::initial(RingId::new(NodeId::new(0), ring_seq));
+        t.rotation = rotation;
+        t.seq = Seq::new(seq);
+        t
+    }
+
+    fn is_token_delivery(ev: &RrpEvent) -> bool {
+        matches!(ev, RrpEvent::Deliver(p, _) if p.is_token_class())
+    }
+
+    fn routes_message(e: &mut Engine) -> Vec<NetworkId> {
+        let mut out = Vec::new();
+        e.routes_message_into(&mut out);
+        out
+    }
+
+    fn routes_token(e: &mut Engine) -> Vec<NetworkId> {
+        let mut out = Vec::new();
+        e.routes_token_into(&mut out);
+        out
+    }
+
+    // -- K=N: the active algorithm (§5, Figure 2) ----------------------
+
+    #[test]
+    fn token_waits_for_all_healthy_networks() {
+        let cfg = active_cfg(3);
+        let mut s = Engine::new(&cfg, 3);
+        let t = token(1, 0, 5);
+        assert!(s.on_token(0, NetworkId::new(0), t.clone(), false, &cfg).is_empty());
+        assert!(s.on_token(10, NetworkId::new(2), t.clone(), false, &cfg).is_empty());
+        let ev = s.on_token(20, NetworkId::new(1), t, false, &cfg);
+        assert_eq!(ev.len(), 1);
+        assert!(is_token_delivery(&ev[0]));
+    }
+
+    #[test]
+    fn duplicate_copy_on_same_network_does_not_complete() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let t = token(1, 0, 5);
+        assert!(s.on_token(0, NetworkId::new(0), t.clone(), false, &cfg).is_empty());
+        assert!(s.on_token(1, NetworkId::new(0), t, false, &cfg).is_empty());
+    }
+
+    #[test]
+    fn timer_expiry_delivers_and_penalizes_missing_networks() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let t = token(1, 0, 5);
+        s.on_token(0, NetworkId::new(0), t, false, &cfg);
+        let deadline = s.next_deadline().unwrap();
+        assert_eq!(deadline, cfg.active_token_timeout);
+        let ev = s.on_timer(deadline, &cfg);
+        assert_eq!(ev.len(), 1);
+        assert!(is_token_delivery(&ev[0]));
+        assert_eq!(s.problem_counters(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn late_copy_after_timer_delivery_is_ignored() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let t = token(1, 0, 5);
+        s.on_token(0, NetworkId::new(0), t.clone(), false, &cfg);
+        s.on_timer(s.next_deadline().unwrap(), &cfg);
+        // The straggler arrives afterwards: no second delivery (A1 for
+        // tokens is handled here, not in the SRP).
+        assert!(s.on_token(999_999_999, NetworkId::new(1), t, false, &cfg).is_empty());
+    }
+
+    #[test]
+    fn repeated_timeouts_mark_network_faulty_and_report_once() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let mut faults = 0;
+        let mut rounds = 0;
+        for i in 0..cfg.problem_threshold + 3 {
+            let t = token(1, i as u64, i as u64);
+            s.on_token(u64::from(i) * 10_000_000, NetworkId::new(0), t, false, &cfg);
+            let Some(deadline) = s.timer else {
+                // Once net1 is faulty the lone healthy copy completes
+                // the token instantly — no timer is armed any more.
+                assert!(s.faulty[1]);
+                continue;
+            };
+            rounds += 1;
+            for ev in s.on_timer(deadline, &cfg) {
+                if let RrpEvent::Fault(r) = ev {
+                    faults += 1;
+                    assert_eq!(r.net, NetworkId::new(1));
+                    assert!(
+                        matches!(r.reason, FaultReason::TokenTimeouts { count } if count == cfg.problem_threshold)
+                    );
+                }
+            }
+        }
+        assert_eq!(faults, 1, "a network is reported faulty exactly once");
+        assert_eq!(rounds, cfg.problem_threshold, "fault lands exactly at the threshold");
+        assert!(s.faulty[1]);
+    }
+
+    #[test]
+    fn after_fault_tokens_deliver_without_the_dead_network() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        s.faulty[1] = true;
+        let t = token(1, 0, 5);
+        let ev = s.on_token(0, NetworkId::new(0), t, false, &cfg);
+        assert_eq!(ev.len(), 1, "single healthy copy suffices once net1 is faulty");
+    }
+
+    #[test]
+    fn decay_prevents_sporadic_loss_accumulation() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        // One isolated timeout...
+        let t = token(1, 0, 1);
+        s.on_token(0, NetworkId::new(0), t, false, &cfg);
+        s.on_timer(s.timer.unwrap(), &cfg);
+        assert_eq!(s.problem_counters(2), vec![0, 1]);
+        // ...decays away after an idle decay interval.
+        let decay_at = s.next_deadline().unwrap();
+        s.on_timer(decay_at, &cfg);
+        assert_eq!(s.problem_counters(2), vec![0, 0]);
+        assert!(!s.faulty[1]);
+    }
+
+    #[test]
+    fn stale_older_token_copies_are_dropped() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let newer = token(1, 5, 50);
+        let older = token(1, 4, 50);
+        s.on_token(0, NetworkId::new(0), newer, false, &cfg);
+        assert!(s.on_token(1, NetworkId::new(1), older, false, &cfg).is_empty());
+        // The newer instance still completes when its second copy lands.
+        let newer = token(1, 5, 50);
+        let ev = s.on_token(2, NetworkId::new(1), newer, false, &cfg);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn all_faulty_routes_fall_back_to_all_networks() {
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        assert_eq!(routes_message(&mut s).len(), 2);
+        s.faulty[0] = true;
+        assert_eq!(routes_message(&mut s), vec![NetworkId::new(1)]);
+        s.faulty[1] = true;
+        assert_eq!(routes_message(&mut s).len(), 2, "never stop sending entirely");
+    }
+
+    #[test]
+    fn rotation_counter_distinguishes_idle_ring_tokens() {
+        // Two rotations with identical seq (idle ring): the second is
+        // a NEW instance, not a duplicate (paper §2 footnote 1).
+        let cfg = active_cfg(2);
+        let mut s = Engine::new(&cfg, 2);
+        let r1 = token(1, 1, 7);
+        s.on_token(0, NetworkId::new(0), r1.clone(), false, &cfg);
+        s.on_token(1, NetworkId::new(1), r1, false, &cfg);
+        let r2 = token(1, 2, 7);
+        assert!(s.on_token(2, NetworkId::new(0), r2.clone(), false, &cfg).is_empty());
+        let ev = s.on_token(3, NetworkId::new(1), r2, false, &cfg);
+        assert_eq!(ev.len(), 1, "second rotation delivers again");
+    }
+
+    // -- K=1: the passive algorithm (§6, Figures 4 and 5) --------------
+
+    #[test]
+    fn round_robin_alternates_networks() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        let seq: Vec<u8> = (0..6).map(|_| routes_message(&mut s)[0].as_u8()).collect();
+        assert_eq!(seq, vec![1, 0, 1, 0, 1, 0]);
+        // Tokens rotate independently.
+        let seq: Vec<u8> = (0..4).map(|_| routes_token(&mut s)[0].as_u8()).collect();
+        assert_eq!(seq, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_faulty_networks() {
+        let cfg = passive_cfg(3);
+        let mut s = Engine::new(&cfg, 1);
+        s.faulty[1] = true;
+        let seq: Vec<u8> = (0..4).map(|_| routes_message(&mut s)[0].as_u8()).collect();
+        assert_eq!(seq, vec![2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn all_faulty_keeps_sending() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        s.faulty = PerNet::from_vec(vec![true, true]);
+        // Still yields a network rather than silence.
+        assert_eq!(routes_message(&mut s).len(), 1);
+        assert_eq!(routes_token(&mut s).len(), 1);
+    }
+
+    #[test]
+    fn token_with_nothing_missing_passes_straight_through() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        let ev = s.on_token(0, NetworkId::new(0), token(1, 0, 5), false, &cfg);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
+        assert!(s.timer.is_none());
+    }
+
+    #[test]
+    fn token_behind_missing_messages_is_buffered_until_release() {
+        // Requirement P1: a delayed message (Figure 3 scenarios) must
+        // not let the token reach the SRP early.
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        let ev = s.on_token(0, NetworkId::new(1), token(1, 0, 5), true, &cfg);
+        assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
+        assert!(s.timer.is_some());
+        // Still missing: no release.
+        assert!(s.poll_release(true).is_empty());
+        // The gap closes: release immediately, well before the timer.
+        let ev = s.poll_release(false);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
+        assert!(s.timer.is_none());
+    }
+
+    #[test]
+    fn token_timer_expiry_releases_buffered_token() {
+        // Requirement P3: progress even if the missing message never
+        // arrives.
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        s.on_token(0, NetworkId::new(0), token(1, 0, 5), true, &cfg);
+        let deadline = s.next_deadline().unwrap();
+        assert_eq!(deadline, cfg.passive_token_timeout);
+        let ev = s.on_timer(deadline, &cfg);
+        assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
+    }
+
+    #[test]
+    fn timer_is_not_restarted_while_active() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        s.on_token(0, NetworkId::new(0), token(1, 0, 5), true, &cfg);
+        let first = s.timer.unwrap();
+        // A newer token arrives while one is already buffered (can
+        // happen across a reconfiguration): buffer is replaced, timer
+        // is left alone.
+        s.on_token(5_000_000, NetworkId::new(1), token(1, 1, 9), true, &cfg);
+        assert_eq!(s.timer.unwrap(), first);
+        let ev = s.on_timer(first, &cfg);
+        match ev.as_slice() {
+            [RrpEvent::Deliver(p, _)] => match p.packet() {
+                Packet::Token(t) => assert_eq!(t.seq.as_u64(), 9),
+                other => panic!("unexpected packet: {other:?}"),
+            },
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lagging_network_is_flagged_by_message_monitor() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        let sender = NodeId::new(3);
+        let mut reports = Vec::new();
+        for _ in 0..cfg.monitor_threshold + 1 {
+            reports.extend(s.on_message(7, NetworkId::new(0), sender, &cfg));
+        }
+        assert_eq!(reports.len(), 1);
+        match &reports[0] {
+            RrpEvent::Fault(r) => {
+                assert_eq!(r.net, NetworkId::new(1));
+                assert!(matches!(
+                    r.reason,
+                    FaultReason::ReceptionLag { monitor: MonitorKind::Messages { sender: sd }, .. } if sd == sender
+                ));
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert!(s.faulty[1]);
+    }
+
+    #[test]
+    fn token_monitor_covers_quiet_periods() {
+        // "Token monitoring is a useful alternative during periods in
+        // which no messages are sent" (paper §6).
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        let mut flagged = false;
+        for i in 0..cfg.monitor_threshold + 1 {
+            let ev = s.on_token(i, NetworkId::new(1), token(1, 0, i), false, &cfg);
+            flagged |=
+                ev.iter().any(|e| matches!(e, RrpEvent::Fault(r) if r.net == NetworkId::new(0)));
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn monitors_are_per_sender() {
+        let cfg = passive_cfg(2);
+        let mut s = Engine::new(&cfg, 1);
+        // Each sender's own traffic alternates networks (as passive
+        // round-robin sending guarantees): no monitor may trip even
+        // though the interleaving differs per sender.
+        for i in 0..100u64 {
+            let sender = NodeId::new((i % 2) as u16);
+            let net = NetworkId::new(((i / 2) % 2) as u8);
+            assert!(
+                s.on_message(i, net, sender, &cfg).iter().all(|e| !matches!(e, RrpEvent::Fault(_))),
+                "alternating traffic must not trip the monitor"
+            );
+        }
+        assert!(!s.faulty[0] && !s.faulty[1]);
+    }
+
+    #[test]
+    fn message_driven_compensation_forgives_sporadic_loss() {
+        let mut cfg = passive_cfg(2);
+        cfg.monitor_threshold = 20;
+        cfg.compensation_every = 10;
+        let mut s = Engine::new(&cfg, 1);
+        // A sender whose traffic alternates but loses ~4% on net1:
+        // forgiveness (10% of receptions) outpaces the divergence.
+        for i in 0..5000u64 {
+            let ev = s.on_message(i, NetworkId::new(0), NodeId::new(0), &cfg);
+            assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Fault(_))), "tripped at {i}");
+            if i % 25 != 0 {
+                let ev = s.on_message(i, NetworkId::new(1), NodeId::new(0), &cfg);
+                assert!(ev.iter().all(|e| !matches!(e, RrpEvent::Fault(_))), "tripped at {i}");
+            }
+        }
+        assert!(!s.faulty[1], "sporadic loss must be forgiven (P5)");
+    }
+
+    // -- 1 < K < N: the active-passive algorithm (§7) ------------------
+
+    #[test]
+    fn window_slides_by_one_and_has_k_networks() {
+        let cfg = ap_cfg(4, 2);
+        let mut s = Engine::new(&cfg, 2);
+        let w1: Vec<u8> = routes_message(&mut s).iter().map(|n| n.as_u8()).collect();
+        let w2: Vec<u8> = routes_message(&mut s).iter().map(|n| n.as_u8()).collect();
+        let w3: Vec<u8> = routes_message(&mut s).iter().map(|n| n.as_u8()).collect();
+        assert_eq!(w1, vec![1, 2]);
+        assert_eq!(w2, vec![2, 3]);
+        assert_eq!(w3, vec![3, 0]);
+    }
+
+    #[test]
+    fn window_skips_faulty_networks() {
+        let cfg = ap_cfg(4, 2);
+        let mut s = Engine::new(&cfg, 2);
+        s.faulty[2] = true;
+        let w: Vec<u8> = routes_message(&mut s).iter().map(|n| n.as_u8()).collect();
+        assert_eq!(w, vec![1, 3]);
+    }
+
+    #[test]
+    fn token_delivers_after_k_copies() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        let t = token(1, 0, 4);
+        assert!(s
+            .on_token(0, NetworkId::new(0), t.clone(), false, &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        let ev = s.on_token(1, NetworkId::new(2), t.clone(), false, &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
+        // The third copy is ignored.
+        assert!(s
+            .on_token(2, NetworkId::new(1), t, false, &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+    }
+
+    #[test]
+    fn timeout_passes_token_with_fewer_than_k_copies() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        s.on_token(0, NetworkId::new(1), token(1, 0, 4), false, &cfg);
+        let d = s.next_deadline().unwrap();
+        let ev = s.on_timer(d, &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
+    }
+
+    #[test]
+    fn monitors_flag_lagging_network() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        let mut faults = Vec::new();
+        // Enough receptions that the leading network's count exceeds
+        // net2's by strictly more than the threshold despite the
+        // message-driven compensation crediting the laggard.
+        for i in 0..cfg.monitor_threshold * 2 + 20 {
+            faults.extend(
+                s.on_message(i, NetworkId::new(i as u8 % 2), NodeId::new(7), &cfg)
+                    .into_iter()
+                    .filter(|e| matches!(e, RrpEvent::Fault(_))),
+            );
+        }
+        // Networks 0 and 1 alternate; network 2 never receives → flagged.
+        assert_eq!(faults.len(), 1);
+        assert!(s.faulty[2]);
+    }
+
+    #[test]
+    fn newer_token_resets_the_copy_count() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        s.on_token(0, NetworkId::new(0), token(1, 0, 4), false, &cfg);
+        // A newer instance arrives before the second copy of the old.
+        assert!(s
+            .on_token(1, NetworkId::new(1), token(1, 1, 4), false, &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        // A stale copy of the old instance no longer counts.
+        assert!(s
+            .on_token(2, NetworkId::new(2), token(1, 0, 4), false, &cfg)
+            .iter()
+            .all(|e| !matches!(e, RrpEvent::Deliver(..))));
+        // The second copy of the new one delivers.
+        let ev = s.on_token(3, NetworkId::new(0), token(1, 1, 4), false, &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))));
+    }
+
+    // -- runtime reconfiguration ---------------------------------------
+
+    #[test]
+    fn set_k_preserves_faulty_set_and_rotation() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        s.faulty[1] = true;
+        routes_message(&mut s);
+        s.set_k(0, 1, &cfg);
+        // K=1 rotation resumes from the same pointer and still skips
+        // the faulty network.
+        let seq: Vec<u8> = (0..4).map(|_| routes_message(&mut s)[0].as_u8()).collect();
+        assert!(seq.iter().all(|&n| n != 1));
+        assert!(s.faulty[1]);
+    }
+
+    #[test]
+    fn lowering_k_moves_pending_token_into_the_buffer() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        // One copy arrived; the gate is waiting for a second.
+        s.on_token(0, NetworkId::new(1), token(1, 0, 4), false, &cfg);
+        assert!(s.timer.is_some());
+        s.set_k(10, 1, &cfg);
+        assert!(s.buffering(), "pending token became the passive buffer");
+        // The gap closes: the token is released with its arrival net.
+        let ev = s.poll_release(false);
+        match ev.as_slice() {
+            [RrpEvent::Deliver(p, net)] => {
+                assert!(p.is_token_class());
+                assert_eq!(*net, NetworkId::new(1));
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raising_k_moves_buffered_token_into_the_gate() {
+        let cfg = passive_cfg(3);
+        let mut s = Engine::new(&cfg, 1);
+        s.on_token(0, NetworkId::new(2), token(1, 0, 4), true, &cfg);
+        assert!(s.buffering());
+        s.set_k(10, 2, &cfg);
+        assert!(!s.buffering());
+        // The buffered copy counts as one of the K: a second copy on
+        // another network completes the gate.
+        let ev = s.on_token(20, NetworkId::new(0), token(1, 0, 4), false, &cfg);
+        assert!(ev.iter().any(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class())));
+    }
+
+    #[test]
+    fn set_k_across_the_kn_boundary_swaps_the_monitor_strategy() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        assert!(s.monitor_report().iter().any(|(k, _)| matches!(k, MonitorKind::Token)));
+        s.set_k(0, 3, &cfg);
+        assert!(s.monitor_report().is_empty(), "K=N runs the problem-counter strategy");
+        assert_eq!(s.problem_counters(3), vec![0, 0, 0]);
+        s.set_k(0, 2, &cfg);
+        assert!(s.monitor_report().iter().any(|(k, _)| matches!(k, MonitorKind::Token)));
+    }
+
+    #[test]
+    fn k_equals_n_gate_ignores_faulty_networks_after_set_k() {
+        let cfg = ap_cfg(3, 2);
+        let mut s = Engine::new(&cfg, 2);
+        s.faulty[2] = true;
+        s.set_k(0, 3, &cfg);
+        // The Figure-2 predicate: copies on both non-faulty networks
+        // complete the token even though K=3 copies can never arrive.
+        let t = token(1, 0, 4);
+        assert!(s.on_token(0, NetworkId::new(0), t.clone(), false, &cfg).is_empty());
+        let ev = s.on_token(1, NetworkId::new(1), t, false, &cfg);
+        assert_eq!(ev.len(), 1);
+    }
+}

@@ -1,5 +1,5 @@
-//! The unified redundant-ring layer: one façade over the four
-//! replication styles.
+//! The unified redundant-ring layer: routing and event translation
+//! over the K-of-N replication engine.
 //!
 //! [`RrpLayer`] sits between the SRP and the networks:
 //!
@@ -9,21 +9,28 @@
 //!                                        └─▶ Fault(..) to the operator
 //! ```
 //!
+//! All replicated styles are one `engine::Engine` at a
+//! different replication degree K (active = N, passive = 1,
+//! active-passive/K-of-N = K); this façade only keeps the wire
+//! counters, translates engine events into conformance transitions,
+//! and applies the operator-facing policies (automatic reinstatement
+//! probation, [`RrpLayer::set_k`] reconfiguration, automatic K
+//! degradation).
+//!
 //! The host composes it with an SRP node; after the SRP processes a
 //! delivered message, the host must call [`RrpLayer::poll_release`]
-//! with the fresh `any_messages_missing()` so passive replication can
-//! release a token that was buffered behind the gap (paper Figure 4,
-//! `recvMsg`).
+//! with the fresh `any_messages_missing()` so passive-mode replication
+//! (K=1) can release a token that was buffered behind the gap (paper
+//! Figure 4, `recvMsg`).
 
 use serde::{Deserialize, Serialize};
 
 use totem_wire::{NetworkId, NodeId, Packet, SharedPacket, Transition, TRANSITION_BUFFER_CAP};
 
-use crate::active::ActiveState;
-use crate::active_passive::ActivePassiveState;
 use crate::config::{ReplicationStyle, RrpConfig, RrpConfigError};
-use crate::fault::{FaultReason, FaultReport};
-use crate::passive::PassiveState;
+use crate::engine::Engine;
+use crate::fault::FaultReason;
+use crate::fault::FaultReport;
 use crate::pernet::PerNet;
 
 /// What the layer tells its host.
@@ -59,7 +66,7 @@ pub struct RrpStats {
     pub token_copies_sent: u64,
     /// Tokens released by a token-timer expiry rather than completion.
     pub tokens_timer_released: u64,
-    /// Tokens buffered behind missing messages (passive).
+    /// Tokens buffered behind missing messages (passive mode, K=1).
     pub tokens_buffered: u64,
 }
 
@@ -73,17 +80,23 @@ pub struct RrpLayer {
     /// When each currently-faulty network was flagged (drives the
     /// optional automatic reinstatement probation).
     flagged_at: PerNet<Option<u64>>,
-    /// Per-style state-machine transitions since the last
+    /// The operator-configured replication degree: the ceiling the
+    /// automatic degradation policy restores K towards. Tracks the
+    /// style's initial K until [`RrpLayer::set_k`] moves it.
+    baseline_k: usize,
+    /// Per-mode state-machine transitions since the last
     /// [`RrpLayer::take_transitions`], for the conformance gate.
     transitions: Vec<Transition>,
 }
 
 #[derive(Debug)]
 enum Inner {
+    /// The unreplicated baseline: a transparent passthrough with no
+    /// monitors, gate or timers. Kept apart from the engine because a
+    /// single network delivers duplicate tokens straight up, which no
+    /// gated degree K does.
     Single,
-    Active(ActiveState),
-    Passive(PassiveState),
-    ActivePassive(ActivePassiveState),
+    Engine(Box<Engine>),
 }
 
 impl RrpLayer {
@@ -95,22 +108,23 @@ impl RrpLayer {
     /// configuration never yields a half-built layer.
     pub fn new(cfg: RrpConfig) -> Result<Self, RrpConfigError> {
         cfg.validate()?;
+        let k = cfg.style.initial_k(cfg.networks);
         let inner = match cfg.style {
             ReplicationStyle::Single => Inner::Single,
-            ReplicationStyle::Active => Inner::Active(ActiveState::new(&cfg)),
-            ReplicationStyle::Passive => Inner::Passive(PassiveState::new(&cfg)),
-            ReplicationStyle::ActivePassive { copies } => {
-                Inner::ActivePassive(ActivePassiveState::new(&cfg, copies as usize))
-            }
+            ReplicationStyle::Active
+            | ReplicationStyle::Passive
+            | ReplicationStyle::ActivePassive { .. }
+            | ReplicationStyle::KOfN { .. } => Inner::Engine(Box::new(Engine::new(&cfg, k))),
         };
         let stats = RrpStats { received: vec![0; cfg.networks], ..RrpStats::default() };
         let flagged_at = PerNet::filled(cfg.networks, None);
-        Ok(RrpLayer { cfg, inner, stats, flagged_at, transitions: Vec::new() })
+        Ok(RrpLayer { cfg, inner, stats, flagged_at, baseline_k: k, transitions: Vec::new() })
     }
 
     /// Drains the state-machine transitions recorded since the last
-    /// call (network fault/reinstate machines and the passive token
-    /// buffer machine), for the conformance trace.
+    /// call (network fault/reinstate machines, the passive token
+    /// buffer machine, and the replication-degree machine), for the
+    /// conformance trace.
     pub fn take_transitions(&mut self) -> Vec<Transition> {
         std::mem::take(&mut self.transitions)
     }
@@ -128,6 +142,40 @@ impl RrpLayer {
     ) {
         if self.transitions.len() < TRANSITION_BUFFER_CAP {
             self.transitions.push(Transition { machine, from, event, to });
+        }
+    }
+
+    /// The engine's current replication degree, or `None` for the
+    /// unreplicated baseline.
+    pub fn replication_k(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Single => None,
+            Inner::Engine(e) => Some(e.k()),
+        }
+    }
+
+    /// Operator command: changes the replication degree K on the fly.
+    ///
+    /// The engine keeps its faulty set, rotation pointers and any
+    /// pending token across the switch (see
+    /// `engine::Engine::set_k`); the new K also becomes the
+    /// baseline the automatic degradation policy restores towards.
+    /// Returns `false` (and changes nothing) if K is out of `1..=N`
+    /// or the layer runs the unreplicated baseline.
+    pub fn set_k(&mut self, now: u64, k: usize) -> bool {
+        if k < 1 || k > self.cfg.networks {
+            return false;
+        }
+        match &mut self.inner {
+            Inner::Single => false,
+            Inner::Engine(e) => {
+                if e.k() != k {
+                    e.set_k(now, k, &self.cfg);
+                    self.note_transition("rrp-replication", "Steady", "OperatorSetK", "Steady");
+                }
+                self.baseline_k = k;
+                true
+            }
         }
     }
 
@@ -151,22 +199,20 @@ impl RrpLayer {
         let grace = self.cfg.reinstate_grace;
         let was = match &mut self.inner {
             Inner::Single => false,
-            Inner::Active(s) => s.reinstate(now, net, grace),
-            Inner::Passive(s) => s.reinstate(now, net, grace),
-            Inner::ActivePassive(s) => s.reinstate(now, net, grace),
+            Inner::Engine(e) => e.reinstate(now, net, grace),
         };
         self.flagged_at.set(net, None);
         if was {
-            let style = self.cfg.style;
-            match style {
-                ReplicationStyle::Single => {}
-                ReplicationStyle::Active => {
-                    self.note_transition("rrp-active-net", "Faulty", "Reinstate", "Operative");
-                }
-                ReplicationStyle::Passive => {
+            // One literal call site per machine (the static extractor
+            // in `cargo xtask conformance` requires literal strings).
+            match self.net_machine() {
+                "rrp-passive-net" => {
                     self.note_transition("rrp-passive-net", "Faulty", "Reinstate", "Operative");
                 }
-                ReplicationStyle::ActivePassive { .. } => {
+                "rrp-active-net" => {
+                    self.note_transition("rrp-active-net", "Faulty", "Reinstate", "Operative");
+                }
+                _ => {
                     self.note_transition(
                         "rrp-active-passive-net",
                         "Faulty",
@@ -175,18 +221,37 @@ impl RrpLayer {
                     );
                 }
             }
+            if self.cfg.auto_degrade {
+                if let Inner::Engine(e) = &mut self.inner {
+                    if e.k() < self.baseline_k {
+                        e.set_k(now, e.k() + 1, &self.cfg);
+                        self.note_transition("rrp-replication", "Steady", "AutoRestore", "Steady");
+                    }
+                }
+            }
         }
         was
+    }
+
+    /// The network fault/reinstate machine for the current mode. The
+    /// machines are per *algorithm* — what the engine's K degenerates
+    /// to — so the legacy styles keep their historical machine names.
+    fn net_machine(&self) -> &'static str {
+        match self.replication_k() {
+            Some(1) => "rrp-passive-net",
+            Some(k) if k >= self.cfg.networks => "rrp-active-net",
+            _ => "rrp-active-passive-net",
+        }
     }
 
     fn note_new_faults(&mut self, events: &[RrpEvent]) {
         for ev in events {
             if let RrpEvent::Fault(r) = ev {
                 self.flagged_at.set(r.net, Some(r.at));
-                let style = self.cfg.style;
-                let reason = r.reason;
-                match (style, reason) {
-                    (ReplicationStyle::Active, FaultReason::TokenTimeouts { .. }) => {
+                match r.reason {
+                    // Token timeouts are raised only by the K=N
+                    // problem-counter strategy (Figure 2).
+                    FaultReason::TokenTimeouts { .. } => {
                         self.note_transition(
                             "rrp-active-net",
                             "Operative",
@@ -194,7 +259,7 @@ impl RrpLayer {
                             "Faulty",
                         );
                     }
-                    (ReplicationStyle::Passive, FaultReason::ReceptionLag { .. }) => {
+                    FaultReason::ReceptionLag { .. } if self.replication_k() == Some(1) => {
                         self.note_transition(
                             "rrp-passive-net",
                             "Operative",
@@ -202,7 +267,7 @@ impl RrpLayer {
                             "Faulty",
                         );
                     }
-                    (ReplicationStyle::ActivePassive { .. }, FaultReason::ReceptionLag { .. }) => {
+                    FaultReason::ReceptionLag { .. } => {
                         self.note_transition(
                             "rrp-active-passive-net",
                             "Operative",
@@ -210,14 +275,19 @@ impl RrpLayer {
                             "Faulty",
                         );
                     }
-                    // A style never produces the other style's fault
-                    // reason, and Single has no monitors at all.
-                    (ReplicationStyle::Single, FaultReason::TokenTimeouts { .. })
-                    | (ReplicationStyle::Single, FaultReason::ReceptionLag { .. })
-                    | (ReplicationStyle::Active, FaultReason::ReceptionLag { .. })
-                    | (ReplicationStyle::Passive, FaultReason::TokenTimeouts { .. })
-                    | (ReplicationStyle::ActivePassive { .. }, FaultReason::TokenTimeouts { .. }) =>
-                        {}
+                }
+                if self.cfg.auto_degrade {
+                    if let Inner::Engine(e) = &mut self.inner {
+                        if e.k() > 1 {
+                            e.set_k(r.at, e.k() - 1, &self.cfg);
+                            self.note_transition(
+                                "rrp-replication",
+                                "Steady",
+                                "AutoDegrade",
+                                "Steady",
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -256,9 +326,7 @@ impl RrpLayer {
     pub fn faulty(&self) -> Vec<bool> {
         match &self.inner {
             Inner::Single => vec![false],
-            Inner::Active(s) => s.faulty.to_vec(),
-            Inner::Passive(s) => s.faulty.to_vec(),
-            Inner::ActivePassive(s) => s.faulty.to_vec(),
+            Inner::Engine(e) => e.faulty.to_vec(),
         }
     }
 
@@ -297,12 +365,7 @@ impl RrpLayer {
                 out.clear();
                 out.push(NetworkId::new(0));
             }
-            Inner::Active(s) => s.routes_into(out),
-            Inner::Passive(s) => {
-                out.clear();
-                out.push(s.route_message());
-            }
-            Inner::ActivePassive(s) => s.routes_message_into(out),
+            Inner::Engine(e) => e.routes_message_into(out),
         }
         self.stats.message_copies_sent += out.len() as u64;
     }
@@ -322,12 +385,7 @@ impl RrpLayer {
                 out.clear();
                 out.push(NetworkId::new(0));
             }
-            Inner::Active(s) => s.routes_into(out),
-            Inner::Passive(s) => {
-                out.clear();
-                out.push(s.route_token());
-            }
-            Inner::ActivePassive(s) => s.routes_token_into(out),
+            Inner::Engine(e) => e.routes_token_into(out),
         }
         self.stats.token_copies_sent += out.len() as u64;
     }
@@ -349,12 +407,7 @@ impl RrpLayer {
                 out.clear();
                 out.push(NetworkId::new(0));
             }
-            Inner::Active(s) => s.routes_into(out),
-            Inner::Passive(s) => {
-                out.clear();
-                out.push(s.route_retransmission());
-            }
-            Inner::ActivePassive(s) => s.routes_retransmission_into(out),
+            Inner::Engine(e) => e.routes_retransmission_into(out),
         }
         self.stats.message_copies_sent += out.len() as u64;
     }
@@ -390,18 +443,15 @@ impl RrpLayer {
     fn net_faulty(&self, net: NetworkId) -> bool {
         match &self.inner {
             Inner::Single => false,
-            Inner::Active(s) => s.faulty.at(net),
-            Inner::Passive(s) => s.faulty.at(net),
-            Inner::ActivePassive(s) => s.faulty.at(net),
+            Inner::Engine(e) => e.faulty.at(net),
         }
     }
 
     /// Feeds a packet received on `net`. `any_missing` is the SRP's
     /// `any_messages_missing()` evaluated *before* this packet is
-    /// processed (only consulted for tokens under passive
-    /// replication).
+    /// processed (only consulted for tokens at K=1).
     ///
-    /// Regular tokens are gated per the replication style. Messages,
+    /// Regular tokens are gated per the replication degree. Messages,
     /// join messages and commit tokens pass straight up: duplicate
     /// data packets are destroyed by the SRP's sequence-number filter
     /// (Requirement A1) and the membership handlers are idempotent
@@ -435,46 +485,37 @@ impl RrpLayer {
         }
         let start = out.len();
         let mut token_newly_buffered = false;
-        // Regular tokens are extracted by value (the gated styles hold
-        // and compare them); every other class keeps its shared handle
-        // so the delivered frame is the one that arrived.
+        // Regular tokens are extracted by value (the gate holds and
+        // compares them); every other class keeps its shared handle so
+        // the delivered frame is the one that arrived.
         match &mut self.inner {
             Inner::Single => out.push(RrpEvent::Deliver(pkt, net)),
-            Inner::Active(s) => match pkt.try_into_token() {
-                Ok(t) => out.append(&mut s.on_token(now, net, t, &self.cfg)),
-                Err(pkt) => out.push(RrpEvent::Deliver(pkt, net)),
-            },
-            Inner::Passive(s) => match pkt.try_into_token() {
+            Inner::Engine(e) => match pkt.try_into_token() {
                 Ok(t) => {
-                    let buffered_before = any_missing;
-                    let was_buffering = s.buffering();
-                    let ev = s.on_token(now, net, t, any_missing, &self.cfg);
-                    if buffered_before && !ev.iter().any(|e| matches!(e, RrpEvent::Deliver(..))) {
-                        self.stats.tokens_buffered += 1;
+                    if e.k() == 1 {
+                        let was_buffering = e.buffering();
+                        let ev = e.on_token(now, net, t, any_missing, &self.cfg);
+                        if any_missing && !ev.iter().any(|ev| matches!(ev, RrpEvent::Deliver(..))) {
+                            self.stats.tokens_buffered += 1;
+                        }
+                        token_newly_buffered = !was_buffering && e.buffering();
+                        out.extend(ev);
+                    } else {
+                        out.append(&mut e.on_token(now, net, t, any_missing, &self.cfg));
                     }
-                    token_newly_buffered = !was_buffering && s.buffering();
-                    out.extend(ev);
                 }
                 Err(pkt) => {
                     // Commit tokens have no data sender; they count on
                     // the token monitor below instead.
                     if let Some(sender) = sender_of(&pkt) {
-                        out.extend(s.on_message(now, net, sender, &self.cfg));
+                        out.extend(e.on_message(now, net, sender, &self.cfg));
                     }
-                    if matches!(pkt.packet(), Packet::Commit(_)) {
-                        // Commit tokens travel the token path; count them
-                        // on the token monitor so quiet-period coverage
-                        // extends to reconfiguration (paper §6).
-                        out.extend(s.on_token_monitor_only(now, net, &self.cfg));
-                    }
-                    out.push(RrpEvent::Deliver(pkt, net));
-                }
-            },
-            Inner::ActivePassive(s) => match pkt.try_into_token() {
-                Ok(t) => out.append(&mut s.on_token(now, net, t, &self.cfg)),
-                Err(pkt) => {
-                    if let Some(sender) = sender_of(&pkt) {
-                        out.extend(s.on_message(now, net, sender, &self.cfg));
+                    if e.k() == 1 && matches!(pkt.packet(), Packet::Commit(_)) {
+                        // Commit tokens travel the token path; count
+                        // them on the token monitor so quiet-period
+                        // coverage extends to reconfiguration (paper
+                        // §6).
+                        out.extend(e.on_token_monitor_only(now, net, &self.cfg));
                     }
                     out.push(RrpEvent::Deliver(pkt, net));
                 }
@@ -489,17 +530,17 @@ impl RrpLayer {
     }
 
     /// Must be called after the SRP has processed a delivered message,
-    /// with the fresh `any_messages_missing()`: passive replication
-    /// releases a buffered token the moment the gap closes (paper
-    /// Figure 4, `recvMsg`).
+    /// with the fresh `any_messages_missing()`: passive-mode
+    /// replication (K=1) releases a buffered token the moment the gap
+    /// closes (paper Figure 4, `recvMsg`).
     pub fn poll_release(&mut self, _now: u64, any_missing: bool) -> Vec<RrpEvent> {
         let (ev, gap_closed) = match &mut self.inner {
-            Inner::Passive(s) => {
-                let was_buffering = s.buffering();
-                let ev = s.poll_release(any_missing);
-                (ev, was_buffering && !s.buffering())
+            Inner::Engine(e) if e.k() == 1 => {
+                let was_buffering = e.buffering();
+                let ev = e.poll_release(any_missing);
+                (ev, was_buffering && !e.buffering())
             }
-            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => (Vec::new(), false),
+            Inner::Single | Inner::Engine(_) => (Vec::new(), false),
         };
         if gap_closed {
             self.note_transition("rrp-passive-token", "Buffered", "GapClosed", "Idle");
@@ -512,14 +553,12 @@ impl RrpLayer {
         let mut buffer_timed_out = false;
         let mut ev = match &mut self.inner {
             Inner::Single => Vec::new(),
-            Inner::Active(s) => s.on_timer(now, &self.cfg),
-            Inner::Passive(s) => {
-                let was_buffering = s.buffering();
-                let ev = s.on_timer(now, &self.cfg);
-                buffer_timed_out = was_buffering && !s.buffering();
+            Inner::Engine(e) => {
+                let was_buffering = e.buffering();
+                let ev = e.on_timer(now, &self.cfg);
+                buffer_timed_out = was_buffering && !e.buffering();
                 ev
             }
-            Inner::ActivePassive(s) => s.on_timer(now, &self.cfg),
         };
         if buffer_timed_out {
             self.note_transition("rrp-passive-token", "Buffered", "TimerExpiry", "Idle");
@@ -533,25 +572,21 @@ impl RrpLayer {
         ev
     }
 
-    /// Active replication's per-network problem counters (Figure 2),
-    /// for diagnostics; zeros under the other styles.
+    /// The per-network problem counters of the K=N problem-counter
+    /// monitor (Figure 2), for diagnostics; zeros in every other mode.
     pub fn problem_counters(&self) -> Vec<u32> {
         match &self.inner {
-            Inner::Active(s) => {
-                (0..self.cfg.networks).map(|i| s.problem_counter(NetworkId::new(i as u8))).collect()
-            }
-            Inner::Single | Inner::Passive(_) | Inner::ActivePassive(_) => {
-                vec![0; self.cfg.networks]
-            }
+            Inner::Single => vec![0; self.cfg.networks],
+            Inner::Engine(e) => e.problem_counters(self.cfg.networks),
         }
     }
 
     /// Diagnostic snapshot of the reception-count monitors (passive
-    /// style only; empty otherwise).
+    /// mode, K=1, only; empty otherwise).
     pub fn monitor_report(&self) -> Vec<(crate::fault::MonitorKind, Vec<u64>)> {
         match &self.inner {
-            Inner::Passive(s) => s.monitor_report(),
-            Inner::Single | Inner::Active(_) | Inner::ActivePassive(_) => Vec::new(),
+            Inner::Engine(e) if e.k() == 1 => e.monitor_report(),
+            Inner::Single | Inner::Engine(_) => Vec::new(),
         }
     }
 
@@ -559,9 +594,7 @@ impl RrpLayer {
     pub fn next_deadline(&self) -> Option<u64> {
         let inner = match &self.inner {
             Inner::Single => None,
-            Inner::Active(s) => s.next_deadline(),
-            Inner::Passive(s) => s.next_deadline(),
-            Inner::ActivePassive(s) => s.next_deadline(),
+            Inner::Engine(e) => e.next_deadline(),
         };
         let auto = (self.cfg.auto_reinstate_interval > 0)
             .then(|| {
@@ -614,6 +647,8 @@ mod tests {
         let ev = l.on_packet(0, NetworkId::new(0), token(1).into(), true);
         assert!(matches!(ev.as_slice(), [RrpEvent::Deliver(p, _)] if p.is_token_class()));
         assert!(l.next_deadline().is_none());
+        assert_eq!(l.replication_k(), None);
+        assert!(!l.set_k(0, 1), "the baseline has no degree to change");
     }
 
     #[test]
@@ -623,6 +658,7 @@ mod tests {
         assert_eq!(l.routes_for_token().len(), 3);
         assert_eq!(l.stats().message_copies_sent, 3);
         assert_eq!(l.stats().token_copies_sent, 3);
+        assert_eq!(l.replication_k(), Some(3));
     }
 
     #[test]
@@ -754,5 +790,79 @@ mod tests {
             .map(|t| t.event)
             .collect();
         assert_eq!(path, vec!["TokenBehindGap", "GapClosed", "TokenBehindGap", "TimerExpiry"]);
+    }
+
+    #[test]
+    fn set_k_reconfigures_and_notes_the_transition() {
+        let mut l = RrpLayer::new(RrpConfig::new(ReplicationStyle::KOfN { copies: 2 }, 3)).unwrap();
+        assert_eq!(l.replication_k(), Some(2));
+        assert!(!l.set_k(0, 0), "K=0 is rejected");
+        assert!(!l.set_k(0, 4), "K>N is rejected");
+        assert!(l.set_k(0, 3));
+        assert_eq!(l.replication_k(), Some(3));
+        assert_eq!(l.routes_for_message().len(), 3, "K=N sends everywhere");
+        assert!(l.set_k(0, 1));
+        assert_eq!(l.routes_for_message().len(), 1, "K=1 sends one copy");
+        let ops: Vec<&str> = l
+            .take_transitions()
+            .iter()
+            .filter(|t| t.machine == "rrp-replication")
+            .map(|t| t.event)
+            .collect();
+        assert_eq!(ops, vec!["OperatorSetK", "OperatorSetK"]);
+        // A no-op set keeps the trace quiet.
+        assert!(l.set_k(0, 1));
+        assert!(l.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn auto_degrade_steps_k_down_on_fault_and_back_up_on_reinstate() {
+        let cfg = RrpConfig::new(ReplicationStyle::KOfN { copies: 3 }, 3).with_auto_degrade();
+        let mut l = RrpLayer::new(cfg).unwrap();
+        let cfg = l.config().clone();
+        // Drive net1 to a token-timeout fault at K=N.
+        for i in 0..cfg.problem_threshold as u64 {
+            let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
+            t.rotation = i;
+            t.seq = Seq::new(i + 1);
+            let now = i * 10_000_000;
+            l.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()).into(), false);
+            l.on_packet(now, NetworkId::new(2), Packet::Token(t).into(), false);
+            if let Some(d) = l.next_deadline() {
+                l.on_timer(d);
+            }
+        }
+        assert_eq!(l.faulty(), vec![false, true, false]);
+        assert_eq!(l.replication_k(), Some(2), "K stepped down with the fault");
+        assert!(l
+            .take_transitions()
+            .iter()
+            .any(|t| t.machine == "rrp-replication" && t.event == "AutoDegrade"));
+        // Repair restores the degree towards the baseline.
+        assert!(l.reinstate(1_000_000_000, NetworkId::new(1)));
+        assert_eq!(l.replication_k(), Some(3));
+        assert!(l
+            .take_transitions()
+            .iter()
+            .any(|t| t.machine == "rrp-replication" && t.event == "AutoRestore"));
+    }
+
+    #[test]
+    fn auto_restore_never_exceeds_an_operator_lowered_baseline() {
+        let cfg = RrpConfig::new(ReplicationStyle::KOfN { copies: 2 }, 3).with_auto_degrade();
+        let mut l = RrpLayer::new(cfg).unwrap();
+        // The operator pins K=1; a later reinstatement must not raise
+        // it (nothing was degraded below the baseline).
+        assert!(l.set_k(0, 1));
+        // Enough one-sided receptions that the divergence outruns the
+        // message-driven compensation and nets 1/2 get flagged.
+        let threshold = l.config().monitor_threshold;
+        for i in 0..threshold * 2 {
+            l.on_packet(i, NetworkId::new(0), data(i + 1, 3).into(), false);
+        }
+        assert!(l.faulty().iter().filter(|&&f| f).count() >= 1);
+        let flagged = l.faulty().iter().position(|&f| f).unwrap();
+        assert!(l.reinstate(1_000_000_000, NetworkId::new(flagged as u8)));
+        assert_eq!(l.replication_k(), Some(1), "baseline is the operator's K");
     }
 }

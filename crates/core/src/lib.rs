@@ -7,18 +7,25 @@
 //! N−1 networks transparent to the application, while a purely local
 //! monitor raises fault reports for the operator.
 //!
-//! Three replication styles are provided (paper §4):
+//! All replicated styles are one parameterized **K-of-N engine** —
+//! a send window of K consecutive non-faulty networks, a stage-one
+//! health monitor, and a stage-two wait-for-K-copies token gate —
+//! instantiated at a different replication degree (paper §4–§7):
 //!
-//! * [`ReplicationStyle::Active`] — every message and token is sent on
+//! * [`ReplicationStyle::Active`] — K=N: every message and token on
 //!   all N networks (§5, Figure 2). Loss on up to N−1 networks is
 //!   masked with no retransmission delay; bandwidth cost is N×.
-//! * [`ReplicationStyle::Passive`] — each message and token goes to
+//! * [`ReplicationStyle::Passive`] — K=1: each message and token on
 //!   exactly one network, round-robin (§6, Figures 4 and 5). The
 //!   networks' aggregate bandwidth becomes usable; a loss costs a
 //!   retransmission.
-//! * [`ReplicationStyle::ActivePassive`] — K of N copies, round-robin
+//! * [`ReplicationStyle::ActivePassive`] — 1<K<N copies, round-robin
 //!   (§7): a two-stage receive pipeline of the passive monitor
 //!   followed by the active wait-for-K-copies gate.
+//! * [`ReplicationStyle::KOfN`] — the engine over the full
+//!   `1 <= K <= N` range, with K runtime-reconfigurable via
+//!   [`RrpLayer::set_k`] and an optional automatic degradation policy
+//!   ([`RrpConfig::auto_degrade`]).
 //!
 //! plus [`ReplicationStyle::Single`], the unreplicated baseline the
 //! paper's evaluation compares against.
@@ -56,13 +63,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod active;
-pub mod active_passive;
 pub mod config;
+mod engine;
 pub mod fault;
 pub mod layer;
 pub mod monitor;
-pub mod passive;
 pub mod pernet;
 
 pub use config::{ReplicationStyle, RrpConfig, RrpConfigError};

@@ -184,7 +184,7 @@ fn merge_report(baseline: Option<&str>, current: &str) -> Report {
     let mut speedup_events = None;
     let mut drift = false;
     if let Some(base) = baseline {
-        for key in ["scenario_digest", "chaos_digest"] {
+        for key in ["scenario_digest", "chaos_digest", "ap_digest"] {
             let b = field(base, key);
             let c = field(current, key);
             if b.is_some() && b != c {
@@ -305,6 +305,7 @@ mod tests {
   "determinism": {
     "scenario_digest": "00000000deadbeef",
     "chaos_digest": "00000000cafebabe",
+    "ap_digest": "00000000feedface",
     "repeat_identical": true
   }
 }

@@ -1,9 +1,10 @@
 //! `cargo xtask chaos` — the chaos schedule fuzzing gate.
 //!
 //! Fans seed-deterministic fault schedules (crashes, restarts,
-//! partitions, network kills, send/receive fault bursts) across all
-//! three replication styles, running each against the EVS invariant
-//! oracle in `totem_cluster::chaos`. On a violation, optionally
+//! partitions, network kills, send/receive fault bursts) across the
+//! replication styles — including K-of-N, whose schedules also flip
+//! the replication degree K mid-run — running each against the EVS
+//! invariant oracle in `totem_cluster::chaos`. On a violation, optionally
 //! minimizes the schedule with the built-in shrinker and always writes
 //! a replayable TOML repro file; `--replay <file>` runs such a file
 //! back.
@@ -15,8 +16,12 @@ use totem_cluster::chaos::{self, ChaosReport, ChaosSchedule, ReplicationStyle};
 
 use crate::USAGE;
 
-const STYLES: [ReplicationStyle; 3] =
-    [ReplicationStyle::Single, ReplicationStyle::Active, ReplicationStyle::Passive];
+const STYLES: [ReplicationStyle; 4] = [
+    ReplicationStyle::Single,
+    ReplicationStyle::Active,
+    ReplicationStyle::Passive,
+    ReplicationStyle::KOfN { copies: 2 },
+];
 
 struct Options {
     seeds: u64,
@@ -204,6 +209,7 @@ fn style_label(style: ReplicationStyle) -> &'static str {
         ReplicationStyle::Active => "active",
         ReplicationStyle::Passive => "passive",
         ReplicationStyle::ActivePassive { .. } => "act-pass",
+        ReplicationStyle::KOfN { .. } => "k-of-n",
     }
 }
 

@@ -1,12 +1,14 @@
 //! Real sockets: a three-node Totem RRP cluster over UDP on
-//! 127.0.0.1, two "networks" (port groups), active replication, one
-//! driver thread per node.
+//! 127.0.0.1, two "networks" (port groups), one driver thread per
+//! node.
 //!
 //! This is the same protocol stack the simulator hosts, running under
 //! the threaded real-time runtime — the deployment shape the paper's
 //! testbed used (one socket per NIC per node).
 //!
 //! Run with: `cargo run --example udp_cluster`
+//! Pick a style: `cargo run --example udp_cluster -- --replication k-of-n:1`
+//! (accepted: `active`, `passive`, `ap:K`, `k-of-n:K`; default active)
 
 use std::time::Duration;
 
@@ -17,14 +19,49 @@ use totem_srp::SrpConfig;
 use totem_transport::{UdpTopology, UdpTransport};
 use totem_wire::NodeId;
 
+fn parse_style(raw: &str) -> Option<ReplicationStyle> {
+    match raw {
+        "active" => Some(ReplicationStyle::Active),
+        "passive" => Some(ReplicationStyle::Passive),
+        other => {
+            if let Some(k) = other.strip_prefix("ap:") {
+                k.parse().ok().map(|copies| ReplicationStyle::ActivePassive { copies })
+            } else if let Some(k) = other.strip_prefix("k-of-n:") {
+                k.parse().ok().map(|copies| ReplicationStyle::KOfN { copies })
+            } else {
+                None
+            }
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let style = match args.as_slice() {
+        [] => ReplicationStyle::Active,
+        [flag, raw] if flag == "--replication" => {
+            match parse_style(raw) {
+                Some(s) => s,
+                None => {
+                    eprintln!("unknown replication style `{raw}` (use active, passive, ap:K, or k-of-n:K)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: udp_cluster [--replication active|passive|ap:K|k-of-n:K]");
+            std::process::exit(2);
+        }
+    };
     let nodes = 3;
     let networks = 2;
     // Pick a port region based on the PID to dodge collisions between
     // repeated runs.
     let base_port = 20_000 + (std::process::id() % 20_000) as u16;
     let topology = UdpTopology::loopback(nodes, networks, base_port);
-    println!("binding {nodes} nodes x {networks} networks starting at 127.0.0.1:{base_port}");
+    println!(
+        "binding {nodes} nodes x {networks} networks ({style}) starting at 127.0.0.1:{base_port}"
+    );
 
     let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
     let handles: Vec<_> = members
@@ -35,7 +72,7 @@ fn main() {
                 me,
                 &members,
                 SrpConfig::default(),
-                RrpConfig::new(ReplicationStyle::Active, networks),
+                RrpConfig::new(style, networks),
                 0,
             );
             let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };

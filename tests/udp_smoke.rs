@@ -78,3 +78,69 @@ fn udp_passive_replication_smoke() {
 fn udp_single_network_smoke() {
     run_cluster(ReplicationStyle::Single, 1);
 }
+
+/// Runtime reconfiguration over real sockets: start K-of-N at K=2,
+/// step every node down to K=1 mid-run through
+/// [`totem_cluster::RuntimeHandle::set_k`], and keep agreeing on a
+/// total order across the switch.
+#[test]
+fn udp_set_k_reconfigures_a_live_cluster() {
+    let style = ReplicationStyle::KOfN { copies: 2 };
+    let nodes = 3;
+    let networks = 2;
+    let base = free_base_port((nodes * networks) as u16);
+    let topology = UdpTopology::loopback(nodes, networks, base);
+    let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
+    let handles: Vec<_> = members
+        .iter()
+        .map(|&me| {
+            let transport = UdpTransport::bind(me, topology.clone()).expect("bind");
+            let node = TotemNode::new_operational(
+                me,
+                &members,
+                SrpConfig::default(),
+                RrpConfig::new(style, networks),
+                0,
+            );
+            let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };
+            spawn_node(node, transport, mode)
+        })
+        .collect();
+
+    let collect =
+        |handles: &[totem_cluster::RuntimeHandle], orders: &mut Vec<Vec<Bytes>>, want: usize| {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while orders.iter().any(|o| o.len() < want) && Instant::now() < deadline {
+                for (i, h) in handles.iter().enumerate() {
+                    while let Some(ev) = h.next_event(Duration::from_millis(20)) {
+                        if let RuntimeEvent::Delivered(d) = ev {
+                            orders[i].push(d.data);
+                        }
+                    }
+                }
+            }
+        };
+
+    let mut orders: Vec<Vec<Bytes>> = vec![Vec::new(); nodes];
+    for (i, h) in handles.iter().enumerate() {
+        h.submit(Bytes::from(format!("pre-switch-{i}")));
+    }
+    collect(&handles, &mut orders, nodes);
+
+    // Operator command: every node drops to one copy per message.
+    for h in &handles {
+        h.set_k(1);
+    }
+    for (i, h) in handles.iter().enumerate() {
+        h.submit(Bytes::from(format!("post-switch-{i}")));
+    }
+    collect(&handles, &mut orders, 2 * nodes);
+
+    for (i, o) in orders.iter().enumerate() {
+        assert_eq!(o.len(), 2 * nodes, "node {i} delivered {} of {}", o.len(), 2 * nodes);
+        assert_eq!(o, &orders[0], "node {i} disagrees on the order across the K switch");
+    }
+    for h in handles {
+        h.shutdown();
+    }
+}
