@@ -1,0 +1,143 @@
+//! The shared schedule executor behind `cargo xtask chaos` and
+//! `cargo xtask mc`.
+//!
+//! Both the chaos fuzzer ([`super::run_with`]) and the bounded model
+//! checker (`crate::mc`) execute a [`ChaosSchedule`] the same way:
+//! build a seeded cluster, arm every fault command, then drive one
+//! traffic tick at a time while applying runtime K-flips. Keeping that
+//! core in one place means the two drivers cannot drift — an mc
+//! counterexample replayed through `xtask chaos --replay` runs the
+//! exact event sequence the explorer saw.
+//!
+//! **Determinism contract:** the operation order here is byte-for-byte
+//! the order the pre-extraction `run_with` used (cluster construction,
+//! then per-command crash counting + scheduling in schedule order,
+//! then the sorted K-flip stream, then the tick loop). The bench
+//! digest gate and the chaos regression tests pin the resulting
+//! executions; any reordering is a breaking change.
+
+use bytes::Bytes;
+use totem_sim::{FaultCommand, SimTime};
+use totem_wire::{NetworkId, NodeId};
+
+use super::{networks_for, ChaosSchedule, KFlip, TICK};
+use crate::sim_cluster::{ClusterConfig, SimCluster};
+
+/// One in-flight execution of a [`ChaosSchedule`]: the cluster with
+/// every fault command armed, plus the traffic-loop bookkeeping.
+pub(crate) struct Execution {
+    /// The simulated cluster (faults scheduled, nothing run yet at
+    /// construction).
+    pub cluster: SimCluster,
+    /// Cluster size, cached from the schedule.
+    pub nodes: usize,
+    /// Crash commands the schedule carries.
+    pub crashes: u64,
+    /// Per-sender submission counters (payloads embed them).
+    pub counters: Vec<u64>,
+    /// Messages accepted for submission so far.
+    pub submitted: u64,
+    kflips: Vec<KFlip>,
+    next_flip: usize,
+}
+
+impl Execution {
+    /// Builds the cluster, optionally enables transition tracing
+    /// (`trace_capacity`, used by the model checker; `None` keeps the
+    /// legacy chaos behavior), and arms every scheduled fault command.
+    pub fn new(schedule: &ChaosSchedule, trace_capacity: Option<usize>) -> Self {
+        let nodes = schedule.nodes;
+        let mut cluster =
+            SimCluster::new(ClusterConfig::new(nodes, schedule.style).with_seed(schedule.seed));
+        if let Some(capacity) = trace_capacity {
+            cluster.enable_trace(capacity);
+        }
+        let mut crashes = 0;
+        for sc in &schedule.commands {
+            if matches!(sc.cmd, FaultCommand::CrashNode { .. }) {
+                crashes += 1;
+            }
+            cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
+        }
+
+        // K-flips fire at tick granularity from inside the traffic
+        // loop (the simulator's fault queue only carries
+        // FaultCommands — a reconfiguration is an operator action, not
+        // a fault).
+        let mut kflips = schedule.kflips.clone();
+        kflips.sort_by_key(|f| f.at_ns);
+
+        Execution {
+            cluster,
+            nodes,
+            crashes,
+            counters: vec![0; nodes],
+            submitted: 0,
+            kflips,
+            next_flip: 0,
+        }
+    }
+
+    /// Applies every K-flip scheduled at or before `now_ns` that has
+    /// not fired yet (flips on dead or out-of-range nodes are dropped).
+    pub fn apply_flips_until(&mut self, now_ns: u64) {
+        while self.kflips.get(self.next_flip).is_some_and(|f| f.at_ns <= now_ns) {
+            let f = &self.kflips[self.next_flip];
+            let node = f.node.as_u16() as usize;
+            if node < self.nodes && self.cluster.is_alive(node) {
+                let _ = self.cluster.set_k(node, f.k);
+            }
+            self.next_flip += 1;
+        }
+    }
+
+    /// The traffic window: one submission attempt per [`TICK`] from a
+    /// rotating sender (skipping dead nodes; per-sender counters
+    /// advance only on accepted submissions).
+    pub fn run_traffic_window(&mut self, steps: u64) {
+        for step in 0..steps {
+            self.cluster.run_until(SimTime::from_nanos((step + 1) * TICK.as_nanos()));
+            self.apply_flips_until((step + 1) * TICK.as_nanos());
+            let sender = (step as usize) % self.nodes;
+            if self.cluster.is_alive(sender) {
+                let payload = Bytes::from(format!("s{sender}-{}", self.counters[sender]));
+                if self.cluster.try_submit(sender, payload).is_ok() {
+                    self.counters[sender] += 1;
+                    self.submitted += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs one tick past the later of the last scheduled command and
+    /// the traffic window, applies any remaining K-flips (late flips in
+    /// replayed files), and returns the settle instant in nanoseconds.
+    pub fn settle(&mut self, schedule: &ChaosSchedule) -> u64 {
+        let last_cmd = schedule.commands.iter().map(|c| c.at_ns).max().unwrap_or(0);
+        let settle = last_cmd.max(schedule.steps * TICK.as_nanos()) + TICK.as_nanos();
+        self.cluster.run_until(SimTime::from_nanos(settle));
+        self.apply_flips_until(u64::MAX);
+        settle
+    }
+
+    /// Heals everything — every network, every per-node fault, every
+    /// crashed node — so that re-convergence is always achievable and
+    /// a convergence failure is a real liveness verdict, never an
+    /// artifact of an unhealed fault.
+    pub fn heal_all(&mut self, schedule: &ChaosSchedule) {
+        for k in 0..networks_for(schedule.style) {
+            let net = NetworkId::new(k as u8);
+            self.cluster.fault_now(FaultCommand::NetworkDown { net, down: false });
+            self.cluster.fault_now(FaultCommand::Partition { net, groups: Vec::new() });
+            self.cluster.fault_now(FaultCommand::DuplicateNet { net, on: false });
+            for n in 0..self.nodes {
+                let node = NodeId::new(n as u16);
+                self.cluster.fault_now(FaultCommand::SendFault { node, net, failed: false });
+                self.cluster.fault_now(FaultCommand::RecvFault { node, net, failed: false });
+            }
+        }
+        for n in 0..self.nodes {
+            self.cluster.fault_now(FaultCommand::RestartNode { node: NodeId::new(n as u16) });
+        }
+    }
+}

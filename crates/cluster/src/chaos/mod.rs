@@ -17,6 +17,7 @@
 //! TOML file ([`ChaosSchedule::to_toml`]) that `cargo xtask chaos
 //! --replay` can run back.
 
+pub(crate) mod exec;
 pub mod oracle;
 
 use bytes::Bytes;
@@ -209,7 +210,8 @@ fn fault_targets(schedule: &ChaosSchedule) -> (Vec<bool>, bool) {
         match &sc.cmd {
             FaultCommand::SendFault { net, failed: true, .. }
             | FaultCommand::RecvFault { net, failed: true, .. }
-            | FaultCommand::NetworkDown { net, down: true } => {
+            | FaultCommand::NetworkDown { net, down: true }
+            | FaultCommand::DuplicateNet { net, on: true } => {
                 targeted[net.index()] = true;
             }
             FaultCommand::Partition { net, groups } if !groups.is_empty() => {
@@ -258,70 +260,19 @@ pub fn run_with(
     delivery_oracle: fn(&SimCluster, usize) -> Vec<Violation>,
 ) -> ChaosReport {
     let nodes = schedule.nodes;
-    let mut cluster =
-        SimCluster::new(ClusterConfig::new(nodes, schedule.style).with_seed(schedule.seed));
-    let mut crashes = 0;
-    for sc in &schedule.commands {
-        if matches!(sc.cmd, FaultCommand::CrashNode { .. }) {
-            crashes += 1;
-        }
-        cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
-    }
 
-    // K-flips fire at tick granularity from inside the traffic loop
-    // (the simulator's fault queue only carries FaultCommands — a
-    // reconfiguration is an operator action, not a fault).
-    let mut kflips = schedule.kflips.clone();
-    kflips.sort_by_key(|f| f.at_ns);
-    let mut next_flip = 0usize;
-    let mut apply_flips_until = |cluster: &mut SimCluster, now_ns: u64| {
-        while kflips.get(next_flip).is_some_and(|f| f.at_ns <= now_ns) {
-            let f = &kflips[next_flip];
-            let node = f.node.as_u16() as usize;
-            if node < nodes && cluster.is_alive(node) {
-                let _ = cluster.set_k(node, f.k);
-            }
-            next_flip += 1;
-        }
-    };
+    // The schedule-application/traffic core is shared with the bounded
+    // model checker (`crate::mc`) — see [`exec::Execution`] for the
+    // determinism contract.
+    let mut exec = exec::Execution::new(schedule, None);
+    exec.run_traffic_window(schedule.steps);
+    let settle = exec.settle(schedule);
+    exec.heal_all(schedule);
+    let crashes = exec.crashes;
+    let mut submitted = exec.submitted;
+    let mut counters = std::mem::take(&mut exec.counters);
+    let mut cluster = exec.cluster;
 
-    // Traffic window: one submission attempt per tick, round-robin.
-    let mut counters = vec![0u64; nodes];
-    let mut submitted = 0u64;
-    for step in 0..schedule.steps {
-        cluster.run_until(SimTime::from_nanos((step + 1) * TICK.as_nanos()));
-        apply_flips_until(&mut cluster, (step + 1) * TICK.as_nanos());
-        let sender = (step as usize) % nodes;
-        if cluster.is_alive(sender) {
-            let payload = Bytes::from(format!("s{sender}-{}", counters[sender]));
-            if cluster.try_submit(sender, payload).is_ok() {
-                counters[sender] += 1;
-                submitted += 1;
-            }
-        }
-    }
-
-    // Run past the last scheduled command, then heal everything —
-    // every network, every per-node fault, every crashed node — so
-    // that re-convergence is always achievable and `NotConverged` is a
-    // real liveness verdict, never an artifact of an unhealed fault.
-    let last_cmd = schedule.commands.iter().map(|c| c.at_ns).max().unwrap_or(0);
-    let settle = last_cmd.max(schedule.steps * TICK.as_nanos()) + TICK.as_nanos();
-    cluster.run_until(SimTime::from_nanos(settle));
-    apply_flips_until(&mut cluster, u64::MAX); // late flips (replayed files)
-    for k in 0..networks_for(schedule.style) {
-        let net = NetworkId::new(k as u8);
-        cluster.fault_now(FaultCommand::NetworkDown { net, down: false });
-        cluster.fault_now(FaultCommand::Partition { net, groups: Vec::new() });
-        for n in 0..nodes {
-            let node = NodeId::new(n as u16);
-            cluster.fault_now(FaultCommand::SendFault { node, net, failed: false });
-            cluster.fault_now(FaultCommand::RecvFault { node, net, failed: false });
-        }
-    }
-    for n in 0..nodes {
-        cluster.fault_now(FaultCommand::RestartNode { node: NodeId::new(n as u16) });
-    }
     let deadline = settle + CONVERGENCE_GRACE.as_nanos();
     let mut now = settle;
     let mut violations = Vec::new();
@@ -584,6 +535,11 @@ impl ChaosSchedule {
                     out.push_str("kind = \"restart\"\n");
                     out.push_str(&format!("node = {}\n", node.as_u16()));
                 }
+                FaultCommand::DuplicateNet { net, on } => {
+                    out.push_str("kind = \"dup-net\"\n");
+                    out.push_str(&format!("net = {}\n", net.as_u8()));
+                    out.push_str(&format!("on = {on}\n"));
+                }
             }
         }
         for f in &self.kflips {
@@ -600,12 +556,23 @@ impl ChaosSchedule {
     /// # Errors
     ///
     /// Returns a human-readable message on malformed input: unknown
-    /// keys or kinds, missing fields, or unparsable values.
+    /// keys or kinds, missing fields, or unparsable values. Every
+    /// message names the line (and, for block fields, the block's
+    /// header line and the field) where the problem is, so a
+    /// hand-edited repro file points at its own mistake.
     pub fn from_toml(text: &str) -> Result<Self, String> {
         #[derive(Clone, Copy)]
         enum BlockKind {
             Command,
             KFlip,
+        }
+        impl BlockKind {
+            fn name(self) -> &'static str {
+                match self {
+                    BlockKind::Command => "[[command]]",
+                    BlockKind::KFlip => "[[kflip]]",
+                }
+            }
         }
         let mut seed = None;
         let mut nodes = None;
@@ -613,21 +580,26 @@ impl ChaosSchedule {
         let mut steps = None;
         let mut commands = Vec::new();
         let mut kflips = Vec::new();
-        let mut current: Option<(BlockKind, std::collections::HashMap<String, String>)> = None;
+        // (kind, header line number, fields)
+        let mut current: Option<(BlockKind, usize, std::collections::HashMap<String, String>)> =
+            None;
 
-        let finish = |block: Option<(BlockKind, std::collections::HashMap<String, String>)>,
-                      commands: &mut Vec<ScheduledCommand>,
-                      kflips: &mut Vec<KFlip>|
-         -> Result<(), String> {
-            let Some((kind, block)) = block else { return Ok(()) };
-            match kind {
-                BlockKind::Command => commands.push(parse_command(&block)?),
-                BlockKind::KFlip => kflips.push(parse_kflip(&block)?),
-            }
-            Ok(())
-        };
+        let finish =
+            |block: Option<(BlockKind, usize, std::collections::HashMap<String, String>)>,
+             commands: &mut Vec<ScheduledCommand>,
+             kflips: &mut Vec<KFlip>|
+             -> Result<(), String> {
+                let Some((kind, header_line, block)) = block else { return Ok(()) };
+                let context = |e: String| format!("{} at line {header_line}: {e}", kind.name());
+                match kind {
+                    BlockKind::Command => commands.push(parse_command(&block).map_err(context)?),
+                    BlockKind::KFlip => kflips.push(parse_kflip(&block).map_err(context)?),
+                }
+                Ok(())
+            };
 
-        for raw in text.lines() {
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -639,22 +611,25 @@ impl ChaosSchedule {
             };
             if let Some(kind) = header {
                 finish(current.take(), &mut commands, &mut kflips)?;
-                current = Some((kind, std::collections::HashMap::new()));
+                current = Some((kind, lineno, std::collections::HashMap::new()));
                 continue;
             }
             let (key, value) = line
                 .split_once('=')
-                .ok_or_else(|| format!("expected `key = value`, got {line:?}"))?;
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
             let (key, value) = (key.trim(), value.trim());
-            if let Some((_, block)) = current.as_mut() {
+            if let Some((_, _, block)) = current.as_mut() {
                 block.insert(key.to_string(), value.to_string());
             } else {
+                let at = |e: String| format!("line {lineno}: `{key}`: {e}");
                 match key {
-                    "seed" => seed = Some(parse_u64(value)?),
-                    "nodes" => nodes = Some(parse_u64(value)? as usize),
-                    "style" => style = Some(style_from_name(parse_str(value)?)?),
-                    "steps" => steps = Some(parse_u64(value)?),
-                    other => return Err(format!("unknown header key {other:?}")),
+                    "seed" => seed = Some(parse_u64(value).map_err(at)?),
+                    "nodes" => nodes = Some(parse_u64(value).map_err(at)? as usize),
+                    "style" => {
+                        style = Some(parse_str(value).and_then(style_from_name).map_err(at)?);
+                    }
+                    "steps" => steps = Some(parse_u64(value).map_err(at)?),
+                    other => return Err(format!("line {lineno}: unknown header key {other:?}")),
                 }
             }
         }
@@ -694,48 +669,61 @@ fn field<'a>(
     block: &'a std::collections::HashMap<String, String>,
     key: &str,
 ) -> Result<&'a str, String> {
-    block.get(key).map(String::as_str).ok_or_else(|| format!("command is missing `{key}`"))
+    block.get(key).map(String::as_str).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Fetches `key` from the block and parses it as a `u64`, naming the
+/// field in the error.
+fn field_u64(block: &std::collections::HashMap<String, String>, key: &str) -> Result<u64, String> {
+    parse_u64(field(block, key)?).map_err(|e| format!("field `{key}`: {e}"))
+}
+
+/// Fetches `key` from the block and parses it as a bool, naming the
+/// field in the error.
+fn field_bool(
+    block: &std::collections::HashMap<String, String>,
+    key: &str,
+) -> Result<bool, String> {
+    parse_bool(field(block, key)?).map_err(|e| format!("field `{key}`: {e}"))
 }
 
 fn parse_command(
     block: &std::collections::HashMap<String, String>,
 ) -> Result<ScheduledCommand, String> {
-    let at_ns = parse_u64(field(block, "at_ns")?)?;
-    let node =
-        || -> Result<NodeId, String> { Ok(NodeId::new(parse_u64(field(block, "node")?)? as u16)) };
-    let net = || -> Result<NetworkId, String> {
-        Ok(NetworkId::new(parse_u64(field(block, "net")?)? as u8))
-    };
+    let at_ns = field_u64(block, "at_ns")?;
+    let node = || -> Result<NodeId, String> { Ok(NodeId::new(field_u64(block, "node")? as u16)) };
+    let net =
+        || -> Result<NetworkId, String> { Ok(NetworkId::new(field_u64(block, "net")? as u8)) };
     let cmd = match parse_str(field(block, "kind")?)? {
         "send-fault" => FaultCommand::SendFault {
             node: node()?,
             net: net()?,
-            failed: parse_bool(field(block, "failed")?)?,
+            failed: field_bool(block, "failed")?,
         },
         "recv-fault" => FaultCommand::RecvFault {
             node: node()?,
             net: net()?,
-            failed: parse_bool(field(block, "failed")?)?,
+            failed: field_bool(block, "failed")?,
         },
-        "net-down" => {
-            FaultCommand::NetworkDown { net: net()?, down: parse_bool(field(block, "down")?)? }
-        }
+        "net-down" => FaultCommand::NetworkDown { net: net()?, down: field_bool(block, "down")? },
         "partition" => {
             let raw = field(block, "groups")?;
             let inner = raw
                 .strip_prefix('[')
                 .and_then(|v| v.strip_suffix(']'))
-                .ok_or_else(|| format!("expected `[..]` groups, got {raw:?}"))?;
+                .ok_or_else(|| format!("field `groups`: expected `[..]`, got {raw:?}"))?;
             let groups = inner
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
                 .map(|s| parse_u64(s).map(|g| g as u8))
-                .collect::<Result<Vec<u8>, String>>()?;
+                .collect::<Result<Vec<u8>, String>>()
+                .map_err(|e| format!("field `groups`: {e}"))?;
             FaultCommand::Partition { net: net()?, groups }
         }
         "crash" => FaultCommand::CrashNode { node: node()? },
         "restart" => FaultCommand::RestartNode { node: node()? },
+        "dup-net" => FaultCommand::DuplicateNet { net: net()?, on: field_bool(block, "on")? },
         other => return Err(format!("unknown command kind {other:?}")),
     };
     Ok(ScheduledCommand { at_ns, cmd })
@@ -743,9 +731,9 @@ fn parse_command(
 
 fn parse_kflip(block: &std::collections::HashMap<String, String>) -> Result<KFlip, String> {
     Ok(KFlip {
-        at_ns: parse_u64(field(block, "at_ns")?)?,
-        node: NodeId::new(parse_u64(field(block, "node")?)? as u16),
-        k: parse_u64(field(block, "k")?)? as usize,
+        at_ns: field_u64(block, "at_ns")?,
+        node: NodeId::new(field_u64(block, "node")? as u16),
+        k: field_u64(block, "k")? as usize,
     })
 }
 
@@ -940,5 +928,126 @@ mod tests {
         let schedule = generate(1, ReplicationStyle::Active, 4, 64);
         let shrunk = shrink(&schedule, oracle::check_safety);
         assert_eq!(schedule, shrunk);
+    }
+
+    #[test]
+    fn from_toml_errors_carry_line_and_field_context() {
+        // Bad header value: names the line and the key.
+        let err = ChaosSchedule::from_toml("seed = 1\nnodes = oops\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("`nodes`"), "got {err}");
+        // Bad block field: names the block's header line and the field.
+        let text = "seed = 1\nnodes = 3\nstyle = \"active\"\nsteps = 32\n\n\
+                    [[command]]\nat_ns = nope\nkind = \"crash\"\nnode = 1\n";
+        let err = ChaosSchedule::from_toml(text).unwrap_err();
+        assert!(err.contains("[[command]] at line 6") && err.contains("`at_ns`"), "got {err}");
+        // Missing block field: same context.
+        let text = "seed = 1\nnodes = 3\nstyle = \"active\"\nsteps = 32\n\n\
+                    [[kflip]]\nat_ns = 5\nnode = 1\n";
+        let err = ChaosSchedule::from_toml(text).unwrap_err();
+        assert!(err.contains("[[kflip]] at line 6") && err.contains("`k`"), "got {err}");
+    }
+
+    #[test]
+    fn dup_net_roundtrips_through_toml() {
+        let schedule = ChaosSchedule {
+            seed: 9,
+            nodes: 3,
+            style: ReplicationStyle::Active,
+            steps: 32,
+            commands: vec![
+                ScheduledCommand {
+                    at_ns: 100,
+                    cmd: FaultCommand::DuplicateNet { net: NetworkId::new(1), on: true },
+                },
+                ScheduledCommand {
+                    at_ns: 900,
+                    cmd: FaultCommand::DuplicateNet { net: NetworkId::new(1), on: false },
+                },
+            ],
+            kflips: Vec::new(),
+        };
+        let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
+        assert_eq!(schedule, parsed);
+    }
+
+    mod toml_roundtrip_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn arb_style() -> impl Strategy<Value = ReplicationStyle> {
+            prop_oneof![
+                Just(ReplicationStyle::Single),
+                Just(ReplicationStyle::Active),
+                Just(ReplicationStyle::Passive),
+                (2u8..4).prop_map(|copies| ReplicationStyle::ActivePassive { copies }),
+                (1u8..5).prop_map(|copies| ReplicationStyle::KOfN { copies }),
+            ]
+        }
+
+        fn arb_cmd() -> impl Strategy<Value = FaultCommand> {
+            prop_oneof![
+                (0u16..8, 0u8..4, any::<bool>()).prop_map(|(n, k, failed)| {
+                    FaultCommand::SendFault { node: NodeId::new(n), net: NetworkId::new(k), failed }
+                }),
+                (0u16..8, 0u8..4, any::<bool>()).prop_map(|(n, k, failed)| {
+                    FaultCommand::RecvFault { node: NodeId::new(n), net: NetworkId::new(k), failed }
+                }),
+                (0u8..4, any::<bool>()).prop_map(|(k, down)| FaultCommand::NetworkDown {
+                    net: NetworkId::new(k),
+                    down,
+                }),
+                (0u8..4, proptest::collection::vec(0u8..3, 0..8)).prop_map(|(k, groups)| {
+                    FaultCommand::Partition { net: NetworkId::new(k), groups }
+                }),
+                (0u16..8).prop_map(|n| FaultCommand::CrashNode { node: NodeId::new(n) }),
+                (0u16..8).prop_map(|n| FaultCommand::RestartNode { node: NodeId::new(n) }),
+                (0u8..4, any::<bool>())
+                    .prop_map(|(k, on)| FaultCommand::DuplicateNet { net: NetworkId::new(k), on }),
+            ]
+        }
+
+        fn arb_schedule() -> impl Strategy<Value = ChaosSchedule> {
+            (
+                any::<u64>(),
+                2u64..8,
+                arb_style(),
+                16u64..512,
+                proptest::collection::vec((0u64..5_000_000_000, arb_cmd()), 0..24),
+                proptest::collection::vec((0u64..5_000_000_000, 0u16..8, 1u64..5), 0..8),
+            )
+                .prop_map(|(seed, nodes, style, steps, commands, kflips)| {
+                    ChaosSchedule {
+                        seed,
+                        nodes: nodes as usize,
+                        style,
+                        steps,
+                        commands: commands
+                            .into_iter()
+                            .map(|(at_ns, cmd)| ScheduledCommand { at_ns, cmd })
+                            .collect(),
+                        kflips: kflips
+                            .into_iter()
+                            .map(|(at_ns, node, k)| KFlip {
+                                at_ns,
+                                node: NodeId::new(node),
+                                k: k as usize,
+                            })
+                            .collect(),
+                    }
+                })
+        }
+
+        proptest! {
+            /// Satellite of PR 6: `to_toml`/`from_toml` is the identity
+            /// on arbitrary schedules — every command kind (including
+            /// `dup-net`) and every `[[kflip]]` survives the trip.
+            #[test]
+            fn toml_roundtrips_arbitrary_schedules(schedule in arb_schedule()) {
+                let text = schedule.to_toml();
+                let parsed = ChaosSchedule::from_toml(&text)
+                    .expect("generated schedule must parse back");
+                prop_assert_eq!(schedule, parsed);
+            }
+        }
     }
 }

@@ -86,6 +86,17 @@ pub enum Violation {
         /// Human-readable description of what was still wrong.
         detail: String,
     },
+    /// A per-state structural invariant failed: malformed membership
+    /// view, ring-identity disagreement, or a non-monotone ring
+    /// sequence (RFC 1982 order). Raised by the bounded model checker's
+    /// per-state checks ([`check_view_sanity`] and the explorer's
+    /// parent/child sequence comparison), not by the end-of-run oracle.
+    StateInvariant {
+        /// The offending node.
+        node: usize,
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -100,6 +111,7 @@ impl Violation {
             Violation::PrefixEquality { .. } => "prefix-equality",
             Violation::FaultReportUnsound { .. } => "fault-report-unsound",
             Violation::NotConverged { .. } => "not-converged",
+            Violation::StateInvariant { .. } => "state-invariant",
         }
     }
 }
@@ -132,6 +144,9 @@ impl core::fmt::Display for Violation {
                  with no fault injected there and no crash in the run"
             ),
             Violation::NotConverged { detail } => write!(f, "not-converged: {detail}"),
+            Violation::StateInvariant { node, detail } => {
+                write!(f, "state-invariant: node {node}: {detail}")
+            }
         }
     }
 }
@@ -262,6 +277,76 @@ pub fn check_fault_reports(
             let net = report.net.as_u8();
             if !targeted_nets.get(net as usize).copied().unwrap_or(false) {
                 violations.push(Violation::FaultReportUnsound { node: n, net });
+            }
+        }
+    }
+    violations
+}
+
+/// Per-state membership/view sanity, checked at every explored state
+/// by the bounded model checker (`crate::mc`):
+///
+/// * an alive node in the `Operational` state has a membership view;
+/// * that view contains the node itself, names only in-range
+///   processors, and is sorted ascending with no duplicates (the SRP
+///   ring order);
+/// * any two alive operational nodes reporting the **same** ring
+///   identity report the **same** membership (a ring id names exactly
+///   one membership — disagreement here is a split-brain view).
+pub fn check_view_sanity(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut by_ring: HashMap<totem_wire::RingId, (usize, Vec<NodeId>)> = HashMap::new();
+    for n in 0..nodes {
+        if !cluster.is_alive(n) || cluster.srp_state(n) != totem_srp::SrpState::Operational {
+            continue;
+        }
+        let Some(members) = cluster.members(n) else {
+            violations.push(Violation::StateInvariant {
+                node: n,
+                detail: "operational but reports no membership view".into(),
+            });
+            continue;
+        };
+        let me = NodeId::new(n as u16);
+        if !members.contains(&me) {
+            violations.push(Violation::StateInvariant {
+                node: n,
+                detail: format!("operational view {members:?} does not contain the node itself"),
+            });
+        }
+        if members.iter().any(|m| m.index() >= nodes) {
+            violations.push(Violation::StateInvariant {
+                node: n,
+                detail: format!("view {members:?} names an out-of-range processor"),
+            });
+        }
+        if members.windows(2).any(|w| w[0] >= w[1]) {
+            violations.push(Violation::StateInvariant {
+                node: n,
+                detail: format!("view {members:?} is not strictly ascending ring order"),
+            });
+        }
+        let Some(ring) = cluster.ring_id(n) else {
+            violations.push(Violation::StateInvariant {
+                node: n,
+                detail: "operational but reports no ring identity".into(),
+            });
+            continue;
+        };
+        match by_ring.get(&ring) {
+            None => {
+                by_ring.insert(ring, (n, members));
+            }
+            Some((first, reference)) => {
+                if *reference != members {
+                    violations.push(Violation::StateInvariant {
+                        node: n,
+                        detail: format!(
+                            "ring {ring:?} has two memberships: node {first} sees {reference:?}, \
+                             node {n} sees {members:?}"
+                        ),
+                    });
+                }
             }
         }
     }

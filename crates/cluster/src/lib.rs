@@ -47,12 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod mc;
 pub mod node;
 pub mod runtime;
 pub mod scenarios;
 pub mod sim_cluster;
 
 pub use chaos::{ChaosReport, ChaosSchedule, ScheduledCommand};
+pub use mc::{Counterexample, McOptions, McReport};
 pub use node::{NodeOutput, TotemNode};
 pub use runtime::{spawn_node, RuntimeEvent, RuntimeHandle, StartMode};
 pub use scenarios::{run_all, ScenarioReport};

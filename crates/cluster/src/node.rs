@@ -140,6 +140,15 @@ impl TotemNode {
         self.srp.state()
     }
 
+    /// Feeds both layers' protocol-visible state into a caller-supplied
+    /// hasher (see [`totem_srp::SrpNode::fingerprint`] and
+    /// [`totem_rrp::RrpLayer::fingerprint`]). The bounded model checker
+    /// uses this as the per-node component of its canonical state hash.
+    pub fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.srp.fingerprint(h);
+        self.rrp.fingerprint(h);
+    }
+
     /// Begins the membership protocol on a joining node.
     pub fn start(&mut self, now: Nanos) -> Vec<NodeOutput> {
         let events = self.srp.start(now);

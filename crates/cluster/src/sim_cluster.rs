@@ -575,6 +575,46 @@ impl SimCluster {
     pub fn srp_stats(&self, node: usize) -> totem_srp::node::SrpStats {
         self.world.actor(NodeId::new(node as u16)).node.srp().stats().clone()
     }
+
+    /// Ring identity of one node, if on a ring.
+    pub fn ring_id(&self, node: usize) -> Option<totem_wire::RingId> {
+        self.world.actor(NodeId::new(node as u16)).node.srp().ring_id()
+    }
+
+    /// Highest ring sequence number `node` has ever observed (survives
+    /// crashes as the identity epoch; see
+    /// [`totem_srp::SrpNode::max_ring_seq`]).
+    pub fn max_ring_seq(&self, node: usize) -> u64 {
+        self.world.actor(NodeId::new(node as u16)).node.srp().max_ring_seq()
+    }
+
+    /// Feeds the observable cluster state into a caller-supplied
+    /// hasher: per node the liveness flag, incarnation count, both
+    /// protocol layers' fingerprints ([`TotemNode::fingerprint`]) and
+    /// the observer logs (delivery log, configuration-change and
+    /// fault-report counts), plus the fault plane (armed faults,
+    /// partitions, crashes) and the simulator's event-queue horizon.
+    /// The bounded model checker (`crate::mc`) uses this as the
+    /// canonical state hash for visited-state pruning.
+    pub fn state_fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash as _;
+        for n in 0..self.nodes() {
+            let a = self.world.actor(NodeId::new(n as u16));
+            a.alive.hash(h);
+            a.incarnation.hash(h);
+            a.node.fingerprint(h);
+            a.delivered.len().hash(h);
+            for d in &a.delivered {
+                d.sender.hash(h);
+                d.data.as_ref().hash(h);
+            }
+            a.configs.len().hash(h);
+            a.faults.len().hash(h);
+        }
+        self.world.faults().fingerprint(h);
+        self.world.pending_events().hash(h);
+        self.world.peek_event_time().map(|t| t.as_nanos()).hash(h);
+    }
 }
 
 #[cfg(test)]

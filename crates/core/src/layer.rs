@@ -581,6 +581,18 @@ impl RrpLayer {
         }
     }
 
+    /// Feeds the protocol-visible portion of this layer's state into a
+    /// caller-supplied hasher: the faulty set, the current replication
+    /// degree, and the per-network problem counters. Part of the
+    /// canonical state hash of the bounded model checker
+    /// (`totem_cluster::mc`).
+    pub fn fingerprint<H: core::hash::Hasher>(&self, h: &mut H) {
+        use core::hash::Hash as _;
+        self.faulty().hash(h);
+        self.replication_k().hash(h);
+        self.problem_counters().hash(h);
+    }
+
     /// Diagnostic snapshot of the reception-count monitors (passive
     /// mode, K=1, only; empty otherwise).
     pub fn monitor_report(&self) -> Vec<(crate::fault::MonitorKind, Vec<u64>)> {

@@ -72,6 +72,18 @@ pub enum FaultCommand {
         /// Node to restart. Restarting a live node is a no-op.
         node: NodeId,
     },
+    /// Make a network deliver every frame twice (or stop doing so).
+    ///
+    /// This is the *deterministic* counterpart of the probabilistic
+    /// [`NetworkConfig::duplicate`](crate::NetworkConfig::duplicate)
+    /// knob: it draws no randomness, so the bounded model checker can
+    /// enumerate duplication windows as schedulable fault state.
+    DuplicateNet {
+        /// Affected network.
+        net: NetworkId,
+        /// `true` to start duplicating, `false` to stop.
+        on: bool,
+    },
 }
 
 /// Current fault state of all networks.
@@ -104,6 +116,8 @@ pub struct FaultPlane {
     partition: Vec<Option<Vec<u8>>>,
     /// `crashed[node]`: processor crash–recovery state.
     crashed: Vec<bool>,
+    /// Per network: deliver every frame twice while set.
+    duplicating: Vec<bool>,
 }
 
 impl FaultPlane {
@@ -117,6 +131,7 @@ impl FaultPlane {
             down: vec![false; networks],
             partition: vec![None; networks],
             crashed: vec![false; nodes],
+            duplicating: vec![false; networks],
         }
     }
 
@@ -156,6 +171,10 @@ impl FaultPlane {
             FaultCommand::RestartNode { node } => {
                 assert!(node.index() < self.nodes, "node out of range");
                 self.crashed[node.index()] = false;
+            }
+            FaultCommand::DuplicateNet { net, on } => {
+                assert!(net.index() < self.networks, "network out of range");
+                self.duplicating[net.index()] = *on;
             }
         }
     }
@@ -199,6 +218,27 @@ impl FaultPlane {
     /// Whether the processor is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.crashed[node.index()]
+    }
+
+    /// Whether the network currently duplicates every delivery.
+    pub fn is_duplicating(&self, net: NetworkId) -> bool {
+        self.duplicating[net.index()]
+    }
+
+    /// Feeds the complete fault state into `h`, field order fixed.
+    ///
+    /// The bounded model checker includes this in its canonical state
+    /// hash: two executions whose protocol state agrees but whose
+    /// ambient faults differ (say, a receive fault still armed) must
+    /// not be merged, because their futures diverge.
+    pub fn fingerprint<H: core::hash::Hasher>(&self, h: &mut H) {
+        use core::hash::Hash as _;
+        self.send_fault.hash(h);
+        self.recv_fault.hash(h);
+        self.down.hash(h);
+        self.partition.hash(h);
+        self.crashed.hash(h);
+        self.duplicating.hash(h);
     }
 }
 
@@ -291,6 +331,25 @@ mod tests {
         assert!(!p.is_crashed(NodeId::new(1)));
         assert!(p.can_send(NodeId::new(1), NetworkId::new(0)));
         assert!(p.can_deliver(NodeId::new(0), NodeId::new(1), NetworkId::new(0)));
+    }
+
+    #[test]
+    fn duplicate_net_toggles_and_fingerprints() {
+        let mut p = FaultPlane::new(2, 2);
+        assert!(!p.is_duplicating(NetworkId::new(1)));
+        let fp = |p: &FaultPlane| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            p.fingerprint(&mut h);
+            core::hash::Hasher::finish(&h)
+        };
+        let clean = fp(&p);
+        p.apply(&FaultCommand::DuplicateNet { net: NetworkId::new(1), on: true });
+        assert!(p.is_duplicating(NetworkId::new(1)));
+        assert!(!p.is_duplicating(NetworkId::new(0)));
+        assert_ne!(fp(&p), clean, "fingerprint must see the duplication state");
+        p.apply(&FaultCommand::DuplicateNet { net: NetworkId::new(1), on: false });
+        assert!(!p.is_duplicating(NetworkId::new(1)));
+        assert_eq!(fp(&p), clean, "healed plane fingerprints like a fresh one");
     }
 
     #[test]

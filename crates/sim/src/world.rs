@@ -416,6 +416,19 @@ impl<A: Actor> SimWorld<A> {
         self.now = self.now.max(until);
     }
 
+    /// Number of events still queued. With
+    /// [`SimWorld::peek_event_time`] this gives external drivers (the
+    /// bounded model checker's executor) a deterministic virtual-time
+    /// stepping interface: advance, observe quiescence, advance again.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Simulated instant of the earliest queued event, if any.
+    pub fn peek_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Processes the single earliest event. Returns `false` if the
     /// queue was empty.
     pub fn step(&mut self) -> bool {
@@ -600,6 +613,15 @@ impl<A: Actor> SimWorld<A> {
             world.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
             cohort.push(to);
             if netcfg.duplicate > 0.0 && world.rng.gen_bool(netcfg.duplicate) {
+                world.stats.net_mut(net).duplicated += 1;
+                world.stats.net_mut(net).deliveries += 1;
+                world.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);
+                cohort.push(to);
+            }
+            // Deterministic duplication (FaultCommand::DuplicateNet):
+            // no RNG draw, so enabling it never perturbs the loss or
+            // reorder streams of a seeded run.
+            if world.faults.is_duplicating(net) {
                 world.stats.net_mut(net).duplicated += 1;
                 world.stats.net_mut(net).deliveries += 1;
                 world.trace_event(TraceKind::Delivered, net, from, Some(to), &pkt);

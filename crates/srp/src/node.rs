@@ -419,6 +419,28 @@ impl SrpNode {
         }
     }
 
+    /// Feeds the protocol-visible portion of this node's state into a
+    /// caller-supplied hasher: phase, ring identity and membership,
+    /// identity epoch, sequence horizon, queue depth, gap status, and
+    /// the delivery counters. The bounded model checker
+    /// (`totem_cluster::mc`) folds this into its canonical state hash;
+    /// it deliberately excludes transient internals (timer deadlines,
+    /// retransmission bookkeeping) that the explorer captures through
+    /// the simulator's event queue instead.
+    pub fn fingerprint<H: core::hash::Hasher>(&self, h: &mut H) {
+        use core::hash::Hash as _;
+        self.state().hash(h);
+        self.ring_id().hash(h);
+        self.members().hash(h);
+        self.epoch.hash(h);
+        self.max_ring_seq.hash(h);
+        self.send_queue_len().hash(h);
+        self.any_messages_missing().hash(h);
+        self.stats.delivered_msgs.hash(h);
+        self.stats.delivered_bytes.hash(h);
+        self.stats.config_changes.hash(h);
+    }
+
     /// Starts the node: for a [`SrpNode::new_joining`] node, returns
     /// the initial join broadcast and arms the membership timers.
     pub fn start(&mut self, now: Nanos) -> Vec<SrpEvent> {

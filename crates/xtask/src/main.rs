@@ -7,7 +7,10 @@
 //! transition-coverage scenarios (see [`conformance`]). `cargo xtask
 //! chaos` fuzzes seeded fault schedules against the EVS invariant
 //! oracle, with delta-debugging minimization of failures (see
-//! [`chaos`]).
+//! [`chaos`]). `cargo xtask mc` exhaustively explores every fault
+//! interleaving up to a bounded depth, checking the same oracle plus
+//! per-state invariants at every explored state and reporting spec-edge
+//! coverage (see [`mc`]).
 //!
 //! Diagnostics are `file:line: rule: message`, one per line on stdout,
 //! so editors and CI can jump straight to the site.
@@ -25,6 +28,7 @@ mod bench;
 mod chaos;
 mod conformance;
 mod lexer;
+mod mc;
 mod rules;
 mod spec;
 
@@ -62,6 +66,26 @@ commands:
         --replay <file>     re-run a previously written repro TOML
         --repro-dir <dir>   where repro files go (default .)
 
+  mc [--nodes N] [--depth D] [--crashes K] [--partitions P]
+     [--drops R] [--dups U] [--step-ms MS] [--seed S]
+     [--markdown <path>] [--repro-dir <dir>] [--expect-edges E]
+      Bounded exhaustive model checking: explore every fault
+      interleaving (crashes, restarts, partitions, drop/dup windows)
+      up to D quiet steps, run the EVS oracle plus per-state
+      invariants at every explored state, and report which
+      spec/protocol.toml srp-membership edges were exercised.
+        --nodes N           cluster size (default 3)
+        --depth D           quiet steps per path (default 8)
+        --crashes K         crash budget per path (default 1)
+        --partitions P      partition budget per path (default 1)
+        --drops R           one-step recv-blackout budget (default 0)
+        --dups U            one-step net-duplication budget (default 0)
+        --step-ms MS        virtual time per quiet step (default 400)
+        --seed S            simulation seed (default 0)
+        --markdown <path>   append the edge table as GitHub markdown
+        --repro-dir <dir>   where counterexample TOMLs go (default .)
+        --expect-edges E    fail unless at least E spec edges reached
+
   bench [--quick] [--skip-micro]
       Run the criterion micro-benches and the wall-clock macro gate,
       then write BENCH_PR4.json (current numbers, the committed
@@ -77,6 +101,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
+        Some("mc") => mc::run(&args[1..]),
         Some("bench") => bench::run(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
