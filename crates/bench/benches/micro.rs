@@ -24,7 +24,7 @@ fn data_packet(seq: u64, payload: usize) -> Packet {
 
 fn token_packet(rotation: u64, seq: u64) -> Token {
     let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-    t.rotation = rotation;
+    t.rotation = totem_wire::Rotation::new(rotation);
     t.seq = Seq::new(seq);
     t.aru = Seq::new(seq);
     t

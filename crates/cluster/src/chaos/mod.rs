@@ -75,6 +75,12 @@ pub struct ChaosSchedule {
     pub commands: Vec<ScheduledCommand>,
     /// Runtime K changes, sorted by time (K-of-N schedules only).
     pub kflips: Vec<KFlip>,
+    /// Initial global sequence number of the bootstrapped ring (zero =
+    /// the production default; near-`u64::MAX` values drive the run
+    /// across the serial wrap boundary). Omitted from the TOML repro
+    /// format when zero, so legacy repro files parse — and serialize —
+    /// unchanged.
+    pub start_seq: u64,
 }
 
 /// What [`run`] observed: oracle verdicts plus workload statistics.
@@ -198,7 +204,7 @@ pub fn generate(seed: u64, style: ReplicationStyle, nodes: usize, steps: u64) ->
         kflips.sort_by_key(|f| f.at_ns);
     }
 
-    ChaosSchedule { seed, nodes, style, steps, commands, kflips }
+    ChaosSchedule { seed, nodes, style, steps, commands, kflips, start_seq: 0 }
 }
 
 /// Which networks any command in the schedule targets (for the
@@ -500,6 +506,9 @@ impl ChaosSchedule {
         out.push_str(&format!("nodes = {}\n", self.nodes));
         out.push_str(&format!("style = \"{}\"\n", style_name(self.style)));
         out.push_str(&format!("steps = {}\n", self.steps));
+        if self.start_seq != 0 {
+            out.push_str(&format!("start_seq = {}\n", self.start_seq));
+        }
         for sc in &self.commands {
             out.push_str("\n[[command]]\n");
             out.push_str(&format!("at_ns = {}\n", sc.at_ns));
@@ -578,6 +587,7 @@ impl ChaosSchedule {
         let mut nodes = None;
         let mut style = None;
         let mut steps = None;
+        let mut start_seq = 0u64;
         let mut commands = Vec::new();
         let mut kflips = Vec::new();
         // (kind, header line number, fields)
@@ -629,6 +639,7 @@ impl ChaosSchedule {
                         style = Some(parse_str(value).and_then(style_from_name).map_err(at)?);
                     }
                     "steps" => steps = Some(parse_u64(value).map_err(at)?),
+                    "start_seq" => start_seq = parse_u64(value).map_err(at)?,
                     other => return Err(format!("line {lineno}: unknown header key {other:?}")),
                 }
             }
@@ -642,6 +653,7 @@ impl ChaosSchedule {
             steps: steps.ok_or("missing `steps`")?,
             commands,
             kflips,
+            start_seq,
         })
     }
 }
@@ -881,6 +893,7 @@ mod tests {
             steps: 128,
             commands,
             kflips: Vec::new(),
+            start_seq: 0,
         }
     }
 
@@ -965,6 +978,7 @@ mod tests {
                 },
             ],
             kflips: Vec::new(),
+            start_seq: 0,
         };
         let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
         assert_eq!(schedule, parsed);
@@ -1014,9 +1028,12 @@ mod tests {
                 16u64..512,
                 proptest::collection::vec((0u64..5_000_000_000, arb_cmd()), 0..24),
                 proptest::collection::vec((0u64..5_000_000_000, 0u16..8, 1u64..5), 0..8),
+                // Zero (the elided-from-TOML default) and near-wrap
+                // starts both round-trip.
+                prop_oneof![Just(0u64), any::<u64>()],
             )
-                .prop_map(|(seed, nodes, style, steps, commands, kflips)| {
-                    ChaosSchedule {
+                .prop_map(
+                    |(seed, nodes, style, steps, commands, kflips, start_seq)| ChaosSchedule {
                         seed,
                         nodes: nodes as usize,
                         style,
@@ -1033,8 +1050,9 @@ mod tests {
                                 k: k as usize,
                             })
                             .collect(),
-                    }
-                })
+                        start_seq,
+                    },
+                )
         }
 
         proptest! {

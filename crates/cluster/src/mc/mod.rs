@@ -62,7 +62,7 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use totem_sim::{FaultCommand, SimTime};
-use totem_wire::{NetworkId, NodeId, Seq};
+use totem_wire::{Incarnation, NetworkId, NodeId, Seq};
 
 use crate::chaos::oracle::{self, Violation};
 use crate::chaos::{exec, ChaosSchedule, ReplicationStyle, ScheduledCommand, TICK};
@@ -152,6 +152,11 @@ pub struct McOptions {
     pub step_ms: u64,
     /// Simulation seed (the explored graph is seed-deterministic).
     pub seed: u64,
+    /// Initial global sequence number of the bootstrapped ring (zero
+    /// is the production default; `--start-near-wrap` sets a value
+    /// just below `u64::MAX` so exploration crosses the serial wrap
+    /// and the reserved-zero skip).
+    pub start_seq: u64,
     /// Delivery oracle run at every explored state. Defaults to the
     /// full EVS safety oracle; the counterexample harness swaps in
     /// [`oracle::check_prefix_equality`] to prove the
@@ -172,6 +177,7 @@ impl McOptions {
             dups: 0,
             step_ms: 400,
             seed: 0,
+            start_seq: 0,
             oracle: oracle::check_safety,
         }
     }
@@ -233,7 +239,7 @@ impl McReport {
 /// Per-node snapshot for the parent→child monotonicity checks.
 #[derive(Debug, Clone, Copy)]
 struct NodeSnap {
-    incarnation: u64,
+    incarnation: Incarnation,
     max_ring_seq: u64,
     ring_seq: Option<u64>,
 }
@@ -355,6 +361,7 @@ pub fn schedule_of(actions: &[Action], opts: &McOptions) -> ChaosSchedule {
         steps: quiets * (opts.step_ns() / TICK.as_nanos()),
         commands,
         kflips: Vec::new(),
+        start_seq: opts.start_seq,
     }
 }
 

@@ -11,7 +11,7 @@ use bytes::Bytes;
 use totem_rrp::{FaultReport, ReplicationStyle, RrpConfig};
 use totem_sim::{Actor, Ctx, FaultCommand, SimConfig, SimStats, SimTime, SimWorld};
 use totem_srp::{ConfigChange, Delivered, SrpConfig, SrpState, SubmitError};
-use totem_wire::{NetworkId, NodeId};
+use totem_wire::{Incarnation, NetworkId, NodeId};
 
 use crate::node::{NodeOutput, TotemNode};
 
@@ -86,6 +86,15 @@ impl ClusterConfig {
         self
     }
 
+    /// Starts the statically bootstrapped ring's global sequence
+    /// numbers at `seq` instead of zero (see
+    /// [`totem_srp::SrpConfig::initial_seq`]). Wrap-equivariance tests
+    /// place this just below `u64::MAX`.
+    pub fn with_start_seq(mut self, seq: u64) -> Self {
+        self.srp.initial_seq = totem_wire::Seq::new(seq);
+        self
+    }
+
     /// Starts all nodes through the membership protocol (cold start)
     /// instead of a statically bootstrapped ring.
     pub fn joining(mut self) -> Self {
@@ -143,8 +152,9 @@ struct ClusterActor {
     rrp_cfg: RrpConfig,
     /// `false` while crashed by [`FaultCommand::CrashNode`].
     alive: bool,
-    /// Reboots survived (0 = the original incarnation).
-    incarnation: u64,
+    /// Reboots survived ([`Incarnation::ZERO`] = the original
+    /// incarnation).
+    incarnation: Incarnation,
     /// Identity epoch carried into the next incarnation: the highest
     /// ring sequence number any dead incarnation reached.
     epoch: u64,
@@ -298,7 +308,7 @@ impl Actor for ClusterActor {
             self.epoch,
         );
         self.alive = true;
-        self.incarnation += 1;
+        self.incarnation = self.incarnation.next();
         let mut outputs = self.node.start(now.as_nanos());
         self.handle(now, &mut outputs, ctx);
         self.pump(now, ctx);
@@ -344,7 +354,7 @@ impl SimCluster {
                     srp_cfg: cfg.srp.clone(),
                     rrp_cfg: cfg.rrp.clone(),
                     alive: true,
-                    incarnation: 0,
+                    incarnation: Incarnation::ZERO,
                     epoch: 0,
                     cpu: cfg.sim.cpus[me.index()].clone(),
                     bootstrap: !cfg.joining && me == members[0],
@@ -545,8 +555,9 @@ impl SimCluster {
         self.world.actor(NodeId::new(node as u16)).alive
     }
 
-    /// How many times `node` has rebooted (0 = original incarnation).
-    pub fn incarnation(&self, node: usize) -> u64 {
+    /// How many times `node` has rebooted ([`Incarnation::ZERO`] =
+    /// original incarnation).
+    pub fn incarnation(&self, node: usize) -> Incarnation {
         self.world.actor(NodeId::new(node as u16)).incarnation
     }
 
@@ -694,7 +705,7 @@ mod tests {
         // and every node converges on the full ring again.
         c.restart(2);
         assert!(c.is_alive(2));
-        assert_eq!(c.incarnation(2), 1);
+        assert_eq!(c.incarnation(2), Incarnation::new(1));
         c.run_until(SimTime::from_secs(8));
         for n in 0..3 {
             assert_eq!(c.srp_state(n), SrpState::Operational, "node {n} not operational");

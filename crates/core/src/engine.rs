@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 
-use totem_wire::{NetworkId, NodeId, Packet, Token};
+use totem_wire::{NetworkId, NodeId, Packet, SerialOrdKey, Token};
 
 use crate::config::RrpConfig;
 use crate::fault::{FaultReason, FaultReport, MonitorKind};
@@ -43,9 +43,12 @@ use crate::pernet::PerNet;
 /// Ordering key for token instances: `(ring seq, rotation, seq)`.
 /// Copies of the same token instance share the key; a genuinely newer
 /// token always compares greater (the ring leader bumps `rotation`
-/// every full rotation, even on an idle ring).
-pub(crate) fn token_key(t: &Token) -> (u64, u64, u64) {
-    (t.ring.seq, t.rotation, t.seq.as_u64())
+/// every full rotation, even on an idle ring). The serial counters go
+/// through their explicit [`SerialOrdKey`] adapters: the key orders by
+/// raw value, which is correct here because the gate only compares
+/// tokens from the same short-lived circulation neighbourhood.
+pub(crate) fn token_key(t: &Token) -> (u64, SerialOrdKey, SerialOrdKey) {
+    (t.ring.seq, t.rotation.ord_key(), t.seq.ord_key())
 }
 
 /// The shared send-window advance: fills `out` with the K networks for
@@ -384,7 +387,7 @@ pub(crate) struct Engine {
     seen: PerNet<bool>,
     /// The newest gated token (None once delivered upward).
     last_token: Option<Token>,
-    last_key: Option<(u64, u64, u64)>,
+    last_key: Option<(u64, SerialOrdKey, SerialOrdKey)>,
     /// Stage two (K=1): `lastToken` buffered behind missing messages.
     buffered: Option<Token>,
     buffered_net: NetworkId,
@@ -722,7 +725,7 @@ mod tests {
 
     fn token(ring_seq: u64, rotation: u64, seq: u64) -> Token {
         let mut t = Token::initial(RingId::new(NodeId::new(0), ring_seq));
-        t.rotation = rotation;
+        t.rotation = totem_wire::Rotation::new(rotation);
         t.seq = Seq::new(seq);
         t
     }

@@ -765,7 +765,7 @@ mod tests {
         let cfg = l.config().clone();
         for i in 0..cfg.problem_threshold as u64 {
             let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-            t.rotation = i;
+            t.rotation = totem_wire::Rotation::new(i);
             t.seq = Seq::new(i + 1);
             l.on_packet(i * 10_000_000, NetworkId::new(0), Packet::Token(t).into(), false);
             if let Some(d) = l.next_deadline() {
@@ -835,7 +835,7 @@ mod tests {
         // Drive net1 to a token-timeout fault at K=N.
         for i in 0..cfg.problem_threshold as u64 {
             let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-            t.rotation = i;
+            t.rotation = totem_wire::Rotation::new(i);
             t.seq = Seq::new(i + 1);
             let now = i * 10_000_000;
             l.on_packet(now, NetworkId::new(0), Packet::Token(t.clone()).into(), false);

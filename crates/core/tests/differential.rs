@@ -117,7 +117,7 @@ fn data_packet(seq: u64, sender: u16, fill: u8) -> Packet {
 
 fn token_packet(rotation: u64, seq: u64) -> Packet {
     let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-    t.rotation = rotation;
+    t.rotation = totem_wire::Rotation::new(rotation);
     t.seq = Seq::new(seq);
     Packet::Token(t)
 }

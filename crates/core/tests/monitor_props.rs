@@ -17,7 +17,7 @@ use totem_wire::{NetworkId, NodeId, Packet, RingId, Seq, Token};
 
 fn token(rotation: u64, seq: u64) -> Token {
     let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-    t.rotation = rotation;
+    t.rotation = totem_wire::Rotation::new(rotation);
     t.seq = Seq::new(seq);
     t
 }

@@ -7,7 +7,7 @@ use totem_wire::{NetworkId, NodeId, Packet, RingId, Seq, Token};
 
 fn token(rotation: u64, seq: u64) -> Token {
     let mut t = Token::initial(RingId::new(NodeId::new(0), 1));
-    t.rotation = rotation;
+    t.rotation = totem_wire::Rotation::new(rotation);
     t.seq = Seq::new(seq);
     t
 }
@@ -144,7 +144,7 @@ proptest! {
             ev.iter().find(|e| matches!(e, RrpEvent::Deliver(p, _) if p.is_token_class()))
         {
             if let Packet::Token(t) = p.packet() {
-                prop_assert_eq!((t.rotation, t.seq.as_u64()), best.unwrap());
+                prop_assert_eq!((t.rotation.as_u64(), t.seq.as_u64()), best.unwrap());
             }
         }
         // Nothing more to release.

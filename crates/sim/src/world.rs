@@ -289,7 +289,9 @@ impl<A: Actor> SimWorld<A> {
         let Some(log) = self.trace.as_mut() else { return };
         let packet = match pkt {
             Packet::Data(d) => TracedPacket::Data { seq: d.seq.as_u64() },
-            Packet::Token(t) => TracedPacket::Token { rotation: t.rotation, seq: t.seq.as_u64() },
+            Packet::Token(t) => {
+                TracedPacket::Token { rotation: t.rotation.as_u64(), seq: t.seq.as_u64() }
+            }
             Packet::Join(_) => TracedPacket::Join,
             Packet::Commit(_) => TracedPacket::Commit,
         };

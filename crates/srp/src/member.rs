@@ -602,7 +602,7 @@ impl SrpNode {
         if !rec.token.is_fresh(t.rotation, t.seq) {
             return events;
         }
-        rec.token.last_key = Some((t.rotation, t.seq.as_u64()));
+        rec.token.last_key = Some((t.rotation, t.seq));
         rec.token.sent_token = None;
         rec.token.retx_deadline = None;
         rec.token.loss_deadline = Some(now + self.cfg.token_loss_timeout);
@@ -705,7 +705,7 @@ impl SrpNode {
         );
 
         if rec.new.rep() == self.me {
-            t.rotation += 1;
+            t.rotation = t.rotation.next();
         }
 
         // Completion detection: a full rotation with no traffic and

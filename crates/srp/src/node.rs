@@ -19,8 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use totem_wire::token::MAX_RTR;
 use totem_wire::{
-    Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Seq, SharedPacket, Token,
-    Transition, TRANSITION_BUFFER_CAP,
+    Chunk, ChunkKind, DataPacket, JoinMessage, NodeId, Packet, RingId, Rotation, Seq, SharedPacket,
+    Token, Transition, TRANSITION_BUFFER_CAP,
 };
 
 use crate::config::{DeliveryGuarantee, SrpConfig};
@@ -146,7 +146,7 @@ impl RingCtx {
 pub(crate) struct TokenCtx {
     /// `(rotation, seq)` of the last token processed, for duplicate
     /// suppression (paper §2, footnote 1).
-    pub last_key: Option<(u64, u64)>,
+    pub last_key: Option<(Rotation, Seq)>,
     /// What this node added to the token's `fcc` on its previous
     /// visit.
     pub my_last_fcc: u32,
@@ -174,13 +174,13 @@ impl TokenCtx {
     }
 
     /// Whether a token stamped `(rotation, seq)` is fresh relative to
-    /// the last one processed. Sequence numbers are compared in
+    /// the last one processed. Both counters are compared in
     /// serial-number order, so freshness survives the wrap boundary.
-    pub(crate) fn is_fresh(&self, rotation: u64, seq: Seq) -> bool {
+    pub(crate) fn is_fresh(&self, rotation: Rotation, seq: Seq) -> bool {
         match self.last_key {
             None => true,
             Some((last_rot, last_seq)) => {
-                rotation > last_rot || (rotation == last_rot && seq.follows(Seq::new(last_seq)))
+                rotation.follows(last_rot) || (rotation == last_rot && seq.follows(last_seq))
             }
         }
     }
@@ -267,7 +267,11 @@ impl SrpNode {
             return Err(NodeInitError::NotAMember(me));
         }
         let rep = members.iter().min().copied().unwrap_or(me);
-        let ring_ctx = RingCtx::new(RingId::new(rep, 1), members.to_vec());
+        let mut ring_ctx = RingCtx::new(RingId::new(rep, 1), members.to_vec());
+        // A nonzero `initial_seq` places the ring's sequence space just
+        // where the config says (wrap-equivariance tests start near
+        // `u64::MAX`); `starting_at(ZERO)` is exactly `new()`.
+        ring_ctx.window = ReceiveWindow::starting_at(cfg.initial_seq);
         let token = TokenCtx {
             loss_deadline: Some(now + cfg.token_loss_timeout),
             announce_deadline: (ring_ctx.rep() == me).then(|| now + cfg.merge_detect_interval),
@@ -472,7 +476,9 @@ impl SrpNode {
         let Some(ring) = self.ring.as_ref() else { return Vec::new() };
         assert_eq!(ring.rep(), self.me, "only the representative bootstraps the token");
         assert!(matches!(self.state, StateImpl::Operational(_)), "node must be operational");
-        let token = Token::initial(ring.ring);
+        let mut token = Token::initial(ring.ring);
+        token.seq = self.cfg.initial_seq;
+        token.aru = self.cfg.initial_seq;
         self.handle_token(now, token)
     }
 
@@ -796,7 +802,7 @@ impl SrpNode {
         if !tok.is_fresh(t.rotation, t.seq) {
             return events; // retransmitted or stale token
         }
-        tok.last_key = Some((t.rotation, t.seq.as_u64()));
+        tok.last_key = Some((t.rotation, t.seq));
         tok.hold = None;
         tok.hold_deadline = None;
         // Receiving a fresh token proves the previous one circulated.
@@ -899,7 +905,7 @@ impl SrpNode {
 
         // 6. The representative counts rotations (paper §2 footnote 1).
         if ring.rep() == self.me {
-            t.rotation += 1;
+            t.rotation = t.rotation.next();
         }
 
         // 7. Forward — or hold briefly if the ring is idle.

@@ -21,7 +21,7 @@ fn ring() -> RingId {
 
 fn token(rotation: u64, seq: u64, aru: u64) -> Token {
     let mut t = Token::initial(ring());
-    t.rotation = rotation;
+    t.rotation = totem_wire::Rotation::new(rotation);
     t.seq = Seq::new(seq);
     t.aru = Seq::new(aru);
     t

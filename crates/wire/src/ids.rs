@@ -159,9 +159,12 @@ impl fmt::Display for RingId {
 /// `u64::MAX` (skipping the reserved [`Seq::ZERO`], which means "no
 /// packet broadcast yet"), and order-sensitive protocol code must
 /// compare with the RFC 1982-style serial-number methods
-/// ([`Seq::follows`], [`Seq::serial_max`], ...) rather than the
-/// derived `Ord`, which is only raw-value order (used for hashing,
-/// display and map keys, never for protocol decisions across a wrap).
+/// ([`Seq::follows`], [`Seq::serial_max`], ...). `Seq` deliberately
+/// implements **no** `Ord`/`PartialOrd`: serial order is not a total
+/// order, so a raw `<` across the wrap boundary is a protocol bug,
+/// and removing the derive turns that bug into a compile error. The
+/// few container-key sites that need a stable (raw-value, non-serial)
+/// total order go through the explicit [`Seq::ord_key`] adapter.
 ///
 /// # Example
 ///
@@ -176,9 +179,7 @@ impl fmt::Display for RingId {
 /// // ...and serial comparison still orders it after MAX.
 /// assert!(wrapped.follows(Seq::new(u64::MAX)));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Seq(u64);
 
 impl Seq {
@@ -198,6 +199,17 @@ impl Seq {
     /// Returns the raw value.
     pub const fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Explicit total-order adapter for container keys.
+    ///
+    /// The returned [`SerialOrdKey`] orders by **raw value**, not
+    /// serial order — correct for deduplication sets, map keys and
+    /// stable display sorting, and deliberately *not* usable for
+    /// "which sequence number is later" protocol decisions (use
+    /// [`Seq::follows`] / [`Seq::serial_max`] for those).
+    pub const fn ord_key(self) -> SerialOrdKey {
+        SerialOrdKey(self.0)
     }
 
     /// Returns the next sequence number, wrapping past `u64::MAX` and
@@ -298,6 +310,164 @@ impl From<u64> for Seq {
     }
 }
 
+/// Raw-value total-order key for serially wrapping counters.
+///
+/// [`Seq`] and [`Rotation`] implement no `Ord` because serial (RFC
+/// 1982) order is not a total order. Containers and duplicate-
+/// detection tuples still need *some* stable total order; this adapter
+/// provides it explicitly, so every site that opts into raw-value
+/// order is grep-able and auditable. Obtain one via [`Seq::ord_key`]
+/// or [`Rotation::ord_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SerialOrdKey(u64);
+
+impl SerialOrdKey {
+    /// The raw counter value this key was built from.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// The token's rotation counter (paper §2, footnote 1).
+///
+/// Incremented by the ring leader every time the token completes a
+/// rotation, so an idle ring's retransmitted token (same [`Seq`]) is
+/// never mistaken for a fresh one. Like [`Seq`] it lives in a circular
+/// space on a long-running ring, so it carries the same RFC 1982
+/// serial-number comparison methods and — deliberately — no
+/// `Ord`/`PartialOrd`. Unlike [`Seq`] there is no reserved zero:
+/// `Rotation::ZERO` is the valid first rotation of a fresh ring, and
+/// [`Rotation::next`] wraps straight through it.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::Rotation;
+/// let r = Rotation::ZERO.next();
+/// assert_eq!(r, Rotation::new(1));
+/// // Serial comparison is wrap-safe.
+/// assert!(Rotation::new(2).follows(Rotation::new(u64::MAX)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rotation(u64);
+
+impl fmt::Debug for Rotation {
+    /// Transparent: prints the raw counter, exactly as the `u64` field
+    /// it replaced did. Recorded differential fixtures digest `Debug`
+    /// output of token-bearing events, so the representation is pinned.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Rotation {
+    /// The first rotation of a freshly formed ring.
+    pub const ZERO: Rotation = Rotation(0);
+
+    /// Half the rotation space; the serial comparison horizon.
+    const HALF: u64 = 1 << 63;
+
+    /// Creates a rotation counter from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Rotation(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next rotation, wrapping past `u64::MAX` (no reserved
+    /// values: zero is a legal rotation).
+    pub const fn next(self) -> Rotation {
+        Rotation(self.0.wrapping_add(1))
+    }
+
+    /// Serial-number (RFC 1982) "strictly after", wrap-safe.
+    pub fn follows(self, other: Rotation) -> bool {
+        self.0 != other.0 && self.0.wrapping_sub(other.0) < Self::HALF
+    }
+
+    /// Serial-number "at or after": [`Rotation::follows`] or equal.
+    pub fn at_or_after(self, other: Rotation) -> bool {
+        self.0 == other.0 || self.follows(other)
+    }
+
+    /// Explicit total-order adapter for container keys; see
+    /// [`Seq::ord_key`] for the contract.
+    pub const fn ord_key(self) -> SerialOrdKey {
+        SerialOrdKey(self.0)
+    }
+}
+
+impl fmt::Display for Rotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rot{}", self.0)
+    }
+}
+
+impl From<u64> for Rotation {
+    fn from(raw: u64) -> Self {
+        Rotation(raw)
+    }
+}
+
+/// A processor's reboot count (its identity epoch generation).
+///
+/// Incremented once per cold reboot and never reset, so it is a
+/// genuinely **monotone** counter, not a serial one: a processor would
+/// need to reboot every nanosecond for half a million years to wrap
+/// it. It therefore derives a real `Ord` — raw comparison is correct —
+/// and [`Incarnation::next`] saturates rather than wraps, so even the
+/// theoretical overflow cannot reorder incarnations.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::Incarnation;
+/// let original = Incarnation::ZERO;
+/// let rebooted = original.next();
+/// assert!(rebooted > original);
+/// assert_eq!(rebooted.as_u64(), 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Incarnation(u64);
+
+impl Incarnation {
+    /// The original incarnation (never rebooted).
+    pub const ZERO: Incarnation = Incarnation(0);
+
+    /// Creates an incarnation from its raw reboot count.
+    pub const fn new(raw: u64) -> Self {
+        Incarnation(raw)
+    }
+
+    /// Returns the raw reboot count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next incarnation. Saturating: monotonicity is the whole
+    /// point of this counter, so it must never wrap back to zero.
+    pub const fn next(self) -> Incarnation {
+        Incarnation(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inc{}", self.0)
+    }
+}
+
+impl From<u64> for Incarnation {
+    fn from(raw: u64) -> Self {
+        Incarnation(raw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,9 +531,38 @@ mod tests {
         assert!(after.at_or_after(after));
         assert_eq!(before.serial_max(after), after);
         assert_eq!(before.serial_min(after), before);
-        // Raw `Ord` disagrees across the wrap — that is exactly why
+        // The explicit raw-order adapter disagrees across the wrap —
+        // that is exactly why `Seq` itself implements no `Ord` and
         // protocol code must use the serial methods.
-        assert!(after < before);
+        assert!(after.ord_key() < before.ord_key());
+    }
+
+    #[test]
+    fn rotation_is_serial_and_wraps_through_zero() {
+        assert_eq!(Rotation::ZERO.next(), Rotation::new(1));
+        // No reserved values: MAX wraps straight to zero.
+        assert_eq!(Rotation::new(u64::MAX).next(), Rotation::ZERO);
+        assert!(Rotation::ZERO.follows(Rotation::new(u64::MAX)));
+        assert!(Rotation::new(5).at_or_after(Rotation::new(5)));
+        assert!(!Rotation::new(u64::MAX).follows(Rotation::ZERO));
+        assert_eq!(Rotation::new(9).to_string(), "rot9");
+        assert_eq!(Rotation::from(4).as_u64(), 4);
+    }
+
+    #[test]
+    fn incarnation_is_monotone_and_saturates() {
+        assert!(Incarnation::ZERO.next() > Incarnation::ZERO);
+        assert_eq!(Incarnation::new(u64::MAX).next(), Incarnation::new(u64::MAX));
+        assert_eq!(Incarnation::from(3).as_u64(), 3);
+        assert_eq!(Incarnation::new(2).to_string(), "inc2");
+    }
+
+    #[test]
+    fn ord_key_orders_by_raw_value() {
+        assert!(Seq::new(1).ord_key() < Seq::new(2).ord_key());
+        assert!(Rotation::new(1).ord_key() < Rotation::new(2).ord_key());
+        assert_eq!(Seq::new(7).ord_key(), Rotation::new(7).ord_key());
+        assert_eq!(Seq::new(7).ord_key().as_u64(), 7);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! protocol stack:
 //!
 //! * [`ids`] — strongly typed identifiers ([`NodeId`], [`NetworkId`],
-//!   [`RingId`], [`Seq`]).
+//!   [`RingId`], [`Seq`]) and protocol counters ([`Rotation`],
+//!   [`Incarnation`]) with wrap-safe RFC 1982 comparison built in
+//!   (the serially wrapping ones deliberately implement no `Ord`;
+//!   container keys go through the explicit [`SerialOrdKey`] adapter).
 //! * [`packet`] — the top-level [`Packet`] enum and the broadcast
 //!   [`DataPacket`] carrying packed/fragmented application messages.
 //! * [`token`] — the unicast regular [`Token`] that schedules
@@ -35,7 +38,7 @@
 //! # fn main() -> Result<(), CodecError> {
 //! let token = Token {
 //!     ring: RingId::new(NodeId::new(0), 7),
-//!     rotation: 42,
+//!     rotation: Rotation::new(42),
 //!     seq: Seq::new(100),
 //!     aru: Seq::new(98),
 //!     aru_id: Some(NodeId::new(3)),
@@ -65,7 +68,7 @@ pub use codec::{CodecError, Reader, Writer};
 pub use frame::{
     chunk_capacity, wire_frame_len, CHUNK_HEADER_LEN, ETHERNET_MTU, HEADER_OVERHEAD, MAX_PAYLOAD,
 };
-pub use ids::{NetworkId, NodeId, RingId, Seq};
+pub use ids::{Incarnation, NetworkId, NodeId, RingId, Rotation, Seq, SerialOrdKey};
 pub use membership::{CommitToken, JoinMessage, MembEntry};
 pub use packet::{Chunk, ChunkKind, DataPacket, Packet};
 pub use shared::{NetFrame, SharedPacket};

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{CodecError, Reader, Writer};
-use crate::ids::{NodeId, RingId, Seq};
+use crate::ids::{NodeId, RingId, Rotation, Seq};
 
 /// Hard cap on how many retransmission requests ride on one token;
 /// anything beyond this waits for the next rotation. Keeps the token
@@ -25,7 +25,7 @@ pub struct Token {
     /// token completes a rotation. The paper (§2, footnote 1) adds it
     /// so an idle ring's retransmitted token is not mistaken for a
     /// fresh one.
-    pub rotation: u64,
+    pub rotation: Rotation,
     /// Sequence number of the last packet broadcast on the ring.
     pub seq: Seq,
     /// All-received-up-to: the highest sequence number such that every
@@ -51,7 +51,7 @@ impl Token {
     pub fn initial(ring: RingId) -> Self {
         Token {
             ring,
-            rotation: 0,
+            rotation: Rotation::ZERO,
             seq: Seq::ZERO,
             aru: Seq::ZERO,
             aru_id: None,
@@ -66,13 +66,13 @@ impl Token {
     /// fresh one never does (the leader bumps `rotation` each full
     /// rotation even when `seq` is unchanged — paper §2, footnote 1).
     pub fn instance_key(&self) -> (u64, u64) {
-        (self.seq.as_u64(), self.rotation)
+        (self.seq.as_u64(), self.rotation.as_u64())
     }
 
     pub(crate) fn encode(&self, w: &mut Writer) {
         w.u16(self.ring.rep.as_u16());
         w.u64(self.ring.seq);
-        w.u64(self.rotation);
+        w.u64(self.rotation.as_u64());
         w.u64(self.seq.as_u64());
         w.u64(self.aru.as_u64());
         match self.aru_id {
@@ -92,7 +92,7 @@ impl Token {
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let ring = RingId::new(NodeId::new(r.u16()?), r.u64()?);
-        let rotation = r.u64()?;
+        let rotation = Rotation::new(r.u64()?);
         let seq = Seq::new(r.u64()?);
         let aru = Seq::new(r.u64()?);
         let aru_id = if r.bool()? { Some(NodeId::new(r.u16()?)) } else { None };
@@ -133,7 +133,7 @@ mod tests {
     fn sample() -> Token {
         Token {
             ring: RingId::new(NodeId::new(1), 12),
-            rotation: 99,
+            rotation: Rotation::new(99),
             seq: Seq::new(1000),
             aru: Seq::new(990),
             aru_id: Some(NodeId::new(3)),
@@ -180,7 +180,7 @@ mod tests {
     fn instance_key_distinguishes_rotations_on_idle_ring() {
         let mut a = Token::initial(RingId::new(NodeId::new(0), 1));
         let b = a.clone();
-        a.rotation += 1; // leader bumped the rotation counter
+        a.rotation = a.rotation.next(); // leader bumped the rotation counter
         assert_ne!(a.instance_key(), b.instance_key());
         assert_eq!(a.seq, b.seq);
     }

@@ -58,7 +58,7 @@ fn arb_token() -> impl Strategy<Value = Token> {
     )
         .prop_map(|(ring, rotation, seq, aru, aru_id, fcc, backlog, rtr)| Token {
             ring,
-            rotation: rotation as u64,
+            rotation: totem_wire::Rotation::new(rotation as u64),
             seq,
             aru,
             aru_id,

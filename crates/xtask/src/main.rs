@@ -10,7 +10,9 @@
 //! [`chaos`]). `cargo xtask mc` exhaustively explores every fault
 //! interleaving up to a bounded depth, checking the same oracle plus
 //! per-state invariants at every explored state and reporting spec-edge
-//! coverage (see [`mc`]).
+//! coverage (see [`mc`]). `cargo xtask wrap-audit` checks RFC 1982
+//! serial-arithmetic discipline for every counter declared in
+//! `spec/counters.toml` (see [`wrap`]).
 //!
 //! Diagnostics are `file:line: rule: message`, one per line on stdout,
 //! so editors and CI can jump straight to the site.
@@ -31,6 +33,7 @@ mod lexer;
 mod mc;
 mod rules;
 mod spec;
+mod wrap;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -82,9 +85,20 @@ commands:
         --dups U            one-step net-duplication budget (default 0)
         --step-ms MS        virtual time per quiet step (default 400)
         --seed S            simulation seed (default 0)
+        --start-near-wrap   bootstrap the ring just below u64::MAX so
+                            exploration crosses the serial wrap
         --markdown <path>   append the edge table as GitHub markdown
         --repro-dir <dir>   where counterexample TOMLs go (default .)
         --expect-edges E    fail unless at least E spec edges reached
+
+  wrap-audit [--markdown <path>]
+      Run the serial-arithmetic wrap-safety audit: every counter in
+      spec/counters.toml is checked for raw ordering, bare increments,
+      and truncating casts according to its declared kind (serial /
+      monotone / epoch), plus registry drift in both directions.
+      Suppressions budget: wrap-budget.toml.
+        --markdown <path>   append the per-counter table as GitHub
+                            markdown (append to $GITHUB_STEP_SUMMARY)
 
   bench [--quick] [--skip-micro]
       Run the criterion micro-benches and the wall-clock macro gate,
@@ -102,6 +116,7 @@ fn main() -> ExitCode {
         Some("conformance") => run_conformance(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
         Some("mc") => mc::run(&args[1..]),
+        Some("wrap-audit") => wrap::run(&args[1..]),
         Some("bench") => bench::run(&args[1..]),
         _ => {
             eprintln!("{USAGE}");

@@ -49,6 +49,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--dups" => opts.mc.dups = int("--dups", value("--dups")?)? as usize,
             "--step-ms" => opts.mc.step_ms = int("--step-ms", value("--step-ms")?)?,
             "--seed" => opts.mc.seed = int("--seed", value("--seed")?)?,
+            // Places the bootstrapped ring's sequence space just below
+            // u64::MAX so exploration crosses the RFC 1982 wrap and
+            // the reserved-zero skip within the first quiet step.
+            "--start-near-wrap" => opts.mc.start_seq = u64::MAX - 2,
             "--markdown" => opts.markdown = Some(PathBuf::from(value("--markdown")?)),
             "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--expect-edges" => {
@@ -102,6 +106,9 @@ pub fn run(args: &[String]) -> ExitCode {
         opts.mc.dups,
         opts.mc.seed
     );
+    if opts.mc.start_seq != 0 {
+        println!("mc: start_seq {} (exploring across the serial wrap)", opts.mc.start_seq);
+    }
     let report = explore(&opts.mc);
     println!(
         "mc: {} state(s) explored ({} execution(s), {} pruned), deepest {} step(s), \

@@ -77,7 +77,13 @@ const NONDETERMINISM: &[&[&str]] = &[
 /// named `totem_wire::frame` constants outside the wire crate.
 const WIRE_MAGIC: &[u64] = &[1518, 1424, 1412, 94];
 
-/// The four rules.
+/// The lint rules plus the wrap-safety rule family.
+///
+/// The first four run under `cargo xtask lint`; the `Wrap*` family
+/// runs under `cargo xtask wrap-audit` (see [`crate::wrap`]) against
+/// the counter registry in `spec/counters.toml`. Both share the
+/// `lint:allow(...)` suppression mechanism and the [`Budget`] format,
+/// but count against separate budget files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Panic-free protocol crates.
@@ -88,23 +94,47 @@ pub enum Rule {
     SimDeterminism,
     /// Payload-model constants consistent and named.
     WireInvariants,
+    /// No raw ordering (`<`/`>`/`min`/`max`/`sort`/`cmp`) on serial
+    /// counters, and no `Ord`/`PartialOrd` derive on serial newtypes.
+    WrapSerialCompare,
+    /// No bare `+ 1` / `+=` / `wrapping_add` increments that bypass a
+    /// serial counter's `next()`.
+    WrapBareIncrement,
+    /// No truncating `as` casts of registered counters.
+    WrapTruncatingCast,
+    /// Registry drift: counters declared but unused, or counter-shaped
+    /// raw fields not declared in `spec/counters.toml`.
+    WrapRegistryDrift,
 }
 
 impl Rule {
     /// The name used in diagnostics, `lint:allow(...)` markers, and
-    /// `lint-budget.toml`.
+    /// the budget files.
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoPanicPaths => "no-panic-paths",
             Rule::ExplicitTransitions => "explicit-transitions",
             Rule::SimDeterminism => "sim-determinism",
             Rule::WireInvariants => "wire-invariants",
+            Rule::WrapSerialCompare => "wrap-serial-compare",
+            Rule::WrapBareIncrement => "wrap-bare-increment",
+            Rule::WrapTruncatingCast => "wrap-truncating-cast",
+            Rule::WrapRegistryDrift => "wrap-registry-drift",
         }
     }
 
-    /// All rules, for stats ordering.
-    pub fn all() -> [Rule; 4] {
-        [Rule::NoPanicPaths, Rule::ExplicitTransitions, Rule::SimDeterminism, Rule::WireInvariants]
+    /// All rules, for stats ordering and budget-file validation.
+    pub fn all() -> [Rule; 8] {
+        [
+            Rule::NoPanicPaths,
+            Rule::ExplicitTransitions,
+            Rule::SimDeterminism,
+            Rule::WireInvariants,
+            Rule::WrapSerialCompare,
+            Rule::WrapBareIncrement,
+            Rule::WrapTruncatingCast,
+            Rule::WrapRegistryDrift,
+        ]
     }
 }
 
@@ -220,7 +250,7 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
 
 /// Given `tokens[open_idx]` == the opening delimiter, returns the
 /// index just past its matching closer.
-fn skip_balanced(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+pub(crate) fn skip_balanced(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
     let mut depth = 0i32;
     for (k, t) in tokens.iter().enumerate().skip(open_idx) {
         if t.kind != Kind::Punct {
@@ -495,7 +525,7 @@ fn wire_magic_literals(
     }
 }
 
-fn push(
+pub(crate) fn push(
     findings: &mut Vec<Finding>,
     rule: Rule,
     krate: &str,
@@ -801,18 +831,33 @@ pub struct Budget {
 }
 
 impl Budget {
-    /// Loads the budget file; a missing file means a zero budget
+    /// Loads the lint budget file; a missing file means a zero budget
     /// everywhere.
     pub fn load(root: &Path) -> Result<Budget, String> {
-        let path = root.join("lint-budget.toml");
+        Self::load_named(root, "lint-budget.toml")
+    }
+
+    /// Loads a budget file by name (`lint-budget.toml` for the lint
+    /// pass, `wrap-budget.toml` for the wrap-safety audit); a missing
+    /// file means a zero budget everywhere.
+    pub fn load_named(root: &Path, file: &str) -> Result<Budget, String> {
+        let path = root.join(file);
         let Ok(text) = fs::read_to_string(&path) else {
             return Ok(Budget::default());
         };
-        Self::parse(&text)
+        Self::parse_named(&text, file)
     }
 
     /// Parses the minimal `[crate]` / `rule = n` format.
+    #[cfg(test)]
     pub fn parse(text: &str) -> Result<Budget, String> {
+        Self::parse_named(text, "lint-budget.toml")
+    }
+
+    /// [`Budget::parse_named`] parses the minimal `[crate]` /
+    /// `rule = n` format, with `file` naming the source in
+    /// diagnostics.
+    pub fn parse_named(text: &str, file: &str) -> Result<Budget, String> {
         let mut entries = BTreeMap::new();
         let mut section = String::new();
         for (lineno, raw) in text.lines().enumerate() {
@@ -825,15 +870,16 @@ impl Budget {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("lint-budget.toml:{}: expected `rule = n`", lineno + 1));
+                return Err(format!("{file}:{}: expected `rule = n`", lineno + 1));
             };
             let rule = key.trim().to_string();
             if !Rule::all().iter().any(|r| r.name() == rule) {
-                return Err(format!("lint-budget.toml:{}: unknown rule `{rule}`", lineno + 1));
+                return Err(format!("{file}:{}: unknown rule `{rule}`", lineno + 1));
             }
-            let n: u32 = value.trim().parse().map_err(|_| {
-                format!("lint-budget.toml:{}: `{}` is not a count", lineno + 1, value.trim())
-            })?;
+            let n: u32 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("{file}:{}: `{}` is not a count", lineno + 1, value.trim()))?;
             entries.insert((section.clone(), rule), n);
         }
         Ok(Budget { entries })
@@ -857,12 +903,18 @@ pub fn suppression_usage(findings: &[Finding]) -> BTreeMap<(String, Rule), u32> 
 /// Findings that exceed the suppression budget, as synthetic
 /// violations.
 pub fn budget_violations(findings: &[Finding], budget: &Budget) -> Vec<Finding> {
+    budget_violations_named(findings, budget, "lint-budget.toml")
+}
+
+/// [`budget_violations`], with `file` naming the budget file in the
+/// synthetic findings.
+pub fn budget_violations_named(findings: &[Finding], budget: &Budget, file: &str) -> Vec<Finding> {
     suppression_usage(findings)
         .into_iter()
         .filter(|((krate, rule), used)| *used > budget.allowance(krate, *rule))
         .map(|((krate, rule), used)| Finding {
             rule,
-            file: "lint-budget.toml".into(),
+            file: file.into(),
             line: 1,
             msg: format!(
                 "crate {krate} uses {used} `lint:allow({})` suppression(s) but is budgeted {}",

@@ -16,7 +16,7 @@ use totem_cluster::{ClusterConfig, SimCluster};
 use totem_rrp::ReplicationStyle;
 use totem_sim::{FaultCommand, SimDuration, SimTime};
 use totem_srp::{ConfigKind, SrpState};
-use totem_wire::NodeId;
+use totem_wire::{Incarnation, NodeId};
 
 fn main() {
     let mut cluster =
@@ -45,7 +45,11 @@ fn main() {
         assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} not operational");
         assert_eq!(cluster.members(n).unwrap().len(), 5, "node {n} sees a partial ring");
     }
-    assert_eq!(cluster.incarnation(3), 1, "node 3 should be its second incarnation");
+    assert_eq!(
+        cluster.incarnation(3),
+        Incarnation::new(1),
+        "node 3 should be its second incarnation"
+    );
 
     println!("configuration changes observed by node 0:");
     for c in cluster.configs(0) {

@@ -11,7 +11,7 @@ use totem_cluster::{ClusterConfig, SimCluster};
 use totem_rrp::ReplicationStyle;
 use totem_sim::{FaultCommand, SimDuration, SimTime};
 use totem_srp::{ConfigKind, SrpState};
-use totem_wire::NodeId;
+use totem_wire::{Incarnation, NodeId};
 
 /// The core crash+rejoin cycle: every survivor delivers a new regular
 /// configuration excluding the crashed node, then another including
@@ -43,7 +43,7 @@ fn crash_and_rejoin_deliver_config_changes_at_every_survivor() {
     cluster.fault_now(FaultCommand::RestartNode { node: NodeId::new(3) });
     cluster.run_until(SimTime::from_secs(8));
 
-    assert_eq!(cluster.incarnation(3), 1, "reboot must bump the identity epoch");
+    assert_eq!(cluster.incarnation(3), Incarnation::new(1), "reboot must bump the identity epoch");
     for n in 0..4 {
         assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} not operational");
         assert_eq!(cluster.members(n).unwrap().len(), 4, "node {n} sees a partial ring");
@@ -124,7 +124,7 @@ fn repeated_crash_restart_cycles_converge() {
         );
     }
     cluster.run_until(SimTime::from_secs(24));
-    assert_eq!(cluster.incarnation(2), 3);
+    assert_eq!(cluster.incarnation(2), Incarnation::new(3));
     for n in 0..3 {
         assert_eq!(cluster.srp_state(n), SrpState::Operational, "node {n} not operational");
         assert_eq!(cluster.members(n).unwrap().len(), 3, "node {n} ring incomplete");
