@@ -62,6 +62,15 @@ impl Execution {
             }
             cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
         }
+        // The corruption plane is strictly additive: these arms come
+        // after every legacy command, so a schedule with no
+        // corruptions runs the exact pre-corruption event sequence.
+        for c in &schedule.corruptions {
+            cluster.schedule_fault(
+                SimTime::from_nanos(c.at_ns),
+                FaultCommand::CorruptState { node: c.node, target: c.target, salt: c.salt },
+            );
+        }
 
         // K-flips fire at tick granularity from inside the traffic
         // loop (the simulator's fault queue only carries
@@ -116,7 +125,13 @@ impl Execution {
     /// the traffic window, applies any remaining K-flips (late flips in
     /// replayed files), and returns the settle instant in nanoseconds.
     pub fn settle(&mut self, schedule: &ChaosSchedule) -> u64 {
-        let last_cmd = schedule.commands.iter().map(|c| c.at_ns).max().unwrap_or(0);
+        let last_cmd = schedule
+            .commands
+            .iter()
+            .map(|c| c.at_ns)
+            .chain(schedule.corruptions.iter().map(|c| c.at_ns))
+            .max()
+            .unwrap_or(0);
         let settle = last_cmd.max(schedule.steps * TICK.as_nanos()) + TICK.as_nanos();
         self.cluster.run_until(SimTime::from_nanos(settle));
         self.apply_flips_until(u64::MAX);

@@ -19,11 +19,14 @@
 
 pub(crate) mod exec;
 pub mod oracle;
+pub mod par;
+pub mod soak;
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 pub use totem_rrp::ReplicationStyle;
+pub use totem_sim::CorruptionTarget;
 use totem_sim::{FaultCommand, SimDuration, SimTime};
 use totem_wire::{NetworkId, NodeId};
 
@@ -59,6 +62,23 @@ pub struct KFlip {
     pub k: usize,
 }
 
+/// A state-corruption injection fired at a simulated instant: one
+/// node's in-memory protocol state is deterministically scrambled
+/// (seeded by `salt`) while the node keeps running. Kept separate from
+/// [`ScheduledCommand`] so legacy schedules — and their pinned per-seed
+/// digests — stay bit-identical when no corruption is requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledCorruption {
+    /// Absolute simulation time of the corruption, in nanoseconds.
+    pub at_ns: u64,
+    /// The node whose state is corrupted.
+    pub node: NodeId,
+    /// Which slice of protocol state to corrupt.
+    pub target: CorruptionTarget,
+    /// Deterministic entropy for the mutation.
+    pub salt: u64,
+}
+
 /// A complete, replayable chaos scenario: cluster shape, traffic
 /// window, and timed fault commands.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +95,11 @@ pub struct ChaosSchedule {
     pub commands: Vec<ScheduledCommand>,
     /// Runtime K changes, sorted by time (K-of-N schedules only).
     pub kflips: Vec<KFlip>,
+    /// Timed state-corruption injections, sorted by time. Empty for
+    /// every legacy schedule: the corruption plane is strictly
+    /// additive, and [`generate`] never fills it (see
+    /// [`generate_corrupting`]).
+    pub corruptions: Vec<ScheduledCorruption>,
     /// Initial global sequence number of the bootstrapped ring (zero =
     /// the production default; near-`u64::MAX` values drive the run
     /// across the serial wrap boundary). Omitted from the TOML repro
@@ -204,7 +229,58 @@ pub fn generate(seed: u64, style: ReplicationStyle, nodes: usize, steps: u64) ->
         kflips.sort_by_key(|f| f.at_ns);
     }
 
-    ChaosSchedule { seed, nodes, style, steps, commands, kflips, start_seq: 0 }
+    ChaosSchedule {
+        seed,
+        nodes,
+        style,
+        steps,
+        commands,
+        kflips,
+        corruptions: Vec::new(),
+        start_seq: 0,
+    }
+}
+
+/// Like [`generate`], plus `events` state-corruption injections inside
+/// the fault window. The corruption stream draws from its **own** RNG
+/// (a different mix of the seed), so the base schedule — commands and
+/// K-flips — is bit-identical to what [`generate`] produces for the
+/// same seed: turning corruption on never perturbs the faults it rides
+/// along with, and the pinned per-seed digests of the plain chaos
+/// suite stay valid.
+pub fn generate_corrupting(
+    seed: u64,
+    style: ReplicationStyle,
+    nodes: usize,
+    steps: u64,
+    events: u64,
+) -> ChaosSchedule {
+    let mut schedule = generate(seed, style, nodes, steps);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5E1F_5AB1_0C0E_4ED5);
+    let tick = TICK.as_nanos();
+    let window = steps * tick;
+    let fault_from = window / 10;
+    let fault_until = window * 8 / 10;
+    for i in 0..events {
+        let at = rng.gen_range(fault_from..fault_until);
+        let node = NodeId::new(rng.gen_range(0..nodes as u64) as u16);
+        // Cycle the target so every variant appears once per five
+        // events; the salt alone randomizes the mutation within it.
+        let target = CorruptionTarget::ALL[(i % 5) as usize];
+        let salt = rng.gen_range(0..u64::MAX);
+        schedule.corruptions.push(ScheduledCorruption { at_ns: at, node, target, salt });
+    }
+    schedule.corruptions.sort_by_key(|c| c.at_ns);
+    schedule
+}
+
+/// Whether the schedule injects any state corruption (via the
+/// dedicated plane or a hand-authored `corrupt-state` command). Such
+/// runs use the reconvergence oracle: fault-report amnesty plus EVS
+/// safety re-armed after the final heal.
+fn has_corruption(schedule: &ChaosSchedule) -> bool {
+    !schedule.corruptions.is_empty()
+        || schedule.commands.iter().any(|c| matches!(c.cmd, FaultCommand::CorruptState { .. }))
 }
 
 /// Which networks any command in the schedule targets (for the
@@ -278,6 +354,19 @@ pub fn run_with(
     let mut submitted = exec.submitted;
     let mut counters = std::mem::take(&mut exec.counters);
     let mut cluster = exec.cluster;
+
+    // Reconvergence-oracle horizon: anything delivered before the final
+    // heal may have happened under corrupted state (including benign
+    // re-deliveries from a rewound watermark) and is exempt from the
+    // re-armed EVS check; only the post-stabilization suffixes must
+    // agree. Empty — and the full-log oracle — for corruption-free
+    // schedules.
+    let corrupting = has_corruption(schedule);
+    let horizon: Vec<usize> = if corrupting {
+        (0..nodes).map(|n| cluster.delivered(n).len()).collect()
+    } else {
+        Vec::new()
+    };
 
     let deadline = settle + CONVERGENCE_GRACE.as_nanos();
     let mut now = settle;
@@ -356,8 +445,20 @@ pub fn run_with(
     }
 
     let (targeted, any_crash) = fault_targets(schedule);
-    violations.extend(oracle::check_fault_reports(&cluster, nodes, &targeted, any_crash));
-    violations.extend(delivery_oracle(&cluster, nodes));
+    // Corruption amnesty: a scrambled monitor counter can legitimately
+    // produce a fault report for a network nothing ever targeted, just
+    // as a crash can — suppress the soundness check wholesale.
+    violations.extend(oracle::check_fault_reports(
+        &cluster,
+        nodes,
+        &targeted,
+        any_crash || corrupting,
+    ));
+    if corrupting {
+        violations.extend(oracle::check_suffix_safety(&cluster, nodes, &horizon));
+    } else {
+        violations.extend(delivery_oracle(&cluster, nodes));
+    }
 
     let delivered = (0..nodes).map(|n| cluster.delivered(n).len()).collect();
     ChaosReport { violations, submitted, delivered, crashes }
@@ -402,6 +503,8 @@ pub fn shrink(
             best = candidate;
         }
     }
+
+    best.corruptions = ddmin_corruptions(&best, &reproduces);
 
     // Trim the traffic window.
     while best.steps >= 32 {
@@ -460,6 +563,51 @@ fn ddmin(
         }
     }
     commands
+}
+
+/// ddmin over the corruption stream. Unlike the command list, dropping
+/// every corruption is a legal candidate — the faults alone may carry
+/// the failure — so that wholesale cut is tried first.
+fn ddmin_corruptions(
+    schedule: &ChaosSchedule,
+    reproduces: &dyn Fn(&ChaosSchedule) -> bool,
+) -> Vec<ScheduledCorruption> {
+    let mut items = schedule.corruptions.clone();
+    if !items.is_empty() {
+        let mut candidate = schedule.clone();
+        candidate.corruptions = Vec::new();
+        if reproduces(&candidate) {
+            return Vec::new();
+        }
+    }
+    let mut n = 2usize;
+    while items.len() >= 2 && n <= items.len() {
+        let chunk = items.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < items.len() {
+            let end = (start + chunk).min(items.len());
+            let mut kept = items[..start].to_vec();
+            kept.extend_from_slice(&items[end..]);
+            let mut candidate = schedule.clone();
+            candidate.corruptions = kept;
+            if reproduces(&candidate) {
+                items = candidate.corruptions;
+                reduced = true;
+                start = 0;
+                n = n.max(2).min(items.len().max(2));
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(items.len());
+        }
+    }
+    items
 }
 
 // ---------------------------------------------------------------------------
@@ -549,6 +697,12 @@ impl ChaosSchedule {
                     out.push_str(&format!("net = {}\n", net.as_u8()));
                     out.push_str(&format!("on = {on}\n"));
                 }
+                FaultCommand::CorruptState { node, target, salt } => {
+                    out.push_str("kind = \"corrupt-state\"\n");
+                    out.push_str(&format!("node = {}\n", node.as_u16()));
+                    out.push_str(&format!("target = \"{}\"\n", target.name()));
+                    out.push_str(&format!("salt = {salt}\n"));
+                }
             }
         }
         for f in &self.kflips {
@@ -556,6 +710,13 @@ impl ChaosSchedule {
             out.push_str(&format!("at_ns = {}\n", f.at_ns));
             out.push_str(&format!("node = {}\n", f.node.as_u16()));
             out.push_str(&format!("k = {}\n", f.k));
+        }
+        for c in &self.corruptions {
+            out.push_str("\n[[corrupt]]\n");
+            out.push_str(&format!("at_ns = {}\n", c.at_ns));
+            out.push_str(&format!("node = {}\n", c.node.as_u16()));
+            out.push_str(&format!("target = \"{}\"\n", c.target.name()));
+            out.push_str(&format!("salt = {}\n", c.salt));
         }
         out
     }
@@ -574,12 +735,14 @@ impl ChaosSchedule {
         enum BlockKind {
             Command,
             KFlip,
+            Corrupt,
         }
         impl BlockKind {
             fn name(self) -> &'static str {
                 match self {
                     BlockKind::Command => "[[command]]",
                     BlockKind::KFlip => "[[kflip]]",
+                    BlockKind::Corrupt => "[[corrupt]]",
                 }
             }
         }
@@ -590,6 +753,7 @@ impl ChaosSchedule {
         let mut start_seq = 0u64;
         let mut commands = Vec::new();
         let mut kflips = Vec::new();
+        let mut corruptions = Vec::new();
         // (kind, header line number, fields)
         let mut current: Option<(BlockKind, usize, std::collections::HashMap<String, String>)> =
             None;
@@ -597,13 +761,17 @@ impl ChaosSchedule {
         let finish =
             |block: Option<(BlockKind, usize, std::collections::HashMap<String, String>)>,
              commands: &mut Vec<ScheduledCommand>,
-             kflips: &mut Vec<KFlip>|
+             kflips: &mut Vec<KFlip>,
+             corruptions: &mut Vec<ScheduledCorruption>|
              -> Result<(), String> {
                 let Some((kind, header_line, block)) = block else { return Ok(()) };
                 let context = |e: String| format!("{} at line {header_line}: {e}", kind.name());
                 match kind {
                     BlockKind::Command => commands.push(parse_command(&block).map_err(context)?),
                     BlockKind::KFlip => kflips.push(parse_kflip(&block).map_err(context)?),
+                    BlockKind::Corrupt => {
+                        corruptions.push(parse_corrupt(&block).map_err(context)?);
+                    }
                 }
                 Ok(())
             };
@@ -617,10 +785,11 @@ impl ChaosSchedule {
             let header = match line {
                 "[[command]]" => Some(BlockKind::Command),
                 "[[kflip]]" => Some(BlockKind::KFlip),
+                "[[corrupt]]" => Some(BlockKind::Corrupt),
                 _ => None,
             };
             if let Some(kind) = header {
-                finish(current.take(), &mut commands, &mut kflips)?;
+                finish(current.take(), &mut commands, &mut kflips, &mut corruptions)?;
                 current = Some((kind, lineno, std::collections::HashMap::new()));
                 continue;
             }
@@ -644,7 +813,7 @@ impl ChaosSchedule {
                 }
             }
         }
-        finish(current.take(), &mut commands, &mut kflips)?;
+        finish(current.take(), &mut commands, &mut kflips, &mut corruptions)?;
 
         Ok(ChaosSchedule {
             seed: seed.ok_or("missing `seed`")?,
@@ -653,6 +822,7 @@ impl ChaosSchedule {
             steps: steps.ok_or("missing `steps`")?,
             commands,
             kflips,
+            corruptions,
             start_seq,
         })
     }
@@ -736,9 +906,34 @@ fn parse_command(
         "crash" => FaultCommand::CrashNode { node: node()? },
         "restart" => FaultCommand::RestartNode { node: node()? },
         "dup-net" => FaultCommand::DuplicateNet { net: net()?, on: field_bool(block, "on")? },
+        "corrupt-state" => FaultCommand::CorruptState {
+            node: node()?,
+            target: field_target(block)?,
+            salt: field_u64(block, "salt")?,
+        },
         other => return Err(format!("unknown command kind {other:?}")),
     };
     Ok(ScheduledCommand { at_ns, cmd })
+}
+
+/// Fetches and parses the `target` field of a corruption block.
+fn field_target(
+    block: &std::collections::HashMap<String, String>,
+) -> Result<CorruptionTarget, String> {
+    let raw = parse_str(field(block, "target")?).map_err(|e| format!("field `target`: {e}"))?;
+    CorruptionTarget::parse(raw)
+        .ok_or_else(|| format!("field `target`: unknown corruption target {raw:?}"))
+}
+
+fn parse_corrupt(
+    block: &std::collections::HashMap<String, String>,
+) -> Result<ScheduledCorruption, String> {
+    Ok(ScheduledCorruption {
+        at_ns: field_u64(block, "at_ns")?,
+        node: NodeId::new(field_u64(block, "node")? as u16),
+        target: field_target(block)?,
+        salt: field_u64(block, "salt")?,
+    })
 }
 
 fn parse_kflip(block: &std::collections::HashMap<String, String>) -> Result<KFlip, String> {
@@ -801,6 +996,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn corruption_plane_is_strictly_additive() {
+        // Same seed: the corrupting generator's commands and K-flips
+        // are bit-identical to the plain generator's (the corruption
+        // stream draws from its own RNG).
+        let plain = generate(7, ReplicationStyle::KOfN { copies: 2 }, 4, 100);
+        let corrupting = generate_corrupting(7, ReplicationStyle::KOfN { copies: 2 }, 4, 100, 5);
+        assert_eq!(plain.commands, corrupting.commands);
+        assert_eq!(plain.kflips, corrupting.kflips);
+        assert!(plain.corruptions.is_empty());
+        assert_eq!(corrupting.corruptions.len(), 5);
+        // Determinism: regenerating gives the same corruption stream.
+        assert_eq!(
+            corrupting,
+            generate_corrupting(7, ReplicationStyle::KOfN { copies: 2 }, 4, 100, 5)
+        );
+        // Five events cycle through every corruption target once.
+        let mut targets: Vec<&str> =
+            corrupting.corruptions.iter().map(|c| c.target.name()).collect();
+        targets.sort_unstable();
+        assert_eq!(
+            targets,
+            vec!["membership", "monitor-counters", "rotation", "seq-counters", "token-gate"]
+        );
+    }
+
+    #[test]
+    fn corrupting_schedule_reconverges_and_roundtrips() {
+        let schedule = generate_corrupting(3, ReplicationStyle::Active, 4, 128, 5);
+        let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
+        assert_eq!(schedule, parsed);
+        let report = run(&schedule);
+        assert!(
+            report.passed(),
+            "corrupting seed 3 violated the reconvergence oracle:\n{}",
+            report.violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+        );
+        assert!(report.submitted > 0, "no traffic was accepted");
+    }
+
+    #[test]
+    fn corrupt_state_command_roundtrips_through_toml() {
+        let schedule = ChaosSchedule {
+            seed: 11,
+            nodes: 3,
+            style: ReplicationStyle::Active,
+            steps: 32,
+            commands: vec![ScheduledCommand {
+                at_ns: 250,
+                cmd: FaultCommand::CorruptState {
+                    node: NodeId::new(2),
+                    target: CorruptionTarget::Membership,
+                    salt: 0xDEAD_BEEF,
+                },
+            }],
+            kflips: Vec::new(),
+            corruptions: vec![ScheduledCorruption {
+                at_ns: 500,
+                node: NodeId::new(1),
+                target: CorruptionTarget::TokenGate,
+                salt: 42,
+            }],
+            start_seq: 0,
+        };
+        let text = schedule.to_toml();
+        assert!(text.contains("[[corrupt]]"), "missing corrupt block:\n{text}");
+        assert!(text.contains("corrupt-state"), "missing corrupt-state command:\n{text}");
+        let parsed = ChaosSchedule::from_toml(&text).expect("roundtrip parse");
+        assert_eq!(schedule, parsed);
+        // Unknown targets are rejected with context.
+        let bad = text.replace("\"token-gate\"", "\"bit-rot\"");
+        let err = ChaosSchedule::from_toml(&bad).unwrap_err();
+        assert!(err.contains("bit-rot"), "got {err}");
+    }
+
+    #[test]
+    fn corruption_ddmin_minimizes_to_the_load_bearing_event() {
+        let mut schedule = generate(1, ReplicationStyle::Active, 4, 64);
+        for i in 0..8u64 {
+            schedule.corruptions.push(ScheduledCorruption {
+                at_ns: 1_000_000 * (i + 1),
+                node: NodeId::new((i % 4) as u16),
+                target: CorruptionTarget::ALL[(i % 5) as usize],
+                salt: 1000 + i,
+            });
+        }
+        // Failure "reproduces" iff the salt-1003 event survives: ddmin
+        // must strip the other seven decoys.
+        let needs_1003 = |c: &ChaosSchedule| c.corruptions.iter().any(|x| x.salt == 1003);
+        let kept = ddmin_corruptions(&schedule, &needs_1003);
+        assert_eq!(kept.len(), 1, "kept {kept:?}");
+        assert_eq!(kept[0].salt, 1003);
+        // And when the corruptions are pure decoys, the wholesale cut
+        // drops them all in one probe.
+        let always = |_: &ChaosSchedule| true;
+        assert!(ddmin_corruptions(&schedule, &always).is_empty());
     }
 
     #[test]
@@ -893,6 +1186,7 @@ mod tests {
             steps: 128,
             commands,
             kflips: Vec::new(),
+            corruptions: Vec::new(),
             start_seq: 0,
         }
     }
@@ -978,6 +1272,7 @@ mod tests {
                 },
             ],
             kflips: Vec::new(),
+            corruptions: Vec::new(),
             start_seq: 0,
         };
         let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
@@ -1017,7 +1312,25 @@ mod tests {
                 (0u16..8).prop_map(|n| FaultCommand::RestartNode { node: NodeId::new(n) }),
                 (0u8..4, any::<bool>())
                     .prop_map(|(k, on)| FaultCommand::DuplicateNet { net: NetworkId::new(k), on }),
+                (0u16..8, 0usize..5, any::<u64>()).prop_map(|(n, t, salt)| {
+                    FaultCommand::CorruptState {
+                        node: NodeId::new(n),
+                        target: CorruptionTarget::ALL[t],
+                        salt,
+                    }
+                }),
             ]
+        }
+
+        fn arb_corruption() -> impl Strategy<Value = ScheduledCorruption> {
+            (0u64..5_000_000_000, 0u16..8, 0usize..5, any::<u64>()).prop_map(
+                |(at_ns, node, t, salt)| ScheduledCorruption {
+                    at_ns,
+                    node: NodeId::new(node),
+                    target: CorruptionTarget::ALL[t],
+                    salt,
+                },
+            )
         }
 
         fn arb_schedule() -> impl Strategy<Value = ChaosSchedule> {
@@ -1028,29 +1341,33 @@ mod tests {
                 16u64..512,
                 proptest::collection::vec((0u64..5_000_000_000, arb_cmd()), 0..24),
                 proptest::collection::vec((0u64..5_000_000_000, 0u16..8, 1u64..5), 0..8),
+                proptest::collection::vec(arb_corruption(), 0..8),
                 // Zero (the elided-from-TOML default) and near-wrap
                 // starts both round-trip.
                 prop_oneof![Just(0u64), any::<u64>()],
             )
                 .prop_map(
-                    |(seed, nodes, style, steps, commands, kflips, start_seq)| ChaosSchedule {
-                        seed,
-                        nodes: nodes as usize,
-                        style,
-                        steps,
-                        commands: commands
-                            .into_iter()
-                            .map(|(at_ns, cmd)| ScheduledCommand { at_ns, cmd })
-                            .collect(),
-                        kflips: kflips
-                            .into_iter()
-                            .map(|(at_ns, node, k)| KFlip {
-                                at_ns,
-                                node: NodeId::new(node),
-                                k: k as usize,
-                            })
-                            .collect(),
-                        start_seq,
+                    |(seed, nodes, style, steps, commands, kflips, corruptions, start_seq)| {
+                        ChaosSchedule {
+                            seed,
+                            nodes: nodes as usize,
+                            style,
+                            steps,
+                            commands: commands
+                                .into_iter()
+                                .map(|(at_ns, cmd)| ScheduledCommand { at_ns, cmd })
+                                .collect(),
+                            kflips: kflips
+                                .into_iter()
+                                .map(|(at_ns, node, k)| KFlip {
+                                    at_ns,
+                                    node: NodeId::new(node),
+                                    k: k as usize,
+                                })
+                                .collect(),
+                            corruptions,
+                            start_seq,
+                        }
                     },
                 )
         }

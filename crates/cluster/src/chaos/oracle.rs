@@ -16,7 +16,7 @@
 //! deliberately-too-strong check anyway, as a known-bad oracle used to
 //! demonstrate the shrinker on a reproducible false positive.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use totem_wire::NodeId;
@@ -167,10 +167,9 @@ pub fn payload_counter(data: &Bytes) -> Option<u64> {
     String::from_utf8_lossy(data).rsplit('-').next()?.parse().ok()
 }
 
-/// Integrity: no node delivers the same `(sender, payload)` twice.
-pub fn check_integrity(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+fn integrity_of(orders: &[Vec<(NodeId, Bytes)>]) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for (n, order) in orders(cluster, nodes).iter().enumerate() {
+    for (n, order) in orders.iter().enumerate() {
         let mut seen = HashSet::new();
         for item in order {
             if !seen.insert(item.clone()) {
@@ -181,12 +180,14 @@ pub fn check_integrity(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
     violations
 }
 
-/// Per-sender FIFO: each node delivers one sender's messages in
-/// strictly increasing counter order (payloads embed a per-sender
-/// counter as a `-<n>` suffix).
-pub fn check_fifo(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+/// Integrity: no node delivers the same `(sender, payload)` twice.
+pub fn check_integrity(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+    integrity_of(&orders(cluster, nodes))
+}
+
+fn fifo_of(orders: &[Vec<(NodeId, Bytes)>]) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for (n, order) in orders(cluster, nodes).iter().enumerate() {
+    for (n, order) in orders.iter().enumerate() {
         let mut last: HashMap<NodeId, u64> = HashMap::new();
         for (sender, data) in order {
             let Some(counter) = payload_counter(data) else {
@@ -208,12 +209,16 @@ pub fn check_fifo(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
     violations
 }
 
-/// Agreement on common messages (extended virtual synchrony): any two
-/// nodes deliver the messages they both have in the same relative
-/// order.
-pub fn check_agreement(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+/// Per-sender FIFO: each node delivers one sender's messages in
+/// strictly increasing counter order (payloads embed a per-sender
+/// counter as a `-<n>` suffix).
+pub fn check_fifo(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+    fifo_of(&orders(cluster, nodes))
+}
+
+fn agreement_of(orders: &[Vec<(NodeId, Bytes)>]) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let orders = orders(cluster, nodes);
+    let nodes = orders.len();
     for a in 0..nodes {
         for b in a + 1..nodes {
             let set_a: HashSet<_> = orders[a].iter().collect();
@@ -226,6 +231,36 @@ pub fn check_agreement(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
             }
         }
     }
+    violations
+}
+
+/// Agreement on common messages (extended virtual synchrony): any two
+/// nodes deliver the messages they both have in the same relative
+/// order.
+pub fn check_agreement(cluster: &SimCluster, nodes: usize) -> Vec<Violation> {
+    agreement_of(&orders(cluster, nodes))
+}
+
+/// The reconvergence oracle's delivery check: EVS safety re-armed
+/// after self-stabilization. Integrity, per-sender FIFO, and agreement
+/// are checked only on each node's delivery-log suffix starting at
+/// `from[n]` (the log length at the final heal). The pre-stabilization
+/// prefix is exempt by design — while running on corrupted state a
+/// node is not a correct processor in the self-stabilization sense,
+/// and a rewound delivery watermark may cause a bounded, benign
+/// re-delivery before the node routes itself through Gather. After
+/// stabilization the full EVS contract must hold again, with no
+/// further exemptions.
+pub fn check_suffix_safety(cluster: &SimCluster, nodes: usize, from: &[usize]) -> Vec<Violation> {
+    let suffixes: Vec<Vec<(NodeId, Bytes)>> = (0..nodes)
+        .map(|n| {
+            let skip = from.get(n).copied().unwrap_or(0);
+            cluster.delivered(n).iter().skip(skip).map(|d| (d.sender, d.data.clone())).collect()
+        })
+        .collect();
+    let mut violations = integrity_of(&suffixes);
+    violations.extend(fifo_of(&suffixes));
+    violations.extend(agreement_of(&suffixes));
     violations
 }
 
@@ -378,6 +413,146 @@ pub fn check_identical_delivery(
     violations
 }
 
+/// Incremental EVS oracle with a bounded retained-delivery horizon,
+/// for soak runs whose full delivery logs would otherwise grow with
+/// the run length.
+///
+/// [`RollingOracle::scan`] consumes every delivery the cluster has
+/// recorded since the previous scan, checks per-sender FIFO against
+/// persistent high-water counters, checks integrity and cross-node
+/// agreement over a retained tail of the most recent `window`
+/// deliveries per node, then prunes the cluster's own logs down to
+/// the window. Peak retained state is O(nodes × window) regardless of
+/// how many hours the soak simulates.
+///
+/// The horizon is a real trade-off, stated plainly: a duplicate
+/// arriving more than `window` deliveries after its first copy, or an
+/// agreement divergence between messages that have already left both
+/// tails, is invisible here. The bounded chaos suite's full-log
+/// oracle covers those regimes.
+#[derive(Debug)]
+pub struct RollingOracle {
+    window: usize,
+    /// Per-node, per-sender highest counter delivered (persistent
+    /// FIFO state — O(nodes × senders), not O(deliveries)).
+    fifo: Vec<HashMap<NodeId, u64>>,
+    /// Per-node retained tail of recent deliveries, in order.
+    tails: Vec<VecDeque<(NodeId, Bytes)>>,
+    /// Multiset of the tail contents (windowed duplicate detection).
+    seen: Vec<HashMap<(NodeId, Bytes), u32>>,
+    /// Per-node index of the first not-yet-consumed entry in the
+    /// cluster's (pruned) delivery log.
+    cursor: Vec<usize>,
+    /// Deliveries ever consumed per node.
+    consumed: Vec<u64>,
+}
+
+impl RollingOracle {
+    /// An oracle for `nodes` nodes retaining the last `window`
+    /// deliveries per node.
+    pub fn new(nodes: usize, window: usize) -> Self {
+        RollingOracle {
+            window: window.max(1),
+            fifo: vec![HashMap::new(); nodes],
+            tails: vec![VecDeque::new(); nodes],
+            seen: vec![HashMap::new(); nodes],
+            cursor: vec![0; nodes],
+            consumed: vec![0; nodes],
+        }
+    }
+
+    fn push_tail(&mut self, n: usize, item: (NodeId, Bytes)) -> bool {
+        let dup = {
+            let count = self.seen[n].entry(item.clone()).or_insert(0);
+            *count += 1;
+            *count > 1
+        };
+        self.tails[n].push_back(item);
+        if self.tails[n].len() > self.window {
+            let old = self.tails[n].pop_front().expect("tail over window is non-empty");
+            if let Some(count) = self.seen[n].get_mut(&old) {
+                *count -= 1;
+                if *count == 0 {
+                    self.seen[n].remove(&old);
+                }
+            }
+        }
+        dup
+    }
+
+    /// Consumes all deliveries since the previous scan, returns any
+    /// violations, and prunes the cluster's delivery logs to the
+    /// window.
+    pub fn scan(&mut self, cluster: &mut SimCluster) -> Vec<Violation> {
+        let nodes = self.tails.len();
+        let mut violations = Vec::new();
+        for n in 0..nodes {
+            let fresh: Vec<(NodeId, Bytes)> = cluster.delivered(n)[self.cursor[n]..]
+                .iter()
+                .map(|d| (d.sender, d.data.clone()))
+                .collect();
+            for (sender, data) in fresh {
+                match payload_counter(&data) {
+                    None => violations
+                        .push(Violation::MalformedPayload { node: n, payload: printable(&data) }),
+                    Some(counter) => {
+                        if let Some(&prev) = self.fifo[n].get(&sender) {
+                            if prev >= counter {
+                                violations.push(Violation::FifoOrder {
+                                    node: n,
+                                    sender,
+                                    prev,
+                                    next: counter,
+                                });
+                            }
+                        }
+                        self.fifo[n].insert(sender, counter);
+                    }
+                }
+                if self.push_tail(n, (sender, data.clone())) {
+                    violations.push(Violation::Integrity { node: n, payload: printable(&data) });
+                }
+                self.consumed[n] += 1;
+            }
+            self.cursor[n] = cluster.delivered(n).len();
+            self.cursor[n] -= cluster.prune_delivered(n, self.window);
+        }
+        let tails: Vec<Vec<(NodeId, Bytes)>> =
+            self.tails.iter().map(|t| t.iter().cloned().collect()).collect();
+        violations.extend(agreement_of(&tails));
+        violations
+    }
+
+    /// Re-arms the oracle after an injected state corruption: consumes
+    /// and exempts everything delivered so far (the stabilization
+    /// interval), clears the FIFO marks and retained tails, and
+    /// resumes checking from the next delivery — the rolling analogue
+    /// of [`check_suffix_safety`]'s pre-stabilization exemption.
+    pub fn rearm(&mut self, cluster: &mut SimCluster) {
+        for n in 0..self.tails.len() {
+            let len = cluster.delivered(n).len();
+            self.consumed[n] += (len - self.cursor[n]) as u64;
+            cluster.prune_delivered(n, 0);
+            self.cursor[n] = 0;
+            self.tails[n].clear();
+            self.seen[n].clear();
+            self.fifo[n].clear();
+        }
+    }
+
+    /// Deliveries ever consumed across all nodes.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.iter().sum()
+    }
+
+    /// Deliveries currently retained — oracle tails plus the cluster's
+    /// pruned logs. The O(window) memory test bounds this quantity's
+    /// peak over a long run.
+    pub fn retained(&self, cluster: &SimCluster) -> usize {
+        (0..self.tails.len()).map(|n| self.tails[n].len() + cluster.delivered(n).len()).sum()
+    }
+}
+
 /// Panics with every violation listed if the EVS safety checks fail —
 /// the shared helper behind the fault-injection tests' assertions.
 ///
@@ -473,6 +648,44 @@ mod tests {
         let violations = check_identical_delivery(&c, n, 13);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].kind(), "not-converged");
+    }
+
+    #[test]
+    fn suffix_safety_exempts_the_pre_stabilization_prefix() {
+        let (c, n) = healthy_cluster();
+        // A healthy run passes from any horizon: the zero horizon is
+        // the full-log check, the full horizon leaves empty suffixes.
+        assert!(check_suffix_safety(&c, n, &[0, 0, 0]).is_empty());
+        let lens: Vec<usize> = (0..n).map(|i| c.delivered(i).len()).collect();
+        assert!(check_suffix_safety(&c, n, &lens).is_empty());
+    }
+
+    #[test]
+    fn rolling_oracle_keeps_retained_state_bounded_by_window() {
+        let window = 32;
+        let mut c = SimCluster::new(ClusterConfig::new(3, ReplicationStyle::Active).with_seed(21));
+        let mut oracle = RollingOracle::new(3, window);
+        let mut counters = [0u64; 3];
+        let mut peak = 0usize;
+        let mut now = 0u64;
+        for round in 0..40 {
+            for (i, counter) in counters.iter_mut().enumerate() {
+                for _ in 0..4 {
+                    c.submit(i, Bytes::from(format!("s{i}-{counter}")));
+                    *counter += 1;
+                }
+            }
+            now += 200_000_000;
+            c.run_until(SimTime::from_nanos(now));
+            let violations = oracle.scan(&mut c);
+            assert!(violations.is_empty(), "round {round}: {violations:?}");
+            peak = peak.max(oracle.retained(&c));
+        }
+        // Every node delivered all 480 messages, but the oracle only
+        // ever held its tails plus the freshly-pruned cluster logs:
+        // O(nodes × window), independent of the run length.
+        assert_eq!(oracle.total_consumed(), 3 * 480);
+        assert!(peak <= 3 * 2 * window, "peak retained {peak} is not O(window)");
     }
 
     #[test]

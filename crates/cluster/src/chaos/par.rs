@@ -1,0 +1,72 @@
+//! Order-preserving work fan-out for seed sweeps.
+//!
+//! `cargo xtask chaos --jobs N`, `cargo xtask soak --jobs N`, and
+//! `totem soak --jobs N` all run one fully deterministic simulation
+//! per seed; the only shared state a sweep needs is the work counter.
+//! [`fan_out`] pulls item indices from an atomic cursor and parks each
+//! result in its own slot, so the collected output is identical for
+//! any thread count — reports print in seed order and stay
+//! bit-for-bit reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(i)` for every `i in 0..count` on up to `jobs` threads and
+/// returns the results in item order.
+pub fn fan_out<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    if jobs == 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("no worker panicked holding a slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("no worker panicked holding a slot")
+                .expect("every index below the cursor was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_for_any_job_count() {
+        let serial = fan_out(1, 17, |i| i * i);
+        for jobs in [2, 4, 32] {
+            assert_eq!(fan_out(jobs, 17, |i| i * i), serial);
+        }
+        assert_eq!(serial, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        assert_eq!(fan_out(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(8, 1, |i| i + 40), vec![40]);
+    }
+}

@@ -1,0 +1,522 @@
+//! Long-horizon soak harness: a replicated-KV workload under diurnal
+//! load, with a slow drip of chaos faults, state corruptions, and
+//! runtime K reconfigurations, checked continuously by the
+//! rolling-window EVS oracle ([`RollingOracle`]) and by the
+//! **reconvergence oracle**: after every injected corruption, all
+//! correct nodes must reach an agreed regular membership and resume
+//! totally-ordered delivery within a bounded stabilization window
+//! (60 simulated seconds — thousands of token rotations at the default
+//! timers; generous, but finite).
+//!
+//! Everything is a deterministic function of `(seed, SoakOptions)`:
+//! [`plan`] lays the whole drip out up front as a [`ChaosSchedule`]
+//! (so a failing seed's scenario serializes to the standard repro TOML
+//! and replays through `cargo xtask chaos --replay`), and [`run`]
+//! executes it tick by tick. Re-running a seed — on any number of
+//! worker threads — produces a bit-identical [`SoakReport`].
+//!
+//! Memory stays bounded on arbitrarily long horizons: the rolling
+//! oracle consumes and prunes the per-node delivery logs as it goes,
+//! so peak retained state is O(nodes × window), not O(run length).
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use totem_sim::{CorruptionTarget, FaultCommand, NetworkConfig, SimConfig, SimTime};
+use totem_wire::{NetworkId, NodeId};
+
+use super::oracle::RollingOracle;
+use super::{
+    converged, networks_for, ChaosSchedule, KFlip, ReplicationStyle, ScheduledCommand,
+    ScheduledCorruption, TICK,
+};
+use crate::sim_cluster::{ClusterConfig, SimCluster};
+
+const NS: u64 = 1_000_000_000;
+
+/// One drip round: a fault burst in the first half, a corruption slot
+/// in the second, spaced so stabilization windows never overlap the
+/// next injection.
+const ROUND_NS: u64 = 240 * NS;
+
+/// The reconvergence bound: after a corruption fires, every correct
+/// node must be back in an agreed regular membership within this much
+/// simulated time (thousands of token rotations).
+const STABILIZE_NS: u64 = 60 * NS;
+
+/// Rolling-oracle scan cadence.
+const SCAN_NS: u64 = 10 * NS;
+
+/// Diurnal load period (one compressed "day").
+const PERIOD_NS: u64 = 600 * NS;
+
+/// Knobs of one soak run. All fields are plain data so option sets can
+/// be built by CLIs and tests alike.
+#[derive(Debug, Clone)]
+pub struct SoakOptions {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Replication style under test.
+    pub style: ReplicationStyle,
+    /// Simulated run length in seconds.
+    pub seconds: u64,
+    /// Percent chance that each corruption slot fires (0 disables the
+    /// corruption plane entirely).
+    pub corrupt_pct: u64,
+    /// Rolling-oracle window: retained deliveries per node.
+    pub window: usize,
+    /// Per-receiver packet loss percentage on every network (0 = clean
+    /// links; loss exercises the retransmission machinery all run).
+    pub loss_pct: f64,
+}
+
+impl Default for SoakOptions {
+    fn default() -> Self {
+        SoakOptions {
+            nodes: 4,
+            style: ReplicationStyle::Active,
+            seconds: 1800,
+            corrupt_pct: 50,
+            window: 256,
+            loss_pct: 0.0,
+        }
+    }
+}
+
+/// What one soak seed observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Every violation, as a display string (empty = the seed passed).
+    pub violations: Vec<String>,
+    /// Messages accepted for submission.
+    pub submitted: u64,
+    /// Deliveries consumed by the rolling oracle, summed over nodes.
+    pub delivered: u64,
+    /// Fault commands in the drip (injections and their heals).
+    pub faults: u64,
+    /// Corruption injections per target, in [`CorruptionTarget::ALL`]
+    /// order.
+    pub corruptions: [u64; 5],
+    /// Runtime K reconfigurations applied.
+    pub kflips: u64,
+    /// Rolling-oracle scans performed.
+    pub scans: u64,
+    /// Peak retained deliveries (oracle tails + pruned cluster logs) —
+    /// the O(window) bound.
+    pub peak_retained: usize,
+    /// The full drip, replayable via `cargo xtask chaos --replay`.
+    pub schedule: ChaosSchedule,
+}
+
+impl SoakReport {
+    /// `true` when every oracle held for the whole horizon.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lays out the whole drip for one seed: per 4-minute round, one
+/// transient fault (healed within the round's first half), an optional
+/// K reconfiguration, and — with probability `corrupt_pct`% — one
+/// state corruption in the second half, far enough from every fault
+/// that its stabilization window is undisturbed. Runs shorter than one
+/// round get a single mid-run corruption slot so even smoke horizons
+/// exercise the corruption plane.
+pub fn plan(seed: u64, opts: &SoakOptions) -> ChaosSchedule {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x50AC_0DD5_50AC_0DD5);
+    let networks = networks_for(opts.style);
+    let total_ns = opts.seconds * NS;
+    let steps = total_ns / TICK.as_nanos();
+    let mut commands = Vec::new();
+    let mut kflips = Vec::new();
+    let mut corruptions = Vec::new();
+
+    let rounds = total_ns / ROUND_NS;
+    for r in 0..rounds {
+        let base = r * ROUND_NS;
+        let at = base + rng.gen_range(0..60 * NS);
+        let dur = rng.gen_range(5 * NS..45 * NS);
+        let node = NodeId::new(rng.gen_range(0..opts.nodes as u64) as u16);
+        let net = NetworkId::new(rng.gen_range(0..networks as u64) as u8);
+        match rng.gen_range(0..100) {
+            0..=19 => {
+                commands
+                    .push(ScheduledCommand { at_ns: at, cmd: FaultCommand::CrashNode { node } });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::RestartNode { node },
+                });
+            }
+            20..=39 => {
+                let groups: Vec<u8> = (0..opts.nodes).map(|_| rng.gen_range(0..2) as u8).collect();
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::Partition { net, groups },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::Partition { net, groups: Vec::new() },
+                });
+            }
+            40..=59 => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::NetworkDown { net, down: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::NetworkDown { net, down: false },
+                });
+            }
+            60..=79 => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::SendFault { node, net, failed: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::SendFault { node, net, failed: false },
+                });
+            }
+            _ => {
+                commands.push(ScheduledCommand {
+                    at_ns: at,
+                    cmd: FaultCommand::RecvFault { node, net, failed: true },
+                });
+                commands.push(ScheduledCommand {
+                    at_ns: at + dur,
+                    cmd: FaultCommand::RecvFault { node, net, failed: false },
+                });
+            }
+        }
+
+        if matches!(opts.style, ReplicationStyle::KOfN { .. }) {
+            let at = base + rng.gen_range(30 * NS..90 * NS);
+            let node = NodeId::new(rng.gen_range(0..opts.nodes as u64) as u16);
+            let k = rng.gen_range(1..networks as u64 + 1) as usize;
+            kflips.push(KFlip { at_ns: at, node, k });
+        }
+
+        // Corruption slot: second half of the round, after every fault
+        // in this round has healed (fault ends by base+105s, slot
+        // opens at base+120s) and with the 60s stabilization window
+        // closing before the next round's first injection.
+        let roll = rng.gen_range(0..100);
+        let at = base + 120 * NS + rng.gen_range(0..30 * NS);
+        let node = NodeId::new(rng.gen_range(0..opts.nodes as u64) as u16);
+        let salt = rng.gen_range(0..u64::MAX);
+        if roll < opts.corrupt_pct {
+            // Cycle the target by (seed + round) so every variant is
+            // exercised across a seed fan-out even at one round/seed.
+            let target = CorruptionTarget::ALL[((seed.wrapping_add(r)) % 5) as usize];
+            corruptions.push(ScheduledCorruption { at_ns: at, node, target, salt });
+        }
+    }
+
+    if rounds == 0 && opts.corrupt_pct > 0 && total_ns >= 30 * NS {
+        // Smoke-length fallback: one mid-run corruption slot.
+        let roll = rng.gen_range(0..100);
+        let at = total_ns * 2 / 5;
+        let node = NodeId::new(rng.gen_range(0..opts.nodes as u64) as u16);
+        let salt = rng.gen_range(0..u64::MAX);
+        if roll < opts.corrupt_pct {
+            let target = CorruptionTarget::ALL[(seed % 5) as usize];
+            corruptions.push(ScheduledCorruption { at_ns: at, node, target, salt });
+        }
+    }
+
+    commands.sort_by_key(|c| c.at_ns);
+    kflips.sort_by_key(|f| f.at_ns);
+    corruptions.sort_by_key(|c| c.at_ns);
+    ChaosSchedule {
+        seed,
+        nodes: opts.nodes,
+        style: opts.style,
+        steps,
+        commands,
+        kflips,
+        corruptions,
+        start_seq: 0,
+    }
+}
+
+/// The diurnal submission gap, in ticks: a triangle wave between a
+/// quiet trough (one message per 100 ticks) and a busy peak (one per
+/// 5 ticks) over each [`PERIOD_NS`] "day". Integer arithmetic only, so
+/// the waveform is identical on every platform.
+fn diurnal_gap_ticks(now_ns: u64) -> u64 {
+    const GAP_MAX: u64 = 100;
+    const GAP_MIN: u64 = 5;
+    let pos = now_ns % PERIOD_NS;
+    let half = PERIOD_NS / 2;
+    let tri = if pos < half { pos } else { PERIOD_NS - pos };
+    GAP_MAX - tri * (GAP_MAX - GAP_MIN) / half
+}
+
+/// Executes one soak seed end to end. See the module docs for the
+/// oracle regime; the returned report is a pure function of the
+/// inputs.
+pub fn run(seed: u64, opts: &SoakOptions) -> SoakReport {
+    let schedule = plan(seed, opts);
+    let nodes = opts.nodes;
+
+    let mut cfg = ClusterConfig::new(nodes, opts.style).with_seed(seed);
+    if opts.loss_pct > 0.0 {
+        let networks = cfg.networks;
+        let mut sim = SimConfig::lan(nodes, networks);
+        sim.networks =
+            vec![NetworkConfig::ethernet_100mbit().with_rx_loss(opts.loss_pct / 100.0); networks];
+        sim.seed = seed;
+        cfg.sim = sim;
+    }
+    let mut cluster = SimCluster::new(cfg);
+    for sc in &schedule.commands {
+        cluster.schedule_fault(SimTime::from_nanos(sc.at_ns), sc.cmd.clone());
+    }
+    for c in &schedule.corruptions {
+        cluster.schedule_fault(
+            SimTime::from_nanos(c.at_ns),
+            FaultCommand::CorruptState { node: c.node, target: c.target, salt: c.salt },
+        );
+    }
+
+    let mut oracle = RollingOracle::new(nodes, opts.window);
+    let mut counters = vec![0u64; nodes];
+    let mut violations: Vec<String> = Vec::new();
+    let mut submitted = 0u64;
+    let mut scans = 0u64;
+    let mut peak_retained = 0usize;
+    let mut key_rng = SmallRng::seed_from_u64(seed ^ 0x4B5E_ED00_4B5E_ED00);
+
+    let tick = TICK.as_nanos();
+    let corrupt_times: Vec<u64> = schedule.corruptions.iter().map(|c| c.at_ns).collect();
+    let mut corrupt_idx = 0usize;
+    let mut kflip_idx = 0usize;
+    let mut kflips_applied = 0u64;
+    // While `Some(deadline)`: a corruption fired; scanning is paused
+    // and the cluster must reconverge before the deadline, at which
+    // point the oracle re-arms (everything delivered meanwhile is the
+    // exempt stabilization interval).
+    let mut stabilizing: Option<u64> = None;
+    let mut next_scan = SCAN_NS;
+    let mut next_submit = 0u64;
+
+    for step in 0..schedule.steps {
+        let now = (step + 1) * tick;
+        cluster.run_until(SimTime::from_nanos(now));
+
+        while schedule.kflips.get(kflip_idx).is_some_and(|f| f.at_ns <= now) {
+            let f = &schedule.kflips[kflip_idx];
+            let node = f.node.as_u16() as usize;
+            if node < nodes && cluster.is_alive(node) && cluster.set_k(node, f.k) {
+                kflips_applied += 1;
+            }
+            kflip_idx += 1;
+        }
+
+        while corrupt_times.get(corrupt_idx).is_some_and(|&t| t <= now) {
+            let deadline = corrupt_times[corrupt_idx] + STABILIZE_NS;
+            stabilizing = Some(stabilizing.map_or(deadline, |d: u64| d.max(deadline)));
+            corrupt_idx += 1;
+        }
+
+        if let Some(deadline) = stabilizing {
+            // Convergence polls are cheap but not free; every 100
+            // ticks (500ms simulated) is plenty of resolution against
+            // a 60s bound.
+            if step % 100 == 0 || now >= deadline {
+                if converged(&cluster, nodes) {
+                    oracle.rearm(&mut cluster);
+                    stabilizing = None;
+                } else if now >= deadline {
+                    violations.push(format!(
+                        "reconvergence: cluster not back in an agreed regular membership \
+                         within {}s of a state corruption (t={}ns)",
+                        STABILIZE_NS / NS,
+                        now
+                    ));
+                    oracle.rearm(&mut cluster);
+                    stabilizing = None;
+                }
+            }
+        }
+
+        if now >= next_submit {
+            let sender = (step as usize) % nodes;
+            if cluster.is_alive(sender) {
+                let key = key_rng.gen_range(0..64);
+                let payload =
+                    Bytes::from(format!("k{key}=v{}:s{sender}-{}", submitted, counters[sender]));
+                if cluster.try_submit(sender, payload).is_ok() {
+                    counters[sender] += 1;
+                    submitted += 1;
+                }
+            }
+            next_submit = now + diurnal_gap_ticks(now) * tick;
+        }
+
+        if now >= next_scan {
+            if stabilizing.is_none() {
+                for v in oracle.scan(&mut cluster) {
+                    violations.push(format!("evs: {v}"));
+                }
+                scans += 1;
+                peak_retained = peak_retained.max(oracle.retained(&cluster));
+            }
+            next_scan = now + SCAN_NS;
+        }
+    }
+
+    // End of horizon: the cluster must settle into (or still hold) an
+    // agreed regular membership, then prove it resumed totally-ordered
+    // delivery with one probe per node reaching every node.
+    let end = schedule.steps * tick;
+    let mut now = end;
+    let grace = end + 30 * NS;
+    while !converged(&cluster, nodes) && now < grace {
+        now += 250_000_000;
+        cluster.run_until(SimTime::from_nanos(now));
+    }
+    if !converged(&cluster, nodes) {
+        violations.push(
+            "reconvergence: no agreed regular membership 30s after the end of the horizon".into(),
+        );
+    } else {
+        if stabilizing.is_some() {
+            // A corruption landed near the end of the window; the
+            // cluster did reconverge, so exempt the stabilization
+            // interval and resume checking.
+            oracle.rearm(&mut cluster);
+            stabilizing = None;
+        }
+        let mut probes: Vec<Bytes> = Vec::new();
+        for (sender, counter) in counters.iter_mut().enumerate() {
+            let payload = Bytes::from(format!("probe:s{sender}-{counter}"));
+            let mut accepted = false;
+            for _ in 0..40 {
+                if cluster.try_submit(sender, payload.clone()).is_ok() {
+                    accepted = true;
+                    *counter += 1;
+                    submitted += 1;
+                    break;
+                }
+                now += 50_000_000;
+                cluster.run_until(SimTime::from_nanos(now));
+            }
+            if accepted {
+                probes.push(payload);
+            } else {
+                violations
+                    .push(format!("liveness: node {sender} refuses submissions after the soak"));
+            }
+        }
+        let all_delivered = |cluster: &SimCluster, probes: &[Bytes]| {
+            (0..nodes)
+                .all(|n| probes.iter().all(|p| cluster.delivered(n).iter().any(|d| d.data == *p)))
+        };
+        let probe_grace = now + 5 * NS;
+        while now < probe_grace && !all_delivered(&cluster, &probes) {
+            now += 250_000_000;
+            cluster.run_until(SimTime::from_nanos(now));
+        }
+        for n in 0..nodes {
+            for probe in &probes {
+                if !cluster.delivered(n).iter().any(|d| d.data == *probe) {
+                    violations.push(format!(
+                        "liveness: probe {:?} never delivered at node {n}",
+                        String::from_utf8_lossy(probe)
+                    ));
+                }
+            }
+        }
+    }
+    if stabilizing.is_none() {
+        for v in oracle.scan(&mut cluster) {
+            violations.push(format!("evs: {v}"));
+        }
+        scans += 1;
+        peak_retained = peak_retained.max(oracle.retained(&cluster));
+    }
+
+    let mut corruption_counts = [0u64; 5];
+    for c in &schedule.corruptions {
+        let idx = CorruptionTarget::ALL
+            .iter()
+            .position(|t| *t == c.target)
+            .expect("target is one of ALL");
+        corruption_counts[idx] += 1;
+    }
+    SoakReport {
+        violations,
+        submitted,
+        delivered: oracle.total_consumed(),
+        faults: schedule.commands.len() as u64,
+        corruptions: corruption_counts,
+        kflips: kflips_applied,
+        scans,
+        peak_retained,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_spaces_corruptions_safely() {
+        let opts = SoakOptions { seconds: 1200, corrupt_pct: 100, ..SoakOptions::default() };
+        let a = plan(9, &opts);
+        assert_eq!(a, plan(9, &opts));
+        assert_eq!(a.corruptions.len(), 5, "one corruption per round at 100%");
+        // Every fault in a round heals before that round's corruption
+        // slot opens, and each stabilization window ends before the
+        // next round's first possible injection.
+        for c in &a.corruptions {
+            let round = c.at_ns / ROUND_NS;
+            assert!(c.at_ns >= round * ROUND_NS + 120 * NS);
+            for sc in &a.commands {
+                if sc.at_ns / ROUND_NS == round {
+                    assert!(
+                        sc.at_ns < c.at_ns,
+                        "fault at {} overlaps corruption at {}",
+                        sc.at_ns,
+                        c.at_ns
+                    );
+                }
+            }
+            assert!(c.at_ns + STABILIZE_NS <= (round + 1) * ROUND_NS + 60 * NS);
+        }
+        // Zero percent really disables the plane.
+        let clean = plan(9, &SoakOptions { corrupt_pct: 0, ..opts });
+        assert!(clean.corruptions.is_empty());
+    }
+
+    #[test]
+    fn smoke_soak_with_corruption_passes_and_is_deterministic() {
+        let opts =
+            SoakOptions { seconds: 120, corrupt_pct: 100, window: 64, ..SoakOptions::default() };
+        let report = run(1, &opts);
+        assert_eq!(
+            report.schedule.corruptions.len(),
+            1,
+            "smoke horizon gets the fallback corruption slot"
+        );
+        assert!(report.passed(), "soak seed 1 violated:\n{}", report.violations.join("\n"));
+        assert!(report.submitted > 0 && report.delivered > 0);
+        // Bit-identical on re-run (this is what lets the seed fan-out
+        // run on any number of threads).
+        assert_eq!(report, run(1, &opts));
+        // O(window): retained state never exceeded tails + pruned logs.
+        assert!(report.peak_retained <= opts.nodes * 2 * opts.window);
+    }
+
+    #[test]
+    fn diurnal_wave_cycles_between_trough_and_peak() {
+        assert_eq!(diurnal_gap_ticks(0), 100);
+        assert_eq!(diurnal_gap_ticks(PERIOD_NS / 2), 5);
+        assert_eq!(diurnal_gap_ticks(PERIOD_NS), 100);
+        let quarter = diurnal_gap_ticks(PERIOD_NS / 4);
+        assert!(quarter > 5 && quarter < 100);
+    }
+}

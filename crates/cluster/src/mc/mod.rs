@@ -361,6 +361,7 @@ pub fn schedule_of(actions: &[Action], opts: &McOptions) -> ChaosSchedule {
         steps: quiets * (opts.step_ns() / TICK.as_nanos()),
         commands,
         kflips: Vec::new(),
+        corruptions: Vec::new(),
         start_seq: opts.start_seq,
     }
 }

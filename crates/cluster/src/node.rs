@@ -255,6 +255,24 @@ impl TotemNode {
         self.rrp.set_k(now, k)
     }
 
+    /// Applies a seeded state corruption to the addressed machine —
+    /// the self-stabilization fault plane
+    /// (`totem_sim::FaultCommand::CorruptState`). The mutation is
+    /// drawn entirely from a RNG seeded with `salt`, so replaying a
+    /// schedule reproduces the exact same wrong bits.
+    pub fn corrupt(&mut self, target: totem_sim::CorruptionTarget, salt: u64) {
+        use rand::SeedableRng as _;
+        use totem_sim::CorruptionTarget;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(salt);
+        match target {
+            CorruptionTarget::SeqCounters => self.srp.corrupt_seq_counters(&mut rng),
+            CorruptionTarget::Membership => self.srp.corrupt_membership(&mut rng),
+            CorruptionTarget::Rotation => self.srp.corrupt_rotation(&mut rng),
+            CorruptionTarget::MonitorCounters => self.rrp.corrupt_monitors(&mut rng),
+            CorruptionTarget::TokenGate => self.rrp.corrupt_token_gate(&mut rng),
+        }
+    }
+
     /// The earliest instant [`TotemNode::on_timer`] must be called.
     pub fn next_deadline(&self) -> Option<Nanos> {
         [self.srp.next_deadline(), self.rrp.next_deadline()].into_iter().flatten().min()

@@ -295,6 +295,23 @@ impl Actor for ClusterActor {
         self.alive = false;
     }
 
+    fn on_corrupt(
+        &mut self,
+        now: SimTime,
+        target: totem_sim::CorruptionTarget,
+        salt: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Arbitrary-state fault: flip the addressed machine's state by
+        // seeded mutation, then let the protocol run — the
+        // self-stabilization hardening must route any resulting
+        // inconsistency into ring reformation. Re-arm the alarm, since
+        // the corruption may have moved (or disarmed) a deadline.
+        self.node.corrupt(target, salt);
+        let _ = now;
+        self.arm(ctx);
+    }
+
     fn on_restart(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
         // Cold reboot: all protocol state is rebuilt from scratch;
         // only the identity epoch survives (think: stable storage
@@ -464,6 +481,21 @@ impl SimCluster {
         &self.world.actor(NodeId::new(node as u16)).delivered_at
     }
 
+    /// Drops the oldest delivery-log entries of `node`, keeping only
+    /// the most recent `keep_last`; returns how many were dropped.
+    /// Counters are untouched — only the replay log shrinks. The
+    /// rolling soak oracle uses this to keep a multi-hour run's memory
+    /// proportional to its check window instead of its length.
+    pub fn prune_delivered(&mut self, node: usize, keep_last: usize) -> usize {
+        let actor = self.world.actor_mut(NodeId::new(node as u16));
+        let excess = actor.delivered.len().saturating_sub(keep_last);
+        if excess > 0 {
+            actor.delivered.drain(..excess);
+            actor.delivered_at.drain(..excess);
+        }
+        excess
+    }
+
     /// Configuration changes delivered at `node`.
     pub fn configs(&self, node: usize) -> &[ConfigChange] {
         &self.world.actor(NodeId::new(node as u16)).configs
@@ -548,6 +580,13 @@ impl SimCluster {
     /// protocol (see [`FaultCommand::RestartNode`]).
     pub fn restart(&mut self, node: usize) {
         self.fault_now(FaultCommand::RestartNode { node: NodeId::new(node as u16) });
+    }
+
+    /// Corrupts one machine of `node`'s in-memory protocol state
+    /// immediately (see [`FaultCommand::CorruptState`]): a seeded
+    /// arbitrary-state fault the cluster must stabilize from.
+    pub fn corrupt(&mut self, node: usize, target: totem_sim::CorruptionTarget, salt: u64) {
+        self.fault_now(FaultCommand::CorruptState { node: NodeId::new(node as u16), target, salt });
     }
 
     /// Whether `node` is currently alive (not crashed).

@@ -174,6 +174,13 @@ pub(crate) trait MonitorStrategy: std::fmt::Debug + Send {
     /// Diagnostic snapshot of the Figure-5 reception counts (empty
     /// under the problem-counter strategy).
     fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)>;
+
+    /// Deterministically corrupts the strategy's health bookkeeping
+    /// (fault injection for self-stabilization testing): problem
+    /// counters jump near the declaration threshold, or one monitor
+    /// module's reception count diverges. Normal traffic decays both
+    /// back to truth.
+    fn corrupt(&mut self, rng: &mut rand::rngs::SmallRng);
 }
 
 /// Figure-2 stage-one monitor (K=N): one problem counter per network,
@@ -258,6 +265,17 @@ impl MonitorStrategy for ProblemCounter {
 
     fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
         Vec::new()
+    }
+
+    fn corrupt(&mut self, rng: &mut rand::rngs::SmallRng) {
+        use rand::Rng as _;
+        let nets = self.problem.len().max(1) as u64;
+        let net = NetworkId::new(rng.gen_range(0..nets) as u8);
+        // Anywhere from "clean" to "past the declaration threshold";
+        // the decay tick walks a spurious count back down, and a real
+        // declaration is healed by administrative reinstatement.
+        let forged = rng.gen_range(0..32) as u32;
+        self.problem.set(net, forged);
     }
 }
 
@@ -351,6 +369,23 @@ impl MonitorStrategy for Divergence {
         }
         out
     }
+
+    fn corrupt(&mut self, rng: &mut rand::rngs::SmallRng) {
+        use rand::Rng as _;
+        // Corrupt the token module or one message module, picked
+        // deterministically (BTree-free map: order by sender id for
+        // reproducibility).
+        let mut senders: Vec<NodeId> = self.msg_monitors.keys().copied().collect();
+        senders.sort_unstable();
+        let pick = rng.gen_range(0..(1 + senders.len() as u64));
+        if pick == 0 {
+            self.token_monitor.corrupt(rng);
+        } else if let Some(m) =
+            senders.get(pick as usize - 1).and_then(|s| self.msg_monitors.get_mut(s))
+        {
+            m.corrupt(rng);
+        }
+    }
 }
 
 /// Picks the stage-one strategy for a replication degree: Figure 2's
@@ -397,7 +432,23 @@ pub(crate) struct Engine {
     /// Per-network instant until which fault declaration is suspended
     /// after a reinstatement (0 = no grace active).
     grace_until: PerNet<u64>,
+    /// Consecutive token-class receptions dropped as stale by the
+    /// stage-two gate. A `last_key` corrupted into the far future
+    /// would otherwise drop every token of every future ring — an
+    /// undetectable livelock of endless reformations — so after
+    /// [`STALE_DROP_RESET`] consecutive stale drops the gate resets
+    /// and judges the next token afresh (self-stabilization; a
+    /// spuriously resurrected old token is still discarded by the
+    /// SRP's own freshness check above).
+    stale_drops: u32,
 }
+
+/// Consecutive stale token drops after which the stage-two gate
+/// resets its freshness key (see [`Engine::stale_drops`]). High
+/// enough that healthy duplicate-heavy traffic — where current-
+/// instance copies keep interleaving and zeroing the run — never
+/// reaches it.
+const STALE_DROP_RESET: u32 = 16;
 
 impl Engine {
     pub fn new(cfg: &RrpConfig, k: usize) -> Self {
@@ -415,6 +466,7 @@ impl Engine {
             timer: None,
             monitor: strategy_for(k, cfg.problem_decay_interval, cfg),
             grace_until: PerNet::filled(cfg.networks, 0),
+            stale_drops: 0,
         }
     }
 
@@ -538,8 +590,25 @@ impl Engine {
             return events;
         }
         let key = token_key(&t);
+        if let Some(last) = self.last_key {
+            if key < last {
+                // Stale copy of an older token. Count the run of
+                // consecutive stale drops: a corrupted `last_key` in
+                // the far future makes EVERY token stale, and without
+                // the reset below the gate would silently starve the
+                // SRP through endless ring reformations.
+                self.stale_drops += 1;
+                if self.stale_drops < STALE_DROP_RESET {
+                    return events;
+                }
+                self.stale_drops = 0;
+                self.last_key = None;
+                self.last_token = None;
+            } else {
+                self.stale_drops = 0;
+            }
+        }
         match self.last_key {
-            Some(last) if key < last => return events, // stale copy of an older token
             Some(last) if key == last => {
                 if self.last_token.is_none() {
                     // Already passed up (K copies or timer); later
@@ -679,6 +748,51 @@ impl Engine {
     /// counts (empty under the problem-counter strategy).
     pub fn monitor_report(&self) -> Vec<(MonitorKind, Vec<u64>)> {
         self.monitor.monitor_report()
+    }
+
+    /// Deterministically corrupts the stage-one monitor's health
+    /// bookkeeping (self-stabilization fault injection; see
+    /// `totem_sim::CorruptionTarget::MonitorCounters`).
+    pub fn corrupt_monitors(&mut self, rng: &mut rand::rngs::SmallRng) {
+        self.monitor.corrupt(rng);
+    }
+
+    /// Deterministically corrupts the stage-two token gate
+    /// (self-stabilization fault injection; see
+    /// `totem_sim::CorruptionTarget::TokenGate`): the freshness key
+    /// jumps into the far future (healed by the consecutive-stale-drop
+    /// reset), the per-network reception flags are scrambled, one
+    /// network's faulty flag flips, or a pending token's timer is
+    /// silently disarmed (healed by ring reformation re-arming it).
+    pub fn corrupt_token_gate(&mut self, rng: &mut rand::rngs::SmallRng) {
+        use rand::Rng as _;
+        use totem_wire::{Rotation, Seq};
+        match rng.gen_range(0..4) {
+            0 => {
+                let base = self.last_key.map(|(ring, _, _)| ring).unwrap_or(0);
+                let jump = rng.gen_range(1..1_000_000);
+                self.last_key = Some((
+                    base.saturating_add(jump),
+                    Rotation::new(jump).ord_key(),
+                    Seq::new(jump).ord_key(),
+                ));
+            }
+            1 => {
+                let nets: Vec<NetworkId> = self.seen.ids().collect();
+                for net in nets {
+                    self.seen.set(net, rng.gen_bool(0.5));
+                }
+            }
+            2 => {
+                let nets = self.faulty.len().max(1) as u64;
+                let net = NetworkId::new(rng.gen_range(0..nets) as u8);
+                let flipped = !self.faulty.at(net);
+                self.faulty.set(net, flipped);
+            }
+            _ => {
+                self.timer = None;
+            }
+        }
     }
 
     /// Shared fault declaration: marks suspect networks faulty and

@@ -602,6 +602,26 @@ impl RrpLayer {
         }
     }
 
+    /// Deterministically corrupts the stage-one health monitor's
+    /// bookkeeping (self-stabilization fault injection; see
+    /// `totem_sim::CorruptionTarget::MonitorCounters`). No-op under
+    /// the unreplicated single-network style, which has no monitors.
+    pub fn corrupt_monitors(&mut self, rng: &mut rand::rngs::SmallRng) {
+        if let Inner::Engine(e) = &mut self.inner {
+            e.corrupt_monitors(rng);
+        }
+    }
+
+    /// Deterministically corrupts the stage-two token gate
+    /// (self-stabilization fault injection; see
+    /// `totem_sim::CorruptionTarget::TokenGate`). No-op under the
+    /// unreplicated single-network style, which has no gate.
+    pub fn corrupt_token_gate(&mut self, rng: &mut rand::rngs::SmallRng) {
+        if let Inner::Engine(e) = &mut self.inner {
+            e.corrupt_token_gate(rng);
+        }
+    }
+
     /// The earliest instant [`RrpLayer::on_timer`] must run, if any.
     pub fn next_deadline(&self) -> Option<u64> {
         let inner = match &self.inner {

@@ -99,6 +99,22 @@ impl MonitorModule {
         let min = self.counts.values().copied().min().unwrap_or(0);
         max - min
     }
+
+    /// Deterministically corrupts one network's reception count
+    /// (fault injection for self-stabilization testing): the count
+    /// jumps up or down by up to twice the divergence threshold, so
+    /// the module may spuriously suspect a healthy network or
+    /// temporarily mask a dead one. Both decay back to truth through
+    /// normal traffic and compensation.
+    pub fn corrupt<R: rand::Rng>(&mut self, rng: &mut R) {
+        let nets = self.counts.len().max(1) as u64;
+        let net = NetworkId::new(rng.gen_range(0..nets) as u8);
+        let delta = rng.gen_range(1..self.threshold.saturating_mul(2).max(2));
+        let cur = self.counts.at(net);
+        let corrupted =
+            if rng.gen_bool(0.5) { cur.saturating_add(delta) } else { cur.saturating_sub(delta) };
+        self.counts.set(net, corrupted);
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,82 @@ pub enum FaultCommand {
         /// `true` to start duplicating, `false` to stop.
         on: bool,
     },
+    /// Corrupt one slice of a live node's in-memory protocol state
+    /// (a soft error: bit flips, a buggy operator tool, a partial
+    /// restore from stale storage). The node itself does not crash —
+    /// it keeps running on silently wrong state, and the protocol must
+    /// *self-stabilize*: detect the inconsistency and reconverge
+    /// through the membership reformation path.
+    ///
+    /// Delivered to the hosted actor via [`crate::Actor::on_corrupt`].
+    /// Corrupting a crashed node is a no-op (its volatile state is
+    /// already gone). The mutation itself must be a deterministic
+    /// function of `(target, salt)` so replays are bit-identical.
+    CorruptState {
+        /// Node whose state is corrupted.
+        node: NodeId,
+        /// Which slice of protocol state to corrupt.
+        target: CorruptionTarget,
+        /// Deterministic entropy for the mutation: the actor seeds its
+        /// corruption RNG from this value, so a replayed schedule
+        /// (TOML round-trip included) reproduces the same wrong bits.
+        salt: u64,
+    },
+}
+
+/// Which slice of protocol state a [`FaultCommand::CorruptState`]
+/// mutates. Mirrors the state the self-stabilization literature calls
+/// out as reachable-by-transient-fault: counters, views, and monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionTarget {
+    /// SRP sequence counters: the receive window's contiguity
+    /// watermark / high-water mark and the operational token context.
+    SeqCounters,
+    /// SRP membership proc/fail sets (the Gather consensus inputs).
+    Membership,
+    /// SRP rotation counter and ring identity epoch bookkeeping.
+    Rotation,
+    /// RRP monitor problem counters (Figure 2) or divergence monitors
+    /// (Figure 5), whichever strategy is live.
+    MonitorCounters,
+    /// RRP K-of-N token-gate state: the seen-set, last-accepted key,
+    /// buffered token and gate timer.
+    TokenGate,
+}
+
+impl CorruptionTarget {
+    /// Every target, in a fixed order (used by fuzzers to cycle
+    /// through variants deterministically).
+    pub const ALL: [CorruptionTarget; 5] = [
+        CorruptionTarget::SeqCounters,
+        CorruptionTarget::Membership,
+        CorruptionTarget::Rotation,
+        CorruptionTarget::MonitorCounters,
+        CorruptionTarget::TokenGate,
+    ];
+
+    /// Stable kebab-case name (TOML serialization, report tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionTarget::SeqCounters => "seq-counters",
+            CorruptionTarget::Membership => "membership",
+            CorruptionTarget::Rotation => "rotation",
+            CorruptionTarget::MonitorCounters => "monitor-counters",
+            CorruptionTarget::TokenGate => "token-gate",
+        }
+    }
+
+    /// Parses the stable name back (inverse of
+    /// [`CorruptionTarget::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl std::fmt::Display for CorruptionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Current fault state of all networks.
@@ -175,6 +251,11 @@ impl FaultPlane {
             FaultCommand::DuplicateNet { net, on } => {
                 assert!(net.index() < self.networks, "network out of range");
                 self.duplicating[net.index()] = *on;
+            }
+            FaultCommand::CorruptState { node, .. } => {
+                // State corruption lives inside the actor, not on the
+                // medium; the plane only validates the target node.
+                assert!(node.index() < self.nodes, "node out of range");
             }
         }
     }

@@ -63,7 +63,7 @@ pub mod trace;
 pub mod world;
 
 pub use config::{CpuConfig, NetworkConfig, SimConfig};
-pub use fault::{FaultCommand, FaultPlane};
+pub use fault::{CorruptionTarget, FaultCommand, FaultPlane};
 pub use stats::{NetStats, SimStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLog, TracedPacket, TransitionRecord};

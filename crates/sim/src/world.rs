@@ -74,6 +74,22 @@ pub trait Actor {
     /// [`Actor::on_start`], and may issue effects (e.g. send a join
     /// message, arm a timer).
     fn on_restart(&mut self, _now: SimTime, _ctx: &mut Ctx<'_>) {}
+    /// Called when the node's in-memory protocol state is corrupted by
+    /// [`FaultCommand::CorruptState`]. The actor must mutate the named
+    /// state slice as a deterministic function of `(target, salt)` —
+    /// typically by seeding a small RNG from `salt` and handing it to
+    /// the protocol machines' `corrupt` methods. The node stays alive
+    /// and may issue effects (e.g. re-arm its timer for the now-wrong
+    /// deadline). The default ignores the fault: actors without
+    /// mutable protocol state are simply immune.
+    fn on_corrupt(
+        &mut self,
+        _now: SimTime,
+        _target: crate::CorruptionTarget,
+        _salt: u64,
+        _ctx: &mut Ctx<'_>,
+    ) {
+    }
 }
 
 /// The effect interface handed to actors during callbacks.
@@ -120,9 +136,17 @@ impl Ctx<'_> {
     }
 
     /// Unicasts `pkt` on `net` to `dst`.
+    ///
+    /// A destination outside the simulated universe silently drops the
+    /// frame, like a datagram addressed to a host that does not exist.
+    /// State-corruption faults can plant phantom processors in a
+    /// membership view, and the protocol's answer to a token sent into
+    /// the void is token-loss reformation — not a crash.
     pub fn unicast(&mut self, net: NetworkId, dst: NodeId, pkt: impl Into<SharedPacket>) {
         assert!(net.index() < self.networks, "network out of range");
-        assert!(dst.index() < self.nodes, "destination out of range");
+        if dst.index() >= self.nodes {
+            return;
+        }
         self.sends.push((net, Some(dst), pkt.into()));
     }
 
@@ -396,6 +420,13 @@ impl<A: Actor> SimWorld<A> {
                 self.faults.apply(&cmd);
                 self.cpu_free[node.index()] = self.now;
                 self.dispatch(node, |a, now, ctx| a.on_restart(now, ctx));
+            }
+            FaultCommand::CorruptState { node, target, salt } => {
+                if self.faults.is_crashed(node) {
+                    return; // a dead node has no volatile state to corrupt
+                }
+                self.faults.apply(&cmd); // range check only
+                self.dispatch(node, |a, now, ctx| a.on_corrupt(now, target, salt, ctx));
             }
             _ => self.faults.apply(&cmd),
         }
@@ -1030,5 +1061,19 @@ mod tests {
         w.run_until(SimTime::from_millis(5));
         assert!(w.actor(NodeId::new(1)).seen.is_empty());
         assert_eq!(w.actor(NodeId::new(2)).seen.len(), 1);
+    }
+
+    #[test]
+    fn unicast_to_phantom_destination_is_a_silent_drop() {
+        // Membership corruption can plant a processor id outside the
+        // simulated universe; sending it the token must behave like a
+        // datagram to a dead host (dropped), not crash the world.
+        let cfg = SimConfig::lan(2, 1).with_cpu(CpuConfig::instant());
+        let mut w = SimWorld::new(cfg, vec![Recorder::new(), Recorder::new()]);
+        w.with_actor(NodeId::new(0), |_a, _now, ctx| {
+            ctx.unicast(NetworkId::new(0), NodeId::new(0x4007), token_pkt(9));
+        });
+        w.run_until(SimTime::from_millis(5));
+        assert!(w.actor(NodeId::new(1)).seen.is_empty());
     }
 }

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod corrupt;
 pub mod events;
 pub mod member;
 pub mod node;

@@ -96,6 +96,12 @@ impl SrpNode {
     /// message.
     pub(crate) fn enter_gather(&mut self, now: Nanos, seed_fail: Vec<NodeId>) -> Vec<SrpEvent> {
         self.stats.gathers += 1;
+        // Self-stabilization: proposals must stay ahead of the
+        // identity epoch, or (after an epoch corruption) we would
+        // discard every commit token while peers keep proposing rings
+        // below it. No-op on healthy state, where `max_ring_seq` is
+        // seeded from the epoch and only grows.
+        self.max_ring_seq = self.max_ring_seq.max(self.epoch);
         let mut proc_set = BTreeSet::new();
         proc_set.insert(self.me);
         // Seed with the current ring's membership (paper §: the join
@@ -144,7 +150,19 @@ impl SrpNode {
     /// watchdog.
     pub(crate) fn gather_timers(&mut self, now: Nanos) -> Vec<SrpEvent> {
         let mut events = Vec::new();
+        // Self-stabilization: this node can never credibly accuse
+        // itself or forget itself, and its join proposals must stay
+        // ahead of its identity epoch. Corrupted sets would otherwise
+        // wedge every consensus around us (peers require set equality,
+        // which a self-accusation makes unreachable), and an inflated
+        // epoch would make us discard every commit token while our
+        // peers keep proposing rings below it. All no-ops on healthy
+        // state.
+        self.max_ring_seq = self.max_ring_seq.max(self.epoch);
+        let me = self.me;
         let StateImpl::Gather(g) = &mut self.state else { return events };
+        g.fail_set.remove(&me);
+        g.proc_set.insert(me);
         let mut rebroadcast = false;
         let mut gave_up_on_silent = false;
         if g.join_deadline <= now {
@@ -270,6 +288,11 @@ impl SrpNode {
                 // each keeps spreading a stale accusation the other
                 // can never clear, and every consensus around them
                 // wedges waiting for a commit token that nobody sends.
+                // Self-stabilization sanitize (see `gather_timers`):
+                // never self-accused, never self-forgotten. No-ops on
+                // healthy state.
+                g.fail_set.remove(&self.me);
+                g.proc_set.insert(self.me);
                 let mut changed = g.fail_set.remove(&j.sender);
                 changed |= g.proc_set.insert(j.sender);
                 for p in &j.proc_set {
@@ -601,6 +624,13 @@ impl SrpNode {
         }
         if !rec.token.is_fresh(t.rotation, t.seq) {
             return events;
+        }
+        // Self-stabilization: same inconsistency check as the
+        // operational token path — a corrupted new-ring window must
+        // abort recovery into reformation, not pollute the token.
+        if rec.new.window.high_seen().follows(t.seq) || !rec.new.window.is_consistent() {
+            self.note_transition("srp-membership", "Recovery", "TokenLoss", "Gather");
+            return self.enter_gather(now, Vec::new());
         }
         rec.token.last_key = Some((t.rotation, t.seq));
         rec.token.sent_token = None;

@@ -626,6 +626,17 @@ impl SrpNode {
     /// Fires any timers whose deadline is `<= now`.
     pub fn on_timer(&mut self, now: Nanos) -> Vec<SrpEvent> {
         let mut events = self.take_events();
+        // Self-stabilization: a corrupted receive window discovered at
+        // a timer tick routes into reformation. Token receipt performs
+        // the same check; this covers a node that is holding the token
+        // or has stopped receiving ones.
+        if matches!(self.state, StateImpl::Operational(_))
+            && self.ring.as_ref().is_some_and(|r| !r.window.is_consistent())
+        {
+            self.note_transition("srp-membership", "Operational", "TokenLoss", "Gather");
+            events.extend(self.enter_gather(now, Vec::new()));
+            return events;
+        }
         match &mut self.state {
             StateImpl::Operational(_) | StateImpl::Recovery(_) => {
                 // Work on the token context common to both phases.
@@ -801,6 +812,18 @@ impl SrpNode {
         };
         if !tok.is_fresh(t.rotation, t.seq) {
             return events; // retransmitted or stale token
+        }
+        // Self-stabilization: locally inconsistent window state must
+        // route into reformation, never into the token. At a fresh
+        // token, every sequence number this node has seen is at or
+        // below the token's — a `high_seen` beyond it is a phantom
+        // that would park forever-unserviceable retransmission
+        // requests on the token; a broken contiguity invariant under
+        // `my_aru` would deliver around a gap.
+        if ring.window.high_seen().follows(t.seq) || !ring.window.is_consistent() {
+            self.note_transition("srp-membership", "Operational", "TokenLoss", "Gather");
+            events.extend(self.enter_gather(now, Vec::new()));
+            return events;
         }
         tok.last_key = Some((t.rotation, t.seq));
         tok.hold = None;

@@ -193,6 +193,67 @@ impl ReceiveWindow {
     pub fn range(&self, lo: Seq, hi: Seq) -> impl Iterator<Item = &SharedPacket> {
         lo.missing_until(hi).filter_map(move |s| self.packets.get(&s.as_u64()))
     }
+
+    /// Whether the window's internal invariants hold: the cursors are
+    /// serially ordered (`delivered_up_to ≤ my_aru ≤ high_seen`) and
+    /// every sequence number in `(delivered_up_to, my_aru]` is
+    /// buffered (the contiguity guarantee behind `my_aru`). A window
+    /// whose counters were corrupted by a transient fault fails this
+    /// check; token processing routes the node into membership
+    /// reformation, which rebuilds the window from scratch.
+    ///
+    /// The walk is capped: a backlog deeper than the cap is itself
+    /// impossible under flow control, so it reports inconsistency.
+    pub fn is_consistent(&self) -> bool {
+        if !self.my_aru.at_or_after(self.delivered_up_to)
+            || !self.high_seen.at_or_after(self.my_aru)
+        {
+            return false;
+        }
+        const WALK_CAP: usize = 65_536;
+        let mut walked = 0usize;
+        for s in self.delivered_up_to.missing_until(self.my_aru) {
+            if !self.packets.contains_key(&s.as_u64()) {
+                return false;
+            }
+            walked += 1;
+            if walked > WALK_CAP {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deterministically corrupts the window's counters (fault
+    /// injection for self-stabilization testing; see
+    /// `totem_sim::CorruptionTarget::SeqCounters`). Exactly one of the
+    /// cursor mutations below is applied, chosen by `rng`:
+    ///
+    /// * `my_aru` jumps forward past sequence numbers that were never
+    ///   received (breaking the contiguity invariant),
+    /// * `my_aru` falls backward (re-opening delivered ground),
+    /// * `high_seen` jumps forward past the ring's real horizon
+    ///   (phantom messages that can never be retransmitted),
+    /// * `delivered_up_to` falls backward (re-delivering old ground).
+    pub fn corrupt<R: rand::Rng>(&mut self, rng: &mut R) {
+        let jump = rng.gen_range(1..64);
+        match rng.gen_range(0..4) {
+            0 => {
+                for _ in 0..jump {
+                    self.my_aru = self.my_aru.next();
+                }
+            }
+            1 => self.my_aru = Seq::new(self.my_aru.as_u64().wrapping_sub(jump)),
+            2 => {
+                for _ in 0..(jump * 16) {
+                    self.high_seen = self.high_seen.next();
+                }
+            }
+            _ => {
+                self.delivered_up_to = Seq::new(self.delivered_up_to.as_u64().wrapping_sub(jump));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

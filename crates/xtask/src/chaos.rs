@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use totem_cluster::chaos::{self, ChaosReport, ChaosSchedule, ReplicationStyle};
 
-use crate::USAGE;
+use crate::{par, USAGE};
 
 const STYLES: [ReplicationStyle; 4] = [
     ReplicationStyle::Single,
@@ -28,6 +28,8 @@ struct Options {
     seed_base: u64,
     steps: u64,
     nodes: usize,
+    jobs: usize,
+    corrupt: u64,
     minimize: bool,
     replay: Option<PathBuf>,
     repro_dir: PathBuf,
@@ -39,6 +41,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed_base: 0,
         steps: 200,
         nodes: 4,
+        jobs: par::default_jobs(),
+        corrupt: 0,
         minimize: false,
         replay: None,
         repro_dir: PathBuf::from("."),
@@ -68,6 +72,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--nodes needs an integer".to_string())?;
             }
+            "--jobs" => {
+                opts.jobs =
+                    value("--jobs")?.parse().map_err(|_| "--jobs needs an integer".to_string())?;
+            }
+            "--corrupt" => {
+                opts.corrupt = value("--corrupt")?
+                    .parse()
+                    .map_err(|_| "--corrupt needs a percentage".to_string())?;
+            }
             "--minimize" => opts.minimize = true,
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
             "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir")?),
@@ -82,6 +95,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.steps < 16 {
         return Err("--steps must be at least 16".to_string());
+    }
+    if opts.jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    if opts.corrupt > 100 {
+        return Err("--corrupt is a percentage (0-100)".to_string());
     }
     Ok(opts)
 }
@@ -145,48 +164,77 @@ fn replay(opts: &Options, path: &PathBuf) -> ExitCode {
     }
 }
 
-/// Fans `seeds` schedules across every replication style.
+/// Builds the schedule for one (style, seed) cell. With `--corrupt P`,
+/// `P`% of the seeds (chosen deterministically by the seed value, not
+/// by position) additionally carry a burst of state corruptions; the
+/// base fault plane is bit-identical either way, so a corrupting run's
+/// commands match the plain run for the same seed.
+fn make_schedule(opts: &Options, style: ReplicationStyle, seed: u64) -> ChaosSchedule {
+    // Knuth-style multiplicative hash so `--corrupt 30` spreads over
+    // the seed space instead of corrupting only seeds 0..30.
+    if opts.corrupt > 0 && seed.wrapping_mul(2654435761) % 100 < opts.corrupt {
+        chaos::generate_corrupting(seed, style, opts.nodes, opts.steps, 3)
+    } else {
+        chaos::generate(seed, style, opts.nodes, opts.steps)
+    }
+}
+
+/// Fans `seeds` schedules across every replication style, running
+/// `--jobs` cells concurrently. Each cell is an independent
+/// deterministic simulation, so the report is printed in (style, seed)
+/// order and is bit-identical for any job count.
 fn fuzz(opts: &Options) -> ExitCode {
     println!(
-        "chaos: {} seed(s) x {} style(s), {} nodes, {} traffic ticks of {}ms",
+        "chaos: {} seed(s) x {} style(s), {} nodes, {} traffic ticks of {}ms, {} job(s)",
         opts.seeds,
         STYLES.len(),
         opts.nodes,
         opts.steps,
-        chaos::TICK.as_nanos() / 1_000_000
+        chaos::TICK.as_nanos() / 1_000_000,
+        opts.jobs
     );
     println!(
-        "{:<10} {:>6} {:>9} {:>8} {:>10} {:>11}  result",
-        "style", "seed", "commands", "crashes", "submitted", "delivered"
+        "{:<10} {:>6} {:>9} {:>8} {:>8} {:>10} {:>11}  result",
+        "style", "seed", "commands", "crashes", "corrupt", "submitted", "delivered"
     );
 
+    let cells: Vec<(ReplicationStyle, u64)> = STYLES
+        .iter()
+        .flat_map(|style| {
+            (opts.seed_base..opts.seed_base + opts.seeds).map(move |seed| (*style, seed))
+        })
+        .collect();
+    let results = par::fan_out(opts.jobs, cells.len(), |i| {
+        let (style, seed) = cells[i];
+        let schedule = make_schedule(opts, style, seed);
+        let report = chaos::run(&schedule);
+        (schedule, report)
+    });
+
     let mut failures = 0u64;
-    for style in STYLES {
-        for seed in opts.seed_base..opts.seed_base + opts.seeds {
-            let schedule = chaos::generate(seed, style, opts.nodes, opts.steps);
-            let report = chaos::run(&schedule);
-            let delivered = format!(
-                "{}..{}",
-                report.delivered.iter().min().copied().unwrap_or(0),
-                report.delivered.iter().max().copied().unwrap_or(0)
-            );
-            println!(
-                "{:<10} {:>6} {:>9} {:>8} {:>10} {:>11}  {}",
-                style_label(style),
-                seed,
-                schedule.commands.len(),
-                report.crashes,
-                report.submitted,
-                delivered,
-                if report.passed() { "ok" } else { "VIOLATION" }
-            );
-            if !report.passed() {
-                failures += 1;
-                print_violations(&report);
-                if let Err(e) = write_repro(opts, &schedule, style, seed) {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
+    for ((style, seed), (schedule, report)) in cells.iter().zip(&results) {
+        let delivered = format!(
+            "{}..{}",
+            report.delivered.iter().min().copied().unwrap_or(0),
+            report.delivered.iter().max().copied().unwrap_or(0)
+        );
+        println!(
+            "{:<10} {:>6} {:>9} {:>8} {:>8} {:>10} {:>11}  {}",
+            style_label(*style),
+            seed,
+            schedule.commands.len(),
+            report.crashes,
+            schedule.corruptions.len(),
+            report.submitted,
+            delivered,
+            if report.passed() { "ok" } else { "VIOLATION" }
+        );
+        if !report.passed() {
+            failures += 1;
+            print_violations(report);
+            if let Err(e) = write_repro(opts, schedule, *style, *seed) {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
             }
         }
     }

@@ -7,7 +7,11 @@
 //! transition-coverage scenarios (see [`conformance`]). `cargo xtask
 //! chaos` fuzzes seeded fault schedules against the EVS invariant
 //! oracle, with delta-debugging minimization of failures (see
-//! [`chaos`]). `cargo xtask mc` exhaustively explores every fault
+//! [`chaos`]). `cargo xtask soak` runs the long-horizon
+//! self-stabilization soak: seeded replicated-KV workloads under a
+//! slow drip of chaos and state-corruption faults, checked by the
+//! rolling-window EVS oracle and the reconvergence oracle, fanned
+//! across cores (see [`soak`]). `cargo xtask mc` exhaustively explores every fault
 //! interleaving up to a bounded depth, checking the same oracle plus
 //! per-state invariants at every explored state and reporting spec-edge
 //! coverage (see [`mc`]). `cargo xtask wrap-audit` checks RFC 1982
@@ -31,7 +35,9 @@ mod chaos;
 mod conformance;
 mod lexer;
 mod mc;
+mod par;
 mod rules;
+mod soak;
 mod spec;
 mod wrap;
 
@@ -55,7 +61,8 @@ commands:
                             markdown (append to $GITHUB_STEP_SUMMARY)
 
   chaos [--seeds N] [--seed-base B] [--steps S] [--nodes K]
-        [--minimize] [--replay <file>] [--repro-dir <dir>]
+        [--jobs J] [--corrupt PCT] [--minimize] [--replay <file>]
+        [--repro-dir <dir>]
       Fuzz seed-deterministic fault schedules (crashes, restarts,
       partitions, network kills, fault bursts) across all three
       replication styles and check the EVS invariant oracle.
@@ -64,9 +71,39 @@ commands:
                             fuzz disjoint seed windows
         --steps S           traffic ticks per schedule (default 200)
         --nodes K           cluster size (default 4)
+        --jobs J            concurrent schedules (default: available
+                            cores); output is bit-identical for any J
+        --corrupt PCT       give PCT% of seeds an additional burst of
+                            state corruptions; the base fault plane
+                            stays bit-identical (default 0)
         --minimize          shrink a violating schedule before writing
                             its repro file
         --replay <file>     re-run a previously written repro TOML
+        --repro-dir <dir>   where repro files go (default .)
+
+  soak [--seeds N] [--seed-base B] [--jobs J] [--minutes M]
+       [--nodes K] [--style S] [--corrupt PCT] [--window W]
+       [--repro-dir <dir>]
+      Long-horizon self-stabilization soak: per seed, M simulated
+      minutes of replicated-KV traffic under diurnal load with a slow
+      drip of chaos faults, state corruptions, and (k-of-n) runtime K
+      reconfigurations. Safety is checked by the rolling-window EVS
+      oracle (bounded memory); every corruption must reconverge to an
+      agreed regular membership within the stabilization bound.
+      Failing seeds write soak-repro-<seed>.toml, replayable via
+      `cargo xtask chaos --replay`.
+        --seeds N           soak seeds (default 8)
+        --seed-base B       first seed (default 0)
+        --jobs J            concurrent seeds (default: available
+                            cores); output is bit-identical for any J
+        --minutes M         simulated minutes per seed (default 30)
+        --nodes K           cluster size (default 4)
+        --style S           single | active | passive | k-of-n
+                            (default active)
+        --corrupt PCT       chance each corruption slot fires
+                            (default 50)
+        --window W          rolling-oracle retained-delivery window
+                            per node (default 256)
         --repro-dir <dir>   where repro files go (default .)
 
   mc [--nodes N] [--depth D] [--crashes K] [--partitions P]
@@ -115,6 +152,7 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("conformance") => run_conformance(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
+        Some("soak") => soak::run(&args[1..]),
         Some("mc") => mc::run(&args[1..]),
         Some("wrap-audit") => wrap::run(&args[1..]),
         Some("bench") => bench::run(&args[1..]),

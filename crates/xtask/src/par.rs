@@ -1,0 +1,8 @@
+//! Order-preserving work fan-out for seed sweeps.
+//!
+//! The implementation lives in `totem_cluster::chaos::par` so the
+//! `totem soak` CLI shares the exact same machinery; this module just
+//! re-exports it for `cargo xtask chaos --jobs` / `cargo xtask soak
+//! --jobs`.
+
+pub use totem_cluster::chaos::par::{default_jobs, fan_out};
