@@ -1,0 +1,382 @@
+//! Loopback-UDP macro benchmark gate for the batched real-I/O fast
+//! path (`cargo xtask bench` runs this binary and merges its output
+//! with the committed baseline into `BENCH_PR9.json`).
+//!
+//! One self-contained run measures the same cluster — 4 nodes × 2
+//! redundant networks on 127.0.0.1, race-free ephemeral ports via
+//! [`UdpTopology::bind_ephemeral`] — twice:
+//!
+//! * **legacy** — the pre-PR driver shape: `batch: false`, one
+//!   `send` per frame (one logical submission per fan-out datagram),
+//!   one `recv_timeout` per datagram;
+//! * **batched** — `batch: true`: whole [`RecvBatch`] drains per
+//!   wake, one [`SendBatch`] flush per wake, the transport grouping
+//!   submissions per contiguous same-network run (`sendmmsg`-shaped).
+//!
+//! [`RecvBatch`]: totem_transport::RecvBatch
+//! [`SendBatch`]: totem_transport::SendBatch
+//!
+//! Every node's transport is wrapped in a
+//! [`CountingTransport`], which tallies *logical* syscalls at the
+//! `Transport` API boundary — a machine- and kernel-independent
+//! number (the real mmsg path maps 1:1 onto it). The headline figure
+//! is `syscalls_per_datagram`, and the gate's acceptance criterion is
+//! the ratio `legacy / batched ≥ 4` at broadcast fan-out.
+//!
+//! Alongside it the gate reports allocations per datagram (counting
+//! global allocator, same pattern as `bench_gate`), delivered
+//! messages per second, and p50/p99 delivery latency measured by
+//! stamping each payload with elapsed nanos at submit time and
+//! reading the stamp back on every receiver at delivery.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use totem_cluster::{
+    spawn_node_with, PollMode, RuntimeConfig, RuntimeEvent, RuntimeHandle, StartMode, TotemNode,
+};
+use totem_rrp::{ReplicationStyle, RrpConfig};
+use totem_srp::SrpConfig;
+use totem_transport::{CountingTransport, TransportCounters, UdpTopology};
+use totem_wire::NodeId;
+
+const NODES: usize = 4;
+const NETWORKS: usize = 2;
+/// In-flight cap: saturating load without unbounded queueing (which
+/// would fold queue time into the latency numbers).
+const WINDOW: usize = 256;
+/// Bench payload: 8-byte submit stamp + magic + padding.
+const MSG_SIZE: usize = 256;
+const MAGIC: u8 = 0xB9;
+
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain
+// relaxed atomics with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOC_COUNT.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+struct ModeResult {
+    mode: &'static str,
+    msgs: usize,
+    wall_ms: f64,
+    msgs_per_sec: f64,
+    submits: u64,
+    completions: u64,
+    datagrams: u64,
+    syscalls_per_datagram: f64,
+    allocs_per_datagram: f64,
+    alloc_bytes_per_datagram: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Waits until every handle has reported `want` bench deliveries (or
+/// panics after `secs`). Latencies from the non-sender nodes land in
+/// `latencies`.
+struct Collector {
+    done: std::thread::JoinHandle<usize>,
+}
+
+fn spawn_collector(
+    handle: &RuntimeHandle,
+    want: usize,
+    epoch: Instant,
+    latencies: Option<Arc<Mutex<Vec<u64>>>>,
+    progress: Option<Arc<AtomicU64>>,
+) -> Collector {
+    let events = handle.events().clone();
+    let done = std::thread::spawn(move || {
+        let mut seen = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while seen < want && Instant::now() < deadline {
+            match events.recv_timeout(Duration::from_millis(200)) {
+                Ok(RuntimeEvent::Delivered(d))
+                    if d.data.len() == MSG_SIZE && d.data[8] == MAGIC =>
+                {
+                    seen += 1;
+                    if let Some(p) = &progress {
+                        p.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(lat) = &latencies {
+                        let stamp =
+                            u64::from_be_bytes(d.data[..8].try_into().expect("8-byte stamp"));
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        lat.lock().expect("latency sink").push(now.saturating_sub(stamp));
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {}
+            }
+        }
+        seen
+    });
+    Collector { done }
+}
+
+fn make_cluster(config: RuntimeConfig) -> (Vec<RuntimeHandle>, Vec<Arc<TransportCounters>>) {
+    let bound = UdpTopology::bind_ephemeral(NODES, NETWORKS).expect("bind loopback cluster");
+    let transports = bound.into_transports().expect("adopt sockets");
+    let members: Vec<NodeId> = (0..NODES as u16).map(NodeId::new).collect();
+    let mut counters = Vec::new();
+    let handles = transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let counted = CountingTransport::new(t, NODES - 1);
+            counters.push(counted.counters());
+            let node = TotemNode::new_operational(
+                NodeId::new(i as u16),
+                &members,
+                SrpConfig::default(),
+                RrpConfig::new(ReplicationStyle::Active, NETWORKS),
+                0,
+            );
+            let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
+            spawn_node_with(node, counted, mode, config)
+        })
+        .collect();
+    (handles, counters)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64 / 1000.0
+}
+
+fn run_mode(mode: &'static str, config: RuntimeConfig, msgs: usize) -> ModeResult {
+    let (handles, counters) = make_cluster(config);
+    let epoch = Instant::now();
+
+    // Warm up: ring formation plus one full round trip, kept out of
+    // the measured window (warmup payloads fail the MAGIC check).
+    handles[0].submit(Bytes::from_static(b"warmup"));
+    let warm_deadline = Instant::now() + Duration::from_secs(30);
+    for h in &handles {
+        let mut ok = false;
+        while Instant::now() < warm_deadline {
+            if let Some(RuntimeEvent::Delivered(d)) = h.next_event(Duration::from_millis(200)) {
+                if &d.data[..] == b"warmup" {
+                    ok = true;
+                    break;
+                }
+            }
+        }
+        assert!(ok, "cluster failed to form within 30s ({mode})");
+    }
+
+    let (a0, b0) = alloc_snapshot();
+    let sys0: Vec<(u64, u64, u64)> = counters
+        .iter()
+        .map(|c| {
+            (
+                c.submits.load(Ordering::Relaxed),
+                c.completions.load(Ordering::Relaxed),
+                c.datagrams(),
+            )
+        })
+        .collect();
+
+    // Measured window: node 0 submits `msgs` stamped payloads with at
+    // most WINDOW in flight (tracked by its own deliveries); every
+    // other node records delivery latency.
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(msgs * (NODES - 1))));
+    // Node 0's collector doubles as the flow-control tracker: its own
+    // deliveries bound the in-flight window. (One drainer per node —
+    // cloned channel receivers would steal events from each other.)
+    let sender_seen = Arc::new(AtomicU64::new(0));
+    let collectors: Vec<Collector> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            spawn_collector(
+                h,
+                msgs,
+                epoch,
+                if i == 0 { None } else { Some(latencies.clone()) },
+                if i == 0 { Some(sender_seen.clone()) } else { None },
+            )
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut payload = vec![0u8; MSG_SIZE];
+    payload[8] = MAGIC;
+    for i in 0..msgs {
+        while i as u64 >= sender_seen.load(Ordering::Relaxed) + WINDOW as u64 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let stamp = epoch.elapsed().as_nanos() as u64;
+        payload[..8].copy_from_slice(&stamp.to_be_bytes());
+        payload[9..17].copy_from_slice(&(i as u64).to_be_bytes());
+        handles[0].submit(Bytes::copy_from_slice(&payload));
+    }
+    let mut delivered_everywhere = true;
+    for c in collectors {
+        let seen = c.done.join().expect("collector thread");
+        delivered_everywhere &= seen == msgs;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(delivered_everywhere, "not every node delivered all bench messages ({mode})");
+
+    let (a1, b1) = alloc_snapshot();
+    let mut submits = 0u64;
+    let mut completions = 0u64;
+    let mut datagrams = 0u64;
+    for (c, (s0, c0, d0)) in counters.iter().zip(&sys0) {
+        submits += c.submits.load(Ordering::Relaxed) - s0;
+        completions += c.completions.load(Ordering::Relaxed) - c0;
+        datagrams += c.datagrams() - d0;
+    }
+    let syscalls = submits + completions;
+
+    let mut lat = latencies.lock().expect("latency sink").clone();
+    lat.sort_unstable();
+
+    for h in handles {
+        h.shutdown();
+    }
+
+    ModeResult {
+        mode,
+        msgs,
+        wall_ms: wall * 1000.0,
+        msgs_per_sec: if wall > 0.0 { msgs as f64 / wall } else { 0.0 },
+        submits,
+        completions,
+        datagrams,
+        syscalls_per_datagram: if datagrams > 0 { syscalls as f64 / datagrams as f64 } else { 0.0 },
+        allocs_per_datagram: if datagrams > 0 { (a1 - a0) as f64 / datagrams as f64 } else { 0.0 },
+        alloc_bytes_per_datagram: if datagrams > 0 {
+            (b1 - b0) as f64 / datagrams as f64
+        } else {
+            0.0
+        },
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn mode_json(r: &ModeResult) -> String {
+    format!(
+        "  \"{}\": {{\n    \"msgs\": {},\n    \"wall_ms\": {},\n    \"msgs_per_sec\": {},\n    \
+         \"submits\": {},\n    \"completions\": {},\n    \"datagrams\": {},\n    \
+         \"syscalls_per_datagram\": {},\n    \"allocs_per_datagram\": {},\n    \
+         \"alloc_bytes_per_datagram\": {},\n    \"p50_latency_us\": {},\n    \
+         \"p99_latency_us\": {}\n  }}",
+        r.mode,
+        r.msgs,
+        json_f(r.wall_ms),
+        json_f(r.msgs_per_sec),
+        r.submits,
+        r.completions,
+        r.datagrams,
+        json_f(r.syscalls_per_datagram),
+        json_f(r.allocs_per_datagram),
+        json_f(r.alloc_bytes_per_datagram),
+        json_f(r.p50_us),
+        json_f(r.p99_us),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = iter.next().cloned(),
+            other => {
+                eprintln!("udp_gate: unknown argument `{other}`");
+                eprintln!("usage: udp_gate [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let msgs = if quick { 400 } else { 2000 };
+
+    eprintln!("udp_gate: legacy mode ({msgs} msgs, {NODES} nodes x {NETWORKS} nets)...");
+    let legacy = run_mode("legacy", RuntimeConfig { batch: false, poll: PollMode::Wait }, msgs);
+    eprintln!(
+        "udp_gate: legacy {:.0} msgs/s, {:.3} syscalls/datagram, p99 {:.0} us",
+        legacy.msgs_per_sec, legacy.syscalls_per_datagram, legacy.p99_us
+    );
+
+    eprintln!("udp_gate: batched mode...");
+    let batched = run_mode("batched", RuntimeConfig { batch: true, poll: PollMode::Wait }, msgs);
+    eprintln!(
+        "udp_gate: batched {:.0} msgs/s, {:.3} syscalls/datagram, p99 {:.0} us",
+        batched.msgs_per_sec, batched.syscalls_per_datagram, batched.p99_us
+    );
+
+    let reduction = if batched.syscalls_per_datagram > 0.0 {
+        legacy.syscalls_per_datagram / batched.syscalls_per_datagram
+    } else {
+        0.0
+    };
+    eprintln!("udp_gate: logical syscalls/frame reduction: {reduction:.2}x");
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"totem-udp-gate-v1\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"nodes\": {NODES},\n"));
+    j.push_str(&format!("  \"networks\": {NETWORKS},\n"));
+    j.push_str(&format!("  \"msg_size\": {MSG_SIZE},\n"));
+    j.push_str(&mode_json(&legacy));
+    j.push_str(",\n");
+    j.push_str(&mode_json(&batched));
+    j.push_str(",\n");
+    j.push_str(&format!("  \"syscall_reduction\": {}\n", json_f(reduction)));
+    j.push_str("}\n");
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &j) {
+                eprintln!("udp_gate: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("udp_gate: wrote {path}");
+        }
+        None => print!("{j}"),
+    }
+}

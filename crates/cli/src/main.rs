@@ -7,13 +7,15 @@
 //! totem figures    [--quick]
 //! totem failover   [--replication S] [--nodes N]
 //! totem soak       [--seconds S] [--loss PCT] [--replication S] [--seed X]
+//! totem udp        [--nodes N] [--networks M] [--replication S] [--msgs K]
 //! ```
 //!
 //! Replication styles: `single`, `active`, `passive`, `ap:K`
 //! (active-passive with K copies), `k-of-n:K` (the unified engine at
 //! degree K; `--style` is a legacy alias for `--replication`).
-//! Everything runs on the deterministic simulator; same arguments →
-//! same output, bit for bit.
+//! Everything except `udp` runs on the deterministic simulator (same
+//! arguments → same output, bit for bit); `udp` exercises the same
+//! stack over real loopback sockets under the threaded runtime.
 
 use std::process::ExitCode;
 
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "failover" => commands::failover(rest),
         "soak" => commands::soak(rest),
         "scale" => commands::scale(rest),
+        "udp" => commands::udp(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

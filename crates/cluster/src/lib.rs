@@ -56,6 +56,9 @@ pub mod sim_cluster;
 pub use chaos::{ChaosReport, ChaosSchedule, ScheduledCommand};
 pub use mc::{Counterexample, McOptions, McReport};
 pub use node::{NodeOutput, TotemNode};
-pub use runtime::{spawn_node, RuntimeEvent, RuntimeHandle, StartMode};
+pub use runtime::{
+    collect_deliveries, spawn_node, spawn_node_with, PollMode, RuntimeConfig, RuntimeEvent,
+    RuntimeHandle, StartMode,
+};
 pub use scenarios::{run_all, ScenarioReport};
 pub use sim_cluster::{ClusterConfig, ClusterCounters, SimCluster};

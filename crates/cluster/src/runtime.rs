@@ -14,10 +14,47 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use totem_rrp::FaultReport;
 use totem_srp::{ConfigChange, Delivered};
-use totem_transport::{Destination, Transport};
-use totem_wire::{Packet, SharedPacket};
+use totem_transport::{Destination, RecvBatch, SendBatch, Transport};
+use totem_wire::SharedPacket;
 
 use crate::node::{NodeOutput, TotemNode};
+
+/// How the driver waits for traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollMode {
+    /// Block in the transport until traffic or the next protocol
+    /// deadline (the default; zero CPU while idle).
+    #[default]
+    Wait,
+    /// Spin on zero-timeout drains for up to `spin_us` microseconds
+    /// before blocking for the remainder of the deadline. Shaves the
+    /// wake-up latency off the token hot path at the cost of burning
+    /// a core while traffic is expected momentarily.
+    BusyPoll {
+        /// Spin budget per wait, in microseconds.
+        spin_us: u64,
+    },
+}
+
+/// Tuning knobs for the driver loop (see [`spawn_node_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Use the batched transport fast path: drain a whole
+    /// [`RecvBatch`] per wake, feed every frame, and flush all
+    /// resulting sends as one [`SendBatch`]. On a batch-aware
+    /// transport (UDP) this amortizes submission/completion syscalls
+    /// across the batch; on any other transport the trait's default
+    /// loops make it behave exactly like the single-shot path.
+    pub batch: bool,
+    /// How to wait for traffic.
+    pub poll: PollMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { batch: true, poll: PollMode::Wait }
+    }
+}
 
 /// How a node enters the ring at startup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +147,32 @@ impl Drop for RuntimeHandle {
     }
 }
 
+/// Drains [`RuntimeEvent::Delivered`] payloads from every handle until
+/// each node has `want` deliveries or `timeout` elapses, whichever
+/// comes first. Returns the per-node delivery orders and the elapsed
+/// wall time (measured here so callers that must stay free of
+/// wall-clock reads — everything outside the real-time crates — can
+/// still report throughput).
+pub fn collect_deliveries(
+    handles: &[RuntimeHandle],
+    want: usize,
+    timeout: Duration,
+) -> (Vec<Vec<Bytes>>, Duration) {
+    let started = Instant::now();
+    let deadline = started + timeout;
+    let mut orders: Vec<Vec<Bytes>> = vec![Vec::new(); handles.len()];
+    while orders.iter().any(|o| o.len() < want) && Instant::now() < deadline {
+        for (i, h) in handles.iter().enumerate() {
+            while let Some(ev) = h.next_event(Duration::from_millis(10)) {
+                if let RuntimeEvent::Delivered(d) = ev {
+                    orders[i].push(d.data);
+                }
+            }
+        }
+    }
+    (orders, started.elapsed())
+}
+
 /// Spawns the driver thread for `node` over `transport`.
 ///
 /// # Example
@@ -147,16 +210,26 @@ impl Drop for RuntimeHandle {
 /// # for h in handles { h.shutdown(); }
 /// ```
 pub fn spawn_node<T: Transport + 'static>(
+    node: TotemNode,
+    transport: T,
+    start: StartMode,
+) -> RuntimeHandle {
+    spawn_node_with(node, transport, start, RuntimeConfig::default())
+}
+
+/// Like [`spawn_node`], with explicit [`RuntimeConfig`] tuning.
+pub fn spawn_node_with<T: Transport + 'static>(
     mut node: TotemNode,
     transport: T,
     start: StartMode,
+    config: RuntimeConfig,
 ) -> RuntimeHandle {
     let (cmd_tx, cmd_rx) = unbounded();
     let (events_tx, events_rx) = unbounded();
     let join = std::thread::Builder::new()
         .name(format!("totem-{}", node.id()))
         .spawn(move || {
-            drive(&mut node, &transport, start, &cmd_rx, &events_tx);
+            drive(&mut node, &transport, start, config, &cmd_rx, &events_tx);
             node
         })
         .expect("spawn totem driver thread");
@@ -167,6 +240,7 @@ fn drive<T: Transport>(
     node: &mut TotemNode,
     transport: &T,
     start: StartMode,
+    config: RuntimeConfig,
     cmd_rx: &Receiver<Cmd>,
     events_tx: &Sender<RuntimeEvent>,
 ) {
@@ -174,12 +248,23 @@ fn drive<T: Transport>(
     let now_ns = || epoch.elapsed().as_nanos() as u64;
 
     let mut pending: Vec<Bytes> = Vec::new();
+    // Batched mode reuses these across wakes: sends accumulate in
+    // `out_batch` and go to the kernel in one flush per wake; receives
+    // drain into `in_batch` and are all fed before any send happens.
+    let mut out_batch = SendBatch::new();
+    let mut in_batch = RecvBatch::new();
+
     let outputs = match start {
         StartMode::Member => Vec::new(),
         StartMode::Representative => node.bootstrap_token(now_ns()),
         StartMode::Joining => node.start(now_ns()),
     };
-    perform(outputs, transport, events_tx);
+    if config.batch {
+        stage(outputs, &mut out_batch, events_tx);
+        flush(transport, &mut out_batch);
+    } else {
+        perform(outputs, transport, events_tx);
+    }
 
     loop {
         // Application commands.
@@ -206,7 +291,11 @@ fn drive<T: Transport>(
             match node.submit(now_ns(), data) {
                 Ok(outs) => {
                     pending.remove(0);
-                    perform(outs, transport, events_tx);
+                    if config.batch {
+                        stage(outs, &mut out_batch, events_tx);
+                    } else {
+                        perform(outs, transport, events_tx);
+                    }
                 }
                 Err(_) => break, // backpressure: retry next iteration
             }
@@ -218,20 +307,112 @@ fn drive<T: Transport>(
             Some(_) => Duration::ZERO,
             None => Duration::from_millis(50),
         };
-        if let Some((net, bytes)) = transport.recv_timeout(timeout) {
-            if let Ok(pkt) = Packet::decode(&bytes) {
-                // Seed the encode cache with the received datagram so
-                // retransmitting this packet never re-encodes it.
-                let outs = node.on_packet(now_ns(), net, SharedPacket::from_wire(pkt, bytes));
+        if config.batch {
+            // Everything staged so far (bootstrap frames, submissions)
+            // rides one submission before the wait.
+            flush(transport, &mut out_batch);
+            in_batch.clear();
+            if recv_wait(transport, &mut in_batch, timeout, config.poll) > 0 {
+                let when = now_ns();
+                for (net, bytes) in in_batch.iter() {
+                    // Seed the encode cache with the received datagram
+                    // so retransmitting it never re-encodes.
+                    if let Ok(shared) = SharedPacket::from_datagram(bytes.clone()) {
+                        let outs = node.on_packet(when, *net, shared);
+                        stage(outs, &mut out_batch, events_tx);
+                    }
+                }
+            }
+        } else if let Some((net, bytes)) = transport.recv_timeout(timeout) {
+            if let Ok(shared) = SharedPacket::from_datagram(bytes) {
+                let outs = node.on_packet(now_ns(), net, shared);
                 perform(outs, transport, events_tx);
             }
         }
         let now = now_ns();
         if node.next_deadline().is_some_and(|d| d <= now) {
             let outs = node.on_timer(now);
-            perform(outs, transport, events_tx);
+            if config.batch {
+                stage(outs, &mut out_batch, events_tx);
+            } else {
+                perform(outs, transport, events_tx);
+            }
+        }
+        if config.batch {
+            // One submission flushes the whole wake's output: token
+            // forwarding, retransmissions and fan-out together.
+            flush(transport, &mut out_batch);
         }
     }
+}
+
+/// Waits for inbound traffic per `poll`: either one blocking
+/// [`Transport::recv_batch`], or zero-timeout spins for up to
+/// `spin_us` before blocking for whatever remains of `timeout`.
+fn recv_wait<T: Transport>(
+    transport: &T,
+    out: &mut RecvBatch,
+    timeout: Duration,
+    poll: PollMode,
+) -> usize {
+    match poll {
+        PollMode::Wait => transport.recv_batch(out, timeout),
+        PollMode::BusyPoll { spin_us } => {
+            let spin = Duration::from_micros(spin_us).min(timeout);
+            let start = Instant::now();
+            loop {
+                let got = transport.recv_batch(out, Duration::ZERO);
+                if got > 0 {
+                    return got;
+                }
+                if start.elapsed() >= spin {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            let rest = timeout.saturating_sub(start.elapsed());
+            if rest.is_zero() {
+                0
+            } else {
+                transport.recv_batch(out, rest)
+            }
+        }
+    }
+}
+
+/// Batched-mode output handling: events go to the application
+/// immediately, sends accumulate in `out_batch` for the next
+/// [`flush`].
+fn stage(outputs: Vec<NodeOutput>, out_batch: &mut SendBatch, events_tx: &Sender<RuntimeEvent>) {
+    for out in outputs {
+        match out {
+            NodeOutput::Send { net, dst, pkt } => {
+                let dest = match dst {
+                    None => Destination::Broadcast,
+                    Some(d) => Destination::Node(d),
+                };
+                out_batch.push(net, dest, pkt.encoded().clone());
+            }
+            other => forward_event(other, events_tx),
+        }
+    }
+}
+
+/// Submits everything staged in `out_batch`. Transient failures are
+/// packet loss — the protocol retransmits — so an errored or
+/// partially-sent tail is dropped rather than retried in a loop.
+fn flush<T: Transport>(transport: &T, out_batch: &mut SendBatch) {
+    // The node emits each frame's redundant copies net-by-net;
+    // regrouping them per network turns the flush into one contiguous
+    // run (one sendmmsg submission) per network.
+    out_batch.group_by_net();
+    while !out_batch.is_empty() {
+        match transport.send_batch(out_batch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    out_batch.clear();
 }
 
 fn perform<T: Transport>(
@@ -251,18 +432,25 @@ fn perform<T: Transport>(
                 // copy of this frame share one buffer.
                 let _ = transport.send(net, dest, pkt.encoded().clone());
             }
-            NodeOutput::Deliver(d) => {
-                let _ = events_tx.send(RuntimeEvent::Delivered(d));
-            }
-            NodeOutput::Config(c) => {
-                let _ = events_tx.send(RuntimeEvent::Config(c));
-            }
-            NodeOutput::Fault(f) => {
-                let _ = events_tx.send(RuntimeEvent::Fault(f));
-            }
-            NodeOutput::Reinstated { net, at } => {
-                let _ = events_tx.send(RuntimeEvent::Reinstated { net, at });
-            }
+            other => forward_event(other, events_tx),
+        }
+    }
+}
+
+fn forward_event(out: NodeOutput, events_tx: &Sender<RuntimeEvent>) {
+    match out {
+        NodeOutput::Send { .. } => unreachable!("sends are handled by the caller"),
+        NodeOutput::Deliver(d) => {
+            let _ = events_tx.send(RuntimeEvent::Delivered(d));
+        }
+        NodeOutput::Config(c) => {
+            let _ = events_tx.send(RuntimeEvent::Config(c));
+        }
+        NodeOutput::Fault(f) => {
+            let _ = events_tx.send(RuntimeEvent::Fault(f));
+        }
+        NodeOutput::Reinstated { net, at } => {
+            let _ = events_tx.send(RuntimeEvent::Reinstated { net, at });
         }
     }
 }
@@ -276,6 +464,15 @@ mod tests {
     use totem_wire::NodeId;
 
     fn cluster(n: usize, style: ReplicationStyle, networks: usize) -> Vec<RuntimeHandle> {
+        cluster_with(n, style, networks, RuntimeConfig::default())
+    }
+
+    fn cluster_with(
+        n: usize,
+        style: ReplicationStyle,
+        networks: usize,
+        config: RuntimeConfig,
+    ) -> Vec<RuntimeHandle> {
         let members: Vec<NodeId> = (0..n as u16).map(NodeId::new).collect();
         let transports = InMemoryHub::new(n, networks);
         transports
@@ -291,7 +488,7 @@ mod tests {
                     0,
                 );
                 let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
-                spawn_node(node, t, mode)
+                spawn_node_with(node, t, mode, config)
             })
             .collect()
     }
@@ -316,6 +513,36 @@ mod tests {
         }
         for h in handles {
             h.shutdown();
+        }
+    }
+
+    #[test]
+    fn every_runtime_config_delivers() {
+        let configs = [
+            RuntimeConfig { batch: false, poll: PollMode::Wait },
+            RuntimeConfig { batch: true, poll: PollMode::Wait },
+            RuntimeConfig { batch: true, poll: PollMode::BusyPoll { spin_us: 50 } },
+        ];
+        for config in configs {
+            let handles = cluster_with(3, ReplicationStyle::Active, 2, config);
+            handles[2].submit(Bytes::from_static(b"any mode"));
+            for (i, h) in handles.iter().enumerate() {
+                let mut got = false;
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while Instant::now() < deadline {
+                    match h.next_event(Duration::from_millis(200)) {
+                        Some(RuntimeEvent::Delivered(d)) if &d.data[..] == b"any mode" => {
+                            got = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(got, "node {i} never delivered under {config:?}");
+            }
+            for h in handles {
+                h.shutdown();
+            }
         }
     }
 

@@ -1,0 +1,215 @@
+//! An instrumented [`Transport`] wrapper that counts logical syscalls.
+//!
+//! The loopback-UDP bench gate needs a number that is stable across
+//! machines and kernels: how many times per frame does the driver
+//! cross the syscall layer? [`CountingTransport`] wraps any transport
+//! and tallies *logical* syscalls at the `Transport` API boundary:
+//!
+//! * [`Transport::send`] with a broadcast destination counts one
+//!   submission per emulated unicast datagram (that is exactly what
+//!   the unbatched UDP transport issues: one `send_to` per peer);
+//! * [`Transport::send_batch`] counts one submission per
+//!   `(network, contiguous run)` group — what a `sendmmsg` submission
+//!   path issues — regardless of how the inner transport realizes it;
+//! * [`Transport::recv_timeout`] counts one completion per datagram;
+//! * [`Transport::recv_batch`] counts one completion per non-empty
+//!   fill — what a `recvmmsg` drain issues.
+//!
+//! Datagram counts are tallied alongside, so `syscalls / datagram`
+//! falls out directly. The wrapper delegates the batch calls to the
+//! inner transport (it must not re-route them through the default
+//! loop, or it would measure its own fallback).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use totem_wire::NetworkId;
+
+use crate::{Destination, RecvBatch, SendBatch, Transport};
+
+/// Shared tallies of one [`CountingTransport`] (clone the handle
+/// before moving the transport into a driver thread).
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Logical submission syscalls (`send_to` / `sendmmsg`).
+    pub submits: AtomicU64,
+    /// Logical completion syscalls (`recv_from` / `recvmmsg`).
+    pub completions: AtomicU64,
+    /// Datagrams that crossed the API outbound.
+    pub datagrams_out: AtomicU64,
+    /// Datagrams that crossed the API inbound.
+    pub datagrams_in: AtomicU64,
+}
+
+impl TransportCounters {
+    /// Total logical syscalls so far.
+    pub fn syscalls(&self) -> u64 {
+        self.submits.load(Ordering::Relaxed) + self.completions.load(Ordering::Relaxed)
+    }
+
+    /// Total datagrams that crossed the API in either direction.
+    pub fn datagrams(&self) -> u64 {
+        self.datagrams_out.load(Ordering::Relaxed) + self.datagrams_in.load(Ordering::Relaxed)
+    }
+
+    /// Logical syscalls per datagram (`NaN`-free: 0 when idle).
+    pub fn syscalls_per_datagram(&self) -> f64 {
+        let d = self.datagrams();
+        if d == 0 {
+            0.0
+        } else {
+            self.syscalls() as f64 / d as f64
+        }
+    }
+}
+
+/// A [`Transport`] decorator that tallies logical syscalls and
+/// datagrams into a shared [`TransportCounters`].
+#[derive(Debug)]
+pub struct CountingTransport<T> {
+    inner: T,
+    peers: usize,
+    counters: Arc<TransportCounters>,
+}
+
+impl<T: Transport> CountingTransport<T> {
+    /// Wraps `inner`, modelling broadcast fan-out as `peers`
+    /// receivers (typically `nodes - 1`).
+    pub fn new(inner: T, peers: usize) -> Self {
+        CountingTransport { inner, peers, counters: Arc::new(TransportCounters::default()) }
+    }
+
+    /// A handle to the shared counters.
+    pub fn counters(&self) -> Arc<TransportCounters> {
+        self.counters.clone()
+    }
+
+    fn fanout(&self, dst: Destination) -> u64 {
+        match dst {
+            Destination::Broadcast => self.peers as u64,
+            Destination::Node(_) => 1,
+        }
+    }
+}
+
+impl<T: Transport> Transport for CountingTransport<T> {
+    fn networks(&self) -> usize {
+        self.inner.networks()
+    }
+
+    fn send(&self, net: NetworkId, dst: Destination, payload: Bytes) -> io::Result<()> {
+        let datagrams = self.fanout(dst);
+        // One send_to per emulated datagram: the unbatched cost model.
+        self.counters.submits.fetch_add(datagrams, Ordering::Relaxed);
+        self.counters.datagrams_out.fetch_add(datagrams, Ordering::Relaxed);
+        self.inner.send(net, dst, payload)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<(NetworkId, Bytes)> {
+        let got = self.inner.recv_timeout(timeout);
+        if got.is_some() {
+            self.counters.completions.fetch_add(1, Ordering::Relaxed);
+            self.counters.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    fn send_batch(&self, batch: &mut SendBatch) -> io::Result<usize> {
+        // One sendmmsg submission per contiguous same-network run of
+        // the pending frames, and one datagram per emulated unicast.
+        let mut groups = 0u64;
+        let mut planned = 0u64;
+        let mut last_net: Option<NetworkId> = None;
+        for f in batch.pending() {
+            if last_net != Some(f.net) {
+                groups += 1;
+                last_net = Some(f.net);
+            }
+            planned += self.fanout(f.dst);
+        }
+        let before = batch.remaining();
+        let result = self.inner.send_batch(batch);
+        let sent = before - batch.remaining();
+        if sent > 0 {
+            let unsent: u64 = batch.pending().iter().map(|f| self.fanout(f.dst)).sum();
+            // A partial batch still paid at least one submission but
+            // not necessarily all its groups; charge the groups only
+            // when everything went out.
+            let submits = if sent == before { groups } else { 1 };
+            self.counters.submits.fetch_add(submits, Ordering::Relaxed);
+            self.counters.datagrams_out.fetch_add(planned - unsent, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn recv_batch(&self, out: &mut RecvBatch, timeout: Duration) -> usize {
+        let got = self.inner.recv_batch(out, timeout);
+        if got > 0 {
+            self.counters.completions.fetch_add(1, Ordering::Relaxed);
+            self.counters.datagrams_in.fetch_add(got as u64, Ordering::Relaxed);
+        }
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryHub;
+    use totem_wire::NodeId;
+
+    #[test]
+    fn unbatched_sends_count_per_datagram() {
+        let mut hub = InMemoryHub::new(4, 2);
+        let t = CountingTransport::new(hub.remove(0), 3);
+        let c = t.counters();
+        t.send(NetworkId::new(0), Destination::Broadcast, Bytes::from_static(b"x")).unwrap();
+        t.send(NetworkId::new(1), Destination::Node(NodeId::new(1)), Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(c.submits.load(Ordering::Relaxed), 4, "3 broadcast + 1 unicast send_to");
+        assert_eq!(c.datagrams_out.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn batched_sends_count_per_network_group() {
+        let mut hub = InMemoryHub::new(4, 2);
+        let t = CountingTransport::new(hub.remove(0), 3);
+        let c = t.counters();
+        let mut b = SendBatch::new();
+        for _ in 0..5 {
+            b.push(NetworkId::new(0), Destination::Broadcast, Bytes::from_static(b"d"));
+        }
+        for _ in 0..5 {
+            b.push(NetworkId::new(1), Destination::Broadcast, Bytes::from_static(b"d"));
+        }
+        t.send_batch(&mut b).unwrap();
+        assert_eq!(c.submits.load(Ordering::Relaxed), 2, "one sendmmsg per network run");
+        assert_eq!(c.datagrams_out.load(Ordering::Relaxed), 30, "10 frames x 3 peers");
+    }
+
+    #[test]
+    fn batched_recv_counts_one_completion_per_fill() {
+        let hub = InMemoryHub::new(2, 1);
+        for i in 0..6u8 {
+            hub[0]
+                .send(
+                    NetworkId::new(0),
+                    Destination::Node(NodeId::new(1)),
+                    Bytes::copy_from_slice(&[i]),
+                )
+                .unwrap();
+        }
+        let mut hub = hub;
+        let t = CountingTransport::new(hub.remove(1), 1);
+        let c = t.counters();
+        let mut out = RecvBatch::new();
+        assert_eq!(t.recv_batch(&mut out, Duration::from_millis(100)), 6);
+        assert_eq!(c.completions.load(Ordering::Relaxed), 1, "one recvmmsg drained all six");
+        assert_eq!(c.datagrams_in.load(Ordering::Relaxed), 6);
+        assert!(c.syscalls_per_datagram() < 0.2);
+    }
+}

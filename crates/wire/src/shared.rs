@@ -80,6 +80,20 @@ impl SharedPacket {
         SharedPacket { cell: Arc::new(PacketCell { pkt, encoded }) }
     }
 
+    /// Decodes a raw datagram and seals it with its own bytes seeding
+    /// the encoding cache — the one-call receive path for transports
+    /// that hand out [`Bytes`] frames (re-encoding a relayed frame is
+    /// then free).
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's [`CodecError`](crate::CodecError) for a
+    /// malformed datagram.
+    pub fn from_datagram(wire: Bytes) -> Result<Self, crate::CodecError> {
+        let pkt = Packet::decode(&wire)?;
+        Ok(SharedPacket::from_wire(pkt, wire))
+    }
+
     /// The decoded packet.
     pub fn packet(&self) -> &Packet {
         &self.cell.pkt

@@ -137,14 +137,18 @@ commands:
         --markdown <path>   append the per-counter table as GitHub
                             markdown (append to $GITHUB_STEP_SUMMARY)
 
-  bench [--quick] [--skip-micro]
-      Run the criterion micro-benches and the wall-clock macro gate,
-      then write BENCH_PR4.json (current numbers, the committed
-      pre-change baseline, speedups, determinism digests). Fails if
-      fixed-seed runs diverge from each other or from the baseline.
+  bench [--quick] [--skip-micro] [--skip-udp]
+      Run the criterion micro-benches, the wall-clock macro gate
+      (BENCH_PR4.json) and the loopback-UDP macro gate
+      (BENCH_PR9.json: legacy vs batched driver over real sockets,
+      logical syscalls/frame, allocs/frame, throughput, p99 delivery
+      latency). Fails if fixed-seed sim runs diverge, or if the
+      batched fast path delivers less than a 4x reduction in logical
+      syscalls per frame at broadcast fan-out.
         --quick        short measurement windows (CI smoke); criterion
                        runs with TOTEM_QUICK=1
-        --skip-micro   macro gate only (skip criterion)";
+        --skip-micro   skip criterion
+        --skip-udp     skip the loopback-UDP gate";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

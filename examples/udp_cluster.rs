@@ -16,7 +16,7 @@ use bytes::Bytes;
 use totem_cluster::{spawn_node, RuntimeEvent, StartMode, TotemNode};
 use totem_rrp::{ReplicationStyle, RrpConfig};
 use totem_srp::SrpConfig;
-use totem_transport::{UdpTopology, UdpTransport};
+use totem_transport::UdpTopology;
 use totem_wire::NodeId;
 
 fn parse_style(raw: &str) -> Option<ReplicationStyle> {
@@ -55,19 +55,22 @@ fn main() {
     };
     let nodes = 3;
     let networks = 2;
-    // Pick a port region based on the PID to dodge collisions between
-    // repeated runs.
-    let base_port = 20_000 + (std::process::id() % 20_000) as u16;
-    let topology = UdpTopology::loopback(nodes, networks, base_port);
+    // OS-assigned ports, each owned from the moment it is chosen — no
+    // guessed port regions, no collisions between repeated runs.
+    let bound = UdpTopology::bind_ephemeral(nodes, networks).expect("bind UDP sockets");
     println!(
-        "binding {nodes} nodes x {networks} networks ({style}) starting at 127.0.0.1:{base_port}"
+        "bound {nodes} nodes x {networks} networks ({style}); node 0 net 0 at {}",
+        bound.topology().addr(NodeId::new(0), totem_wire::NetworkId::new(0))
     );
 
     let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
-    let handles: Vec<_> = members
-        .iter()
-        .map(|&me| {
-            let transport = UdpTransport::bind(me, topology.clone()).expect("bind UDP sockets");
+    let handles: Vec<_> = bound
+        .into_transports()
+        .expect("adopt sockets")
+        .into_iter()
+        .enumerate()
+        .map(|(i, transport)| {
+            let me = NodeId::new(i as u16);
             let node = TotemNode::new_operational(
                 me,
                 &members,
@@ -75,7 +78,7 @@ fn main() {
                 RrpConfig::new(style, networks),
                 0,
             );
-            let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };
+            let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
             spawn_node(node, transport, mode)
         })
         .collect();

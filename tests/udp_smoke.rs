@@ -1,33 +1,36 @@
 //! Smoke test of the real-socket path: the same protocol stack the
 //! simulator hosts, over UDP on 127.0.0.1 with two port-group
 //! "networks" and the threaded runtime.
+//!
+//! Every cluster binds its ports through
+//! [`UdpTopology::bind_ephemeral`], which owns each OS-assigned port
+//! from the moment it is chosen — no probe-then-assume-free races
+//! with whatever else runs on the host.
 
-use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use totem_cluster::{spawn_node, RuntimeEvent, StartMode, TotemNode};
+use totem_cluster::{spawn_node_with, PollMode, RuntimeConfig, RuntimeEvent, StartMode, TotemNode};
 use totem_rrp::{ReplicationStyle, RrpConfig};
 use totem_srp::SrpConfig;
-use totem_transport::{UdpTopology, UdpTransport};
+use totem_transport::UdpTopology;
 use totem_wire::NodeId;
 
-fn free_base_port(span: u16) -> u16 {
-    // Find a region of free ports by binding a probe socket.
-    let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
-    let port = probe.local_addr().unwrap().port();
-    port.checked_sub(span).filter(|p| *p >= 1024).unwrap_or(21_000)
-}
-
-fn run_cluster(style: ReplicationStyle, networks: usize) {
-    let nodes = 3;
-    let base = free_base_port((nodes * networks) as u16);
-    let topology = UdpTopology::loopback(nodes, networks, base);
+fn spawn_cluster(
+    style: ReplicationStyle,
+    nodes: usize,
+    networks: usize,
+    config: RuntimeConfig,
+) -> Vec<totem_cluster::RuntimeHandle> {
+    let bound = UdpTopology::bind_ephemeral(nodes, networks).expect("bind ephemeral cluster");
     let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
-    let handles: Vec<_> = members
-        .iter()
-        .map(|&me| {
-            let transport = UdpTransport::bind(me, topology.clone()).expect("bind");
+    bound
+        .into_transports()
+        .expect("adopt sockets")
+        .into_iter()
+        .enumerate()
+        .map(|(i, transport)| {
+            let me = NodeId::new(i as u16);
             let node = TotemNode::new_operational(
                 me,
                 &members,
@@ -35,10 +38,15 @@ fn run_cluster(style: ReplicationStyle, networks: usize) {
                 RrpConfig::new(style, networks),
                 0,
             );
-            let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };
-            spawn_node(node, transport, mode)
+            let mode = if i == 0 { StartMode::Representative } else { StartMode::Member };
+            spawn_node_with(node, transport, mode, config)
         })
-        .collect();
+        .collect()
+}
+
+fn run_cluster(style: ReplicationStyle, networks: usize, config: RuntimeConfig) {
+    let nodes = 3;
+    let handles = spawn_cluster(style, nodes, networks, config);
 
     for (i, h) in handles.iter().enumerate() {
         h.submit(Bytes::from(format!("udp-{style}-{i}")));
@@ -66,17 +74,35 @@ fn run_cluster(style: ReplicationStyle, networks: usize) {
 
 #[test]
 fn udp_active_replication_smoke() {
-    run_cluster(ReplicationStyle::Active, 2);
+    run_cluster(ReplicationStyle::Active, 2, RuntimeConfig::default());
 }
 
 #[test]
 fn udp_passive_replication_smoke() {
-    run_cluster(ReplicationStyle::Passive, 2);
+    run_cluster(ReplicationStyle::Passive, 2, RuntimeConfig::default());
 }
 
 #[test]
 fn udp_single_network_smoke() {
-    run_cluster(ReplicationStyle::Single, 1);
+    run_cluster(ReplicationStyle::Single, 1, RuntimeConfig::default());
+}
+
+/// The pre-batching driver shape still works over real sockets (the
+/// default transport batch methods loop over the single-shot path).
+#[test]
+fn udp_unbatched_driver_smoke() {
+    run_cluster(ReplicationStyle::Active, 2, RuntimeConfig { batch: false, poll: PollMode::Wait });
+}
+
+/// Busy-poll mode: the driver spins briefly before blocking. Same
+/// total order, lower wake-up latency, one hot core.
+#[test]
+fn udp_busy_poll_smoke() {
+    run_cluster(
+        ReplicationStyle::Active,
+        2,
+        RuntimeConfig { batch: true, poll: PollMode::BusyPoll { spin_us: 100 } },
+    );
 }
 
 /// Runtime reconfiguration over real sockets: start K-of-N at K=2,
@@ -85,27 +111,9 @@ fn udp_single_network_smoke() {
 /// total order across the switch.
 #[test]
 fn udp_set_k_reconfigures_a_live_cluster() {
-    let style = ReplicationStyle::KOfN { copies: 2 };
     let nodes = 3;
-    let networks = 2;
-    let base = free_base_port((nodes * networks) as u16);
-    let topology = UdpTopology::loopback(nodes, networks, base);
-    let members: Vec<NodeId> = (0..nodes as u16).map(NodeId::new).collect();
-    let handles: Vec<_> = members
-        .iter()
-        .map(|&me| {
-            let transport = UdpTransport::bind(me, topology.clone()).expect("bind");
-            let node = TotemNode::new_operational(
-                me,
-                &members,
-                SrpConfig::default(),
-                RrpConfig::new(style, networks),
-                0,
-            );
-            let mode = if me == members[0] { StartMode::Representative } else { StartMode::Member };
-            spawn_node(node, transport, mode)
-        })
-        .collect();
+    let handles =
+        spawn_cluster(ReplicationStyle::KOfN { copies: 2 }, nodes, 2, RuntimeConfig::default());
 
     let collect =
         |handles: &[totem_cluster::RuntimeHandle], orders: &mut Vec<Vec<Bytes>>, want: usize| {
