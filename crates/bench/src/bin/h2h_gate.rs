@@ -1,0 +1,222 @@
+//! Backend head-to-head gate: Totem vs Ring Paxos on the identical
+//! saturating workload (`cargo xtask bench` runs this binary and
+//! copies its output to `BENCH_PR10.json` at the workspace root).
+//!
+//! The grid sweeps message size x node count x per-receiver loss rate
+//! for both atomic-broadcast backends on a **single network** (Ring
+//! Paxos is a one-network protocol, so the Totem side runs the
+//! unreplicated single style to keep the comparison apples to
+//! apples). Every metric is derived from simulated time, so the
+//! emitted JSON is bit-identical across machines and builds — it is
+//! committed, and drift in it means the data plane changed.
+//!
+//! `--quick` shortens the measurement window for CI smoke runs; the
+//! committed file is produced by a full run.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use totem_bench::{measure, MeasureConfig, Throughput};
+use totem_cluster::{BackendKind, ClusterConfig, SimCluster};
+use totem_rrp::ReplicationStyle;
+use totem_sim::{SimDuration, SimTime};
+
+const NODE_COUNTS: [usize; 3] = [3, 5, 8];
+const LOSS_PCTS: [f64; 2] = [0.0, 1.0];
+const MSG_SIZES: [usize; 2] = [64, 1024];
+const BACKENDS: [BackendKind; 2] = [BackendKind::Totem, BackendKind::RingPaxos];
+
+fn backend_name(b: BackendKind) -> &'static str {
+    match b {
+        BackendKind::Totem => "totem",
+        BackendKind::RingPaxos => "ring-paxos",
+    }
+}
+
+fn point(
+    backend: BackendKind,
+    nodes: usize,
+    loss_pct: f64,
+    size: usize,
+    quick: bool,
+) -> Throughput {
+    let window = SimDuration::from_millis(if quick { 120 } else { 300 });
+    let cfg = MeasureConfig::new(ReplicationStyle::Single, size)
+        .with_nodes(nodes)
+        .with_backend(backend)
+        .with_loss(loss_pct)
+        .with_window(window);
+    measure(&cfg)
+}
+
+/// Unloaded agreement latency: one message submitted at an otherwise
+/// idle cluster, timed from submit to its delivery at the *slowest*
+/// node, averaged over a few spaced probes. This is the axis where
+/// the backends genuinely differ in kind: Totem must wait for the
+/// token to come around before it may even send, while the Ring
+/// Paxos coordinator opens an instance the moment the proposal
+/// arrives.
+fn unloaded_latency_us(backend: BackendKind, nodes: usize) -> f64 {
+    const PROBES: u64 = 5;
+    let cfg =
+        ClusterConfig::new(nodes, ReplicationStyle::Single).with_seed(7).with_backend(backend);
+    let mut cluster = SimCluster::new(cfg);
+    cluster.run_until(SimTime::from_millis(100));
+    let mut total = 0u64;
+    for k in 0..PROBES {
+        let at = SimTime::from_millis(100 + 50 * k);
+        cluster.run_until(at);
+        cluster.submit(nodes - 1, Bytes::from(format!("probe-{k}")));
+        let deadline = at + SimDuration::from_millis(49);
+        let mut t = at;
+        while !(0..nodes).all(|n| cluster.delivered(n).len() as u64 > k) {
+            assert!(t < deadline, "{backend:?} probe {k} undelivered after 49 ms");
+            t += SimDuration::from_millis(1);
+            cluster.run_until(t);
+        }
+        let slowest =
+            (0..nodes).map(|n| cluster.delivery_times(n)[k as usize]).max().expect("nodes > 0");
+        total += slowest - at.as_nanos();
+    }
+    total as f64 / PROBES as f64 / 1000.0
+}
+
+/// Incremental FNV-1a 64-bit hash over the grid's metric bits, so a
+/// single number summarizes whether any cell moved.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" if i + 1 < args.len() => {
+                out = Some(args[i + 1].clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("h2h_gate: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let started = Instant::now();
+    let mut digest = Fnv::new();
+    let mut rows = Vec::new();
+    for &nodes in &NODE_COUNTS {
+        for &loss in &LOSS_PCTS {
+            for &size in &MSG_SIZES {
+                for &backend in &BACKENDS {
+                    let t = point(backend, nodes, loss, size, quick);
+                    digest.write(&t.msgs_per_sec.to_bits().to_be_bytes());
+                    digest.write(&t.latency_mean_us.to_bits().to_be_bytes());
+                    eprintln!(
+                        "h2h: {:<10} nodes={nodes} loss={loss}% size={size}: \
+                         {:>8.0} msgs/sec, {:>6.0} us",
+                        backend_name(backend),
+                        t.msgs_per_sec,
+                        t.latency_mean_us
+                    );
+                    rows.push((backend, nodes, loss, size, t));
+                }
+            }
+        }
+    }
+
+    let mut probes = Vec::new();
+    for &nodes in &NODE_COUNTS {
+        for &backend in &BACKENDS {
+            let us = unloaded_latency_us(backend, nodes);
+            digest.write(&us.to_bits().to_be_bytes());
+            eprintln!(
+                "h2h: {:<10} nodes={nodes} unloaded latency: {us:>7.0} us",
+                backend_name(backend)
+            );
+            probes.push((backend, nodes, us));
+        }
+    }
+
+    // Determinism self-check: one cell re-measured must reproduce its
+    // metrics bit for bit.
+    let again = point(BackendKind::RingPaxos, NODE_COUNTS[0], LOSS_PCTS[1], MSG_SIZES[0], quick);
+    let first = &rows
+        .iter()
+        .find(|(b, n, l, s, _)| {
+            *b == BackendKind::RingPaxos
+                && *n == NODE_COUNTS[0]
+                && *l == LOSS_PCTS[1]
+                && *s == MSG_SIZES[0]
+        })
+        .expect("the repeated cell is in the grid")
+        .4;
+    let repeat_identical = again.msgs_per_sec.to_bits() == first.msgs_per_sec.to_bits()
+        && again.latency_mean_us.to_bits() == first.latency_mean_us.to_bits();
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"totem-bench-pr10-v1\",\n");
+    j.push_str("  \"issue\": \"multi-backend atomic broadcast head-to-head (PR 10)\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str("  \"style\": \"single network, saturating workload, per-receiver loss\",\n");
+    j.push_str(&format!("  \"grid_digest\": \"{:016x}\",\n", digest.0));
+    j.push_str(&format!("  \"repeat_identical\": {repeat_identical},\n"));
+    j.push_str("  \"points\": [\n");
+    for (i, (backend, nodes, loss, size, t)) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"nodes\": {nodes}, \"loss_pct\": {loss:.1}, \
+             \"size\": {size}, \"msgs_per_sec\": {:.3}, \"kbytes_per_sec\": {:.3}, \
+             \"latency_mean_us\": {:.3}}}{}\n",
+            backend_name(*backend),
+            t.msgs_per_sec,
+            t.kbytes_per_sec,
+            t.latency_mean_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"latency_probes\": [\n");
+    for (i, (backend, nodes, us)) in probes.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"nodes\": {nodes}, \"unloaded_latency_us\": {us:.3}}}{}\n",
+            backend_name(*backend),
+            if i + 1 < probes.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+
+    eprintln!(
+        "h2h: {} points in {:.1}s, grid digest {:016x}, repeat {}",
+        rows.len(),
+        started.elapsed().as_secs_f64(),
+        digest.0,
+        if repeat_identical { "identical" } else { "DIVERGED" }
+    );
+
+    match out {
+        Some(path) => std::fs::write(&path, &j).unwrap_or_else(|e| {
+            eprintln!("h2h_gate: cannot write {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => print!("{j}"),
+    }
+    if !repeat_identical {
+        std::process::exit(1);
+    }
+}

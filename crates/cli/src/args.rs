@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use totem_cluster::BackendKind;
 use totem_rrp::ReplicationStyle;
 
 /// Parsed flags of one subcommand.
@@ -71,6 +72,20 @@ impl Flags {
         };
         parse_style(raw)
     }
+
+    /// The atomic-broadcast backend from `--backend`, defaulting to
+    /// Totem.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown backend names.
+    pub fn backend(&self) -> Result<BackendKind, String> {
+        match self.values.get("backend").map(String::as_str) {
+            None | Some("totem") => Ok(BackendKind::Totem),
+            Some("ring-paxos") => Ok(BackendKind::RingPaxos),
+            Some(other) => Err(format!("unknown backend `{other}` (use totem or ring-paxos)")),
+        }
+    }
 }
 
 /// Parses `single`, `active`, `passive`, `ap:K` or `k-of-n:K`.
@@ -138,6 +153,18 @@ mod tests {
         assert!(parse_style("turbo").is_err());
         assert!(parse_style("ap:x").is_err());
         assert!(parse_style("k-of-n:x").is_err());
+    }
+
+    #[test]
+    fn backends_parse() {
+        let f = Flags::parse(&argv(&[])).unwrap();
+        assert_eq!(f.backend().unwrap(), BackendKind::Totem);
+        let f = Flags::parse(&argv(&["--backend", "ring-paxos"])).unwrap();
+        assert_eq!(f.backend().unwrap(), BackendKind::RingPaxos);
+        let f = Flags::parse(&argv(&["--backend", "totem"])).unwrap();
+        assert_eq!(f.backend().unwrap(), BackendKind::Totem);
+        let f = Flags::parse(&argv(&["--backend", "multi-paxos"])).unwrap();
+        assert!(f.backend().is_err());
     }
 
     #[test]

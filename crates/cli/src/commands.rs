@@ -5,8 +5,8 @@ use bytes::Bytes;
 use totem_bench::{fig6, fig7, fig8, fig9, measure, run_figure, MeasureConfig};
 use totem_cluster::chaos::{par as chaos_par, soak as chaos_soak};
 use totem_cluster::{
-    collect_deliveries, spawn_node_with, ClusterConfig, PollMode, RuntimeConfig, SimCluster,
-    StartMode, TotemNode,
+    collect_deliveries, spawn_node_with, BackendKind, ClusterConfig, PollMode, RuntimeConfig,
+    SimCluster, StartMode, TotemNode,
 };
 use totem_rrp::{ReplicationStyle, RrpConfig};
 use totem_sim::{FaultCommand, NetworkConfig, SimConfig, SimDuration, SimTime};
@@ -20,7 +20,8 @@ use crate::args::Flags;
 pub const USAGE: &str = "totem — the Totem redundant ring protocol, on a simulated testbed
 
 usage:
-  totem throughput [--nodes N] [--replication S] [--size BYTES] [--window-ms MS]
+  totem throughput [--nodes N] [--replication S] [--backend B] [--size BYTES]
+                   [--window-ms MS]
         one saturating-workload measurement (msgs/sec, KB/sec, latency)
   totem compare    [--nodes N] [--size BYTES]
         all four replication styles side by side
@@ -28,13 +29,13 @@ usage:
         regenerate Figures 6-9 of the paper, with shape checks
   totem failover   [--replication S] [--nodes N]
         kill a network mid-run; show transparency + fault reports
-  totem soak       [--seconds S] [--loss PCT] [--replication S] [--seed X]
-                   [--corrupt PCT] [--seeds N] [--jobs N]
+  totem soak       [--seconds S] [--loss PCT] [--replication S] [--backend B]
+                   [--seed X] [--corrupt PCT] [--seeds N] [--jobs N]
         randomized lossy run with safety verification; with --corrupt
         (or --seeds > 1) runs the self-stabilization soak engine: a
         drip of chaos + state-corruption faults checked by the
         rolling-window EVS oracle, seeds fanned across --jobs threads
-  totem scale      [--replication S] [--size BYTES] [--max-nodes N]
+  totem scale      [--replication S] [--backend B] [--size BYTES] [--max-nodes N]
         ring-size sweep: throughput and latency as the ring grows
   totem udp        [--nodes N] [--networks M] [--replication S] [--msgs K]
                    [--size BYTES] [--no-batch] [--busy-poll US]
@@ -44,7 +45,12 @@ usage:
         blocking); verifies one agreed total order, prints msgs/sec
 
 replication styles (--replication, legacy alias --style):
-  single | active | passive | ap:K | k-of-n:K     (default: active)";
+  single | active | passive | ap:K | k-of-n:K     (default: active)
+
+atomic-broadcast backends (--backend, on throughput / scale / soak):
+  totem | ring-paxos      (default: totem; ring-paxos is a fixed-
+  coordinator, single-network backend — use --replication single
+  for an apples-to-apples comparison)";
 
 /// `totem throughput`.
 pub fn throughput(args: &[String]) -> Result<(), String> {
@@ -53,12 +59,14 @@ pub fn throughput(args: &[String]) -> Result<(), String> {
     let size: usize = flags.get("size", 1000)?;
     let window_ms: u64 = flags.get("window-ms", 1000)?;
     let style = flags.style()?;
+    let backend = flags.backend()?;
 
     let cfg = MeasureConfig::new(style, size)
         .with_nodes(nodes)
+        .with_backend(backend)
         .with_window(SimDuration::from_millis(window_ms));
     let t = measure(&cfg);
-    println!("{style}, {nodes} nodes, {size}-byte messages, {window_ms} ms window:");
+    println!("{backend} / {style}, {nodes} nodes, {size}-byte messages, {window_ms} ms window:");
     println!("  send rate    {:>10.0} msgs/sec", t.msgs_per_sec);
     println!("  bandwidth    {:>10.0} Kbytes/sec", t.kbytes_per_sec);
     println!("  mean latency {:>10.0} µs", t.latency_mean_us);
@@ -169,14 +177,16 @@ pub fn failover(args: &[String]) -> Result<(), String> {
 pub fn scale(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let style = flags.style()?;
+    let backend = flags.backend()?;
     let size: usize = flags.get("size", 1000)?;
     let max_nodes: usize = flags.get("max-nodes", 12)?;
-    println!("{style}, {size}-byte messages, ring-size sweep:");
+    println!("{backend} / {style}, {size}-byte messages, ring-size sweep:");
     println!("{:>6} | {:>12} | {:>14}", "nodes", "msgs/sec", "mean lat (µs)");
     let mut nodes = 2;
     while nodes <= max_nodes {
         let cfg = MeasureConfig::new(style, size)
             .with_nodes(nodes)
+            .with_backend(backend)
             .with_window(SimDuration::from_millis(400));
         let t = measure(&cfg);
         println!("{:>6} | {:>12.0} | {:>14.0}", nodes, t.msgs_per_sec, t.latency_mean_us);
@@ -284,10 +294,16 @@ pub fn soak(args: &[String]) -> Result<(), String> {
     let corrupt: u64 = flags.get("corrupt", 0)?;
     let seeds: u64 = flags.get("seeds", 1)?;
     let style = flags.style()?;
+    let backend = flags.backend()?;
     if corrupt > 100 {
         return Err("--corrupt is a percentage (0-100)".into());
     }
     if corrupt > 0 || seeds > 1 {
+        if backend != BackendKind::Totem {
+            return Err("the corruption soak engine drives the Totem backend only \
+                 (state corruption is a Totem hook; ring-paxos has none)"
+                .into());
+        }
         let jobs: usize = flags.get("jobs", chaos_par::default_jobs())?;
         if jobs == 0 || seeds == 0 {
             return Err("--jobs and --seeds must be at least 1".into());
@@ -297,7 +313,7 @@ pub fn soak(args: &[String]) -> Result<(), String> {
     let nodes = 4usize;
     let networks = if style == ReplicationStyle::Single { 1 } else { 2 };
 
-    let mut cfg = ClusterConfig::new(nodes, style).with_seed(seed);
+    let mut cfg = ClusterConfig::new(nodes, style).with_seed(seed).with_backend(backend);
     let mut sim = SimConfig::lan(nodes, networks);
     sim.networks = vec![NetworkConfig::ethernet_100mbit().with_rx_loss(loss_pct / 100.0); networks];
     sim.seed = seed;
@@ -305,7 +321,8 @@ pub fn soak(args: &[String]) -> Result<(), String> {
     let mut cluster = SimCluster::new(cfg);
 
     println!(
-        "{style}, {nodes} nodes, {loss_pct}% per-receiver loss, seed {seed}, {seconds}s simulated"
+        "{backend} / {style}, {nodes} nodes, {loss_pct}% per-receiver loss, \
+         seed {seed}, {seconds}s simulated"
     );
     let mut t = SimTime::ZERO;
     let mut submitted = 0u64;

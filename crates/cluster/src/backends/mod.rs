@@ -1,0 +1,10 @@
+//! Alternative broadcast engines behind the [`crate::Broadcast`] seam.
+//!
+//! The Totem stack ([`crate::TotemNode`]) lives in [`crate::node`]; this
+//! module collects the non-Totem backends. Today that is one engine:
+//! a minimal Ring Paxos, the head-to-head counterpart called for by
+//! ROADMAP item 4.
+
+pub mod ring_paxos;
+
+pub use ring_paxos::RingPaxosNode;

@@ -30,6 +30,7 @@ pub use totem_sim::CorruptionTarget;
 use totem_sim::{FaultCommand, SimDuration, SimTime};
 use totem_wire::{NetworkId, NodeId};
 
+use crate::backend::BackendKind;
 use crate::sim_cluster::{ClusterConfig, SimCluster};
 use oracle::Violation;
 
@@ -106,6 +107,39 @@ pub struct ChaosSchedule {
     /// format when zero, so legacy repro files parse — and serialize —
     /// unchanged.
     pub start_seq: u64,
+    /// Which broadcast engine runs under the schedule. Omitted from
+    /// the TOML repro format when Totem (the default), so legacy repro
+    /// files parse — and serialize — unchanged.
+    pub backend: BackendKind,
+}
+
+impl ChaosSchedule {
+    /// Retargets the schedule at `backend`.
+    ///
+    /// For [`BackendKind::RingPaxos`] this also moves any crash or
+    /// restart of node 0 to node 1: the Ring Paxos coordinator is
+    /// fixed at `members[0]` with no failover (a scope decision, see
+    /// `backends::ring_paxos`), so killing it tests nothing but that
+    /// documented gap — and an amnesiac coordinator re-sequencing
+    /// in-flight values is exactly the divergence the fixed-coordinator
+    /// assumption excludes from the safety argument.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        if backend == BackendKind::RingPaxos {
+            for sc in &mut self.commands {
+                match &mut sc.cmd {
+                    FaultCommand::CrashNode { node } | FaultCommand::RestartNode { node }
+                        if *node == NodeId::new(0) =>
+                    {
+                        *node = NodeId::new(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self
+    }
 }
 
 /// What [`run`] observed: oracle verdicts plus workload statistics.
@@ -238,6 +272,7 @@ pub fn generate(seed: u64, style: ReplicationStyle, nodes: usize, steps: u64) ->
         kflips,
         corruptions: Vec::new(),
         start_seq: 0,
+        backend: BackendKind::Totem,
     }
 }
 
@@ -657,6 +692,9 @@ impl ChaosSchedule {
         if self.start_seq != 0 {
             out.push_str(&format!("start_seq = {}\n", self.start_seq));
         }
+        if self.backend != BackendKind::Totem {
+            out.push_str(&format!("backend = \"{}\"\n", self.backend.name()));
+        }
         for sc in &self.commands {
             out.push_str("\n[[command]]\n");
             out.push_str(&format!("at_ns = {}\n", sc.at_ns));
@@ -751,6 +789,7 @@ impl ChaosSchedule {
         let mut style = None;
         let mut steps = None;
         let mut start_seq = 0u64;
+        let mut backend = BackendKind::Totem;
         let mut commands = Vec::new();
         let mut kflips = Vec::new();
         let mut corruptions = Vec::new();
@@ -809,6 +848,10 @@ impl ChaosSchedule {
                     }
                     "steps" => steps = Some(parse_u64(value).map_err(at)?),
                     "start_seq" => start_seq = parse_u64(value).map_err(at)?,
+                    "backend" => {
+                        backend =
+                            parse_str(value).and_then(|s| s.parse::<BackendKind>()).map_err(at)?;
+                    }
                     other => return Err(format!("line {lineno}: unknown header key {other:?}")),
                 }
             }
@@ -824,6 +867,7 @@ impl ChaosSchedule {
             kflips,
             corruptions,
             start_seq,
+            backend,
         })
     }
 }
@@ -983,6 +1027,50 @@ mod tests {
     }
 
     #[test]
+    fn backend_tag_roundtrips_through_toml_and_elides_totem() {
+        let schedule = generate(5, ReplicationStyle::Active, 4, 96);
+        // The default backend is elided so legacy repro files stay
+        // byte-compatible in both directions.
+        assert!(!schedule.to_toml().contains("backend"));
+        let tagged =
+            generate(5, ReplicationStyle::Active, 4, 96).with_backend(BackendKind::RingPaxos);
+        let toml = tagged.to_toml();
+        assert!(toml.contains("backend = \"ring-paxos\""), "{toml}");
+        let parsed = ChaosSchedule::from_toml(&toml).expect("roundtrip parse");
+        assert_eq!(tagged, parsed);
+        assert_eq!(parsed.backend, BackendKind::RingPaxos);
+    }
+
+    #[test]
+    fn with_backend_retargets_coordinator_crashes_for_ring_paxos() {
+        // Find a seed whose schedule crashes node 0 so the retarget is
+        // actually exercised.
+        let (seed, schedule) = (0..100)
+            .map(|seed| (seed, generate(seed, ReplicationStyle::Active, 4, 200)))
+            .find(|(_, s)| {
+                s.commands
+                    .iter()
+                    .any(|c| c.cmd == (FaultCommand::CrashNode { node: NodeId::new(0) }))
+            })
+            .expect("some seed must crash node 0");
+        let retargeted = schedule.clone().with_backend(BackendKind::RingPaxos);
+        assert_eq!(retargeted.backend, BackendKind::RingPaxos);
+        for c in &retargeted.commands {
+            assert_ne!(
+                c.cmd,
+                FaultCommand::CrashNode { node: NodeId::new(0) },
+                "seed {seed}: the fixed coordinator must never be crashed"
+            );
+            assert_ne!(c.cmd, FaultCommand::RestartNode { node: NodeId::new(0) });
+        }
+        // Everything else is untouched.
+        assert_eq!(retargeted.commands.len(), schedule.commands.len());
+        // Totem keeps its schedule bit-identical.
+        let same = schedule.clone().with_backend(BackendKind::Totem);
+        assert_eq!(same.commands, schedule.commands);
+    }
+
+    #[test]
     fn generated_schedules_pair_crashes_with_restarts() {
         for seed in 0..20 {
             let s = generate(seed, ReplicationStyle::Active, 4, 200);
@@ -1061,6 +1149,7 @@ mod tests {
                 salt: 42,
             }],
             start_seq: 0,
+            backend: BackendKind::Totem,
         };
         let text = schedule.to_toml();
         assert!(text.contains("[[corrupt]]"), "missing corrupt block:\n{text}");
@@ -1188,6 +1277,7 @@ mod tests {
             kflips: Vec::new(),
             corruptions: Vec::new(),
             start_seq: 0,
+            backend: BackendKind::Totem,
         }
     }
 
@@ -1274,6 +1364,7 @@ mod tests {
             kflips: Vec::new(),
             corruptions: Vec::new(),
             start_seq: 0,
+            backend: BackendKind::Totem,
         };
         let parsed = ChaosSchedule::from_toml(&schedule.to_toml()).expect("roundtrip parse");
         assert_eq!(schedule, parsed);
@@ -1345,9 +1436,22 @@ mod tests {
                 // Zero (the elided-from-TOML default) and near-wrap
                 // starts both round-trip.
                 prop_oneof![Just(0u64), any::<u64>()],
+                // Both backends round-trip (Totem is elided from the
+                // TOML form).
+                prop_oneof![Just(BackendKind::Totem), Just(BackendKind::RingPaxos)],
             )
                 .prop_map(
-                    |(seed, nodes, style, steps, commands, kflips, corruptions, start_seq)| {
+                    |(
+                        seed,
+                        nodes,
+                        style,
+                        steps,
+                        commands,
+                        kflips,
+                        corruptions,
+                        start_seq,
+                        backend,
+                    )| {
                         ChaosSchedule {
                             seed,
                             nodes: nodes as usize,
@@ -1367,6 +1471,7 @@ mod tests {
                                 .collect(),
                             corruptions,
                             start_seq,
+                            backend,
                         }
                     },
                 )

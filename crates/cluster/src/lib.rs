@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod backends;
 pub mod chaos;
 pub mod mc;
 pub mod node;
@@ -53,6 +55,8 @@ pub mod runtime;
 pub mod scenarios;
 pub mod sim_cluster;
 
+pub use backend::{BackendKind, BackendNode, Broadcast};
+pub use backends::RingPaxosNode;
 pub use chaos::{ChaosReport, ChaosSchedule, ScheduledCommand};
 pub use mc::{Counterexample, McOptions, McReport};
 pub use node::{NodeOutput, TotemNode};

@@ -328,6 +328,9 @@ impl TotemNode {
                         Packet::Data(_) | Packet::Token(_) => {
                             self.rrp.routes_for_message_into(&mut routes);
                         }
+                        // The SRP never emits another backend's
+                        // packets; route nowhere.
+                        Packet::RingPaxos(_) => routes.clear(),
                     }
                     for &net in &routes {
                         out.push(NodeOutput::Send { net, dst: None, pkt: pkt.clone() });
@@ -345,6 +348,7 @@ impl TotemNode {
                         Packet::Data(_) | Packet::Token(_) | Packet::Join(_) => {
                             self.rrp.routes_for_token_into(&mut routes);
                         }
+                        Packet::RingPaxos(_) => routes.clear(),
                     }
                     for &net in &routes {
                         out.push(NodeOutput::Send { net, dst: Some(succ), pkt: pkt.clone() });

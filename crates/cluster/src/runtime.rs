@@ -17,6 +17,7 @@ use totem_srp::{ConfigChange, Delivered};
 use totem_transport::{Destination, RecvBatch, SendBatch, Transport};
 use totem_wire::SharedPacket;
 
+use crate::backend::Broadcast;
 use crate::node::{NodeOutput, TotemNode};
 
 /// How the driver waits for traffic.
@@ -93,15 +94,17 @@ enum Cmd {
     Shutdown,
 }
 
-/// Handle to a running node.
+/// Handle to a running node. Generic over the broadcast engine the
+/// driver thread hosts; defaults to [`TotemNode`], so existing Totem
+/// call sites never spell the parameter.
 #[derive(Debug)]
-pub struct RuntimeHandle {
+pub struct RuntimeHandle<B: Broadcast = TotemNode> {
     cmd_tx: Sender<Cmd>,
     events_rx: Receiver<RuntimeEvent>,
-    join: Option<std::thread::JoinHandle<TotemNode>>,
+    join: Option<std::thread::JoinHandle<B>>,
 }
 
-impl RuntimeHandle {
+impl<B: Broadcast> RuntimeHandle<B> {
     /// Queues an application message for ordered broadcast. The driver
     /// retries internally on flow-control backpressure.
     pub fn submit(&self, data: Bytes) {
@@ -132,13 +135,13 @@ impl RuntimeHandle {
     }
 
     /// Stops the driver and returns the final node state.
-    pub fn shutdown(mut self) -> TotemNode {
+    pub fn shutdown(mut self) -> B {
         let _ = self.cmd_tx.send(Cmd::Shutdown);
         self.join.take().expect("not yet joined").join().expect("driver thread panicked")
     }
 }
 
-impl Drop for RuntimeHandle {
+impl<B: Broadcast> Drop for RuntimeHandle<B> {
     fn drop(&mut self) {
         if let Some(join) = self.join.take() {
             let _ = self.cmd_tx.send(Cmd::Shutdown);
@@ -153,8 +156,8 @@ impl Drop for RuntimeHandle {
 /// wall time (measured here so callers that must stay free of
 /// wall-clock reads — everything outside the real-time crates — can
 /// still report throughput).
-pub fn collect_deliveries(
-    handles: &[RuntimeHandle],
+pub fn collect_deliveries<B: Broadcast>(
+    handles: &[RuntimeHandle<B>],
     want: usize,
     timeout: Duration,
 ) -> (Vec<Vec<Bytes>>, Duration) {
@@ -209,21 +212,25 @@ pub fn collect_deliveries(
 /// assert!(got);
 /// # for h in handles { h.shutdown(); }
 /// ```
-pub fn spawn_node<T: Transport + 'static>(
-    node: TotemNode,
-    transport: T,
-    start: StartMode,
-) -> RuntimeHandle {
+pub fn spawn_node<B, T>(node: B, transport: T, start: StartMode) -> RuntimeHandle<B>
+where
+    B: Broadcast + Send + 'static,
+    T: Transport + 'static,
+{
     spawn_node_with(node, transport, start, RuntimeConfig::default())
 }
 
 /// Like [`spawn_node`], with explicit [`RuntimeConfig`] tuning.
-pub fn spawn_node_with<T: Transport + 'static>(
-    mut node: TotemNode,
+pub fn spawn_node_with<B, T>(
+    mut node: B,
     transport: T,
     start: StartMode,
     config: RuntimeConfig,
-) -> RuntimeHandle {
+) -> RuntimeHandle<B>
+where
+    B: Broadcast + Send + 'static,
+    T: Transport + 'static,
+{
     let (cmd_tx, cmd_rx) = unbounded();
     let (events_tx, events_rx) = unbounded();
     let join = std::thread::Builder::new()
@@ -236,8 +243,8 @@ pub fn spawn_node_with<T: Transport + 'static>(
     RuntimeHandle { cmd_tx, events_rx, join: Some(join) }
 }
 
-fn drive<T: Transport>(
-    node: &mut TotemNode,
+fn drive<B: Broadcast, T: Transport>(
+    node: &mut B,
     transport: &T,
     start: StartMode,
     config: RuntimeConfig,
@@ -254,16 +261,18 @@ fn drive<T: Transport>(
     let mut out_batch = SendBatch::new();
     let mut in_batch = RecvBatch::new();
 
-    let outputs = match start {
-        StartMode::Member => Vec::new(),
-        StartMode::Representative => node.bootstrap_token(now_ns()),
-        StartMode::Joining => node.start(now_ns()),
-    };
+    // One recycled output buffer serves the whole driver loop.
+    let mut outputs: Vec<NodeOutput> = Vec::new();
+    match start {
+        StartMode::Member => {}
+        StartMode::Representative => node.bootstrap_into(now_ns(), &mut outputs),
+        StartMode::Joining => node.start_into(now_ns(), &mut outputs),
+    }
     if config.batch {
-        stage(outputs, &mut out_batch, events_tx);
+        stage(&mut outputs, &mut out_batch, events_tx);
         flush(transport, &mut out_batch);
     } else {
-        perform(outputs, transport, events_tx);
+        perform(&mut outputs, transport, events_tx);
     }
 
     loop {
@@ -288,13 +297,13 @@ fn drive<T: Transport>(
         }
         // Feed pending submissions while the queue has room.
         while let Some(data) = pending.first().cloned() {
-            match node.submit(now_ns(), data) {
-                Ok(outs) => {
+            match node.submit_into(now_ns(), data, &mut outputs) {
+                Ok(()) => {
                     pending.remove(0);
                     if config.batch {
-                        stage(outs, &mut out_batch, events_tx);
+                        stage(&mut outputs, &mut out_batch, events_tx);
                     } else {
-                        perform(outs, transport, events_tx);
+                        perform(&mut outputs, transport, events_tx);
                     }
                 }
                 Err(_) => break, // backpressure: retry next iteration
@@ -318,24 +327,24 @@ fn drive<T: Transport>(
                     // Seed the encode cache with the received datagram
                     // so retransmitting it never re-encodes.
                     if let Ok(shared) = SharedPacket::from_datagram(bytes.clone()) {
-                        let outs = node.on_packet(when, *net, shared);
-                        stage(outs, &mut out_batch, events_tx);
+                        node.on_packet_into(when, *net, shared, &mut outputs);
+                        stage(&mut outputs, &mut out_batch, events_tx);
                     }
                 }
             }
         } else if let Some((net, bytes)) = transport.recv_timeout(timeout) {
             if let Ok(shared) = SharedPacket::from_datagram(bytes) {
-                let outs = node.on_packet(now_ns(), net, shared);
-                perform(outs, transport, events_tx);
+                node.on_packet_into(now_ns(), net, shared, &mut outputs);
+                perform(&mut outputs, transport, events_tx);
             }
         }
         let now = now_ns();
         if node.next_deadline().is_some_and(|d| d <= now) {
-            let outs = node.on_timer(now);
+            node.on_timer_into(now, &mut outputs);
             if config.batch {
-                stage(outs, &mut out_batch, events_tx);
+                stage(&mut outputs, &mut out_batch, events_tx);
             } else {
-                perform(outs, transport, events_tx);
+                perform(&mut outputs, transport, events_tx);
             }
         }
         if config.batch {
@@ -383,8 +392,12 @@ fn recv_wait<T: Transport>(
 /// Batched-mode output handling: events go to the application
 /// immediately, sends accumulate in `out_batch` for the next
 /// [`flush`].
-fn stage(outputs: Vec<NodeOutput>, out_batch: &mut SendBatch, events_tx: &Sender<RuntimeEvent>) {
-    for out in outputs {
+fn stage(
+    outputs: &mut Vec<NodeOutput>,
+    out_batch: &mut SendBatch,
+    events_tx: &Sender<RuntimeEvent>,
+) {
+    for out in outputs.drain(..) {
         match out {
             NodeOutput::Send { net, dst, pkt } => {
                 let dest = match dst {
@@ -416,11 +429,11 @@ fn flush<T: Transport>(transport: &T, out_batch: &mut SendBatch) {
 }
 
 fn perform<T: Transport>(
-    outputs: Vec<NodeOutput>,
+    outputs: &mut Vec<NodeOutput>,
     transport: &T,
     events_tx: &Sender<RuntimeEvent>,
 ) {
-    for out in outputs {
+    for out in outputs.drain(..) {
         match out {
             NodeOutput::Send { net, dst, pkt } => {
                 let dest = match dst {

@@ -1,6 +1,8 @@
-//! A whole Totem cluster inside the deterministic simulator.
+//! A whole broadcast cluster inside the deterministic simulator.
 //!
-//! [`SimCluster`] hosts N [`TotemNode`]s as actors of a
+//! [`SimCluster`] hosts N broadcast engines — [`TotemNode`]s by
+//! default, or any other [`Broadcast`] backend selected through
+//! [`ClusterConfig::with_backend`] — as actors of a
 //! [`totem_sim::SimWorld`], wiring protocol sends to the simulated
 //! networks and collecting deliveries, configuration changes and
 //! fault reports per node. It is the substrate for the integration
@@ -13,6 +15,8 @@ use totem_sim::{Actor, Ctx, FaultCommand, SimConfig, SimStats, SimTime, SimWorld
 use totem_srp::{ConfigChange, Delivered, SrpConfig, SrpState, SubmitError};
 use totem_wire::{Incarnation, NetworkId, NodeId};
 
+use crate::backend::{BackendKind, BackendNode, Broadcast};
+use crate::backends::RingPaxosNode;
 use crate::node::{NodeOutput, TotemNode};
 
 /// Configuration of a simulated cluster.
@@ -35,6 +39,8 @@ pub struct ClusterConfig {
     /// Keep full per-node delivery logs (tests) or only counters
     /// (benchmarks).
     pub record_deliveries: bool,
+    /// Which broadcast engine the nodes run (default: Totem).
+    pub backend: BackendKind,
 }
 
 impl ClusterConfig {
@@ -61,6 +67,7 @@ impl ClusterConfig {
             sim: SimConfig::lan(nodes, networks),
             joining: false,
             record_deliveries: true,
+            backend: BackendKind::Totem,
         }
     }
 
@@ -108,6 +115,14 @@ impl ClusterConfig {
         self.record_deliveries = false;
         self
     }
+
+    /// Selects the broadcast engine. Non-Totem backends run a static
+    /// ensemble: `joining` is ignored and the RRP plane (replication
+    /// style, reinstatement, K changes) does not apply.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Aggregated application-level counters.
@@ -144,12 +159,11 @@ impl ClusterCounters {
 
 /// One node hosted in the simulator.
 struct ClusterActor {
-    node: TotemNode,
-    me: NodeId,
-    /// Protocol configurations, kept for rebuilding the node cold
-    /// after a crash.
-    srp_cfg: SrpConfig,
-    rrp_cfg: RrpConfig,
+    node: BackendNode,
+    /// Builds a cold replacement engine after a crash, from the
+    /// identity epoch the dead incarnation reached and the reboot's
+    /// incarnation number (think: the two counters on stable storage).
+    rebuild: Box<dyn Fn(u64, Incarnation) -> BackendNode + Send>,
     /// `false` while crashed by [`FaultCommand::CrashNode`].
     alive: bool,
     /// Reboots survived ([`Incarnation::ZERO`] = the original
@@ -225,7 +239,7 @@ impl ClusterActor {
         // Keep a healthy backlog without churning the full queue
         // limit on every callback.
         let mut outs = std::mem::take(&mut self.out_buf);
-        while self.node.srp().send_queue_len() < 64 {
+        while self.node.send_queue_len() < 64 {
             let mut body = vec![0u8; size.max(8)];
             body[..8].copy_from_slice(&now.as_nanos().to_be_bytes());
             match self.node.submit_into(now.as_nanos(), Bytes::from(body), &mut outs) {
@@ -251,14 +265,14 @@ impl ClusterActor {
 
 impl Actor for ClusterActor {
     fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
-        let mut outputs = if self.joining {
-            self.node.start(now.as_nanos())
+        let mut outputs = std::mem::take(&mut self.out_buf);
+        if self.joining {
+            self.node.start_into(now.as_nanos(), &mut outputs);
         } else if self.bootstrap {
-            self.node.bootstrap_token(now.as_nanos())
-        } else {
-            Vec::new()
-        };
+            self.node.bootstrap_into(now.as_nanos(), &mut outputs);
+        }
         self.handle(now, &mut outputs, ctx);
+        self.out_buf = outputs;
         self.pump(now, ctx);
         self.arm(ctx);
     }
@@ -289,9 +303,9 @@ impl Actor for ClusterActor {
     }
 
     fn on_crash(&mut self, _now: SimTime) {
-        // Remember how far the dying incarnation's ring history got:
-        // the reboot must start beyond it.
-        self.epoch = self.epoch.max(self.node.srp().max_ring_seq());
+        // Remember how far the dying incarnation's ordering history
+        // got: the reboot must start beyond it.
+        self.epoch = self.epoch.max(self.node.crash_epoch());
         self.alive = false;
     }
 
@@ -318,16 +332,13 @@ impl Actor for ClusterActor {
         // holding a single counter). Delivery logs and counters are
         // the *observer's* records, not the node's, and accumulate
         // across incarnations.
-        self.node = TotemNode::new_rejoining(
-            self.me,
-            self.srp_cfg.clone(),
-            self.rrp_cfg.clone(),
-            self.epoch,
-        );
-        self.alive = true;
         self.incarnation = self.incarnation.next();
-        let mut outputs = self.node.start(now.as_nanos());
+        self.node = (self.rebuild)(self.epoch, self.incarnation);
+        self.alive = true;
+        let mut outputs = std::mem::take(&mut self.out_buf);
+        self.node.start_into(now.as_nanos(), &mut outputs);
         self.handle(now, &mut outputs, ctx);
+        self.out_buf = outputs;
         self.pump(now, ctx);
         self.arm(ctx);
     }
@@ -360,22 +371,57 @@ impl SimCluster {
         let actors = members
             .iter()
             .map(|&me| {
-                let node = if cfg.joining {
-                    TotemNode::new_joining(me, cfg.srp.clone(), cfg.rrp.clone())
-                } else {
-                    TotemNode::new_operational(me, &members, cfg.srp.clone(), cfg.rrp.clone(), 0)
+                let node = match cfg.backend {
+                    BackendKind::Totem => BackendNode::Totem(if cfg.joining {
+                        TotemNode::new_joining(me, cfg.srp.clone(), cfg.rrp.clone())
+                    } else {
+                        TotemNode::new_operational(
+                            me,
+                            &members,
+                            cfg.srp.clone(),
+                            cfg.rrp.clone(),
+                            0,
+                        )
+                    }),
+                    BackendKind::RingPaxos => {
+                        BackendNode::RingPaxos(RingPaxosNode::new(me, &members, 0, 0))
+                    }
+                };
+                let rebuild: Box<dyn Fn(u64, Incarnation) -> BackendNode + Send> = match cfg.backend
+                {
+                    BackendKind::Totem => {
+                        let srp = cfg.srp.clone();
+                        let rrp = cfg.rrp.clone();
+                        Box::new(move |epoch, _inc| {
+                            BackendNode::Totem(TotemNode::new_rejoining(
+                                me,
+                                srp.clone(),
+                                rrp.clone(),
+                                epoch,
+                            ))
+                        })
+                    }
+                    BackendKind::RingPaxos => {
+                        let ensemble = members.clone();
+                        Box::new(move |epoch, inc| {
+                            BackendNode::RingPaxos(RingPaxosNode::new(
+                                me,
+                                &ensemble,
+                                inc.as_u64(),
+                                epoch,
+                            ))
+                        })
+                    }
                 };
                 ClusterActor {
                     node,
-                    me,
-                    srp_cfg: cfg.srp.clone(),
-                    rrp_cfg: cfg.rrp.clone(),
+                    rebuild,
                     alive: true,
                     incarnation: Incarnation::ZERO,
                     epoch: 0,
                     cpu: cfg.sim.cpus[me.index()].clone(),
                     bootstrap: !cfg.joining && me == members[0],
-                    joining: cfg.joining,
+                    joining: cfg.joining && cfg.backend == BackendKind::Totem,
                     record: cfg.record_deliveries,
                     saturate: None,
                     delivered: Vec::new(),
@@ -417,10 +463,19 @@ impl SimCluster {
             if !a.alive {
                 return Err(SubmitError { limit: 0 });
             }
-            let mut outs = a.node.submit(now.as_nanos(), data)?;
-            a.handle(now, &mut outs, ctx);
-            a.arm(ctx);
-            Ok(())
+            let mut outs = std::mem::take(&mut a.out_buf);
+            match a.node.submit_into(now.as_nanos(), data, &mut outs) {
+                Ok(()) => {
+                    a.handle(now, &mut outs, ctx);
+                    a.out_buf = outs;
+                    a.arm(ctx);
+                    Ok(())
+                }
+                Err(e) => {
+                    a.out_buf = outs;
+                    Err(e)
+                }
+            }
         })
     }
 
@@ -545,19 +600,28 @@ impl SimCluster {
         total
     }
 
-    /// SRP state of one node.
+    /// Which engine this cluster runs.
+    pub fn backend(&self) -> BackendKind {
+        self.world.actor(NodeId::new(0)).node.kind()
+    }
+
+    /// Protocol state of one node as seen by the membership observers
+    /// (non-Totem backends are always operational).
     pub fn srp_state(&self, node: usize) -> SrpState {
-        self.world.actor(NodeId::new(node as u16)).node.state()
+        self.world.actor(NodeId::new(node as u16)).node.srp_state()
     }
 
-    /// Ring membership of one node, if on a ring.
+    /// Membership view of one node: the ring membership (Totem) or
+    /// the static ensemble (Ring Paxos).
     pub fn members(&self, node: usize) -> Option<Vec<NodeId>> {
-        self.world.actor(NodeId::new(node as u16)).node.srp().members().map(|m| m.to_vec())
+        self.world.actor(NodeId::new(node as u16)).node.members()
     }
 
-    /// Which networks `node` has marked faulty.
+    /// Which networks `node` has marked faulty (all-false on backends
+    /// without a redundant-network plane).
     pub fn faulty_networks(&self, node: usize) -> Vec<bool> {
-        self.world.actor(NodeId::new(node as u16)).node.rrp().faulty()
+        let networks = self.world.config().network_count();
+        self.world.actor(NodeId::new(node as u16)).node.faulty_networks(networks)
     }
 
     /// Schedules a fault command at a simulated instant.
@@ -600,9 +664,10 @@ impl SimCluster {
         self.world.actor(NodeId::new(node as u16)).incarnation
     }
 
-    /// Diagnostic snapshot of one node's RRP monitors.
+    /// Diagnostic snapshot of one node's RRP monitors (empty on
+    /// backends without a redundant-network plane).
     pub fn monitor_report(&self, node: usize) -> Vec<(totem_rrp::MonitorKind, Vec<u64>)> {
-        self.world.actor(NodeId::new(node as u16)).node.rrp().monitor_report()
+        self.world.actor(NodeId::new(node as u16)).node.monitor_report()
     }
 
     /// Wire-level statistics of the simulated networks.
@@ -621,21 +686,21 @@ impl SimCluster {
         self.world.trace()
     }
 
-    /// Per-node SRP statistics.
+    /// Per-node SRP statistics (zeroes on non-Totem backends).
     pub fn srp_stats(&self, node: usize) -> totem_srp::node::SrpStats {
-        self.world.actor(NodeId::new(node as u16)).node.srp().stats().clone()
+        self.world.actor(NodeId::new(node as u16)).node.srp_stats()
     }
 
-    /// Ring identity of one node, if on a ring.
+    /// Ring identity of one node, if the backend forms one.
     pub fn ring_id(&self, node: usize) -> Option<totem_wire::RingId> {
-        self.world.actor(NodeId::new(node as u16)).node.srp().ring_id()
+        self.world.actor(NodeId::new(node as u16)).node.ring_id()
     }
 
-    /// Highest ring sequence number `node` has ever observed (survives
-    /// crashes as the identity epoch; see
-    /// [`totem_srp::SrpNode::max_ring_seq`]).
+    /// Highest ordering watermark `node` has ever observed — ring
+    /// sequence (Totem) or consensus instance (Ring Paxos); survives
+    /// crashes as the identity epoch.
     pub fn max_ring_seq(&self, node: usize) -> u64 {
-        self.world.actor(NodeId::new(node as u16)).node.srp().max_ring_seq()
+        self.world.actor(NodeId::new(node as u16)).node.max_ring_seq()
     }
 
     /// Feeds the observable cluster state into a caller-supplied

@@ -646,7 +646,7 @@ fn sender_of(pkt: &Packet) -> Option<NodeId> {
     match pkt {
         Packet::Data(d) => Some(d.sender),
         Packet::Join(j) => Some(j.sender),
-        Packet::Token(_) | Packet::Commit(_) => None,
+        Packet::Token(_) | Packet::Commit(_) | Packet::RingPaxos(_) => None,
     }
 }
 

@@ -64,6 +64,12 @@ pub enum TracedPacket {
     Join,
     /// Commit token.
     Commit,
+    /// A non-Totem backend's protocol message (e.g. Ring Paxos), with
+    /// the consensus instance it names (0 when it names none).
+    Backend {
+        /// The consensus instance, as a raw counter.
+        iid: u64,
+    },
 }
 
 /// One wire-level event.

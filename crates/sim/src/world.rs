@@ -318,6 +318,9 @@ impl<A: Actor> SimWorld<A> {
             }
             Packet::Join(_) => TracedPacket::Join,
             Packet::Commit(_) => TracedPacket::Commit,
+            Packet::RingPaxos(m) => {
+                TracedPacket::Backend { iid: m.iid().map_or(0, |i| i.as_u64()) }
+            }
         };
         log.push(TraceEvent { at: self.now, kind, net, from, to, packet });
     }

@@ -604,6 +604,9 @@ impl SrpNode {
             Packet::Token(t) => self.handle_token(now, t),
             Packet::Join(j) => self.handle_join(now, j),
             Packet::Commit(c) => self.handle_commit(now, c),
+            // Another backend's traffic (never routed here by a
+            // correctly configured cluster); the SRP ignores it.
+            Packet::RingPaxos(_) => Vec::new(),
         }
     }
 

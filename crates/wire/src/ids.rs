@@ -412,6 +412,166 @@ impl From<u64> for Rotation {
     }
 }
 
+/// A Ring Paxos consensus-instance number.
+///
+/// The coordinator assigns one instance per proposal and learners
+/// deliver strictly in instance order, so this is the Ring Paxos
+/// analogue of [`Seq`]: a serially wrapping ordering counter with a
+/// reserved [`InstanceId::ZERO`] sentinel meaning "no instance opened
+/// yet". Like [`Seq`] it implements **no** `Ord`/`PartialOrd` — a raw
+/// `<` across the wrap boundary is a protocol bug — and protocol code
+/// compares with the RFC 1982 serial methods. Container keys go
+/// through the explicit [`InstanceId::ord_key`] adapter.
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::InstanceId;
+/// let first = InstanceId::ZERO.next();
+/// assert_eq!(first, InstanceId::new(1));
+/// // Wrap skips the reserved zero and serial order survives it.
+/// let wrapped = InstanceId::new(u64::MAX).next();
+/// assert_eq!(wrapped, InstanceId::new(1));
+/// assert!(wrapped.follows(InstanceId::new(u64::MAX)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// The reserved sentinel: "no instance opened yet".
+    pub const ZERO: InstanceId = InstanceId(0);
+
+    /// Half the instance space; the serial comparison horizon.
+    const HALF: u64 = 1 << 63;
+
+    /// Creates an instance number from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        InstanceId(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next instance, wrapping past `u64::MAX` and skipping the
+    /// reserved [`InstanceId::ZERO`] sentinel.
+    pub fn next(self) -> InstanceId {
+        match self.0.wrapping_add(1) {
+            0 => InstanceId(1),
+            n => InstanceId(n),
+        }
+    }
+
+    /// Serial-number (RFC 1982) "strictly after", wrap-safe.
+    pub fn follows(self, other: InstanceId) -> bool {
+        self.0 != other.0 && self.0.wrapping_sub(other.0) < Self::HALF
+    }
+
+    /// Serial-number "at or after": [`InstanceId::follows`] or equal.
+    pub fn at_or_after(self, other: InstanceId) -> bool {
+        self.0 == other.0 || self.follows(other)
+    }
+
+    /// The serially later of `self` and `other`.
+    pub fn serial_max(self, other: InstanceId) -> InstanceId {
+        if self.follows(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Explicit total-order adapter for container keys; see
+    /// [`Seq::ord_key`] for the contract.
+    pub const fn ord_key(self) -> SerialOrdKey {
+        SerialOrdKey(self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl From<u64> for InstanceId {
+    fn from(raw: u64) -> Self {
+        InstanceId(raw)
+    }
+}
+
+/// A Ring Paxos ballot (round) number.
+///
+/// Carried by `Accept` and `RingAck` messages so acceptors can gate
+/// stale coordinator traffic; here it tracks the coordinator's
+/// incarnation, so it advances once per coordinator reboot. It lives
+/// in the same circular space discipline as the other protocol
+/// counters: RFC 1982 serial comparison, **no** `Ord`/`PartialOrd`,
+/// and no reserved values (ballot zero is the original coordinator's
+/// first round, like [`Rotation::ZERO`]).
+///
+/// # Example
+///
+/// ```
+/// # use totem_wire::Ballot;
+/// assert_eq!(Ballot::ZERO.next(), Ballot::new(1));
+/// assert!(Ballot::ZERO.follows(Ballot::new(u64::MAX)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Ballot(u64);
+
+impl Ballot {
+    /// The original coordinator's first ballot.
+    pub const ZERO: Ballot = Ballot(0);
+
+    /// Half the ballot space; the serial comparison horizon.
+    const HALF: u64 = 1 << 63;
+
+    /// Creates a ballot from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Ballot(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next ballot, wrapping past `u64::MAX` (no reserved values).
+    pub const fn next(self) -> Ballot {
+        Ballot(self.0.wrapping_add(1))
+    }
+
+    /// Serial-number (RFC 1982) "strictly after", wrap-safe.
+    pub fn follows(self, other: Ballot) -> bool {
+        self.0 != other.0 && self.0.wrapping_sub(other.0) < Self::HALF
+    }
+
+    /// Serial-number "at or after": [`Ballot::follows`] or equal.
+    pub fn at_or_after(self, other: Ballot) -> bool {
+        self.0 == other.0 || self.follows(other)
+    }
+
+    /// Explicit total-order adapter for container keys; see
+    /// [`Seq::ord_key`] for the contract.
+    pub const fn ord_key(self) -> SerialOrdKey {
+        SerialOrdKey(self.0)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<u64> for Ballot {
+    fn from(raw: u64) -> Self {
+        Ballot(raw)
+    }
+}
+
 /// A processor's reboot count (its identity epoch generation).
 ///
 /// Incremented once per cold reboot and never reset, so it is a
@@ -547,6 +707,36 @@ mod tests {
         assert!(!Rotation::new(u64::MAX).follows(Rotation::ZERO));
         assert_eq!(Rotation::new(9).to_string(), "rot9");
         assert_eq!(Rotation::from(4).as_u64(), 4);
+    }
+
+    #[test]
+    fn instance_id_is_serial_with_a_reserved_zero() {
+        assert_eq!(InstanceId::ZERO.next(), InstanceId::new(1));
+        assert_eq!(InstanceId::new(u64::MAX).next(), InstanceId::new(1));
+        assert!(InstanceId::new(1).follows(InstanceId::new(u64::MAX)));
+        assert!(!InstanceId::new(u64::MAX).follows(InstanceId::new(1)));
+        assert!(InstanceId::new(4).at_or_after(InstanceId::new(4)));
+        assert_eq!(
+            InstanceId::new(u64::MAX).serial_max(InstanceId::new(2)),
+            InstanceId::new(2),
+            "serial max must respect the wrap"
+        );
+        assert!(InstanceId::new(2).ord_key() < InstanceId::new(u64::MAX).ord_key());
+        assert_eq!(InstanceId::from(6).as_u64(), 6);
+        assert_eq!(InstanceId::new(9).to_string(), "i9");
+        assert_eq!(InstanceId::default(), InstanceId::ZERO);
+    }
+
+    #[test]
+    fn ballot_is_serial_with_no_reserved_values() {
+        assert_eq!(Ballot::ZERO.next(), Ballot::new(1));
+        assert_eq!(Ballot::new(u64::MAX).next(), Ballot::ZERO);
+        assert!(Ballot::ZERO.follows(Ballot::new(u64::MAX)));
+        assert!(Ballot::new(3).at_or_after(Ballot::new(3)));
+        assert!(!Ballot::new(3).at_or_after(Ballot::new(4)));
+        assert!(Ballot::new(1).ord_key() < Ballot::new(2).ord_key());
+        assert_eq!(Ballot::from(5).as_u64(), 5);
+        assert_eq!(Ballot::new(7).to_string(), "b7");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod frame;
 pub mod ids;
 pub mod membership;
 pub mod packet;
+pub mod ring_paxos;
 pub mod shared;
 pub mod token;
 pub mod transition;
@@ -68,9 +69,12 @@ pub use codec::{CodecError, Reader, Writer};
 pub use frame::{
     chunk_capacity, wire_frame_len, CHUNK_HEADER_LEN, ETHERNET_MTU, HEADER_OVERHEAD, MAX_PAYLOAD,
 };
-pub use ids::{Incarnation, NetworkId, NodeId, RingId, Rotation, Seq, SerialOrdKey};
+pub use ids::{
+    Ballot, Incarnation, InstanceId, NetworkId, NodeId, RingId, Rotation, Seq, SerialOrdKey,
+};
 pub use membership::{CommitToken, JoinMessage, MembEntry};
 pub use packet::{Chunk, ChunkKind, DataPacket, Packet};
+pub use ring_paxos::{Proposal, RingPaxosMsg};
 pub use shared::{NetFrame, SharedPacket};
 pub use token::Token;
 pub use transition::{Transition, TRANSITION_BUFFER_CAP};

@@ -19,12 +19,14 @@ use crate::codec::{CodecError, Reader, Writer};
 use crate::frame::CHUNK_HEADER_LEN;
 use crate::ids::{NodeId, RingId, Seq};
 use crate::membership::{CommitToken, JoinMessage};
+use crate::ring_paxos::RingPaxosMsg;
 use crate::token::Token;
 
 const TAG_DATA: u8 = 0x01;
 const TAG_TOKEN: u8 = 0x02;
 const TAG_JOIN: u8 = 0x03;
 const TAG_COMMIT: u8 = 0x04;
+const TAG_RING_PAXOS: u8 = 0x05;
 
 /// What a [`Chunk`] inside a data packet contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -165,6 +167,9 @@ pub enum Packet {
     Join(JoinMessage),
     /// Unicast commit token.
     Commit(CommitToken),
+    /// A Ring Paxos backend message (backend-tagged envelope; see
+    /// [`crate::ring_paxos`]). Totem nodes never send or accept these.
+    RingPaxos(RingPaxosMsg),
 }
 
 impl Packet {
@@ -209,6 +214,10 @@ impl Packet {
             Packet::Commit(c) => {
                 w.u8(TAG_COMMIT);
                 c.encode(w);
+            }
+            Packet::RingPaxos(m) => {
+                w.u8(TAG_RING_PAXOS);
+                m.encode(w);
             }
         }
     }
@@ -293,6 +302,7 @@ impl Packet {
             TAG_TOKEN => Ok(Packet::Token(Token::decode(r)?)),
             TAG_JOIN => Ok(Packet::Join(JoinMessage::decode(r)?)),
             TAG_COMMIT => Ok(Packet::Commit(CommitToken::decode(r)?)),
+            TAG_RING_PAXOS => Ok(Packet::RingPaxos(RingPaxosMsg::decode(r)?)),
             tag => Err(CodecError::UnknownTag { what: "packet", tag }),
         }
     }
@@ -309,6 +319,7 @@ impl Packet {
             Packet::Token(t) => t.encoded_len(),
             Packet::Join(j) => j.encoded_len(),
             Packet::Commit(c) => c.encoded_len(),
+            Packet::RingPaxos(m) => m.encoded_len(),
         }
     }
 }

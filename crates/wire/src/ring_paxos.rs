@@ -1,0 +1,289 @@
+//! Wire messages of the Ring Paxos backend.
+//!
+//! Ring Paxos (Marandi et al.) disseminates values by multicast and
+//! collects acceptor votes along a ring. Its traffic rides the same
+//! framing as the Totem stack — one [`crate::Packet`] per datagram —
+//! behind a backend-tagged envelope: [`crate::Packet::RingPaxos`]
+//! wraps one [`RingPaxosMsg`], so both backends share transports,
+//! simulator, tracing and bandwidth accounting without the Totem
+//! packets changing by a byte.
+//!
+//! The message set is the minimal pipelined protocol:
+//!
+//! * [`RingPaxosMsg::Propose`] — a client proposal, unicast to the
+//!   coordinator;
+//! * [`RingPaxosMsg::Accept`] — the coordinator opens an instance and
+//!   multicasts the value (its own vote included);
+//! * [`RingPaxosMsg::RingAck`] — an acceptor's vote, forwarded along
+//!   the static ring;
+//! * [`RingPaxosMsg::Decision`] — the last acceptor closes the
+//!   instance and multicasts the decision (value carried, so learners
+//!   that missed the `Accept` still learn);
+//! * [`RingPaxosMsg::LearnReq`] — a learner asks the coordinator to
+//!   re-announce an instance it is missing.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{CodecError, Reader, Writer};
+use crate::ids::{Ballot, InstanceId, NodeId};
+
+const SUB_PROPOSE: u8 = 0x01;
+const SUB_ACCEPT: u8 = 0x02;
+const SUB_RING_ACK: u8 = 0x03;
+const SUB_DECISION: u8 = 0x04;
+const SUB_LEARN_REQ: u8 = 0x05;
+
+/// One value travelling through Ring Paxos, identified by its
+/// proposer and the proposer's request counter.
+///
+/// The triple `(sender, inc, req)` names a client request uniquely
+/// across proposer reboots: `inc` is the proposer's incarnation and
+/// `req` its per-incarnation submission counter. The coordinator
+/// serializes each proposer's requests in `req` order (per-sender
+/// FIFO) and learners use the triple for duplicate suppression when
+/// retries race with decisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proposal {
+    /// The proposing node.
+    pub sender: NodeId,
+    /// The proposer's incarnation (reboot count) when it submitted.
+    pub inc: u64,
+    /// The proposer's per-incarnation request counter (1, 2, 3, ...).
+    pub req: u64,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+impl Proposal {
+    fn encode(&self, w: &mut Writer) {
+        w.u16(self.sender.as_u16());
+        w.u64(self.inc);
+        w.u64(self.req);
+        w.bytes(&self.payload);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let sender = NodeId::new(r.u16()?);
+        let inc = r.u64()?;
+        let req = r.u64()?;
+        let payload = r.bytes()?;
+        Ok(Proposal { sender, inc, req, payload })
+    }
+
+    /// Encoded size: sender + inc + req + length-prefixed payload.
+    fn encoded_len(&self) -> usize {
+        2 + 8 + 8 + 4 + self.payload.len()
+    }
+}
+
+/// Any message of the Ring Paxos backend.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingPaxosMsg {
+    /// A client proposal on its way to the coordinator.
+    Propose(Proposal),
+    /// The coordinator opened instance `iid` for `value` and multicast
+    /// it to the ensemble (phase 2a; the coordinator's own vote is
+    /// implicit).
+    Accept {
+        /// The consensus instance.
+        iid: InstanceId,
+        /// The coordinator's ballot.
+        ballot: Ballot,
+        /// The value being decided.
+        value: Proposal,
+    },
+    /// An acceptor's vote for instance `iid`, unicast to its ring
+    /// successor once the acceptor has both the `Accept` and its
+    /// predecessor's ack (phase 2b along the ring).
+    RingAck {
+        /// The consensus instance.
+        iid: InstanceId,
+        /// The ballot being voted.
+        ballot: Ballot,
+        /// The acceptor that forwarded the ack.
+        from: NodeId,
+    },
+    /// The final acceptor observed a full ring of votes and multicast
+    /// the decision. Carries the value (or a no-op filler) so learners
+    /// that missed the `Accept` still learn the instance.
+    Decision {
+        /// The decided instance.
+        iid: InstanceId,
+        /// A no-op decision: fills an instance hole after a
+        /// coordinator reboot so learners can advance. Learners skip
+        /// delivery.
+        nop: bool,
+        /// The decided value (ignored when `nop`).
+        value: Proposal,
+    },
+    /// A learner is missing `iid` and asks the coordinator to
+    /// re-announce its decision.
+    LearnReq {
+        /// The asking learner.
+        from: NodeId,
+        /// The instance the learner needs.
+        iid: InstanceId,
+    },
+}
+
+impl RingPaxosMsg {
+    /// The instance this message belongs to, if it names one
+    /// (proposals are not yet bound to an instance).
+    pub fn iid(&self) -> Option<InstanceId> {
+        match self {
+            RingPaxosMsg::Propose(_) => None,
+            RingPaxosMsg::Accept { iid, .. }
+            | RingPaxosMsg::RingAck { iid, .. }
+            | RingPaxosMsg::Decision { iid, .. }
+            | RingPaxosMsg::LearnReq { iid, .. } => Some(*iid),
+        }
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            RingPaxosMsg::Propose(p) => {
+                w.u8(SUB_PROPOSE);
+                p.encode(w);
+            }
+            RingPaxosMsg::Accept { iid, ballot, value } => {
+                w.u8(SUB_ACCEPT);
+                w.u64(iid.as_u64());
+                w.u64(ballot.as_u64());
+                value.encode(w);
+            }
+            RingPaxosMsg::RingAck { iid, ballot, from } => {
+                w.u8(SUB_RING_ACK);
+                w.u64(iid.as_u64());
+                w.u64(ballot.as_u64());
+                w.u16(from.as_u16());
+            }
+            RingPaxosMsg::Decision { iid, nop, value } => {
+                w.u8(SUB_DECISION);
+                w.u64(iid.as_u64());
+                w.bool(*nop);
+                value.encode(w);
+            }
+            RingPaxosMsg::LearnReq { from, iid } => {
+                w.u8(SUB_LEARN_REQ);
+                w.u16(from.as_u16());
+                w.u64(iid.as_u64());
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            SUB_PROPOSE => Ok(RingPaxosMsg::Propose(Proposal::decode(r)?)),
+            SUB_ACCEPT => {
+                let iid = InstanceId::new(r.u64()?);
+                let ballot = Ballot::new(r.u64()?);
+                let value = Proposal::decode(r)?;
+                Ok(RingPaxosMsg::Accept { iid, ballot, value })
+            }
+            SUB_RING_ACK => {
+                let iid = InstanceId::new(r.u64()?);
+                let ballot = Ballot::new(r.u64()?);
+                let from = NodeId::new(r.u16()?);
+                Ok(RingPaxosMsg::RingAck { iid, ballot, from })
+            }
+            SUB_DECISION => {
+                let iid = InstanceId::new(r.u64()?);
+                let nop = r.bool()?;
+                let value = Proposal::decode(r)?;
+                Ok(RingPaxosMsg::Decision { iid, nop, value })
+            }
+            SUB_LEARN_REQ => {
+                let from = NodeId::new(r.u16()?);
+                let iid = InstanceId::new(r.u64()?);
+                Ok(RingPaxosMsg::LearnReq { from, iid })
+            }
+            tag => Err(CodecError::UnknownTag { what: "ring-paxos message", tag }),
+        }
+    }
+
+    /// Encoded size excluding the packet tag byte (the simulator's
+    /// bandwidth accounting, like the Totem control packets).
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            RingPaxosMsg::Propose(p) => p.encoded_len(),
+            RingPaxosMsg::Accept { value, .. } => 8 + 8 + value.encoded_len(),
+            RingPaxosMsg::RingAck { .. } => 8 + 8 + 2,
+            RingPaxosMsg::Decision { value, .. } => 8 + 1 + value.encoded_len(),
+            RingPaxosMsg::LearnReq { .. } => 2 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn proposal() -> Proposal {
+        Proposal { sender: NodeId::new(3), inc: 1, req: 42, payload: Bytes::from_static(b"value") }
+    }
+
+    fn samples() -> Vec<RingPaxosMsg> {
+        vec![
+            RingPaxosMsg::Propose(proposal()),
+            RingPaxosMsg::Accept {
+                iid: InstanceId::new(7),
+                ballot: Ballot::new(2),
+                value: proposal(),
+            },
+            RingPaxosMsg::RingAck {
+                iid: InstanceId::new(7),
+                ballot: Ballot::new(2),
+                from: NodeId::new(1),
+            },
+            RingPaxosMsg::Decision { iid: InstanceId::new(7), nop: false, value: proposal() },
+            RingPaxosMsg::Decision {
+                iid: InstanceId::new(8),
+                nop: true,
+                value: Proposal { sender: NodeId::new(0), inc: 0, req: 0, payload: Bytes::new() },
+            },
+            RingPaxosMsg::LearnReq { from: NodeId::new(2), iid: InstanceId::new(5) },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_packet() {
+        for msg in samples() {
+            let pkt = Packet::RingPaxos(msg);
+            let bytes = pkt.encode();
+            assert_eq!(Packet::decode(&bytes).unwrap(), pkt);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for msg in samples() {
+            let bytes = Packet::RingPaxos(msg.clone()).encode();
+            assert_eq!(bytes.len(), msg.encoded_len() + 1, "for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn iid_accessor_names_the_instance() {
+        assert_eq!(samples()[0].iid(), None);
+        assert_eq!(samples()[1].iid(), Some(InstanceId::new(7)));
+        assert_eq!(samples()[5].iid(), Some(InstanceId::new(5)));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_subtag() {
+        // Packet tag 0x05 (ring-paxos) followed by a bogus subtag.
+        assert!(matches!(
+            Packet::decode(&[0x05, 0xEE]),
+            Err(CodecError::UnknownTag { what: "ring-paxos message", tag: 0xEE })
+        ));
+    }
+
+    #[test]
+    fn ring_paxos_packets_are_not_token_class() {
+        for msg in samples() {
+            assert!(!Packet::RingPaxos(msg).is_token_class());
+        }
+    }
+}

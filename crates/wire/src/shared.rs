@@ -117,7 +117,7 @@ impl SharedPacket {
     pub fn data(&self) -> Option<&DataPacket> {
         match &self.cell.pkt {
             Packet::Data(d) => Some(d),
-            Packet::Token(_) | Packet::Join(_) | Packet::Commit(_) => None,
+            Packet::Token(_) | Packet::Join(_) | Packet::Commit(_) | Packet::RingPaxos(_) => None,
         }
     }
 
@@ -126,7 +126,7 @@ impl SharedPacket {
     pub fn into_token(self) -> Option<Token> {
         match self.into_packet() {
             Packet::Token(t) => Some(t),
-            Packet::Data(_) | Packet::Join(_) | Packet::Commit(_) => None,
+            Packet::Data(_) | Packet::Join(_) | Packet::Commit(_) | Packet::RingPaxos(_) => None,
         }
     }
 
@@ -138,9 +138,10 @@ impl SharedPacket {
             match self.into_packet() {
                 Packet::Token(t) => Ok(t),
                 // Unreachable: the class was just checked.
-                other @ (Packet::Data(_) | Packet::Join(_) | Packet::Commit(_)) => {
-                    Err(SharedPacket::new(other))
-                }
+                other @ (Packet::Data(_)
+                | Packet::Join(_)
+                | Packet::Commit(_)
+                | Packet::RingPaxos(_)) => Err(SharedPacket::new(other)),
             }
         } else {
             Err(self)

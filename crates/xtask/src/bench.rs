@@ -27,12 +27,14 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut skip_micro = false;
     let mut skip_udp = false;
+    let mut skip_h2h = false;
     let mut capture = false;
     for arg in args {
         match arg.as_str() {
             "--quick" => quick = true,
             "--skip-micro" => skip_micro = true,
             "--skip-udp" => skip_udp = true,
+            "--skip-h2h" => skip_h2h = true,
             "--capture-baseline" => capture = true,
             other => {
                 eprintln!("unknown argument `{other}`\n{}", super::USAGE);
@@ -132,6 +134,40 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
 
+    // 2c. The backend head-to-head gate (Totem vs Ring Paxos on the
+    //     identical saturating workload; all metrics are sim-time
+    //     derived, so its output is bit-stable across machines).
+    let h2h_out_path = root.join("target").join("h2h_gate_current.json");
+    let mut h2h_current: Option<String> = None;
+    if !skip_h2h {
+        println!("bench: running backend head-to-head gate (release)...");
+        let status = Command::new("cargo")
+            .current_dir(&root)
+            .args(["run", "--release", "-q", "-p", "totem-bench", "--bin", "h2h_gate", "--"])
+            .args(if quick { &["--quick"][..] } else { &[][..] })
+            .args(["--out"])
+            .arg(&h2h_out_path)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("error: h2h_gate failed ({s})");
+                return ExitCode::from(1);
+            }
+            Err(e) => {
+                eprintln!("error: cannot run h2h_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        match std::fs::read_to_string(&h2h_out_path) {
+            Ok(s) => h2h_current = Some(s),
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", h2h_out_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     if capture {
         return match capture_baseline(&root, quick, udp_current.is_some()) {
             Ok(()) => {
@@ -196,7 +232,37 @@ pub fn run(args: &[String]) -> ExitCode {
         udp_ok = udp_report.ok;
     }
 
-    if report.ok && udp_ok {
+    // 5. The head-to-head report: the gate binary already performed
+    //    its repeat-determinism self-check (non-zero exit on
+    //    divergence); here the fresh grid digest is compared against
+    //    the committed file when the modes match, then the file is
+    //    refreshed.
+    let mut h2h_ok = true;
+    if let Some(h2h) = &h2h_current {
+        let h2h_json = root.join("BENCH_PR10.json");
+        if let Ok(committed) = std::fs::read_to_string(&h2h_json) {
+            if field(&committed, "quick") == field(h2h, "quick") {
+                let b = field(&committed, "grid_digest");
+                let c = field(h2h, "grid_digest");
+                if b.is_some() && b != c {
+                    println!(
+                        "bench: h2h determinism: FAIL (grid digest drifted: \
+                         committed {} != current {})",
+                        b.unwrap_or("?"),
+                        c.unwrap_or("?")
+                    );
+                    h2h_ok = false;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&h2h_json, h2h) {
+            eprintln!("error: cannot write {}: {e}", h2h_json.display());
+            return ExitCode::from(2);
+        }
+        println!("bench: wrote {}", h2h_json.display());
+    }
+
+    if report.ok && udp_ok && h2h_ok {
         println!("bench: gate passed");
         ExitCode::SUCCESS
     } else {

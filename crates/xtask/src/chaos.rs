@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use totem_cluster::chaos::{self, ChaosReport, ChaosSchedule, ReplicationStyle};
+use totem_cluster::BackendKind;
 
 use crate::{par, USAGE};
 
@@ -33,6 +34,7 @@ struct Options {
     minimize: bool,
     replay: Option<PathBuf>,
     repro_dir: PathBuf,
+    backend: BackendKind,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -46,6 +48,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         minimize: false,
         replay: None,
         repro_dir: PathBuf::from("."),
+        backend: BackendKind::Totem,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -81,6 +84,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--corrupt needs a percentage".to_string())?;
             }
+            "--backend" => opts.backend = value("--backend")?.parse()?,
             "--minimize" => opts.minimize = true,
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
             "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir")?),
@@ -172,11 +176,14 @@ fn replay(opts: &Options, path: &PathBuf) -> ExitCode {
 fn make_schedule(opts: &Options, style: ReplicationStyle, seed: u64) -> ChaosSchedule {
     // Knuth-style multiplicative hash so `--corrupt 30` spreads over
     // the seed space instead of corrupting only seeds 0..30.
-    if opts.corrupt > 0 && seed.wrapping_mul(2654435761) % 100 < opts.corrupt {
+    let schedule = if opts.corrupt > 0 && seed.wrapping_mul(2654435761) % 100 < opts.corrupt {
         chaos::generate_corrupting(seed, style, opts.nodes, opts.steps, 3)
     } else {
         chaos::generate(seed, style, opts.nodes, opts.steps)
-    }
+    };
+    // `with_backend` also retargets coordinator crashes off node 0 for
+    // Ring Paxos (fixed coordinator, no failover — by design).
+    schedule.with_backend(opts.backend)
 }
 
 /// Fans `seeds` schedules across every replication style, running
@@ -185,9 +192,10 @@ fn make_schedule(opts: &Options, style: ReplicationStyle, seed: u64) -> ChaosSch
 /// order and is bit-identical for any job count.
 fn fuzz(opts: &Options) -> ExitCode {
     println!(
-        "chaos: {} seed(s) x {} style(s), {} nodes, {} traffic ticks of {}ms, {} job(s)",
+        "chaos: {} backend, {} seed(s) x {} style(s), {} nodes, {} traffic ticks of {}ms, {} job(s)",
+        opts.backend,
         opts.seeds,
-        STYLES.len(),
+        if opts.backend == BackendKind::RingPaxos { 1 } else { STYLES.len() },
         opts.nodes,
         opts.steps,
         chaos::TICK.as_nanos() / 1_000_000,
@@ -198,7 +206,12 @@ fn fuzz(opts: &Options) -> ExitCode {
         "style", "seed", "commands", "crashes", "corrupt", "submitted", "delivered"
     );
 
-    let cells: Vec<(ReplicationStyle, u64)> = STYLES
+    // Ring Paxos never touches the RRP replication plane, so fanning
+    // it across styles would run the same engine four times; one cell
+    // per seed suffices.
+    let styles: &[ReplicationStyle] =
+        if opts.backend == BackendKind::RingPaxos { &[ReplicationStyle::Active] } else { &STYLES };
+    let cells: Vec<(ReplicationStyle, u64)> = styles
         .iter()
         .flat_map(|style| {
             (opts.seed_base..opts.seed_base + opts.seeds).map(move |seed| (*style, seed))
@@ -240,10 +253,7 @@ fn fuzz(opts: &Options) -> ExitCode {
     }
 
     if failures == 0 {
-        println!(
-            "chaos: all {} schedule(s) passed the EVS oracle",
-            opts.seeds * STYLES.len() as u64
-        );
+        println!("chaos: all {} schedule(s) passed the EVS oracle", cells.len());
         ExitCode::SUCCESS
     } else {
         println!("chaos: {failures} schedule(s) violated the oracle");
@@ -289,7 +299,11 @@ fn write_repro(
     } else {
         schedule.clone()
     };
-    let path = opts.repro_dir.join(format!("chaos-repro-{}-{seed}.toml", style_label(style)));
+    let tag = match schedule.backend {
+        BackendKind::Totem => String::new(),
+        other => format!("{other}-"),
+    };
+    let path = opts.repro_dir.join(format!("chaos-repro-{tag}{}-{seed}.toml", style_label(style)));
     std::fs::write(&path, repro.to_toml())
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     println!("    repro written to {}", path.display());

@@ -60,12 +60,15 @@ commands:
         --markdown <path>   also write the coverage table as GitHub
                             markdown (append to $GITHUB_STEP_SUMMARY)
 
-  chaos [--seeds N] [--seed-base B] [--steps S] [--nodes K]
-        [--jobs J] [--corrupt PCT] [--minimize] [--replay <file>]
-        [--repro-dir <dir>]
+  chaos [--backend B] [--seeds N] [--seed-base B] [--steps S]
+        [--nodes K] [--jobs J] [--corrupt PCT] [--minimize]
+        [--replay <file>] [--repro-dir <dir>]
       Fuzz seed-deterministic fault schedules (crashes, restarts,
       partitions, network kills, fault bursts) across all three
       replication styles and check the EVS invariant oracle.
+        --backend B         totem | ring-paxos (default totem);
+                            ring-paxos runs the active style only and
+                            retargets coordinator crashes to node 1
         --seeds N           schedules per style (default 10)
         --seed-base B       first seed (default 0) — lets CI shards
                             fuzz disjoint seed windows
@@ -106,14 +109,21 @@ commands:
                             per node (default 256)
         --repro-dir <dir>   where repro files go (default .)
 
-  mc [--nodes N] [--depth D] [--crashes K] [--partitions P]
-     [--drops R] [--dups U] [--step-ms MS] [--seed S]
-     [--markdown <path>] [--repro-dir <dir>] [--expect-edges E]
+  mc [--backend B] [--nodes N] [--depth D] [--crashes K]
+     [--partitions P] [--drops R] [--dups U] [--step-ms MS]
+     [--seed S] [--markdown <path>] [--repro-dir <dir>]
+     [--expect-edges E]
       Bounded exhaustive model checking: explore every fault
       interleaving (crashes, restarts, partitions, drop/dup windows)
       up to D quiet steps, run the EVS oracle plus per-state
       invariants at every explored state, and report which
-      spec/protocol.toml srp-membership edges were exercised.
+      spec/protocol.toml edges of the backend's tracked machines
+      (srp-membership, or ring-paxos + ring-paxos-ring) were
+      exercised.
+        --backend B         totem | ring-paxos (default totem);
+                            ring-paxos exempts the fixed coordinator
+                            (node 0) from crash injections and skips
+                            the view-sanity oracle
         --nodes N           cluster size (default 3)
         --depth D           quiet steps per path (default 8)
         --crashes K         crash budget per path (default 1)
@@ -137,18 +147,23 @@ commands:
         --markdown <path>   append the per-counter table as GitHub
                             markdown (append to $GITHUB_STEP_SUMMARY)
 
-  bench [--quick] [--skip-micro] [--skip-udp]
+  bench [--quick] [--skip-micro] [--skip-udp] [--skip-h2h]
       Run the criterion micro-benches, the wall-clock macro gate
-      (BENCH_PR4.json) and the loopback-UDP macro gate
-      (BENCH_PR9.json: legacy vs batched driver over real sockets,
-      logical syscalls/frame, allocs/frame, throughput, p99 delivery
-      latency). Fails if fixed-seed sim runs diverge, or if the
-      batched fast path delivers less than a 4x reduction in logical
-      syscalls per frame at broadcast fan-out.
+      (BENCH_PR4.json), the loopback-UDP macro gate (BENCH_PR9.json:
+      legacy vs batched driver over real sockets, logical
+      syscalls/frame, allocs/frame, throughput, p99 delivery latency)
+      and the backend head-to-head gate (BENCH_PR10.json: Totem vs
+      Ring Paxos on the identical saturating workload, sweeping
+      message size x node count x loss rate, plus unloaded-latency
+      probes; all sim-time metrics, so the file is bit-stable).
+      Fails if fixed-seed sim runs diverge, or if the batched fast
+      path delivers less than a 4x reduction in logical syscalls per
+      frame at broadcast fan-out.
         --quick        short measurement windows (CI smoke); criterion
                        runs with TOTEM_QUICK=1
         --skip-micro   skip criterion
-        --skip-udp     skip the loopback-UDP gate";
+        --skip-udp     skip the loopback-UDP gate
+        --skip-h2h     skip the backend head-to-head gate";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

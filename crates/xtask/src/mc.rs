@@ -53,6 +53,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             // u64::MAX so exploration crosses the RFC 1982 wrap and
             // the reserved-zero skip within the first quiet step.
             "--start-near-wrap" => opts.mc.start_seq = u64::MAX - 2,
+            "--backend" => opts.mc.backend = value("--backend")?.parse()?,
             "--markdown" => opts.markdown = Some(PathBuf::from(value("--markdown")?)),
             "--repro-dir" => opts.repro_dir = PathBuf::from(value("--repro-dir")?),
             "--expect-edges" => {
@@ -95,8 +96,9 @@ pub fn run(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "mc: {} nodes, depth {} ({}ms steps), budgets: {} crash(es), {} partition(s), \
-         {} drop(s), {} dup(s), seed {}",
+        "mc: {} backend, {} nodes, depth {} ({}ms steps), budgets: {} crash(es), \
+         {} partition(s), {} drop(s), {} dup(s), seed {}",
+        opts.mc.backend,
         opts.mc.nodes,
         opts.mc.depth,
         opts.mc.step_ms,
@@ -123,11 +125,13 @@ pub fn run(args: &[String]) -> ExitCode {
         );
     }
 
-    let (reached, unreached) = diff_spec(&spec, &report);
+    let machines = opts.mc.tracked_machines();
+    let (reached, unreached) = diff_spec(&spec, &report, machines);
     println!(
-        "mc: {}/{} srp-membership spec edge(s) reached at this bound",
+        "mc: {}/{} {} spec edge(s) reached at this bound",
         reached.len(),
-        reached.len() + unreached.len()
+        reached.len() + unreached.len(),
+        machines.join("+")
     );
     println!("{:<14} {:>24} {:<14} {:>11}", "from", "event", "to", "first depth");
     for (t, depth) in &reached {
@@ -138,7 +142,10 @@ pub fn run(args: &[String]) -> ExitCode {
     }
     for ((from, event, to), depth) in &report.edges {
         let documented = spec.transitions.iter().any(|t| {
-            t.machine == "srp-membership" && t.from == *from && t.event == *event && t.to == *to
+            machines.contains(&t.machine.as_str())
+                && t.from == *from
+                && t.event == *event
+                && t.to == *to
         });
         if !documented {
             println!(
@@ -190,15 +197,16 @@ pub fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Splits the spec's `srp-membership` edges into (reached with first
-/// depth, unreached), both in spec file order.
+/// Splits the spec's edges for the tracked machines into (reached with
+/// first depth, unreached), both in spec file order.
 fn diff_spec<'s>(
     spec: &'s spec::Spec,
     report: &McReport,
+    machines: &[&str],
 ) -> (Vec<(&'s spec::SpecTransition, u64)>, Vec<&'s spec::SpecTransition>) {
     let mut reached = Vec::new();
     let mut unreached = Vec::new();
-    for t in spec.transitions.iter().filter(|t| t.machine == "srp-membership") {
+    for t in spec.transitions.iter().filter(|t| machines.contains(&t.machine.as_str())) {
         match report.edges.get(&(t.from.clone(), t.event.clone(), t.to.clone())) {
             Some(depth) => reached.push((t, *depth)),
             None => unreached.push(t),

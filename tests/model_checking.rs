@@ -89,14 +89,18 @@ fn counterexample_replay_is_deterministic() {
 
 /// Pinned state-space numbers for fixed configurations. The digest is
 /// a toolchain-independent FNV-1a fold, so a pin failure always means
-/// a real behavior change somewhere under the explorer.
+/// a real behavior change somewhere under the explorer. (The pins were
+/// re-baselined when the backend seam landed: every node fingerprint
+/// now leads with the engine discriminant so a Totem world and a Ring
+/// Paxos world can never collide in the visited set. The state counts
+/// were unchanged by that re-baseline — only the hash values moved.)
 #[test]
 fn explored_state_space_is_pinned() {
     let shallow = explore(&McOptions::new(2, 2));
     assert!(shallow.passed());
     assert_eq!(
         (shallow.states, shallow.digest),
-        (58, 0xd184_7618_d69f_f633),
+        (58, 0xb719_0d72_0c9f_5de3),
         "state space changed for (nodes=2, depth=2); if intentional, update the pin"
     );
 
@@ -104,7 +108,7 @@ fn explored_state_space_is_pinned() {
     assert!(deeper.passed());
     assert_eq!(
         (deeper.states, deeper.digest),
-        (166, 0x1e60_6b28_0c22_6d78),
+        (166, 0xf8c4_bee5_baa9_95fa),
         "state space changed for (nodes=2, depth=3); if intentional, update the pin"
     );
 }
@@ -128,7 +132,7 @@ fn near_wrap_state_space_is_pinned() {
     assert!(report.passed(), "violations across the wrap: {:?}", report.counterexample);
     assert_eq!(
         (report.states, report.digest),
-        (58, 0xd184_7618_d69f_f633),
+        (58, 0xb719_0d72_0c9f_5de3),
         "state space changed for (nodes=2, depth=2, start near wrap); if intentional, update the pin"
     );
 }
